@@ -1,0 +1,245 @@
+//! Error tagging and grid generation: turning a set of tagged zones into a
+//! set of refinement boxes (a simplified Berger–Rigoutsos clusterer).
+
+use exastro_parallel::{IndexBox, IntVect};
+
+/// Parameters for grid generation.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterParams {
+    /// Maximum box width per dimension, in the tagging level's index space.
+    pub max_size: i32,
+    /// Minimum acceptable ratio of tagged zones to box volume before a box
+    /// is split further (AMReX `grid_eff`, typically 0.7).
+    pub min_efficiency: f64,
+    /// Generated boxes are snapped outward to multiples of this factor.
+    pub blocking_factor: i32,
+}
+
+impl Default for ClusterParams {
+    fn default() -> Self {
+        ClusterParams {
+            max_size: 32,
+            min_efficiency: 0.7,
+            blocking_factor: 4,
+        }
+    }
+}
+
+fn bounding_box(tags: &[IntVect]) -> IndexBox {
+    let mut lo = tags[0];
+    let mut hi = tags[0];
+    for &t in &tags[1..] {
+        lo = lo.min(t);
+        hi = hi.max(t);
+    }
+    IndexBox::new(lo, hi)
+}
+
+/// Find a good cut plane along dimension `d` within `bx` using the tag
+/// signature (count of tags per plane): prefer an empty plane ("hole"),
+/// otherwise the steepest inflection, otherwise the midpoint. Returns the
+/// index at which to chop, or `None` if the box is too thin to cut.
+fn find_cut(tags: &[IntVect], bx: IndexBox, d: usize) -> Option<i32> {
+    let len = bx.length(d);
+    if len < 2 {
+        return None;
+    }
+    let lo = bx.lo()[d];
+    let mut sig = vec![0i64; len as usize];
+    for t in tags {
+        sig[(t[d] - lo) as usize] += 1;
+    }
+    // Interior hole: an empty plane strictly inside.
+    for p in 1..(len - 1) as usize {
+        if sig[p] == 0 {
+            return Some(lo + p as i32);
+        }
+    }
+    // Steepest change in the discrete Laplacian of the signature.
+    let mut best = None;
+    let mut best_mag = 0i64;
+    for p in 1..(len as usize - 1) {
+        let lap = sig[p - 1] - 2 * sig[p] + sig[p + 1];
+        let prev = if p > 1 {
+            sig[p - 2] - 2 * sig[p - 1] + sig[p]
+        } else {
+            lap
+        };
+        if lap.signum() != prev.signum() {
+            let mag = (lap - prev).abs();
+            if mag > best_mag {
+                best_mag = mag;
+                best = Some(lo + p as i32);
+            }
+        }
+    }
+    Some(best.unwrap_or(lo + len / 2))
+}
+
+fn cluster_recursive(tags: &[IntVect], params: &ClusterParams, out: &mut Vec<IndexBox>) {
+    if tags.is_empty() {
+        return;
+    }
+    let bbox = bounding_box(tags);
+    let eff = tags.len() as f64 / bbox.num_zones() as f64;
+    let fits = bbox.size().max_component() <= params.max_size;
+    if fits && (eff >= params.min_efficiency || bbox.num_zones() <= 8) {
+        out.push(bbox);
+        return;
+    }
+    // Cut along the longest dimension (required if over max_size).
+    let d = bbox.longest_dir();
+    let Some(at) = find_cut(tags, bbox, d) else {
+        out.push(bbox);
+        return;
+    };
+    let (mut below, mut above) = (Vec::new(), Vec::new());
+    for &t in tags {
+        if t[d] < at {
+            below.push(t);
+        } else {
+            above.push(t);
+        }
+    }
+    if below.is_empty() || above.is_empty() {
+        // Degenerate cut; accept the box rather than loop forever.
+        out.push(bbox);
+        return;
+    }
+    cluster_recursive(&below, params, out);
+    cluster_recursive(&above, params, out);
+}
+
+/// Cluster tagged zones into boxes.
+///
+/// The tags and resulting boxes live in the index space of the level being
+/// tagged; callers refine the boxes by the refinement ratio to create the
+/// next finer level. Boxes are disjoint, cover every tag, respect
+/// `max_size` (up to blocking-factor snapping), and are snapped outward to
+/// `blocking_factor` multiples.
+pub fn cluster(tags: &[IntVect], params: &ClusterParams) -> Vec<IndexBox> {
+    if tags.is_empty() {
+        return Vec::new();
+    }
+    // Work in blocking-factor-coarsened space so that snapping outward at
+    // the end cannot create overlaps.
+    let bf = params.blocking_factor.max(1);
+    let mut coarse_tags: Vec<IntVect> = tags
+        .iter()
+        .map(|t| t.coarsen(IntVect::splat(bf)))
+        .collect();
+    coarse_tags.sort();
+    coarse_tags.dedup();
+    let coarse_params = ClusterParams {
+        max_size: (params.max_size / bf).max(1),
+        blocking_factor: 1,
+        ..*params
+    };
+    let mut out = Vec::new();
+    cluster_recursive(&coarse_tags, &coarse_params, &mut out);
+    let mut boxes: Vec<IndexBox> = out.into_iter().map(|b| b.refine(bf)).collect();
+    boxes.sort_by_key(|b| (b.lo().z(), b.lo().y(), b.lo().x()));
+    boxes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn covers_all(boxes: &[IndexBox], tags: &[IntVect]) -> bool {
+        tags.iter().all(|t| boxes.iter().any(|b| b.contains(*t)))
+    }
+
+    fn disjoint(boxes: &[IndexBox]) -> bool {
+        for (i, a) in boxes.iter().enumerate() {
+            for b in &boxes[i + 1..] {
+                if a.intersects(b) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn single_blob_single_box() {
+        let tags: Vec<IntVect> = IndexBox::new(IntVect::splat(4), IntVect::splat(7))
+            .iter()
+            .collect();
+        let boxes = cluster(&tags, &ClusterParams::default());
+        assert_eq!(boxes.len(), 1);
+        assert!(covers_all(&boxes, &tags));
+        assert!(boxes[0].lo()[0] % 4 == 0, "blocking alignment");
+    }
+
+    #[test]
+    fn two_separated_blobs_two_boxes() {
+        let mut tags: Vec<IntVect> = IndexBox::new(IntVect::splat(0), IntVect::splat(3))
+            .iter()
+            .collect();
+        tags.extend(IndexBox::new(IntVect::splat(40), IntVect::splat(43)).iter());
+        let boxes = cluster(&tags, &ClusterParams::default());
+        assert_eq!(boxes.len(), 2, "{boxes:?}");
+        assert!(covers_all(&boxes, &tags));
+        assert!(disjoint(&boxes));
+    }
+
+    #[test]
+    fn respects_max_size() {
+        // A long thin run of tags must be chopped.
+        let tags: Vec<IntVect> = (0..100).map(|i| IntVect::new(i, 0, 0)).collect();
+        let params = ClusterParams {
+            max_size: 16,
+            min_efficiency: 0.5,
+            blocking_factor: 4,
+        };
+        let boxes = cluster(&tags, &params);
+        assert!(boxes.len() >= 6);
+        assert!(covers_all(&boxes, &tags));
+        assert!(disjoint(&boxes));
+        for b in &boxes {
+            assert!(b.size().max_component() <= 16 + 4, "{b:?}");
+        }
+    }
+
+    #[test]
+    fn efficiency_splits_l_shape() {
+        // An L-shaped tag set is poorly covered by its bounding box.
+        let mut tags: Vec<IntVect> = Vec::new();
+        for i in 0..16 {
+            tags.push(IntVect::new(i, 0, 0));
+            tags.push(IntVect::new(0, i, 0));
+        }
+        let params = ClusterParams {
+            max_size: 32,
+            min_efficiency: 0.7,
+            blocking_factor: 1,
+        };
+        let boxes = cluster(&tags, &params);
+        assert!(boxes.len() >= 2, "bounding box would be only 12% efficient");
+        assert!(covers_all(&boxes, &tags));
+        assert!(disjoint(&boxes));
+        let covered: i64 = boxes.iter().map(|b| b.num_zones()).sum();
+        assert!(covered < 16 * 16, "should not cover the whole bounding box");
+    }
+
+    #[test]
+    fn empty_tags_empty_boxes() {
+        assert!(cluster(&[], &ClusterParams::default()).is_empty());
+    }
+
+    #[test]
+    fn blocking_factor_snaps_outward() {
+        let tags = vec![IntVect::new(5, 9, 2)];
+        let params = ClusterParams {
+            max_size: 32,
+            min_efficiency: 0.1,
+            blocking_factor: 8,
+        };
+        let boxes = cluster(&tags, &params);
+        assert_eq!(boxes.len(), 1);
+        let b = boxes[0];
+        assert_eq!(b.lo(), IntVect::new(0, 8, 0));
+        assert_eq!(b.hi(), IntVect::new(7, 15, 7));
+    }
+}

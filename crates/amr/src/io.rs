@@ -1,0 +1,305 @@
+//! Checkpoint and plotfile I/O.
+//!
+//! In the GPU-resident design, writing a checkpoint is one of only two
+//! places data crosses back to the host ("When we write a checkpoint file,
+//! it involves making a copy to CPU memory, not migrating the data", §III).
+//! The format here is a simple self-describing directory — a `Header` text
+//! file in the spirit of AMReX plotfiles plus one little-endian binary blob
+//! per fab — sufficient for restart round-trips and offline analysis.
+
+use crate::boxarray::BoxArray;
+use crate::distribution::DistributionMapping;
+use crate::geometry::{CoordSys, Geometry};
+use crate::multifab::MultiFab;
+use exastro_parallel::{IndexBox, IntVect, Real};
+use std::fs;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// I/O errors.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// Malformed header or payload.
+    Format(String),
+}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            IoError::Format(m) => write!(f, "checkpoint format error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+fn write_box(w: &mut impl Write, b: IndexBox) -> Result<(), IoError> {
+    writeln!(
+        w,
+        "{} {} {} {} {} {}",
+        b.lo().x(),
+        b.lo().y(),
+        b.lo().z(),
+        b.hi().x(),
+        b.hi().y(),
+        b.hi().z()
+    )?;
+    Ok(())
+}
+
+fn parse_box(line: &str) -> Result<IndexBox, IoError> {
+    let v: Vec<i32> = line
+        .split_whitespace()
+        .map(|t| t.parse::<i32>())
+        .collect::<Result<_, _>>()
+        .map_err(|e| IoError::Format(format!("bad box line '{line}': {e}")))?;
+    if v.len() != 6 {
+        return Err(IoError::Format(format!("bad box line '{line}'")));
+    }
+    Ok(IndexBox::new(
+        IntVect::new(v[0], v[1], v[2]),
+        IntVect::new(v[3], v[4], v[5]),
+    ))
+}
+
+/// Write `state` (with its geometry and simulation time) as a checkpoint
+/// directory at `path`. Ghost zones are not stored; a restart refills them.
+pub fn write_checkpoint(
+    path: &Path,
+    state: &MultiFab,
+    geom: &Geometry,
+    time: Real,
+    variable_names: &[&str],
+) -> Result<(), IoError> {
+    assert_eq!(variable_names.len(), state.ncomp());
+    fs::create_dir_all(path)?;
+    let mut h = BufWriter::new(fs::File::create(path.join("Header"))?);
+    writeln!(h, "exastro-checkpoint-v1")?;
+    writeln!(h, "time {time:e}")?;
+    writeln!(h, "ncomp {}", state.ncomp())?;
+    writeln!(h, "ngrow {}", state.ngrow())?;
+    writeln!(h, "variables {}", variable_names.join(" "))?;
+    writeln!(
+        h,
+        "prob_lo {:e} {:e} {:e}",
+        geom.prob_lo()[0],
+        geom.prob_lo()[1],
+        geom.prob_lo()[2]
+    )?;
+    writeln!(
+        h,
+        "prob_hi {:e} {:e} {:e}",
+        geom.prob_hi()[0],
+        geom.prob_hi()[1],
+        geom.prob_hi()[2]
+    )?;
+    writeln!(
+        h,
+        "periodic {} {} {}",
+        geom.periodic()[0] as u8,
+        geom.periodic()[1] as u8,
+        geom.periodic()[2] as u8
+    )?;
+    writeln!(h, "domain")?;
+    write_box(&mut h, geom.domain())?;
+    writeln!(h, "nfabs {}", state.nfabs())?;
+    for i in 0..state.nfabs() {
+        write_box(&mut h, state.valid_box(i))?;
+    }
+    h.flush()?;
+
+    // Payload: one binary file per fab, valid-region data only,
+    // component-major little-endian f64.
+    for i in 0..state.nfabs() {
+        let vb = state.valid_box(i);
+        let mut f = BufWriter::new(fs::File::create(path.join(format!("fab_{i:05}.bin")))?);
+        for c in 0..state.ncomp() {
+            for iv in vb.iter() {
+                f.write_all(&state.fab(i).get(iv, c).to_le_bytes())?;
+            }
+        }
+        f.flush()?;
+    }
+    Ok(())
+}
+
+/// A restored checkpoint.
+pub struct Checkpoint {
+    /// The restored state (ghost zones zeroed; refill after restart).
+    pub state: MultiFab,
+    /// The restored geometry.
+    pub geom: Geometry,
+    /// Simulation time at the checkpoint.
+    pub time: Real,
+    /// Variable names.
+    pub variables: Vec<String>,
+}
+
+/// Read a checkpoint directory written by [`write_checkpoint`].
+pub fn read_checkpoint(path: &Path) -> Result<Checkpoint, IoError> {
+    let f = fs::File::open(path.join("Header"))?;
+    let mut lines = BufReader::new(f).lines();
+    let mut next = || -> Result<String, IoError> {
+        lines
+            .next()
+            .ok_or_else(|| IoError::Format("truncated header".into()))?
+            .map_err(IoError::Io)
+    };
+    let magic = next()?;
+    if magic != "exastro-checkpoint-v1" {
+        return Err(IoError::Format(format!("bad magic '{magic}'")));
+    }
+    let field = |line: String, key: &str| -> Result<String, IoError> {
+        line.strip_prefix(key)
+            .map(|s| s.trim().to_string())
+            .ok_or_else(|| IoError::Format(format!("expected '{key}', got '{line}'")))
+    };
+    let time: Real = field(next()?, "time")?
+        .parse()
+        .map_err(|e| IoError::Format(format!("bad time: {e}")))?;
+    let ncomp: usize = field(next()?, "ncomp")?
+        .parse()
+        .map_err(|e| IoError::Format(format!("bad ncomp: {e}")))?;
+    let ngrow: i32 = field(next()?, "ngrow")?
+        .parse()
+        .map_err(|e| IoError::Format(format!("bad ngrow: {e}")))?;
+    let variables: Vec<String> = field(next()?, "variables")?
+        .split_whitespace()
+        .map(String::from)
+        .collect();
+    let parse3 = |s: String| -> Result<[Real; 3], IoError> {
+        let v: Vec<Real> = s
+            .split_whitespace()
+            .map(|t| t.parse::<Real>())
+            .collect::<Result<_, _>>()
+            .map_err(|e| IoError::Format(format!("bad triple: {e}")))?;
+        if v.len() != 3 {
+            return Err(IoError::Format("bad triple".into()));
+        }
+        Ok([v[0], v[1], v[2]])
+    };
+    let prob_lo = parse3(field(next()?, "prob_lo")?)?;
+    let prob_hi = parse3(field(next()?, "prob_hi")?)?;
+    let per = parse3(field(next()?, "periodic")?)?;
+    let _ = field(next()?, "domain")?;
+    let domain = parse_box(&next()?)?;
+    let nfabs: usize = field(next()?, "nfabs")?
+        .parse()
+        .map_err(|e| IoError::Format(format!("bad nfabs: {e}")))?;
+    let mut boxes = Vec::with_capacity(nfabs);
+    for _ in 0..nfabs {
+        boxes.push(parse_box(&next()?)?);
+    }
+    let geom = Geometry::new(
+        domain,
+        prob_lo,
+        prob_hi,
+        [per[0] != 0.0, per[1] != 0.0, per[2] != 0.0],
+        CoordSys::Cartesian,
+    );
+    let ba = BoxArray::from_boxes(boxes);
+    let dm = DistributionMapping::all_local(&ba);
+    let mut state = MultiFab::new(ba, dm, ncomp, ngrow);
+    for i in 0..state.nfabs() {
+        let vb = state.valid_box(i);
+        let mut f = BufReader::new(fs::File::open(path.join(format!("fab_{i:05}.bin")))?);
+        let mut buf = [0u8; 8];
+        for c in 0..ncomp {
+            for iv in vb.iter() {
+                f.read_exact(&mut buf)?;
+                state.fab_mut(i).set(iv, c, Real::from_le_bytes(buf));
+            }
+        }
+    }
+    Ok(Checkpoint {
+        state,
+        geom,
+        time,
+        variables,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::DistStrategy;
+
+    fn tmpdir(name: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!("exastro_io_test_{name}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_preserves_everything() {
+        let geom = Geometry::cube(16, 2.5, true);
+        let ba = BoxArray::decompose(geom.domain(), 8, 4);
+        let dm = DistributionMapping::new(&ba, 3, DistStrategy::Sfc);
+        let mut mf = MultiFab::new(ba, dm, 3, 2);
+        for i in 0..mf.nfabs() {
+            let vb = mf.valid_box(i);
+            for iv in vb.iter() {
+                for c in 0..3 {
+                    let v = (iv.x() * 7 + iv.y() * 13 - iv.z() * 3 + c as i32 * 1000) as Real
+                        * 1.0e-3
+                        + 0.125;
+                    mf.fab_mut(i).set(iv, c, v);
+                }
+            }
+        }
+        let dir = tmpdir("roundtrip");
+        write_checkpoint(&dir, &mf, &geom, 3.75, &["rho", "mx", "eden"]).unwrap();
+        let ck = read_checkpoint(&dir).unwrap();
+        assert_eq!(ck.time, 3.75);
+        assert_eq!(ck.variables, vec!["rho", "mx", "eden"]);
+        assert_eq!(ck.geom.domain(), geom.domain());
+        assert_eq!(ck.geom.prob_hi(), geom.prob_hi());
+        assert_eq!(ck.geom.periodic(), geom.periodic());
+        assert_eq!(ck.state.nfabs(), mf.nfabs());
+        assert_eq!(ck.state.ncomp(), 3);
+        assert_eq!(ck.state.ngrow(), 2);
+        for i in 0..mf.nfabs() {
+            let vb = mf.valid_box(i);
+            assert_eq!(ck.state.valid_box(i), vb);
+            for iv in vb.iter() {
+                for c in 0..3 {
+                    assert_eq!(ck.state.fab(i).get(iv, c), mf.fab(i).get(iv, c));
+                }
+            }
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let dir = tmpdir("badmagic");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("Header"), "not-a-checkpoint\n").unwrap();
+        assert!(matches!(
+            read_checkpoint(&dir),
+            Err(IoError::Format(_))
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_payload_is_an_io_error() {
+        let geom = Geometry::cube(8, 1.0, false);
+        let ba = BoxArray::decompose(geom.domain(), 8, 4);
+        let mf = MultiFab::local(ba, 1, 0);
+        let dir = tmpdir("missing");
+        write_checkpoint(&dir, &mf, &geom, 0.0, &["rho"]).unwrap();
+        fs::remove_file(dir.join("fab_00000.bin")).unwrap();
+        assert!(matches!(read_checkpoint(&dir), Err(IoError::Io(_))));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,177 @@
+//! Property-based tests for the AMR framework: decomposition laws,
+//! ghost-fill correctness against a naive reference, distribution balance,
+//! and inter-level transfer conservation.
+
+use exastro_amr::{
+    average_down, prolong_lin, prolong_pc, BoxArray, DistStrategy, DistributionMapping,
+    Geometry, IndexBox, IntVect, MultiFab,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn decomposition_partitions_any_domain(
+        nx in 8i32..48,
+        ny in 8i32..48,
+        nz in 8i32..48,
+        max_size in 8i32..32,
+    ) {
+        let domain = IndexBox::sized(IntVect::new(nx, ny, nz));
+        let ba = BoxArray::decompose(domain, max_size, 4);
+        prop_assert_eq!(ba.total_zones(), domain.num_zones());
+        prop_assert!(ba.is_disjoint());
+        for b in ba.iter() {
+            prop_assert!(domain.contains_box(b));
+            prop_assert!(b.size().max_component() <= max_size);
+        }
+    }
+
+    #[test]
+    fn distribution_covers_every_box_once(
+        n in 16i32..64,
+        nranks in 1usize..16,
+        strat_idx in 0usize..3,
+    ) {
+        let strat = [DistStrategy::RoundRobin, DistStrategy::Knapsack, DistStrategy::Sfc][strat_idx];
+        let ba = BoxArray::decompose(IndexBox::cube(n), 16, 4);
+        let dm = DistributionMapping::new(&ba, nranks, strat);
+        let total: usize = (0..nranks).map(|r| dm.boxes_on(r).len()).sum();
+        prop_assert_eq!(total, ba.len());
+        for i in 0..ba.len() {
+            prop_assert!(dm.owner(i) < nranks);
+        }
+        // Imbalance is bounded: no rank holds more than all zones.
+        prop_assert!(dm.imbalance(&ba) >= 1.0 - 1e-12);
+        prop_assert!(dm.imbalance(&ba) <= nranks as f64 + 1e-12);
+    }
+
+    #[test]
+    fn fill_boundary_matches_naive_reference(
+        n in prop::sample::select(vec![8i32, 12, 16]),
+        max_grid in prop::sample::select(vec![4i32, 8]),
+        ngrow in 1i32..3,
+        seed in 0u64..1000,
+    ) {
+        let geom = Geometry::cube(n, 1.0, true);
+        let ba = BoxArray::decompose(geom.domain(), max_grid, 4);
+        let mut mf = MultiFab::local(ba, 1, ngrow);
+        // Deterministic pseudo-random valid data, defined globally.
+        let val = |iv: IntVect| -> f64 {
+            let h = (iv.x() as u64)
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add((iv.y() as u64).wrapping_mul(0xC2B2AE3D27D4EB4F))
+                .wrapping_add((iv.z() as u64).wrapping_mul(0x165667B19E3779F9))
+                .wrapping_add(seed);
+            (h >> 16) as f64 / (1u64 << 40) as f64
+        };
+        for i in 0..mf.nfabs() {
+            let vb = mf.valid_box(i);
+            for iv in vb.iter() {
+                mf.fab_mut(i).set(iv, 0, val(iv));
+            }
+        }
+        mf.fill_boundary(&geom);
+        // Naive reference: every ghost zone must hold the periodic image's
+        // global value.
+        let nn = geom.domain().size();
+        for i in 0..mf.nfabs() {
+            let vb = mf.valid_box(i);
+            let gb = mf.grown_box(i);
+            for iv in gb.iter() {
+                if vb.contains(iv) {
+                    continue;
+                }
+                let wrapped = IntVect::new(
+                    iv.x().rem_euclid(nn.x()),
+                    iv.y().rem_euclid(nn.y()),
+                    iv.z().rem_euclid(nn.z()),
+                );
+                prop_assert_eq!(mf.fab(i).get(iv, 0), val(wrapped));
+            }
+        }
+    }
+
+    #[test]
+    fn prolong_restrict_conserves_any_field(
+        seed in 0u64..1000,
+        ratio in prop::sample::select(vec![2i32, 4]),
+    ) {
+        let geom = Geometry::cube(8, 1.0, true);
+        let cba = BoxArray::decompose(geom.domain(), 4, 4);
+        let mut coarse = MultiFab::local(cba.clone(), 1, 1);
+        let mut s = seed;
+        for i in 0..coarse.nfabs() {
+            let vb = coarse.valid_box(i);
+            for iv in vb.iter() {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                coarse.fab_mut(i).set(iv, 0, ((s >> 33) as f64 / 1e9) - 4.0);
+            }
+        }
+        coarse.fill_boundary(&geom);
+        let fba = cba.refine(ratio);
+        for prolong_kind in 0..2 {
+            let mut fine = MultiFab::local(fba.clone(), 1, 0);
+            if prolong_kind == 0 {
+                prolong_pc(&coarse, &mut fine, ratio);
+            } else {
+                prolong_lin(&coarse, &mut fine, ratio);
+            }
+            // Conservation: fine sum = ratio³ × coarse sum.
+            let cs = coarse.sum(0);
+            let fs = fine.sum(0);
+            prop_assert!((fs - (ratio as f64).powi(3) * cs).abs() < 1e-8 * cs.abs().max(1.0));
+            // Restriction inverts prolongation on the coarse data.
+            let mut back = coarse.clone();
+            back.set_val(0, 0.0);
+            average_down(&fine, &mut back, ratio);
+            for i in 0..back.nfabs() {
+                let vb = back.valid_box(i);
+                for iv in vb.iter() {
+                    prop_assert!((back.fab(i).get(iv, 0) - coarse.fab(i).get(iv, 0)).abs() < 1e-11);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn saxpy_linear_combination_laws(a in -3.0f64..3.0, seed in 0u64..100) {
+        let ba = BoxArray::decompose(IndexBox::cube(8), 4, 4);
+        let mut x = MultiFab::local(ba.clone(), 1, 0);
+        let mut y = MultiFab::local(ba, 1, 0);
+        let mut s = seed;
+        for i in 0..x.nfabs() {
+            let vb = x.valid_box(i);
+            for iv in vb.iter() {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                x.fab_mut(i).set(iv, 0, ((s >> 40) as f64) / 1e6);
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                y.fab_mut(i).set(iv, 0, ((s >> 40) as f64) / 1e6 - 8.0);
+            }
+        }
+        let sum_x = x.sum(0);
+        let sum_y = y.sum(0);
+        let mut z = x.clone();
+        z.saxpy(a, &y);
+        prop_assert!((z.sum(0) - (sum_x + a * sum_y)).abs() < 1e-7 * (sum_x.abs() + sum_y.abs() + 1.0));
+        // Norm positivity and scaling sanity.
+        prop_assert!(z.norm_l2(0) >= 0.0);
+        prop_assert!(z.norm_inf(0) <= z.norm_l1(0) + 1e-12);
+    }
+
+    #[test]
+    fn sfc_balance_is_tight_for_uniform_boxes(
+        pow in 1u32..3,
+        nranks in 1usize..9,
+    ) {
+        // 8^pow uniform boxes: SFC splits contiguous equal-weight chunks,
+        // so the imbalance is bounded by ceil/floor of boxes-per-rank.
+        let side = 16 * (1 << pow) as i32 / 2;
+        let ba = BoxArray::decompose(IndexBox::cube(side), 8, 8);
+        let dm = DistributionMapping::new(&ba, nranks, DistStrategy::Sfc);
+        let per = ba.len() as f64 / nranks as f64;
+        let max_boxes = (0..nranks).map(|r| dm.boxes_on(r).len()).max().unwrap();
+        prop_assert!(max_boxes as f64 <= per.ceil() + 1e-12);
+    }
+}

@@ -1,0 +1,101 @@
+//! **§IV in-text throughput numbers**: the zones/µs table.
+//!
+//! The paper reports: Castro ≈ 25 zones/µs per V100 under optimal
+//! conditions; 130 zones/µs per Summit node on the canonical Sedov; the
+//! MAESTROeX bubble at 11 zones/µs per node, ~20× a CPU node. This bench
+//! prints the simulated-device equivalents plus the *real* wall-clock
+//! throughput of the Rust kernels on the host CPU for scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use exastro_bench::{bench_castro, measure_throughput, sedov_fixture};
+use exastro_castro::KernelStructure;
+use exastro_machine::{bubble_point, sedov_workload, CpuNodeReference, Machine};
+use exastro_parallel::{DeviceConfig, KernelProfile, SimDevice};
+
+fn print_table() {
+    println!("\n=== §IV throughput table (zones/µs) ===");
+    let m = Machine::summit();
+
+    // Single V100, optimally fed (one big box, pure hydro).
+    let dev = SimDevice::new(DeviceConfig::v100());
+    let zones = 128i64.pow(3);
+    let prof = KernelProfile::new(1.2, 160); // full hydro update cost
+    let t = dev.kernel_time_us(zones, &prof) + 12.0 * dev.config().launch_overhead_us;
+    println!("sim V100, optimal hydro      : {:>8.1}   (paper: ~25)", zones as f64 / t);
+
+    // A Titan-era K20X for context: Cholla reported 7 zones/µs on Titan's
+    // K20X GPUs for a similar hydro algorithm (§IV).
+    let k20 = SimDevice::new(DeviceConfig::k20x());
+    let tk = k20.kernel_time_us(zones, &prof) + 12.0 * k20.config().launch_overhead_us;
+    println!(
+        "sim K20X, optimal hydro      : {:>8.1}   (Cholla on Titan: ~7)",
+        zones as f64 / tk
+    );
+
+    // One Summit node, canonical Sedov.
+    let w = sedov_workload(&m, 1, 256, 64, 32);
+    println!(
+        "sim node, canonical Sedov    : {:>8.1}   (paper: 130)",
+        m.simulate_step(&w).throughput
+    );
+
+    // 512 nodes.
+    let w512 = sedov_workload(&m, 512, 2048, 64, 32);
+    println!(
+        "sim 512 nodes, Sedov         : {:>8.1}   (paper: ~42000)",
+        m.simulate_step(&w512).throughput
+    );
+
+    // Bubble.
+    let p = bubble_point(&m, 1, None);
+    println!(
+        "sim node, reacting bubble    : {:>8.2}   (paper: 11)",
+        p.throughput
+    );
+
+    // GPU-node vs CPU-node ratios (paper: ~20× for the bubble; hydro
+    // zones/µs is "O(1)" on a CPU node).
+    let cpu = CpuNodeReference::default();
+    let w1 = sedov_workload(&m, 1, 256, 64, 32);
+    let sedov_gpu = m.simulate_step(&w1).throughput;
+    println!(
+        "GPU/CPU node ratio, Sedov    : {:>8.1}   (CPU ref {:.1} zones/µs)",
+        sedov_gpu / cpu.sedov_zones_per_us,
+        cpu.sedov_zones_per_us
+    );
+    println!(
+        "GPU/CPU node ratio, bubble   : {:>8.1}   (paper: ~20; CPU ref {:.2} zones/µs)",
+        p.throughput / cpu.bubble_zones_per_us,
+        cpu.bubble_zones_per_us
+    );
+
+    // Real Rust kernel on this host (single core) for reference.
+    let (geom, state, _layout, eos, net) = sedov_fixture(32, 32);
+    let castro = bench_castro(&eos, &net, KernelStructure::Flat);
+    let dt = castro.estimate_dt(&state, &geom);
+    let mut s = state.clone();
+    let tput = measure_throughput(geom.domain().num_zones(), || {
+        castro.advance_level(&mut s, &geom, dt);
+    });
+    println!("host CPU core, real hydro    : {tput:>8.3}   (one core of this machine)\n");
+}
+
+fn bench(c: &mut Criterion) {
+    print_table();
+    let (geom, state, layout, eos, net) = sedov_fixture(32, 32);
+    let _ = layout;
+    let castro = bench_castro(&eos, &net, KernelStructure::Flat);
+    let dt = castro.estimate_dt(&state, &geom);
+    let mut g = c.benchmark_group("throughput");
+    g.sample_size(10);
+    g.bench_function("hydro_step_32cubed", |b| {
+        b.iter(|| {
+            let mut s = state.clone();
+            std::hint::black_box(castro.advance_level(&mut s, &geom, dt))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

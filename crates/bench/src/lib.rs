@@ -1,0 +1,60 @@
+//! # exastro-bench
+//!
+//! Benchmark and figure-regeneration harnesses. Each Criterion bench under
+//! `benches/` regenerates one table or figure from *Preparing Nuclear
+//! Astrophysics for Exascale* (printing the series the paper plots) and
+//! then times a representative kernel. See DESIGN.md for the experiment
+//! index and EXPERIMENTS.md for paper-vs-measured comparisons.
+
+#![forbid(unsafe_code)]
+
+use exastro_amr::{BcSpec, BoxArray, DistributionMapping, Geometry, MultiFab};
+use exastro_castro::{Castro, Floors, Hydro, KernelStructure, StateLayout};
+use exastro_microphysics::{CBurn2, GammaLaw, Network};
+use exastro_parallel::Real;
+
+/// Build a ready-to-run Sedov state for kernel benchmarking.
+pub fn sedov_fixture(
+    n: i32,
+    max_grid: i32,
+) -> (Geometry, MultiFab, StateLayout, GammaLaw, CBurn2) {
+    let geom = Geometry::cube(n, 1.0, false);
+    let ba = BoxArray::decompose(geom.domain(), max_grid, 8);
+    let dm = DistributionMapping::all_local(&ba);
+    let eos = GammaLaw::monatomic();
+    let net = CBurn2::new();
+    let layout = StateLayout::new(net.nspec());
+    let mut state = MultiFab::new(ba, dm, layout.ncomp(), 2);
+    exastro_castro::init_sedov(
+        &mut state,
+        &geom,
+        &layout,
+        &eos,
+        &exastro_castro::SedovParams::default(),
+    );
+    (geom, state, layout, eos, net)
+}
+
+/// A Castro driver configured for dimensionless benchmark problems.
+pub fn bench_castro<'a>(
+    eos: &'a GammaLaw,
+    net: &'a CBurn2,
+    structure: KernelStructure,
+) -> Castro<'a> {
+    let mut c = Castro::new(eos, net);
+    c.hydro = Hydro {
+        cfl: 0.4,
+        structure,
+        floors: Floors::dimensionless(),
+    };
+    c.bc = BcSpec::outflow();
+    c
+}
+
+/// Wall-clock zones/µs of `f` advancing `zones` zones.
+pub fn measure_throughput<F: FnMut()>(zones: i64, mut f: F) -> Real {
+    let start = std::time::Instant::now();
+    f();
+    let us = start.elapsed().as_secs_f64() * 1e6;
+    zones as Real / us
+}

@@ -1,0 +1,328 @@
+//! Strang-split nuclear burning of the hydro state.
+//!
+//! Each zone's (ρ, T, X) is handed to the microphysics burner for `dt/2`
+//! before and after the hydrodynamics (Strang splitting). The burn is the
+//! most register-hungry kernel on the device (§IV-B: "with N ~ 10 isotopes
+//! the Jacobian of the system alone is enough to fill up these registers"),
+//! and the most *nonuniform*: an igniting zone can cost orders of magnitude
+//! more than a quiescent one (§VI) — the burn returns per-zone cost
+//! statistics so the hybrid CPU/GPU ablation can exploit exactly that.
+
+use crate::state::StateLayout;
+use exastro_amr::{Geometry, MultiFab, Real};
+use exastro_microphysics::{BdfError, Burner, Eos, Network};
+use exastro_parallel::{ExecSpace, KernelProfile, SimDevice};
+
+/// Burn statistics for one multifab sweep.
+#[derive(Clone, Debug, Default)]
+pub struct BurnStats {
+    /// Zones burned.
+    pub zones: u64,
+    /// Zones skipped by the temperature/density cutoffs.
+    pub skipped: u64,
+    /// Total integrator steps over all zones (the cost proxy).
+    pub total_steps: u64,
+    /// The largest single-zone step count (the "outlier" of §VI).
+    pub max_steps: u64,
+    /// Total nuclear energy released, erg.
+    pub energy_released: Real,
+    /// Zones whose integration failed and were retried with looser
+    /// tolerance / left unburned.
+    pub failures: u64,
+}
+
+/// Burning options.
+#[derive(Clone, Debug)]
+pub struct BurnOptions {
+    /// Skip zones cooler than this (burning is negligible).
+    pub min_temp: Real,
+    /// Skip zones less dense than this.
+    pub min_dens: Real,
+    /// Device register demand per burn thread; ~N² Jacobian entries for an
+    /// N-species network easily exceeds the 255-register file (§IV-B).
+    pub registers_per_thread: u32,
+}
+
+impl Default for BurnOptions {
+    fn default() -> Self {
+        BurnOptions {
+            min_temp: 5e7,
+            min_dens: 1e3,
+            registers_per_thread: 320,
+        }
+    }
+}
+
+/// Burn every zone of `state` for `dt` with the given network.
+///
+/// Serial over zones (each zone is an independent stiff integration; the
+/// device cost model charges the launch with a per-zone cost derived from
+/// the actual integrator work, capturing the latency-hiding problem of
+/// nonuniform burns).
+#[allow(clippy::too_many_arguments)]
+pub fn burn_state(
+    state: &mut MultiFab,
+    dt: Real,
+    net: &dyn Network,
+    eos: &dyn Eos,
+    layout: &StateLayout,
+    opts: &BurnOptions,
+    ex: &ExecSpace,
+    geom: &Geometry,
+) -> Result<BurnStats, BdfError> {
+    let burner = Burner::new(net, eos, Burner::default_options());
+    let mut stats = BurnStats::default();
+    let nspec = layout.nspec;
+    assert_eq!(nspec, net.nspec());
+    let vol = geom.cell_volume();
+    for fi in 0..state.nfabs() {
+        let vb = state.valid_box(fi);
+        let fab = state.fab_mut(fi);
+        for iv in vb.iter() {
+            let rho = fab.get(iv, StateLayout::RHO);
+            let t = fab.get(iv, StateLayout::TEMP);
+            if t < opts.min_temp || rho < opts.min_dens {
+                stats.skipped += 1;
+                continue;
+            }
+            let mut x = vec![0.0; nspec];
+            for s in 0..nspec {
+                x[s] = (fab.get(iv, layout.spec(s)) / rho).clamp(0.0, 1.0);
+            }
+            let out = match burner.burn(rho, t, &x, dt) {
+                Ok(o) => o,
+                Err(_) => {
+                    stats.failures += 1;
+                    continue;
+                }
+            };
+            stats.zones += 1;
+            stats.total_steps += out.stats.steps;
+            stats.max_steps = stats.max_steps.max(out.stats.steps);
+            stats.energy_released += out.enuc * rho * vol;
+            for s in 0..nspec {
+                fab.set(iv, layout.spec(s), rho * out.x[s]);
+            }
+            fab.set(iv, StateLayout::TEMP, out.t);
+            // Deposit the released specific energy.
+            fab.set(
+                iv,
+                StateLayout::EINT,
+                fab.get(iv, StateLayout::EINT) + rho * out.enuc,
+            );
+            fab.set(
+                iv,
+                StateLayout::EDEN,
+                fab.get(iv, StateLayout::EDEN) + rho * out.enuc,
+            );
+        }
+    }
+    // Charge the device once per fab-sized launch with a cost reflecting
+    // the mean per-zone work; the max/mean ratio is what breaks latency
+    // hiding (§VI), so the profile cost scales with the *maximum*.
+    if let Some(dev) = ex.device() {
+        let zones: i64 = (0..state.nfabs()).map(|i| state.valid_box(i).num_zones()).sum();
+        let mean = stats.total_steps.max(1) as f64 / stats.zones.max(1) as f64;
+        let imbalance = stats.max_steps.max(1) as f64 / mean;
+        // Warp-level serialization: effective cost per zone grows with the
+        // outlier ratio (bounded).
+        let cost = 5.0 * mean.max(1.0).log2().max(1.0) * imbalance.sqrt().min(32.0);
+        dev.launch(
+            zones,
+            &KernelProfile::new(cost, opts.registers_per_thread),
+        );
+    }
+    Ok(stats)
+}
+
+/// Estimate the device time (µs) a burn launch would take if outlier zones
+/// above `cutoff × mean cost` were instead done on the host CPU — the §VI
+/// hybrid strategy. Returns `(gpu_only_us, hybrid_us)` for comparison.
+pub fn hybrid_offload_estimate(
+    dev: &SimDevice,
+    zone_costs: &[f64],
+    cutoff: f64,
+    cpu_zone_rate_per_us: f64,
+    registers: u32,
+) -> (f64, f64) {
+    let n = zone_costs.len() as f64;
+    if zone_costs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = zone_costs.iter().sum::<f64>() / n;
+    let max = zone_costs.iter().cloned().fold(0.0, f64::max);
+    // GPU-only: the whole launch is gated by the slowest warp → effective
+    // per-zone cost approaches the max for strong outliers.
+    let gpu_cost = mean + (max - mean) * 0.5; // partial latency hiding
+    let gpu_only =
+        dev.kernel_time_us(zone_costs.len() as i64, &KernelProfile::new(gpu_cost, registers))
+            + dev.config().launch_overhead_us;
+    // Hybrid: outliers to the CPU, the rest keeps a uniform cost profile.
+    let threshold = cutoff * mean;
+    let outliers: Vec<f64> = zone_costs.iter().cloned().filter(|&c| c > threshold).collect();
+    let bulk: Vec<f64> = zone_costs.iter().cloned().filter(|&c| c <= threshold).collect();
+    let bulk_mean = if bulk.is_empty() {
+        0.0
+    } else {
+        bulk.iter().sum::<f64>() / bulk.len() as f64
+    };
+    let bulk_max = bulk.iter().cloned().fold(0.0, f64::max);
+    let gpu_part = dev.kernel_time_us(
+        bulk.len() as i64,
+        &KernelProfile::new(bulk_mean + (bulk_max - bulk_mean) * 0.5, registers),
+    ) + dev.config().launch_overhead_us;
+    // CPU does the outliers concurrently with the GPU bulk.
+    let cpu_part = outliers.iter().sum::<f64>() / cpu_zone_rate_per_us;
+    let hybrid = gpu_part.max(cpu_part);
+    (gpu_only, hybrid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exastro_amr::{BoxArray, DistributionMapping, IntVect};
+    use exastro_microphysics::{CBurn2, StellarEos};
+    use exastro_parallel::DeviceConfig;
+
+    fn carbon_state(n: i32, hot_center: bool) -> (Geometry, MultiFab, StateLayout) {
+        let geom = Geometry::cube(n, 1e8, false);
+        let ba = BoxArray::decompose(geom.domain(), 8, 4);
+        let dm = DistributionMapping::all_local(&ba);
+        let layout = StateLayout::new(2);
+        let mut state = MultiFab::new(ba, dm, layout.ncomp(), 2);
+        for i in 0..state.nfabs() {
+            let vb = state.valid_box(i);
+            for iv in vb.iter() {
+                let center = IntVect::splat(n / 2);
+                let d = iv - center;
+                let hot = hot_center && d.product().abs() < 2 && d.sum().abs() < 3;
+                let rho = 5e7;
+                let t = if hot { 3.0e9 } else { 1e7 };
+                state.fab_mut(i).set(iv, StateLayout::RHO, rho);
+                state.fab_mut(i).set(iv, StateLayout::TEMP, t);
+                state.fab_mut(i).set(iv, layout.spec(0), rho); // pure C12
+                state.fab_mut(i).set(iv, StateLayout::EINT, rho * 1e17);
+                state.fab_mut(i).set(iv, StateLayout::EDEN, rho * 1e17);
+            }
+        }
+        (geom, state, layout)
+    }
+
+    #[test]
+    fn cold_state_is_all_skipped() {
+        let (geom, mut state, layout) = carbon_state(8, false);
+        let net = CBurn2::new();
+        let eos = StellarEos;
+        let ex = ExecSpace::Serial;
+        let stats = burn_state(
+            &mut state,
+            1e-6,
+            &net,
+            &eos,
+            &layout,
+            &BurnOptions::default(),
+            &ex,
+            &geom,
+        )
+        .unwrap();
+        assert_eq!(stats.zones, 0);
+        assert_eq!(stats.skipped, 512);
+        assert_eq!(stats.energy_released, 0.0);
+    }
+
+    #[test]
+    fn hot_zones_burn_and_release_energy() {
+        let (geom, mut state, layout) = carbon_state(8, true);
+        let net = CBurn2::new();
+        let eos = StellarEos;
+        let ex = ExecSpace::Serial;
+        let e_before = state.sum(StateLayout::EDEN);
+        let stats = burn_state(
+            &mut state,
+            1e-8,
+            &net,
+            &eos,
+            &layout,
+            &BurnOptions::default(),
+            &ex,
+            &geom,
+        )
+        .unwrap();
+        assert!(stats.zones > 0);
+        assert!(stats.energy_released > 0.0);
+        assert!(state.sum(StateLayout::EDEN) > e_before);
+        // Mass is conserved (species converted, not destroyed).
+        for iv in geom.domain().iter() {
+            let rho = state.value_at(iv, StateLayout::RHO);
+            let sum_x: Real = (0..2).map(|s| state.value_at(iv, layout.spec(s))).sum();
+            assert!((sum_x / rho - 1.0).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn burn_cost_is_nonuniform_with_hot_outliers() {
+        let (geom, mut state, layout) = carbon_state(8, true);
+        let net = CBurn2::new();
+        let eos = StellarEos;
+        let ex = ExecSpace::Serial;
+        let stats = burn_state(
+            &mut state,
+            1e-8,
+            &net,
+            &eos,
+            &layout,
+            &BurnOptions {
+                min_temp: 1e6, // burn everything, even quiescent zones
+                ..Default::default()
+            },
+            &ex,
+            &geom,
+        )
+        .unwrap();
+        let mean = stats.total_steps as f64 / stats.zones as f64;
+        assert!(
+            stats.max_steps as f64 > 3.0 * mean,
+            "outlier max {} vs mean {mean}",
+            stats.max_steps
+        );
+    }
+
+    #[test]
+    fn device_launch_is_charged() {
+        let (geom, mut state, layout) = carbon_state(8, true);
+        let net = CBurn2::new();
+        let eos = StellarEos;
+        let dev = SimDevice::new(DeviceConfig::v100());
+        let ex = ExecSpace::Device(dev.clone());
+        burn_state(
+            &mut state,
+            1e-8,
+            &net,
+            &eos,
+            &layout,
+            &BurnOptions::default(),
+            &ex,
+            &geom,
+        )
+        .unwrap();
+        assert!(dev.stats().kernels >= 1);
+        assert!(dev.elapsed_us() > 0.0);
+    }
+
+    #[test]
+    fn hybrid_offload_wins_with_strong_outliers() {
+        let dev = SimDevice::new(DeviceConfig::v100());
+        // 100k quiescent zones at cost 1, 100 igniting zones at cost 1000.
+        let mut costs = vec![1.0; 100_000];
+        costs.extend(vec![1000.0; 100]);
+        let (gpu, hybrid) = hybrid_offload_estimate(&dev, &costs, 10.0, 0.05, 320);
+        assert!(
+            hybrid < gpu,
+            "hybrid {hybrid} µs should beat GPU-only {gpu} µs"
+        );
+        // Uniform work: offloading should NOT help.
+        let uniform = vec![1.0; 100_000];
+        let (gpu_u, hybrid_u) = hybrid_offload_estimate(&dev, &uniform, 10.0, 0.05, 320);
+        assert!((hybrid_u / gpu_u - 1.0).abs() < 0.05);
+    }
+}

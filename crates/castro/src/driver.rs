@@ -1,0 +1,341 @@
+//! The Castro time-advance driver: Strang-split burning, hydrodynamics,
+//! gravity sources, and the non-subcycled AMR advance with refluxing.
+
+use crate::burn::{burn_state, BurnOptions, BurnStats};
+use crate::gravity::{Gravity, GravityField, GravityMode};
+use crate::hydro::{Hydro, SweepFluxes};
+use crate::state::{cons_to_prim, StateLayout};
+use exastro_amr::{
+    average_down, fill_patch_two_levels, BcSpec, FluxRegister, Geometry, Hierarchy, IntVect,
+    MultiFab, Real,
+};
+use exastro_microphysics::{Composition, Eos, Network};
+use exastro_parallel::{Arena, ExecSpace, PoolArena};
+use std::sync::Arc;
+
+/// Per-step statistics.
+#[derive(Clone, Debug, Default)]
+pub struct StepStats {
+    /// Burning statistics (both Strang halves combined).
+    pub burn: BurnStats,
+    /// Whether the gravity multigrid ran and converged.
+    pub gravity_converged: Option<bool>,
+    /// Maximum temperature after the step.
+    pub max_temp: Real,
+    /// Maximum density after the step.
+    pub max_dens: Real,
+}
+
+/// The Castro simulation object for one problem.
+pub struct Castro<'a> {
+    /// State layout (defines nspec).
+    pub layout: StateLayout,
+    /// Equation of state.
+    pub eos: &'a dyn Eos,
+    /// Reaction network (used when `burn` is set).
+    pub net: &'a dyn Network,
+    /// Hydro solver options.
+    pub hydro: Hydro,
+    /// Gravity solver.
+    pub gravity: Gravity,
+    /// Burning options; `None` disables reactions.
+    pub burn: Option<BurnOptions>,
+    /// Physical boundary conditions.
+    pub bc: BcSpec,
+    /// Execution space for kernels.
+    pub ex: ExecSpace,
+    /// Scratch arena.
+    pub arena: Arc<dyn Arena>,
+}
+
+impl<'a> Castro<'a> {
+    /// A driver with sensible defaults: flat kernels, pool arena, serial
+    /// execution, no gravity, no burning, outflow boundaries.
+    pub fn new(eos: &'a dyn Eos, net: &'a dyn Network) -> Self {
+        Castro {
+            layout: StateLayout::new(net.nspec()),
+            eos,
+            net,
+            hydro: Hydro::default(),
+            gravity: Gravity {
+                mode: GravityMode::Off,
+                ..Default::default()
+            },
+            burn: None,
+            bc: BcSpec::outflow(),
+            ex: ExecSpace::Serial,
+            arena: Arc::new(PoolArena::new(None)),
+        }
+    }
+
+    /// CFL timestep for a level.
+    pub fn estimate_dt(&self, state: &MultiFab, geom: &Geometry) -> Real {
+        self.hydro.estimate_dt(
+            state,
+            &self.layout,
+            self.eos,
+            self.net.species(),
+            geom,
+            &self.ex,
+        )
+    }
+
+    /// Recompute temperature and re-sync the advected internal energy from
+    /// the conservative total energy (post-hydro EOS sync).
+    pub fn sync_temperature(&self, state: &mut MultiFab) {
+        let layout = self.layout;
+        let floors = self.hydro.floors;
+        let species = self.net.species();
+        for i in 0..state.nfabs() {
+            let vb = state.valid_box(i);
+            let fab = state.fab_mut(i);
+            for iv in vb.iter() {
+                let mut u = vec![0.0; layout.ncomp()];
+                for c in 0..layout.ncomp() {
+                    u[c] = fab.get(iv, c);
+                }
+                let q = cons_to_prim(&u, &layout, self.eos, species, &floors);
+                // Renormalize species against advection drift.
+                let rho = q.rho;
+                let mut xsum = 0.0;
+                for s in 0..layout.nspec {
+                    xsum += (fab.get(iv, layout.spec(s)) / rho).max(0.0);
+                }
+                if xsum > 0.0 {
+                    for s in 0..layout.nspec {
+                        let x = (fab.get(iv, layout.spec(s)) / rho).max(0.0) / xsum;
+                        fab.set(iv, layout.spec(s), rho * x);
+                    }
+                }
+                let mut x = vec![0.0; layout.nspec];
+                for s in 0..layout.nspec {
+                    x[s] = fab.get(iv, layout.spec(s)) / rho;
+                }
+                let comp = Composition::from_mass_fractions(species, &x);
+                let t = self
+                    .eos
+                    .t_from_e(rho, q.e, &comp, fab.get(iv, StateLayout::TEMP).max(1e3));
+                fab.set(iv, StateLayout::TEMP, t.max(floors.small_temp));
+                fab.set(iv, StateLayout::EINT, rho * q.e);
+            }
+        }
+    }
+
+    /// Advance one level by `dt`: Strang burn half, hydro sweeps, gravity
+    /// source, EOS sync, Strang burn half. Returns step statistics and the
+    /// hydro fluxes (for refluxing).
+    pub fn advance_level(
+        &self,
+        state: &mut MultiFab,
+        geom: &Geometry,
+        dt: Real,
+    ) -> (StepStats, Vec<SweepFluxes>) {
+        let mut stats = StepStats::default();
+        if let Some(burn_opts) = &self.burn {
+            let b = burn_state(
+                state,
+                0.5 * dt,
+                self.net,
+                self.eos,
+                &self.layout,
+                burn_opts,
+                &self.ex,
+                geom,
+            )
+            .expect("first-half burn failed");
+            stats.burn = b;
+        }
+        let fluxes = self.hydro.advance(
+            state,
+            dt,
+            geom,
+            &self.layout,
+            self.eos,
+            self.net.species(),
+            &self.bc,
+            &self.ex,
+            self.arena.as_ref(),
+        );
+        if self.gravity.mode != GravityMode::Off {
+            let field: GravityField = self.gravity.solve(state, geom);
+            stats.gravity_converged = field.mg.as_ref().map(|m| m.converged);
+            Gravity::apply_source(state, &field, dt, &self.ex);
+        }
+        self.sync_temperature(state);
+        if let Some(burn_opts) = &self.burn {
+            let b = burn_state(
+                state,
+                0.5 * dt,
+                self.net,
+                self.eos,
+                &self.layout,
+                burn_opts,
+                &self.ex,
+                geom,
+            )
+            .expect("second-half burn failed");
+            stats.burn.zones += b.zones;
+            stats.burn.total_steps += b.total_steps;
+            stats.burn.max_steps = stats.burn.max_steps.max(b.max_steps);
+            stats.burn.energy_released += b.energy_released;
+            stats.burn.failures += b.failures;
+        }
+        stats.max_temp = state.max(StateLayout::TEMP);
+        stats.max_dens = state.max(StateLayout::RHO);
+        (stats, fluxes)
+    }
+
+    /// Advance one level with blow-up protection: if the updated state
+    /// contains non-finite values (a mid-step CFL violation through a
+    /// strengthening shock — the collision problem does this at contact),
+    /// the state is restored and the step retried with `dt/4`, up to four
+    /// times. Returns the stats and the `dt` actually taken.
+    pub fn advance_level_safe(
+        &self,
+        state: &mut MultiFab,
+        geom: &Geometry,
+        dt: Real,
+    ) -> (StepStats, Real) {
+        let mut try_dt = dt;
+        for _attempt in 0..4 {
+            let snapshot = state.clone();
+            let (stats, _) = self.advance_level(state, geom, try_dt);
+            let healthy = stats.max_dens.is_finite()
+                && stats.max_temp.is_finite()
+                && state.min(StateLayout::RHO).is_finite()
+                && state.min(StateLayout::RHO) > 0.0
+                && state.max(StateLayout::EDEN).is_finite();
+            if healthy {
+                return (stats, try_dt);
+            }
+            *state = snapshot;
+            try_dt *= 0.25;
+        }
+        // Final attempt at the smallest dt, accepted as-is.
+        let (stats, _) = self.advance_level(state, geom, try_dt);
+        (stats, try_dt)
+    }
+
+    /// Advance a two-level (or more) hierarchy without subcycling: all
+    /// levels take the same `dt`; conservation across coarse–fine
+    /// boundaries is repaired by refluxing and the coarse data under fine
+    /// grids is replaced by the averaged-down fine solution.
+    pub fn advance_hierarchy(
+        &self,
+        hier: &Hierarchy,
+        states: &mut [MultiFab],
+        dt: Real,
+    ) -> Vec<StepStats> {
+        assert_eq!(states.len(), hier.nlevels());
+        let mut all_stats = Vec::new();
+        // Fill fine-level ghosts from coarse data before anything moves.
+        for l in 1..hier.nlevels() {
+            let (coarse, fine) = states.split_at_mut(l);
+            let cg = hier.level(l - 1).geom.clone();
+            let fg = hier.level(l).geom.clone();
+            fill_patch_two_levels(
+                &mut fine[0],
+                &fg,
+                &mut coarse[l - 1],
+                &cg,
+                hier.level(l).ratio_to_coarser,
+                &self.bc,
+            );
+        }
+        // Advance each level, collecting fluxes.
+        let mut fluxes_per_level = Vec::new();
+        for l in 0..hier.nlevels() {
+            let geom = hier.level(l).geom.clone();
+            let (stats, fluxes) = self.advance_level(&mut states[l], &geom, dt);
+            all_stats.push(stats);
+            fluxes_per_level.push(fluxes);
+        }
+        // Reflux coarse levels against their fine level.
+        for l in (1..hier.nlevels()).rev() {
+            let ratio = hier.level(l).ratio_to_coarser;
+            let fine_ba = hier.level(l).ba.clone();
+            let mut fr = FluxRegister::new(&fine_ba, ratio, self.layout.ncomp());
+            let cgeom = &hier.level(l - 1).geom;
+            let fgeom = &hier.level(l).geom;
+            let cdx = cgeom.dx();
+            let fdx = fgeom.dx();
+            // Coarse fluxes on interface faces.
+            for sweep in &fluxes_per_level[l - 1] {
+                let d = sweep.dim;
+                for fab in &sweep.fabs {
+                    let fb = fab.index_box();
+                    for iv in fb.iter() {
+                        if fr.is_interface(d, iv) {
+                            let mut f = vec![0.0; self.layout.ncomp()];
+                            for (c, fc) in f.iter_mut().enumerate() {
+                                *fc = fab.get(iv, c);
+                            }
+                            fr.crse_add(d, iv, &f, 1.0);
+                        }
+                    }
+                }
+            }
+            // Fine fluxes, averaged onto coarse faces. Scale: the reflux
+            // formula uses dt/dx_coarse; fine flux contributions represent
+            // the same dt, so the area average (handled inside fine_add)
+            // with unit scale is correct for a non-subcycled advance.
+            for sweep in &fluxes_per_level[l] {
+                let d = sweep.dim;
+                for fab in &sweep.fabs {
+                    let fb = fab.index_box();
+                    for iv in fb.iter() {
+                        // Only faces on the coarse-fine interface matter;
+                        // fine_add maps to the parent coarse face and
+                        // ignores non-interface faces.
+                        let mut f = vec![0.0; self.layout.ncomp()];
+                        for (c, fc) in f.iter_mut().enumerate() {
+                            *fc = fab.get(iv, c);
+                        }
+                        fr.fine_add(d, iv, &f, 1.0);
+                    }
+                }
+            }
+            let _ = fdx;
+            fr.reflux(
+                &mut states[l - 1],
+                &fine_ba,
+                [dt / cdx[0], dt / cdx[1], dt / cdx[2]],
+            );
+            // Average the fine solution down over the covered coarse zones.
+            let (coarse, fine) = states.split_at_mut(l);
+            average_down(&fine[0], &mut coarse[l - 1], ratio);
+        }
+        all_stats
+    }
+
+    /// Tag zones for refinement: temperature above `t_thresh` or density
+    /// above `rho_thresh`, evaluated on `state`'s level.
+    pub fn tag_zones(
+        &self,
+        state: &MultiFab,
+        t_thresh: Real,
+        rho_thresh: Real,
+    ) -> Vec<IntVect> {
+        let mut tags = Vec::new();
+        for (i, vb) in state.iter_boxes() {
+            for iv in vb.iter() {
+                if state.fab(i).get(iv, StateLayout::TEMP) > t_thresh
+                    || state.fab(i).get(iv, StateLayout::RHO) > rho_thresh
+                {
+                    tags.push(iv);
+                }
+            }
+        }
+        tags
+    }
+
+    /// Total mass over the valid region.
+    pub fn total_mass(&self, state: &MultiFab, geom: &Geometry) -> Real {
+        state.sum(StateLayout::RHO) * geom.cell_volume()
+    }
+
+    /// Total energy (ρE integrated).
+    pub fn total_energy(&self, state: &MultiFab, geom: &Geometry) -> Real {
+        state.sum(StateLayout::EDEN) * geom.cell_volume()
+    }
+}

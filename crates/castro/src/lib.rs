@@ -1,0 +1,47 @@
+//! # exastro-castro
+//!
+//! A reproduction of **Castro** (Almgren et al. 2010): compressible,
+//! reactive astrophysical hydrodynamics with self-gravity on block-
+//! structured AMR, restructured for massively parallel per-zone execution
+//! as described in *Preparing Nuclear Astrophysics for Exascale* (§III).
+//!
+//! * [`state`] — conserved-state layout, primitives, EOS coupling;
+//! * [`riemann`] — the HLLC approximate Riemann solver;
+//! * [`hydro`] — MUSCL/PLM Godunov sweeps in both the legacy (staged
+//!   slopes) and flat (fused per-zone) kernel structures;
+//! * [`gravity`] — monopole and Poisson-multigrid self-gravity;
+//! * [`burn`] — Strang-split nuclear burning with outlier statistics;
+//! * [`driver`] — the time-advance orchestration, AMR advance, refluxing;
+//! * [`sedov`] — the §IV-A blast-wave benchmark and its analytic solution;
+//! * [`wd_collision`] — the §V white-dwarf collision science problem;
+//! * [`diagnostics`] — detonation-stability (burning vs heat-transfer
+//!   timescale) diagnostics.
+
+#![warn(missing_docs)]
+
+pub mod burn;
+pub mod diagnostics;
+pub mod diffusion;
+pub mod driver;
+pub mod gravity;
+pub mod hydro;
+pub mod riemann;
+pub mod sedov;
+pub mod sponge;
+pub mod state;
+pub mod wd_collision;
+
+pub use burn::{burn_state, hybrid_offload_estimate, BurnOptions, BurnStats};
+pub use diagnostics::{critical_zone_width, detonation_stability, StabilityReport};
+pub use diffusion::{diffuse, diffusion_dt, Conductivity};
+pub use driver::{Castro, StepStats};
+pub use gravity::{Gravity, GravityField, GravityMode};
+pub use hydro::{Hydro, KernelStructure, SweepFluxes};
+pub use riemann::{hllc, FaceFlux};
+pub use sedov::{init_sedov, measure_shock_radius, sedov_shock_radius, sedov_xi0, SedovParams};
+pub use sponge::Sponge;
+pub use state::{cons_to_prim, Floors, Primitive, StateLayout};
+pub use wd_collision::{
+    contact_diagnostics, contact_time_estimate, init_collision, CollisionParams,
+    ContactDiagnostics, T_IGNITION,
+};

@@ -1,0 +1,221 @@
+//! The HLLC approximate Riemann solver.
+//!
+//! Castro's hydrodynamics computes a Godunov flux at every zone face from
+//! left/right reconstructed states. HLLC (Harten–Lax–van Leer–Contact)
+//! restores the contact wave that plain HLL smears, which matters for the
+//! species and temperature fields the burning depends on. Only the sound
+//! speeds enter from the EOS, so the solver works for the stellar EOS as
+//! well as the gamma law.
+
+use crate::state::Primitive;
+use exastro_parallel::Real;
+
+/// Godunov flux of the conserved variables through one face, plus the
+/// upwind data needed to advect species.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FaceFlux {
+    /// Mass flux ρu_n.
+    pub mass: Real,
+    /// Momentum flux in the face-normal and two transverse directions
+    /// (normal first; caller rotates back).
+    pub mom: [Real; 3],
+    /// Total-energy flux.
+    pub energy: Real,
+    /// Internal-energy advective flux (for the auxiliary ρe equation).
+    pub eint: Real,
+    /// True if the upwind side for passively advected scalars is the left.
+    pub upwind_left: bool,
+}
+
+/// Conserved state in face-normal coordinates.
+#[derive(Clone, Copy)]
+struct UCons {
+    rho: Real,
+    mu: Real,
+    mv: Real,
+    mw: Real,
+    e: Real, // ρE
+    ei: Real, // ρe (advected)
+}
+
+fn to_cons(q: &Primitive) -> UCons {
+    UCons {
+        rho: q.rho,
+        mu: q.rho * q.vel[0],
+        mv: q.rho * q.vel[1],
+        mw: q.rho * q.vel[2],
+        e: q.rho * q.etot(),
+        ei: q.rho * q.e,
+    }
+}
+
+fn phys_flux(q: &Primitive, u: &UCons) -> FaceFlux {
+    let un = q.vel[0];
+    FaceFlux {
+        mass: u.mu,
+        mom: [u.mu * un + q.p, u.mv * un, u.mw * un],
+        energy: (u.e + q.p) * un,
+        eint: u.ei * un,
+        upwind_left: un >= 0.0,
+    }
+}
+
+/// HLLC flux for left/right primitive states given in *face-normal*
+/// coordinates (`vel[0]` is the normal velocity).
+pub fn hllc(ql: &Primitive, qr: &Primitive) -> FaceFlux {
+    let ul = to_cons(ql);
+    let ur = to_cons(qr);
+    // Einfeldt-style wave speed estimates.
+    let sl = (ql.vel[0] - ql.cs).min(qr.vel[0] - qr.cs);
+    let sr = (ql.vel[0] + ql.cs).max(qr.vel[0] + qr.cs);
+    if sl >= 0.0 {
+        return phys_flux(ql, &ul);
+    }
+    if sr <= 0.0 {
+        return phys_flux(qr, &ur);
+    }
+    // Contact speed.
+    let num = qr.p - ql.p + ul.mu * (sl - ql.vel[0]) - ur.mu * (sr - qr.vel[0]);
+    let den = ql.rho * (sl - ql.vel[0]) - qr.rho * (sr - qr.vel[0]);
+    let sstar = if den.abs() < 1e-300 { 0.0 } else { num / den };
+
+    // Star-region state on the chosen side (Toro's formulas).
+    let star = |q: &Primitive, u: &UCons, s: Real| -> (UCons, FaceFlux) {
+        let f = phys_flux(q, u);
+        let coef = q.rho * (s - q.vel[0]) / (s - sstar);
+        let e_star = coef
+            * (u.e / q.rho
+                + (sstar - q.vel[0]) * (sstar + q.p / (q.rho * (s - q.vel[0]))));
+        let ustar = UCons {
+            rho: coef,
+            mu: coef * sstar,
+            mv: coef * q.vel[1],
+            mw: coef * q.vel[2],
+            e: e_star,
+            ei: coef * q.e,
+        };
+        (ustar, f)
+    };
+    if sstar >= 0.0 {
+        let (us, f) = star(ql, &ul, sl);
+        FaceFlux {
+            mass: f.mass + sl * (us.rho - ul.rho),
+            mom: [
+                f.mom[0] + sl * (us.mu - ul.mu),
+                f.mom[1] + sl * (us.mv - ul.mv),
+                f.mom[2] + sl * (us.mw - ul.mw),
+            ],
+            energy: f.energy + sl * (us.e - ul.e),
+            eint: f.eint + sl * (us.ei - ul.ei),
+            upwind_left: true,
+        }
+    } else {
+        let (us, f) = star(qr, &ur, sr);
+        FaceFlux {
+            mass: f.mass + sr * (us.rho - ur.rho),
+            mom: [
+                f.mom[0] + sr * (us.mu - ur.mu),
+                f.mom[1] + sr * (us.mv - ur.mv),
+                f.mom[2] + sr * (us.mw - ur.mw),
+            ],
+            energy: f.energy + sr * (us.e - ur.e),
+            eint: f.eint + sr * (us.ei - ur.ei),
+            upwind_left: false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prim(rho: Real, u: Real, p: Real, gamma: Real) -> Primitive {
+        Primitive {
+            rho,
+            vel: [u, 0.0, 0.0],
+            p,
+            e: p / ((gamma - 1.0) * rho),
+            cs: (gamma * p / rho).sqrt(),
+        }
+    }
+
+    #[test]
+    fn uniform_state_gives_advective_flux() {
+        let q = prim(1.0, 2.0, 1.0, 1.4);
+        let f = hllc(&q, &q);
+        assert!((f.mass - 2.0).abs() < 1e-12);
+        assert!((f.mom[0] - (1.0 * 4.0 + 1.0)).abs() < 1e-12);
+        // (ρE + p) u with ρE = ρ(e + KE) = 2.5 + 2 = 4.5, p = 1, u = 2.
+        assert!((f.energy - (4.5 + 1.0) * 2.0).abs() < 1e-10);
+        assert!(f.upwind_left);
+    }
+
+    #[test]
+    fn static_contact_is_preserved_exactly() {
+        // ρ jump, equal p and u = 0: HLLC must give zero flux (HLL would
+        // diffuse it).
+        let ql = prim(1.0, 0.0, 1.0, 1.4);
+        let qr = prim(0.125, 0.0, 1.0, 1.4);
+        let f = hllc(&ql, &qr);
+        assert!(f.mass.abs() < 1e-14);
+        assert!((f.mom[0] - 1.0).abs() < 1e-12, "pressure flux only");
+        assert!(f.energy.abs() < 1e-12);
+    }
+
+    #[test]
+    fn supersonic_flow_takes_upwind_flux() {
+        let ql = prim(1.0, 10.0, 1.0, 1.4); // cs ≈ 1.18, u = 10: supersonic →
+        let qr = prim(0.5, 10.0, 0.5, 1.4);
+        let f = hllc(&ql, &qr);
+        let fl = {
+            let u = 10.0;
+            u * 1.0 // ρu of left
+        };
+        assert!((f.mass - fl).abs() < 1e-12, "must equal left physical flux");
+        // Reversed.
+        let ql2 = prim(1.0, -10.0, 1.0, 1.4);
+        let qr2 = prim(0.5, -10.0, 0.5, 1.4);
+        let f2 = hllc(&ql2, &qr2);
+        assert!((f2.mass - (-10.0 * 0.5)).abs() < 1e-12);
+        assert!(!f2.upwind_left);
+    }
+
+    #[test]
+    fn sod_flux_is_between_states_and_rightward() {
+        // Sod shock tube initial jump: flow develops rightward.
+        let ql = prim(1.0, 0.0, 1.0, 1.4);
+        let qr = prim(0.125, 0.0, 0.1, 1.4);
+        let f = hllc(&ql, &qr);
+        assert!(f.mass > 0.0, "mass flows to the right");
+        assert!(f.mom[0] > 0.0);
+        assert!(f.energy > 0.0);
+    }
+
+    #[test]
+    fn symmetry_of_mirrored_problem() {
+        let ql = prim(1.0, 0.3, 1.0, 1.4);
+        let qr = prim(0.5, -0.2, 0.4, 1.4);
+        let f = hllc(&ql, &qr);
+        // Mirror: swap sides and flip normal velocities.
+        let mut mql = qr;
+        mql.vel[0] = -mql.vel[0];
+        let mut mqr = ql;
+        mqr.vel[0] = -mqr.vel[0];
+        let g = hllc(&mql, &mqr);
+        assert!((f.mass + g.mass).abs() < 1e-12);
+        assert!((f.mom[0] - g.mom[0]).abs() < 1e-12);
+        assert!((f.energy + g.energy).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transverse_momentum_advects_with_contact() {
+        // Left has transverse velocity, right does not; contact moves right
+        // (S* > 0) so the face flux carries the left transverse momentum.
+        let mut ql = prim(1.0, 0.5, 1.0, 1.4);
+        ql.vel[1] = 3.0;
+        let qr = prim(1.0, 0.5, 1.0, 1.4);
+        let f = hllc(&ql, &qr);
+        assert!((f.mom[1] - 0.5 * 3.0).abs() < 1e-10);
+        assert!((f.mom[2]).abs() < 1e-14);
+    }
+}

@@ -1,0 +1,157 @@
+//! The sponge: velocity damping in low-density outer regions.
+//!
+//! Castro's production setups (including the white-dwarf problems) damp
+//! velocities in the ambient "vacuum" surrounding the stars to keep
+//! boundary artifacts and spurious ambient flows from polluting the
+//! interior — essential when the star occupies 0.5% of the domain volume
+//! (§V).
+
+use crate::state::StateLayout;
+use exastro_amr::{MultiFab, Real};
+use exastro_parallel::ExecSpace;
+
+/// Sponge parameters: full damping below `rho_lo`, none above `rho_hi`,
+/// smooth ramp between.
+#[derive(Clone, Copy, Debug)]
+pub struct Sponge {
+    /// Density below which damping is full strength.
+    pub rho_lo: Real,
+    /// Density above which there is no damping.
+    pub rho_hi: Real,
+    /// Damping timescale, s (velocities decay as `exp(−dt/τ)` at full
+    /// strength).
+    pub timescale: Real,
+}
+
+impl Sponge {
+    /// Damping fraction in [0, 1] for density `rho`.
+    pub fn strength(&self, rho: Real) -> Real {
+        if rho <= self.rho_lo {
+            1.0
+        } else if rho >= self.rho_hi {
+            0.0
+        } else {
+            // Smooth cosine ramp.
+            let f = (rho - self.rho_lo) / (self.rho_hi - self.rho_lo);
+            0.5 * (1.0 + (std::f64::consts::PI * f).cos())
+        }
+    }
+
+    /// Apply the sponge over `dt`: momenta decay toward zero; the kinetic
+    /// energy removed is deducted from the total energy (the sponge is a
+    /// drag, not a heater).
+    pub fn apply(&self, state: &mut MultiFab, dt: Real, ex: &ExecSpace) {
+        let decay_full = (-dt / self.timescale).exp();
+        for i in 0..state.nfabs() {
+            let vb = state.valid_box(i);
+            let fab = state.fab_mut(i);
+            let uarr = fab.array_mut();
+            let sponge = *self;
+            ex.par_for(vb, |ii, jj, kk| {
+                let rho = uarr.at(ii, jj, kk, StateLayout::RHO);
+                let s = sponge.strength(rho);
+                if s == 0.0 {
+                    return;
+                }
+                let factor = 1.0 + s * (decay_full - 1.0);
+                let mut ke_before = 0.0;
+                let mut ke_after = 0.0;
+                for d in 0..3 {
+                    let m = uarr.at(ii, jj, kk, StateLayout::MX + d);
+                    ke_before += 0.5 * m * m / rho.max(1e-300);
+                    let mn = m * factor;
+                    uarr.set(ii, jj, kk, StateLayout::MX + d, mn);
+                    ke_after += 0.5 * mn * mn / rho.max(1e-300);
+                }
+                uarr.add(ii, jj, kk, StateLayout::EDEN, ke_after - ke_before);
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exastro_amr::{BoxArray, Geometry, IntVect};
+
+    fn state_with_velocities() -> (Geometry, MultiFab) {
+        let geom = Geometry::cube(8, 1.0, false);
+        let ba = BoxArray::decompose(geom.domain(), 8, 4);
+        let layout = StateLayout::new(1);
+        let mut state = MultiFab::local(ba, layout.ncomp(), 0);
+        for i in 0..state.nfabs() {
+            let vb = state.valid_box(i);
+            for iv in vb.iter() {
+                let dense = iv.x() < 4;
+                let rho = if dense { 1e7 } else { 1e-3 };
+                state.fab_mut(i).set(iv, StateLayout::RHO, rho);
+                state.fab_mut(i).set(iv, StateLayout::MX, rho * 1e8);
+                state
+                    .fab_mut(i)
+                    .set(iv, StateLayout::EDEN, rho * 1e17 + 0.5 * rho * 1e16);
+            }
+        }
+        (geom, state)
+    }
+
+    #[test]
+    fn sponge_damps_only_low_density_gas() {
+        let (_geom, mut state) = state_with_velocities();
+        let sponge = Sponge {
+            rho_lo: 1.0,
+            rho_hi: 1e3,
+            timescale: 0.01,
+        };
+        let probe_dense = IntVect::new(1, 2, 2);
+        let probe_thin = IntVect::new(6, 2, 2);
+        let m_dense0 = state.value_at(probe_dense, StateLayout::MX);
+        let m_thin0 = state.value_at(probe_thin, StateLayout::MX);
+        sponge.apply(&mut state, 0.05, &ExecSpace::Serial);
+        assert_eq!(state.value_at(probe_dense, StateLayout::MX), m_dense0);
+        let m_thin1 = state.value_at(probe_thin, StateLayout::MX);
+        assert!(
+            m_thin1.abs() < 0.01 * m_thin0.abs(),
+            "ambient momentum must decay: {m_thin0} -> {m_thin1}"
+        );
+    }
+
+    #[test]
+    fn sponge_removes_kinetic_energy_not_internal() {
+        let (_geom, mut state) = state_with_velocities();
+        let sponge = Sponge {
+            rho_lo: 1.0,
+            rho_hi: 1e3,
+            timescale: 1e-3,
+        };
+        let probe = IntVect::new(6, 2, 2);
+        let rho = state.value_at(probe, StateLayout::RHO);
+        let m0 = state.value_at(probe, StateLayout::MX);
+        let e0 = state.value_at(probe, StateLayout::EDEN);
+        let eint_implied0 = e0 - 0.5 * m0 * m0 / rho;
+        sponge.apply(&mut state, 1.0, &ExecSpace::Serial);
+        let m1 = state.value_at(probe, StateLayout::MX);
+        let e1 = state.value_at(probe, StateLayout::EDEN);
+        let eint_implied1 = e1 - 0.5 * m1 * m1 / rho;
+        assert!((eint_implied1 / eint_implied0 - 1.0).abs() < 1e-10);
+        assert!(e1 < e0, "total energy drops with the drained KE");
+    }
+
+    #[test]
+    fn strength_ramp_is_monotone_and_bounded() {
+        let sponge = Sponge {
+            rho_lo: 1.0,
+            rho_hi: 100.0,
+            timescale: 1.0,
+        };
+        let mut last = 1.0 + 1e-12;
+        for k in 0..50 {
+            let rho = 0.5 * 1.2f64.powi(k);
+            let s = sponge.strength(rho);
+            assert!((0.0..=1.0).contains(&s));
+            assert!(s <= last + 1e-12, "not monotone at rho {rho}");
+            last = s;
+        }
+        assert_eq!(sponge.strength(0.5), 1.0);
+        assert_eq!(sponge.strength(1e4), 0.0);
+    }
+}

@@ -1,0 +1,23 @@
+//! # exastro-machine
+//!
+//! A Summit-like cluster performance simulator: the substitution substrate
+//! for the paper's 1–512-node weak-scaling measurements (§IV). Ranks own
+//! real `exastro-amr` box decompositions; ghost-exchange and reduction
+//! traffic is extracted exactly from those decompositions; and an α–β
+//! network model (intra-node NVLink-class transport, shared per-node NIC
+//! with fat-tree contention, log-tree collectives) prices it. Absolute
+//! throughputs are calibrated to the paper's single-node numbers; the
+//! scaling *shapes* are emergent.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fig2;
+pub mod fig3;
+pub mod model;
+pub mod workload;
+
+pub use fig2::{canonical_series, envelope_series, sedov_workload, ScalingPoint};
+pub use fig3::{bubble_point, bubble_series, BubblePoint};
+pub use model::{CpuNodeReference, Machine, NetworkModel, NodeModel, RankComm, StepTime, StepWorkload};
+pub use workload::{add_comm, exchange_comm, scale_comm};

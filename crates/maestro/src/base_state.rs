@@ -1,0 +1,163 @@
+//! The 1-D hydrostatic base state of the low-Mach-number model.
+//!
+//! MAESTROeX expands the thermodynamics about a time-evolving hydrostatic
+//! base state `ρ₀(z), p₀(z)`; the full state carries only perturbations.
+//! For the reacting-bubble problem the base state is a plane-parallel,
+//! isothermal-ish white-dwarf atmosphere under constant gravity, matching
+//! the setup of Almgren et al. (2008), §IV-B of the paper.
+
+use exastro_microphysics::{Composition, Eos};
+use exastro_parallel::Real;
+
+/// A plane-parallel hydrostatic base state, sampled at zone centres.
+#[derive(Clone, Debug)]
+pub struct BaseState {
+    /// Base density per z index.
+    pub rho0: Vec<Real>,
+    /// Base pressure per z index.
+    pub p0: Vec<Real>,
+    /// Base temperature per z index.
+    pub t0: Vec<Real>,
+    /// Constant gravitational acceleration (pointing in −z; positive
+    /// magnitude).
+    pub grav: Real,
+    /// Zone height.
+    pub dz: Real,
+}
+
+impl BaseState {
+    /// Integrate hydrostatic equilibrium `dp/dz = −ρ g` downward from the
+    /// base density/temperature at z = 0 with an isothermal temperature
+    /// profile, `nz` zones of height `dz`.
+    pub fn plane_parallel(
+        nz: usize,
+        dz: Real,
+        rho_base: Real,
+        t_base: Real,
+        grav: Real,
+        eos: &dyn Eos,
+        comp: &Composition,
+    ) -> Self {
+        let mut rho0 = vec![0.0; nz];
+        let mut p0 = vec![0.0; nz];
+        let t0 = vec![t_base; nz];
+        rho0[0] = rho_base;
+        p0[0] = eos.eval_rt(rho_base, t_base, comp).p;
+        for k in 1..nz {
+            // Predictor-corrector hydrostatic integration: find ρ at k such
+            // that p(ρ, T) = p[k-1] − 0.5 (ρ[k-1] + ρ) g dz.
+            let mut rho = rho0[k - 1];
+            for _ in 0..50 {
+                let target_p = p0[k - 1] - 0.5 * (rho0[k - 1] + rho) * grav * dz;
+                let r = eos.eval_rt(rho, t_base, comp);
+                let f = r.p - target_p;
+                let dfdrho = r.dpdr + 0.5 * grav * dz;
+                let drho = -f / dfdrho;
+                rho += drho.clamp(-0.5 * rho, 0.5 * rho);
+                if (drho / rho).abs() < 1e-13 {
+                    break;
+                }
+            }
+            rho0[k] = rho.max(1e-10);
+            p0[k] = p0[k - 1] - 0.5 * (rho0[k - 1] + rho0[k]) * grav * dz;
+        }
+        BaseState {
+            rho0,
+            p0,
+            t0,
+            grav,
+            dz,
+        }
+    }
+
+    /// Number of vertical zones.
+    pub fn nz(&self) -> usize {
+        self.rho0.len()
+    }
+
+    /// Residual of the discrete hydrostatic balance, for testing:
+    /// max |Δp/Δz + ρ̄ g| / (ρ̄ g).
+    pub fn hydrostatic_residual(&self) -> Real {
+        let mut worst: Real = 0.0;
+        for k in 1..self.nz() {
+            let dpdz = (self.p0[k] - self.p0[k - 1]) / self.dz;
+            let rho_bar = 0.5 * (self.rho0[k] + self.rho0[k - 1]);
+            let res = (dpdz + rho_bar * self.grav).abs() / (rho_bar * self.grav);
+            worst = worst.max(res);
+        }
+        worst
+    }
+}
+
+/// Solve `ρ` such that `p(ρ, T, comp) = p_target` (the low-Mach density
+/// constraint at fixed base pressure). Newton with the EOS `∂p/∂ρ`.
+pub fn rho_from_p_t(
+    p_target: Real,
+    t: Real,
+    comp: &Composition,
+    eos: &dyn Eos,
+    rho_guess: Real,
+) -> Real {
+    let mut rho = rho_guess.max(1e-12);
+    for _ in 0..60 {
+        let r = eos.eval_rt(rho, t, comp);
+        let f = r.p - p_target;
+        if f.abs() <= 1e-11 * p_target {
+            return rho;
+        }
+        let drho = -f / r.dpdr.max(1e-300);
+        rho = (rho + drho.clamp(-0.5 * rho, 1.0 * rho)).max(1e-12);
+    }
+    rho
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exastro_microphysics::{species::iso, StellarEos};
+
+    fn co_comp() -> Composition {
+        Composition::from_mass_fractions(&[iso::C12, iso::MG24], &[1.0, 0.0])
+    }
+
+    #[test]
+    fn base_state_is_hydrostatic() {
+        let eos = StellarEos;
+        let base = BaseState::plane_parallel(64, 1e6, 2.6e9 / 1e3, 6e8, 1e10, &eos, &co_comp());
+        assert!(
+            base.hydrostatic_residual() < 1e-8,
+            "residual {}",
+            base.hydrostatic_residual()
+        );
+        // Density and pressure decrease with height.
+        for k in 1..base.nz() {
+            assert!(base.rho0[k] < base.rho0[k - 1]);
+            assert!(base.p0[k] < base.p0[k - 1]);
+        }
+    }
+
+    #[test]
+    fn rho_from_p_t_inverts_eos() {
+        let eos = StellarEos;
+        let comp = co_comp();
+        for &(rho, t) in &[(2.6e6, 6e8), (1e5, 1e8), (1e7, 1e9)] {
+            let p = eos.eval_rt(rho, t, &comp).p;
+            let r = rho_from_p_t(p, t, &comp, &eos, rho * 3.0);
+            assert!((r / rho - 1.0).abs() < 1e-8, "rho {rho}: got {r}");
+        }
+    }
+
+    #[test]
+    fn hotter_material_is_lighter_at_fixed_pressure() {
+        // The buoyancy driver: at fixed p₀, raising T lowers ρ.
+        let eos = StellarEos;
+        let comp = co_comp();
+        let p0 = eos.eval_rt(2.6e6, 6e8, &comp).p;
+        let rho_cool = rho_from_p_t(p0, 6e8, &comp, &eos, 2.6e6);
+        let rho_hot = rho_from_p_t(p0, 9e8, &comp, &eos, 2.6e6);
+        assert!(
+            rho_hot < rho_cool,
+            "hot {rho_hot} should be lighter than cool {rho_cool}"
+        );
+    }
+}

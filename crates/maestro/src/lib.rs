@@ -1,0 +1,22 @@
+//! # exastro-maestro
+//!
+//! A reproduction of **MAESTROeX** (Fan et al. 2019): a low-Mach-number
+//! hydrodynamics solver for slowly convecting astrophysical flows, whose
+//! timestep is set by the fluid velocity rather than the sound speed. The
+//! reacting-bubble problem from §IV-B of *Preparing Nuclear Astrophysics
+//! for Exascale* is included, with the same cost anatomy the paper
+//! describes: zone-local stiff reaction integration balanced against a
+//! communication-bound multigrid projection.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod base_state;
+pub mod bubble;
+pub mod lowmach;
+
+pub use base_state::{rho_from_p_t, BaseState};
+pub use bubble::{
+    bubble_diagnostics, bubble_maestro, init_bubble, BubbleDiagnostics, BubbleParams,
+};
+pub use lowmach::{LmLayout, LmStepStats, Maestro};

@@ -1,0 +1,493 @@
+//! The low-Mach-number advance: advection, buoyancy, reactions, and the
+//! divergence projection.
+//!
+//! MAESTROeX filters sound waves analytically: the velocity is constrained
+//! to (approximately) divergence-free by a global *projection* — an
+//! elliptic solve performed with multigrid — while the thermodynamics ride
+//! on the hydrostatic base state. The timestep is set by the *fluid*
+//! velocity, not the sound speed, allowing steps orders of magnitude larger
+//! than a compressible code's (§II). The cost profile of one step is
+//! exactly the paper's §IV-B description: zone-local reactions plus a
+//! communication-heavy multigrid solve, "approximately equally balanced" at
+//! one node.
+
+use crate::base_state::{rho_from_p_t, BaseState};
+use exastro_amr::{BcKind, BcSpec, Geometry, IntVect, MultiFab, Real, SPACEDIM};
+use exastro_microphysics::{Burner, Composition, Eos, Network};
+use exastro_solvers::{MgBc, MgOptions, MgStats, Multigrid};
+
+/// Component indices of the low-Mach state.
+#[derive(Clone, Copy, Debug)]
+pub struct LmLayout {
+    /// Number of species.
+    pub nspec: usize,
+}
+
+impl LmLayout {
+    /// x-velocity.
+    pub const U: usize = 0;
+    /// y-velocity.
+    pub const V: usize = 1;
+    /// z-velocity.
+    pub const W: usize = 2;
+    /// Temperature.
+    pub const TEMP: usize = 3;
+    /// Density (diagnostic; re-derived from p₀ and T each step).
+    pub const RHO: usize = 4;
+    /// First species mass fraction.
+    pub const FS: usize = 5;
+
+    /// Layout for `nspec` species.
+    pub fn new(nspec: usize) -> Self {
+        LmLayout { nspec }
+    }
+
+    /// Total components.
+    pub fn ncomp(&self) -> usize {
+        Self::FS + self.nspec
+    }
+
+    /// Species component index.
+    pub fn spec(&self, k: usize) -> usize {
+        Self::FS + k
+    }
+}
+
+/// Statistics from one low-Mach step.
+#[derive(Clone, Debug, Default)]
+pub struct LmStepStats {
+    /// Multigrid projection statistics.
+    pub projection: Option<MgStats>,
+    /// Total burner integrator steps (reaction cost proxy).
+    pub burn_steps: u64,
+    /// Peak temperature after the step.
+    pub max_temp: Real,
+    /// Peak vertical velocity.
+    pub max_w: Real,
+}
+
+/// The low-Mach solver.
+pub struct Maestro<'a> {
+    /// State layout.
+    pub layout: LmLayout,
+    /// EOS.
+    pub eos: &'a dyn Eos,
+    /// Reaction network.
+    pub net: &'a dyn Network,
+    /// Hydrostatic base state.
+    pub base: BaseState,
+    /// Advective CFL number.
+    pub cfl: Real,
+    /// Enable reactions.
+    pub do_burn: bool,
+    /// Skip burning below this temperature.
+    pub burn_min_temp: Real,
+}
+
+impl<'a> Maestro<'a> {
+    /// Boundary conditions: periodic laterally, solid walls vertically
+    /// (normal velocity reflects odd).
+    pub fn bc(&self) -> BcSpec {
+        let mut bc = BcSpec {
+            kind: [[BcKind::Periodic; 2]; SPACEDIM],
+            reflect_odd: vec![(LmLayout::W, 2)],
+        };
+        bc.kind[2] = [BcKind::Reflect; 2];
+        bc
+    }
+
+    /// Advective CFL timestep — sound speed does *not* appear.
+    pub fn estimate_dt(&self, state: &MultiFab, geom: &Geometry) -> Real {
+        let dx = geom.min_dx();
+        let mut vmax: Real = 1e-10;
+        for (i, vb) in state.iter_boxes() {
+            for iv in vb.iter() {
+                for d in 0..3 {
+                    vmax = vmax.max(state.fab(i).get(iv, LmLayout::U + d).abs());
+                }
+            }
+        }
+        self.cfl * dx / vmax
+    }
+
+    /// Recompute the density from the base pressure and local (T, X): the
+    /// low-Mach equation of state constraint.
+    pub fn enforce_density(&self, state: &mut MultiFab, geom: &Geometry) {
+        let _ = geom;
+        let nspec = self.layout.nspec;
+        for i in 0..state.nfabs() {
+            let vb = state.valid_box(i);
+            for iv in vb.iter() {
+                let kz = iv.z().clamp(0, self.base.nz() as i32 - 1) as usize;
+                let t = state.fab(i).get(iv, LmLayout::TEMP);
+                let mut x = vec![0.0; nspec];
+                for s in 0..nspec {
+                    x[s] = state.fab(i).get(iv, self.layout.spec(s)).clamp(0.0, 1.0);
+                }
+                let comp = Composition::from_mass_fractions(self.net.species(), &x);
+                let rho_old = state.fab(i).get(iv, LmLayout::RHO).max(1e-6);
+                let rho = rho_from_p_t(self.base.p0[kz], t, &comp, self.eos, rho_old);
+                state.fab_mut(i).set(iv, LmLayout::RHO, rho);
+            }
+        }
+    }
+
+    /// First-order upwind advection of all components by the cell velocity.
+    fn advect(&self, state: &mut MultiFab, geom: &Geometry, dt: Real) {
+        let old = state.clone();
+        let dx = geom.dx();
+        let ncomp = self.layout.ncomp();
+        for i in 0..state.nfabs() {
+            let vb = state.valid_box(i);
+            for iv in vb.iter() {
+                let mut upd = vec![0.0; ncomp];
+                for d in 0..3 {
+                    let e = IntVect::dim_vec(d);
+                    let vel = old.fab(i).get(iv, LmLayout::U + d);
+                    for (c, u) in upd.iter_mut().enumerate() {
+                        let grad = if vel >= 0.0 {
+                            old.fab(i).get(iv, c) - old.fab(i).get(iv - e, c)
+                        } else {
+                            old.fab(i).get(iv + e, c) - old.fab(i).get(iv, c)
+                        };
+                        *u -= vel * grad / dx[d] * dt;
+                    }
+                }
+                for c in 0..ncomp {
+                    let v = state.fab(i).get(iv, c) + upd[c];
+                    state.fab_mut(i).set(iv, c, v);
+                }
+            }
+        }
+    }
+
+    /// Buoyancy source: `w += −g (ρ − ρ₀)/ρ dt`.
+    fn buoyancy(&self, state: &mut MultiFab, dt: Real) {
+        for i in 0..state.nfabs() {
+            let vb = state.valid_box(i);
+            for iv in vb.iter() {
+                let kz = iv.z().clamp(0, self.base.nz() as i32 - 1) as usize;
+                let rho = state.fab(i).get(iv, LmLayout::RHO).max(1e-12);
+                let drho = rho - self.base.rho0[kz];
+                let dw = -self.base.grav * drho / rho * dt;
+                let w = state.fab(i).get(iv, LmLayout::W) + dw;
+                state.fab_mut(i).set(iv, LmLayout::W, w);
+            }
+        }
+    }
+
+    /// Project the velocity onto the (approximately) divergence-free space:
+    /// solve `∇²φ = ∇·U / dt`, then `U −= dt ∇φ`. This is the global
+    /// multigrid solve that dominates MAESTROeX communication at scale.
+    pub fn project(&self, state: &mut MultiFab, geom: &Geometry, dt: Real) -> MgStats {
+        let ba = state.box_array().clone();
+        let dm = state.dist_map().clone();
+        let mut rhs = MultiFab::new(ba.clone(), dm.clone(), 1, 0);
+        let mut vel = MultiFab::new(ba.clone(), dm.clone(), 3, 1);
+        for i in 0..state.nfabs() {
+            let gb = state.grown_box(i);
+            for iv in gb.iter() {
+                for d in 0..3 {
+                    vel.fab_mut(i).set(iv, d, state.fab(i).get(iv, LmLayout::U + d));
+                }
+            }
+        }
+        vel.fill_boundary(geom);
+        let velbc = BcSpec {
+            kind: {
+                let mut k = [[BcKind::Periodic; 2]; SPACEDIM];
+                k[2] = [BcKind::Reflect; 2];
+                k
+            },
+            reflect_odd: vec![(2, 2)],
+        };
+        vel.fill_physical_bc(geom, &velbc);
+        let dx = geom.dx();
+        let mut total = 0.0;
+        for i in 0..rhs.nfabs() {
+            let vb = rhs.valid_box(i);
+            for iv in vb.iter() {
+                let mut div = 0.0;
+                for d in 0..3 {
+                    let e = IntVect::dim_vec(d);
+                    div += (vel.fab(i).get(iv + e, d) - vel.fab(i).get(iv - e, d))
+                        / (2.0 * dx[d]);
+                }
+                rhs.fab_mut(i).set(iv, 0, div / dt);
+                total += div / dt;
+            }
+        }
+        // Remove the nullspace component (periodic/Neumann solvability).
+        let mean = total / geom.domain().num_zones() as Real;
+        for i in 0..rhs.nfabs() {
+            let vb = rhs.valid_box(i);
+            for iv in vb.iter() {
+                let v = rhs.fab(i).get(iv, 0) - mean;
+                rhs.fab_mut(i).set(iv, 0, v);
+            }
+        }
+        let mut phi = MultiFab::new(ba, dm, 1, 1);
+        let mg = Multigrid::poisson(
+            [MgBc::Periodic, MgBc::Periodic, MgBc::Neumann],
+            MgOptions {
+                tol_rel: 1e-9,
+                max_cycles: 40,
+                ..Default::default()
+            },
+        );
+        let stats = mg.solve(&mut phi, &rhs, geom);
+        phi.fill_boundary(geom);
+        // Neumann ghosts at the walls.
+        let phibc = BcSpec {
+            kind: {
+                let mut k = [[BcKind::Periodic; 2]; SPACEDIM];
+                k[2] = [BcKind::Outflow; 2];
+                k
+            },
+            reflect_odd: vec![],
+        };
+        phi.fill_physical_bc(geom, &phibc);
+        for i in 0..state.nfabs() {
+            let vb = state.valid_box(i);
+            for iv in vb.iter() {
+                for d in 0..3 {
+                    let e = IntVect::dim_vec(d);
+                    let grad =
+                        (phi.fab(i).get(iv + e, 0) - phi.fab(i).get(iv - e, 0)) / (2.0 * dx[d]);
+                    let v = state.fab(i).get(iv, LmLayout::U + d) - dt * grad;
+                    state.fab_mut(i).set(iv, LmLayout::U + d, v);
+                }
+            }
+        }
+        stats
+    }
+
+    /// React every zone for `dt` (temperature and composition evolve at
+    /// constant local density).
+    fn react(&self, state: &mut MultiFab, dt: Real) -> u64 {
+        let burner = Burner::new(self.net, self.eos, Burner::default_options());
+        let nspec = self.layout.nspec;
+        let mut total_steps = 0;
+        for i in 0..state.nfabs() {
+            let vb = state.valid_box(i);
+            for iv in vb.iter() {
+                let t = state.fab(i).get(iv, LmLayout::TEMP);
+                if t < self.burn_min_temp {
+                    continue;
+                }
+                let rho = state.fab(i).get(iv, LmLayout::RHO).max(1e-12);
+                let mut x = vec![0.0; nspec];
+                for s in 0..nspec {
+                    x[s] = state.fab(i).get(iv, self.layout.spec(s)).clamp(0.0, 1.0);
+                }
+                if let Ok(out) = burner.burn(rho, t, &x, dt) {
+                    total_steps += out.stats.steps;
+                    state.fab_mut(i).set(iv, LmLayout::TEMP, out.t);
+                    for s in 0..nspec {
+                        state.fab_mut(i).set(iv, self.layout.spec(s), out.x[s]);
+                    }
+                }
+            }
+        }
+        total_steps
+    }
+
+    /// One full low-Mach step with Strang-split reactions.
+    pub fn advance(&self, state: &mut MultiFab, geom: &Geometry, dt: Real) -> LmStepStats {
+        let mut stats = LmStepStats::default();
+        let bc = self.bc();
+        if self.do_burn {
+            stats.burn_steps += self.react(state, 0.5 * dt);
+        }
+        self.enforce_density(state, geom);
+        state.fill_boundary(geom);
+        state.fill_physical_bc(geom, &bc);
+        self.advect(state, geom, dt);
+        self.buoyancy(state, dt);
+        let proj = self.project(state, geom, dt);
+        stats.projection = Some(proj);
+        if self.do_burn {
+            stats.burn_steps += self.react(state, 0.5 * dt);
+        }
+        self.enforce_density(state, geom);
+        stats.max_temp = state.max(LmLayout::TEMP);
+        stats.max_w = state.max(LmLayout::W).abs().max(state.min(LmLayout::W).abs());
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bubble::*;
+    use exastro_amr::{BoxArray, DistStrategy, DistributionMapping, IndexBox};
+    use exastro_microphysics::{CBurn2, StellarEos};
+
+    fn bubble_setup(n: i32) -> (Geometry, MultiFab, Maestro<'static>, LmLayout) {
+        // Statics so the Maestro driver can borrow for 'static in tests.
+        use std::sync::OnceLock;
+        static EOS: StellarEos = StellarEos;
+        static NET: OnceLock<CBurn2> = OnceLock::new();
+        let net = NET.get_or_init(CBurn2::new);
+        let geom = Geometry::new(
+            IndexBox::cube(n),
+            [0.0; 3],
+            [3.6e7; 3],
+            [true, true, false],
+            exastro_amr::CoordSys::Cartesian,
+        );
+        let ba = BoxArray::decompose(geom.domain(), (n / 2).max(8), 4);
+        let dm = DistributionMapping::new(&ba, 2, DistStrategy::Sfc);
+        let layout = LmLayout::new(2);
+        let mut state = MultiFab::new(ba, dm, layout.ncomp(), 1);
+        let base = init_bubble(&mut state, &geom, &layout, &EOS, net, &BubbleParams::default());
+        let maestro = bubble_maestro(&EOS, net, base);
+        (geom, state, maestro, layout)
+    }
+
+    #[test]
+    fn projection_kills_divergence() {
+        let (geom, mut state, maestro, _l) = bubble_setup(16);
+        // Seed a strongly divergent velocity field.
+        for i in 0..state.nfabs() {
+            let vb = state.valid_box(i);
+            for iv in vb.iter() {
+                let x = geom.cell_center(iv);
+                state.fab_mut(i).set(iv, LmLayout::U, (x[0] / 3.6e7).sin() * 1e5);
+                state
+                    .fab_mut(i)
+                    .set(iv, LmLayout::V, (x[1] / 1.2e7).cos() * 1e5);
+                state.fab_mut(i).set(iv, LmLayout::W, 0.0);
+            }
+        }
+        let div_before = divergence_norm(&state, &geom);
+        let stats = maestro.project(&mut state, &geom, 1.0);
+        let div_after = divergence_norm(&state, &geom);
+        assert!(stats.converged, "projection multigrid must converge");
+        // This is an *approximate* (cell-centred) projection, as in
+        // MAESTROeX: the central-difference divergence is not the exact
+        // adjoint of the 5-point Laplacian, so one application damps
+        // rather than annihilates the divergence.
+        assert!(
+            div_after < 0.45 * div_before,
+            "divergence {div_before} -> {div_after}"
+        );
+    }
+
+    fn divergence_norm(state: &MultiFab, geom: &Geometry) -> Real {
+        let mut vel = MultiFab::new(state.box_array().clone(), state.dist_map().clone(), 3, 1);
+        for i in 0..state.nfabs() {
+            let gb = state.grown_box(i);
+            for iv in gb.iter() {
+                for d in 0..3 {
+                    vel.fab_mut(i).set(iv, d, state.fab(i).get(iv, LmLayout::U + d));
+                }
+            }
+        }
+        vel.fill_boundary(geom);
+        let dx = geom.dx();
+        let mut norm = 0.0;
+        for i in 0..vel.nfabs() {
+            let vb = vel.valid_box(i);
+            for iv in vb.iter() {
+                // Skip wall-adjacent zones (one-sided stencils there).
+                if iv.z() == 0 || iv.z() == geom.domain().hi().z() {
+                    continue;
+                }
+                let mut div = 0.0;
+                for d in 0..3 {
+                    let e = IntVect::dim_vec(d);
+                    div += (vel.fab(i).get(iv + e, d) - vel.fab(i).get(iv - e, d))
+                        / (2.0 * dx[d]);
+                }
+                norm += div * div;
+            }
+        }
+        norm.sqrt()
+    }
+
+    #[test]
+    fn timestep_is_advective_not_acoustic() {
+        let (geom, mut state, maestro, _l) = bubble_setup(16);
+        // Velocities ~ 1e5 cm/s; sound speed in WD material ~ 1e8-9 cm/s.
+        for i in 0..state.nfabs() {
+            let vb = state.valid_box(i);
+            for iv in vb.iter() {
+                state.fab_mut(i).set(iv, LmLayout::U, 1e5);
+            }
+        }
+        let dt = maestro.estimate_dt(&state, &geom);
+        let dx = geom.min_dx();
+        let dt_acoustic = dx / 5e8;
+        assert!(
+            dt > 100.0 * dt_acoustic,
+            "low-Mach dt {dt} should dwarf acoustic dt {dt_acoustic}"
+        );
+    }
+
+    #[test]
+    fn bubble_heats_burns_and_rises() {
+        let (geom, mut state, maestro, layout) = bubble_setup(16);
+        let d0 = bubble_diagnostics(&state, &geom, &layout, 6e8);
+        assert!(d0.max_temp > 8.9e8, "initial bubble present");
+        assert_eq!(d0.max_ash, 0.0);
+        let mut height_trace = vec![d0.bubble_height];
+        for _ in 0..6 {
+            let dt = maestro.estimate_dt(&state, &geom).min(5e-3);
+            let stats = maestro.advance(&mut state, &geom, dt);
+            assert!(stats.projection.as_ref().unwrap().cycles > 0);
+            height_trace.push(bubble_diagnostics(&state, &geom, &layout, 6e8).bubble_height);
+        }
+        let d1 = bubble_diagnostics(&state, &geom, &layout, 6e8);
+        // Carbon has started to burn into ash and the bubble temperature
+        // has increased.
+        assert!(d1.max_ash > 1e-10, "ash {}", d1.max_ash);
+        // First-order upwind advection diffuses the peak; burning offsets
+        // it only partially at these conditions.
+        assert!(d1.max_temp >= d0.max_temp * 0.9);
+        // Upward motion developed.
+        assert!(d1.max_w > 0.0, "bubble must develop upward velocity");
+        assert!(
+            height_trace.last().unwrap() >= &height_trace[0],
+            "bubble should not sink: {height_trace:?}"
+        );
+    }
+
+    #[test]
+    fn quiescent_atmosphere_stays_quiescent() {
+        // No bubble: a hydrostatic atmosphere under buoyancy + projection
+        // should develop only tiny velocities.
+        use std::sync::OnceLock;
+        static EOS: StellarEos = StellarEos;
+        static NET: OnceLock<CBurn2> = OnceLock::new();
+        let net = NET.get_or_init(CBurn2::new);
+        let geom = Geometry::new(
+            IndexBox::cube(16),
+            [0.0; 3],
+            [3.6e7; 3],
+            [true, true, false],
+            exastro_amr::CoordSys::Cartesian,
+        );
+        let ba = BoxArray::decompose(geom.domain(), 8, 4);
+        let layout = LmLayout::new(2);
+        let mut state = MultiFab::new(
+            ba,
+            DistributionMapping::all_local(&BoxArray::decompose(geom.domain(), 8, 4)),
+            layout.ncomp(),
+            1,
+        );
+        let params = BubbleParams {
+            t_bubble: 6e8, // no perturbation
+            ..Default::default()
+        };
+        let base = init_bubble(&mut state, &geom, &layout, &EOS, net, &params);
+        let maestro = bubble_maestro(&EOS, net, base);
+        for _ in 0..3 {
+            maestro.advance(&mut state, &geom, 1e-3);
+        }
+        // Buoyancy residual from the discrete hydrostatic base is small:
+        // velocities stay far below the convective scale (~1e6 cm/s).
+        let wmax = state.max(LmLayout::W).abs().max(state.min(LmLayout::W).abs());
+        assert!(wmax < 1e4, "spurious velocity {wmax}");
+    }
+}

@@ -1,0 +1,29 @@
+//! Physical constants in CGS units (the unit system of the astro codes).
+
+/// Boltzmann constant, erg/K.
+pub const K_B: f64 = 1.380649e-16;
+/// Atomic mass unit, g.
+pub const M_U: f64 = 1.66053906660e-24;
+/// Avogadro's number, 1/mol.
+pub const N_A: f64 = 6.02214076e23;
+/// Radiation constant `a`, erg cm⁻³ K⁻⁴.
+pub const A_RAD: f64 = 7.565723e-15;
+/// Speed of light, cm/s.
+pub const C_LIGHT: f64 = 2.99792458e10;
+/// Electron rest mass, g.
+pub const M_E: f64 = 9.1093837015e-28;
+/// Planck constant, erg s.
+pub const H_PLANCK: f64 = 6.62607015e-27;
+/// MeV in erg.
+pub const MEV_TO_ERG: f64 = 1.602176634e-6;
+/// Newton's gravitational constant, cm³ g⁻¹ s⁻².
+pub const G_NEWTON: f64 = 6.67430e-8;
+/// Solar mass, g.
+pub const M_SUN: f64 = 1.98892e33;
+
+/// Pressure scale of the zero-temperature relativistic electron gas,
+/// `π m_e⁴ c⁵ / (3 h³)`, dyn/cm².
+pub const A_DEG: f64 = 6.002e22;
+/// Density scale of electron degeneracy: `ρ/μ_e = B_DEG x³` with
+/// `x = p_F / (m_e c)`; g/cm³.
+pub const B_DEG: f64 = 9.7395e5;

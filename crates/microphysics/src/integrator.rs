@@ -1,0 +1,790 @@
+//! A VODE-style stiff ODE integrator: variable-step, variable-order BDF
+//! (orders 1–5) with a modified-Newton corrector, in Nordsieck form.
+//!
+//! "ODE integrators are the key component of nuclear reactions simulations"
+//! (§III): VODE (Brown, Byrne & Hindmarsh 1989) is the integrator the astro
+//! codes ported to GPUs. This implementation keeps VODE's essential
+//! structure:
+//!
+//! * the history is the **Nordsieck array** `z_j = h^j y^{(j)} / j!`, so a
+//!   step-size change is the exact rescale `z_j ← r^j z_j` (no
+//!   interpolation error);
+//! * prediction applies the Pascal-triangle shift; correction adds `e·l`
+//!   with the fixed-step BDF corrector coefficients `l` generated from
+//!   `Λ(x) = Π_{i=1..q} (1 + x/i)`;
+//! * the nonlinear corrector equation `y − γ f(y) − a = 0` (γ = `l₀ h`) is
+//!   solved by a modified Newton iteration with matrix `I − γJ`;
+//! * errors are measured in the weighted-RMS norm and both the step size
+//!   and the order adapt.
+//!
+//! The Newton linear solves go through either dense LU (the VODE default)
+//! or the sparsity-pattern-compiled solver of [`crate::linalg::CompiledLu`]
+//! (the paper's §VI plan), selectable per call — that switch is the
+//! `ablation_sparse_jacobian` benchmark.
+
+use crate::linalg::{CompiledLu, DenseLu, SparsePattern};
+
+/// A first-order ODE system `dy/dt = f(t, y)` with an analytic Jacobian.
+pub trait OdeSystem {
+    /// Dimension of the state vector.
+    fn dim(&self) -> usize;
+    /// Evaluate the right-hand side into `dydt`.
+    fn rhs(&self, t: f64, y: &[f64], dydt: &mut [f64]);
+    /// Evaluate the row-major `dim²` Jacobian `∂f_i/∂y_j`.
+    fn jac(&self, t: f64, y: &[f64], jac: &mut [f64]);
+}
+
+/// Linear-solver choice for the Newton iteration.
+#[derive(Clone, Debug, Default)]
+pub enum NewtonSolver {
+    /// Dense LU with partial pivoting (VODE's default).
+    #[default]
+    Dense,
+    /// Pattern-compiled sparse elimination (§VI future work).
+    Compiled(SparsePattern),
+}
+
+/// Integrator options.
+#[derive(Clone, Debug)]
+pub struct BdfOptions {
+    /// Relative tolerance.
+    pub rtol: f64,
+    /// Absolute tolerance (per component, broadcast if length 1).
+    pub atol: Vec<f64>,
+    /// Maximum BDF order, 1–5.
+    pub max_order: usize,
+    /// Maximum number of internal steps before giving up.
+    pub max_steps: usize,
+    /// Initial step size; `None` chooses automatically.
+    pub h0: Option<f64>,
+    /// Newton linear solver.
+    pub solver: NewtonSolver,
+}
+
+impl Default for BdfOptions {
+    fn default() -> Self {
+        BdfOptions {
+            rtol: 1e-8,
+            atol: vec![1e-12],
+            max_order: 5,
+            max_steps: 500_000,
+            h0: None,
+            solver: NewtonSolver::Dense,
+        }
+    }
+}
+
+/// Statistics from one integration.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct BdfStats {
+    /// Accepted steps.
+    pub steps: u64,
+    /// Error-test or Newton failures that forced a retry.
+    pub rejected: u64,
+    /// Right-hand-side evaluations.
+    pub rhs_evals: u64,
+    /// Jacobian evaluations.
+    pub jac_evals: u64,
+    /// Linear-system factorizations.
+    pub factorizations: u64,
+    /// Total Newton iterations.
+    pub newton_iters: u64,
+    /// Order in use when integration finished.
+    pub final_order: usize,
+}
+
+/// Integration failure.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BdfError {
+    /// Too many internal steps.
+    MaxSteps,
+    /// Step size underflowed: the problem is too stiff for the tolerances
+    /// or the RHS is returning non-finite values.
+    StepUnderflow {
+        /// Time reached before the failure.
+        t: f64,
+    },
+    /// The Newton matrix was singular beyond recovery.
+    SingularMatrix,
+}
+
+impl std::fmt::Display for BdfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BdfError::MaxSteps => write!(f, "BDF: exceeded maximum step count"),
+            BdfError::StepUnderflow { t } => write!(f, "BDF: step size underflow at t = {t}"),
+            BdfError::SingularMatrix => write!(f, "BDF: singular Newton matrix"),
+        }
+    }
+}
+
+impl std::error::Error for BdfError {}
+
+/// Corrector coefficients `l[0..=q]` for fixed-step BDF of order `q`:
+/// the coefficients of `Λ(x) = Π_{i=1..q}(1 + x/i)`, normalized to `l₁ = 1`.
+/// `l₀` equals the BDF β (1, 2/3, 6/11, 12/25, 60/137).
+fn bdf_l(q: usize, l: &mut [f64; 6]) {
+    l.iter_mut().for_each(|v| *v = 0.0);
+    l[0] = 1.0;
+    for i in 1..=q {
+        // Multiply the polynomial by (1 + x/i).
+        for j in (1..=i).rev() {
+            let prev = l[j - 1];
+            l[j] += prev / i as f64;
+        }
+    }
+    let l1 = l[1];
+    for v in l.iter_mut() {
+        *v /= l1;
+    }
+}
+
+struct Workspace {
+    ycur: Vec<f64>,
+    acor: Vec<f64>,
+    acor_prev: Vec<f64>,
+    rhs: Vec<f64>,
+    resid: Vec<f64>,
+    jac: Vec<f64>,
+    newton_mat: Vec<f64>,
+    ewt: Vec<f64>,
+    sparse_work: Vec<f64>,
+}
+
+/// The BDF integrator object; reusable across many zones to amortize
+/// setup (notably the symbolic sparse factorization).
+pub struct BdfIntegrator {
+    opts: BdfOptions,
+    compiled: Option<CompiledLu>,
+}
+
+/// Apply the Pascal-triangle prediction `z ← A z` in place.
+fn predict(z: &mut [Vec<f64>], q: usize) {
+    for k in 1..=q {
+        for j in (k..=q).rev() {
+            let (a, b) = z.split_at_mut(j);
+            let zl = &mut a[j - 1];
+            let zh = &b[0];
+            for i in 0..zl.len() {
+                zl[i] += zh[i];
+            }
+        }
+    }
+}
+
+/// Undo [`predict`] (exact inverse; same descending loop, opposite sign,
+/// as in CVODE's `cvRestore`).
+fn unpredict(z: &mut [Vec<f64>], q: usize) {
+    for k in 1..=q {
+        for j in (k..=q).rev() {
+            let (a, b) = z.split_at_mut(j);
+            let zl = &mut a[j - 1];
+            let zh = &b[0];
+            for i in 0..zl.len() {
+                zl[i] -= zh[i];
+            }
+        }
+    }
+}
+
+/// Exact step-size rescale `z_j ← r^j z_j`.
+fn rescale(z: &mut [Vec<f64>], q: usize, r: f64) {
+    let mut f = 1.0;
+    for zj in z.iter_mut().take(q + 1).skip(1) {
+        f *= r;
+        for v in zj.iter_mut() {
+            *v *= f;
+        }
+    }
+}
+
+impl BdfIntegrator {
+    /// Create an integrator with the given options.
+    pub fn new(opts: BdfOptions) -> Self {
+        let compiled = match &opts.solver {
+            NewtonSolver::Compiled(p) => Some(CompiledLu::compile(p)),
+            NewtonSolver::Dense => None,
+        };
+        BdfIntegrator { opts, compiled }
+    }
+
+    fn error_weights(&self, y: &[f64], ewt: &mut [f64]) {
+        for i in 0..y.len() {
+            let atol = if self.opts.atol.len() == 1 {
+                self.opts.atol[0]
+            } else {
+                self.opts.atol[i]
+            };
+            ewt[i] = 1.0 / (self.opts.rtol * y[i].abs() + atol);
+        }
+    }
+
+    fn wrms(e: &[f64], ewt: &[f64]) -> f64 {
+        let n = e.len() as f64;
+        (e.iter()
+            .zip(ewt)
+            .map(|(&ei, &wi)| (ei * wi).powi(2))
+            .sum::<f64>()
+            / n)
+            .sqrt()
+    }
+
+    /// Integrate `sys` from `t0` to `tend`, updating `y` in place.
+    pub fn integrate(
+        &self,
+        sys: &dyn OdeSystem,
+        t0: f64,
+        tend: f64,
+        y: &mut [f64],
+    ) -> Result<BdfStats, BdfError> {
+        assert_eq!(y.len(), sys.dim());
+        assert!(tend > t0);
+        let n = sys.dim();
+        let max_order = self.opts.max_order.clamp(1, 5);
+        let mut stats = BdfStats::default();
+        let mut ws = Workspace {
+            ycur: vec![0.0; n],
+            acor: vec![0.0; n],
+            acor_prev: vec![0.0; n],
+            rhs: vec![0.0; n],
+            resid: vec![0.0; n],
+            jac: vec![0.0; n * n],
+            newton_mat: vec![0.0; n * n],
+            ewt: vec![0.0; n],
+            sparse_work: vec![0.0; self.compiled.as_ref().map_or(0, |c| c.nnz_filled())],
+        };
+        let mut l = [0.0f64; 6];
+
+        // Initial step size from the RHS scale.
+        sys.rhs(t0, y, &mut ws.rhs);
+        stats.rhs_evals += 1;
+        self.error_weights(y, &mut ws.ewt);
+        let mut h = match self.opts.h0 {
+            Some(h0) => h0,
+            None => {
+                let rate = Self::wrms(&ws.rhs, &ws.ewt).max(1e-30);
+                ((1.0 / rate) * 1e-3)
+                    .min((tend - t0) * 1e-3)
+                    .max((tend - t0) * 1e-12)
+            }
+        };
+        let hmin = (tend - t0) * 1e-15;
+
+        // Nordsieck array z[j] = h^j y^(j) / j!, j = 0..=q.
+        let mut z: Vec<Vec<f64>> = vec![y.to_vec(), ws.rhs.iter().map(|&f| f * h).collect()];
+        let mut t = t0;
+        let mut q = 1usize;
+        let mut qwait = 2usize; // steps until an order change is considered
+        let mut newton_fails = 0usize;
+        let mut err_fails = 0usize;
+        let mut have_acor_prev = false;
+
+        while t < tend - 1e-14 * (tend - t0).abs() {
+            if stats.steps + stats.rejected > self.opts.max_steps as u64 {
+                y.copy_from_slice(&z[0]);
+                return Err(BdfError::MaxSteps);
+            }
+            // Clamp to land on tend.
+            if t + h > tend {
+                let r = (tend - t) / h;
+                rescale(&mut z, q, r);
+                h = tend - t;
+            }
+            bdf_l(q, &mut l);
+            let gamma = l[0] * h;
+            self.error_weights(&z[0], &mut ws.ewt);
+
+            predict(&mut z, q);
+            let tn = t + h;
+            // Corrector: G(y) = y − γ f(y) − a with a = z0_pred − l₀ z1_pred
+            // (follows from requiring z1_new = h f and l₁ = 1).
+            ws.ycur.copy_from_slice(&z[0]);
+            sys.jac(tn, &ws.ycur, &mut ws.jac);
+            stats.jac_evals += 1;
+            for r in 0..n {
+                for c in 0..n {
+                    ws.newton_mat[r * n + c] = -gamma * ws.jac[r * n + c];
+                }
+                ws.newton_mat[r * n + r] += 1.0;
+            }
+            stats.factorizations += 1;
+            let dense_fact = match &self.compiled {
+                None => match DenseLu::factor(&ws.newton_mat, n) {
+                    Ok(f) => Some(f),
+                    Err(_) => {
+                        unpredict(&mut z, q);
+                        stats.rejected += 1;
+                        if h * 0.25 < hmin {
+                            y.copy_from_slice(&z[0]);
+                            return Err(BdfError::SingularMatrix);
+                        }
+                        rescale(&mut z, q, 0.25);
+                        h *= 0.25;
+                        continue;
+                    }
+                },
+                Some(_) => None,
+            };
+
+            // Newton iteration; acor accumulates e = y − y_pred.
+            ws.acor.iter_mut().for_each(|v| *v = 0.0);
+            let mut converged = false;
+            let mut last_dnorm = f64::INFINITY;
+            for _ in 0..4 {
+                sys.rhs(tn, &ws.ycur, &mut ws.rhs);
+                stats.rhs_evals += 1;
+                // resid = −G(y) = γ f(y) − l₀ z1_pred − acor.
+                for i in 0..n {
+                    ws.resid[i] = gamma * ws.rhs[i] - l[0] * z[1][i] - ws.acor[i];
+                }
+                let solved = match &dense_fact {
+                    Some(f) => {
+                        f.solve(&mut ws.resid);
+                        true
+                    }
+                    None => {
+                        let c = self.compiled.as_ref().unwrap();
+                        c.factor_solve(&ws.newton_mat, &mut ws.resid, &mut ws.sparse_work)
+                            .is_ok()
+                    }
+                };
+                if !solved {
+                    break;
+                }
+                stats.newton_iters += 1;
+                for i in 0..n {
+                    ws.acor[i] += ws.resid[i];
+                    ws.ycur[i] = z[0][i] + ws.acor[i];
+                }
+                let dnorm = Self::wrms(&ws.resid, &ws.ewt);
+                if !dnorm.is_finite() {
+                    break;
+                }
+                if dnorm < 0.1 {
+                    converged = true;
+                    break;
+                }
+                if dnorm > 2.0 * last_dnorm {
+                    break;
+                }
+                last_dnorm = dnorm;
+            }
+            if !converged {
+                unpredict(&mut z, q);
+                stats.rejected += 1;
+                newton_fails += 1;
+                if h * 0.25 < hmin {
+                    y.copy_from_slice(&z[0]);
+                    return Err(BdfError::StepUnderflow { t });
+                }
+                rescale(&mut z, q, 0.25);
+                h *= 0.25;
+                if newton_fails > 2 && q > 1 {
+                    z.truncate(2);
+                    q = 1;
+                    qwait = 2;
+                    have_acor_prev = false;
+                }
+                continue;
+            }
+            newton_fails = 0;
+
+            // Error test: LTE ≈ acor / (q+1).
+            let est = Self::wrms(&ws.acor, &ws.ewt) / (q as f64 + 1.0);
+            if est > 1.0 {
+                unpredict(&mut z, q);
+                stats.rejected += 1;
+                err_fails += 1;
+                let r = (0.9 * est.powf(-1.0 / (q as f64 + 1.0))).clamp(0.1, 0.9);
+                if h * r < hmin {
+                    y.copy_from_slice(&z[0]);
+                    return Err(BdfError::StepUnderflow { t });
+                }
+                rescale(&mut z, q, r);
+                h *= r;
+                if err_fails >= 3 && q > 1 {
+                    // Persistent failures: drop to order 1 (VODE's ETAMIN
+                    // path) — the high-order history is not trustworthy.
+                    z.truncate(2);
+                    q = 1;
+                    qwait = 2;
+                    have_acor_prev = false;
+                }
+                continue;
+            }
+            err_fails = 0;
+
+            // Accept: z += l_j · acor.
+            for j in 0..=q {
+                for i in 0..n {
+                    z[j][i] += l[j] * ws.acor[i];
+                }
+            }
+            t = tn;
+            stats.steps += 1;
+
+            // Step/order adaptation (one decision per qwait window).
+            let eta_q = 0.9 * est.max(1e-12).powf(-1.0 / (q as f64 + 1.0));
+            let mut eta = eta_q;
+            let mut new_q = q;
+            if qwait > 0 {
+                qwait -= 1;
+            } else {
+                if q > 1 {
+                    // Error at order q−1 from the highest Nordsieck entry.
+                    let est_dn = Self::wrms(&z[q], &ws.ewt) / q as f64;
+                    let eta_dn = 0.9 * est_dn.max(1e-12).powf(-1.0 / q as f64);
+                    if eta_dn > eta {
+                        eta = eta_dn;
+                        new_q = q - 1;
+                    }
+                }
+                if q < max_order && have_acor_prev {
+                    // Error at order q+1 from the change in corrections.
+                    let mut acc = 0.0;
+                    for i in 0..n {
+                        let d = (ws.acor[i] - ws.acor_prev[i]) * ws.ewt[i];
+                        acc += d * d;
+                    }
+                    let est_up = (acc / n as f64).sqrt() / (q as f64 + 2.0);
+                    let eta_up = 0.9 * est_up.max(1e-12).powf(-1.0 / (q as f64 + 2.0));
+                    if eta_up > eta {
+                        eta = eta_up;
+                        new_q = q + 1;
+                    }
+                }
+            }
+            ws.acor_prev.copy_from_slice(&ws.acor);
+            have_acor_prev = true;
+
+            if new_q != q {
+                if new_q > q {
+                    // Seed the new highest Nordsieck entry from the
+                    // correction (the next derivative's contribution).
+                    let mut zq1 = vec![0.0; n];
+                    for i in 0..n {
+                        zq1[i] = ws.acor[i] * l[q] / (q as f64 + 1.0);
+                    }
+                    z.push(zq1);
+                } else {
+                    z.truncate(new_q + 1);
+                }
+                q = new_q;
+                qwait = q + 1;
+                have_acor_prev = false;
+            }
+            let eta = eta.clamp(0.2, 5.0);
+            if !(0.9..=1.3).contains(&eta) {
+                rescale(&mut z, q, eta);
+                h *= eta;
+            }
+        }
+        y.copy_from_slice(&z[0]);
+        stats.final_order = q;
+        Ok(stats)
+    }
+}
+
+/// Classic fixed-step RK4, for non-stiff references and the stiffness
+/// demonstration tests.
+pub fn rk4(sys: &dyn OdeSystem, t0: f64, tend: f64, nsteps: usize, y: &mut [f64]) {
+    let n = sys.dim();
+    let h = (tend - t0) / nsteps as f64;
+    let (mut k1, mut k2, mut k3, mut k4) = (vec![0.0; n], vec![0.0; n], vec![0.0; n], vec![0.0; n]);
+    let mut tmp = vec![0.0; n];
+    let mut t = t0;
+    for _ in 0..nsteps {
+        sys.rhs(t, y, &mut k1);
+        for i in 0..n {
+            tmp[i] = y[i] + 0.5 * h * k1[i];
+        }
+        sys.rhs(t + 0.5 * h, &tmp, &mut k2);
+        for i in 0..n {
+            tmp[i] = y[i] + 0.5 * h * k2[i];
+        }
+        sys.rhs(t + 0.5 * h, &tmp, &mut k3);
+        for i in 0..n {
+            tmp[i] = y[i] + h * k3[i];
+        }
+        sys.rhs(t + h, &tmp, &mut k4);
+        for i in 0..n {
+            y[i] += h / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+        }
+        t += h;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// y' = -k y, solution y = e^{-kt}.
+    struct Decay {
+        k: f64,
+    }
+    impl OdeSystem for Decay {
+        fn dim(&self) -> usize {
+            1
+        }
+        fn rhs(&self, _t: f64, y: &[f64], dydt: &mut [f64]) {
+            dydt[0] = -self.k * y[0];
+        }
+        fn jac(&self, _t: f64, _y: &[f64], jac: &mut [f64]) {
+            jac[0] = -self.k;
+        }
+    }
+
+    /// The classic stiff Robertson problem.
+    struct Robertson;
+    impl OdeSystem for Robertson {
+        fn dim(&self) -> usize {
+            3
+        }
+        fn rhs(&self, _t: f64, y: &[f64], d: &mut [f64]) {
+            d[0] = -0.04 * y[0] + 1e4 * y[1] * y[2];
+            d[2] = 3e7 * y[1] * y[1];
+            d[1] = -d[0] - d[2];
+        }
+        fn jac(&self, _t: f64, y: &[f64], j: &mut [f64]) {
+            j[0] = -0.04;
+            j[1] = 1e4 * y[2];
+            j[2] = 1e4 * y[1];
+            j[6] = 0.0;
+            j[7] = 6e7 * y[1];
+            j[8] = 0.0;
+            j[3] = -j[0] - j[6];
+            j[4] = -j[1] - j[7];
+            j[5] = -j[2] - j[8];
+        }
+    }
+
+    /// Oscillator for accuracy/order checking: y'' = -y.
+    struct Oscillator;
+    impl OdeSystem for Oscillator {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn rhs(&self, _t: f64, y: &[f64], d: &mut [f64]) {
+            d[0] = y[1];
+            d[1] = -y[0];
+        }
+        fn jac(&self, _t: f64, _y: &[f64], j: &mut [f64]) {
+            j[0] = 0.0;
+            j[1] = 1.0;
+            j[2] = -1.0;
+            j[3] = 0.0;
+        }
+    }
+
+    #[test]
+    fn bdf_l_coefficients_match_tables() {
+        let mut l = [0.0; 6];
+        bdf_l(1, &mut l);
+        assert_eq!(&l[..2], &[1.0, 1.0]);
+        bdf_l(2, &mut l);
+        assert!((l[0] - 2.0 / 3.0).abs() < 1e-15);
+        assert!((l[2] - 1.0 / 3.0).abs() < 1e-15);
+        bdf_l(3, &mut l);
+        assert!((l[0] - 6.0 / 11.0).abs() < 1e-15);
+        assert!((l[2] - 6.0 / 11.0).abs() < 1e-15);
+        assert!((l[3] - 1.0 / 11.0).abs() < 1e-15);
+        bdf_l(5, &mut l);
+        assert!((l[0] - 120.0 / 274.0).abs() < 1e-14);
+        assert!((l[5] - 1.0 / 274.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn pascal_predict_unpredict_roundtrip() {
+        let mut z = vec![vec![1.0, 2.0], vec![0.5, -1.0], vec![0.25, 0.125]];
+        let orig = z.clone();
+        predict(&mut z, 2);
+        assert_ne!(z, orig);
+        // z0 after prediction = y + hy' + h²y''/2 (Taylor shift).
+        assert_eq!(z[0][0], 1.0 + 0.5 + 0.25);
+        unpredict(&mut z, 2);
+        for (a, b) in z.iter().zip(&orig) {
+            for (x, y) in a.iter().zip(b) {
+                assert!((x - y).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn rescale_is_geometric() {
+        let mut z = vec![vec![1.0], vec![1.0], vec![1.0], vec![1.0]];
+        rescale(&mut z, 3, 0.5);
+        assert_eq!(z[0][0], 1.0);
+        assert_eq!(z[1][0], 0.5);
+        assert_eq!(z[2][0], 0.25);
+        assert_eq!(z[3][0], 0.125);
+    }
+
+    #[test]
+    fn decay_matches_analytic() {
+        let sys = Decay { k: 2.5 };
+        let mut y = [1.0];
+        let integ = BdfIntegrator::new(BdfOptions::default());
+        let stats = integ.integrate(&sys, 0.0, 3.0, &mut y).unwrap();
+        let exact = (-2.5f64 * 3.0).exp();
+        // Global error can exceed rtol by a couple of orders (as in VODE).
+        assert!(
+            (y[0] - exact).abs() < 1e-4 * exact.max(1e-6),
+            "y = {}, exact = {exact}",
+            y[0]
+        );
+        assert!(stats.steps > 0);
+    }
+
+    #[test]
+    fn stiff_decay_takes_few_steps() {
+        // k = 1e8 over t = 1: explicit would need ~1e8 steps.
+        let sys = Decay { k: 1e8 };
+        let mut y = [1.0];
+        let integ = BdfIntegrator::new(BdfOptions {
+            rtol: 1e-6,
+            ..Default::default()
+        });
+        let stats = integ.integrate(&sys, 0.0, 1.0, &mut y).unwrap();
+        assert!(y[0].abs() < 1e-8);
+        assert!(
+            stats.steps < 2000,
+            "implicit integrator took {} steps on a stiff decay",
+            stats.steps
+        );
+    }
+
+    #[test]
+    fn robertson_standard_checkpoint() {
+        let mut y = [1.0, 0.0, 0.0];
+        let integ = BdfIntegrator::new(BdfOptions {
+            rtol: 1e-8,
+            atol: vec![1e-12, 1e-14, 1e-12],
+            ..Default::default()
+        });
+        let stats = integ.integrate(&Robertson, 0.0, 40.0, &mut y).unwrap();
+        // Reference values at t = 40 (from published stiff test suites).
+        assert!((y[0] - 0.7158271).abs() < 1e-4, "y0 = {}", y[0]);
+        assert!((y[1] - 9.186e-6).abs() < 1e-7, "y1 = {}", y[1]);
+        assert!((y[2] - 0.2841636).abs() < 1e-4, "y2 = {}", y[2]);
+        assert!((y[0] + y[1] + y[2] - 1.0).abs() < 1e-7);
+        assert!(stats.steps < 20_000, "{} steps", stats.steps);
+    }
+
+    #[test]
+    fn oscillator_accuracy_and_order_raising() {
+        let mut y = [1.0, 0.0];
+        let integ = BdfIntegrator::new(BdfOptions {
+            rtol: 1e-9,
+            atol: vec![1e-12],
+            ..Default::default()
+        });
+        let stats = integ.integrate(&Oscillator, 0.0, 10.0, &mut y).unwrap();
+        assert!((y[0] - 10f64.cos()).abs() < 1e-5, "y0 = {}", y[0]);
+        assert!((y[1] + 10f64.sin()).abs() < 1e-5, "y1 = {}", y[1]);
+        assert!(
+            stats.final_order >= 3,
+            "tight tolerances should drive the order up (got {})",
+            stats.final_order
+        );
+    }
+
+    #[test]
+    fn tighter_tolerance_means_smaller_error() {
+        let run = |rtol: f64| {
+            let mut y = [1.0, 0.0];
+            let integ = BdfIntegrator::new(BdfOptions {
+                rtol,
+                atol: vec![rtol * 1e-3],
+                ..Default::default()
+            });
+            integ.integrate(&Oscillator, 0.0, 5.0, &mut y).unwrap();
+            (y[0] - 5f64.cos()).abs()
+        };
+        let loose = run(1e-4);
+        let tight = run(1e-10);
+        assert!(tight < loose, "tight {tight} vs loose {loose}");
+        assert!(tight < 1e-6);
+    }
+
+    #[test]
+    fn compiled_solver_matches_dense() {
+        let pattern = SparsePattern::new(
+            3,
+            vec![
+                (0, 0),
+                (0, 1),
+                (0, 2),
+                (1, 0),
+                (1, 1),
+                (1, 2),
+                (2, 1),
+                (2, 2),
+            ],
+        );
+        let run = |solver: NewtonSolver| {
+            let mut y = [1.0, 0.0, 0.0];
+            let integ = BdfIntegrator::new(BdfOptions {
+                rtol: 1e-8,
+                atol: vec![1e-12, 1e-14, 1e-12],
+                solver,
+                ..Default::default()
+            });
+            integ.integrate(&Robertson, 0.0, 40.0, &mut y).unwrap();
+            y
+        };
+        let yd = run(NewtonSolver::Dense);
+        let ys = run(NewtonSolver::Compiled(pattern));
+        for i in 0..3 {
+            assert!(
+                (yd[i] - ys[i]).abs() < 1e-6 * yd[i].abs().max(1e-10),
+                "component {i}: dense {} vs compiled {}",
+                yd[i],
+                ys[i]
+            );
+        }
+    }
+
+    #[test]
+    fn rk4_oscillator_reference() {
+        let mut y = [1.0, 0.0];
+        rk4(&Oscillator, 0.0, 10.0, 10_000, &mut y);
+        assert!((y[0] - 10f64.cos()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_steps_is_enforced() {
+        let sys = Decay { k: 1.0 };
+        let mut y = [1.0];
+        let integ = BdfIntegrator::new(BdfOptions {
+            max_steps: 3,
+            rtol: 1e-12,
+            atol: vec![1e-14],
+            h0: Some(1e-9),
+            ..Default::default()
+        });
+        assert_eq!(
+            integ.integrate(&sys, 0.0, 1.0, &mut y).unwrap_err(),
+            BdfError::MaxSteps
+        );
+    }
+
+    #[test]
+    fn step_exactly_hits_tend() {
+        struct Lin;
+        impl OdeSystem for Lin {
+            fn dim(&self) -> usize {
+                1
+            }
+            fn rhs(&self, _t: f64, _y: &[f64], d: &mut [f64]) {
+                d[0] = 3.0;
+            }
+            fn jac(&self, _t: f64, _y: &[f64], j: &mut [f64]) {
+                j[0] = 0.0;
+            }
+        }
+        let mut y = [0.5];
+        let integ = BdfIntegrator::new(BdfOptions::default());
+        integ.integrate(&Lin, 0.0, 7.0, &mut y).unwrap();
+        assert!((y[0] - 21.5).abs() < 1e-8, "y = {}", y[0]);
+    }
+}

@@ -1,0 +1,37 @@
+//! # exastro-microphysics
+//!
+//! The shared microphysics substrate of the `exastro` suite — the Rust
+//! analogue of the AMReX-Astro Microphysics repository that Castro and
+//! MAESTROeX both build on (§II of *Preparing Nuclear Astrophysics for
+//! Exascale*).
+//!
+//! * [`constants`] — CGS physical constants;
+//! * [`species`] — isotope data, compositions, binding-energy bookkeeping;
+//! * [`eos`] — gamma-law and analytic stellar (ion + radiation + degenerate
+//!   electron) equations of state;
+//! * [`rates`] — Gamow-peak reaction-rate fits and plasma screening;
+//! * [`network`] — the reaction-network framework and the `cburn2`,
+//!   `triple_alpha`, and `aprox13` networks;
+//! * [`linalg`] — dense LU and the sparsity-pattern-compiled solver;
+//! * [`integrator`] — the VODE-style variable-order BDF integrator;
+//! * [`burner`] — the self-heating zone burner used by the hydro codes.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod burner;
+pub mod constants;
+pub mod eos;
+pub mod integrator;
+pub mod linalg;
+pub mod network;
+pub mod rates;
+pub mod species;
+
+pub use burner::{BurnOutcome, Burner};
+pub use eos::{Eos, EosResult, GammaLaw, StellarEos};
+pub use integrator::{rk4, BdfError, BdfIntegrator, BdfOptions, BdfStats, NewtonSolver, OdeSystem};
+pub use linalg::{CompiledLu, DenseLu, SparsePattern, Singular};
+pub use network::{Aprox13, CBurn2, Iso7, Network, Reaction, TripleAlpha};
+pub use rates::{gamow_tau_alpha, screening_factor, Rate};
+pub use species::{energy_rate, mass_to_molar, molar_to_mass, Composition, Species};

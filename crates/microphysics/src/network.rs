@@ -1,0 +1,735 @@
+//! Nuclear reaction networks.
+//!
+//! A network is a set of species plus a set of reactions with molar rate
+//! coefficients. The right-hand side and the analytic Jacobian (with respect
+//! to both the molar abundances *and* the temperature) are assembled
+//! generically from the reaction list, so adding a network is declarative.
+//!
+//! Three networks are provided, mirroring the paper's problems:
+//!
+//! * [`CBurn2`] — the N = 2 carbon-burning network of the MAESTROeX
+//!   reacting-bubble test (§IV-B);
+//! * [`TripleAlpha`] — helium burning with its ~T⁴⁰ sensitivity (§IV-B);
+//! * [`Aprox13`] — the 13-isotope alpha chain used for the white-dwarf
+//!   collision science runs (§V), whose Jacobian is ~40% structurally empty
+//!   (§VI).
+
+use crate::linalg::SparsePattern;
+use crate::rates::{gamow_tau_alpha, screening_factor, Rate};
+use crate::species::{energy_rate, iso, Species};
+
+/// One reaction: `Σ count_i · reactant_i → Σ count_j · product_j`.
+#[derive(Clone, Debug)]
+pub struct Reaction {
+    /// Reactant species indices with stoichiometric counts.
+    pub reactants: Vec<(usize, u32)>,
+    /// Product species indices with stoichiometric counts.
+    pub products: Vec<(usize, u32)>,
+    /// Rate coefficient fit.
+    pub rate: Rate,
+    /// Symmetry factor: the product of `count!` over reactants (2 for an
+    /// identical pair, 6 for triple-alpha).
+    pub symmetry: f64,
+}
+
+impl Reaction {
+    /// Two distinct reactants → products.
+    pub fn two_body(i: usize, j: usize, products: Vec<(usize, u32)>, rate: Rate) -> Self {
+        assert_ne!(i, j);
+        Reaction {
+            reactants: vec![(i, 1), (j, 1)],
+            products,
+            rate,
+            symmetry: 1.0,
+        }
+    }
+
+    /// An identical pair `X + X` → products.
+    pub fn pair(i: usize, products: Vec<(usize, u32)>, rate: Rate) -> Self {
+        Reaction {
+            reactants: vec![(i, 2)],
+            products,
+            rate,
+            symmetry: 2.0,
+        }
+    }
+
+    /// Triple identical `3X` → products.
+    pub fn triple(i: usize, products: Vec<(usize, u32)>, rate: Rate) -> Self {
+        Reaction {
+            reactants: vec![(i, 3)],
+            products,
+            rate,
+            symmetry: 6.0,
+        }
+    }
+
+    /// Total reactant count (the reaction's molecularity).
+    fn order(&self) -> u32 {
+        self.reactants.iter().map(|&(_, c)| c).sum()
+    }
+}
+
+/// A nuclear reaction network.
+pub trait Network: Send + Sync {
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+
+    /// The species tracked.
+    fn species(&self) -> &[Species];
+
+    /// The reaction list.
+    fn reactions(&self) -> &[Reaction];
+
+    /// Whether to apply the plasma screening enhancement.
+    fn screening(&self) -> bool {
+        true
+    }
+
+    /// Number of species.
+    fn nspec(&self) -> usize {
+        self.species().len()
+    }
+
+    /// Index of a species by name; panics if absent.
+    fn index_of(&self, name: &str) -> usize {
+        self.species()
+            .iter()
+            .position(|s| s.name == name)
+            .unwrap_or_else(|| panic!("species {name} not in network {}", self.name()))
+    }
+
+    /// Molar reaction rate `r` (mol g⁻¹ s⁻¹) and its T-derivative for
+    /// reaction `rx` at (ρ, T) with abundances `y`.
+    fn reaction_rate(&self, rx: &Reaction, rho: f64, t: f64, y: &[f64]) -> (f64, f64) {
+        let t9 = t / 1e9;
+        let (mut lam, mut dlam_dt9) = rx.rate.eval(t9);
+        if self.screening() && rx.order() >= 2 {
+            // Screening applied with the charges of the first two reactants.
+            let (i0, _) = rx.reactants[0];
+            let z1 = self.species()[i0].z;
+            let z2 = if rx.reactants.len() > 1 {
+                self.species()[rx.reactants[1].0].z
+            } else {
+                z1
+            };
+            let comp_abar = 12.0; // mean values matter only logarithmically here
+            let comp_zbar = 6.0;
+            let f = screening_factor(z1, z2, rho, t, comp_abar, comp_zbar);
+            lam *= f;
+            dlam_dt9 *= f; // d(screening)/dT neglected (weak screening)
+        }
+        let mut yprod = 1.0;
+        for &(i, c) in &rx.reactants {
+            yprod *= y[i].max(0.0).powi(c as i32);
+        }
+        let rho_pow = rho.powi(rx.order() as i32 - 1);
+        let r = rho_pow * lam * yprod / rx.symmetry;
+        let drdt = rho_pow * dlam_dt9 * yprod / rx.symmetry / 1e9;
+        (r, drdt)
+    }
+
+    /// Fill `ydot` (length nspec) with dY/dt at (ρ, T, Y).
+    fn ydot(&self, rho: f64, t: f64, y: &[f64], ydot: &mut [f64]) {
+        ydot.iter_mut().for_each(|v| *v = 0.0);
+        for rx in self.reactions() {
+            let (r, _) = self.reaction_rate(rx, rho, t, y);
+            for &(i, c) in &rx.reactants {
+                ydot[i] -= c as f64 * r;
+            }
+            for &(i, c) in &rx.products {
+                ydot[i] += c as f64 * r;
+            }
+        }
+    }
+
+    /// Specific nuclear energy generation rate ε (erg g⁻¹ s⁻¹) at the state.
+    fn eps(&self, rho: f64, t: f64, y: &[f64]) -> f64 {
+        let n = self.nspec();
+        let mut ydot = vec![0.0; n];
+        self.ydot(rho, t, y, &mut ydot);
+        energy_rate(self.species(), &ydot)
+    }
+
+    /// Fill the `(n+1) × (n+1)` row-major Jacobian block for the species:
+    /// rows `0..n` hold ∂Ẏᵢ/∂Yⱼ in columns `0..n` and ∂Ẏᵢ/∂T in column `n`.
+    /// Row `n` (the temperature equation) is left zero for the burner to
+    /// fill. `jac` has length `(n+1)²`.
+    fn jac(&self, rho: f64, t: f64, y: &[f64], jac: &mut [f64]) {
+        let n = self.nspec();
+        let m = n + 1;
+        assert_eq!(jac.len(), m * m);
+        jac.iter_mut().for_each(|v| *v = 0.0);
+        for rx in self.reactions() {
+            let (r, drdt) = self.reaction_rate(rx, rho, t, y);
+            // dr/dY_j for each distinct reactant j: r * c_j / Y_j computed
+            // robustly (avoid dividing by tiny Y by re-deriving the product).
+            for rj in 0..rx.reactants.len() {
+                let (j, cj) = rx.reactants[rj];
+                // d(Π Y_i^{c_i})/dY_j = c_j Y_j^{c_j-1} Π_{i≠j} Y_i^{c_i}
+                let mut dyprod = cj as f64 * y[j].max(0.0).powi(cj as i32 - 1);
+                for (ri, &(i, ci)) in rx.reactants.iter().enumerate() {
+                    if ri != rj {
+                        dyprod *= y[i].max(0.0).powi(ci as i32);
+                    }
+                }
+                let t9 = t / 1e9;
+                let (mut lam, _) = rx.rate.eval(t9);
+                if self.screening() && rx.order() >= 2 {
+                    let z1 = self.species()[rx.reactants[0].0].z;
+                    let z2 = if rx.reactants.len() > 1 {
+                        self.species()[rx.reactants[1].0].z
+                    } else {
+                        z1
+                    };
+                    lam *= screening_factor(z1, z2, rho, t, 12.0, 6.0);
+                }
+                let drdy = rho.powi(rx.order() as i32 - 1) * lam * dyprod / rx.symmetry;
+                for &(i, c) in &rx.reactants {
+                    jac[i * m + j] -= c as f64 * drdy;
+                }
+                for &(i, c) in &rx.products {
+                    jac[i * m + j] += c as f64 * drdy;
+                }
+            }
+            // Temperature column.
+            for &(i, c) in &rx.reactants {
+                jac[i * m + n] -= c as f64 * drdt;
+            }
+            for &(i, c) in &rx.products {
+                jac[i * m + n] += c as f64 * drdt;
+            }
+            let _ = r;
+        }
+    }
+
+    /// The structural sparsity of the full `(n+1)²` burner Jacobian
+    /// (species block plus the dense temperature row/column).
+    fn sparsity(&self) -> SparsePattern {
+        let n = self.nspec();
+        let m = n + 1;
+        let mut entries = Vec::new();
+        for rx in self.reactions() {
+            let mut involved: Vec<usize> = Vec::new();
+            for &(i, _) in &rx.reactants {
+                involved.push(i);
+            }
+            for &(i, _) in &rx.products {
+                involved.push(i);
+            }
+            for &i in &involved {
+                for &(j, _) in &rx.reactants {
+                    entries.push((i, j));
+                }
+                entries.push((i, n)); // T column
+            }
+        }
+        // Temperature row couples to everything a reaction touches.
+        for rx in self.reactions() {
+            for &(j, _) in &rx.reactants {
+                entries.push((n, j));
+            }
+        }
+        entries.push((n, n));
+        SparsePattern::new(m, entries)
+    }
+}
+
+/// The 2-species carbon network of the reacting-bubble problem:
+/// `C¹² + C¹² → Mg²⁴` (ash lumped, as in the MAESTROeX test problem).
+#[derive(Clone, Debug)]
+pub struct CBurn2 {
+    species: Vec<Species>,
+    reactions: Vec<Reaction>,
+}
+
+impl Default for CBurn2 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CBurn2 {
+    /// Build the network.
+    pub fn new() -> Self {
+        let species = vec![iso::C12, iso::MG24];
+        let reactions = vec![Reaction::pair(0, vec![(1, 1)], Rate::C12C12)];
+        CBurn2 { species, reactions }
+    }
+}
+
+impl Network for CBurn2 {
+    fn name(&self) -> &'static str {
+        "cburn2"
+    }
+    fn species(&self) -> &[Species] {
+        &self.species
+    }
+    fn reactions(&self) -> &[Reaction] {
+        &self.reactions
+    }
+}
+
+/// Helium burning: `3 He⁴ → C¹²` (+ optional `C¹²(α,γ)O¹⁶`).
+#[derive(Clone, Debug)]
+pub struct TripleAlpha {
+    species: Vec<Species>,
+    reactions: Vec<Reaction>,
+}
+
+impl Default for TripleAlpha {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TripleAlpha {
+    /// Build the network (He4, C12, O16).
+    pub fn new() -> Self {
+        let species = vec![iso::HE4, iso::C12, iso::O16];
+        let reactions = vec![
+            Reaction::triple(0, vec![(1, 1)], Rate::TripleAlpha),
+            Reaction::two_body(
+                1,
+                0,
+                vec![(2, 1)],
+                Rate::AlphaCapture {
+                    c: 3.0e7,
+                    tau: gamow_tau_alpha(6.0, 12.0),
+                },
+            ),
+        ];
+        TripleAlpha { species, reactions }
+    }
+}
+
+impl Network for TripleAlpha {
+    fn name(&self) -> &'static str {
+        "triple_alpha"
+    }
+    fn species(&self) -> &[Species] {
+        &self.species
+    }
+    fn reactions(&self) -> &[Reaction] {
+        &self.reactions
+    }
+}
+
+/// The 7-isotope network (iso7 structure): the cheaper production
+/// alternative to aprox13, covering He/C/O burning through silicon with
+/// nickel as the terminal ash. Silicon burning to nickel is lumped as the
+/// crude `2 Si²⁸ → Ni⁵⁶` closure used by minimal silicon-burning networks.
+#[derive(Clone, Debug)]
+pub struct Iso7 {
+    species: Vec<Species>,
+    reactions: Vec<Reaction>,
+}
+
+impl Default for Iso7 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Iso7 {
+    /// Build the network.
+    pub fn new() -> Self {
+        let species = vec![
+            iso::HE4,
+            iso::C12,
+            iso::O16,
+            iso::NE20,
+            iso::MG24,
+            iso::SI28,
+            iso::NI56,
+        ];
+        let (he, c12, o16, ne20, mg24, si28, ni56) = (0usize, 1, 2, 3, 4, 5, 6);
+        let reactions = vec![
+            Reaction::triple(he, vec![(c12, 1)], Rate::TripleAlpha),
+            Reaction::two_body(
+                c12,
+                he,
+                vec![(o16, 1)],
+                Rate::AlphaCapture {
+                    c: 3.0e7,
+                    tau: gamow_tau_alpha(6.0, 12.0),
+                },
+            ),
+            Reaction::pair(c12, vec![(ne20, 1), (he, 1)], Rate::C12C12),
+            Reaction::two_body(c12, o16, vec![(mg24, 1), (he, 1)], Rate::C12O16),
+            Reaction::pair(o16, vec![(si28, 1), (he, 1)], Rate::O16O16),
+            Reaction::two_body(
+                o16,
+                he,
+                vec![(ne20, 1)],
+                Rate::AlphaCapture {
+                    c: 1.5e7,
+                    tau: gamow_tau_alpha(8.0, 16.0),
+                },
+            ),
+            Reaction::two_body(
+                ne20,
+                he,
+                vec![(mg24, 1)],
+                Rate::AlphaCapture {
+                    c: 1.0e9,
+                    tau: gamow_tau_alpha(10.0, 20.0),
+                },
+            ),
+            Reaction::two_body(
+                mg24,
+                he,
+                vec![(si28, 1)],
+                Rate::AlphaCapture {
+                    c: 8.0e8,
+                    tau: gamow_tau_alpha(12.0, 24.0),
+                },
+            ),
+            // Lumped silicon → nickel closure (2×28 = 56 nucleons).
+            Reaction::pair(
+                si28,
+                vec![(ni56, 1)],
+                Rate::AlphaCapture {
+                    c: 5.0e10,
+                    tau: gamow_tau_alpha(14.0, 28.0) * 2.0,
+                },
+            ),
+        ];
+        Iso7 { species, reactions }
+    }
+}
+
+impl Network for Iso7 {
+    fn name(&self) -> &'static str {
+        "iso7"
+    }
+    fn species(&self) -> &[Species] {
+        &self.species
+    }
+    fn reactions(&self) -> &[Reaction] {
+        &self.reactions
+    }
+}
+
+/// The 13-isotope alpha chain (aprox13 structure): He⁴ through Ni⁵⁶
+/// connected by `(α,γ)` captures, plus ³α, C+C, C+O and O+O heavy-ion
+/// reactions. Forward rates only — adequate below T₉ ≈ 5, which covers the
+/// paper's science runs (ignition is declared at 4×10⁹ K).
+#[derive(Clone, Debug)]
+pub struct Aprox13 {
+    species: Vec<Species>,
+    reactions: Vec<Reaction>,
+}
+
+impl Default for Aprox13 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Aprox13 {
+    /// Build the network.
+    pub fn new() -> Self {
+        let species = vec![
+            iso::HE4,
+            iso::C12,
+            iso::O16,
+            iso::NE20,
+            iso::MG24,
+            iso::SI28,
+            iso::S32,
+            iso::AR36,
+            iso::CA40,
+            iso::TI44,
+            iso::CR48,
+            iso::FE52,
+            iso::NI56,
+        ];
+        let he = 0usize;
+        let mut reactions = vec![
+            Reaction::triple(he, vec![(1, 1)], Rate::TripleAlpha),
+            // C12 + C12 → Ne20 + He4 (dominant channel in aprox13)
+            Reaction::pair(1, vec![(3, 1), (he, 1)], Rate::C12C12),
+            // C12 + O16 → Mg24 + He4
+            Reaction::two_body(1, 2, vec![(4, 1), (he, 1)], Rate::C12O16),
+            // O16 + O16 → Si28 + He4
+            Reaction::pair(2, vec![(5, 1), (he, 1)], Rate::O16O16),
+        ];
+        // The alpha chain: X_i (α,γ) X_{i+1} for C12 → Ni56.
+        for i in 1..12 {
+            let sp = &species[i];
+            // Normalizations chosen to give silicon-group burning at the
+            // right temperatures qualitatively; heavier captures have
+            // higher Coulomb barriers through τ.
+            let c = 8.0e9 / (1.0 + i as f64);
+            reactions.push(Reaction::two_body(
+                i,
+                he,
+                vec![(i + 1, 1)],
+                Rate::AlphaCapture {
+                    c,
+                    tau: gamow_tau_alpha(sp.z, sp.a),
+                },
+            ));
+        }
+        Aprox13 { species, reactions }
+    }
+}
+
+impl Network for Aprox13 {
+    fn name(&self) -> &'static str {
+        "aprox13"
+    }
+    fn species(&self) -> &[Species] {
+        &self.species
+    }
+    fn reactions(&self) -> &[Reaction] {
+        &self.reactions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::species::mass_to_molar;
+
+    fn molar(net: &dyn Network, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; net.nspec()];
+        mass_to_molar(net.species(), x, &mut y);
+        y
+    }
+
+    /// Nucleon conservation: Σ A_i dY_i/dt = 0 for any reaction set.
+    fn check_nucleon_conservation(net: &dyn Network, rho: f64, t: f64, y: &[f64]) {
+        let mut ydot = vec![0.0; net.nspec()];
+        net.ydot(rho, t, y, &mut ydot);
+        let sum: f64 = net
+            .species()
+            .iter()
+            .zip(&ydot)
+            .map(|(s, &d)| s.a * d)
+            .sum();
+        let scale: f64 = ydot.iter().map(|d| d.abs()).sum::<f64>().max(1e-300);
+        assert!(
+            (sum / scale).abs() < 1e-12,
+            "{}: nucleons not conserved: {sum}",
+            net.name()
+        );
+    }
+
+    #[test]
+    fn cburn2_consumes_carbon_makes_magnesium() {
+        let net = CBurn2::new();
+        let y = molar(&net, &[1.0, 0.0]);
+        let mut ydot = vec![0.0; 2];
+        net.ydot(2.6e9 / 1e3, 6e8, &y, &mut ydot); // bubble-ish conditions
+        let mut ydot2 = vec![0.0; 2];
+        net.ydot(2.6e6, 6e8, &y, &mut ydot2);
+        assert!(ydot2[0] < 0.0 && ydot2[1] > 0.0);
+        assert!((ydot2[0] + 2.0 * ydot2[1]).abs() < 1e-12 * ydot2[1].abs());
+        check_nucleon_conservation(&net, 2.6e6, 6e8, &y);
+        assert!(net.eps(2.6e6, 6e8, &y) > 0.0);
+    }
+
+    #[test]
+    fn rates_feedback_with_temperature() {
+        let net = CBurn2::new();
+        let y = molar(&net, &[1.0, 0.0]);
+        let e1 = net.eps(2.6e6, 5e8, &y);
+        let e2 = net.eps(2.6e6, 6e8, &y);
+        assert!(e2 > 10.0 * e1, "carbon burning should be extremely T-sensitive");
+    }
+
+    #[test]
+    fn triple_alpha_makes_carbon_then_oxygen() {
+        let net = TripleAlpha::new();
+        let y = molar(&net, &[1.0, 0.0, 0.0]);
+        let mut ydot = vec![0.0; 3];
+        net.ydot(1e5, 2e8, &y, &mut ydot);
+        assert!(ydot[0] < 0.0 && ydot[1] > 0.0);
+        check_nucleon_conservation(&net, 1e5, 2e8, &y);
+        // With carbon present, O16 production turns on.
+        let y2 = molar(&net, &[0.5, 0.5, 0.0]);
+        let mut ydot2 = vec![0.0; 3];
+        net.ydot(1e5, 3e8, &y2, &mut ydot2);
+        assert!(ydot2[2] > 0.0);
+    }
+
+    #[test]
+    fn aprox13_structure() {
+        let net = Aprox13::new();
+        assert_eq!(net.nspec(), 13);
+        assert_eq!(net.index_of("he4"), 0);
+        assert_eq!(net.index_of("ni56"), 12);
+        let y = molar(
+            &net,
+            &[0.0, 0.5, 0.5, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+        );
+        check_nucleon_conservation(&net, 1e7, 3e9, &y);
+        // C/O fuel at 3e9 K burns exothermically.
+        assert!(net.eps(1e7, 3e9, &y) > 0.0);
+    }
+
+    #[test]
+    fn aprox13_jacobian_sparsity_roughly_matches_paper() {
+        // §VI: "about 40% of the dense matrix [is] empty" for the 13-isotope
+        // network (14×14 with temperature). Our forward-only chain lacks the
+        // reverse and (α,p)(p,γ) links, so it is somewhat emptier (~60%);
+        // the structure — dense He/T rows and columns, near-tridiagonal
+        // chain block — is the same, which is what the sparse-solver
+        // ablation exercises.
+        let net = Aprox13::new();
+        let p = net.sparsity();
+        assert_eq!(p.dim(), 14);
+        let empty = p.empty_fraction();
+        assert!(
+            empty > 0.35 && empty < 0.70,
+            "empty fraction {empty} out of plausible range"
+        );
+    }
+
+    /// Wrapper disabling screening: the analytic Jacobian deliberately
+    /// neglects d(screening)/dT (weak screening), so the FD comparison is
+    /// run unscreened.
+    struct NoScreen(Aprox13);
+    impl Network for NoScreen {
+        fn name(&self) -> &'static str {
+            "aprox13-noscreen"
+        }
+        fn species(&self) -> &[Species] {
+            self.0.species()
+        }
+        fn reactions(&self) -> &[Reaction] {
+            self.0.reactions()
+        }
+        fn screening(&self) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn analytic_jacobian_matches_finite_difference() {
+        let net = NoScreen(Aprox13::new());
+        let n = net.nspec();
+        let m = n + 1;
+        let mut x = vec![0.01; n];
+        x[0] = 0.2;
+        x[1] = 0.4;
+        x[2] = 0.29;
+        let y = molar(&net, &x);
+        let (rho, t) = (5e6, 2.5e9);
+        let mut jac = vec![0.0; m * m];
+        net.jac(rho, t, &y, &mut jac);
+        let mut ydot0 = vec![0.0; n];
+        net.ydot(rho, t, &y, &mut ydot0);
+        // Species-species block.
+        for j in 0..n {
+            // h must be large enough that Δf clears the round-off floor of
+            // |f| ~ 1e4 at these conditions; rates are at most cubic in Y so
+            // central differences stay accurate at h ~ 1% of Y.
+            let h = (y[j].abs() * 1e-2).max(1e-8);
+            let mut yp = y.clone();
+            yp[j] += h;
+            let mut ym = y.clone();
+            ym[j] -= h;
+            let mut ydot1 = vec![0.0; n];
+            net.ydot(rho, t, &yp, &mut ydot1);
+            let mut ydotm = vec![0.0; n];
+            net.ydot(rho, t, &ym, &mut ydotm);
+            for i in 0..n {
+                let fd = (ydot1[i] - ydotm[i]) / (2.0 * h);
+                let an = jac[i * m + j];
+                let row_scale = ydot0.iter().fold(0.0f64, |a, &v| a.max(v.abs()));
+                let tol = 1e-3 * fd.abs().max(an.abs()) + 1e-9 * row_scale + 1e-300;
+                assert!(
+                    (an - fd).abs() < tol,
+                    "J[{i}][{j}]: analytic {an} vs fd {fd}"
+                );
+            }
+        }
+        // Temperature column (central difference).
+        let ht = t * 1e-6;
+        let mut ydot1 = vec![0.0; n];
+        net.ydot(rho, t + ht, &y, &mut ydot1);
+        let mut ydotm = vec![0.0; n];
+        net.ydot(rho, t - ht, &y, &mut ydotm);
+        for i in 0..n {
+            let fd = (ydot1[i] - ydotm[i]) / (2.0 * ht);
+            let an = jac[i * m + n];
+            let scale = fd.abs().max(an.abs()).max(1e-300);
+            if scale > 1e-300 {
+                assert!(
+                    (an - fd).abs() / scale < 1e-2,
+                    "dYdot[{i}]/dT: analytic {an} vs fd {fd}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn jacobian_respects_declared_sparsity() {
+        let net = Aprox13::new();
+        let n = net.nspec();
+        let m = n + 1;
+        let p = net.sparsity();
+        let mut y = vec![0.01; n];
+        y[0] = 0.05;
+        let mut jac = vec![0.0; m * m];
+        net.jac(5e6, 3e9, &y, &mut jac);
+        for r in 0..n {
+            for c in 0..m {
+                if jac[r * m + c] != 0.0 {
+                    assert!(p.contains(r, c), "nonzero J[{r}][{c}] outside pattern");
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod iso7_tests {
+    use super::*;
+    use crate::species::mass_to_molar;
+
+    #[test]
+    fn iso7_structure_and_conservation() {
+        let net = Iso7::new();
+        assert_eq!(net.nspec(), 7);
+        assert_eq!(net.index_of("ni56"), 6);
+        let mut y = vec![0.0; 7];
+        mass_to_molar(net.species(), &[0.0, 0.5, 0.5, 0.0, 0.0, 0.0, 0.0], &mut y);
+        let mut ydot = vec![0.0; 7];
+        net.ydot(1e7, 3e9, &y, &mut ydot);
+        let sum: f64 = net.species().iter().zip(&ydot).map(|(s, &d)| s.a * d).sum();
+        let scale: f64 = ydot.iter().map(|d| d.abs()).sum::<f64>().max(1e-300);
+        assert!((sum / scale).abs() < 1e-12, "nucleons: {sum}");
+        assert!(net.eps(1e7, 3e9, &y) > 0.0);
+    }
+
+    #[test]
+    fn iso7_is_cheaper_than_aprox13_but_same_shape() {
+        // The point of iso7: same qualitative chain, 8×8 Jacobian instead
+        // of 14×14 — the N² linear-solve scaling of §IV-B.
+        let i7 = Iso7::new();
+        let a13 = Aprox13::new();
+        let p7 = i7.sparsity();
+        let p13 = a13.sparsity();
+        assert!(p7.dim() < p13.dim());
+        assert!(p7.nnz() < p13.nnz());
+        // Both burn C/O exothermically at detonation conditions.
+        let mut y7 = vec![0.0; 7];
+        mass_to_molar(i7.species(), &[0.0, 0.5, 0.5, 0.0, 0.0, 0.0, 0.0], &mut y7);
+        let mut y13 = vec![0.0; 13];
+        let mut x13 = vec![0.0; 13];
+        x13[1] = 0.5;
+        x13[2] = 0.5;
+        mass_to_molar(a13.species(), &x13, &mut y13);
+        let e7 = i7.eps(1e7, 3e9, &y7);
+        let e13 = a13.eps(1e7, 3e9, &y13);
+        assert!(e7 > 0.0 && e13 > 0.0);
+        assert!(
+            (e7 / e13).log10().abs() < 1.0,
+            "iso7 {e7:.2e} vs aprox13 {e13:.2e} should be within 10×"
+        );
+    }
+}

@@ -1,0 +1,183 @@
+//! Thermonuclear reaction-rate fits.
+//!
+//! Rates are expressed as `N_A <σv>`-style molar rate coefficients λ(T₉)
+//! (cm³ mol⁻¹ s⁻¹ for two-body, cm⁶ mol⁻² s⁻¹ for three-body), with T₉ the
+//! temperature in units of 10⁹ K. The fits are simplified versions of the
+//! Caughlan & Fowler (1988) expressions — they keep the Gamow-peak
+//! exponentials that give the extreme temperature sensitivity the paper
+//! discusses (the triple-alpha rate goes like ~T⁴⁰ near 10⁸ K) but drop
+//! low-impact correction polynomials. Each rate returns both λ and dλ/dT₉
+//! for analytic Jacobians.
+
+/// A reaction-rate coefficient fit.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Rate {
+    /// Triple-alpha: 3 He⁴ → C¹², λ₃α(T₉) (cm⁶ mol⁻² s⁻¹).
+    TripleAlpha,
+    /// C¹² + C¹² fusion (CF88 leading term).
+    C12C12,
+    /// C¹² + O¹⁶ fusion.
+    C12O16,
+    /// O¹⁶ + O¹⁶ fusion.
+    O16O16,
+    /// Generic alpha capture `X(α,γ)Y` with a Gamow-barrier fit determined
+    /// by the target charge `z` and mass `a`: λ = c · T₉^{-2/3} exp(-τ/T₉^{1/3}).
+    AlphaCapture {
+        /// Normalization constant (cm³ mol⁻¹ s⁻¹ scale).
+        c: f64,
+        /// Gamow barrier parameter τ.
+        tau: f64,
+    },
+    /// Constant-rate coefficient (testing).
+    Const(f64),
+}
+
+/// The Gamow barrier parameter for an α capture on a nucleus of charge `z`
+/// and mass number `a`: `τ = 4.2487 (Z₁² Z₂² Â)^{1/3}` with Â the reduced
+/// mass number.
+pub fn gamow_tau_alpha(z: f64, a: f64) -> f64 {
+    let ared = 4.0 * a / (4.0 + a);
+    4.2487 * (4.0 * z * z * ared).powf(1.0 / 3.0)
+}
+
+impl Rate {
+    /// Evaluate `(λ, dλ/dT₉)` at temperature `t9`.
+    pub fn eval(&self, t9: f64) -> (f64, f64) {
+        let t9 = t9.max(1e-4);
+        match *self {
+            Rate::TripleAlpha => {
+                // λ ∝ T₉⁻³ exp(-4.4027/T₉): the classic helium-burning fit.
+                // Logarithmic slope: -3 + 4.4027/T₉ ≈ 41 at T₉ = 0.1.
+                let c = 2.79e-8;
+                let l = c * t9.powi(-3) * (-4.4027 / t9).exp();
+                let dln = -3.0 / t9 + 4.4027 / (t9 * t9);
+                (l, l * dln)
+            }
+            Rate::C12C12 => {
+                // CF88 leading term with the T₉a shift.
+                let t9a = t9 / (1.0 + 0.0396 * t9);
+                let dt9a = t9a / t9 - 0.0396 * t9a * t9a / t9; // d(t9a)/dt9
+                let ex = -84.165 / t9a.powf(1.0 / 3.0);
+                let l = 4.27e26 * t9a.powf(5.0 / 6.0) * t9.powf(-1.5) * ex.exp();
+                let dln = (5.0 / 6.0) * dt9a / t9a - 1.5 / t9
+                    + (84.165 / 3.0) * t9a.powf(-4.0 / 3.0) * dt9a;
+                (l, l * dln)
+            }
+            Rate::C12O16 => {
+                let ex = -106.594 / t9.powf(1.0 / 3.0);
+                let l = 1.72e31 * t9.powf(-1.5) * ex.exp();
+                let dln = -1.5 / t9 + (106.594 / 3.0) * t9.powf(-4.0 / 3.0);
+                (l, l * dln)
+            }
+            Rate::O16O16 => {
+                let ex = -135.93 / t9.powf(1.0 / 3.0);
+                let l = 7.10e36 * t9.powf(-1.5) * ex.exp();
+                let dln = -1.5 / t9 + (135.93 / 3.0) * t9.powf(-4.0 / 3.0);
+                (l, l * dln)
+            }
+            Rate::AlphaCapture { c, tau } => {
+                let l = c * t9.powf(-2.0 / 3.0) * (-tau / t9.powf(1.0 / 3.0)).exp();
+                let dln = -2.0 / (3.0 * t9) + (tau / 3.0) * t9.powf(-4.0 / 3.0);
+                (l, l * dln)
+            }
+            Rate::Const(c) => (c, 0.0),
+        }
+    }
+
+    /// Logarithmic temperature sensitivity `d ln λ / d ln T` at `t9`.
+    pub fn log_slope(&self, t9: f64) -> f64 {
+        let (l, dl) = self.eval(t9);
+        dl / l * t9
+    }
+}
+
+/// Graboske weak-screening enhancement factor for a reaction between
+/// charges `z1`, `z2` at density `rho` (g/cc), temperature `t` (K), with
+/// composition means `abar`, `zbar`. Capped to keep the weak-screening
+/// expression from being extrapolated far outside its validity.
+pub fn screening_factor(z1: f64, z2: f64, rho: f64, t: f64, abar: f64, zbar: f64) -> f64 {
+    // ζ ≈ Σ (Z² + Z) X/A ≈ (zbar² + zbar)/abar for a mean composition.
+    let zeta = (zbar * zbar + zbar) / abar;
+    let t9 = t / 1e9;
+    let h12 = 0.188 * z1 * z2 * (rho * zeta).sqrt() * (t9 * 1e3).powf(-1.5);
+    h12.min(2.0).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triple_alpha_t40_sensitivity() {
+        // The paper: "the energy generation rate ... may have a temperature
+        // dependence as sensitive as T^40". At T = 1e8 K (T₉ = 0.1):
+        let slope = Rate::TripleAlpha.log_slope(0.1);
+        assert!((slope - 41.0).abs() < 1.5, "slope = {slope}");
+        // Sensitivity falls at higher temperature.
+        assert!(Rate::TripleAlpha.log_slope(1.0) < 5.0);
+    }
+
+    #[test]
+    fn rates_increase_steeply_with_t() {
+        for r in [Rate::TripleAlpha, Rate::C12C12, Rate::C12O16, Rate::O16O16] {
+            let (l1, _) = r.eval(0.5);
+            let (l2, _) = r.eval(1.0);
+            let (l3, _) = r.eval(2.0);
+            assert!(l1 < l2 && l2 < l3, "{r:?} not increasing");
+            assert!(l2 / l1 > 10.0, "{r:?} not steep");
+        }
+    }
+
+    #[test]
+    fn derivative_matches_finite_difference() {
+        let tau = gamow_tau_alpha(6.0, 12.0);
+        for r in [
+            Rate::TripleAlpha,
+            Rate::C12C12,
+            Rate::C12O16,
+            Rate::O16O16,
+            Rate::AlphaCapture { c: 1e10, tau },
+        ] {
+            for &t9 in &[0.1, 0.3, 1.0, 3.0] {
+                let (_, d) = r.eval(t9);
+                let h = t9 * 1e-6;
+                let (lp, _) = r.eval(t9 + h);
+                let (lm, _) = r.eval(t9 - h);
+                let fd = (lp - lm) / (2.0 * h);
+                assert!(
+                    (d - fd).abs() <= 1e-4 * fd.abs().max(1e-300),
+                    "{r:?} at T9={t9}: analytic {d} vs fd {fd}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gamow_tau_grows_with_charge() {
+        let t_c = gamow_tau_alpha(6.0, 12.0);
+        let t_si = gamow_tau_alpha(14.0, 28.0);
+        let t_fe = gamow_tau_alpha(26.0, 52.0);
+        assert!(t_c < t_si && t_si < t_fe);
+        // So heavier captures are slower at fixed T.
+        let lc = Rate::AlphaCapture { c: 1.0, tau: t_c }.eval(1.0).0;
+        let lf = Rate::AlphaCapture { c: 1.0, tau: t_fe }.eval(1.0).0;
+        assert!(lc > lf * 1e3);
+    }
+
+    #[test]
+    fn screening_moderate_and_bounded() {
+        // WD interior conditions: enhancement > 1 but bounded by the cap.
+        let f = screening_factor(6.0, 6.0, 2e7, 4e8, 13.7, 6.9);
+        assert!(f >= 1.0 && f <= 2.0f64.exp() + 1e-9, "f = {f}");
+        // Hot, sparse plasma: negligible screening.
+        let f2 = screening_factor(6.0, 6.0, 1.0, 1e9, 13.7, 6.9);
+        assert!((f2 - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn const_rate_is_flat() {
+        let (l, d) = Rate::Const(5.0).eval(1.3);
+        assert_eq!(l, 5.0);
+        assert_eq!(d, 0.0);
+    }
+}

@@ -1,0 +1,210 @@
+//! Property-based tests for the microphysics: EOS thermodynamic laws,
+//! network conservation laws, linear-algebra correctness, and integrator
+//! convergence invariants.
+
+use exastro_microphysics::{
+    mass_to_molar, molar_to_mass, BdfIntegrator, BdfOptions, Composition, CompiledLu, DenseLu,
+    Eos, GammaLaw, Network, OdeSystem, SparsePattern, StellarEos, TripleAlpha,
+};
+use exastro_microphysics::{Aprox13, CBurn2};
+use proptest::prelude::*;
+
+fn arb_composition() -> impl Strategy<Value = (Vec<f64>, Composition)> {
+    // Random C/O/Mg-ish 2-species split on the CBurn2 network.
+    (0.0f64..1.0).prop_map(|xc| {
+        let net = CBurn2::new();
+        let x = vec![xc, 1.0 - xc];
+        let comp = Composition::from_mass_fractions(net.species(), &x);
+        (x, comp)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn eos_pressure_monotone_in_density_and_temperature(
+        log_rho in -2.0f64..8.0,
+        log_t in 5.0f64..9.5,
+        (x, comp) in arb_composition(),
+    ) {
+        let _ = x;
+        let eos = StellarEos;
+        let rho = 10f64.powf(log_rho);
+        let t = 10f64.powf(log_t);
+        let r0 = eos.eval_rt(rho, t, &comp);
+        let r_rho = eos.eval_rt(rho * 1.01, t, &comp);
+        let r_t = eos.eval_rt(rho, t * 1.2, &comp);
+        prop_assert!(r0.p > 0.0 && r0.e > 0.0 && r0.cv > 0.0 && r0.cs > 0.0);
+        prop_assert!(r_rho.p > r0.p, "p must grow with rho");
+        prop_assert!(r_t.p >= r0.p * (1.0 - 1e-12), "p must not fall with T");
+        prop_assert!(r_t.e > r0.e, "e must grow with T");
+    }
+
+    #[test]
+    fn eos_t_from_e_roundtrips_everywhere(
+        log_rho in -2.0f64..8.0,
+        log_t in 5.0f64..9.5,
+        (x, comp) in arb_composition(),
+    ) {
+        let _ = x;
+        let eos = StellarEos;
+        let rho = 10f64.powf(log_rho);
+        let t = 10f64.powf(log_t);
+        let e = eos.eval_rt(rho, t, &comp).e;
+        let ti = eos.t_from_e(rho, e, &comp, 1e7);
+        prop_assert!((ti / t - 1.0).abs() < 1e-5, "rho={rho:.2e} T={t:.2e} -> {ti:.4e}");
+    }
+
+    #[test]
+    fn gamma_law_sound_speed_identity(
+        log_rho in -6.0f64..6.0,
+        log_t in 2.0f64..9.0,
+        gamma in 1.1f64..2.0,
+        (x, comp) in arb_composition(),
+    ) {
+        let _ = x;
+        let eos = GammaLaw { gamma };
+        let rho = 10f64.powf(log_rho);
+        let t = 10f64.powf(log_t);
+        let r = eos.eval_rt(rho, t, &comp);
+        prop_assert!((r.cs * r.cs / (gamma * r.p / rho) - 1.0).abs() < 1e-9);
+        prop_assert!((r.gam1 / gamma - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn networks_conserve_nucleons_at_any_state(
+        log_rho in 3.0f64..9.0,
+        log_t in 8.0f64..9.7,
+        xs in prop::collection::vec(0.01f64..1.0, 13),
+    ) {
+        let net = Aprox13::new();
+        let rho = 10f64.powf(log_rho);
+        let t = 10f64.powf(log_t);
+        let total: f64 = xs.iter().sum();
+        let x: Vec<f64> = xs.iter().map(|v| v / total).collect();
+        let mut y = vec![0.0; 13];
+        mass_to_molar(net.species(), &x, &mut y);
+        let mut ydot = vec![0.0; 13];
+        net.ydot(rho, t, &y, &mut ydot);
+        let sum: f64 = net.species().iter().zip(&ydot).map(|(s, &d)| s.a * d).sum();
+        let scale: f64 = ydot.iter().map(|d| d.abs()).sum::<f64>().max(1e-300);
+        prop_assert!((sum / scale).abs() < 1e-10, "nucleon drift {sum:e}");
+    }
+
+    #[test]
+    fn molar_mass_roundtrip_any_composition(xs in prop::collection::vec(0.0f64..1.0, 3)) {
+        let net = TripleAlpha::new();
+        let total: f64 = xs.iter().sum::<f64>().max(1e-12);
+        let x: Vec<f64> = xs.iter().map(|v| v / total).collect();
+        let mut y = vec![0.0; 3];
+        let mut back = vec![0.0; 3];
+        mass_to_molar(net.species(), &x, &mut y);
+        molar_to_mass(net.species(), &y, &mut back);
+        for (a, b) in x.iter().zip(&back) {
+            prop_assert!((a - b).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn dense_lu_solves_diagonally_dominant_systems(
+        n in 2usize..12,
+        seed in 0u64..10_000,
+    ) {
+        let mut s = seed.wrapping_mul(31).wrapping_add(17);
+        let mut rng = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        let mut a = vec![0.0; n * n];
+        for r in 0..n {
+            for c in 0..n {
+                a[r * n + c] = rng();
+            }
+            a[r * n + r] += n as f64 + 1.0;
+        }
+        let x: Vec<f64> = (0..n).map(|i| rng() * (i as f64 + 1.0)).collect();
+        let mut b: Vec<f64> = (0..n)
+            .map(|r| (0..n).map(|c| a[r * n + c] * x[c]).sum())
+            .collect();
+        let lu = DenseLu::factor(&a, n).unwrap();
+        lu.solve(&mut b);
+        for i in 0..n {
+            prop_assert!((b[i] - x[i]).abs() < 1e-8, "i={i}: {} vs {}", b[i], x[i]);
+        }
+    }
+
+    #[test]
+    fn compiled_lu_matches_dense_on_random_patterns(
+        n in 2usize..10,
+        seed in 0u64..10_000,
+        density in 0.1f64..0.9,
+    ) {
+        let mut s = seed.wrapping_mul(97).wrapping_add(13);
+        let mut rng = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (s >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let mut entries = Vec::new();
+        for r in 0..n {
+            for c in 0..n {
+                if r != c && rng() < density {
+                    entries.push((r, c));
+                }
+            }
+        }
+        let p = SparsePattern::new(n, entries);
+        let comp = CompiledLu::compile(&p);
+        let mut a = vec![0.0; n * n];
+        for &(r, c) in p.entries() {
+            a[r * n + c] = if r == c { n as f64 + rng() } else { rng() - 0.5 };
+        }
+        let x: Vec<f64> = (0..n).map(|_| rng() * 4.0 - 2.0).collect();
+        let b0: Vec<f64> = (0..n)
+            .map(|r| (0..n).map(|c| a[r * n + c] * x[c]).sum())
+            .collect();
+        let mut b1 = b0.clone();
+        let mut work = vec![0.0; comp.nnz_filled()];
+        comp.factor_solve(&a, &mut b1, &mut work).unwrap();
+        let lu = DenseLu::factor(&a, n).unwrap();
+        let mut b2 = b0;
+        lu.solve(&mut b2);
+        for i in 0..n {
+            prop_assert!((b1[i] - b2[i]).abs() < 1e-7, "i={i}");
+            prop_assert!((b1[i] - x[i]).abs() < 1e-7, "i={i}");
+        }
+    }
+
+    #[test]
+    fn bdf_solves_linear_decay_for_any_rate(log_k in -2.0f64..6.0) {
+        struct Decay { k: f64 }
+        impl OdeSystem for Decay {
+            fn dim(&self) -> usize { 1 }
+            fn rhs(&self, _t: f64, y: &[f64], d: &mut [f64]) { d[0] = -self.k * y[0]; }
+            fn jac(&self, _t: f64, _y: &[f64], j: &mut [f64]) { j[0] = -self.k; }
+        }
+        let k = 10f64.powf(log_k);
+        let sys = Decay { k };
+        let mut y = [1.0];
+        let tend = (3.0 / k).min(10.0);
+        let integ = BdfIntegrator::new(BdfOptions { rtol: 1e-8, ..Default::default() });
+        integ.integrate(&sys, 0.0, tend, &mut y).unwrap();
+        let exact = (-k * tend).exp();
+        prop_assert!((y[0] - exact).abs() < 1e-4 * exact.max(1e-8), "k={k}: {} vs {exact}", y[0]);
+    }
+
+    #[test]
+    fn eps_is_nonnegative_for_pure_fuel(
+        log_rho in 4.0f64..9.0,
+        log_t in 8.3f64..9.6,
+    ) {
+        // Burning pure fuel through exothermic forward reactions can only
+        // release energy.
+        let net = CBurn2::new();
+        let rho = 10f64.powf(log_rho);
+        let t = 10f64.powf(log_t);
+        let mut y = vec![0.0; 2];
+        mass_to_molar(net.species(), &[1.0, 0.0], &mut y);
+        prop_assert!(net.eps(rho, t, &y) >= 0.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! # exastro-parallel
+//!
+//! The execution-backend abstraction layer of the `exastro` suite — the Rust
+//! analogue of the AMReX GPU machinery described in §III of *Preparing
+//! Nuclear Astrophysics for Exascale* (Katz et al., SC 2020).
+//!
+//! The crate provides:
+//!
+//! * [`index`] — `IntVect` / `IndexBox` index-space primitives that every
+//!   physics loop iterates over;
+//! * [`exec`] — the `parallel_for` abstraction: one closure body, three
+//!   execution spaces (serial, coarse-grained tiled threads, per-zone
+//!   simulated device);
+//! * [`device`] — the simulated accelerator with a calibrated cost model
+//!   (launch latency, occupancy, register spilling, allocation latency,
+//!   memory oversubscription);
+//! * [`arena`] — the caching pool allocator and its malloc-per-call baseline.
+//!
+//! Since no real GPU is available in this reproduction, kernels launched on
+//! the device space execute on the host — producing bit-identical physics —
+//! while the device is charged a modelled execution time used by the
+//! `exastro-machine` cluster simulator to regenerate the paper's scaling
+//! figures.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arena;
+pub mod device;
+pub mod exec;
+pub mod index;
+
+pub use arena::{Arena, ArenaStats, MallocArena, PoolArena, ScratchBuf};
+pub use device::{DeviceConfig, DeviceStats, KernelProfile, SimDevice};
+pub use exec::{tiles_of, ExecSpace, TiledExec};
+pub use index::{IndexBox, IntVect, SPACEDIM};
+
+/// The floating-point type used throughout the suite.
+pub type Real = f64;

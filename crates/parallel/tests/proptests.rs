@@ -1,0 +1,155 @@
+//! Property-based tests for the index algebra, execution spaces, and
+//! arenas.
+
+use exastro_parallel::{
+    tiles_of, Arena, ExecSpace, IndexBox, IntVect, MallocArena, PoolArena, TiledExec,
+};
+use proptest::prelude::*;
+
+fn arb_intvect(range: std::ops::Range<i32>) -> impl Strategy<Value = IntVect> {
+    (range.clone(), range.clone(), range).prop_map(|(i, j, k)| IntVect::new(i, j, k))
+}
+
+fn arb_box() -> impl Strategy<Value = IndexBox> {
+    (arb_intvect(-20..20), arb_intvect(1..16))
+        .prop_map(|(lo, size)| IndexBox::new(lo, lo + size - IntVect::unit()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn intersection_is_commutative_and_contained(a in arb_box(), b in arb_box()) {
+        let ab = a.intersection(&b);
+        let ba = b.intersection(&a);
+        prop_assert_eq!(ab, ba);
+        if !ab.is_empty() {
+            prop_assert!(a.contains_box(&ab));
+            prop_assert!(b.contains_box(&ab));
+        }
+    }
+
+    #[test]
+    fn grow_then_shrink_roundtrips(bx in arb_box(), n in 0i32..5) {
+        prop_assert_eq!(bx.grow(n).grow(-n), bx);
+    }
+
+    #[test]
+    fn refine_coarsen_roundtrips(bx in arb_box(), r in 2i32..5) {
+        prop_assert_eq!(bx.refine(r).coarsen(r), bx);
+        prop_assert_eq!(bx.refine(r).num_zones(), bx.num_zones() * (r as i64).pow(3));
+    }
+
+    #[test]
+    fn coarsen_covers_original(bx in arb_box(), r in 2i32..5) {
+        // Every zone of bx maps into its coarsened box.
+        let c = bx.coarsen(r);
+        for iv in bx.iter().step_by(7) {
+            prop_assert!(c.contains(iv.coarsen(IntVect::splat(r))));
+        }
+    }
+
+    #[test]
+    fn difference_partitions_exactly(a in arb_box(), b in arb_box()) {
+        let parts = a.difference(&b);
+        let total: i64 = parts.iter().map(|p| p.num_zones()).sum();
+        prop_assert_eq!(total, a.num_zones() - a.intersection(&b).num_zones());
+        for (i, p) in parts.iter().enumerate() {
+            prop_assert!(!p.intersects(&b));
+            prop_assert!(a.contains_box(p));
+            for q in &parts[i + 1..] {
+                prop_assert!(!p.intersects(q));
+            }
+        }
+    }
+
+    #[test]
+    fn linear_index_is_a_bijection(bx in arb_box()) {
+        let n = bx.num_zones() as usize;
+        let mut seen = vec![false; n];
+        for iv in bx.iter() {
+            let li = bx.linear_index(iv);
+            prop_assert!(li < n);
+            prop_assert!(!seen[li]);
+            seen[li] = true;
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn tiles_partition_any_box(bx in arb_box(), t in arb_intvect(1..8)) {
+        let tiles = tiles_of(bx, t);
+        let total: i64 = tiles.iter().map(|x| x.num_zones()).sum();
+        prop_assert_eq!(total, bx.num_zones());
+        for (i, a) in tiles.iter().enumerate() {
+            prop_assert!(bx.contains_box(a));
+            for b in &tiles[i + 1..] {
+                prop_assert!(!a.intersects(b));
+            }
+        }
+    }
+
+    #[test]
+    fn reductions_match_serial_reference(bx in arb_box(), nthreads in 1usize..5) {
+        let f = |i: i32, j: i32, k: i32| (i * 3 - j + 7 * k) as f64;
+        let serial = ExecSpace::Serial.par_reduce_sum(bx, f);
+        let tiled = ExecSpace::Tiled(TiledExec {
+            nthreads,
+            tile_size: IntVect::new(4, 4, 4),
+        })
+        .par_reduce_sum(bx, f);
+        prop_assert!((serial - tiled).abs() < 1e-9 * serial.abs().max(1.0));
+    }
+
+    #[test]
+    fn pool_allocations_never_alias(sizes in prop::collection::vec(1usize..4096, 1..20)) {
+        let pool = PoolArena::new(None);
+        let mut bufs = Vec::new();
+        for (n, &len) in sizes.iter().enumerate() {
+            let mut b = pool.alloc(len);
+            b[0] = n as f64;
+            if b.len() > 1 {
+                let last = b.len() - 1;
+                b[last] = -(n as f64);
+            }
+            bufs.push(b);
+        }
+        for (n, b) in bufs.iter().enumerate() {
+            prop_assert_eq!(b[0], n as f64);
+        }
+    }
+
+    #[test]
+    fn pool_and_malloc_deliver_zeroed_buffers(
+        sizes in prop::collection::vec(1usize..2048, 1..12),
+    ) {
+        let pool = PoolArena::new(None);
+        let malloc = MallocArena::new(None);
+        for &len in &sizes {
+            {
+                let mut a = pool.alloc(len);
+                a.iter_mut().for_each(|v| *v = 1.25);
+            } // recycle dirty
+            let b = pool.alloc(len);
+            prop_assert!(b.iter().all(|&v| v == 0.0));
+            let c = malloc.alloc(len);
+            prop_assert!(c.iter().all(|&v| v == 0.0));
+        }
+    }
+
+    #[test]
+    fn pool_reuse_is_bounded_by_live_set(
+        rounds in 1usize..20,
+        len in 64usize..512,
+    ) {
+        // Allocating and dropping one buffer per round must allocate at
+        // most once from the device (steady state = pure recycling).
+        let pool = PoolArena::new(None);
+        for _ in 0..rounds {
+            let _b = pool.alloc(len);
+        }
+        let s = pool.stats();
+        prop_assert_eq!(s.device_allocs, 1);
+        prop_assert_eq!(s.pool_hits, rounds as u64 - 1);
+    }
+}

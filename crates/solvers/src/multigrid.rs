@@ -1,0 +1,641 @@
+//! Geometric multigrid for cell-centred Poisson/Helmholtz problems.
+//!
+//! Both astro codes depend on global linear solves: Castro's self-gravity
+//! and MAESTROeX's low-Mach projection are Poisson solves performed with
+//! multigrid, and at scale they are "extremely communication bound" — at
+//! 125 nodes the reacting-bubble problem spends ~6× more time in the
+//! multigrid solve than in the reactions (§IV-B). Every ghost exchange and
+//! reduction performed here is therefore recorded in a [`CommTrace`] ledger
+//! per level, which the `exastro-machine` simulator prices to reproduce
+//! Figure 3.
+//!
+//! The solver is a classic V-cycle: red–black Gauss–Seidel smoothing,
+//! full-weighting restriction (conservative average), piecewise-constant
+//! prolongation, and a smoother-iterated coarsest solve. Inhomogeneous
+//! boundary data is handled by always solving the *residual* equation with
+//! homogeneous boundary conditions (callers pre-fill ghost values on the
+//! initial guess).
+
+use exastro_amr::{
+    average_down, BoxArray, CommTrace, DistStrategy, DistributionMapping, Geometry, IntVect,
+    MultiFab, Real,
+};
+
+/// Boundary condition on each face for the multigrid operator (applied
+/// homogeneously; see module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MgBc {
+    /// Periodic (handled by ghost exchange).
+    Periodic,
+    /// Value fixed to zero at the domain face.
+    Dirichlet,
+    /// Zero normal gradient at the domain face.
+    Neumann,
+}
+
+/// Multigrid options.
+#[derive(Clone, Debug)]
+pub struct MgOptions {
+    /// Target: ‖residual‖∞ ≤ `tol_rel` · ‖rhs‖∞ (+ `tol_abs`).
+    pub tol_rel: Real,
+    /// Absolute residual floor.
+    pub tol_abs: Real,
+    /// Maximum V-cycles.
+    pub max_cycles: usize,
+    /// Pre-smoothing sweeps per level.
+    pub nu_pre: usize,
+    /// Post-smoothing sweeps per level.
+    pub nu_post: usize,
+    /// Smoothing sweeps on the coarsest level.
+    pub nu_bottom: usize,
+    /// Stop coarsening when any dimension would fall below this.
+    pub min_width: i32,
+}
+
+impl Default for MgOptions {
+    fn default() -> Self {
+        MgOptions {
+            tol_rel: 1e-10,
+            tol_abs: 0.0,
+            max_cycles: 60,
+            nu_pre: 2,
+            nu_post: 2,
+            nu_bottom: 64,
+            min_width: 4,
+        }
+    }
+}
+
+/// Communication ledger for one level of one solve.
+#[derive(Clone, Debug, Default)]
+pub struct LevelComm {
+    /// Ghost-exchange traffic accumulated on this level.
+    pub trace: CommTrace,
+    /// Number of ghost exchanges performed.
+    pub exchanges: u64,
+    /// Smoother sweeps performed.
+    pub sweeps: u64,
+    /// Zones on this level.
+    pub zones: i64,
+    /// Number of boxes on this level.
+    pub boxes: usize,
+}
+
+/// Solve statistics.
+#[derive(Clone, Debug, Default)]
+pub struct MgStats {
+    /// V-cycles taken.
+    pub cycles: usize,
+    /// Initial ‖residual‖∞.
+    pub res0: Real,
+    /// Final ‖residual‖∞.
+    pub res: Real,
+    /// Whether the tolerance was met.
+    pub converged: bool,
+    /// Per-level communication ledgers (0 = finest).
+    pub levels: Vec<LevelComm>,
+    /// Global reductions performed (norms; one allreduce each).
+    pub allreduces: u64,
+}
+
+struct MgLevel {
+    geom: Geometry,
+    phi: MultiFab,
+    rhs: MultiFab,
+    res: MultiFab,
+}
+
+/// The multigrid solver for `α a φ − β ∇²φ = rhs` with constant scalars
+/// (Poisson: α = 0, β = −1 gives `∇²φ = rhs`).
+pub struct Multigrid {
+    alpha: Real,
+    beta: Real,
+    bc: [MgBc; 3],
+    opts: MgOptions,
+}
+
+impl Multigrid {
+    /// A Poisson solver `∇²φ = rhs`. (Internally `beta` multiplies the
+    /// discrete Laplacian: the operator applied is `α φ + β ∇²φ`.)
+    pub fn poisson(bc: [MgBc; 3], opts: MgOptions) -> Self {
+        Multigrid {
+            alpha: 0.0,
+            beta: 1.0,
+            bc,
+            opts,
+        }
+    }
+
+    /// A Helmholtz solver `α φ − β ∇²φ = rhs`.
+    pub fn helmholtz(alpha: Real, beta: Real, bc: [MgBc; 3], opts: MgOptions) -> Self {
+        Multigrid {
+            alpha,
+            beta: -beta,
+            bc,
+            opts,
+        }
+    }
+
+    /// Fill ghost zones of `f` for the homogeneous operator: periodic
+    /// exchange plus reflection (Neumann) or negation (Dirichlet) at
+    /// non-periodic faces.
+    fn fill_ghosts(&self, f: &mut MultiFab, geom: &Geometry, ledger: &mut LevelComm) {
+        let trace = f.fill_boundary(geom);
+        ledger.exchanges += 1;
+        ledger.trace.merge(&trace);
+        let domain = geom.domain();
+        for i in 0..f.nfabs() {
+            let gb = f.grown_box(i);
+            for d in 0..3 {
+                if geom.periodic()[d] || self.bc[d] == MgBc::Periodic {
+                    continue;
+                }
+                let sign = match self.bc[d] {
+                    MgBc::Dirichlet => -1.0,
+                    MgBc::Neumann => 1.0,
+                    MgBc::Periodic => unreachable!(),
+                };
+                // Low face.
+                if gb.lo()[d] < domain.lo()[d] {
+                    let mut hi = gb.hi();
+                    hi[d] = domain.lo()[d] - 1;
+                    let region = exastro_amr::IndexBox::new(gb.lo(), hi);
+                    for iv in region.iter() {
+                        let mut src = iv;
+                        src[d] = 2 * domain.lo()[d] - 1 - iv[d];
+                        for t in 0..3 {
+                            src[t] = src[t].clamp(gb.lo()[t], gb.hi()[t]);
+                        }
+                        let v = f.fab(i).get(src, 0) * sign;
+                        f.fab_mut(i).set(iv, 0, v);
+                    }
+                }
+                // High face.
+                if gb.hi()[d] > domain.hi()[d] {
+                    let mut lo = gb.lo();
+                    lo[d] = domain.hi()[d] + 1;
+                    let region = exastro_amr::IndexBox::new(lo, gb.hi());
+                    for iv in region.iter() {
+                        let mut src = iv;
+                        src[d] = 2 * domain.hi()[d] + 1 - iv[d];
+                        for t in 0..3 {
+                            src[t] = src[t].clamp(gb.lo()[t], gb.hi()[t]);
+                        }
+                        let v = f.fab(i).get(src, 0) * sign;
+                        f.fab_mut(i).set(iv, 0, v);
+                    }
+                }
+            }
+        }
+    }
+
+    /// One red-black Gauss–Seidel sweep (both colours, with a ghost
+    /// exchange between them).
+    fn smooth(&self, lev: &mut MgLevel, ledger: &mut LevelComm) {
+        let dx = lev.geom.dx();
+        let bx2 = [
+            self.beta / (dx[0] * dx[0]),
+            self.beta / (dx[1] * dx[1]),
+            self.beta / (dx[2] * dx[2]),
+        ];
+        let diag = self.alpha - 2.0 * (bx2[0] + bx2[1] + bx2[2]);
+        for color in 0..2 {
+            let mut phi = std::mem::replace(&mut lev.phi, MultiFab::local(BoxArray::default(), 1, 0));
+            self.fill_ghosts(&mut phi, &lev.geom, ledger);
+            for i in 0..phi.nfabs() {
+                let vb = phi.valid_box(i);
+                let rhs_fab = lev.rhs.fab(i);
+                // Red-black by parity of i+j+k.
+                let fab = phi.fab_mut(i);
+                for iv in vb.iter() {
+                    if (iv.sum() & 1) as usize != color {
+                        continue;
+                    }
+                    let mut off = 0.0;
+                    for d in 0..3 {
+                        let e = IntVect::dim_vec(d);
+                        off += bx2[d] * (fab.get(iv + e, 0) + fab.get(iv - e, 0));
+                    }
+                    let v = (rhs_fab.get(iv, 0) - off) / diag;
+                    fab.set(iv, 0, v);
+                }
+            }
+            lev.phi = phi;
+        }
+        ledger.sweeps += 1;
+    }
+
+    /// Residual `res = rhs − L φ` on a level; returns ‖res‖∞.
+    fn residual(&self, lev: &mut MgLevel, ledger: &mut LevelComm) -> Real {
+        let dx = lev.geom.dx();
+        let bx2 = [
+            self.beta / (dx[0] * dx[0]),
+            self.beta / (dx[1] * dx[1]),
+            self.beta / (dx[2] * dx[2]),
+        ];
+        let diag = self.alpha - 2.0 * (bx2[0] + bx2[1] + bx2[2]);
+        let mut phi = std::mem::replace(&mut lev.phi, MultiFab::local(BoxArray::default(), 1, 0));
+        self.fill_ghosts(&mut phi, &lev.geom, ledger);
+        let mut rmax: Real = 0.0;
+        for i in 0..phi.nfabs() {
+            let vb = phi.valid_box(i);
+            for iv in vb.iter() {
+                let fab = phi.fab(i);
+                let mut lap = diag * fab.get(iv, 0);
+                for d in 0..3 {
+                    let e = IntVect::dim_vec(d);
+                    lap += bx2[d] * (fab.get(iv + e, 0) + fab.get(iv - e, 0));
+                }
+                let r = lev.rhs.fab(i).get(iv, 0) - lap;
+                lev.res.fab_mut(i).set(iv, 0, r);
+                rmax = rmax.max(r.abs());
+            }
+        }
+        lev.phi = phi;
+        rmax
+    }
+
+    fn build_levels(&self, geom: &Geometry, ba: &BoxArray, dm: &DistributionMapping) -> Vec<MgLevel> {
+        let mut levels = Vec::new();
+        let mut g = geom.clone();
+        let mut cur_ba = ba.clone();
+        let mut cur_dm = dm.clone();
+        loop {
+            levels.push(MgLevel {
+                phi: MultiFab::new(cur_ba.clone(), cur_dm.clone(), 1, 1),
+                rhs: MultiFab::new(cur_ba.clone(), cur_dm.clone(), 1, 0),
+                res: MultiFab::new(cur_ba.clone(), cur_dm.clone(), 1, 0),
+                geom: g.clone(),
+            });
+            let size = g.domain().size();
+            let coarsenable = (0..3).all(|d| {
+                size[d] % 2 == 0 && size[d] / 2 >= self.opts.min_width
+            });
+            if !coarsenable {
+                break;
+            }
+            // Coarsen the domain and re-decompose (agglomeration): fewer,
+            // larger boxes at coarse levels, as AMReX MLMG does.
+            let cdomain = g.domain().coarsen(2);
+            g = Geometry::new(
+                cdomain,
+                g.prob_lo(),
+                g.prob_hi(),
+                g.periodic(),
+                g.coord(),
+            );
+            let max_w = cdomain.size().max_component().min(32).max(self.opts.min_width);
+            cur_ba = BoxArray::decompose(cdomain, max_w, 2);
+            cur_dm = DistributionMapping::new(&cur_ba, cur_dm.nranks(), DistStrategy::Sfc);
+        }
+        levels
+    }
+
+    fn vcycle(&self, levels: &mut [MgLevel], l: usize, stats: &mut MgStats) {
+        if l == levels.len() - 1 {
+            for _ in 0..self.opts.nu_bottom {
+                let (lev, ledger) = (&mut levels[l], &mut stats.levels[l]);
+                self.smooth(lev, ledger);
+            }
+            return;
+        }
+        for _ in 0..self.opts.nu_pre {
+            self.smooth(&mut levels[l], &mut stats.levels[l]);
+        }
+        self.residual(&mut levels[l], &mut stats.levels[l]);
+        // Restrict residual to the coarse rhs (conservative average), zero
+        // the coarse correction.
+        {
+            let (fine, coarse) = levels.split_at_mut(l + 1);
+            let f = &fine[l];
+            let c = &mut coarse[0];
+            c.phi.set_val_all(0.0);
+            // res lives on the fine BoxArray; average down into coarse rhs
+            // across box arrays via an intermediate on the coarsened fine ba.
+            let cba = f.res.box_array().coarsen(2);
+            let mut tmp = MultiFab::new(cba, f.res.dist_map().clone(), 1, 0);
+            average_down(&f.res, &mut tmp, 2);
+            let trace = c.rhs.copy_from_other_ba(&tmp, 0, 1);
+            stats.levels[l + 1].trace.merge(&trace);
+            stats.levels[l + 1].exchanges += 1;
+        }
+        self.vcycle(levels, l + 1, stats);
+        // Prolong the coarse correction (piecewise constant) and add.
+        {
+            let (fine, coarse) = levels.split_at_mut(l + 1);
+            let f = &mut fine[l];
+            let c = &coarse[0];
+            let cba = f.phi.box_array().coarsen(2);
+            let mut tmp = MultiFab::new(cba, f.phi.dist_map().clone(), 1, 0);
+            let trace = tmp.copy_from_other_ba(&c.phi, 0, 1);
+            stats.levels[l].trace.merge(&trace);
+            for i in 0..f.phi.nfabs() {
+                let vb = f.phi.valid_box(i);
+                for iv in vb.iter() {
+                    let civ = iv.coarsen(IntVect::splat(2));
+                    let corr = tmp.fab(i).get(civ, 0);
+                    let v = f.phi.fab(i).get(iv, 0) + corr;
+                    f.phi.fab_mut(i).set(iv, 0, v);
+                }
+            }
+        }
+        for _ in 0..self.opts.nu_post {
+            self.smooth(&mut levels[l], &mut stats.levels[l]);
+        }
+    }
+
+    /// Solve `L φ = rhs`. `phi` (1 component, ≥1 ghost zone) holds the
+    /// initial guess — including any inhomogeneous boundary ghost values —
+    /// and receives the solution. Returns solve statistics with the
+    /// communication ledger.
+    pub fn solve(
+        &self,
+        phi: &mut MultiFab,
+        rhs: &MultiFab,
+        geom: &Geometry,
+    ) -> MgStats {
+        assert!(phi.ngrow() >= 1, "phi needs ghost zones");
+        assert_eq!(phi.ncomp(), 1);
+        assert_eq!(rhs.ncomp(), 1);
+        let mut levels = self.build_levels(geom, phi.box_array(), phi.dist_map());
+        let mut stats = MgStats {
+            levels: levels
+                .iter()
+                .map(|l| LevelComm {
+                    zones: l.phi.box_array().total_zones(),
+                    boxes: l.phi.box_array().len(),
+                    ..LevelComm::default()
+                })
+                .collect(),
+            ..MgStats::default()
+        };
+        // Finest level holds the actual problem.
+        levels[0].phi.copy_from(phi);
+        // Preserve caller-supplied inhomogeneous ghost data by copying the
+        // whole fabs (valid + ghost).
+        for i in 0..phi.nfabs() {
+            let data = phi.fab(i).data().to_vec();
+            levels[0].phi.fab_mut(i).data_mut().copy_from_slice(&data);
+        }
+        levels[0].rhs.copy_from(rhs);
+
+        let rhs_norm = rhs.norm_inf(0);
+        stats.allreduces += 1;
+        let target = self.opts.tol_rel * rhs_norm + self.opts.tol_abs;
+        let mut lstats_dummy = LevelComm::default();
+        let r0 = {
+            let lev = &mut levels[0];
+            self.residual(lev, &mut lstats_dummy)
+        };
+        stats.levels[0].trace.merge(&lstats_dummy.trace);
+        stats.levels[0].exchanges += lstats_dummy.exchanges;
+        stats.res0 = r0;
+        stats.allreduces += 1;
+        let mut res = r0;
+        while res > target.max(1e-300) && stats.cycles < self.opts.max_cycles {
+            self.vcycle(&mut levels, 0, &mut stats);
+            stats.cycles += 1;
+            let r = {
+                let mut ledger = LevelComm::default();
+                let v = self.residual(&mut levels[0], &mut ledger);
+                stats.levels[0].trace.merge(&ledger.trace);
+                stats.levels[0].exchanges += ledger.exchanges;
+                v
+            };
+            stats.allreduces += 1;
+            res = r;
+            if !res.is_finite() {
+                break;
+            }
+        }
+        stats.res = res;
+        stats.converged = res <= target.max(1e-300);
+        phi.copy_from(&levels[0].phi);
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exastro_amr::IndexBox;
+    use std::f64::consts::PI;
+
+    fn periodic_setup(n: i32, max_grid: i32) -> (Geometry, MultiFab, MultiFab) {
+        let geom = Geometry::cube(n, 1.0, true);
+        let ba = BoxArray::decompose(geom.domain(), max_grid, 4);
+        let dm = DistributionMapping::new(&ba, 4, DistStrategy::Sfc);
+        let phi = MultiFab::new(ba.clone(), dm.clone(), 1, 1);
+        let rhs = MultiFab::new(ba, dm, 1, 0);
+        (geom, phi, rhs)
+    }
+
+    #[test]
+    fn poisson_periodic_sinusoid() {
+        // ∇²φ = rhs with φ = sin(2πx)sin(2πy)sin(2πz):
+        // rhs = -12π² φ.
+        let n = 32;
+        let (geom, mut phi, mut rhs) = periodic_setup(n, 16);
+        let k = 2.0 * PI;
+        let exact = |x: [Real; 3]| (k * x[0]).sin() * (k * x[1]).sin() * (k * x[2]).sin();
+        for i in 0..rhs.nfabs() {
+            let vb = rhs.valid_box(i);
+            for iv in vb.iter() {
+                let x = geom.cell_center(iv);
+                rhs.fab_mut(i).set(iv, 0, -3.0 * k * k * exact(x));
+            }
+        }
+        let mg = Multigrid::poisson([MgBc::Periodic; 3], MgOptions::default());
+        let stats = mg.solve(&mut phi, &rhs, &geom);
+        assert!(stats.converged, "residual {} of {}", stats.res, stats.res0);
+        assert!(stats.cycles < 30, "{} cycles", stats.cycles);
+        // Compare to the exact solution up to discretization error O(h²)
+        // and the arbitrary constant (periodic nullspace): subtract means.
+        let mean_num: Real = phi.sum(0) / geom.domain().num_zones() as Real;
+        let mut err_max: Real = 0.0;
+        for i in 0..phi.nfabs() {
+            let vb = phi.valid_box(i);
+            for iv in vb.iter() {
+                let x = geom.cell_center(iv);
+                let e = (phi.fab(i).get(iv, 0) - mean_num) - exact(x);
+                err_max = err_max.max(e.abs());
+            }
+        }
+        assert!(err_max < 0.02, "solution error {err_max}");
+    }
+
+    #[test]
+    fn residual_reduction_rate_is_multigrid_like() {
+        // A healthy V(2,2) cycle reduces the residual by ~an order of
+        // magnitude per cycle.
+        let (geom, mut phi, mut rhs) = periodic_setup(32, 8);
+        // Random-ish zero-mean rhs.
+        let mut seed = 9u64;
+        let mut total = 0.0;
+        for i in 0..rhs.nfabs() {
+            let vb = rhs.valid_box(i);
+            for iv in vb.iter() {
+                seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let v = ((seed >> 33) as Real / (1u64 << 31) as Real) - 0.5;
+                rhs.fab_mut(i).set(iv, 0, v);
+                total += v;
+            }
+        }
+        let mean = total / geom.domain().num_zones() as Real;
+        for i in 0..rhs.nfabs() {
+            let vb = rhs.valid_box(i);
+            for iv in vb.iter() {
+                let v = rhs.fab(i).get(iv, 0) - mean;
+                rhs.fab_mut(i).set(iv, 0, v);
+            }
+        }
+        let mg = Multigrid::poisson(
+            [MgBc::Periodic; 3],
+            MgOptions {
+                tol_rel: 1e-11,
+                ..Default::default()
+            },
+        );
+        let stats = mg.solve(&mut phi, &rhs, &geom);
+        assert!(stats.converged);
+        let per_cycle = (stats.res0 / stats.res.max(1e-300)).powf(1.0 / stats.cycles as Real);
+        assert!(
+            per_cycle > 4.0,
+            "reduction per cycle only {per_cycle:.2} over {} cycles",
+            stats.cycles
+        );
+    }
+
+    #[test]
+    fn dirichlet_solution_matches_manufactured() {
+        // φ = sin(πx) sin(πy) sin(πz) vanishes on all faces of [0,1]³.
+        let n = 32;
+        let geom = Geometry::cube(n, 1.0, false);
+        let ba = BoxArray::decompose(geom.domain(), 16, 4);
+        let mut phi = MultiFab::local(ba.clone(), 1, 1);
+        let mut rhs = MultiFab::local(ba, 1, 0);
+        let exact = |x: [Real; 3]| (PI * x[0]).sin() * (PI * x[1]).sin() * (PI * x[2]).sin();
+        for i in 0..rhs.nfabs() {
+            let vb = rhs.valid_box(i);
+            for iv in vb.iter() {
+                let x = geom.cell_center(iv);
+                rhs.fab_mut(i).set(iv, 0, -3.0 * PI * PI * exact(x));
+            }
+        }
+        let mg = Multigrid::poisson([MgBc::Dirichlet; 3], MgOptions::default());
+        let stats = mg.solve(&mut phi, &rhs, &geom);
+        assert!(stats.converged, "res {} / {}", stats.res, stats.res0);
+        let mut err_max: Real = 0.0;
+        for i in 0..phi.nfabs() {
+            let vb = phi.valid_box(i);
+            for iv in vb.iter() {
+                let x = geom.cell_center(iv);
+                err_max = err_max.max((phi.fab(i).get(iv, 0) - exact(x)).abs());
+            }
+        }
+        assert!(err_max < 0.01, "error {err_max}");
+    }
+
+    #[test]
+    fn helmholtz_constant_solution() {
+        // α φ = rhs with β = 0 … use α=2, β tiny via helmholtz(2, 0):
+        // actually test α φ − β∇²φ with φ constant: ∇²φ = 0, so φ = rhs/α.
+        let (geom, mut phi, mut rhs) = periodic_setup(16, 8);
+        rhs.set_val(0, 6.0);
+        let mg = Multigrid::helmholtz(2.0, 1.0, [MgBc::Periodic; 3], MgOptions::default());
+        let stats = mg.solve(&mut phi, &rhs, &geom);
+        assert!(stats.converged);
+        for i in 0..phi.nfabs() {
+            let vb = phi.valid_box(i);
+            for iv in vb.iter() {
+                assert!((phi.fab(i).get(iv, 0) - 3.0).abs() < 1e-8);
+            }
+        }
+        let _ = geom;
+    }
+
+    #[test]
+    fn comm_ledger_is_populated_and_coarse_levels_cheaper() {
+        let (geom, mut phi, mut rhs) = periodic_setup(32, 8);
+        rhs.set_val(0, 1.0);
+        // Zero-mean for periodic solvability.
+        let mean = rhs.sum(0) / geom.domain().num_zones() as Real;
+        for i in 0..rhs.nfabs() {
+            let vb = rhs.valid_box(i);
+            for iv in vb.iter() {
+                let v = rhs.fab(i).get(iv, 0) - mean;
+                rhs.fab_mut(i).set(iv, 0, v);
+            }
+        }
+        let mg = Multigrid::poisson([MgBc::Periodic; 3], MgOptions::default());
+        let stats = mg.solve(&mut phi, &rhs, &geom);
+        assert!(stats.levels.len() >= 3, "expected a level hierarchy");
+        assert!(stats.allreduces >= 2);
+        let finest = &stats.levels[0];
+        assert!(finest.exchanges > 0);
+        assert!(finest.trace.network_bytes() + finest.trace.local_bytes > 0);
+        // Coarser levels move fewer bytes per exchange.
+        let finest_bytes = finest.trace.network_bytes() + finest.trace.local_bytes;
+        let last = stats.levels.last().unwrap();
+        let last_bytes = last.trace.network_bytes() + last.trace.local_bytes;
+        assert!(
+            last_bytes < finest_bytes,
+            "coarsest {last_bytes} vs finest {finest_bytes}"
+        );
+        // Level sizes shrink by ~8× per level.
+        for w in stats.levels.windows(2) {
+            assert!(w[1].zones < w[0].zones);
+        }
+    }
+
+    #[test]
+    fn singular_rhs_nonconvergence_is_reported() {
+        // Periodic Poisson with non-zero-mean rhs has no solution; the
+        // solver must not report convergence (the residual stalls at the
+        // mean).
+        let (geom, mut phi, mut rhs) = periodic_setup(16, 8);
+        rhs.set_val(0, 1.0);
+        let mg = Multigrid::poisson(
+            [MgBc::Periodic; 3],
+            MgOptions {
+                max_cycles: 8,
+                ..Default::default()
+            },
+        );
+        let stats = mg.solve(&mut phi, &rhs, &geom);
+        assert!(!stats.converged);
+        let _ = geom;
+    }
+
+    #[test]
+    fn anisotropic_dx_still_converges() {
+        let domain = IndexBox::sized(IntVect::new(32, 16, 8));
+        let geom = Geometry::new(
+            domain,
+            [0.0; 3],
+            [1.0, 1.0, 1.0], // dx differs per dimension
+            [true; 3],
+            exastro_amr::CoordSys::Cartesian,
+        );
+        let ba = BoxArray::decompose(domain, 8, 4);
+        let mut phi = MultiFab::local(ba.clone(), 1, 1);
+        let mut rhs = MultiFab::local(ba, 1, 0);
+        let k = 2.0 * PI;
+        for i in 0..rhs.nfabs() {
+            let vb = rhs.valid_box(i);
+            for iv in vb.iter() {
+                let x = geom.cell_center(iv);
+                rhs.fab_mut(i).set(iv, 0, (k * x[0]).sin() * (k * x[1]).cos());
+            }
+        }
+        let mg = Multigrid::poisson(
+            [MgBc::Periodic; 3],
+            MgOptions {
+                min_width: 2,
+                ..Default::default()
+            },
+        );
+        let stats = mg.solve(&mut phi, &rhs, &geom);
+        assert!(stats.converged, "res {} / {}", stats.res, stats.res0);
+    }
+}

@@ -1,0 +1,76 @@
+//! Single-zone burner demonstration (the Microphysics `burn_cell` unit
+//! test): integrate the 13-isotope alpha chain at white-dwarf detonation
+//! conditions with the VODE-style BDF integrator and watch the runaway.
+//!
+//! ```sh
+//! cargo run --release --example burn_cell
+//! ```
+
+use exastro::microphysics::{
+    Aprox13, Burner, Network, NewtonSolver, StellarEos,
+};
+
+fn main() {
+    let net = Aprox13::new();
+    let eos = StellarEos;
+
+    // 50/50 carbon/oxygen fuel at near-detonation conditions.
+    let rho = 5e7;
+    let t0 = 2.8e9;
+    let mut x = vec![0.0; net.nspec()];
+    x[net.index_of("c12")] = 0.5;
+    x[net.index_of("o16")] = 0.5;
+
+    println!("aprox13 burn at rho = {rho:.1e} g/cc, T0 = {t0:.1e} K");
+    println!(
+        "Jacobian: {}×{}, {:.0}% structurally empty (the §VI sparse-solve target)\n",
+        net.nspec() + 1,
+        net.nspec() + 1,
+        net.sparsity().empty_fraction() * 100.0
+    );
+
+    let burner = Burner::new(&net, &eos, Burner::default_options());
+    let mut t = t0;
+    let mut elapsed = 0.0f64;
+    let mut dt = 1e-9;
+    println!(
+        "{:>12} {:>10} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "time [s]", "T [K]", "X(c12)", "X(o16)", "X(si28)", "X(ni56)", "steps"
+    );
+    for _ in 0..14 {
+        let out = burner.burn(rho, t, &x, dt).expect("burn failed");
+        elapsed += dt;
+        t = out.t;
+        x = out.x.clone();
+        println!(
+            "{:>12.3e} {:>10.3e} {:>8.4} {:>8.4} {:>8.4} {:>8.4} {:>8}",
+            elapsed,
+            t,
+            x[net.index_of("c12")],
+            x[net.index_of("o16")],
+            x[net.index_of("si28")],
+            x[net.index_of("ni56")],
+            out.stats.steps
+        );
+        dt *= 2.5;
+        if t > 6e9 {
+            break;
+        }
+    }
+
+    // Show the sparse-Jacobian option producing the same physics.
+    let opts = exastro::microphysics::BdfOptions {
+        solver: NewtonSolver::Compiled(net.sparsity()),
+        ..Burner::default_options()
+    };
+    let sparse_burner = Burner::new(&net, &eos, opts);
+    let mut x0 = vec![0.0; net.nspec()];
+    x0[net.index_of("c12")] = 0.5;
+    x0[net.index_of("o16")] = 0.5;
+    let dense = burner.burn(rho, t0, &x0, 1e-7).unwrap();
+    let sparse = sparse_burner.burn(rho, t0, &x0, 1e-7).unwrap();
+    println!(
+        "\ndense vs compiled-sparse Newton solve after 1e-7 s: ΔT = {:.2e} K (identical physics)",
+        (dense.t - sparse.t).abs()
+    );
+}

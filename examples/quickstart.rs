@@ -1,0 +1,71 @@
+//! Quickstart: run a small Sedov–Taylor blast wave with Castro and compare
+//! the measured shock radius against the analytic similarity solution.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use exastro::amr::{BcSpec, BoxArray, DistributionMapping, Geometry, MultiFab};
+use exastro::castro::{
+    init_sedov, measure_shock_radius, sedov_shock_radius, Castro, Floors, Hydro, SedovParams,
+    StateLayout,
+};
+use exastro::microphysics::{CBurn2, GammaLaw};
+
+fn main() {
+    // A 48³ periodic unit box, decomposed into 24³ grids.
+    let n = 48;
+    let geom = Geometry::cube(n, 1.0, false);
+    let ba = BoxArray::decompose(geom.domain(), 24, 8);
+    let dm = DistributionMapping::all_local(&ba);
+
+    // Gamma-law gas with a trivial 2-species composition.
+    let eos = GammaLaw::monatomic();
+    let net = CBurn2::new();
+    let layout = StateLayout::new(net_nspec(&net));
+    let mut state = MultiFab::new(ba, dm, layout.ncomp(), 2);
+
+    let params = SedovParams::default();
+    init_sedov(&mut state, &geom, &layout, &eos, &params);
+
+    let mut castro = Castro::new(&eos, &net);
+    castro.hydro = Hydro {
+        cfl: 0.4,
+        floors: Floors::dimensionless(),
+        ..Default::default()
+    };
+    castro.bc = BcSpec::outflow();
+
+    let mass0 = castro.total_mass(&state, &geom);
+    let energy0 = castro.total_energy(&state, &geom);
+    println!("Sedov blast: {n}³ zones, E = {}", params.energy);
+    println!("{:>6} {:>10} {:>12} {:>12} {:>8}", "step", "t", "R_measured", "R_analytic", "ratio");
+
+    let mut t = 0.0;
+    for step in 0..60 {
+        let dt = castro.estimate_dt(&state, &geom).min(0.005);
+        castro.advance_level(&mut state, &geom, dt);
+        t += dt;
+        if step % 10 == 9 {
+            let r_meas = measure_shock_radius(&state, &geom, &params);
+            let r_true = sedov_shock_radius(&params, t);
+            println!(
+                "{:>6} {:>10.4} {:>12.4} {:>12.4} {:>8.3}",
+                step + 1,
+                t,
+                r_meas,
+                r_true,
+                r_meas / r_true
+            );
+        }
+    }
+    let mass1 = castro.total_mass(&state, &geom);
+    let energy1 = castro.total_energy(&state, &geom);
+    println!("mass   drift: {:+.3e} (relative)", mass1 / mass0 - 1.0);
+    println!("energy drift: {:+.3e} (relative)", energy1 / energy0 - 1.0);
+}
+
+fn net_nspec(net: &CBurn2) -> usize {
+    use exastro::microphysics::Network;
+    net.nspec()
+}

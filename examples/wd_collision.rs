@@ -1,0 +1,99 @@
+//! The §V science problem at laptop scale: two white dwarfs collide
+//! head-on; we watch the contact point heat up and report when (and
+//! whether) thermonuclear ignition (T ≥ 4×10⁹ K) occurs, along with the
+//! detonation-stability diagnostic the paper uses to argue the runs are
+//! under-resolved.
+//!
+//! ```sh
+//! cargo run --release --example wd_collision
+//! ```
+
+use exastro::amr::{BcSpec, BoxArray, DistributionMapping, Geometry, MultiFab};
+use exastro::castro::{
+    contact_diagnostics, contact_time_estimate, detonation_stability, init_collision,
+    BurnOptions, Castro, CollisionParams, Gravity, GravityMode, StateLayout, T_IGNITION,
+};
+use exastro::microphysics::{CBurn2, Network, StellarEos};
+
+fn main() {
+    let n = 16;
+    // A faster approach speed than the fiducial keeps this example quick
+    // on one CPU core while preserving the contact-heating physics.
+    let params = CollisionParams {
+        v_approach: 6e8,
+        separation: 3.0,
+        ..Default::default()
+    };
+    let half_width = 2.5 * params.radius;
+    let geom = Geometry::new(
+        exastro::amr::IndexBox::cube(n),
+        [-half_width; 3],
+        [half_width; 3],
+        [false; 3],
+        exastro::amr::CoordSys::Cartesian,
+    );
+    let ba = BoxArray::decompose(geom.domain(), 8, 4);
+    let dm = DistributionMapping::all_local(&ba);
+
+    let eos = StellarEos;
+    let net = CBurn2::new();
+    let layout = StateLayout::new(net.nspec());
+    let mut state = MultiFab::new(ba, dm, layout.ncomp(), 2);
+    init_collision(&mut state, &geom, &layout, &eos, &net, &params);
+
+    let mut castro = Castro::new(&eos, &net);
+    castro.hydro.cfl = 0.2; // strong shocks strengthen mid-step at contact
+    castro.gravity = Gravity {
+        mode: GravityMode::Monopole,
+        n_bins: 256,
+    };
+    castro.burn = Some(BurnOptions {
+        min_temp: 5e8,
+        min_dens: 1e4,
+        ..Default::default()
+    });
+    castro.bc = BcSpec::outflow();
+
+    println!(
+        "WD collision: {n}³ zones, dx = {:.0} km, stars R = {:.0} km, v = ±{:.0} km/s",
+        geom.dx()[0] / 1e5,
+        params.radius / 1e5,
+        params.v_approach / 1e5
+    );
+    println!("surfaces touch at t ≈ {:.2} s\n", contact_time_estimate(&params));
+    println!(
+        "{:>6} {:>9} {:>11} {:>11} {:>10}",
+        "step", "t [s]", "T_max [K]", "rho_max", "burn zones"
+    );
+
+    let mut t = 0.0;
+    for step in 0..400 {
+        let dt0 = castro.estimate_dt(&state, &geom);
+        let (stats, dt) = castro.advance_level_safe(&mut state, &geom, dt0);
+        t += dt;
+        if step % 10 == 0 {
+            println!(
+                "{:>6} {:>9.3} {:>11.3e} {:>11.3e} {:>10}",
+                step, t, stats.max_temp, stats.max_dens, stats.burn.zones
+            );
+        }
+        if stats.max_temp >= T_IGNITION {
+            let d = contact_diagnostics(&state, &geom);
+            println!("\n*** IGNITION at t = {t:.3} s ***");
+            println!("hottest zone at ({:.2e}, {:.2e}, {:.2e}) cm", d.hottest[0], d.hottest[1], d.hottest[2]);
+            let report = detonation_stability(&state, &geom, &layout, &eos, &net, 1e14);
+            println!(
+                "detonation stability: min τ_burn/τ_transfer = {:.3e} over {} burning zones ({} unstable)",
+                report.min_ratio, report.burning_zones, report.unstable_zones
+            );
+            if report.min_ratio < 1.0 {
+                println!(
+                    "→ unresolved, as the paper finds at 50 km zones: the burning timescale is \
+                     shorter than the heat-transfer timescale"
+                );
+            }
+            return;
+        }
+    }
+    println!("\nno ignition within the simulated window");
+}

@@ -1,0 +1,56 @@
+//! Regenerate the paper's weak-scaling figures (Figures 2 and 3) on the
+//! simulated Summit and print the series the paper plots.
+//!
+//! ```sh
+//! cargo run --release --example weak_scaling
+//! ```
+
+use exastro::machine::{bubble_series, canonical_series, envelope_series, Machine};
+
+fn main() {
+    let m = Machine::summit();
+
+    println!("=== Figure 2: Castro Sedov weak scaling ===");
+    println!("(normalized throughput; paper: 130 zones/µs at 1 node, ~63% at 512)\n");
+    let canon = canonical_series(&m, &[1, 8, 64, 512]);
+    println!("{:>6} {:>10} {:>12} {:>11}", "nodes", "domain", "zones/µs", "normalized");
+    for p in &canon {
+        println!(
+            "{:>6} {:>9}³ {:>12.1} {:>11.3}",
+            p.nodes, p.domain_side, p.throughput, p.normalized
+        );
+    }
+
+    println!("\nbest/worst envelopes over max-box ∈ {{32,48,64,96,128}} × two domain sizes:");
+    let nodes: Vec<usize> = vec![1, 2, 4, 8, 16, 32, 64, 128, 256, 512];
+    let (best, worst) = envelope_series(&m, &nodes);
+    println!(
+        "{:>6} {:>11} {:>16} {:>11} {:>16}",
+        "nodes", "best", "(domain, box)", "worst", "(domain, box)"
+    );
+    for (b, w) in best.iter().zip(&worst) {
+        println!(
+            "{:>6} {:>11.3} {:>10}³ /{:>4} {:>11.3} {:>10}³ /{:>4}",
+            b.nodes, b.normalized, b.domain_side, b.max_box, w.normalized, w.domain_side, w.max_box
+        );
+    }
+
+    println!("\n=== Figure 3: MAESTROeX reacting-bubble weak scaling ===");
+    println!("(paper: 11 zones/µs at 1 node; multigrid ≈ reactions at 1 node, ~6× at 125)\n");
+    let pts = bubble_series(&m, &[1, 8, 27, 64, 125]);
+    println!(
+        "{:>6} {:>10} {:>11} {:>12} {:>12} {:>9}",
+        "nodes", "zones/µs", "normalized", "react [µs]", "mgrid [µs]", "mg/react"
+    );
+    for p in &pts {
+        println!(
+            "{:>6} {:>10.2} {:>11.3} {:>12.0} {:>12.0} {:>9.2}",
+            p.nodes,
+            p.throughput,
+            p.normalized,
+            p.react_us,
+            p.multigrid_us,
+            p.multigrid_us / p.react_us
+        );
+    }
+}
