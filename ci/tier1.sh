@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything here must pass before merge.
+#
+# The workspace has no registry dependencies (proptest/criterion are
+# vendored shims under crates/), so --offline keeps CI honest about that.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --workspace --release --offline
+
+echo "== tests =="
+cargo test --workspace -q --offline
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --offline -- -D warnings
+
+echo "== rustfmt check =="
+cargo fmt --all --check
+
+echo "tier-1: OK"

@@ -124,10 +124,8 @@ pub fn cluster(tags: &[IntVect], params: &ClusterParams) -> Vec<IndexBox> {
     // Work in blocking-factor-coarsened space so that snapping outward at
     // the end cannot create overlaps.
     let bf = params.blocking_factor.max(1);
-    let mut coarse_tags: Vec<IntVect> = tags
-        .iter()
-        .map(|t| t.coarsen(IntVect::splat(bf)))
-        .collect();
+    let mut coarse_tags: Vec<IntVect> =
+        tags.iter().map(|t| t.coarsen(IntVect::splat(bf))).collect();
     coarse_tags.sort();
     coarse_tags.dedup();
     let coarse_params = ClusterParams {

@@ -203,7 +203,11 @@ mod tests {
     #[test]
     fn perfect_division_balances_exactly() {
         let ba = BoxArray::decompose(IndexBox::cube(128), 32, 32); // 64 boxes
-        for strat in [DistStrategy::RoundRobin, DistStrategy::Knapsack, DistStrategy::Sfc] {
+        for strat in [
+            DistStrategy::RoundRobin,
+            DistStrategy::Knapsack,
+            DistStrategy::Sfc,
+        ] {
             let dm = DistributionMapping::new(&ba, 8, strat);
             assert!((dm.imbalance(&ba) - 1.0).abs() < 1e-12, "{strat:?}");
         }

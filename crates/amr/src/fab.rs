@@ -99,9 +99,7 @@ impl FArrayBox {
         dst_comp: usize,
         ncomp: usize,
     ) {
-        let r = region
-            .intersection(&self.bx)
-            .intersection(&src.bx);
+        let r = region.intersection(&self.bx).intersection(&src.bx);
         for c in 0..ncomp {
             for iv in r.iter() {
                 let v = src.get(iv, src_comp + c);
@@ -354,8 +352,14 @@ mod tests {
         // dst[iv] = src[iv - (1,0,0)] over the column i=1..3
         let region = IndexBox::new(IntVect::new(1, 0, 0), IntVect::new(3, 3, 3));
         dst.copy_shifted(&src, region, IntVect::new(1, 0, 0), 1);
-        assert_eq!(dst.get(IntVect::new(1, 2, 0), 0), src.get(IntVect::new(0, 2, 0), 0));
-        assert_eq!(dst.get(IntVect::new(3, 3, 3), 0), src.get(IntVect::new(2, 3, 3), 0));
+        assert_eq!(
+            dst.get(IntVect::new(1, 2, 0), 0),
+            src.get(IntVect::new(0, 2, 0), 0)
+        );
+        assert_eq!(
+            dst.get(IntVect::new(3, 3, 3), 0),
+            src.get(IntVect::new(2, 3, 3), 0)
+        );
     }
 
     #[test]

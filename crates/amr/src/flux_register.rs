@@ -195,7 +195,11 @@ mod tests {
         }
         let before = state.sum(0);
         fr.reflux(&mut state, &fine_ba(), [0.1; 3]);
-        assert_eq!(state.sum(0), before, "identical fluxes must not change state");
+        assert_eq!(
+            state.sum(0),
+            before,
+            "identical fluxes must not change state"
+        );
     }
 
     fn fine_faces_of(d: usize, civ: IntVect, r: i32) -> Vec<IntVect> {

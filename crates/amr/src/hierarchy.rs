@@ -222,7 +222,8 @@ mod tests {
 
     #[test]
     fn single_level_covers_domain() {
-        let h = Hierarchy::single_level(Geometry::cube(64, 1.0, true), 32, 16, 4, DistStrategy::Sfc);
+        let h =
+            Hierarchy::single_level(Geometry::cube(64, 1.0, true), 32, 16, 4, DistStrategy::Sfc);
         assert_eq!(h.nlevels(), 1);
         assert_eq!(h.total_zones(), 64 * 64 * 64);
         assert_eq!(h.level(0).ba.len(), 8);
@@ -230,8 +231,13 @@ mod tests {
 
     #[test]
     fn regrid_creates_nested_fine_level() {
-        let mut h =
-            Hierarchy::single_level(Geometry::cube(32, 1.0, true), 16, 4, 1, DistStrategy::RoundRobin);
+        let mut h = Hierarchy::single_level(
+            Geometry::cube(32, 1.0, true),
+            16,
+            4,
+            1,
+            DistStrategy::RoundRobin,
+        );
         // Tag a central blob.
         let tags: Vec<IntVect> = IndexBox::new(IntVect::splat(12), IntVect::splat(19))
             .iter()
@@ -258,8 +264,13 @@ mod tests {
 
     #[test]
     fn regrid_with_no_tags_drops_fine_levels() {
-        let mut h =
-            Hierarchy::single_level(Geometry::cube(32, 1.0, true), 16, 4, 1, DistStrategy::RoundRobin);
+        let mut h = Hierarchy::single_level(
+            Geometry::cube(32, 1.0, true),
+            16,
+            4,
+            1,
+            DistStrategy::RoundRobin,
+        );
         let tags: Vec<IntVect> = IndexBox::cube(8).iter().collect();
         h.regrid(0, &tags, 2, &ClusterParams::default());
         assert_eq!(h.nlevels(), 2);
@@ -304,7 +315,14 @@ mod tests {
                 fine.fab_mut(i).set(iv, 0, v);
             }
         }
-        fill_patch_two_levels(&mut fine, &fgeom, &mut coarse, &cgeom, 2, &BcSpec::periodic());
+        fill_patch_two_levels(
+            &mut fine,
+            &fgeom,
+            &mut coarse,
+            &cgeom,
+            2,
+            &BcSpec::periodic(),
+        );
         // Every fine ghost zone inside the domain now matches the analytic
         // linear field (coarse interp of a linear function is exact; note
         // periodic wrap makes the *field* discontinuous at the domain edge,

@@ -48,7 +48,10 @@ fn mc_slope(vm: Real, v0: Real, vp: Real) -> Real {
 /// one ghost zone filled so slopes can be computed at patch edges.
 pub fn prolong_lin(coarse: &MultiFab, fine: &mut MultiFab, ratio: i32) {
     assert_eq!(coarse.ncomp(), fine.ncomp());
-    assert!(coarse.ngrow() >= 1, "linear prolongation needs coarse ghosts");
+    assert!(
+        coarse.ngrow() >= 1,
+        "linear prolongation needs coarse ghosts"
+    );
     let ncomp = fine.ncomp();
     let r = ratio as Real;
     for fi in 0..fine.nfabs() {
@@ -133,7 +136,9 @@ mod tests {
     fn pc_prolong_then_average_down_roundtrips() {
         let (mut coarse, mut fine, _g) = setup(2);
         for iv in IndexBox::cube(8).iter() {
-            coarse.fab_mut(0).set(iv, 0, (iv.x() * 3 + iv.y() - iv.z()) as Real);
+            coarse
+                .fab_mut(0)
+                .set(iv, 0, (iv.x() * 3 + iv.y() - iv.z()) as Real);
         }
         prolong_pc(&coarse, &mut fine, 2);
         let mut back = coarse.clone();
@@ -156,7 +161,11 @@ mod tests {
         // Conservation: sum over fine = ratio^3 * sum over coarse.
         let cs = coarse.sum(0);
         let fs = fine.sum(0);
-        assert!((fs - 64.0 * cs).abs() < 1e-9 * cs.abs().max(1.0), "{fs} vs {}", 64.0 * cs);
+        assert!(
+            (fs - 64.0 * cs).abs() < 1e-9 * cs.abs().max(1.0),
+            "{fs} vs {}",
+            64.0 * cs
+        );
         // And average_down recovers the coarse data exactly.
         let mut back = coarse.clone();
         back.set_val(0, 0.0);
@@ -172,7 +181,9 @@ mod tests {
         // A globally linear field should be reproduced exactly (away from
         // limiter activation, which a linear field never triggers).
         for iv in IndexBox::cube(8).grow(1).iter() {
-            coarse.fab_mut(0).set(iv, 0, 2.0 * iv.x() as Real + 0.5 * iv.y() as Real);
+            coarse
+                .fab_mut(0)
+                .set(iv, 0, 2.0 * iv.x() as Real + 0.5 * iv.y() as Real);
         }
         let _ = geom;
         prolong_lin(&coarse, &mut fine, 2);
@@ -197,6 +208,9 @@ mod tests {
         let _ = geom;
         prolong_lin(&coarse, &mut fine, 2);
         let (mn, mx) = (fine.min(0), fine.max(0));
-        assert!(mn >= 1.0 - 1e-12 && mx <= 10.0 + 1e-12, "overshoot: {mn} {mx}");
+        assert!(
+            mn >= 1.0 - 1e-12 && mx <= 10.0 + 1e-12,
+            "overshoot: {mn} {mx}"
+        );
     }
 }

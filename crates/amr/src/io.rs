@@ -284,10 +284,7 @@ mod tests {
         let dir = tmpdir("badmagic");
         fs::create_dir_all(&dir).unwrap();
         fs::write(dir.join("Header"), "not-a-checkpoint\n").unwrap();
-        assert!(matches!(
-            read_checkpoint(&dir),
-            Err(IoError::Format(_))
-        ));
+        assert!(matches!(read_checkpoint(&dir), Err(IoError::Format(_))));
         let _ = fs::remove_dir_all(&dir);
     }
 

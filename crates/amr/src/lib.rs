@@ -16,6 +16,10 @@
 //! * [`flux_register`] — conservation repair at coarse–fine boundaries.
 
 #![warn(missing_docs)]
+// Indexed loops over small fixed-extent arrays (species, dims, stencil
+// points) are the house style in this numerical code; iterator rewrites
+// obscure the math.
+#![allow(clippy::needless_range_loop)]
 
 pub mod boxarray;
 pub mod cluster;
@@ -35,8 +39,8 @@ pub use fab::{Array4, Array4Mut, FArrayBox};
 pub use flux_register::FluxRegister;
 pub use geometry::{CoordSys, Geometry};
 pub use hierarchy::{fill_patch_two_levels, AmrLevel, Hierarchy};
-pub use io::{read_checkpoint, write_checkpoint, Checkpoint, IoError};
 pub use interp::{average_down, prolong_lin, prolong_pc};
+pub use io::{read_checkpoint, write_checkpoint, Checkpoint, IoError};
 pub use multifab::{BcKind, BcSpec, CommTrace, Message, MultiFab};
 
 // Re-export the index primitives so downstream crates have one import path.

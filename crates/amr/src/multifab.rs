@@ -13,7 +13,7 @@ use crate::boxarray::BoxArray;
 use crate::distribution::DistributionMapping;
 use crate::fab::FArrayBox;
 use crate::geometry::Geometry;
-use exastro_parallel::{IndexBox, IntVect, Real, SPACEDIM};
+use exastro_parallel::{par_each_mut, par_map_fold, IndexBox, IntVect, Profiler, Real, SPACEDIM};
 
 /// One point-to-point message in a communication trace.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -198,16 +198,12 @@ impl MultiFab {
 
     /// Set every zone (including ghosts) of component `comp` to `v`.
     pub fn set_val(&mut self, comp: usize, v: Real) {
-        for f in &mut self.fabs {
-            f.set_val(comp, v);
-        }
+        par_each_mut(&mut self.fabs, |_i, f| f.set_val(comp, v));
     }
 
     /// Set every zone of every component to `v`.
     pub fn set_val_all(&mut self, v: Real) {
-        for f in &mut self.fabs {
-            f.set_val_all(v);
-        }
+        par_each_mut(&mut self.fabs, |_i, f| f.set_val_all(v));
     }
 
     /// Value at zone `iv`, component `comp`, searching the valid regions.
@@ -225,25 +221,29 @@ impl MultiFab {
     pub fn saxpy(&mut self, a: Real, other: &MultiFab) {
         assert_eq!(self.ba, other.ba);
         assert_eq!(self.ncomp, other.ncomp);
-        for i in 0..self.fabs.len() {
-            let vb = self.ba.get(i);
-            for c in 0..self.ncomp {
+        let ba = &self.ba;
+        let ncomp = self.ncomp;
+        par_each_mut(&mut self.fabs, |i, fab| {
+            let vb = ba.get(i);
+            for c in 0..ncomp {
                 for iv in vb.iter() {
-                    let v = self.fabs[i].get(iv, c) + a * other.fabs[i].get(iv, c);
-                    self.fabs[i].set(iv, c, v);
+                    let v = fab.get(iv, c) + a * other.fabs[i].get(iv, c);
+                    fab.set(iv, c, v);
                 }
             }
-        }
+        });
     }
 
     /// Copy all components from `other` (same box array) over valid regions.
     pub fn copy_from(&mut self, other: &MultiFab) {
         assert_eq!(self.ba, other.ba);
         assert_eq!(self.ncomp, other.ncomp);
-        for i in 0..self.fabs.len() {
-            let vb = self.ba.get(i);
-            self.fabs[i].copy_from(&other.fabs[i], vb, 0, 0, self.ncomp);
-        }
+        let ba = &self.ba;
+        let ncomp = self.ncomp;
+        par_each_mut(&mut self.fabs, |i, fab| {
+            let vb = ba.get(i);
+            fab.copy_from(&other.fabs[i], vb, 0, 0, ncomp);
+        });
     }
 
     /// Parallel copy from a multifab on a *different* box array covering the
@@ -282,6 +282,7 @@ impl MultiFab {
     /// This is the nearest-neighbour exchange that dominates Castro's MPI
     /// time at scale (Figure 2); the trace feeds the machine model.
     pub fn fill_boundary(&mut self, geom: &Geometry) -> CommTrace {
+        let _prof = Profiler::region("fill_boundary");
         let mut trace = CommTrace::default();
         if self.ngrow == 0 {
             return trace;
@@ -323,31 +324,46 @@ impl MultiFab {
                 }
             }
         }
-        for op in ops {
-            // Pack from source valid data...
+        // Pack every op from source valid data into its own buffer, in
+        // parallel over ops (sources are only read).
+        let ncomp = self.ncomp;
+        let fabs = &self.fabs;
+        let mut bufs: Vec<Vec<Real>> = ops
+            .iter()
+            .map(|op| Vec::with_capacity(op.region.num_zones() as usize * ncomp))
+            .collect();
+        par_each_mut(&mut bufs, |oi, buf| {
+            let op = &ops[oi];
+            let sfab = &fabs[op.src];
+            for c in 0..ncomp {
+                for iv in op.region.iter() {
+                    buf.push(sfab.get(iv - op.shift, c));
+                }
+            }
+        });
+        // Unpack in parallel over *destination fabs* (disjoint mutable
+        // access); each fab applies its ops in planning order, preserving
+        // the serial overwrite semantics.
+        let mut per_dst: Vec<Vec<usize>> = vec![Vec::new(); self.fabs.len()];
+        for (oi, op) in ops.iter().enumerate() {
+            per_dst[op.dst].push(oi);
+        }
+        par_each_mut(&mut self.fabs, |fi, dfab| {
+            for &oi in &per_dst[fi] {
+                let op = &ops[oi];
+                let mut idx = 0;
+                for c in 0..ncomp {
+                    for iv in op.region.iter() {
+                        dfab.set(iv, c, bufs[oi][idx]);
+                        idx += 1;
+                    }
+                }
+            }
+        });
+        let mut ghost_zones = 0u64;
+        for op in &ops {
             let n = op.region.num_zones() as usize;
-            let mut buf = vec![0.0; n * self.ncomp];
-            {
-                let sfab = &self.fabs[op.src];
-                let mut idx = 0;
-                for c in 0..self.ncomp {
-                    for iv in op.region.iter() {
-                        buf[idx] = sfab.get(iv - op.shift, c);
-                        idx += 1;
-                    }
-                }
-            }
-            // ...unpack into destination ghosts.
-            {
-                let dfab = &mut self.fabs[op.dst];
-                let mut idx = 0;
-                for c in 0..self.ncomp {
-                    for iv in op.region.iter() {
-                        dfab.set(iv, c, buf[idx]);
-                        idx += 1;
-                    }
-                }
-            }
+            ghost_zones += n as u64;
             let bytes = (n * self.ncomp * 8) as u64;
             let (sr, dr) = (self.dm.owner(op.src), self.dm.owner(op.dst));
             if sr == dr {
@@ -360,6 +376,7 @@ impl MultiFab {
                 });
             }
         }
+        Profiler::record_zones(ghost_zones);
         trace
     }
 
@@ -441,66 +458,113 @@ impl MultiFab {
     }
 
     /// Max |value| of `comp` over all valid regions.
+    ///
+    /// Like every reduction below, per-fab partials are computed in parallel
+    /// on the worker pool and folded serially in fab order, so results are
+    /// bitwise identical run to run (and to the old serial loops).
     pub fn norm_inf(&self, comp: usize) -> Real {
-        self.iter_boxes()
-            .map(|(i, b)| self.fabs[i].norm_inf(b, comp))
-            .fold(0.0, Real::max)
+        par_map_fold(
+            self.fabs.len(),
+            0.0,
+            |i| self.fabs[i].norm_inf(self.ba.get(i), comp),
+            Real::max,
+        )
     }
 
     /// L1 norm (sum of |value|) of `comp` over valid regions.
     pub fn norm_l1(&self, comp: usize) -> Real {
-        self.iter_boxes()
-            .map(|(i, b)| b.iter().map(|iv| self.fabs[i].get(iv, comp).abs()).sum::<Real>())
-            .sum()
+        par_map_fold(
+            self.fabs.len(),
+            0.0,
+            |i| {
+                self.ba
+                    .get(i)
+                    .iter()
+                    .map(|iv| self.fabs[i].get(iv, comp).abs())
+                    .sum::<Real>()
+            },
+            |a, b| a + b,
+        )
     }
 
     /// L2 norm of `comp` over valid regions.
     pub fn norm_l2(&self, comp: usize) -> Real {
-        self.iter_boxes()
-            .map(|(i, b)| {
-                b.iter()
+        par_map_fold(
+            self.fabs.len(),
+            0.0,
+            |i| {
+                self.ba
+                    .get(i)
+                    .iter()
                     .map(|iv| {
                         let v = self.fabs[i].get(iv, comp);
                         v * v
                     })
                     .sum::<Real>()
-            })
-            .sum::<Real>()
-            .sqrt()
+            },
+            |a, b| a + b,
+        )
+        .sqrt()
     }
 
     /// Sum of `comp` over valid regions.
     pub fn sum(&self, comp: usize) -> Real {
-        self.iter_boxes()
-            .map(|(i, b)| self.fabs[i].sum(b, comp))
-            .sum()
+        par_map_fold(
+            self.fabs.len(),
+            0.0,
+            |i| self.fabs[i].sum(self.ba.get(i), comp),
+            |a, b| a + b,
+        )
     }
 
     /// Minimum of `comp` over valid regions.
     pub fn min(&self, comp: usize) -> Real {
-        self.iter_boxes()
-            .flat_map(|(i, b)| b.iter().map(move |iv| self.fabs[i].get(iv, comp)))
-            .fold(Real::INFINITY, Real::min)
+        par_map_fold(
+            self.fabs.len(),
+            Real::INFINITY,
+            |i| {
+                self.ba
+                    .get(i)
+                    .iter()
+                    .map(|iv| self.fabs[i].get(iv, comp))
+                    .fold(Real::INFINITY, Real::min)
+            },
+            Real::min,
+        )
     }
 
     /// Maximum of `comp` over valid regions.
     pub fn max(&self, comp: usize) -> Real {
-        self.iter_boxes()
-            .flat_map(|(i, b)| b.iter().map(move |iv| self.fabs[i].get(iv, comp)))
-            .fold(Real::NEG_INFINITY, Real::max)
+        par_map_fold(
+            self.fabs.len(),
+            Real::NEG_INFINITY,
+            |i| {
+                self.ba
+                    .get(i)
+                    .iter()
+                    .map(|iv| self.fabs[i].get(iv, comp))
+                    .fold(Real::NEG_INFINITY, Real::max)
+            },
+            Real::max,
+        )
     }
 
     /// Dot product of component `comp` with the same component of `other`
     /// over valid regions.
     pub fn dot(&self, other: &MultiFab, comp: usize) -> Real {
         assert_eq!(self.ba, other.ba);
-        self.iter_boxes()
-            .map(|(i, b)| {
-                b.iter()
+        par_map_fold(
+            self.fabs.len(),
+            0.0,
+            |i| {
+                self.ba
+                    .get(i)
+                    .iter()
                     .map(|iv| self.fabs[i].get(iv, comp) * other.fabs[i].get(iv, comp))
                     .sum::<Real>()
-            })
-            .sum()
+            },
+            |a, b| a + b,
+        )
     }
 }
 
@@ -690,7 +754,8 @@ mod tests {
         for i in 0..src.nfabs() {
             let vb = src.valid_box(i);
             for iv in vb.iter() {
-                src.fab_mut(i).set(iv, 0, (iv.x() * iv.y() + iv.z()) as Real);
+                src.fab_mut(i)
+                    .set(iv, 0, (iv.x() * iv.y() + iv.z()) as Real);
             }
         }
         let mut dst = MultiFab::local(ba2, 1, 0);

@@ -3,8 +3,8 @@
 //! and inter-level transfer conservation.
 
 use exastro_amr::{
-    average_down, prolong_lin, prolong_pc, BoxArray, DistStrategy, DistributionMapping,
-    Geometry, IndexBox, IntVect, MultiFab,
+    average_down, prolong_lin, prolong_pc, BoxArray, DistStrategy, DistributionMapping, Geometry,
+    IndexBox, IntVect, MultiFab,
 };
 use proptest::prelude::*;
 
@@ -167,7 +167,7 @@ proptest! {
     ) {
         // 8^pow uniform boxes: SFC splits contiguous equal-weight chunks,
         // so the imbalance is bounded by ceil/floor of boxes-per-rank.
-        let side = 16 * (1 << pow) as i32 / 2;
+        let side = 16 * (1 << pow) / 2;
         let ba = BoxArray::decompose(IndexBox::cube(side), 8, 8);
         let dm = DistributionMapping::new(&ba, nranks, DistStrategy::Sfc);
         let per = ba.len() as f64 / nranks as f64;

@@ -30,7 +30,11 @@ fn print_sweep() {
         println!(
             "{:>9} GiB {:>10} {:>14.2} {:>9.1}×",
             gib,
-            if dev.oversubscribed() { "evicting" } else { "yes" },
+            if dev.oversubscribed() {
+                "evicting"
+            } else {
+                "yes"
+            },
             tput,
             base / tput
         );

@@ -9,9 +9,7 @@
 //! burns through both solvers.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use exastro_microphysics::{
-    Aprox13, BdfOptions, Burner, Network, NewtonSolver, StellarEos,
-};
+use exastro_microphysics::{Aprox13, BdfOptions, Burner, Network, NewtonSolver, StellarEos};
 
 fn burn_once(net: &Aprox13, eos: &StellarEos, solver: NewtonSolver) -> (f64, u64) {
     let opts = BdfOptions {
@@ -43,7 +41,10 @@ fn print_comparison() {
     let (ts, is_) = burn_once(&net, &eos, NewtonSolver::Compiled(p));
     println!("dense    LU: T_final = {td:.6e} K, {id} Newton iterations");
     println!("compiled LU: T_final = {ts:.6e} K, {is_} Newton iterations");
-    println!("ΔT = {:.2e} K (identical physics, fewer flops)\n", (td - ts).abs());
+    println!(
+        "ΔT = {:.2e} K (identical physics, fewer flops)\n",
+        (td - ts).abs()
+    );
 }
 
 fn bench(c: &mut Criterion) {
@@ -57,7 +58,13 @@ fn bench(c: &mut Criterion) {
     });
     let pattern = net.sparsity();
     g.bench_function("compiled_sparse", |b| {
-        b.iter(|| std::hint::black_box(burn_once(&net, &eos, NewtonSolver::Compiled(pattern.clone()))))
+        b.iter(|| {
+            std::hint::black_box(burn_once(
+                &net,
+                &eos,
+                NewtonSolver::Compiled(pattern.clone()),
+            ))
+        })
     });
     // Raw solver kernels, isolated.
     use exastro_microphysics::{CompiledLu, DenseLu};

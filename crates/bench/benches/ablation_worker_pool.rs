@@ -1,0 +1,103 @@
+//! **Runtime ablation**: the persistent worker pool vs spawning fresh OS
+//! threads for every `parallel_for`.
+//!
+//! Before the pool, `ExecSpace::Tiled` paid one OS thread spawn + join per
+//! team member per kernel launch — hundreds of microseconds of churn wrapped
+//! around kernels that often run for less. This bench drives the same tiled
+//! `par_for` on a 32³ box through both paths, first with a null kernel (the
+//! standard launch-latency measurement: all overhead, no compute) and then
+//! with a cheap stencil body. The acceptance bar is the pooled path beating
+//! the spawn-per-call baseline by ≥5× on per-launch overhead.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use exastro_parallel::{ExecSpace, IndexBox, IntVect, TiledExec, WorkerPool};
+
+// An OpenMP-style team width typical of production configs (Cori KNL runs
+// used 8-16 threads per rank). The spawn-per-call path pays one OS thread
+// spawn per team member per launch; the pool path caps at the resident
+// worker count and pays none.
+const NTHREADS: usize = 8;
+
+fn tiled() -> ExecSpace {
+    ExecSpace::Tiled(TiledExec {
+        nthreads: NTHREADS,
+        tile_size: IntVect::new(32, 8, 8),
+    })
+}
+
+fn stencil(i: i32, j: i32, k: i32) -> f64 {
+    (i as f64).mul_add(1.5, (j * k) as f64)
+}
+
+fn median(c: &Criterion, suffix: &str) -> f64 {
+    c.samples
+        .iter()
+        .find(|s| s.id.ends_with(suffix))
+        .unwrap_or_else(|| panic!("missing sample {suffix}"))
+        .median_secs()
+}
+
+fn bench(c: &mut Criterion) {
+    let bx = IndexBox::cube(32);
+    let ex = tiled();
+    // Warm the global pool so both measurements see steady state.
+    ex.par_for(bx, |_, _, _| {});
+    let spawned_before = WorkerPool::global().stats().threads_spawned;
+
+    let mut g = c.benchmark_group("worker_pool_32cube");
+    g.sample_size(20);
+    g.bench_function("null_pool", |b| b.iter(|| ex.par_for(bx, |_, _, _| {})));
+    g.bench_function("null_spawn", |b| {
+        b.iter(|| ex.par_for_spawn_per_call(bx, |_, _, _| {}))
+    });
+    g.bench_function("stencil_pool", |b| {
+        b.iter(|| {
+            ex.par_for(bx, |i, j, k| {
+                std::hint::black_box(stencil(i, j, k));
+            })
+        })
+    });
+    g.bench_function("stencil_spawn", |b| {
+        b.iter(|| {
+            ex.par_for_spawn_per_call(bx, |i, j, k| {
+                std::hint::black_box(stencil(i, j, k));
+            })
+        })
+    });
+    g.finish();
+
+    let null_pool = median(c, "null_pool");
+    let null_spawn = median(c, "null_spawn");
+    let st_pool = median(c, "stencil_pool");
+    let st_spawn = median(c, "stencil_spawn");
+    let spawned_after = WorkerPool::global().stats().threads_spawned;
+    println!("=== worker-pool ablation (tiled par_for, 32^3 box, {NTHREADS} threads) ===");
+    println!(
+        "launch overhead (null kernel): spawn-per-call {:.2} µs  pool {:.2} µs  -> {:.1}x (target >= 5x)",
+        null_spawn * 1e6,
+        null_pool * 1e6,
+        null_spawn / null_pool
+    );
+    println!(
+        "cheap stencil kernel:          spawn-per-call {:.2} µs  pool {:.2} µs  -> {:.1}x",
+        st_spawn * 1e6,
+        st_pool * 1e6,
+        st_spawn / st_pool
+    );
+    println!(
+        "pool threads spawned during timing: {}",
+        spawned_after - spawned_before
+    );
+    assert_eq!(
+        spawned_after, spawned_before,
+        "pool must not spawn threads in steady state"
+    );
+    assert!(
+        null_spawn / null_pool >= 5.0,
+        "persistent pool must cut per-launch overhead by >= 5x (got {:.1}x)",
+        null_spawn / null_pool
+    );
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

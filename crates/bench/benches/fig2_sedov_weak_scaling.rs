@@ -13,18 +13,22 @@ fn print_figure() {
     println!("canonical (256³/node, 64³ boxes):");
     println!("{:>6} {:>12} {:>11}", "nodes", "zones/µs", "normalized");
     for p in canonical_series(&m, &[1, 8, 64, 512]) {
-        println!("{:>6} {:>12.1} {:>11.3}", p.nodes, p.throughput, p.normalized);
+        println!(
+            "{:>6} {:>12.1} {:>11.3}",
+            p.nodes, p.throughput, p.normalized
+        );
     }
     let nodes: Vec<usize> = vec![1, 2, 4, 8, 16, 32, 64, 128, 256, 512];
     let (best, worst) = envelope_series(&m, &nodes);
     println!("\nenvelopes:");
     println!("{:>6} {:>11} {:>11}", "nodes", "best", "worst");
     for (b, w) in best.iter().zip(&worst) {
-        println!("{:>6} {:>11.3} {:>11.3}", b.nodes, b.normalized, w.normalized);
+        println!(
+            "{:>6} {:>11.3} {:>11.3}",
+            b.nodes, b.normalized, w.normalized
+        );
     }
-    println!(
-        "\npaper: 130 zones/µs at 1 node; ~42000 zones/µs and ~63% efficiency at 512 nodes\n"
-    );
+    println!("\npaper: 130 zones/µs at 1 node; ~42000 zones/µs and ~63% efficiency at 512 nodes\n");
 }
 
 fn bench(c: &mut Criterion) {

@@ -47,7 +47,14 @@ fn bench(c: &mut Criterion) {
     let dm = DistributionMapping::new(&ba, 1, DistStrategy::Sfc);
     let layout = LmLayout::new(net.nspec());
     let mut state = MultiFab::new(ba, dm, layout.ncomp(), 1);
-    let base = init_bubble(&mut state, &geom, &layout, &EOS, net, &BubbleParams::default());
+    let base = init_bubble(
+        &mut state,
+        &geom,
+        &layout,
+        &EOS,
+        net,
+        &BubbleParams::default(),
+    );
     let maestro = bubble_maestro(&EOS, net, base);
 
     let mut g = c.benchmark_group("fig3");

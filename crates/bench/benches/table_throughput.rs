@@ -21,7 +21,10 @@ fn print_table() {
     let zones = 128i64.pow(3);
     let prof = KernelProfile::new(1.2, 160); // full hydro update cost
     let t = dev.kernel_time_us(zones, &prof) + 12.0 * dev.config().launch_overhead_us;
-    println!("sim V100, optimal hydro      : {:>8.1}   (paper: ~25)", zones as f64 / t);
+    println!(
+        "sim V100, optimal hydro      : {:>8.1}   (paper: ~25)",
+        zones as f64 / t
+    );
 
     // A Titan-era K20X for context: Cholla reported 7 zones/µs on Titan's
     // K20X GPUs for a similar hydro algorithm (§IV).

@@ -14,10 +14,7 @@ use exastro_microphysics::{CBurn2, GammaLaw, Network};
 use exastro_parallel::Real;
 
 /// Build a ready-to-run Sedov state for kernel benchmarking.
-pub fn sedov_fixture(
-    n: i32,
-    max_grid: i32,
-) -> (Geometry, MultiFab, StateLayout, GammaLaw, CBurn2) {
+pub fn sedov_fixture(n: i32, max_grid: i32) -> (Geometry, MultiFab, StateLayout, GammaLaw, CBurn2) {
     let geom = Geometry::cube(n, 1.0, false);
     let ba = BoxArray::decompose(geom.domain(), max_grid, 8);
     let dm = DistributionMapping::all_local(&ba);

@@ -121,16 +121,16 @@ pub fn burn_state(
     // the mean per-zone work; the max/mean ratio is what breaks latency
     // hiding (§VI), so the profile cost scales with the *maximum*.
     if let Some(dev) = ex.device() {
-        let zones: i64 = (0..state.nfabs()).map(|i| state.valid_box(i).num_zones()).sum();
+        let zones: i64 = (0..state.nfabs())
+            .map(|i| state.valid_box(i).num_zones())
+            .sum();
         let mean = stats.total_steps.max(1) as f64 / stats.zones.max(1) as f64;
         let imbalance = stats.max_steps.max(1) as f64 / mean;
         // Warp-level serialization: effective cost per zone grows with the
         // outlier ratio (bounded).
         let cost = 5.0 * mean.max(1.0).log2().max(1.0) * imbalance.sqrt().min(32.0);
-        dev.launch(
-            zones,
-            &KernelProfile::new(cost, opts.registers_per_thread),
-        );
+        let us = dev.launch(zones, &KernelProfile::new(cost, opts.registers_per_thread));
+        exastro_parallel::Profiler::record_device_us(us);
     }
     Ok(stats)
 }
@@ -154,13 +154,22 @@ pub fn hybrid_offload_estimate(
     // GPU-only: the whole launch is gated by the slowest warp → effective
     // per-zone cost approaches the max for strong outliers.
     let gpu_cost = mean + (max - mean) * 0.5; // partial latency hiding
-    let gpu_only =
-        dev.kernel_time_us(zone_costs.len() as i64, &KernelProfile::new(gpu_cost, registers))
-            + dev.config().launch_overhead_us;
+    let gpu_only = dev.kernel_time_us(
+        zone_costs.len() as i64,
+        &KernelProfile::new(gpu_cost, registers),
+    ) + dev.config().launch_overhead_us;
     // Hybrid: outliers to the CPU, the rest keeps a uniform cost profile.
     let threshold = cutoff * mean;
-    let outliers: Vec<f64> = zone_costs.iter().cloned().filter(|&c| c > threshold).collect();
-    let bulk: Vec<f64> = zone_costs.iter().cloned().filter(|&c| c <= threshold).collect();
+    let outliers: Vec<f64> = zone_costs
+        .iter()
+        .cloned()
+        .filter(|&c| c > threshold)
+        .collect();
+    let bulk: Vec<f64> = zone_costs
+        .iter()
+        .cloned()
+        .filter(|&c| c <= threshold)
+        .collect();
     let bulk_mean = if bulk.is_empty() {
         0.0
     } else {

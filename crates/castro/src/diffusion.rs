@@ -117,7 +117,7 @@ pub fn diffuse(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use exastro_amr::{BcKind, BoxArray, DistributionMapping};
+    use exastro_amr::{BoxArray, DistributionMapping};
 
     fn hot_spot_state(n: i32) -> (Geometry, MultiFab, StateLayout) {
         let geom = Geometry::cube(n, 1.0, true);
@@ -129,8 +129,8 @@ mod tests {
         for i in 0..state.nfabs() {
             let vb = state.valid_box(i);
             for iv in vb.iter() {
-                let hot = (iv - IntVect::splat(c)).product() == 0
-                    && (iv - IntVect::splat(c)).sum() == 0;
+                let hot =
+                    (iv - IntVect::splat(c)).product() == 0 && (iv - IntVect::splat(c)).sum() == 0;
                 state.fab_mut(i).set(iv, StateLayout::RHO, 1.0);
                 state
                     .fab_mut(i)

@@ -10,7 +10,7 @@ use exastro_amr::{
     MultiFab, Real,
 };
 use exastro_microphysics::{Composition, Eos, Network};
-use exastro_parallel::{Arena, ExecSpace, PoolArena};
+use exastro_parallel::{Arena, ExecSpace, PoolArena, Profiler};
 use std::sync::Arc;
 
 /// Per-step statistics.
@@ -130,8 +130,10 @@ impl<'a> Castro<'a> {
         geom: &Geometry,
         dt: Real,
     ) -> (StepStats, Vec<SweepFluxes>) {
+        let _prof = Profiler::region("castro_advance");
         let mut stats = StepStats::default();
         if let Some(burn_opts) = &self.burn {
+            let _r = Profiler::region("burn");
             let b = burn_state(
                 state,
                 0.5 * dt,
@@ -145,24 +147,32 @@ impl<'a> Castro<'a> {
             .expect("first-half burn failed");
             stats.burn = b;
         }
-        let fluxes = self.hydro.advance(
-            state,
-            dt,
-            geom,
-            &self.layout,
-            self.eos,
-            self.net.species(),
-            &self.bc,
-            &self.ex,
-            self.arena.as_ref(),
-        );
+        let fluxes = {
+            let _r = Profiler::region("hydro");
+            self.hydro.advance(
+                state,
+                dt,
+                geom,
+                &self.layout,
+                self.eos,
+                self.net.species(),
+                &self.bc,
+                &self.ex,
+                self.arena.as_ref(),
+            )
+        };
         if self.gravity.mode != GravityMode::Off {
+            let _r = Profiler::region("gravity");
             let field: GravityField = self.gravity.solve(state, geom);
             stats.gravity_converged = field.mg.as_ref().map(|m| m.converged);
             Gravity::apply_source(state, &field, dt, &self.ex);
         }
-        self.sync_temperature(state);
+        {
+            let _r = Profiler::region("sync_temperature");
+            self.sync_temperature(state);
+        }
         if let Some(burn_opts) = &self.burn {
+            let _r = Profiler::region("burn");
             let b = burn_state(
                 state,
                 0.5 * dt,
@@ -229,6 +239,7 @@ impl<'a> Castro<'a> {
         assert_eq!(states.len(), hier.nlevels());
         let mut all_stats = Vec::new();
         // Fill fine-level ghosts from coarse data before anything moves.
+        let fill_prof = Profiler::region("fill_patch");
         for l in 1..hier.nlevels() {
             let (coarse, fine) = states.split_at_mut(l);
             let cg = hier.level(l - 1).geom.clone();
@@ -242,6 +253,7 @@ impl<'a> Castro<'a> {
                 &self.bc,
             );
         }
+        drop(fill_prof);
         // Advance each level, collecting fluxes.
         let mut fluxes_per_level = Vec::new();
         for l in 0..hier.nlevels() {
@@ -251,6 +263,7 @@ impl<'a> Castro<'a> {
             fluxes_per_level.push(fluxes);
         }
         // Reflux coarse levels against their fine level.
+        let _reflux_prof = Profiler::region("reflux");
         for l in (1..hier.nlevels()).rev() {
             let ratio = hier.level(l).ratio_to_coarser;
             let fine_ba = hier.level(l).ba.clone();
@@ -310,12 +323,7 @@ impl<'a> Castro<'a> {
 
     /// Tag zones for refinement: temperature above `t_thresh` or density
     /// above `rho_thresh`, evaluated on `state`'s level.
-    pub fn tag_zones(
-        &self,
-        state: &MultiFab,
-        t_thresh: Real,
-        rho_thresh: Real,
-    ) -> Vec<IntVect> {
+    pub fn tag_zones(&self, state: &MultiFab, t_thresh: Real, rho_thresh: Real) -> Vec<IntVect> {
         let mut tags = Vec::new();
         for (i, vb) in state.iter_boxes() {
             for iv in vb.iter() {

@@ -14,8 +14,8 @@
 use crate::state::StateLayout;
 use exastro_amr::{Geometry, IntVect, MultiFab, Real};
 use exastro_microphysics::constants::G_NEWTON;
-use exastro_solvers::{MgBc, MgOptions, MgStats, Multigrid};
 use exastro_parallel::ExecSpace;
+use exastro_solvers::{MgBc, MgOptions, MgStats, Multigrid};
 
 /// Gravity treatment.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -96,8 +96,8 @@ impl Gravity {
         for (i, vb) in state.iter_boxes() {
             for iv in vb.iter() {
                 let x = geom.cell_center(iv);
-                let r = ((x[0] - c[0]).powi(2) + (x[1] - c[1]).powi(2) + (x[2] - c[2]).powi(2))
-                    .sqrt();
+                let r =
+                    ((x[0] - c[0]).powi(2) + (x[1] - c[1]).powi(2) + (x[2] - c[2]).powi(2)).sqrt();
                 let bin = ((r / dr) as usize).min(self.n_bins - 1);
                 mass[bin] += state.fab(i).get(iv, StateLayout::RHO) * vol;
             }
@@ -118,7 +118,9 @@ impl Gravity {
             for iv in vb.iter() {
                 let x = geom.cell_center(iv);
                 let dx = [x[0] - c[0], x[1] - c[1], x[2] - c[2]];
-                let r = (dx[0] * dx[0] + dx[1] * dx[1] + dx[2] * dx[2]).sqrt().max(0.1 * dr);
+                let r = (dx[0] * dx[0] + dx[1] * dx[1] + dx[2] * dx[2])
+                    .sqrt()
+                    .max(0.1 * dr);
                 let bin = ((r / dr) as usize).min(self.n_bins - 1);
                 let g = -G_NEWTON * mass[bin] / (r * r);
                 for d in 0..3 {
@@ -137,8 +139,8 @@ impl Gravity {
         for i in 0..rhs.nfabs() {
             let vb = rhs.valid_box(i);
             for iv in vb.iter() {
-                let v = 4.0 * std::f64::consts::PI * G_NEWTON
-                    * state.fab(i).get(iv, StateLayout::RHO);
+                let v =
+                    4.0 * std::f64::consts::PI * G_NEWTON * state.fab(i).get(iv, StateLayout::RHO);
                 rhs.fab_mut(i).set(iv, 0, v);
             }
         }
@@ -193,8 +195,8 @@ impl Gravity {
             for iv in vb.iter() {
                 for d in 0..3 {
                     let e = IntVect::dim_vec(d);
-                    let g = -(phi.fab(i).get(iv + e, 0) - phi.fab(i).get(iv - e, 0))
-                        / (2.0 * dx[d]);
+                    let g =
+                        -(phi.fab(i).get(iv + e, 0) - phi.fab(i).get(iv - e, 0)) / (2.0 * dx[d]);
                     accel.fab_mut(i).set(iv, d, g);
                 }
             }
@@ -208,12 +210,7 @@ impl Gravity {
     /// Apply the gravity source to momentum and energy over `dt`:
     /// `ρu += ρ g dt`, `ρE += ρ u·g dt` (evaluated with the updated
     /// velocity midpoint for better energy behaviour).
-    pub fn apply_source(
-        state: &mut MultiFab,
-        field: &GravityField,
-        dt: Real,
-        ex: &ExecSpace,
-    ) {
+    pub fn apply_source(state: &mut MultiFab, field: &GravityField, dt: Real, ex: &ExecSpace) {
         for i in 0..state.nfabs() {
             let vb = state.valid_box(i);
             let gacc = field.accel.fab(i).array();

@@ -104,7 +104,7 @@ fn flux_kernel_profile(nspec: usize, structure: KernelStructure) -> KernelProfil
         KernelStructure::Legacy => 80 + 4 * nspec as u32,
     };
     let cost = match structure {
-        KernelStructure::Flat => 1.1, // redundant slope flops
+        KernelStructure::Flat => 1.1,   // redundant slope flops
         KernelStructure::Legacy => 1.4, // extra memory traffic dominates
     };
     KernelProfile::new(cost, regs)
@@ -183,7 +183,13 @@ impl Hydro {
             qarr.set(i, j, k, Q::C, q.cs);
             let inv = 1.0 / u[StateLayout::RHO].max(floors.small_dens);
             for s in 0..layout.nspec {
-                qarr.set(i, j, k, Q::FS + s, (u[layout.spec(s)] * inv).clamp(0.0, 1.0));
+                qarr.set(
+                    i,
+                    j,
+                    k,
+                    Q::FS + s,
+                    (u[layout.spec(s)] * inv).clamp(0.0, 1.0),
+                );
             }
         });
     }
@@ -264,7 +270,14 @@ impl Hydro {
                         ex.par_for_prof(face_bx, &profile, |i, j, k| {
                             let iv = IntVect::new(i, j, k);
                             let (ql, qr) = trace_pair(
-                                &qarr, iv, e, dim, dtdx, layout.nspec, Some(&sarr_r), &floors,
+                                &qarr,
+                                iv,
+                                e,
+                                dim,
+                                dtdx,
+                                layout.nspec,
+                                Some(&sarr_r),
+                                &floors,
                             );
                             write_flux(&farr, i, j, k, &ql, &qr, dim, layout);
                         });
@@ -455,6 +468,7 @@ fn trace_one(
 /// Solve the face Riemann problem and store the (un-rotated) conserved
 /// fluxes plus the face normal velocity in the flux fab.
 #[inline]
+#[allow(clippy::too_many_arguments)]
 fn write_flux(
     farr: &Array4Mut<'_>,
     i: i32,
@@ -482,7 +496,11 @@ fn write_flux(
     // Face normal velocity for the −p∇·u source: mass flux / upwind rho is
     // a decent contact-speed proxy, clamped to the local signal speed to
     // stay bounded at near-vacuum faces.
-    let rho_up = if f.upwind_left { ql.prim.rho } else { qr.prim.rho };
+    let rho_up = if f.upwind_left {
+        ql.prim.rho
+    } else {
+        qr.prim.rho
+    };
     let vmax = ql.prim.vel[0].abs().max(qr.prim.vel[0].abs()) + ql.prim.cs.max(qr.prim.cs);
     let uface = (f.mass / rho_up.max(1e-300)).clamp(-vmax, vmax);
     farr.set(i, j, k, ncomp, uface);
@@ -537,7 +555,11 @@ mod tests {
         (geom, state, layout, eos)
     }
 
-    fn run_sod(structure: KernelStructure, nsteps: usize, dim: usize) -> (Geometry, MultiFab, StateLayout) {
+    fn run_sod(
+        structure: KernelStructure,
+        nsteps: usize,
+        dim: usize,
+    ) -> (Geometry, MultiFab, StateLayout) {
         let (geom, mut state, layout, eos) = sod_state(128, dim);
         let net = CBurn2::new();
         let hydro = Hydro {
@@ -602,10 +624,7 @@ mod tests {
                 for c in 0..sf.ncomp() {
                     let a = sf.fab(i).get(iv, c);
                     let b = sl.fab(i).get(iv, c);
-                    assert!(
-                        a == b,
-                        "structure mismatch at {iv:?} comp {c}: {a} vs {b}"
-                    );
+                    assert!(a == b, "structure mismatch at {iv:?} comp {c}: {a} vs {b}");
                 }
             }
         }
@@ -673,7 +692,15 @@ mod tests {
         for _ in 0..10 {
             let dt = hydro.estimate_dt(&state, &layout, &eos, net.species(), &geom, &ex);
             hydro.advance(
-                &mut state, dt, &geom, &layout, &eos, net.species(), &bc, &ex, &arena,
+                &mut state,
+                dt,
+                &geom,
+                &layout,
+                &eos,
+                net.species(),
+                &bc,
+                &ex,
+                &arena,
             );
         }
         assert!((state.sum(StateLayout::RHO) / mass0 - 1.0).abs() < 1e-12);
@@ -699,7 +726,15 @@ mod tests {
         bc.kind[2] = [BcKind::Periodic; 2];
         for _ in 0..3 {
             hydro.advance(
-                &mut state, 1e-3, &geom, &layout, &eos, net.species(), &bc, &ex, &arena,
+                &mut state,
+                1e-3,
+                &geom,
+                &layout,
+                &eos,
+                net.species(),
+                &bc,
+                &ex,
+                &arena,
             );
         }
         let s = arena.stats();
@@ -713,4 +748,3 @@ mod tests {
         );
     }
 }
-

@@ -34,7 +34,7 @@ struct UCons {
     mu: Real,
     mv: Real,
     mw: Real,
-    e: Real, // ρE
+    e: Real,  // ρE
     ei: Real, // ρe (advected)
 }
 
@@ -83,9 +83,8 @@ pub fn hllc(ql: &Primitive, qr: &Primitive) -> FaceFlux {
     let star = |q: &Primitive, u: &UCons, s: Real| -> (UCons, FaceFlux) {
         let f = phys_flux(q, u);
         let coef = q.rho * (s - q.vel[0]) / (s - sstar);
-        let e_star = coef
-            * (u.e / q.rho
-                + (sstar - q.vel[0]) * (sstar + q.p / (q.rho * (s - q.vel[0]))));
+        let e_star =
+            coef * (u.e / q.rho + (sstar - q.vel[0]) * (sstar + q.p / (q.rho * (s - q.vel[0]))));
         let ustar = UCons {
             rho: coef,
             mu: coef * sstar,

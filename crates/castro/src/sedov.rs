@@ -62,7 +62,10 @@ pub fn init_sedov(
     }
     let vol = geom.cell_volume();
     let e_zone = params.energy / (n_dep.max(1) as Real * vol); // energy density
-    let comp = Composition { abar: 1.0, zbar: 1.0 };
+    let comp = Composition {
+        abar: 1.0,
+        zbar: 1.0,
+    };
     let e0 = eos.e_from_p(params.rho0, params.p0);
     let t_amb = {
         // Invert for a consistent ambient temperature.
@@ -124,11 +127,7 @@ pub fn sedov_shock_radius(params: &SedovParams, t: Real) -> Real {
 
 /// Measure the blast radius from the state: the density-weighted mean
 /// radius of zones within the dense shell (ρ > 1.1 ρ₀).
-pub fn measure_shock_radius(
-    state: &MultiFab,
-    geom: &Geometry,
-    params: &SedovParams,
-) -> Real {
+pub fn measure_shock_radius(state: &MultiFab, geom: &Geometry, params: &SedovParams) -> Real {
     let c = [
         0.5 * (geom.prob_lo()[0] + geom.prob_hi()[0]),
         0.5 * (geom.prob_lo()[1] + geom.prob_hi()[1]),
@@ -141,8 +140,8 @@ pub fn measure_shock_radius(
             let rho = state.fab(i).get(iv, StateLayout::RHO);
             if rho > 1.1 * params.rho0 {
                 let x = geom.cell_center(iv);
-                let r = ((x[0] - c[0]).powi(2) + (x[1] - c[1]).powi(2) + (x[2] - c[2]).powi(2))
-                    .sqrt();
+                let r =
+                    ((x[0] - c[0]).powi(2) + (x[1] - c[1]).powi(2) + (x[2] - c[2]).powi(2)).sqrt();
                 let w = rho - params.rho0;
                 wsum += w;
                 rsum += w * r;

@@ -74,7 +74,11 @@ pub struct Primitive {
 impl Primitive {
     /// Total specific energy.
     pub fn etot(&self) -> Real {
-        self.e + 0.5 * (self.vel[0] * self.vel[0] + self.vel[1] * self.vel[1] + self.vel[2] * self.vel[2])
+        self.e
+            + 0.5
+                * (self.vel[0] * self.vel[0]
+                    + self.vel[1] * self.vel[1]
+                    + self.vel[2] * self.vel[2])
     }
 }
 

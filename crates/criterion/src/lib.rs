@@ -1,0 +1,194 @@
+//! A minimal, dependency-free, offline drop-in for the subset of the
+//! [criterion](https://crates.io/crates/criterion) API this workspace uses.
+//!
+//! The build environment has no network access, so the real crate cannot be
+//! fetched. This shim keeps every `benches/*.rs` target compiling and
+//! produces honest wall-clock measurements: each `Bencher::iter` call runs a
+//! warm-up to pick a batch size, takes `sample_size` timed samples, and the
+//! harness prints min/median/mean per benchmark. No statistical analysis,
+//! plots, or baselines are produced.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from eliding a value (re-export of `std::hint`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// One benchmark's collected samples (per-iteration durations).
+#[derive(Clone, Debug)]
+pub struct Sample {
+    /// Full path, e.g. `group/function`.
+    pub id: String,
+    /// Per-iteration wall time of each sample.
+    pub times: Vec<Duration>,
+}
+
+impl Sample {
+    fn report(&self) {
+        let mut sorted = self.times.clone();
+        sorted.sort();
+        let min = sorted.first().copied().unwrap_or_default();
+        let median = sorted.get(sorted.len() / 2).copied().unwrap_or_default();
+        let mean = if sorted.is_empty() {
+            Duration::ZERO
+        } else {
+            sorted.iter().sum::<Duration>() / sorted.len() as u32
+        };
+        println!(
+            "{:<40} time: [min {:>12?}  median {:>12?}  mean {:>12?}]  ({} samples)",
+            self.id,
+            min,
+            median,
+            mean,
+            sorted.len()
+        );
+    }
+
+    /// Median per-iteration time in seconds.
+    pub fn median_secs(&self) -> f64 {
+        let mut sorted = self.times.clone();
+        sorted.sort();
+        sorted
+            .get(sorted.len() / 2)
+            .map(|d| d.as_secs_f64())
+            .unwrap_or(0.0)
+    }
+}
+
+/// The measurement loop handed to benchmark closures.
+pub struct Bencher {
+    sample_size: usize,
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `f`, batching iterations so each sample is long enough to
+    /// resolve, and record `sample_size` samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + batch sizing: aim for >= 1 ms per sample.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(50));
+        let batch = (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 1_000) as u32;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            self.times.push(start.elapsed() / batch);
+        }
+    }
+}
+
+/// A named group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Set the target measurement time (accepted for API compatibility;
+    /// the shim sizes batches automatically).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            times: Vec::new(),
+        };
+        f(&mut b);
+        let sample = Sample {
+            id: full,
+            times: b.times,
+        };
+        sample.report();
+        self.criterion.samples.push(sample);
+        self
+    }
+
+    /// Finish the group (separator line only; results print as they run).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    /// All samples recorded so far (inspectable by `cargo bench` mains).
+    pub samples: Vec<Sample>,
+}
+
+impl Criterion {
+    /// Begin a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.to_string();
+        self.benchmark_group(id.clone()).bench_function("base", f);
+        self
+    }
+}
+
+/// Declare a benchmark group function, as in real criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare the benchmark `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_requested_samples() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3);
+        g.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+        assert_eq!(c.samples.len(), 1);
+        assert_eq!(c.samples[0].times.len(), 3);
+        assert!(c.samples[0].median_secs() >= 0.0);
+    }
+}

@@ -7,15 +7,24 @@ fn main() {
     for p in canonical_series(&m, &[1, 8, 64, 512]) {
         println!(
             "nodes {:4} side {:5} tput {:9.1} norm {:.3} (comp {:.0} p2p {:.0} ar {:.0} µs)",
-            p.nodes, p.domain_side, p.throughput, p.normalized,
-            p.time.compute_us, p.time.p2p_us, p.time.allreduce_us
+            p.nodes,
+            p.domain_side,
+            p.throughput,
+            p.normalized,
+            p.time.compute_us,
+            p.time.p2p_us,
+            p.time.allreduce_us
         );
     }
     println!("=== Fig 3 bubble ===");
     for p in bubble_series(&m, &[1, 8, 27, 64, 125]) {
         println!(
             "nodes {:4} tput {:7.2} norm {:.3} react {:9.0} mg {:9.0} ratio {:.2}",
-            p.nodes, p.throughput, p.normalized, p.react_us, p.multigrid_us,
+            p.nodes,
+            p.throughput,
+            p.normalized,
+            p.react_us,
+            p.multigrid_us,
             p.multigrid_us / p.react_us
         );
     }

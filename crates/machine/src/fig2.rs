@@ -84,7 +84,7 @@ pub fn sedov_workload(
         nranks,
         compute,
         comm,
-        allreduces: 1, // the CFL dt reduction
+        allreduces: 1,   // the CFL dt reduction
         global_syncs: 3, // one synchronizing ghost fill per sweep
         zones_advanced: domain.num_zones(),
     }

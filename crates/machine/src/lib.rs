@@ -19,5 +19,7 @@ pub mod workload;
 
 pub use fig2::{canonical_series, envelope_series, sedov_workload, ScalingPoint};
 pub use fig3::{bubble_point, bubble_series, BubblePoint};
-pub use model::{CpuNodeReference, Machine, NetworkModel, NodeModel, RankComm, StepTime, StepWorkload};
+pub use model::{
+    CpuNodeReference, Machine, NetworkModel, NodeModel, RankComm, StepTime, StepWorkload,
+};
 pub use workload::{add_comm, exchange_comm, scale_comm};

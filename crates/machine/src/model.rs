@@ -62,8 +62,8 @@ impl Machine {
             },
             network: NetworkModel {
                 latency_us: 2.0,
-                bw_intra: 50_000.0,  // ~50 GB/s effective shared-memory
-                bw_nic: 25_000.0,    // ~25 GB/s dual-rail EDR per node
+                bw_intra: 50_000.0, // ~50 GB/s effective shared-memory
+                bw_nic: 25_000.0,   // ~25 GB/s dual-rail EDR per node
                 contention: 0.30,
                 allreduce_base_us: 12.0,
                 sync_noise_us: 18.0,
@@ -197,9 +197,8 @@ impl Machine {
             }
         }
         let t_allreduce = w.allreduces as f64 * self.allreduce_us(w.nranks);
-        let t_sync = w.global_syncs as f64
-            * self.network.sync_noise_us
-            * (nodes.max(1) as f64).log2();
+        let t_sync =
+            w.global_syncs as f64 * self.network.sync_noise_us * (nodes.max(1) as f64).log2();
         let total = worst + t_allreduce + t_sync;
         StepTime {
             compute_us: worst_compute,
@@ -228,7 +227,11 @@ mod tests {
         };
         let t = m.simulate_step(&w);
         assert!(t.p2p_us == 0.0);
-        assert!(t.throughput > 5.0 && t.throughput < 30.0, "{}", t.throughput);
+        assert!(
+            t.throughput > 5.0 && t.throughput < 30.0,
+            "{}",
+            t.throughput
+        );
     }
 
     #[test]
@@ -276,7 +279,6 @@ mod tests {
                     inter_bytes: inter,
                     intra_msgs: 4,
                     inter_msgs: 4,
-                    ..Default::default()
                 })
                 .collect(),
             allreduces: 0,

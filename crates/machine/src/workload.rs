@@ -36,11 +36,8 @@ pub fn exchange_comm(
             && b.lo().y() % size0.y() == 0
             && b.lo().z() % size0.z() == 0
     });
-    let index_of: HashMap<IntVect, usize> = ba
-        .iter()
-        .enumerate()
-        .map(|(i, b)| (b.lo(), i))
-        .collect();
+    let index_of: HashMap<IntVect, usize> =
+        ba.iter().enumerate().map(|(i, b)| (b.lo(), i)).collect();
     let n = domain.size();
     let wrap = |mut lo: IntVect| -> IntVect {
         for d in 0..3 {
@@ -166,15 +163,7 @@ mod tests {
         let geom = Geometry::cube(64, 1.0, true);
         let ba = BoxArray::decompose(geom.domain(), 16, 16); // 64 boxes
         let dm = DistributionMapping::new(&ba, 12, DistStrategy::Knapsack);
-        let comm = exchange_comm(
-            &ba,
-            &dm,
-            &machine,
-            geom.domain(),
-            [true; 3],
-            2,
-            5,
-        );
+        let comm = exchange_comm(&ba, &dm, &machine, geom.domain(), [true; 3], 2, 5);
         // Ground truth from the real ghost exchange.
         let mut mf = MultiFab::new(ba, dm, 5, 2);
         let trace = mf.fill_boundary(&geom);
@@ -204,7 +193,9 @@ mod tests {
         let ba = BoxArray::decompose(geom.domain(), 16, 16);
         let dm = DistributionMapping::all_local(&ba);
         let comm = exchange_comm(&ba, &dm, &machine, geom.domain(), [true; 3], 2, 5);
-        assert!(comm.iter().all(|c| c.intra_bytes == 0 && c.inter_bytes == 0));
+        assert!(comm
+            .iter()
+            .all(|c| c.intra_bytes == 0 && c.inter_bytes == 0));
     }
 
     #[test]

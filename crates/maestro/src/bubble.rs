@@ -73,8 +73,7 @@ pub fn init_bubble(
         let vb = state.valid_box(i);
         for iv in vb.iter() {
             let pos = geom.cell_center(iv);
-            let r = ((pos[0] - cx).powi(2) + (pos[1] - cy).powi(2) + (pos[2] - cz).powi(2))
-                .sqrt();
+            let r = ((pos[0] - cx).powi(2) + (pos[1] - cy).powi(2) + (pos[2] - cz).powi(2)).sqrt();
             // Smooth (tanh-edged) temperature perturbation.
             let pert = 0.5 * (1.0 - ((r - r_b) / (0.25 * r_b)).tanh());
             let t = params.t_ambient + (params.t_bubble - params.t_ambient) * pert;
@@ -142,11 +141,7 @@ pub fn bubble_diagnostics(
 }
 
 /// The Maestro driver pre-configured for the bubble problem.
-pub fn bubble_maestro<'a>(
-    eos: &'a dyn Eos,
-    net: &'a dyn Network,
-    base: BaseState,
-) -> Maestro<'a> {
+pub fn bubble_maestro<'a>(eos: &'a dyn Eos, net: &'a dyn Network, base: BaseState) -> Maestro<'a> {
     Maestro {
         layout: LmLayout::new(net.nspec()),
         eos,

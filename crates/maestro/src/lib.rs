@@ -10,6 +10,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Indexed loops over small fixed-extent arrays (species, dims, stencil
+// points) are the house style in this numerical code; iterator rewrites
+// obscure the math.
+#![allow(clippy::needless_range_loop)]
 
 pub mod base_state;
 pub mod bubble;

@@ -14,6 +14,7 @@
 use crate::base_state::{rho_from_p_t, BaseState};
 use exastro_amr::{BcKind, BcSpec, Geometry, IntVect, MultiFab, Real, SPACEDIM};
 use exastro_microphysics::{Burner, Composition, Eos, Network};
+use exastro_parallel::Profiler;
 use exastro_solvers::{MgBc, MgOptions, MgStats, Multigrid};
 
 /// Component indices of the low-Mach state.
@@ -188,7 +189,8 @@ impl<'a> Maestro<'a> {
             let gb = state.grown_box(i);
             for iv in gb.iter() {
                 for d in 0..3 {
-                    vel.fab_mut(i).set(iv, d, state.fab(i).get(iv, LmLayout::U + d));
+                    vel.fab_mut(i)
+                        .set(iv, d, state.fab(i).get(iv, LmLayout::U + d));
                 }
             }
         }
@@ -210,8 +212,7 @@ impl<'a> Maestro<'a> {
                 let mut div = 0.0;
                 for d in 0..3 {
                     let e = IntVect::dim_vec(d);
-                    div += (vel.fab(i).get(iv + e, d) - vel.fab(i).get(iv - e, d))
-                        / (2.0 * dx[d]);
+                    div += (vel.fab(i).get(iv + e, d) - vel.fab(i).get(iv - e, d)) / (2.0 * dx[d]);
                 }
                 rhs.fab_mut(i).set(iv, 0, div / dt);
                 total += div / dt;
@@ -294,24 +295,42 @@ impl<'a> Maestro<'a> {
 
     /// One full low-Mach step with Strang-split reactions.
     pub fn advance(&self, state: &mut MultiFab, geom: &Geometry, dt: Real) -> LmStepStats {
+        let _prof = Profiler::region("maestro_advance");
         let mut stats = LmStepStats::default();
         let bc = self.bc();
         if self.do_burn {
+            let _r = Profiler::region("react");
             stats.burn_steps += self.react(state, 0.5 * dt);
         }
-        self.enforce_density(state, geom);
+        {
+            let _r = Profiler::region("enforce_density");
+            self.enforce_density(state, geom);
+        }
         state.fill_boundary(geom);
         state.fill_physical_bc(geom, &bc);
-        self.advect(state, geom, dt);
-        self.buoyancy(state, dt);
-        let proj = self.project(state, geom, dt);
+        {
+            let _r = Profiler::region("advect");
+            self.advect(state, geom, dt);
+            self.buoyancy(state, dt);
+        }
+        let proj = {
+            let _r = Profiler::region("project");
+            self.project(state, geom, dt)
+        };
         stats.projection = Some(proj);
         if self.do_burn {
+            let _r = Profiler::region("react");
             stats.burn_steps += self.react(state, 0.5 * dt);
         }
-        self.enforce_density(state, geom);
+        {
+            let _r = Profiler::region("enforce_density");
+            self.enforce_density(state, geom);
+        }
         stats.max_temp = state.max(LmLayout::TEMP);
-        stats.max_w = state.max(LmLayout::W).abs().max(state.min(LmLayout::W).abs());
+        stats.max_w = state
+            .max(LmLayout::W)
+            .abs()
+            .max(state.min(LmLayout::W).abs());
         stats
     }
 }
@@ -340,7 +359,14 @@ mod tests {
         let dm = DistributionMapping::new(&ba, 2, DistStrategy::Sfc);
         let layout = LmLayout::new(2);
         let mut state = MultiFab::new(ba, dm, layout.ncomp(), 1);
-        let base = init_bubble(&mut state, &geom, &layout, &EOS, net, &BubbleParams::default());
+        let base = init_bubble(
+            &mut state,
+            &geom,
+            &layout,
+            &EOS,
+            net,
+            &BubbleParams::default(),
+        );
         let maestro = bubble_maestro(&EOS, net, base);
         (geom, state, maestro, layout)
     }
@@ -353,7 +379,9 @@ mod tests {
             let vb = state.valid_box(i);
             for iv in vb.iter() {
                 let x = geom.cell_center(iv);
-                state.fab_mut(i).set(iv, LmLayout::U, (x[0] / 3.6e7).sin() * 1e5);
+                state
+                    .fab_mut(i)
+                    .set(iv, LmLayout::U, (x[0] / 3.6e7).sin() * 1e5);
                 state
                     .fab_mut(i)
                     .set(iv, LmLayout::V, (x[1] / 1.2e7).cos() * 1e5);
@@ -380,7 +408,8 @@ mod tests {
             let gb = state.grown_box(i);
             for iv in gb.iter() {
                 for d in 0..3 {
-                    vel.fab_mut(i).set(iv, d, state.fab(i).get(iv, LmLayout::U + d));
+                    vel.fab_mut(i)
+                        .set(iv, d, state.fab(i).get(iv, LmLayout::U + d));
                 }
             }
         }
@@ -397,8 +426,7 @@ mod tests {
                 let mut div = 0.0;
                 for d in 0..3 {
                     let e = IntVect::dim_vec(d);
-                    div += (vel.fab(i).get(iv + e, d) - vel.fab(i).get(iv - e, d))
-                        / (2.0 * dx[d]);
+                    div += (vel.fab(i).get(iv + e, d) - vel.fab(i).get(iv - e, d)) / (2.0 * dx[d]);
                 }
                 norm += div * div;
             }
@@ -487,7 +515,10 @@ mod tests {
         }
         // Buoyancy residual from the discrete hydrostatic base is small:
         // velocities stay far below the convective scale (~1e6 cm/s).
-        let wmax = state.max(LmLayout::W).abs().max(state.min(LmLayout::W).abs());
+        let wmax = state
+            .max(LmLayout::W)
+            .abs()
+            .max(state.min(LmLayout::W).abs());
         assert!(wmax < 1e4, "spurious velocity {wmax}");
     }
 }

@@ -126,6 +126,8 @@ impl<'a> Burner<'a> {
     /// Burn one zone at density `rho` from temperature `t0` and mass
     /// fractions `x0` for `dt` seconds.
     pub fn burn(&self, rho: f64, t0: f64, x0: &[f64], dt: f64) -> Result<BurnOutcome, BdfError> {
+        let _prof = exastro_parallel::Profiler::region("burner");
+        exastro_parallel::Profiler::record_zones(1);
         let n = self.net.nspec();
         assert_eq!(x0.len(), n);
         let mut y = vec![0.0; n + 1];
@@ -284,7 +286,10 @@ mod tests {
         let t_hi = burner
             .time_to_ignition(1e8, 2.2e9, &[1.0, 0.0], 4e9, 1e3)
             .unwrap();
-        let (t_lo, t_hi) = (t_lo.expect("low-rho ignites"), t_hi.expect("high-rho ignites"));
+        let (t_lo, t_hi) = (
+            t_lo.expect("low-rho ignites"),
+            t_hi.expect("high-rho ignites"),
+        );
         assert!(
             t_hi < t_lo,
             "higher density must ignite faster: {t_hi} vs {t_lo}"
@@ -349,5 +354,3 @@ mod tests {
         );
     }
 }
-
-

@@ -217,7 +217,10 @@ mod tests {
     #[test]
     fn gamma_law_ideal_gas_relations() {
         let eos = GammaLaw::monatomic();
-        let comp = Composition { abar: 1.0, zbar: 1.0 };
+        let comp = Composition {
+            abar: 1.0,
+            zbar: 1.0,
+        };
         let r = eos.eval_rt(1e-3, 1e4, &comp);
         // p = ρ k T / (A m_u)
         let expect = 1e-3 * K_B * 1e4 / M_U;
@@ -302,13 +305,7 @@ mod tests {
     fn stellar_eos_t_from_e_inverts_across_regimes() {
         let eos = StellarEos;
         let comp = co_comp();
-        for &(rho, t) in &[
-            (1e-2, 1e5),
-            (1e3, 1e7),
-            (1e7, 5e7),
-            (2e7, 1e9),
-            (5e8, 4e9),
-        ] {
+        for &(rho, t) in &[(1e-2, 1e5), (1e3, 1e7), (1e7, 5e7), (2e7, 1e9), (5e8, 4e9)] {
             let e = eos.eval_rt(rho, t, &comp).e;
             let ti = eos.t_from_e(rho, e, &comp, 1e6);
             assert!(
@@ -339,7 +336,10 @@ mod tests {
         let comp = co_comp();
         let r = eos.eval_rt(1e-3, 1e9, &comp);
         let p_rad = A_RAD * 1e9f64.powi(4) / 3.0;
-        assert!((r.p / p_rad - 1.0).abs() < 0.01, "radiation should dominate");
+        assert!(
+            (r.p / p_rad - 1.0).abs() < 0.01,
+            "radiation should dominate"
+        );
         assert!((r.gam1 - 4.0 / 3.0).abs() < 0.05);
     }
 }

@@ -18,6 +18,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Indexed loops over small fixed-extent arrays (species, dims, stencil
+// points) are the house style in this numerical code; iterator rewrites
+// obscure the math.
+#![allow(clippy::needless_range_loop)]
 
 pub mod burner;
 pub mod constants;
@@ -31,7 +35,7 @@ pub mod species;
 pub use burner::{BurnOutcome, Burner};
 pub use eos::{Eos, EosResult, GammaLaw, StellarEos};
 pub use integrator::{rk4, BdfError, BdfIntegrator, BdfOptions, BdfStats, NewtonSolver, OdeSystem};
-pub use linalg::{CompiledLu, DenseLu, SparsePattern, Singular};
+pub use linalg::{CompiledLu, DenseLu, Singular, SparsePattern};
 pub use network::{Aprox13, CBurn2, Iso7, Network, Reaction, TripleAlpha};
 pub use rates::{gamow_tau_alpha, screening_factor, Rate};
 pub use species::{energy_rate, mass_to_molar, molar_to_mass, Composition, Species};

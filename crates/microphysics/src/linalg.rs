@@ -308,12 +308,7 @@ impl CompiledLu {
     /// schedule. `work` must have length [`CompiledLu::nnz_filled`].
     /// Returns `Err(Singular)` on a zero pivot (the pattern solver does not
     /// pivot; Newton matrices `I - hγJ` are diagonally dominant).
-    pub fn factor_solve(
-        &self,
-        a: &[f64],
-        b: &mut [f64],
-        work: &mut [f64],
-    ) -> Result<(), Singular> {
+    pub fn factor_solve(&self, a: &[f64], b: &mut [f64], work: &mut [f64]) -> Result<(), Singular> {
         assert_eq!(a.len(), self.n * self.n);
         assert_eq!(b.len(), self.n);
         assert_eq!(work.len(), self.slots.len());
@@ -408,7 +403,9 @@ mod tests {
         // Deterministic pseudo-random diagonally dominant matrices.
         let mut seed = 12345u64;
         let mut rng = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64 / (1u64 << 31) as f64) - 0.5
         };
         for n in [1, 2, 5, 14, 30] {
@@ -512,7 +509,9 @@ mod tests {
     fn compiled_matches_dense_on_random_patterns() {
         let mut seed = 777u64;
         let mut rng = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (seed >> 33) as f64 / (1u64 << 31) as f64
         };
         for n in [3usize, 7, 14] {

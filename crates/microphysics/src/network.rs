@@ -503,12 +503,7 @@ mod tests {
     fn check_nucleon_conservation(net: &dyn Network, rho: f64, t: f64, y: &[f64]) {
         let mut ydot = vec![0.0; net.nspec()];
         net.ydot(rho, t, y, &mut ydot);
-        let sum: f64 = net
-            .species()
-            .iter()
-            .zip(&ydot)
-            .map(|(s, &d)| s.a * d)
-            .sum();
+        let sum: f64 = net.species().iter().zip(&ydot).map(|(s, &d)| s.a * d).sum();
         let scale: f64 = ydot.iter().map(|d| d.abs()).sum::<f64>().max(1e-300);
         assert!(
             (sum / scale).abs() < 1e-12,
@@ -537,7 +532,10 @@ mod tests {
         let y = molar(&net, &[1.0, 0.0]);
         let e1 = net.eps(2.6e6, 5e8, &y);
         let e2 = net.eps(2.6e6, 6e8, &y);
-        assert!(e2 > 10.0 * e1, "carbon burning should be extremely T-sensitive");
+        assert!(
+            e2 > 10.0 * e1,
+            "carbon burning should be extremely T-sensitive"
+        );
     }
 
     #[test]
@@ -563,7 +561,9 @@ mod tests {
         assert_eq!(net.index_of("ni56"), 12);
         let y = molar(
             &net,
-            &[0.0, 0.5, 0.5, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            &[
+                0.0, 0.5, 0.5, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0,
+            ],
         );
         check_nucleon_conservation(&net, 1e7, 3e9, &y);
         // C/O fuel at 3e9 K burns exothermically.

@@ -3,8 +3,8 @@
 //! convergence invariants.
 
 use exastro_microphysics::{
-    mass_to_molar, molar_to_mass, BdfIntegrator, BdfOptions, Composition, CompiledLu, DenseLu,
-    Eos, GammaLaw, Network, OdeSystem, SparsePattern, StellarEos, TripleAlpha,
+    mass_to_molar, molar_to_mass, BdfIntegrator, BdfOptions, CompiledLu, Composition, DenseLu, Eos,
+    GammaLaw, Network, OdeSystem, SparsePattern, StellarEos, TripleAlpha,
 };
 use exastro_microphysics::{Aprox13, CBurn2};
 use proptest::prelude::*;

@@ -14,13 +14,19 @@
 //! * [`PoolArena`] — size-class bins of recycled buffers (the paper's fix);
 //! * [`MallocArena`] — a fresh allocation every time (the "disastrous"
 //!   baseline), charging the simulated device allocation latency per call.
+//!
+//! Byte accounting is canonical on the **size class**: an allocation of `len`
+//! elements is charged `size_class(len) * 8` bytes at alloc time, and exactly
+//! the same amount is credited on free/recycle. (`Vec::with_capacity` may
+//! round capacity up, so using `capacity()` on one side and the class on the
+//! other — as an earlier revision did — made `bytes_live` drift and
+//! eventually underflow.)
 
 use crate::device::SimDevice;
-use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::ops::{Deref, DerefMut};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Allocation statistics for an arena.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -63,6 +69,9 @@ enum Home {
 pub struct ScratchBuf {
     data: Vec<f64>,
     len: usize,
+    /// The size class this buffer was charged as — the single source of
+    /// truth for its byte accounting on both the alloc and free sides.
+    class: usize,
     home: Option<Home>,
 }
 
@@ -79,7 +88,7 @@ impl ScratchBuf {
 
     /// Capacity of the underlying block (the size class), in elements.
     pub fn capacity(&self) -> usize {
-        self.data.capacity()
+        self.class
     }
 }
 
@@ -101,10 +110,10 @@ impl DerefMut for ScratchBuf {
 impl Drop for ScratchBuf {
     fn drop(&mut self) {
         let data = std::mem::take(&mut self.data);
+        let bytes = (self.class * 8) as u64;
         match self.home.take() {
-            Some(Home::Pool(pool)) => pool.give_back(data),
+            Some(Home::Pool(pool)) => pool.give_back(data, self.class),
             Some(Home::Malloc { device, stats }) => {
-                let bytes = (data.capacity() * 8) as u64;
                 if let Some(d) = &device {
                     d.free(bytes);
                 }
@@ -116,7 +125,9 @@ impl Drop for ScratchBuf {
     }
 }
 
-fn size_class(len: usize) -> usize {
+/// The power-of-two size class (in elements) that an allocation of `len`
+/// elements is served from.
+pub fn size_class(len: usize) -> usize {
     len.max(64).next_power_of_two()
 }
 
@@ -126,17 +137,28 @@ struct PoolInner {
     allocs: AtomicU64,
     hits: AtomicU64,
     device_allocs: AtomicU64,
+    device_frees: AtomicU64,
     bytes_live: AtomicU64,
     bytes_pooled: AtomicU64,
+    /// Bytes currently backed by device allocations (live + pooled). Only
+    /// changes when memory enters the arena (device alloc) or leaves it
+    /// (trim), so peak tracking is a single atomic `fetch_max` — the old
+    /// separate live + pooled reads raced and could miss or overshoot peaks.
+    bytes_held: AtomicU64,
     bytes_peak: AtomicU64,
 }
 
 impl PoolInner {
-    fn give_back(&self, buf: Vec<f64>) {
-        let bytes = (buf.capacity() * 8) as u64;
+    fn give_back(&self, buf: Vec<f64>, class: usize) {
+        let bytes = (class * 8) as u64;
         self.bytes_live.fetch_sub(bytes, Ordering::Relaxed);
         self.bytes_pooled.fetch_add(bytes, Ordering::Relaxed);
-        self.bins.lock().entry(buf.capacity()).or_default().push(buf);
+        self.bins
+            .lock()
+            .unwrap()
+            .entry(class)
+            .or_default()
+            .push(buf);
     }
 }
 
@@ -158,8 +180,10 @@ impl PoolArena {
                 allocs: AtomicU64::new(0),
                 hits: AtomicU64::new(0),
                 device_allocs: AtomicU64::new(0),
+                device_frees: AtomicU64::new(0),
                 bytes_live: AtomicU64::new(0),
                 bytes_pooled: AtomicU64::new(0),
+                bytes_held: AtomicU64::new(0),
                 bytes_peak: AtomicU64::new(0),
             }),
         }
@@ -167,11 +191,13 @@ impl PoolArena {
 
     /// Release all pooled (idle) buffers back to the device.
     pub fn trim(&self) {
-        let mut bins = self.inner.bins.lock();
-        for (_, bufs) in bins.drain() {
-            for b in bufs {
-                let bytes = (b.capacity() * 8) as u64;
+        let mut bins = self.inner.bins.lock().unwrap();
+        for (class, bufs) in bins.drain() {
+            for _b in bufs {
+                let bytes = (class * 8) as u64;
                 self.inner.bytes_pooled.fetch_sub(bytes, Ordering::Relaxed);
+                self.inner.bytes_held.fetch_sub(bytes, Ordering::Relaxed);
+                self.inner.device_frees.fetch_add(1, Ordering::Relaxed);
                 if let Some(d) = &self.inner.device {
                     d.free(bytes);
                 }
@@ -188,37 +214,38 @@ impl PoolArena {
 impl Arena for PoolArena {
     fn alloc(&self, len: usize) -> ScratchBuf {
         let class = size_class(len);
+        let bytes = (class * 8) as u64;
         self.inner.allocs.fetch_add(1, Ordering::Relaxed);
-        let recycled = self.inner.bins.lock().get_mut(&class).and_then(Vec::pop);
+        let recycled = self
+            .inner
+            .bins
+            .lock()
+            .unwrap()
+            .get_mut(&class)
+            .and_then(Vec::pop);
         let mut data = match recycled {
             Some(buf) => {
                 self.inner.hits.fetch_add(1, Ordering::Relaxed);
-                self.inner
-                    .bytes_pooled
-                    .fetch_sub((buf.capacity() * 8) as u64, Ordering::Relaxed);
+                self.inner.bytes_pooled.fetch_sub(bytes, Ordering::Relaxed);
                 buf
             }
             None => {
                 self.inner.device_allocs.fetch_add(1, Ordering::Relaxed);
                 if let Some(d) = &self.inner.device {
-                    d.malloc((class * 8) as u64);
+                    d.malloc(bytes);
                 }
+                let held = self.inner.bytes_held.fetch_add(bytes, Ordering::Relaxed) + bytes;
+                self.inner.bytes_peak.fetch_max(held, Ordering::Relaxed);
                 Vec::with_capacity(class)
             }
         };
         data.clear();
         data.resize(len, 0.0);
-        // Restore full-class capacity view so give_back bins it correctly.
-        debug_assert!(data.capacity() >= class);
-        let bytes = (data.capacity() * 8) as u64;
-        let live = self.inner.bytes_live.fetch_add(bytes, Ordering::Relaxed) + bytes;
-        let pooled = self.inner.bytes_pooled.load(Ordering::Relaxed);
-        self.inner
-            .bytes_peak
-            .fetch_max(live + pooled, Ordering::Relaxed);
+        self.inner.bytes_live.fetch_add(bytes, Ordering::Relaxed);
         ScratchBuf {
             data,
             len,
+            class,
             home: Some(Home::Pool(self.inner.clone())),
         }
     }
@@ -228,7 +255,7 @@ impl Arena for PoolArena {
             allocs: self.inner.allocs.load(Ordering::Relaxed),
             pool_hits: self.inner.hits.load(Ordering::Relaxed),
             device_allocs: self.inner.device_allocs.load(Ordering::Relaxed),
-            device_frees: 0,
+            device_frees: self.inner.device_frees.load(Ordering::Relaxed),
             bytes_live: self.inner.bytes_live.load(Ordering::Relaxed),
             bytes_peak: self.inner.bytes_peak.load(Ordering::Relaxed),
         }
@@ -264,18 +291,19 @@ impl MallocArena {
 impl Arena for MallocArena {
     fn alloc(&self, len: usize) -> ScratchBuf {
         let class = size_class(len);
+        let bytes = (class * 8) as u64;
         self.stats.allocs.fetch_add(1, Ordering::Relaxed);
         if let Some(d) = &self.device {
-            d.malloc((class * 8) as u64);
+            d.malloc(bytes);
         }
         let mut data = Vec::with_capacity(class);
         data.resize(len, 0.0);
-        let bytes = (data.capacity() * 8) as u64;
         let live = self.stats.bytes_live.fetch_add(bytes, Ordering::Relaxed) + bytes;
         self.stats.bytes_peak.fetch_max(live, Ordering::Relaxed);
         ScratchBuf {
             data,
             len,
+            class,
             home: Some(Home::Malloc {
                 device: self.device.clone(),
                 stats: self.stats.clone(),
@@ -326,7 +354,10 @@ mod tests {
             a.iter_mut().for_each(|v| *v = 3.25);
         }
         let b = pool.alloc(128);
-        assert!(b.iter().all(|&v| v == 0.0), "recycled buffer must be zeroed");
+        assert!(
+            b.iter().all(|&v| v == 0.0),
+            "recycled buffer must be zeroed"
+        );
     }
 
     #[test]
@@ -363,6 +394,21 @@ mod tests {
     }
 
     #[test]
+    fn malloc_accounting_balances_off_class_sizes() {
+        // Lengths that are not a power of two force the class to round up;
+        // both sides must still charge/credit the same canonical amount.
+        let dev = SimDevice::new(DeviceConfig::v100());
+        let arena = MallocArena::new(Some(dev.clone()));
+        for len in [0usize, 1, 63, 65, 1000, 4097, 100_000] {
+            let _a = arena.alloc(len);
+        }
+        let s = arena.stats();
+        assert_eq!(s.bytes_live, 0, "alloc/free byte accounting must balance");
+        assert_eq!(dev.stats().bytes_resident, 0);
+        assert_eq!(s.device_frees, s.allocs);
+    }
+
+    #[test]
     fn distinct_live_buffers_never_alias() {
         let pool = PoolArena::new(None);
         let mut bufs: Vec<_> = (0..8).map(|_| pool.alloc(256)).collect();
@@ -383,9 +429,34 @@ mod tests {
         }
         assert!(pool.bytes_pooled() > 0);
         assert!(dev.stats().bytes_resident > 0);
+        assert_eq!(pool.stats().device_frees, 0);
         pool.trim();
         assert_eq!(pool.bytes_pooled(), 0);
         assert_eq!(dev.stats().bytes_resident, 0);
+        let s = pool.stats();
+        assert_eq!(
+            s.device_frees, s.device_allocs,
+            "trim must count the frees it performs"
+        );
+        assert_eq!(dev.stats().frees, s.device_frees);
+    }
+
+    #[test]
+    fn pool_peak_counts_live_plus_pooled() {
+        let pool = PoolArena::new(None);
+        {
+            let _a = pool.alloc(1024);
+            let _b = pool.alloc(1024);
+        }
+        // Recycling from the pool must not raise the peak.
+        for _ in 0..10 {
+            let _a = pool.alloc(1024);
+            let _b = pool.alloc(1024);
+        }
+        let s = pool.stats();
+        assert_eq!(s.bytes_peak, 2 * 1024 * 8);
+        assert_eq!(s.bytes_live, 0);
+        assert_eq!(pool.bytes_pooled(), 2 * 1024 * 8);
     }
 
     #[test]

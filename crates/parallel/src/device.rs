@@ -18,8 +18,7 @@
 //! * **memory oversubscription** — once the working set exceeds device memory,
 //!   unified-memory eviction collapses effective bandwidth (§IV-A).
 
-use parking_lot::Mutex;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Static characteristics of a simulated accelerator.
 #[derive(Clone, Debug)]
@@ -192,7 +191,7 @@ impl SimDevice {
     pub fn kernel_time_us(&self, zones: i64, profile: &KernelProfile) -> f64 {
         let occ = self.occupancy(zones, profile.registers_per_thread);
         let oversub = {
-            let st = self.state.lock();
+            let st = self.state.lock().unwrap();
             if st.stats.bytes_resident > self.config.memory_bytes {
                 self.config.oversubscription_penalty
             } else {
@@ -211,7 +210,7 @@ impl SimDevice {
     /// simulated duration charged, including launch overhead.
     pub fn launch(&self, zones: i64, profile: &KernelProfile) -> f64 {
         let t = self.config.launch_overhead_us + self.kernel_time_us(zones, profile);
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         let s = st.next_stream;
         st.next_stream = (s + 1) % st.stream_clock.len();
         st.stream_clock[s] += t;
@@ -225,13 +224,9 @@ impl SimDevice {
     /// charges the allocation latency — this is the behaviour that makes
     /// per-timestep `cudaMalloc` "disastrous" (§III).
     pub fn malloc(&self, bytes: u64) {
-        let mut st = self.state.lock();
-        let sync = st
-            .stream_clock
-            .iter()
-            .copied()
-            .fold(0.0_f64, f64::max)
-            + self.config.alloc_latency_us;
+        let mut st = self.state.lock().unwrap();
+        let sync =
+            st.stream_clock.iter().copied().fold(0.0_f64, f64::max) + self.config.alloc_latency_us;
         for c in st.stream_clock.iter_mut() {
             *c = sync;
         }
@@ -243,13 +238,9 @@ impl SimDevice {
 
     /// Record a device memory free (also synchronizing).
     pub fn free(&self, bytes: u64) {
-        let mut st = self.state.lock();
-        let sync = st
-            .stream_clock
-            .iter()
-            .copied()
-            .fold(0.0_f64, f64::max)
-            + self.config.free_latency_us;
+        let mut st = self.state.lock().unwrap();
+        let sync =
+            st.stream_clock.iter().copied().fold(0.0_f64, f64::max) + self.config.free_latency_us;
         for c in st.stream_clock.iter_mut() {
             *c = sync;
         }
@@ -262,6 +253,7 @@ impl SimDevice {
     pub fn elapsed_us(&self) -> f64 {
         self.state
             .lock()
+            .unwrap()
             .stream_clock
             .iter()
             .copied()
@@ -270,13 +262,13 @@ impl SimDevice {
 
     /// Snapshot of execution statistics.
     pub fn stats(&self) -> DeviceStats {
-        self.state.lock().stats
+        self.state.lock().unwrap().stats
     }
 
     /// Reset the clocks and counters (resident memory is kept: data stays on
     /// the device between steps, per the paper's memory strategy).
     pub fn reset_clocks(&self) {
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         for c in st.stream_clock.iter_mut() {
             *c = 0.0;
         }
@@ -290,7 +282,7 @@ impl SimDevice {
 
     /// True if the resident set exceeds device memory.
     pub fn oversubscribed(&self) -> bool {
-        self.state.lock().stats.bytes_resident > self.config.memory_bytes
+        self.state.lock().unwrap().stats.bytes_resident > self.config.memory_bytes
     }
 }
 

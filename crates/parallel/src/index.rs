@@ -351,10 +351,7 @@ impl IndexBox {
     #[inline]
     pub fn refine(&self, ratio: i32) -> IndexBox {
         let r = IntVect::splat(ratio);
-        IndexBox::new(
-            self.lo.scale(r),
-            self.hi.scale(r) + r - IntVect::unit(),
-        )
+        IndexBox::new(self.lo.scale(r), self.hi.scale(r) + r - IntVect::unit())
     }
 
     /// Coarsen by `ratio` (the inverse of [`IndexBox::refine`]; covers at
@@ -373,10 +370,7 @@ impl IndexBox {
         lo_hi[d] = at - 1;
         let mut hi_lo = self.lo;
         hi_lo[d] = at;
-        (
-            IndexBox::new(self.lo, lo_hi),
-            IndexBox::new(hi_lo, self.hi),
-        )
+        (IndexBox::new(self.lo, lo_hi), IndexBox::new(hi_lo, self.hi))
     }
 
     /// The dimension in which the box is longest.
@@ -500,7 +494,8 @@ impl Iterator for ZoneIter {
         let s = self.bx.size();
         let d = self.cur - self.bx.lo();
         let total = self.bx.num_zones();
-        let consumed = d.0[0] as i64 + s.0[0] as i64 * (d.0[1] as i64 + s.0[1] as i64 * d.0[2] as i64);
+        let consumed =
+            d.0[0] as i64 + s.0[0] as i64 * (d.0[1] as i64 + s.0[1] as i64 * d.0[2] as i64);
         let n = (total - consumed) as usize;
         (n, Some(n))
     }
@@ -529,8 +524,14 @@ mod tests {
     #[test]
     fn intvect_coarsen_negative() {
         // Flooring division: -1 coarsened by 2 must map to -1, not 0.
-        assert_eq!(IntVect::new(-1, 0, 3).coarsen(IntVect::splat(2)), IntVect::new(-1, 0, 1));
-        assert_eq!(IntVect::new(-4, -3, 4).coarsen(IntVect::splat(4)), IntVect::new(-1, -1, 1));
+        assert_eq!(
+            IntVect::new(-1, 0, 3).coarsen(IntVect::splat(2)),
+            IntVect::new(-1, 0, 1)
+        );
+        assert_eq!(
+            IntVect::new(-4, -3, 4).coarsen(IntVect::splat(4)),
+            IntVect::new(-1, -1, 1)
+        );
     }
 
     #[test]

@@ -14,7 +14,13 @@
 //! * [`device`] — the simulated accelerator with a calibrated cost model
 //!   (launch latency, occupancy, register spilling, allocation latency,
 //!   memory oversubscription);
-//! * [`arena`] — the caching pool allocator and its malloc-per-call baseline.
+//! * [`arena`] — the caching pool allocator and its malloc-per-call baseline;
+//! * [`pool`] — the persistent worker-thread pool behind the tiled backend:
+//!   threads are spawned once per process and parallel regions are a pointer
+//!   handoff plus a condvar wake, not a thread spawn;
+//! * [`profiler`] — TinyProfiler-style execution telemetry: named nested
+//!   regions accumulating wall time, zones processed, and simulated device
+//!   microseconds, rendered as an end-of-run report.
 //!
 //! Since no real GPU is available in this reproduction, kernels launched on
 //! the device space execute on the host — producing bit-identical physics —
@@ -22,18 +28,25 @@
 //! `exastro-machine` cluster simulator to regenerate the paper's scaling
 //! figures.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the worker pool's dispatch core is the one
+// audited module allowed to opt back in (see crates/parallel/src/pool.rs for
+// the soundness argument); everything else remains safe code.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod arena;
 pub mod device;
 pub mod exec;
 pub mod index;
+pub mod pool;
+pub mod profiler;
 
 pub use arena::{Arena, ArenaStats, MallocArena, PoolArena, ScratchBuf};
 pub use device::{DeviceConfig, DeviceStats, KernelProfile, SimDevice};
 pub use exec::{tiles_of, ExecSpace, TiledExec};
 pub use index::{IndexBox, IntVect, SPACEDIM};
+pub use pool::{par_each_mut, par_index_each, par_map_fold, PoolStats, Tasks, WorkerPool};
+pub use profiler::{Profiler, Region, RegionStats};
 
 /// The floating-point type used throughout the suite.
 pub type Real = f64;

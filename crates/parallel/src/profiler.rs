@@ -1,0 +1,221 @@
+//! Cross-stack execution telemetry (TinyProfiler analogue).
+//!
+//! Castro and MAESTROeX ship with AMReX's `TinyProfiler`: every coarse phase
+//! of the timestep is wrapped in a named region, regions nest, and at the end
+//! of the run a table of inclusive wall time per region path is printed. That
+//! table is the evidence base for statements like "the burner is 60% of the
+//! step" that drive porting priorities — exactly the methodology of §IV of
+//! the paper. This module reproduces it for the simulated stack and extends
+//! it with the two quantities our reproduction can attribute precisely:
+//! zones processed per region and simulated device microseconds charged per
+//! region.
+//!
+//! Usage: create a [`Region`] guard; it times from construction to drop and
+//! attributes to the full slash-joined path of the live guards on this
+//! thread. [`Profiler::report`] renders the table (plus worker-pool
+//! statistics); [`Profiler::reset`] clears it between runs.
+
+use crate::pool::WorkerPool;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Accumulated counters for one region path.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RegionStats {
+    /// Times the region was entered.
+    pub calls: u64,
+    /// Inclusive host wall time, nanoseconds.
+    pub wall_ns: u64,
+    /// Zones processed by `par_for`/reductions inside the region.
+    pub zones: u64,
+    /// Simulated device time charged inside the region, microseconds.
+    pub device_us: f64,
+}
+
+thread_local! {
+    static REGION_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+fn table() -> &'static Mutex<HashMap<String, RegionStats>> {
+    static TABLE: OnceLock<Mutex<HashMap<String, RegionStats>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// The process-wide profiler. All methods are associated functions; there is
+/// no instance to thread through call sites (matching TinyProfiler's use of
+/// global state so instrumentation stays one line per region).
+pub struct Profiler;
+
+impl Profiler {
+    /// Open a named region on this thread; close it by dropping the guard.
+    pub fn region(name: &str) -> Region {
+        REGION_STACK.with(|s| s.borrow_mut().push(name.to_string()));
+        Region {
+            start: Instant::now(),
+        }
+    }
+
+    /// The current slash-joined region path on this thread, or "(top)" when
+    /// no region is open.
+    pub fn current_path() -> String {
+        REGION_STACK.with(|s| {
+            let s = s.borrow();
+            if s.is_empty() {
+                "(top)".to_string()
+            } else {
+                s.join("/")
+            }
+        })
+    }
+
+    /// Attribute `zones` processed zones to the innermost open region.
+    pub fn record_zones(zones: u64) {
+        if zones == 0 {
+            return;
+        }
+        let path = Self::current_path();
+        let mut t = table().lock().unwrap();
+        t.entry(path).or_default().zones += zones;
+    }
+
+    /// Attribute `us` microseconds of simulated device time to the innermost
+    /// open region.
+    pub fn record_device_us(us: f64) {
+        if us <= 0.0 {
+            return;
+        }
+        let path = Self::current_path();
+        let mut t = table().lock().unwrap();
+        t.entry(path).or_default().device_us += us;
+    }
+
+    /// Snapshot the full region table (path -> stats).
+    pub fn snapshot() -> HashMap<String, RegionStats> {
+        table().lock().unwrap().clone()
+    }
+
+    /// Stats for one exact region path, if it was ever entered.
+    pub fn get(path: &str) -> Option<RegionStats> {
+        table().lock().unwrap().get(path).cloned()
+    }
+
+    /// Clear all accumulated counters (regions currently open on any thread
+    /// will still record on close).
+    pub fn reset() {
+        table().lock().unwrap().clear();
+    }
+
+    /// Render the end-of-run report: regions sorted by inclusive wall time,
+    /// with calls, zones, simulated device time, and worker-pool hit rates.
+    pub fn report() -> String {
+        let snap = Self::snapshot();
+        let mut rows: Vec<(&String, &RegionStats)> = snap.iter().collect();
+        rows.sort_by(|a, b| b.1.wall_ns.cmp(&a.1.wall_ns).then_with(|| a.0.cmp(b.0)));
+        let total_ns: u64 = rows
+            .iter()
+            .filter(|(p, _)| !p.contains('/'))
+            .map(|(_, s)| s.wall_ns)
+            .sum();
+        let mut out = String::new();
+        out.push_str("===================== execution telemetry =====================\n");
+        out.push_str(&format!(
+            "{:<34} {:>7} {:>10} {:>6} {:>12} {:>12}\n",
+            "region", "calls", "wall [ms]", "%top", "zones", "device [us]"
+        ));
+        for (path, s) in rows {
+            let pct = if total_ns > 0 {
+                100.0 * s.wall_ns as f64 / total_ns as f64
+            } else {
+                0.0
+            };
+            out.push_str(&format!(
+                "{:<34} {:>7} {:>10.3} {:>5.1}% {:>12} {:>12.1}\n",
+                path,
+                s.calls,
+                s.wall_ns as f64 / 1e6,
+                pct,
+                s.zones,
+                s.device_us
+            ));
+        }
+        let ps = WorkerPool::global().stats();
+        out.push_str(&format!(
+            "pool: {} worker(s), {} spawned (ever), {} regions ({} pooled / {} inline, hit rate {:.0}%)\n",
+            ps.threads,
+            ps.threads_spawned,
+            ps.regions,
+            ps.pooled_regions,
+            ps.serial_regions,
+            100.0 * ps.pool_hit_rate()
+        ));
+        out.push_str("===============================================================\n");
+        out
+    }
+}
+
+/// RAII guard for one profiler region; closes (and records wall time) on
+/// drop.
+pub struct Region {
+    start: Instant,
+}
+
+impl Drop for Region {
+    fn drop(&mut self) {
+        let wall = self.start.elapsed();
+        let path = Profiler::current_path();
+        REGION_STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+        let mut t = table().lock().unwrap();
+        let e = t.entry(path).or_default();
+        e.calls += 1;
+        e.wall_ns += wall.as_nanos() as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The profiler table is process-global, so exercise everything from one
+    // test to avoid cross-test interference under the parallel test runner.
+    #[test]
+    fn regions_nest_record_and_report() {
+        Profiler::reset();
+        {
+            let _outer = Profiler::region("prof_test_step");
+            Profiler::record_zones(100);
+            {
+                let _inner = Profiler::region("hydro");
+                Profiler::record_zones(40);
+                Profiler::record_device_us(12.5);
+                assert_eq!(Profiler::current_path(), "prof_test_step/hydro");
+            }
+            {
+                let _inner = Profiler::region("hydro");
+                Profiler::record_zones(2);
+            }
+        }
+        let outer = Profiler::get("prof_test_step").expect("outer recorded");
+        assert_eq!(outer.calls, 1);
+        assert_eq!(outer.zones, 100);
+        let inner = Profiler::get("prof_test_step/hydro").expect("inner recorded");
+        assert_eq!(inner.calls, 2);
+        assert_eq!(inner.zones, 42);
+        assert!((inner.device_us - 12.5).abs() < 1e-12);
+        assert!(outer.wall_ns >= inner.wall_ns);
+
+        let report = Profiler::report();
+        assert!(report.contains("prof_test_step/hydro"));
+        assert!(report.contains("pool:"));
+
+        // Zones recorded with no open region land in "(top)".
+        Profiler::record_zones(7);
+        assert_eq!(Profiler::get("(top)").unwrap().zones, 7);
+
+        Profiler::reset();
+        assert!(Profiler::get("prof_test_step").is_none());
+    }
+}

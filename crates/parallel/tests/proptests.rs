@@ -5,6 +5,7 @@ use exastro_parallel::{
     tiles_of, Arena, ExecSpace, IndexBox, IntVect, MallocArena, PoolArena, TiledExec,
 };
 use proptest::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
 
 fn arb_intvect(range: std::ops::Range<i32>) -> impl Strategy<Value = IntVect> {
     (range.clone(), range.clone(), range).prop_map(|(i, j, k)| IntVect::new(i, j, k))
@@ -151,5 +152,71 @@ proptest! {
         let s = pool.stats();
         prop_assert_eq!(s.device_allocs, 1);
         prop_assert_eq!(s.pool_hits, rounds as u64 - 1);
+    }
+
+    // ------ adversarial shapes through the persistent worker pool ------
+
+    #[test]
+    fn tiled_pool_visits_every_zone_once_adversarial(
+        lo in arb_intvect(-9..2),
+        size in arb_intvect(1..13),
+        tile in arb_intvect(1..15),     // often larger than the box extent
+        nthreads in 1usize..32,         // often more threads than tiles
+    ) {
+        let bx = IndexBox::new(lo, lo + size - IntVect::unit());
+        let ex = ExecSpace::Tiled(TiledExec { nthreads, tile_size: tile });
+        let n = bx.num_zones() as usize;
+        let counts: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+        ex.par_for(bx, |i, j, k| {
+            let li = bx.linear_index(IntVect::new(i, j, k));
+            counts[li].fetch_add(1, Ordering::Relaxed);
+        });
+        for c in &counts {
+            prop_assert_eq!(c.load(Ordering::Relaxed), 1);
+        }
+    }
+
+    #[test]
+    fn one_zone_tiles_still_cover(
+        lo in arb_intvect(-6..0),
+        size in arb_intvect(1..9),
+        nthreads in 1usize..17,
+    ) {
+        // Degenerate 1-zone tiles: one task per zone, maximal contention on
+        // the task counter.
+        let bx = IndexBox::new(lo, lo + size - IntVect::unit());
+        let ex = ExecSpace::Tiled(TiledExec {
+            nthreads,
+            tile_size: IntVect::new(1, 1, 1),
+        });
+        let n = bx.num_zones() as usize;
+        let counts: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(0)).collect();
+        ex.par_for(bx, |i, j, k| {
+            let li = bx.linear_index(IntVect::new(i, j, k));
+            counts[li].fetch_add(1, Ordering::Relaxed);
+        });
+        prop_assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn tiled_minmax_reductions_are_bitwise_serial(
+        lo in arb_intvect(-8..3),
+        size in arb_intvect(1..11),
+        tile in arb_intvect(1..6),
+        nthreads in 2usize..9,
+    ) {
+        // max/min are associative and commutative over f64 (no rounding), so
+        // the pooled tiled backend must agree with Serial bit for bit.
+        let bx = IndexBox::new(lo, lo + size - IntVect::unit());
+        let f = |i: i32, j: i32, k: i32| ((i * 37 + j * 11 - k * 5) as f64).sin();
+        let ex = ExecSpace::Tiled(TiledExec { nthreads, tile_size: tile });
+        let smax = ExecSpace::Serial.par_reduce_max(bx, f);
+        let smin = ExecSpace::Serial.par_reduce_min(bx, f);
+        prop_assert_eq!(ex.par_reduce_max(bx, f).to_bits(), smax.to_bits());
+        prop_assert_eq!(ex.par_reduce_min(bx, f).to_bits(), smin.to_bits());
+        // And the sum is deterministic across repeated pooled runs.
+        let s1 = ex.par_reduce_sum(bx, f);
+        let s2 = ex.par_reduce_sum(bx, f);
+        prop_assert_eq!(s1.to_bits(), s2.to_bits());
     }
 }

@@ -187,7 +187,10 @@ mod tests {
         let mut phi_cg = MultiFab::new(ba.clone(), dm.clone(), 1, 1);
         let s = cg_poisson(&mut phi_cg, &rhs, &geom, [MgBc::Dirichlet; 3], 1e-10, 2000);
         assert!(s.converged, "CG residual {}", s.res);
-        assert!(s.allreduces as usize >= 2 * s.iters, "CG must allreduce twice per iter");
+        assert!(
+            s.allreduces as usize >= 2 * s.iters,
+            "CG must allreduce twice per iter"
+        );
         let mut phi_mg = MultiFab::new(ba, dm, 1, 1);
         let mg = Multigrid::poisson([MgBc::Dirichlet; 3], MgOptions::default());
         let ms = mg.solve(&mut phi_mg, &rhs, &geom);

@@ -20,6 +20,7 @@ use exastro_amr::{
     average_down, BoxArray, CommTrace, DistStrategy, DistributionMapping, Geometry, IntVect,
     MultiFab, Real,
 };
+use exastro_parallel::Profiler;
 
 /// Boundary condition on each face for the multigrid operator (applied
 /// homogeneously; see module docs).
@@ -200,7 +201,8 @@ impl Multigrid {
         ];
         let diag = self.alpha - 2.0 * (bx2[0] + bx2[1] + bx2[2]);
         for color in 0..2 {
-            let mut phi = std::mem::replace(&mut lev.phi, MultiFab::local(BoxArray::default(), 1, 0));
+            let mut phi =
+                std::mem::replace(&mut lev.phi, MultiFab::local(BoxArray::default(), 1, 0));
             self.fill_ghosts(&mut phi, &lev.geom, ledger);
             for i in 0..phi.nfabs() {
                 let vb = phi.valid_box(i);
@@ -255,7 +257,12 @@ impl Multigrid {
         rmax
     }
 
-    fn build_levels(&self, geom: &Geometry, ba: &BoxArray, dm: &DistributionMapping) -> Vec<MgLevel> {
+    fn build_levels(
+        &self,
+        geom: &Geometry,
+        ba: &BoxArray,
+        dm: &DistributionMapping,
+    ) -> Vec<MgLevel> {
         let mut levels = Vec::new();
         let mut g = geom.clone();
         let mut cur_ba = ba.clone();
@@ -268,23 +275,20 @@ impl Multigrid {
                 geom: g.clone(),
             });
             let size = g.domain().size();
-            let coarsenable = (0..3).all(|d| {
-                size[d] % 2 == 0 && size[d] / 2 >= self.opts.min_width
-            });
+            let coarsenable =
+                (0..3).all(|d| size[d] % 2 == 0 && size[d] / 2 >= self.opts.min_width);
             if !coarsenable {
                 break;
             }
             // Coarsen the domain and re-decompose (agglomeration): fewer,
             // larger boxes at coarse levels, as AMReX MLMG does.
             let cdomain = g.domain().coarsen(2);
-            g = Geometry::new(
-                cdomain,
-                g.prob_lo(),
-                g.prob_hi(),
-                g.periodic(),
-                g.coord(),
-            );
-            let max_w = cdomain.size().max_component().min(32).max(self.opts.min_width);
+            g = Geometry::new(cdomain, g.prob_lo(), g.prob_hi(), g.periodic(), g.coord());
+            let max_w = cdomain
+                .size()
+                .max_component()
+                .min(32)
+                .max(self.opts.min_width);
             cur_ba = BoxArray::decompose(cdomain, max_w, 2);
             cur_dm = DistributionMapping::new(&cur_ba, cur_dm.nranks(), DistStrategy::Sfc);
         }
@@ -292,20 +296,26 @@ impl Multigrid {
     }
 
     fn vcycle(&self, levels: &mut [MgLevel], l: usize, stats: &mut MgStats) {
+        // Per-level telemetry: the guard is scoped so the recursive descent
+        // runs *outside* it, keeping level paths flat (mg_solve/level0,
+        // mg_solve/level1, ...) instead of nesting with recursion depth.
+        let lname = format!("level{l}");
         if l == levels.len() - 1 {
+            let _r = Profiler::region(&lname);
             for _ in 0..self.opts.nu_bottom {
                 let (lev, ledger) = (&mut levels[l], &mut stats.levels[l]);
                 self.smooth(lev, ledger);
             }
             return;
         }
-        for _ in 0..self.opts.nu_pre {
-            self.smooth(&mut levels[l], &mut stats.levels[l]);
-        }
-        self.residual(&mut levels[l], &mut stats.levels[l]);
-        // Restrict residual to the coarse rhs (conservative average), zero
-        // the coarse correction.
         {
+            let _r = Profiler::region(&lname);
+            for _ in 0..self.opts.nu_pre {
+                self.smooth(&mut levels[l], &mut stats.levels[l]);
+            }
+            self.residual(&mut levels[l], &mut stats.levels[l]);
+            // Restrict residual to the coarse rhs (conservative average),
+            // zero the coarse correction.
             let (fine, coarse) = levels.split_at_mut(l + 1);
             let f = &fine[l];
             let c = &mut coarse[0];
@@ -320,6 +330,7 @@ impl Multigrid {
             stats.levels[l + 1].exchanges += 1;
         }
         self.vcycle(levels, l + 1, stats);
+        let _r = Profiler::region(&lname);
         // Prolong the coarse correction (piecewise constant) and add.
         {
             let (fine, coarse) = levels.split_at_mut(l + 1);
@@ -348,12 +359,8 @@ impl Multigrid {
     /// initial guess — including any inhomogeneous boundary ghost values —
     /// and receives the solution. Returns solve statistics with the
     /// communication ledger.
-    pub fn solve(
-        &self,
-        phi: &mut MultiFab,
-        rhs: &MultiFab,
-        geom: &Geometry,
-    ) -> MgStats {
+    pub fn solve(&self, phi: &mut MultiFab, rhs: &MultiFab, geom: &Geometry) -> MgStats {
+        let _prof = Profiler::region("mg_solve");
         assert!(phi.ngrow() >= 1, "phi needs ghost zones");
         assert_eq!(phi.ncomp(), 1);
         assert_eq!(rhs.ncomp(), 1);
@@ -625,7 +632,8 @@ mod tests {
             let vb = rhs.valid_box(i);
             for iv in vb.iter() {
                 let x = geom.cell_center(iv);
-                rhs.fab_mut(i).set(iv, 0, (k * x[0]).sin() * (k * x[1]).cos());
+                rhs.fab_mut(i)
+                    .set(iv, 0, (k * x[0]).sin() * (k * x[1]).cos());
             }
         }
         let mg = Multigrid::poisson(

@@ -6,9 +6,7 @@
 //! cargo run --release --example burn_cell
 //! ```
 
-use exastro::microphysics::{
-    Aprox13, Burner, Network, NewtonSolver, StellarEos,
-};
+use exastro::microphysics::{Aprox13, Burner, Network, NewtonSolver, StellarEos};
 
 fn main() {
     let net = Aprox13::new();

@@ -18,7 +18,10 @@ fn main() {
     // is assigned to an MPI rank.
     let ba = BoxArray::decompose(domain, 64, 32);
     let dm = DistributionMapping::new(&ba, 6, DistStrategy::Knapsack);
-    println!("-- MPI decomposition: {} boxes over 6 ranks (1 per GPU)", ba.len());
+    println!(
+        "-- MPI decomposition: {} boxes over 6 ranks (1 per GPU)",
+        ba.len()
+    );
     for r in 0..6 {
         let boxes = dm.boxes_on(r);
         let zones: i64 = boxes.iter().map(|&i| ba.get(i).num_zones()).sum();

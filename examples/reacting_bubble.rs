@@ -57,6 +57,8 @@ fn main() {
         );
     }
     println!("\nThe low-Mach timestep here is set by the fluid velocity;");
-    println!("a compressible code would be limited to dt ≈ {:.1e} s by the sound speed.",
-        geom.min_dx() / 5e8);
+    println!(
+        "a compressible code would be limited to dt ≈ {:.1e} s by the sound speed.",
+        geom.min_dx() / 5e8
+    );
 }

@@ -10,8 +10,8 @@
 
 use exastro::amr::{BcSpec, BoxArray, DistributionMapping, Geometry, MultiFab};
 use exastro::castro::{
-    contact_diagnostics, contact_time_estimate, detonation_stability, init_collision,
-    BurnOptions, Castro, CollisionParams, Gravity, GravityMode, StateLayout, T_IGNITION,
+    contact_diagnostics, contact_time_estimate, detonation_stability, init_collision, BurnOptions,
+    Castro, CollisionParams, Gravity, GravityMode, StateLayout, T_IGNITION,
 };
 use exastro::microphysics::{CBurn2, Network, StellarEos};
 
@@ -60,7 +60,10 @@ fn main() {
         params.radius / 1e5,
         params.v_approach / 1e5
     );
-    println!("surfaces touch at t ≈ {:.2} s\n", contact_time_estimate(&params));
+    println!(
+        "surfaces touch at t ≈ {:.2} s\n",
+        contact_time_estimate(&params)
+    );
     println!(
         "{:>6} {:>9} {:>11} {:>11} {:>10}",
         "step", "t [s]", "T_max [K]", "rho_max", "burn zones"
@@ -80,7 +83,10 @@ fn main() {
         if stats.max_temp >= T_IGNITION {
             let d = contact_diagnostics(&state, &geom);
             println!("\n*** IGNITION at t = {t:.3} s ***");
-            println!("hottest zone at ({:.2e}, {:.2e}, {:.2e}) cm", d.hottest[0], d.hottest[1], d.hottest[2]);
+            println!(
+                "hottest zone at ({:.2e}, {:.2e}, {:.2e}) cm",
+                d.hottest[0], d.hottest[1], d.hottest[2]
+            );
             let report = detonation_stability(&state, &geom, &layout, &eos, &net, 1e14);
             println!(
                 "detonation stability: min τ_burn/τ_transfer = {:.3e} over {} burning zones ({} unstable)",

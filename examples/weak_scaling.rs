@@ -13,7 +13,10 @@ fn main() {
     println!("=== Figure 2: Castro Sedov weak scaling ===");
     println!("(normalized throughput; paper: 130 zones/µs at 1 node, ~63% at 512)\n");
     let canon = canonical_series(&m, &[1, 8, 64, 512]);
-    println!("{:>6} {:>10} {:>12} {:>11}", "nodes", "domain", "zones/µs", "normalized");
+    println!(
+        "{:>6} {:>10} {:>12} {:>11}",
+        "nodes", "domain", "zones/µs", "normalized"
+    );
     for p in &canon {
         println!(
             "{:>6} {:>9}³ {:>12.1} {:>11.3}",

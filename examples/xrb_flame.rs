@@ -12,7 +12,7 @@
 //! ```
 
 use exastro::castro::critical_zone_width;
-use exastro::microphysics::{Burner, Network, StellarEos, TripleAlpha};
+use exastro::microphysics::{Burner, StellarEos, TripleAlpha};
 
 fn main() {
     let net = TripleAlpha::new();
@@ -33,12 +33,19 @@ fn main() {
         })
         .collect();
 
-    println!("XRB helium layer: {nz} zones, base rho = {rho_base:.1e} g/cc, base T = {t_base:.1e} K");
-    println!("triple-alpha log-sensitivity at the base: d ln ε / d ln T ≈ {:.0}\n",
-        exastro::microphysics::Rate::TripleAlpha.log_slope(t_base / 1e9));
+    println!(
+        "XRB helium layer: {nz} zones, base rho = {rho_base:.1e} g/cc, base T = {t_base:.1e} K"
+    );
+    println!(
+        "triple-alpha log-sensitivity at the base: d ln ε / d ln T ≈ {:.0}\n",
+        exastro::microphysics::Rate::TripleAlpha.log_slope(t_base / 1e9)
+    );
 
     let dt = 5.0; // seconds per report interval
-    println!("{:>8} {:>12} {:>10} {:>10}", "t [s]", "T_base [K]", "X(he4)", "X(c12)");
+    println!(
+        "{:>8} {:>12} {:>10} {:>10}",
+        "t [s]", "T_base [K]", "X(he4)", "X(c12)"
+    );
     let mut t_elapsed = 0.0;
     for _ in 0..12 {
         for (rho, t, x) in column.iter_mut() {
@@ -61,9 +68,7 @@ fn main() {
                 "critical zone width for resolved burning at onset: {:.2e} cm",
                 crit
             );
-            println!(
-                "(the paper's X-ray-burst simulations need sub-km zones for this reason)"
-            );
+            println!("(the paper's X-ray-burst simulations need sub-km zones for this reason)");
             break;
         }
     }

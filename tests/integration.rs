@@ -92,9 +92,9 @@ fn two_level_amr_advance_conserves_mass() {
         .map(|l| hier.make_multifab(l, layout.ncomp(), 2))
         .collect();
     let params = SedovParams::default();
-    for l in 0..2 {
+    for (l, state) in states.iter_mut().enumerate().take(2) {
         let g = hier.level(l).geom.clone();
-        init_sedov(&mut states[l], &g, &layout, &eos, &params);
+        init_sedov(state, &g, &layout, &eos, &params);
     }
     let castro = sedov_castro(&eos, &net);
     let vol0 = hier.level(0).geom.cell_volume();
@@ -177,10 +177,8 @@ fn burning_blast_releases_energy_and_conserves_species_mass() {
             let r = ((x[0] - c).powi(2) + (x[1] - c).powi(2) + (x[2] - c).powi(2)).sqrt();
             let rho = if r < 6e7 { 5e7 } else { 1e3 };
             let t = if r < 2.5e7 { 2.5e9 } else { 1e7 };
-            let comp = exastro::microphysics::Composition::from_mass_fractions(
-                net.species(),
-                &[1.0, 0.0],
-            );
+            let comp =
+                exastro::microphysics::Composition::from_mass_fractions(net.species(), &[1.0, 0.0]);
             use exastro::microphysics::Eos;
             let r_eos = eos.eval_rt(rho, t, &comp);
             let fab = state.fab_mut(i);
