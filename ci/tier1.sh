@@ -12,6 +12,12 @@ cargo build --workspace --release --offline
 echo "== tests =="
 cargo test --workspace -q --offline
 
+echo "== restart round-trip smoke =="
+# The survival demo kills itself mid-run three times, corrupts a
+# checkpoint, and must still reproduce the uninterrupted digest.
+cargo run --release --offline --example restart | tee /tmp/restart_smoke.log
+grep -q "RESTART OK" /tmp/restart_smoke.log
+
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --offline -- -D warnings
 

@@ -55,6 +55,30 @@ impl Hierarchy {
         }
     }
 
+    /// Rebuild a hierarchy from explicit levels (the checkpoint-restore
+    /// path: the mesh comes from disk, not from decomposition/regridding).
+    /// `levels` must be coarsest-first with base `ratio_to_coarser == 1`.
+    /// Subsequent [`Hierarchy::regrid`] calls use the given distribution
+    /// parameters.
+    pub fn from_levels(
+        levels: Vec<AmrLevel>,
+        nranks: usize,
+        strategy: DistStrategy,
+        max_grid_size: i32,
+    ) -> Self {
+        assert!(!levels.is_empty(), "hierarchy needs at least one level");
+        assert_eq!(
+            levels[0].ratio_to_coarser, 1,
+            "base level has no coarser level"
+        );
+        Hierarchy {
+            levels,
+            nranks,
+            strategy,
+            max_grid_size,
+        }
+    }
+
     /// Number of levels.
     pub fn nlevels(&self) -> usize {
         self.levels.len()

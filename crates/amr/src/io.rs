@@ -73,6 +73,13 @@ fn parse_box(line: &str) -> Result<IndexBox, IoError> {
 
 /// Write `state` (with its geometry and simulation time) as a checkpoint
 /// directory at `path`. Ghost zones are not stored; a restart refills them.
+///
+/// The write is atomic: everything is staged in a hidden sibling directory
+/// with the payload blobs written *before* the `Header` (the header is the
+/// commit record — a reader never sees a header pointing at absent blobs),
+/// fsynced, and renamed into place. A crash at any point leaves either the
+/// old checkpoint or an ignorable `.{name}.inflight.*` directory, never a
+/// half-written `path`.
 pub fn write_checkpoint(
     path: &Path,
     state: &MultiFab,
@@ -81,8 +88,34 @@ pub fn write_checkpoint(
     variable_names: &[&str],
 ) -> Result<(), IoError> {
     assert_eq!(variable_names.len(), state.ncomp());
-    fs::create_dir_all(path)?;
-    let mut h = BufWriter::new(fs::File::create(path.join("Header"))?);
+    let name = path
+        .file_name()
+        .ok_or_else(|| IoError::Format("checkpoint path has no file name".into()))?
+        .to_string_lossy()
+        .into_owned();
+    let parent = path.parent().unwrap_or_else(|| Path::new("."));
+    fs::create_dir_all(parent)?;
+    let tmp = parent.join(format!(".{name}.inflight.{}", std::process::id()));
+    if tmp.exists() {
+        fs::remove_dir_all(&tmp)?;
+    }
+    fs::create_dir_all(&tmp)?;
+
+    // Payload first: one binary file per fab, valid-region data only,
+    // component-major little-endian f64.
+    for i in 0..state.nfabs() {
+        let vb = state.valid_box(i);
+        let mut f = BufWriter::new(fs::File::create(tmp.join(format!("fab_{i:05}.bin")))?);
+        for c in 0..state.ncomp() {
+            for iv in vb.iter() {
+                f.write_all(&state.fab(i).get(iv, c).to_le_bytes())?;
+            }
+        }
+        f.flush()?;
+        f.get_ref().sync_all()?;
+    }
+
+    let mut h = BufWriter::new(fs::File::create(tmp.join("Header"))?);
     writeln!(h, "exastro-checkpoint-v1")?;
     writeln!(h, "time {time:e}")?;
     writeln!(h, "ncomp {}", state.ncomp())?;
@@ -116,23 +149,24 @@ pub fn write_checkpoint(
         write_box(&mut h, state.valid_box(i))?;
     }
     h.flush()?;
+    h.get_ref().sync_all()?;
+    if let Ok(d) = fs::File::open(&tmp) {
+        let _ = d.sync_all();
+    }
 
-    // Payload: one binary file per fab, valid-region data only,
-    // component-major little-endian f64.
-    for i in 0..state.nfabs() {
-        let vb = state.valid_box(i);
-        let mut f = BufWriter::new(fs::File::create(path.join(format!("fab_{i:05}.bin")))?);
-        for c in 0..state.ncomp() {
-            for iv in vb.iter() {
-                f.write_all(&state.fab(i).get(iv, c).to_le_bytes())?;
-            }
-        }
-        f.flush()?;
+    // Publish: replace any previous checkpoint in one rename.
+    if path.exists() {
+        fs::remove_dir_all(path)?;
+    }
+    fs::rename(&tmp, path)?;
+    if let Ok(d) = fs::File::open(parent) {
+        let _ = d.sync_all();
     }
     Ok(())
 }
 
 /// A restored checkpoint.
+#[derive(Debug)]
 pub struct Checkpoint {
     /// The restored state (ghost zones zeroed; refill after restart).
     pub state: MultiFab,
@@ -211,12 +245,28 @@ pub fn read_checkpoint(path: &Path) -> Result<Checkpoint, IoError> {
     let mut state = MultiFab::new(ba, dm, ncomp, ngrow);
     for i in 0..state.nfabs() {
         let vb = state.valid_box(i);
-        let mut f = BufReader::new(fs::File::open(path.join(format!("fab_{i:05}.bin")))?);
+        let blob = path.join(format!("fab_{i:05}.bin"));
+        // The blob length is fully determined by the header: anything else
+        // is a truncated or overgrown payload, i.e. a format violation.
+        let expect = vb.num_zones() as u64 * ncomp as u64 * 8;
+        let actual = fs::metadata(&blob)?.len();
+        if actual != expect {
+            return Err(IoError::Format(format!(
+                "fab {i}: blob is {actual} bytes, header implies {expect}"
+            )));
+        }
+        let mut f = BufReader::new(fs::File::open(&blob)?);
         let mut buf = [0u8; 8];
         for c in 0..ncomp {
             for iv in vb.iter() {
                 f.read_exact(&mut buf)?;
-                state.fab_mut(i).set(iv, c, Real::from_le_bytes(buf));
+                let v = Real::from_le_bytes(buf);
+                if !v.is_finite() {
+                    return Err(IoError::Format(format!(
+                        "fab {i}: non-finite value {v} at {iv:?} comp {c}"
+                    )));
+                }
+                state.fab_mut(i).set(iv, c, v);
             }
         }
     }
@@ -285,6 +335,99 @@ mod tests {
         fs::create_dir_all(&dir).unwrap();
         fs::write(dir.join("Header"), "not-a-checkpoint\n").unwrap();
         assert!(matches!(read_checkpoint(&dir), Err(IoError::Format(_))));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    fn small_checkpoint(name: &str) -> std::path::PathBuf {
+        let geom = Geometry::cube(8, 1.0, false);
+        let ba = BoxArray::decompose(geom.domain(), 8, 4);
+        let mut mf = MultiFab::local(ba, 1, 0);
+        for i in 0..mf.nfabs() {
+            let vb = mf.valid_box(i);
+            for iv in vb.iter() {
+                mf.fab_mut(i).set(iv, 0, 1.0 + iv.x() as Real);
+            }
+        }
+        let dir = tmpdir(name);
+        write_checkpoint(&dir, &mf, &geom, 0.5, &["rho"]).unwrap();
+        dir
+    }
+
+    #[test]
+    fn write_leaves_no_inflight_directory() {
+        let dir = small_checkpoint("atomic");
+        let parent = dir.parent().unwrap();
+        let leftovers: Vec<_> = fs::read_dir(parent)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().contains(".inflight."))
+            .collect();
+        assert!(leftovers.is_empty(), "staging dir leaked: {leftovers:?}");
+        // Rewriting over an existing checkpoint also succeeds atomically.
+        let ck = read_checkpoint(&dir).unwrap();
+        write_checkpoint(&dir, &ck.state, &ck.geom, 1.0, &["rho"]).unwrap();
+        assert_eq!(read_checkpoint(&dir).unwrap().time, 1.0);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_header_is_a_format_error() {
+        let dir = small_checkpoint("trunchdr");
+        let header = fs::read_to_string(dir.join("Header")).unwrap();
+        let cut: String = header.lines().take(3).collect::<Vec<_>>().join("\n");
+        fs::write(dir.join("Header"), cut).unwrap();
+        match read_checkpoint(&dir) {
+            Err(IoError::Format(_)) => {}
+            other => panic!("expected Format error, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn nfabs_mismatch_is_a_format_error() {
+        let dir = small_checkpoint("nfabs");
+        // Claim one more fab than there are box lines.
+        let header = fs::read_to_string(dir.join("Header")).unwrap();
+        let bumped = header.replace("nfabs 1", "nfabs 2");
+        assert_ne!(bumped, header);
+        fs::write(dir.join("Header"), bumped).unwrap();
+        assert!(matches!(read_checkpoint(&dir), Err(IoError::Format(_))));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn short_and_oversized_blobs_are_format_errors() {
+        let dir = small_checkpoint("blobsize");
+        let blob = dir.join("fab_00000.bin");
+        let good = fs::read(&blob).unwrap();
+        // Short: a crashed writer's partial blob.
+        fs::write(&blob, &good[..good.len() - 8]).unwrap();
+        match read_checkpoint(&dir) {
+            Err(IoError::Format(m)) => assert!(m.contains("bytes"), "{m}"),
+            other => panic!("expected Format error, got {other:?}"),
+        }
+        // Oversized: stale bytes appended past the real payload.
+        let mut long = good.clone();
+        long.extend_from_slice(&[0u8; 16]);
+        fs::write(&blob, long).unwrap();
+        assert!(matches!(read_checkpoint(&dir), Err(IoError::Format(_))));
+        // Restored exactly → reads again.
+        fs::write(&blob, good).unwrap();
+        read_checkpoint(&dir).unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn non_finite_payload_is_a_format_error() {
+        let dir = small_checkpoint("nonfinite");
+        let blob = dir.join("fab_00000.bin");
+        let mut data = fs::read(&blob).unwrap();
+        data[0..8].copy_from_slice(&Real::NAN.to_le_bytes());
+        fs::write(&blob, data).unwrap();
+        match read_checkpoint(&dir) {
+            Err(IoError::Format(m)) => assert!(m.contains("non-finite"), "{m}"),
+            other => panic!("expected Format error, got {other:?}"),
+        }
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -5,6 +5,7 @@
 //! workload construction + simulation (the cost of one scaling data point).
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use exastro_bench::{write_bench_json, BenchPoint};
 use exastro_machine::{canonical_series, envelope_series, sedov_workload, Machine};
 
 fn print_figure() {
@@ -12,11 +13,18 @@ fn print_figure() {
     println!("\n=== Figure 2: Weak scaling of Castro Sedov ===");
     println!("canonical (256³/node, 64³ boxes):");
     println!("{:>6} {:>12} {:>11}", "nodes", "zones/µs", "normalized");
+    let mut points = Vec::new();
     for p in canonical_series(&m, &[1, 8, 64, 512]) {
         println!(
             "{:>6} {:>12.1} {:>11.3}",
             p.nodes, p.throughput, p.normalized
         );
+        points.push(BenchPoint::new(
+            "canonical",
+            p.nodes,
+            p.throughput,
+            p.normalized,
+        ));
     }
     let nodes: Vec<usize> = vec![1, 2, 4, 8, 16, 32, 64, 128, 256, 512];
     let (best, worst) = envelope_series(&m, &nodes);
@@ -27,6 +35,17 @@ fn print_figure() {
             "{:>6} {:>11.3} {:>11.3}",
             b.nodes, b.normalized, w.normalized
         );
+        points.push(BenchPoint::new("best", b.nodes, b.throughput, b.normalized));
+        points.push(BenchPoint::new(
+            "worst",
+            w.nodes,
+            w.throughput,
+            w.normalized,
+        ));
+    }
+    match write_bench_json("fig2", &points) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nBENCH_fig2.json not written: {e}"),
     }
     println!("\npaper: 130 zones/µs at 1 node; ~42000 zones/µs and ~63% efficiency at 512 nodes\n");
 }

@@ -4,6 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use exastro_amr::{BoxArray, DistStrategy, DistributionMapping, Geometry, IndexBox, MultiFab};
+use exastro_bench::{write_bench_json, BenchPoint};
 use exastro_machine::{bubble_point, bubble_series, Machine};
 use exastro_maestro::{bubble_maestro, init_bubble, BubbleParams, LmLayout};
 use exastro_microphysics::{CBurn2, Network, StellarEos};
@@ -15,6 +16,7 @@ fn print_figure() {
         "{:>6} {:>10} {:>11} {:>12} {:>12} {:>9}",
         "nodes", "zones/µs", "normalized", "react [µs]", "mgrid [µs]", "mg/react"
     );
+    let mut points = Vec::new();
     for p in bubble_series(&m, &[1, 8, 27, 64, 125]) {
         println!(
             "{:>6} {:>10.2} {:>11.3} {:>12.0} {:>12.0} {:>9.2}",
@@ -25,6 +27,16 @@ fn print_figure() {
             p.multigrid_us,
             p.multigrid_us / p.react_us
         );
+        points.push(BenchPoint::new(
+            "bubble",
+            p.nodes,
+            p.throughput,
+            p.normalized,
+        ));
+    }
+    match write_bench_json("fig3", &points) {
+        Ok(path) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nBENCH_fig3.json not written: {e}"),
     }
     println!("\npaper: 11 zones/µs at 1 node (~20× CPU); reactions ≈ multigrid at 1 node;");
     println!("multigrid ≈ 6× reactions at 125 nodes\n");

@@ -7,7 +7,9 @@
 //! throughput of the Rust kernels on the host CPU for scale.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use exastro_bench::{bench_castro, measure_throughput, sedov_fixture};
+use exastro_bench::{
+    bench_castro, measure_throughput, sedov_fixture, write_bench_json, BenchPoint,
+};
 use exastro_castro::KernelStructure;
 use exastro_machine::{bubble_point, sedov_workload, CpuNodeReference, Machine};
 use exastro_parallel::{DeviceConfig, KernelProfile, SimDevice};
@@ -37,17 +39,13 @@ fn print_table() {
 
     // One Summit node, canonical Sedov.
     let w = sedov_workload(&m, 1, 256, 64, 32);
-    println!(
-        "sim node, canonical Sedov    : {:>8.1}   (paper: 130)",
-        m.simulate_step(&w).throughput
-    );
+    let sedov_1 = m.simulate_step(&w).throughput;
+    println!("sim node, canonical Sedov    : {sedov_1:>8.1}   (paper: 130)");
 
     // 512 nodes.
     let w512 = sedov_workload(&m, 512, 2048, 64, 32);
-    println!(
-        "sim 512 nodes, Sedov         : {:>8.1}   (paper: ~42000)",
-        m.simulate_step(&w512).throughput
-    );
+    let sedov_512 = m.simulate_step(&w512).throughput;
+    println!("sim 512 nodes, Sedov         : {sedov_512:>8.1}   (paper: ~42000)");
 
     // Bubble.
     let p = bubble_point(&m, 1, None);
@@ -59,11 +57,9 @@ fn print_table() {
     // GPU-node vs CPU-node ratios (paper: ~20× for the bubble; hydro
     // zones/µs is "O(1)" on a CPU node).
     let cpu = CpuNodeReference::default();
-    let w1 = sedov_workload(&m, 1, 256, 64, 32);
-    let sedov_gpu = m.simulate_step(&w1).throughput;
     println!(
         "GPU/CPU node ratio, Sedov    : {:>8.1}   (CPU ref {:.1} zones/µs)",
-        sedov_gpu / cpu.sedov_zones_per_us,
+        sedov_1 / cpu.sedov_zones_per_us,
         cpu.sedov_zones_per_us
     );
     println!(
@@ -81,6 +77,26 @@ fn print_table() {
         castro.advance_level(&mut s, &geom, dt);
     });
     println!("host CPU core, real hydro    : {tput:>8.3}   (one core of this machine)\n");
+
+    // Machine-readable artifact: every zones/µs row keyed by node count,
+    // with efficiency relative to ideal scaling off the 1-node Sedov point.
+    let points = vec![
+        BenchPoint::new("sim_v100_optimal_hydro", 1, zones as f64 / t, 1.0),
+        BenchPoint::new("sim_k20x_optimal_hydro", 1, zones as f64 / tk, 1.0),
+        BenchPoint::new("sim_node_canonical_sedov", 1, sedov_1, 1.0),
+        BenchPoint::new(
+            "sim_512_nodes_sedov",
+            512,
+            sedov_512,
+            sedov_512 / (512.0 * sedov_1),
+        ),
+        BenchPoint::new("sim_node_reacting_bubble", 1, p.throughput, 1.0),
+        BenchPoint::new("host_cpu_core_real_hydro", 1, tput, 1.0),
+    ];
+    match write_bench_json("table", &points) {
+        Ok(path) => println!("wrote {}\n", path.display()),
+        Err(e) => eprintln!("BENCH_table.json not written: {e}\n"),
+    }
 }
 
 fn bench(c: &mut Criterion) {

@@ -12,6 +12,69 @@ use exastro_amr::{BcSpec, BoxArray, DistributionMapping, Geometry, MultiFab};
 use exastro_castro::{Castro, Floors, Hydro, KernelStructure, StateLayout};
 use exastro_microphysics::{CBurn2, GammaLaw, Network};
 use exastro_parallel::Real;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// One machine-readable data point destined for a `BENCH_*.json` artifact:
+/// a node count mapped to its absolute throughput and parallel efficiency.
+#[derive(Clone, Debug)]
+pub struct BenchPoint {
+    /// Row label (series name for figures, row name for tables).
+    pub label: String,
+    /// Simulated node count.
+    pub nodes: usize,
+    /// Absolute throughput in zones/µs.
+    pub zones_per_us: f64,
+    /// Efficiency normalized to the ideal 1-node scaling (1.0 = perfect).
+    pub efficiency: f64,
+}
+
+impl BenchPoint {
+    /// Convenience constructor.
+    pub fn new(label: &str, nodes: usize, zones_per_us: f64, efficiency: f64) -> Self {
+        Self {
+            label: label.to_string(),
+            nodes,
+            zones_per_us,
+            efficiency,
+        }
+    }
+}
+
+fn json_f64(v: f64) -> String {
+    // JSON has no NaN/Infinity tokens; clamp them to null.
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Serialize `points` and write `BENCH_{name}.json` at the workspace root
+/// (benches run with the crate directory as cwd, so we walk up two levels).
+/// Returns the path written. Serialization is hand-rolled: the container
+/// has no serde, and the schema is four fields.
+pub fn write_bench_json(name: &str, points: &[BenchPoint]) -> std::io::Result<PathBuf> {
+    let root = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let path = root.join(format!("BENCH_{name}.json"));
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"bench\": \"{name}\",\n"));
+    out.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        let sep = if i + 1 == points.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"nodes\": {}, \"zones_per_us\": {}, \"efficiency\": {}}}{sep}\n",
+            p.label,
+            p.nodes,
+            json_f64(p.zones_per_us),
+            json_f64(p.efficiency)
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(out.as_bytes())?;
+    Ok(path)
+}
 
 /// Build a ready-to-run Sedov state for kernel benchmarking.
 pub fn sedov_fixture(n: i32, max_grid: i32) -> (Geometry, MultiFab, StateLayout, GammaLaw, CBurn2) {
@@ -54,4 +117,35 @@ pub fn measure_throughput<F: FnMut()>(zones: i64, mut f: F) -> Real {
     f();
     let us = start.elapsed().as_secs_f64() * 1e6;
     zones as Real / us
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_json_lands_at_workspace_root_and_parses() {
+        let pts = vec![
+            BenchPoint::new("canonical", 1, 130.0, 1.0),
+            BenchPoint::new("canonical", 512, 42000.0, 0.63),
+        ];
+        let path = write_bench_json("selftest", &pts).unwrap();
+        assert!(path.ends_with("BENCH_selftest.json"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"nodes\": 512"));
+        assert!(text.contains("\"zones_per_us\": 42000"));
+        // Same number of opening and closing braces -> structurally sane.
+        assert_eq!(
+            text.matches('{').count(),
+            text.matches('}').count(),
+            "unbalanced JSON: {text}"
+        );
+        // Non-finite values must degrade to null, not invalid tokens.
+        let bad = vec![BenchPoint::new("x", 1, f64::NAN, f64::INFINITY)];
+        let p2 = write_bench_json("selftest", &bad).unwrap();
+        let t2 = std::fs::read_to_string(&p2).unwrap();
+        assert!(t2.contains("\"zones_per_us\": null"));
+        assert!(!t2.contains("NaN") && !t2.contains("inf"));
+        std::fs::remove_file(p2).unwrap();
+    }
 }

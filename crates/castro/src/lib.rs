@@ -12,6 +12,7 @@
 //! * [`gravity`] — monopole and Poisson-multigrid self-gravity;
 //! * [`burn`] — Strang-split nuclear burning with outlier statistics;
 //! * [`driver`] — the time-advance orchestration, AMR advance, refluxing;
+//! * [`restart`] — checkpoint/restart glue (bit-exact resume);
 //! * [`sedov`] — the §IV-A blast-wave benchmark and its analytic solution;
 //! * [`wd_collision`] — the §V white-dwarf collision science problem;
 //! * [`diagnostics`] — detonation-stability (burning vs heat-transfer
@@ -29,6 +30,7 @@ pub mod diffusion;
 pub mod driver;
 pub mod gravity;
 pub mod hydro;
+pub mod restart;
 pub mod riemann;
 pub mod sedov;
 pub mod sponge;
@@ -41,6 +43,7 @@ pub use diffusion::{diffuse, diffusion_dt, Conductivity};
 pub use driver::{Castro, StepStats};
 pub use gravity::{Gravity, GravityField, GravityMode};
 pub use hydro::{Hydro, KernelStructure, SweepFluxes};
+pub use restart::{restore_hierarchy, snapshot_hierarchy, variable_names};
 pub use riemann::{hllc, FaceFlux};
 pub use sedov::{init_sedov, measure_shock_radius, sedov_shock_radius, sedov_xi0, SedovParams};
 pub use sponge::Sponge;

@@ -1,0 +1,164 @@
+//! Checkpoint/restart glue for the Castro driver.
+//!
+//! A Castro run is fully described by its AMR hierarchy plus one conserved
+//! `MultiFab` per level and the step counters — everything else (ghost
+//! zones, gravity fields, primitive states) is recomputed each step. The
+//! resume is therefore **bit-exact**: restore the snapshot, re-enter
+//! [`crate::Castro::advance_hierarchy`], and every subsequent state equals
+//! the uninterrupted run's byte for byte (the integration tests assert
+//! this via CRC digests).
+
+use crate::state::StateLayout;
+use exastro_amr::{AmrLevel, DistStrategy, DistributionMapping, Hierarchy, MultiFab};
+use exastro_resilience::snapshot::{Clock, LevelSnapshot, Snapshot};
+
+/// Component names for the checkpoint header, in [`StateLayout`] order:
+/// `rho mx my mz eden eint temp x0 x1 …`.
+pub fn variable_names(layout: &StateLayout) -> Vec<String> {
+    let mut v = vec![
+        "rho".to_string(),
+        "mx".to_string(),
+        "my".to_string(),
+        "mz".to_string(),
+        "eden".to_string(),
+        "eint".to_string(),
+        "temp".to_string(),
+    ];
+    for k in 0..layout.nspec {
+        v.push(format!("x{k}"));
+    }
+    v
+}
+
+/// Capture a restartable snapshot of a Castro run: the hierarchy's mesh,
+/// each level's conserved state, and the step counters.
+pub fn snapshot_hierarchy(
+    hier: &Hierarchy,
+    states: &[MultiFab],
+    clock: Clock,
+    layout: &StateLayout,
+) -> Snapshot {
+    assert_eq!(states.len(), hier.nlevels());
+    let levels = hier
+        .levels()
+        .iter()
+        .zip(states)
+        .map(|(lev, state)| LevelSnapshot {
+            geom: lev.geom.clone(),
+            state: state.clone(),
+            ratio_to_coarser: lev.ratio_to_coarser,
+        })
+        .collect();
+    Snapshot {
+        levels,
+        clock: Clock {
+            step: clock.step,
+            time: clock.time,
+            dt: clock.dt,
+        },
+        variables: variable_names(layout),
+        aux: Vec::new(),
+    }
+}
+
+/// Rebuild the hierarchy and per-level states from a restored snapshot.
+///
+/// The mesh (geometry, boxes, refinement ratios) comes from the snapshot;
+/// the distribution is rebuilt locally — the advance paths consume only
+/// geometry/boxes/ratios, so ownership does not affect the answer. The
+/// given distribution parameters govern *future* regrids.
+pub fn restore_hierarchy(
+    snap: &Snapshot,
+    nranks: usize,
+    strategy: DistStrategy,
+    max_grid_size: i32,
+) -> (Hierarchy, Vec<MultiFab>) {
+    let levels: Vec<AmrLevel> = snap
+        .levels
+        .iter()
+        .map(|l| AmrLevel {
+            geom: l.geom.clone(),
+            ba: l.state.box_array().clone(),
+            dm: DistributionMapping::all_local(l.state.box_array()),
+            ratio_to_coarser: l.ratio_to_coarser,
+        })
+        .collect();
+    let hier = Hierarchy::from_levels(levels, nranks, strategy, max_grid_size);
+    let states = snap.levels.iter().map(|l| l.state.clone()).collect();
+    (hier, states)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exastro_amr::Geometry;
+
+    #[test]
+    fn variable_names_follow_layout_order() {
+        let layout = StateLayout::new(3);
+        let names = variable_names(&layout);
+        assert_eq!(names.len(), layout.ncomp());
+        assert_eq!(names[StateLayout::RHO], "rho");
+        assert_eq!(names[StateLayout::TEMP], "temp");
+        assert_eq!(names[layout.spec(0)], "x0");
+        assert_eq!(names[layout.spec(2)], "x2");
+    }
+
+    #[test]
+    fn snapshot_restore_preserves_mesh_and_state() {
+        use exastro_amr::{BoxArray, IntVect};
+        let geom = Geometry::cube(16, 1.0, false);
+        let mut hier = Hierarchy::single_level(geom, 8, 4, 1, DistStrategy::RoundRobin);
+        let tags: Vec<IntVect> = exastro_amr::IndexBox::new(IntVect::splat(4), IntVect::splat(11))
+            .iter()
+            .collect();
+        hier.regrid(0, &tags, 2, &exastro_amr::ClusterParams::default());
+        assert_eq!(hier.nlevels(), 2);
+        let layout = StateLayout::new(1);
+        let mut states: Vec<MultiFab> = (0..2)
+            .map(|l| hier.make_multifab(l, layout.ncomp(), 2))
+            .collect();
+        for (l, s) in states.iter_mut().enumerate() {
+            for i in 0..s.nfabs() {
+                let vb = s.valid_box(i);
+                for iv in vb.iter() {
+                    for c in 0..s.ncomp() {
+                        s.fab_mut(i).set(
+                            iv,
+                            c,
+                            (l as f64 + 1.0) * (iv.x() + 2 * iv.y()) as f64 + c as f64,
+                        );
+                    }
+                }
+            }
+        }
+        let clock = Clock {
+            step: 12,
+            time: 0.75,
+            dt: 1.0 / 64.0,
+        };
+        let snap = snapshot_hierarchy(&hier, &states, clock, &layout);
+        let (hier2, states2) = restore_hierarchy(&snap, 1, DistStrategy::RoundRobin, 8);
+        assert_eq!(hier2.nlevels(), 2);
+        for l in 0..2 {
+            assert_eq!(hier2.level(l).geom.domain(), hier.level(l).geom.domain());
+            assert_eq!(
+                hier2.level(l).ratio_to_coarser,
+                hier.level(l).ratio_to_coarser
+            );
+            let (a, b) = (&states[l], &states2[l]);
+            assert_eq!(
+                b.box_array().iter().collect::<Vec<_>>(),
+                a.box_array().iter().collect::<Vec<_>>()
+            );
+            let _ = BoxArray::from_boxes(b.box_array().iter().copied().collect());
+            for i in 0..a.nfabs() {
+                for iv in a.valid_box(i).iter() {
+                    for c in 0..a.ncomp() {
+                        assert_eq!(a.fab(i).get(iv, c), b.fab(i).get(iv, c));
+                    }
+                }
+            }
+        }
+    }
+}

@@ -87,6 +87,7 @@ pub fn sedov_workload(
         allreduces: 1,   // the CFL dt reduction
         global_syncs: 3, // one synchronizing ghost fill per sweep
         zones_advanced: domain.num_zones(),
+        checkpoint_bytes: 0,
     }
 }
 

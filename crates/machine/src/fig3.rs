@@ -70,6 +70,7 @@ pub fn bubble_point(machine: &Machine, nodes: usize, base_throughput: Option<f64
         allreduces: 0,
         global_syncs: 1,
         zones_advanced: domain.num_zones(),
+        checkpoint_bytes: 0,
     };
     let burn_prof = KernelProfile::new(BURN_COST_PER_ZONE, BURN_REGISTERS);
     let adv_prof = KernelProfile::new(ADVECT_COST, 128);
@@ -94,6 +95,7 @@ pub fn bubble_point(machine: &Machine, nodes: usize, base_throughput: Option<f64
         allreduces: (cycles_total + 2) as u64, // residual norm per cycle
         global_syncs: 0,
         zones_advanced: 0,
+        checkpoint_bytes: 0,
     };
     let mut level_side = side;
     let mut nlevels = 0u64;
@@ -140,6 +142,7 @@ pub fn bubble_point(machine: &Machine, nodes: usize, base_throughput: Option<f64
             compute_us: t_react.compute_us + t_mg.compute_us,
             p2p_us: t_react.p2p_us + t_mg.p2p_us,
             allreduce_us: t_react.allreduce_us + t_mg.allreduce_us,
+            io_us: 0.0,
             total_us,
             throughput,
         },

@@ -33,6 +33,27 @@ pub struct NetworkModel {
     pub sync_noise_us: f64,
 }
 
+/// Parallel-filesystem cost parameters: a checkpoint write is priced with
+/// an α–β model, `latency + bytes / bw_eff(nodes)`, where the effective
+/// bandwidth scales with participating nodes until the burst-buffer /
+/// filesystem aggregate peak saturates.
+#[derive(Clone, Debug)]
+pub struct FsModel {
+    /// Fixed per-checkpoint latency (metadata, open/close storms), µs.
+    pub write_latency_us: f64,
+    /// Sustained write bandwidth one node can drive, bytes/µs.
+    pub bw_node_bytes_per_us: f64,
+    /// Aggregate filesystem peak write bandwidth, bytes/µs.
+    pub bw_peak_bytes_per_us: f64,
+}
+
+impl FsModel {
+    /// Effective aggregate write bandwidth at `nodes` writers, bytes/µs.
+    pub fn bw_eff(&self, nodes: usize) -> f64 {
+        (nodes.max(1) as f64 * self.bw_node_bytes_per_us).min(self.bw_peak_bytes_per_us)
+    }
+}
+
 /// One node of the machine.
 #[derive(Clone, Debug)]
 pub struct NodeModel {
@@ -49,6 +70,8 @@ pub struct Machine {
     pub node: NodeModel,
     /// Interconnect description.
     pub network: NetworkModel,
+    /// Parallel filesystem description (checkpoint writes).
+    pub fs: FsModel,
 }
 
 impl Machine {
@@ -68,7 +91,18 @@ impl Machine {
                 allreduce_base_us: 12.0,
                 sync_noise_us: 18.0,
             },
+            fs: FsModel {
+                write_latency_us: 5_000.0,      // metadata + open/close storm
+                bw_node_bytes_per_us: 12_500.0, // ~12.5 GB/s per node to Alpine
+                bw_peak_bytes_per_us: 2.5e6,    // ~2.5 TB/s aggregate GPFS peak
+            },
         }
+    }
+
+    /// Time (µs) for `nodes` nodes to write a `bytes`-sized checkpoint to
+    /// the parallel filesystem (α–β: latency + bandwidth-limited transfer).
+    pub fn checkpoint_write_us(&self, bytes: u64, nodes: usize) -> f64 {
+        self.fs.write_latency_us + bytes as f64 / self.fs.bw_eff(nodes)
     }
 
     /// Node index of a rank (ranks are packed onto nodes).
@@ -150,6 +184,10 @@ pub struct StepWorkload {
     pub global_syncs: u64,
     /// Zones advanced by the step (for throughput).
     pub zones_advanced: i64,
+    /// Checkpoint payload written during this step (0 on non-checkpoint
+    /// steps). Includes the D2H copy on every writing rank plus the
+    /// filesystem write, both globally synchronizing.
+    pub checkpoint_bytes: u64,
 }
 
 /// Timing breakdown of one simulated step.
@@ -161,6 +199,8 @@ pub struct StepTime {
     pub p2p_us: f64,
     /// Collective time, µs.
     pub allreduce_us: f64,
+    /// Checkpoint I/O time (D2H drain + filesystem write), µs.
+    pub io_us: f64,
     /// Total step wall time, µs.
     pub total_us: f64,
     /// Zones per µs.
@@ -199,11 +239,21 @@ impl Machine {
         let t_allreduce = w.allreduces as f64 * self.allreduce_us(w.nranks);
         let t_sync =
             w.global_syncs as f64 * self.network.sync_noise_us * (nodes.max(1) as f64).log2();
-        let total = worst + t_allreduce + t_sync;
+        // Checkpoint steps pay the D2H drain (each node's share crosses the
+        // CPU↔GPU link) plus the α–β filesystem write, back to back.
+        let t_io = if w.checkpoint_bytes > 0 {
+            let per_node = w.checkpoint_bytes as f64 / nodes.max(1) as f64;
+            per_node / self.node.gpu.d2h_bw_bytes_per_us
+                + self.checkpoint_write_us(w.checkpoint_bytes, nodes)
+        } else {
+            0.0
+        };
+        let total = worst + t_allreduce + t_sync + t_io;
         StepTime {
             compute_us: worst_compute,
             p2p_us: worst_p2p,
             allreduce_us: t_allreduce,
+            io_us: t_io,
             total_us: total,
             throughput: w.zones_advanced as f64 / total.max(1e-30),
         }
@@ -224,6 +274,7 @@ mod tests {
             allreduces: 0,
             global_syncs: 0,
             zones_advanced: 64 * 64 * 64,
+            checkpoint_bytes: 0,
         };
         let t = m.simulate_step(&w);
         assert!(t.p2p_us == 0.0);
@@ -252,6 +303,7 @@ mod tests {
             allreduces: 0,
             global_syncs: 0,
             zones_advanced: 1_001_000,
+            checkpoint_bytes: 0,
         };
         let t_unbalanced = m.simulate_step(&w);
         let w2 = StepWorkload {
@@ -261,6 +313,7 @@ mod tests {
             allreduces: 0,
             global_syncs: 0,
             zones_advanced: 2_000_000,
+            checkpoint_bytes: 0,
         };
         let t_bal = m.simulate_step(&w2);
         assert!((t_unbalanced.total_us - t_bal.total_us).abs() / t_bal.total_us < 1e-9);
@@ -284,6 +337,7 @@ mod tests {
             allreduces: 0,
             global_syncs: 0,
             zones_advanced: 1,
+            checkpoint_bytes: 0,
         };
         let t_intra = m.simulate_step(&mk(10_000_000, 0));
         let t_inter = m.simulate_step(&mk(0, 10_000_000));
@@ -293,6 +347,70 @@ mod tests {
             t_inter.total_us,
             t_intra.total_us
         );
+    }
+
+    #[test]
+    fn checkpoint_step_pays_d2h_and_fs_write() {
+        let m = Machine::summit();
+        let mk = |ckpt: u64| StepWorkload {
+            nranks: 6,
+            compute: vec![vec![(64 * 64 * 64, KernelProfile::default())]; 6],
+            comm: vec![RankComm::default(); 6],
+            allreduces: 1,
+            global_syncs: 0,
+            zones_advanced: 6 * 64 * 64 * 64,
+            checkpoint_bytes: ckpt,
+        };
+        let plain = m.simulate_step(&mk(0));
+        assert_eq!(plain.io_us, 0.0);
+        let bytes = 8u64 * 6 * 64 * 64 * 64 * 10; // ~126 MB of state
+        let ckpt = m.simulate_step(&mk(bytes));
+        assert!(ckpt.io_us > 0.0);
+        let expect =
+            bytes as f64 / m.node.gpu.d2h_bw_bytes_per_us + m.checkpoint_write_us(bytes, 1);
+        assert!((ckpt.io_us - expect).abs() < 1e-9);
+        assert!((ckpt.total_us - plain.total_us - ckpt.io_us).abs() < 1e-9);
+        assert!(ckpt.throughput < plain.throughput);
+    }
+
+    #[test]
+    fn fs_bandwidth_scales_then_saturates() {
+        let m = Machine::summit();
+        // Small jobs are per-node-bandwidth bound; huge jobs hit the
+        // aggregate peak and stop improving.
+        let bytes = 10u64 * (1 << 30);
+        let t1 = m.checkpoint_write_us(bytes, 1);
+        let t64 = m.checkpoint_write_us(bytes, 64);
+        let t400 = m.checkpoint_write_us(bytes, 400);
+        let t4096 = m.checkpoint_write_us(bytes, 4096);
+        assert!(t64 < t1 / 10.0);
+        assert!(
+            (t400 - t4096).abs() < 1e-9,
+            "peak-saturated: {t400} {t4096}"
+        );
+        // A cadence sweep has a priced optimum: with these costs the
+        // checkpoint overhead fraction at cadence k is C/(k·T_step + C).
+        let step = m.simulate_step(&mk_step());
+        let c = m.simulate_step(&mk_ckpt()).io_us;
+        let overhead = |k: f64| c / (k * step.total_us + c);
+        assert!(overhead(1.0) > overhead(10.0));
+        fn mk_step() -> StepWorkload {
+            StepWorkload {
+                nranks: 6,
+                compute: vec![vec![(64 * 64 * 64, KernelProfile::default())]; 6],
+                comm: vec![RankComm::default(); 6],
+                allreduces: 1,
+                global_syncs: 0,
+                zones_advanced: 6 * 64 * 64 * 64,
+                checkpoint_bytes: 0,
+            }
+        }
+        fn mk_ckpt() -> StepWorkload {
+            StepWorkload {
+                checkpoint_bytes: 100 << 20,
+                ..mk_step()
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! Checkpoint/restart glue for the MAESTROeX low-Mach driver.
+//!
+//! Unlike Castro, the low-Mach solver carries state outside its `MultiFab`:
+//! the 1-D hydrostatic base state (ρ₀, p₀, T₀ columns plus gravity and zone
+//! height). That goes into the snapshot's auxiliary arrays, so a restored
+//! run rebuilds an identical [`BaseState`] and the resume is bit-exact.
+
+use crate::base_state::BaseState;
+use crate::lowmach::LmLayout;
+use exastro_amr::{Geometry, MultiFab, Real};
+use exastro_resilience::snapshot::{Clock, Snapshot};
+
+/// Component names for the checkpoint header, in [`LmLayout`] order:
+/// `u v w temp rho x0 x1 …`.
+pub fn variable_names(layout: &LmLayout) -> Vec<String> {
+    let mut v = vec![
+        "u".to_string(),
+        "v".to_string(),
+        "w".to_string(),
+        "temp".to_string(),
+        "rho".to_string(),
+    ];
+    for k in 0..layout.nspec {
+        v.push(format!("x{k}"));
+    }
+    v
+}
+
+/// Capture a restartable snapshot of a low-Mach run: the (single-level)
+/// state plus the base-state columns as auxiliary arrays.
+pub fn snapshot_run(
+    geom: &Geometry,
+    state: &MultiFab,
+    base: &BaseState,
+    clock: Clock,
+    layout: &LmLayout,
+) -> Snapshot {
+    let mut snap =
+        Snapshot::single_level(geom.clone(), state.clone(), clock, variable_names(layout));
+    snap.aux.push(("base_rho0".to_string(), base.rho0.clone()));
+    snap.aux.push(("base_p0".to_string(), base.p0.clone()));
+    snap.aux.push(("base_t0".to_string(), base.t0.clone()));
+    snap.aux
+        .push(("base_scalars".to_string(), vec![base.grav, base.dz]));
+    snap
+}
+
+/// Rebuild the [`BaseState`] from a restored snapshot's auxiliary arrays.
+/// Returns `None` if any of the base-state arrays are missing or malformed.
+pub fn restore_base_state(snap: &Snapshot) -> Option<BaseState> {
+    let rho0 = snap.aux_array("base_rho0")?.to_vec();
+    let p0 = snap.aux_array("base_p0")?.to_vec();
+    let t0 = snap.aux_array("base_t0")?.to_vec();
+    let scalars = snap.aux_array("base_scalars")?;
+    if scalars.len() != 2 || rho0.len() != p0.len() || rho0.len() != t0.len() {
+        return None;
+    }
+    let (grav, dz): (Real, Real) = (scalars[0], scalars[1]);
+    Some(BaseState {
+        rho0,
+        p0,
+        t0,
+        grav,
+        dz,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use exastro_amr::BoxArray;
+
+    #[test]
+    fn variable_names_follow_layout_order() {
+        let layout = LmLayout::new(2);
+        let names = variable_names(&layout);
+        assert_eq!(names.len(), layout.ncomp());
+        assert_eq!(names[LmLayout::U], "u");
+        assert_eq!(names[LmLayout::RHO], "rho");
+        assert_eq!(names[layout.spec(1)], "x1");
+    }
+
+    #[test]
+    fn base_state_roundtrips_through_aux_arrays() {
+        let base = BaseState {
+            rho0: vec![1.0, 0.9, 0.8],
+            p0: vec![2.0, 1.7, 1.4],
+            t0: vec![3.0, 3.0, 3.0],
+            grav: 9.8,
+            dz: 0.125,
+        };
+        let geom = Geometry::cube(8, 1.0, false);
+        let ba = BoxArray::decompose(geom.domain(), 8, 4);
+        let state = MultiFab::local(ba, LmLayout::new(1).ncomp(), 1);
+        let snap = snapshot_run(&geom, &state, &base, Clock::default(), &LmLayout::new(1));
+        let back = restore_base_state(&snap).unwrap();
+        assert_eq!(back.rho0, base.rho0);
+        assert_eq!(back.p0, base.p0);
+        assert_eq!(back.t0, base.t0);
+        assert_eq!(back.grav, base.grav);
+        assert_eq!(back.dz, base.dz);
+        // A snapshot without the aux arrays fails cleanly.
+        let bare = Snapshot::single_level(geom, state, Clock::default(), vec![]);
+        assert!(restore_base_state(&bare).is_none());
+    }
+}

@@ -47,6 +47,10 @@ pub struct DeviceConfig {
     pub alloc_latency_us: f64,
     /// Latency of a device memory free, microseconds. Also synchronizing.
     pub free_latency_us: f64,
+    /// Device→host copy bandwidth, bytes per microsecond. Checkpointing is
+    /// one of the two host↔device crossings the paper's design permits
+    /// (§III); this prices it.
+    pub d2h_bw_bytes_per_us: f64,
 }
 
 impl DeviceConfig {
@@ -66,6 +70,8 @@ impl DeviceConfig {
             num_streams: 4,
             alloc_latency_us: 150.0,
             free_latency_us: 100.0,
+            // NVLink2 CPU↔GPU: ~50 GB/s per direction.
+            d2h_bw_bytes_per_us: 50_000.0,
         }
     }
 
@@ -83,6 +89,8 @@ impl DeviceConfig {
             num_streams: 2,
             alloc_latency_us: 250.0,
             free_latency_us: 150.0,
+            // PCIe gen2 x16: ~6 GB/s effective.
+            d2h_bw_bytes_per_us: 6_000.0,
         }
     }
 }
@@ -137,6 +145,12 @@ pub struct DeviceStats {
     pub kernel_us: f64,
     /// Simulated microseconds spent in allocation/free synchronization.
     pub alloc_us: f64,
+    /// Device→host copies performed (checkpoint traffic).
+    pub d2h_copies: u64,
+    /// Bytes moved device→host.
+    pub d2h_bytes: u64,
+    /// Simulated microseconds spent in device→host copies.
+    pub d2h_us: f64,
 }
 
 #[derive(Debug)]
@@ -249,6 +263,24 @@ impl SimDevice {
         st.stats.bytes_resident = st.stats.bytes_resident.saturating_sub(bytes);
     }
 
+    /// Record a device→host copy of `bytes` (the checkpoint crossing).
+    /// Synchronizes all streams — the copy cannot start until in-flight
+    /// kernels writing the state have drained — then charges
+    /// `bytes / d2h_bw_bytes_per_us`. Returns the simulated copy time in
+    /// microseconds.
+    pub fn d2h_copy(&self, bytes: u64) -> f64 {
+        let t = bytes as f64 / self.config.d2h_bw_bytes_per_us.max(1e-12);
+        let mut st = self.state.lock().unwrap();
+        let sync = st.stream_clock.iter().copied().fold(0.0_f64, f64::max) + t;
+        for c in st.stream_clock.iter_mut() {
+            *c = sync;
+        }
+        st.stats.d2h_copies += 1;
+        st.stats.d2h_bytes += bytes;
+        st.stats.d2h_us += t;
+        t
+    }
+
     /// Simulated elapsed time: completion of the latest stream.
     pub fn elapsed_us(&self) -> f64 {
         self.state
@@ -352,6 +384,22 @@ mod tests {
         assert!((t_over / t_fit - d.config().oversubscription_penalty).abs() < 1e-9);
         d.free(17 * (1 << 30));
         assert!(!d.oversubscribed());
+    }
+
+    #[test]
+    fn d2h_copy_synchronizes_and_charges_bandwidth() {
+        let d = dev();
+        let p = KernelProfile::default();
+        d.launch(500_000, &p); // loads stream 0
+        let before = d.elapsed_us();
+        let bytes = 5_000_000u64; // 5 MB at 50 GB/s → 100 µs
+        let t = d.d2h_copy(bytes);
+        assert!((t - bytes as f64 / d.config().d2h_bw_bytes_per_us).abs() < 1e-9);
+        assert!((d.elapsed_us() - (before + t)).abs() < 1e-9);
+        let st = d.stats();
+        assert_eq!(st.d2h_copies, 1);
+        assert_eq!(st.d2h_bytes, bytes);
+        assert!((st.d2h_us - t).abs() < 1e-12);
     }
 
     #[test]

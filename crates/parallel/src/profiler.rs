@@ -32,6 +32,8 @@ pub struct RegionStats {
     pub zones: u64,
     /// Simulated device time charged inside the region, microseconds.
     pub device_us: f64,
+    /// Payload bytes moved inside the region (checkpoint I/O traffic).
+    pub bytes: u64,
 }
 
 thread_local! {
@@ -91,6 +93,16 @@ impl Profiler {
         t.entry(path).or_default().device_us += us;
     }
 
+    /// Attribute `bytes` of payload I/O to the innermost open region.
+    pub fn record_bytes(bytes: u64) {
+        if bytes == 0 {
+            return;
+        }
+        let path = Self::current_path();
+        let mut t = table().lock().unwrap();
+        t.entry(path).or_default().bytes += bytes;
+    }
+
     /// Snapshot the full region table (path -> stats).
     pub fn snapshot() -> HashMap<String, RegionStats> {
         table().lock().unwrap().clone()
@@ -121,8 +133,8 @@ impl Profiler {
         let mut out = String::new();
         out.push_str("===================== execution telemetry =====================\n");
         out.push_str(&format!(
-            "{:<34} {:>7} {:>10} {:>6} {:>12} {:>12}\n",
-            "region", "calls", "wall [ms]", "%top", "zones", "device [us]"
+            "{:<34} {:>7} {:>10} {:>6} {:>12} {:>12} {:>10}\n",
+            "region", "calls", "wall [ms]", "%top", "zones", "device [us]", "MB"
         ));
         for (path, s) in rows {
             let pct = if total_ns > 0 {
@@ -131,13 +143,14 @@ impl Profiler {
                 0.0
             };
             out.push_str(&format!(
-                "{:<34} {:>7} {:>10.3} {:>5.1}% {:>12} {:>12.1}\n",
+                "{:<34} {:>7} {:>10.3} {:>5.1}% {:>12} {:>12.1} {:>10.2}\n",
                 path,
                 s.calls,
                 s.wall_ns as f64 / 1e6,
                 pct,
                 s.zones,
-                s.device_us
+                s.device_us,
+                s.bytes as f64 / 1e6
             ));
         }
         let ps = WorkerPool::global().stats();
@@ -151,6 +164,21 @@ impl Profiler {
             100.0 * ps.pool_hit_rate()
         ));
         out.push_str("===============================================================\n");
+        out
+    }
+
+    /// The end-of-run report extended with the device's host↔device traffic
+    /// summary (checkpoint D2H copies, bytes, and simulated copy time).
+    pub fn report_with_device(device: &crate::device::SimDevice) -> String {
+        let mut out = Self::report();
+        let ds = device.stats();
+        out.push_str(&format!(
+            "device {}: {} D2H copies, {:.2} MB, {:.1} simulated us\n",
+            device.config().name,
+            ds.d2h_copies,
+            ds.d2h_bytes as f64 / 1e6,
+            ds.d2h_us
+        ));
         out
     }
 }
@@ -197,6 +225,10 @@ mod tests {
                 let _inner = Profiler::region("hydro");
                 Profiler::record_zones(2);
             }
+            {
+                let _io = Profiler::region("io/checkpoint");
+                Profiler::record_bytes(1_000_000);
+            }
         }
         let outer = Profiler::get("prof_test_step").expect("outer recorded");
         assert_eq!(outer.calls, 1);
@@ -207,9 +239,18 @@ mod tests {
         assert!((inner.device_us - 12.5).abs() < 1e-12);
         assert!(outer.wall_ns >= inner.wall_ns);
 
+        let io = Profiler::get("prof_test_step/io/checkpoint").expect("io recorded");
+        assert_eq!(io.bytes, 1_000_000);
+
         let report = Profiler::report();
         assert!(report.contains("prof_test_step/hydro"));
         assert!(report.contains("pool:"));
+
+        let dev = crate::device::SimDevice::new(crate::device::DeviceConfig::v100());
+        dev.d2h_copy(2_000_000);
+        let dev_report = Profiler::report_with_device(&dev);
+        assert!(dev_report.contains("1 D2H copies"));
+        assert!(dev_report.contains("2.00 MB"));
 
         // Zones recorded with no open region land in "(top)".
         Profiler::record_zones(7);

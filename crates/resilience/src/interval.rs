@@ -1,0 +1,97 @@
+//! Optimal checkpoint cadence: the Young and Daly approximations.
+//!
+//! With mean time between failures `M` and per-checkpoint cost `C`, a run
+//! that checkpoints every `τ` seconds wastes roughly `C/τ` of its time
+//! writing checkpoints and `τ/(2M)` redoing work lost to failures. Young's
+//! first-order optimum balances the two:
+//!
+//! ```text
+//! τ_opt = sqrt(2 · M · C)
+//! ```
+//!
+//! Daly's higher-order form adds the correction terms that matter when `C`
+//! is not small against `M` — exactly the regime the paper's exascale
+//! sizing puts us in, where full-machine MTBF shrinks with node count while
+//! checkpoint volume grows with it.
+
+/// Young's optimal checkpoint interval `sqrt(2·mtbf·ckpt_cost)` (same time
+/// unit in and out). Returns 0 for non-positive inputs.
+pub fn interval(mtbf: f64, ckpt_cost: f64) -> f64 {
+    if mtbf <= 0.0 || ckpt_cost <= 0.0 {
+        return 0.0;
+    }
+    (2.0 * mtbf * ckpt_cost).sqrt()
+}
+
+/// Daly's higher-order optimal interval:
+/// `sqrt(2·C·M) · [1 + (1/3)·sqrt(C/(2M)) + (1/9)·(C/(2M))] − C` when
+/// `C < 2M`, else `M` (checkpointing costs more than the machine survives —
+/// any cadence loses; Daly's limit).
+pub fn daly_interval(mtbf: f64, ckpt_cost: f64) -> f64 {
+    if mtbf <= 0.0 || ckpt_cost <= 0.0 {
+        return 0.0;
+    }
+    if ckpt_cost >= 2.0 * mtbf {
+        return mtbf;
+    }
+    let r = (ckpt_cost / (2.0 * mtbf)).sqrt();
+    (2.0 * ckpt_cost * mtbf).sqrt() * (1.0 + r / 3.0 + r * r / 9.0) - ckpt_cost
+}
+
+/// First-order expected fraction of wall time wasted at cadence `tau`:
+/// `ckpt_cost/tau + tau/(2·mtbf)` (checkpoint overhead + expected rework).
+pub fn expected_waste(tau: f64, mtbf: f64, ckpt_cost: f64) -> f64 {
+    if tau <= 0.0 || mtbf <= 0.0 {
+        return f64::INFINITY;
+    }
+    ckpt_cost / tau + tau / (2.0 * mtbf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn young_matches_closed_form() {
+        // MTBF 1 h, checkpoint 50 s → τ = sqrt(2·3600·50) = 600 s.
+        assert!((interval(3600.0, 50.0) - 600.0).abs() < 1e-9);
+        assert_eq!(interval(0.0, 50.0), 0.0);
+        assert_eq!(interval(3600.0, -1.0), 0.0);
+    }
+
+    #[test]
+    fn young_minimizes_first_order_waste() {
+        let (mtbf, cost) = (3600.0, 50.0);
+        let tau_opt = interval(mtbf, cost);
+        let w_opt = expected_waste(tau_opt, mtbf, cost);
+        // Scan a broad grid of cadences: none beats Young's τ.
+        let mut tau = 10.0;
+        while tau < 20.0 * tau_opt {
+            assert!(expected_waste(tau, mtbf, cost) >= w_opt - 1e-12);
+            tau *= 1.07;
+        }
+    }
+
+    #[test]
+    fn daly_close_to_young_for_cheap_checkpoints_and_bounded_otherwise() {
+        // C ≪ M: Daly ≈ Young.
+        let (mtbf, cost) = (86_400.0, 10.0);
+        let y = interval(mtbf, cost);
+        let d = daly_interval(mtbf, cost);
+        assert!((d - y).abs() / y < 0.05);
+        // C ≥ 2M: degenerate regime pins to MTBF.
+        assert_eq!(daly_interval(100.0, 500.0), 100.0);
+        assert_eq!(daly_interval(-1.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn waste_grows_with_node_count_scenario() {
+        // Exascale sizing: per-node MTBF 10 yr → machine MTBF 10yr/N.
+        // Optimal cadence must shrink as the machine grows.
+        let per_node_mtbf = 10.0 * 365.0 * 86_400.0;
+        let cost = 120.0;
+        let tau_small = interval(per_node_mtbf / 100.0, cost);
+        let tau_big = interval(per_node_mtbf / 10_000.0, cost);
+        assert!(tau_big < tau_small);
+    }
+}

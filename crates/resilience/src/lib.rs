@@ -1,0 +1,39 @@
+//! # exastro-resilience
+//!
+//! Checkpoint/restart for the `exastro` suite. The paper's GPU-resident
+//! design makes checkpointing one of only two host↔device crossings
+//! ("writing a checkpoint involves making a copy to CPU memory", §III); at
+//! exascale, the machine's mean time between failures forces that crossing
+//! into the hot loop, so the checkpoint path has to be *durable* (atomic
+//! directory writes), *trustworthy* (per-blob integrity checksums), and
+//! *priced* (D2H bytes through the simulated device, an α–β filesystem
+//! term in the machine model, Young/Daly cadence policy).
+//!
+//! * [`snapshot`] — the multi-level [`Snapshot`] of a run: per-level
+//!   geometry + state, step counters, auxiliary 1-D arrays (e.g. the
+//!   MAESTROeX base state);
+//! * [`manifest`] — CRC32 integrity manifests over every file of a
+//!   checkpoint directory;
+//! * [`manager`] — [`CheckpointManager`]: atomic temp-dir+fsync+rename
+//!   writes, keep-last-K retention, corruption detection with fallback to
+//!   the last good checkpoint, bounded-backoff write retries, and cost
+//!   accounting (D2H through [`exastro_parallel::SimDevice`], bytes into
+//!   the `io/checkpoint` profiler region);
+//! * [`faults`] — deterministic fault injection: kill schedules, blob
+//!   truncation, bit flips, torn renames, and injected write failures;
+//! * [`interval`] — the Young/Daly optimal checkpoint interval.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod faults;
+pub mod interval;
+pub mod manager;
+pub mod manifest;
+pub mod snapshot;
+
+pub use faults::{flip_bit, tear_rename, truncate_file, KillSchedule};
+pub use interval::{daly_interval, expected_waste, interval};
+pub use manager::{CheckpointManager, Error, ManagerStats, RetryPolicy};
+pub use manifest::{crc32, Manifest};
+pub use snapshot::{digest_multifab, Clock, LevelSnapshot, Snapshot};

@@ -1,0 +1,662 @@
+//! The checkpoint manager: durable, integrity-checked, self-pruning
+//! checkpoint directories with restart and failure fallback.
+//!
+//! Write protocol (crash-safe at every point):
+//!
+//! 1. serialize the snapshot into a hidden temp directory
+//!    (`.tmp-chkNNNNNNNN`) — one sub-directory per AMR level, a `Meta`
+//!    file for the counters, `Aux_*.bin` blobs for auxiliary arrays;
+//! 2. write the CRC32 [`Manifest`] **last** — a checkpoint without a
+//!    manifest is by definition incomplete;
+//! 3. fsync the files and the directories;
+//! 4. atomically `rename` the temp directory to `chkNNNNNNNN` and fsync
+//!    the root.
+//!
+//! A crash before (4) leaves only a `.tmp-*` directory, which readers
+//! ignore; a torn or bit-rotted checkpoint fails manifest verification and
+//! [`CheckpointManager::latest_good`] falls back to the previous one.
+//! Writes retry with bounded exponential backoff (transient filesystem
+//! failures are injectable through [`CheckpointManager::inject_write_faults`]).
+//!
+//! Cost accounting: the payload is charged as one D2H copy on the attached
+//! [`SimDevice`] (this is the §III host↔device crossing) and the whole
+//! write/read runs under the `io/checkpoint` profiler region with its byte
+//! count recorded.
+
+use crate::manifest::{Manifest, MANIFEST_NAME};
+use crate::snapshot::{Clock, LevelSnapshot, Snapshot};
+use exastro_amr::io::{read_checkpoint, write_checkpoint, IoError};
+use exastro_amr::Real;
+use exastro_parallel::{Profiler, SimDevice};
+use std::fs;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Errors from checkpoint management.
+#[derive(Debug)]
+pub enum Error {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// Malformed checkpoint contents.
+    Format(String),
+    /// Integrity verification failed (manifest mismatch).
+    Corrupt(String),
+    /// No (intact) checkpoint exists to restore from.
+    NoCheckpoint,
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+impl From<IoError> for Error {
+    fn from(e: IoError) -> Self {
+        match e {
+            IoError::Io(e) => Error::Io(e),
+            IoError::Format(m) => Error::Format(m),
+        }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            Error::Format(m) => write!(f, "checkpoint format error: {m}"),
+            Error::Corrupt(m) => write!(f, "checkpoint integrity error: {m}"),
+            Error::NoCheckpoint => write!(f, "no intact checkpoint available"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Bounded-backoff retry policy for checkpoint writes.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts (1 = no retry).
+    pub attempts: u32,
+    /// Backoff before retry k is `base_backoff × 2^(k-1)`, capped at
+    /// `max_backoff`.
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(100),
+        }
+    }
+}
+
+/// Aggregate manager statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ManagerStats {
+    /// Checkpoints successfully written.
+    pub writes: u64,
+    /// Write attempts that failed and were retried (or gave up).
+    pub write_failures: u64,
+    /// Payload bytes written (sum over successful checkpoints).
+    pub bytes_written: u64,
+    /// D2H copies charged to the attached device.
+    pub d2h_copies: u64,
+    /// Checkpoints found corrupt during scans/restores.
+    pub corrupt_detected: u64,
+    /// Snapshots restored.
+    pub restores: u64,
+    /// Checkpoints removed by retention pruning.
+    pub pruned: u64,
+}
+
+type WriteFaultFn = Box<dyn FnMut(u64, u32) -> Option<std::io::Error> + Send>;
+
+/// Manages a directory of rotating, integrity-checked checkpoints.
+pub struct CheckpointManager {
+    root: PathBuf,
+    keep: usize,
+    retry: RetryPolicy,
+    device: Option<Arc<SimDevice>>,
+    write_faults: Mutex<Option<WriteFaultFn>>,
+    stats: Mutex<ManagerStats>,
+}
+
+const META_MAGIC: &str = "exastro-snapshot-v1";
+
+impl CheckpointManager {
+    /// Create a manager rooted at `root` (created if absent). Defaults:
+    /// keep the last 2 checkpoints, 3 write attempts.
+    pub fn new(root: impl Into<PathBuf>) -> Result<Self, Error> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(CheckpointManager {
+            root,
+            keep: 2,
+            retry: RetryPolicy::default(),
+            device: None,
+            write_faults: Mutex::new(None),
+            stats: Mutex::new(ManagerStats::default()),
+        })
+    }
+
+    /// Retain only the newest `k` checkpoints (k ≥ 1).
+    pub fn keep_last(mut self, k: usize) -> Self {
+        self.keep = k.max(1);
+        self
+    }
+
+    /// Set the write retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Charge checkpoint D2H traffic to `device` (the §III host copy).
+    pub fn with_device(mut self, device: Arc<SimDevice>) -> Self {
+        self.device = Some(device);
+        self
+    }
+
+    /// The root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> ManagerStats {
+        *self.stats.lock().unwrap()
+    }
+
+    /// Inject deterministic write faults: `f(step, attempt)` returning
+    /// `Some(err)` makes that write attempt fail before touching disk.
+    /// Pass-through (`None`) attempts proceed normally.
+    pub fn inject_write_faults(
+        &self,
+        f: impl FnMut(u64, u32) -> Option<std::io::Error> + Send + 'static,
+    ) {
+        *self.write_faults.lock().unwrap() = Some(Box::new(f));
+    }
+
+    /// Directory name of the checkpoint for `step`.
+    pub fn checkpoint_name(step: u64) -> String {
+        format!("chk{step:08}")
+    }
+
+    /// All complete-looking checkpoints (final-named directories), as
+    /// `(step, path)` sorted ascending by step. Integrity is *not* checked
+    /// here; use [`CheckpointManager::latest_good`] for that.
+    pub fn checkpoints(&self) -> Vec<(u64, PathBuf)> {
+        let mut out = Vec::new();
+        if let Ok(rd) = fs::read_dir(&self.root) {
+            for entry in rd.flatten() {
+                let p = entry.path();
+                if !p.is_dir() {
+                    continue;
+                }
+                let name = entry.file_name().to_string_lossy().into_owned();
+                if let Some(step) = name.strip_prefix("chk").and_then(|s| s.parse::<u64>().ok()) {
+                    out.push((step, p));
+                }
+            }
+        }
+        out.sort_by_key(|(s, _)| *s);
+        out
+    }
+
+    /// Verify the integrity of the checkpoint at `dir` via its manifest.
+    pub fn verify(dir: &Path) -> Result<(), Error> {
+        let m = Manifest::load(dir).map_err(Error::Corrupt)?;
+        m.verify(dir).map_err(Error::Corrupt)
+    }
+
+    /// The newest checkpoint that passes integrity verification, skipping
+    /// (and counting) corrupt ones.
+    pub fn latest_good(&self) -> Option<(u64, PathBuf)> {
+        for (step, path) in self.checkpoints().into_iter().rev() {
+            match Self::verify(&path) {
+                Ok(()) => return Some((step, path)),
+                Err(_) => {
+                    self.stats.lock().unwrap().corrupt_detected += 1;
+                }
+            }
+        }
+        None
+    }
+
+    /// Write `snap` durably, retrying per the [`RetryPolicy`] with bounded
+    /// exponential backoff. Returns the final checkpoint path.
+    pub fn write(&self, snap: &Snapshot) -> Result<PathBuf, Error> {
+        let _r = Profiler::region("io/checkpoint");
+        let bytes = snap.payload_bytes();
+        // The one D2H crossing: checkpointing copies device-resident state
+        // to host memory before it can be written (§III). Charged once per
+        // checkpoint, not per retry — the host copy survives write retries.
+        if let Some(dev) = &self.device {
+            let us = dev.d2h_copy(bytes);
+            Profiler::record_device_us(us);
+            self.stats.lock().unwrap().d2h_copies += 1;
+        }
+        let mut backoff = self.retry.base_backoff;
+        let mut last_err: Error = Error::NoCheckpoint;
+        for attempt in 0..self.retry.attempts.max(1) {
+            if attempt > 0 {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(self.retry.max_backoff);
+            }
+            let injected = {
+                let mut g = self.write_faults.lock().unwrap();
+                g.as_mut().and_then(|f| f(snap.clock.step, attempt))
+            };
+            let result = match injected {
+                Some(e) => Err(Error::Io(e)),
+                None => self.write_once(snap),
+            };
+            match result {
+                Ok(path) => {
+                    let mut st = self.stats.lock().unwrap();
+                    st.writes += 1;
+                    st.bytes_written += bytes;
+                    drop(st);
+                    Profiler::record_bytes(bytes);
+                    self.prune();
+                    return Ok(path);
+                }
+                Err(e) => {
+                    self.stats.lock().unwrap().write_failures += 1;
+                    last_err = e;
+                }
+            }
+        }
+        Err(last_err)
+    }
+
+    fn write_once(&self, snap: &Snapshot) -> Result<PathBuf, Error> {
+        let name = Self::checkpoint_name(snap.clock.step);
+        let tmp = self.root.join(format!(".tmp-{name}"));
+        let fin = self.root.join(&name);
+        if tmp.exists() {
+            fs::remove_dir_all(&tmp)?;
+        }
+        fs::create_dir_all(&tmp)?;
+        let var_refs: Vec<&str> = snap.variables.iter().map(String::as_str).collect();
+        for (l, lev) in snap.levels.iter().enumerate() {
+            write_checkpoint(
+                &tmp.join(format!("Level_{l:02}")),
+                &lev.state,
+                &lev.geom,
+                snap.clock.time,
+                &var_refs,
+            )?;
+        }
+        for (aux_name, v) in &snap.aux {
+            debug_assert!(aux_name
+                .bytes()
+                .all(|b| b.is_ascii_alphanumeric() || b == b'_'));
+            let mut f = fs::File::create(tmp.join(format!("Aux_{aux_name}.bin")))?;
+            for x in v {
+                f.write_all(&x.to_le_bytes())?;
+            }
+            f.sync_all()?;
+        }
+        self.write_meta(&tmp, snap)?;
+        // The manifest is written last: its presence certifies completeness.
+        let manifest = Manifest::over_dir(&tmp).map_err(Error::Io)?;
+        let mut mf = fs::File::create(tmp.join(MANIFEST_NAME))?;
+        mf.write_all(manifest.to_text().as_bytes())?;
+        mf.sync_all()?;
+        sync_dir(&tmp);
+        if fin.exists() {
+            fs::remove_dir_all(&fin)?;
+        }
+        fs::rename(&tmp, &fin)?;
+        sync_dir(&self.root);
+        Ok(fin)
+    }
+
+    fn write_meta(&self, dir: &Path, snap: &Snapshot) -> Result<(), Error> {
+        let mut f = fs::File::create(dir.join("Meta"))?;
+        writeln!(f, "{META_MAGIC}")?;
+        writeln!(f, "step {}", snap.clock.step)?;
+        // Bit-pattern hex alongside the decimal: the decimal is for humans,
+        // the bits are what restore parses (exact by construction).
+        writeln!(
+            f,
+            "time {:016x} {:e}",
+            snap.clock.time.to_bits(),
+            snap.clock.time
+        )?;
+        writeln!(f, "dt {:016x} {:e}", snap.clock.dt.to_bits(), snap.clock.dt)?;
+        writeln!(f, "nlevels {}", snap.levels.len())?;
+        let ratios: Vec<String> = snap
+            .levels
+            .iter()
+            .map(|l| l.ratio_to_coarser.to_string())
+            .collect();
+        writeln!(f, "ratios {}", ratios.join(" "))?;
+        writeln!(f, "variables {}", snap.variables.join(" "))?;
+        for (aux_name, v) in &snap.aux {
+            writeln!(f, "aux {aux_name} {}", v.len())?;
+        }
+        f.sync_all()?;
+        Ok(())
+    }
+
+    /// Restore the snapshot stored at `dir`, verifying integrity first.
+    pub fn restore(&self, dir: &Path) -> Result<Snapshot, Error> {
+        let _r = Profiler::region("io/checkpoint");
+        Self::verify(dir)?;
+        let snap = read_snapshot_dir(dir)?;
+        Profiler::record_bytes(snap.payload_bytes());
+        self.stats.lock().unwrap().restores += 1;
+        Ok(snap)
+    }
+
+    /// Resume from the newest intact checkpoint, falling back past corrupt
+    /// ones. [`Error::NoCheckpoint`] if none survives.
+    pub fn resume(&self) -> Result<Snapshot, Error> {
+        let (_, path) = self.latest_good().ok_or(Error::NoCheckpoint)?;
+        self.restore(&path)
+    }
+
+    /// Drop all but the newest `keep` checkpoints.
+    fn prune(&self) {
+        let cks = self.checkpoints();
+        if cks.len() <= self.keep {
+            return;
+        }
+        let n_drop = cks.len() - self.keep;
+        for (_, path) in cks.into_iter().take(n_drop) {
+            if fs::remove_dir_all(&path).is_ok() {
+                self.stats.lock().unwrap().pruned += 1;
+            }
+        }
+    }
+}
+
+/// Best-effort directory fsync (Linux allows fsync on a read-only dir fd;
+/// elsewhere this is a no-op).
+fn sync_dir(dir: &Path) {
+    if let Ok(d) = fs::File::open(dir) {
+        let _ = d.sync_all();
+    }
+}
+
+fn read_snapshot_dir(dir: &Path) -> Result<Snapshot, Error> {
+    let meta = fs::read_to_string(dir.join("Meta"))?;
+    let mut lines = meta.lines();
+    let mut next = || -> Result<&str, Error> {
+        lines
+            .next()
+            .ok_or_else(|| Error::Format("truncated Meta".into()))
+    };
+    if next()? != META_MAGIC {
+        return Err(Error::Format("bad Meta magic".into()));
+    }
+    let field = |line: &str, key: &str| -> Result<String, Error> {
+        line.strip_prefix(key)
+            .map(|s| s.trim().to_string())
+            .ok_or_else(|| Error::Format(format!("expected '{key}' in Meta, got '{line}'")))
+    };
+    let step: u64 = field(next()?, "step")?
+        .parse()
+        .map_err(|e| Error::Format(format!("bad step: {e}")))?;
+    let parse_bits = |s: String, what: &str| -> Result<Real, Error> {
+        let hex = s
+            .split_whitespace()
+            .next()
+            .ok_or_else(|| Error::Format(format!("bad {what}")))?;
+        u64::from_str_radix(hex, 16)
+            .map(Real::from_bits)
+            .map_err(|e| Error::Format(format!("bad {what}: {e}")))
+    };
+    let time = parse_bits(field(next()?, "time")?, "time")?;
+    let dt = parse_bits(field(next()?, "dt")?, "dt")?;
+    let nlevels: usize = field(next()?, "nlevels")?
+        .parse()
+        .map_err(|e| Error::Format(format!("bad nlevels: {e}")))?;
+    let ratios: Vec<i32> = field(next()?, "ratios")?
+        .split_whitespace()
+        .map(|t| t.parse::<i32>())
+        .collect::<Result<_, _>>()
+        .map_err(|e| Error::Format(format!("bad ratios: {e}")))?;
+    if ratios.len() != nlevels {
+        return Err(Error::Format(format!(
+            "nlevels {nlevels} but {} ratios",
+            ratios.len()
+        )));
+    }
+    let variables: Vec<String> = field(next()?, "variables")?
+        .split_whitespace()
+        .map(String::from)
+        .collect();
+    let mut aux = Vec::new();
+    for line in lines {
+        let spec = field(line.to_string().as_str(), "aux")?;
+        let mut it = spec.split_whitespace();
+        let aux_name = it
+            .next()
+            .ok_or_else(|| Error::Format("bad aux line".into()))?
+            .to_string();
+        let len: usize = it
+            .next()
+            .ok_or_else(|| Error::Format("bad aux line".into()))?
+            .parse()
+            .map_err(|e| Error::Format(format!("bad aux len: {e}")))?;
+        let mut f = fs::File::open(dir.join(format!("Aux_{aux_name}.bin")))?;
+        let mut v = Vec::with_capacity(len);
+        let mut buf = [0u8; 8];
+        for _ in 0..len {
+            f.read_exact(&mut buf)?;
+            v.push(Real::from_le_bytes(buf));
+        }
+        aux.push((aux_name, v));
+    }
+    let mut levels = Vec::with_capacity(nlevels);
+    for (l, ratio) in ratios.iter().enumerate().take(nlevels) {
+        let ck = read_checkpoint(&dir.join(format!("Level_{l:02}")))?;
+        levels.push(LevelSnapshot {
+            geom: ck.geom,
+            state: ck.state,
+            ratio_to_coarser: *ratio,
+        });
+    }
+    Ok(Snapshot {
+        levels,
+        clock: Clock { step, time, dt },
+        variables,
+        aux,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults;
+    use exastro_amr::{BoxArray, Geometry, MultiFab};
+
+    fn tmp_root(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("exastro_mgr_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn snap_at(step: u64, seed: Real) -> Snapshot {
+        let geom = Geometry::cube(8, 1.0, false);
+        let ba = BoxArray::decompose(geom.domain(), 8, 4);
+        let mut mf = MultiFab::local(ba, 2, 1);
+        for i in 0..mf.nfabs() {
+            let vb = mf.valid_box(i);
+            for iv in vb.iter() {
+                for c in 0..2 {
+                    let v = seed + (iv.x() * 3 + iv.y() * 5 + iv.z() * 7 + c as i32) as Real * 0.01;
+                    mf.fab_mut(i).set(iv, c, v);
+                }
+            }
+        }
+        let mut s = Snapshot::single_level(
+            geom,
+            mf,
+            Clock {
+                step,
+                time: step as Real * 0.125,
+                dt: 0.125,
+            },
+            vec!["a".into(), "b".into()],
+        );
+        s.aux
+            .push(("rho0".into(), vec![seed, seed * 2.0, seed * 3.0]));
+        s
+    }
+
+    #[test]
+    fn write_restore_roundtrip_is_exact() {
+        let root = tmp_root("roundtrip");
+        let mgr = CheckpointManager::new(&root).unwrap();
+        let snap = snap_at(7, 1.5);
+        let path = mgr.write(&snap).unwrap();
+        assert!(path.ends_with("chk00000007"));
+        let back = mgr.restore(&path).unwrap();
+        assert_eq!(back.digest(), snap.digest());
+        assert_eq!(back.clock, snap.clock);
+        assert_eq!(back.variables, snap.variables);
+        assert_eq!(back.aux_array("rho0").unwrap(), &[1.5, 3.0, 4.5]);
+        let st = mgr.stats();
+        assert_eq!(st.writes, 1);
+        assert_eq!(st.restores, 1);
+        assert_eq!(st.bytes_written, snap.payload_bytes());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn retention_keeps_last_k() {
+        let root = tmp_root("retention");
+        let mgr = CheckpointManager::new(&root).unwrap().keep_last(2);
+        for step in [1, 2, 3, 4] {
+            mgr.write(&snap_at(step, step as Real)).unwrap();
+        }
+        let cks = mgr.checkpoints();
+        let steps: Vec<u64> = cks.iter().map(|(s, _)| *s).collect();
+        assert_eq!(steps, vec![3, 4]);
+        assert_eq!(mgr.stats().pruned, 2);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_newest_falls_back_to_previous() {
+        let root = tmp_root("fallback");
+        let mgr = CheckpointManager::new(&root).unwrap().keep_last(3);
+        mgr.write(&snap_at(2, 2.0)).unwrap();
+        let newest = mgr.write(&snap_at(4, 4.0)).unwrap();
+        // Bit-flip one payload blob in the newest checkpoint.
+        faults::flip_bit(&newest.join("Level_00/fab_00000.bin"), 64, 3).unwrap();
+        let (step, _) = mgr.latest_good().unwrap();
+        assert_eq!(step, 2);
+        let snap = mgr.resume().unwrap();
+        assert_eq!(snap.clock.step, 2);
+        assert!(mgr.stats().corrupt_detected >= 1);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn truncated_blob_is_detected() {
+        let root = tmp_root("trunc");
+        let mgr = CheckpointManager::new(&root).unwrap();
+        let p = mgr.write(&snap_at(1, 1.0)).unwrap();
+        faults::truncate_file(&p.join("Level_00/fab_00000.bin"), 100).unwrap();
+        assert!(matches!(
+            CheckpointManager::verify(&p),
+            Err(Error::Corrupt(_))
+        ));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn torn_rename_leftover_is_invisible_and_manifestless_dir_is_corrupt() {
+        let root = tmp_root("torn");
+        let mgr = CheckpointManager::new(&root).unwrap().keep_last(3);
+        mgr.write(&snap_at(3, 3.0)).unwrap();
+        let newest = mgr.write(&snap_at(6, 6.0)).unwrap();
+        // Simulate a crash mid-write: the checkpoint reverts to a temp-named
+        // directory with no manifest (what a torn rename leaves behind).
+        let torn = faults::tear_rename(&newest).unwrap();
+        assert!(torn.file_name().unwrap().to_string_lossy().starts_with('.'));
+        // Scans ignore the temp leftover entirely.
+        assert_eq!(mgr.checkpoints().len(), 1);
+        let (step, _) = mgr.latest_good().unwrap();
+        assert_eq!(step, 3);
+        // A final-named dir with a deleted manifest is detected as corrupt.
+        let p6 = root.join(CheckpointManager::checkpoint_name(6));
+        fs::rename(&torn, &p6).unwrap();
+        assert!(matches!(
+            CheckpointManager::verify(&p6),
+            Err(Error::Corrupt(_))
+        ));
+        assert_eq!(mgr.latest_good().unwrap().0, 3);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn write_faults_retry_with_backoff_then_succeed() {
+        let root = tmp_root("retry");
+        let mgr = CheckpointManager::new(&root)
+            .unwrap()
+            .with_retry(RetryPolicy {
+                attempts: 3,
+                base_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(4),
+            });
+        // Fail the first two attempts of every write.
+        mgr.inject_write_faults(|_step, attempt| {
+            (attempt < 2).then(|| std::io::Error::other("injected ENOSPC"))
+        });
+        let p = mgr.write(&snap_at(5, 5.0)).unwrap();
+        CheckpointManager::verify(&p).unwrap();
+        let st = mgr.stats();
+        assert_eq!(st.writes, 1);
+        assert_eq!(st.write_failures, 2);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn exhausted_retries_surface_the_error() {
+        let root = tmp_root("giveup");
+        let mgr = CheckpointManager::new(&root)
+            .unwrap()
+            .with_retry(RetryPolicy {
+                attempts: 2,
+                base_backoff: Duration::from_millis(1),
+                max_backoff: Duration::from_millis(2),
+            });
+        mgr.inject_write_faults(|_, _| Some(std::io::Error::other("disk on fire")));
+        assert!(matches!(mgr.write(&snap_at(9, 9.0)), Err(Error::Io(_))));
+        assert_eq!(mgr.stats().writes, 0);
+        assert_eq!(mgr.stats().write_failures, 2);
+        // No half-written checkpoint became visible.
+        assert!(mgr.checkpoints().is_empty());
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn d2h_bytes_are_charged_to_the_device() {
+        use exastro_parallel::{DeviceConfig, SimDevice};
+        let root = tmp_root("d2h");
+        let dev = SimDevice::new(DeviceConfig::v100());
+        let mgr = CheckpointManager::new(&root)
+            .unwrap()
+            .with_device(dev.clone());
+        let snap = snap_at(1, 1.0);
+        mgr.write(&snap).unwrap();
+        let ds = dev.stats();
+        assert_eq!(ds.d2h_copies, 1);
+        assert_eq!(ds.d2h_bytes, snap.payload_bytes());
+        assert!(ds.d2h_us > 0.0);
+        let _ = fs::remove_dir_all(&root);
+    }
+}

@@ -18,7 +18,9 @@
 //! * [`solvers`] — multigrid and Krylov solvers;
 //! * [`castro`] — compressible reactive hydro + gravity;
 //! * [`maestro`] — low-Mach convection;
-//! * [`machine`] — the cluster performance simulator.
+//! * [`machine`] — the cluster performance simulator;
+//! * [`resilience`] — checkpoint/restart with integrity checking and
+//!   fault injection.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,4 +31,5 @@ pub use exastro_machine as machine;
 pub use exastro_maestro as maestro;
 pub use exastro_microphysics as microphysics;
 pub use exastro_parallel as parallel;
+pub use exastro_resilience as resilience;
 pub use exastro_solvers as solvers;

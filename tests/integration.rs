@@ -253,6 +253,309 @@ fn legacy_and_flat_structures_agree_through_full_driver() {
 }
 
 #[test]
+fn sedov_amr_restart_is_bit_exact() {
+    // The tentpole guarantee: kill a 2-level AMR Sedov run mid-way, restore
+    // from a CheckpointManager checkpoint, and the resumed run's states are
+    // bit-identical to the uninterrupted run's.
+    use exastro::resilience::snapshot::digest_states;
+    use exastro::resilience::{CheckpointManager, Clock};
+
+    let eos = GammaLaw::monatomic();
+    let net = CBurn2::new();
+    let layout = StateLayout::new(net.nspec());
+    let geom = Geometry::cube(32, 1.0, false);
+    let mut hier = Hierarchy::single_level(geom.clone(), 16, 4, 1, DistStrategy::RoundRobin);
+    let tags: Vec<IntVect> = IndexBox::new(IntVect::splat(10), IntVect::splat(21))
+        .iter()
+        .collect();
+    hier.regrid(
+        0,
+        &tags,
+        2,
+        &ClusterParams {
+            max_size: 32,
+            min_efficiency: 0.6,
+            blocking_factor: 4,
+        },
+    );
+    let mut states: Vec<MultiFab> = (0..2)
+        .map(|l| hier.make_multifab(l, layout.ncomp(), 2))
+        .collect();
+    let params = SedovParams::default();
+    for (l, state) in states.iter_mut().enumerate().take(2) {
+        let g = hier.level(l).geom.clone();
+        init_sedov(state, &g, &layout, &eos, &params);
+    }
+    let castro = sedov_castro(&eos, &net);
+    let step_dt = |sts: &[MultiFab]| castro.estimate_dt(&sts[1], &hier.level(1).geom).min(2e-3);
+
+    // Phase 1: 3 steps, then checkpoint through the manager.
+    let mut time = 0.0;
+    for _ in 0..3 {
+        let dt = step_dt(&states);
+        castro.advance_hierarchy(&hier, &mut states, dt);
+        time += dt;
+    }
+    let root = std::env::temp_dir().join(format!("exastro_amr_restart_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let mgr = CheckpointManager::new(&root).unwrap();
+    let clock = Clock {
+        step: 3,
+        time,
+        dt: 0.0,
+    };
+    let snap = exastro::castro::snapshot_hierarchy(&hier, &states, clock, &layout);
+    mgr.write(&snap).unwrap();
+
+    // Gold: the uninterrupted run continues 3 more steps.
+    let mut gold = states.clone();
+    for _ in 0..3 {
+        let dt = step_dt(&gold);
+        castro.advance_hierarchy(&hier, &mut gold, dt);
+    }
+
+    // Resume from disk and run the same 3 steps.
+    let restored = mgr.resume().unwrap();
+    assert_eq!(restored.clock.step, 3);
+    assert_eq!(restored.clock.time.to_bits(), time.to_bits());
+    let (hier2, mut resumed) =
+        exastro::castro::restore_hierarchy(&restored, 1, DistStrategy::RoundRobin, 16);
+    assert_eq!(hier2.nlevels(), 2);
+    for _ in 0..3 {
+        let dt = castro
+            .estimate_dt(&resumed[1], &hier2.level(1).geom)
+            .min(2e-3);
+        castro.advance_hierarchy(&hier2, &mut resumed, dt);
+    }
+    assert_eq!(
+        digest_states(&gold),
+        digest_states(&resumed),
+        "resumed 2-level run must match the uninterrupted run bit for bit"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn maestro_bubble_restart_is_bit_exact() {
+    // Same guarantee for the low-Mach driver, whose base state lives
+    // outside the MultiFab and rides in the snapshot's aux arrays.
+    use exastro::maestro::{bubble_maestro, init_bubble, BubbleParams, LmLayout};
+    use exastro::microphysics::StellarEos;
+    use exastro::resilience::snapshot::{digest_multifab, Clock};
+    use exastro::resilience::CheckpointManager;
+
+    let n = 16;
+    let geom = Geometry::new(
+        IndexBox::cube(n),
+        [0.0; 3],
+        [3.6e7; 3],
+        [true, true, false],
+        exastro::amr::CoordSys::Cartesian,
+    );
+    let ba = BoxArray::decompose(geom.domain(), 8, 4);
+    let eos = StellarEos;
+    let net = CBurn2::new();
+    let layout = LmLayout::new(net.nspec());
+    let mut state = MultiFab::local(ba, layout.ncomp(), 1);
+    let base = init_bubble(
+        &mut state,
+        &geom,
+        &layout,
+        &eos,
+        &net,
+        &BubbleParams::default(),
+    );
+    let maestro = bubble_maestro(&eos, &net, base);
+
+    let mut time = 0.0;
+    for _ in 0..2 {
+        let dt = maestro.estimate_dt(&state, &geom).min(4e-3);
+        maestro.advance(&mut state, &geom, dt);
+        time += dt;
+    }
+    let root = std::env::temp_dir().join(format!("exastro_lm_restart_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let mgr = CheckpointManager::new(&root).unwrap();
+    let clock = Clock {
+        step: 2,
+        time,
+        dt: 0.0,
+    };
+    let snap = exastro::maestro::snapshot_run(&geom, &state, &maestro.base, clock, &layout);
+    mgr.write(&snap).unwrap();
+
+    // Gold continues uninterrupted.
+    let mut gold = state.clone();
+    for _ in 0..2 {
+        let dt = maestro.estimate_dt(&gold, &geom).min(4e-3);
+        maestro.advance(&mut gold, &geom, dt);
+    }
+
+    // Resume: rebuild the base state from aux arrays, then re-enter the loop.
+    let restored = mgr.resume().unwrap();
+    let base2 = exastro::maestro::restore_base_state(&restored).expect("base state in snapshot");
+    assert_eq!(base2.rho0, maestro.base.rho0);
+    let maestro2 = bubble_maestro(&eos, &net, base2);
+    let mut resumed = restored.levels[0].state.clone();
+    for _ in 0..2 {
+        let dt = maestro2.estimate_dt(&resumed, &geom).min(4e-3);
+        maestro2.advance(&mut resumed, &geom, dt);
+    }
+    assert_eq!(
+        digest_multifab(&gold),
+        digest_multifab(&resumed),
+        "resumed low-Mach run must match the uninterrupted run bit for bit"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn wd_collision_restart_is_bit_exact() {
+    // The §V science-problem restart path: gravity + burning + strong
+    // shocks, checkpointed mid-approach and resumed bit-exactly.
+    use exastro::castro::{init_collision, BurnOptions, CollisionParams, T_IGNITION};
+    use exastro::microphysics::StellarEos;
+    use exastro::resilience::snapshot::digest_multifab;
+    use exastro::resilience::{CheckpointManager, Clock, Snapshot};
+
+    let eos: &'static StellarEos = Box::leak(Box::new(StellarEos));
+    let net: &'static CBurn2 = Box::leak(Box::new(CBurn2::new()));
+    let layout = StateLayout::new(net.nspec());
+    let params = CollisionParams {
+        v_approach: 6e8,
+        separation: 3.0,
+        ..Default::default()
+    };
+    let half_width = 2.5 * params.radius;
+    let n = 16;
+    let geom = Geometry::new(
+        IndexBox::cube(n),
+        [-half_width; 3],
+        [half_width; 3],
+        [false; 3],
+        exastro::amr::CoordSys::Cartesian,
+    );
+    let ba = BoxArray::decompose(geom.domain(), 8, 4);
+    let mut state = MultiFab::local(ba, layout.ncomp(), 2);
+    init_collision(&mut state, &geom, &layout, eos, net, &params);
+    let mut castro = Castro::new(eos, net);
+    castro.hydro.cfl = 0.2;
+    castro.gravity = Gravity {
+        mode: GravityMode::Monopole,
+        n_bins: 256,
+    };
+    castro.burn = Some(BurnOptions {
+        min_temp: 0.1 * T_IGNITION,
+        min_dens: 1e4,
+        ..Default::default()
+    });
+
+    for _ in 0..2 {
+        let dt = castro.estimate_dt(&state, &geom);
+        castro.advance_level(&mut state, &geom, dt);
+    }
+    let root = std::env::temp_dir().join(format!("exastro_wd_restart_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let mgr = CheckpointManager::new(&root).unwrap();
+    let snap = Snapshot::single_level(
+        geom.clone(),
+        state.clone(),
+        Clock {
+            step: 2,
+            time: 0.0,
+            dt: 0.0,
+        },
+        exastro::castro::variable_names(&layout),
+    );
+    mgr.write(&snap).unwrap();
+
+    let mut gold = state.clone();
+    for _ in 0..2 {
+        let dt = castro.estimate_dt(&gold, &geom);
+        castro.advance_level(&mut gold, &geom, dt);
+    }
+
+    let restored = mgr.resume().unwrap();
+    let mut resumed = restored.levels[0].state.clone();
+    for _ in 0..2 {
+        let dt = castro.estimate_dt(&resumed, &geom);
+        castro.advance_level(&mut resumed, &geom, dt);
+    }
+    assert_eq!(
+        digest_multifab(&gold),
+        digest_multifab(&resumed),
+        "resumed WD-collision run must match the uninterrupted run bit for bit"
+    );
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn corrupted_checkpoint_falls_back_to_last_good() {
+    // Bit-rot the newest checkpoint of a Sedov run: the manager must detect
+    // it via the manifest, fall back to the previous checkpoint, and the
+    // rerun from there must still reproduce the uninterrupted answer.
+    use exastro::resilience::snapshot::digest_multifab;
+    use exastro::resilience::{faults, CheckpointManager, Clock, Snapshot};
+
+    let eos = GammaLaw::monatomic();
+    let net = CBurn2::new();
+    let layout = StateLayout::new(net.nspec());
+    let geom = Geometry::cube(16, 1.0, false);
+    let ba = BoxArray::decompose(geom.domain(), 8, 4);
+    let mut state = MultiFab::local(ba, layout.ncomp(), 2);
+    let params = SedovParams::default();
+    init_sedov(&mut state, &geom, &layout, &eos, &params);
+    let castro = sedov_castro(&eos, &net);
+    let names = exastro::castro::variable_names(&layout);
+
+    let root = std::env::temp_dir().join(format!("exastro_corrupt_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let mgr = CheckpointManager::new(&root).unwrap().keep_last(3);
+
+    // Run 6 steps, checkpointing after steps 2 and 4; the state at step 6
+    // is the gold answer.
+    for step in 1..=6u64 {
+        let dt = castro.estimate_dt(&state, &geom).min(2e-3);
+        castro.advance_level(&mut state, &geom, dt);
+        if step == 2 || step == 4 {
+            let snap = Snapshot::single_level(
+                geom.clone(),
+                state.clone(),
+                Clock {
+                    step,
+                    time: 0.0,
+                    dt,
+                },
+                names.clone(),
+            );
+            mgr.write(&snap).unwrap();
+        }
+    }
+    let gold = digest_multifab(&state);
+
+    // Silent single-bit corruption in the newest checkpoint's payload.
+    let chk4 = root.join(CheckpointManager::checkpoint_name(4));
+    faults::flip_bit(&chk4.join("Level_00/fab_00000.bin"), 128, 5).unwrap();
+
+    // The manager detects it and falls back to step 2.
+    let restored = mgr.resume().unwrap();
+    assert_eq!(
+        restored.clock.step, 2,
+        "must fall back past the corrupt one"
+    );
+    assert!(mgr.stats().corrupt_detected >= 1);
+
+    // Redo steps 3..6 from the fallback: same final answer.
+    let mut resumed = restored.levels[0].state.clone();
+    for _ in 3..=6 {
+        let dt = castro.estimate_dt(&resumed, &geom).min(2e-3);
+        castro.advance_level(&mut resumed, &geom, dt);
+    }
+    assert_eq!(digest_multifab(&resumed), gold);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
 fn checkpoint_restart_resumes_identically() {
     // Run a Sedov blast, checkpoint mid-run, restart from disk, and verify
     // the continued run matches the uninterrupted one bitwise.
