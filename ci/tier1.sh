@@ -18,6 +18,15 @@ echo "== restart round-trip smoke =="
 cargo run --release --offline --example restart | tee /tmp/restart_smoke.log
 grep -q "RESTART OK" /tmp/restart_smoke.log
 
+echo "== fault-injection smoke =="
+# ~1% of burn zones are forced to fail and must be rescued by the retry
+# ladder (retries visible in the profiler report); a second phase with
+# unrecoverable faults must degrade to an emergency checkpoint plus a
+# structured error, never a panic.
+cargo run --release --offline --example fault_injection | tee /tmp/fault_smoke.log
+grep -q "FAULT RECOVERY OK" /tmp/fault_smoke.log
+grep -q "EMERGENCY CHECKPOINT OK" /tmp/fault_smoke.log
+
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --offline -- -D warnings
 

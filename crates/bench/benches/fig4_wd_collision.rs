@@ -71,7 +71,9 @@ fn run_collision(n: i32, max_steps: usize) -> RunResult {
     let mut t = 0.0;
     for step in 0..max_steps {
         let dt0 = castro.estimate_dt(&state, &geom);
-        let (stats, dt) = castro.advance_level_safe(&mut state, &geom, dt0);
+        let (stats, dt) = castro
+            .advance_level_safe(&mut state, &geom, dt0)
+            .expect("collision step unrecoverable");
         t += dt;
         if stats.max_temp >= T_IGNITION {
             let d = contact_diagnostics(&state, &geom);

@@ -74,7 +74,7 @@ fn print_table() {
     let dt = castro.estimate_dt(&state, &geom);
     let mut s = state.clone();
     let tput = measure_throughput(geom.domain().num_zones(), || {
-        castro.advance_level(&mut s, &geom, dt);
+        castro.advance_level(&mut s, &geom, dt).unwrap();
     });
     println!("host CPU core, real hydro    : {tput:>8.3}   (one core of this machine)\n");
 

@@ -10,7 +10,9 @@
 
 use crate::state::StateLayout;
 use exastro_amr::{Geometry, MultiFab, Real};
-use exastro_microphysics::{BdfError, Burner, Eos, Network};
+use exastro_microphysics::{
+    BurnFailure, BurnFaultConfig, Burner, Eos, LadderRung, Network, RecoveringBurner, RetryLadder,
+};
 use exastro_parallel::{ExecSpace, KernelProfile, SimDevice};
 
 /// Burn statistics for one multifab sweep.
@@ -26,9 +28,27 @@ pub struct BurnStats {
     pub max_steps: u64,
     /// Total nuclear energy released, erg.
     pub energy_released: Real,
-    /// Zones whose integration failed and were retried with looser
-    /// tolerance / left unburned.
-    pub failures: u64,
+    /// Retry-ladder attempts beyond the first, summed over zones.
+    pub retries: u64,
+    /// Zones that needed at least one retry to burn.
+    pub recovered: u64,
+    /// Zones rescued by the §VI outlier-offload rung.
+    pub offloaded: u64,
+}
+
+impl BurnStats {
+    /// Merge another sweep's statistics into this one (the two Strang
+    /// halves of a step report combined).
+    pub fn merge(&mut self, o: &BurnStats) {
+        self.zones += o.zones;
+        self.skipped += o.skipped;
+        self.total_steps += o.total_steps;
+        self.max_steps = self.max_steps.max(o.max_steps);
+        self.energy_released += o.energy_released;
+        self.retries += o.retries;
+        self.recovered += o.recovered;
+        self.offloaded += o.offloaded;
+    }
 }
 
 /// Burning options.
@@ -41,6 +61,12 @@ pub struct BurnOptions {
     /// Device register demand per burn thread; ~N² Jacobian entries for an
     /// N-species network easily exceeds the 255-register file (§IV-B).
     pub registers_per_thread: u32,
+    /// Step budget for the direct burn path (`None` = integrator default).
+    pub max_steps: Option<usize>,
+    /// The failure-recovery ladder (see [`exastro_microphysics::recovery`]).
+    pub ladder: RetryLadder,
+    /// Deterministic fault injection for tests and CI smoke runs.
+    pub faults: Option<BurnFaultConfig>,
 }
 
 impl Default for BurnOptions {
@@ -49,6 +75,9 @@ impl Default for BurnOptions {
             min_temp: 5e7,
             min_dens: 1e3,
             registers_per_thread: 320,
+            max_steps: None,
+            ladder: RetryLadder::default(),
+            faults: None,
         }
     }
 }
@@ -59,6 +88,13 @@ impl Default for BurnOptions {
 /// device cost model charges the launch with a per-zone cost derived from
 /// the actual integrator work, capturing the latency-hiding problem of
 /// nonuniform burns).
+///
+/// A zone whose integration fails is pushed through the retry ladder
+/// ([`BurnOptions::ladder`]); only if every rung fails does the sweep
+/// return an error — and then it finishes the sweep first and reports
+/// **all** failed zones, so the driver's step rejection sees the complete
+/// picture. On `Err` the state is partially burned and must be discarded
+/// (the drivers restore their pre-step snapshot).
 #[allow(clippy::too_many_arguments)]
 pub fn burn_state(
     state: &mut MultiFab,
@@ -69,16 +105,28 @@ pub fn burn_state(
     opts: &BurnOptions,
     ex: &ExecSpace,
     geom: &Geometry,
-) -> Result<BurnStats, BdfError> {
-    let burner = Burner::new(net, eos, Burner::default_options());
+) -> Result<BurnStats, Vec<BurnFailure>> {
+    let mut base = Burner::default_options();
+    if let Some(ms) = opts.max_steps {
+        base.max_steps = ms;
+    }
+    let burner =
+        RecoveringBurner::new(net, eos, base, &opts.ladder).with_faults(opts.faults.clone());
     let mut stats = BurnStats::default();
+    let mut failures: Vec<BurnFailure> = Vec::new();
     let nspec = layout.nspec;
     assert_eq!(nspec, net.nspec());
     let vol = geom.cell_volume();
+    // Deterministic flat zone index in sweep order: the fault-injection
+    // predicate and failure reports key on it, and it is identical between
+    // the two Strang halves of a step.
+    let mut zone_id = 0u64;
     for fi in 0..state.nfabs() {
         let vb = state.valid_box(fi);
         let fab = state.fab_mut(fi);
         for iv in vb.iter() {
+            let zone = zone_id;
+            zone_id += 1;
             let rho = fab.get(iv, StateLayout::RHO);
             let t = fab.get(iv, StateLayout::TEMP);
             if t < opts.min_temp || rho < opts.min_dens {
@@ -89,13 +137,22 @@ pub fn burn_state(
             for s in 0..nspec {
                 x[s] = (fab.get(iv, layout.spec(s)) / rho).clamp(0.0, 1.0);
             }
-            let out = match burner.burn(rho, t, &x, dt) {
-                Ok(o) => o,
-                Err(_) => {
-                    stats.failures += 1;
+            let rec = match burner.burn_zone(zone, rho, t, &x, dt) {
+                Ok(r) => r,
+                Err(f) => {
+                    failures.push(*f);
                     continue;
                 }
             };
+            if rec.retries > 0 {
+                exastro_parallel::Profiler::record_retries(rec.retries as u64);
+                stats.retries += rec.retries as u64;
+                stats.recovered += 1;
+            }
+            if rec.rung == LadderRung::Offload {
+                stats.offloaded += 1;
+            }
+            let out = rec.outcome;
             stats.zones += 1;
             stats.total_steps += out.stats.steps;
             stats.max_steps = stats.max_steps.max(out.stats.steps);
@@ -132,7 +189,11 @@ pub fn burn_state(
         let us = dev.launch(zones, &KernelProfile::new(cost, opts.registers_per_thread));
         exastro_parallel::Profiler::record_device_us(us);
     }
-    Ok(stats)
+    if failures.is_empty() {
+        Ok(stats)
+    } else {
+        Err(failures)
+    }
 }
 
 /// Estimate the device time (µs) a burn launch would take if outlier zones
@@ -316,6 +377,90 @@ mod tests {
         .unwrap();
         assert!(dev.stats().kernels >= 1);
         assert!(dev.elapsed_us() > 0.0);
+    }
+
+    #[test]
+    fn injected_faults_recover_through_the_ladder() {
+        let (geom, mut state, layout) = carbon_state(8, true);
+        let net = CBurn2::new();
+        let eos = StellarEos;
+        let ex = ExecSpace::Serial;
+        let opts = BurnOptions {
+            faults: Some(BurnFaultConfig {
+                seed: 2024,
+                rate: 1.0, // every burned zone fails once
+                rungs_to_fail: 1,
+                error: exastro_microphysics::BdfError::MaxSteps,
+            }),
+            ..Default::default()
+        };
+        let stats = burn_state(&mut state, 1e-8, &net, &eos, &layout, &opts, &ex, &geom).unwrap();
+        assert!(stats.zones > 0);
+        assert_eq!(stats.recovered, stats.zones, "every zone needed a retry");
+        assert_eq!(stats.retries, stats.zones);
+        assert_eq!(stats.offloaded, 0);
+        // Recovered state is still physical.
+        for iv in geom.domain().iter() {
+            let rho = state.value_at(iv, StateLayout::RHO);
+            let sum_x: Real = (0..2).map(|s| state.value_at(iv, layout.spec(s))).sum();
+            assert!((sum_x / rho - 1.0).abs() < 1e-6);
+            assert!(state.value_at(iv, StateLayout::TEMP).is_finite());
+        }
+    }
+
+    #[test]
+    fn every_bdf_error_variant_surfaces_through_burn_state() {
+        use exastro_microphysics::BdfError;
+        for err in [
+            BdfError::MaxSteps,
+            BdfError::StepUnderflow { t: 3.2e-9 },
+            BdfError::SingularMatrix,
+        ] {
+            let (geom, mut state, layout) = carbon_state(8, true);
+            let net = CBurn2::new();
+            let eos = StellarEos;
+            let ex = ExecSpace::Serial;
+            let opts = BurnOptions {
+                faults: Some(BurnFaultConfig {
+                    seed: 7,
+                    rate: 1.0,
+                    rungs_to_fail: 99, // unrecoverable
+                    error: err.clone(),
+                }),
+                ..Default::default()
+            };
+            let failures =
+                burn_state(&mut state, 1e-8, &net, &eos, &layout, &opts, &ex, &geom).unwrap_err();
+            assert!(!failures.is_empty());
+            for f in &failures {
+                assert_eq!(f.error, err);
+                assert_eq!(f.attempts, 4);
+                assert!(f.rho > 0.0 && f.t0 > 0.0);
+                assert_eq!(f.x0.len(), 2);
+            }
+        }
+    }
+
+    #[test]
+    fn genuine_max_steps_failure_surfaces_without_injection() {
+        // A starved step budget with the ladder disabled: the integrator's
+        // own MaxSteps error must reach the caller as a structured failure.
+        let (geom, mut state, layout) = carbon_state(8, true);
+        let net = CBurn2::new();
+        let eos = StellarEos;
+        let ex = ExecSpace::Serial;
+        let opts = BurnOptions {
+            max_steps: Some(2),
+            ladder: exastro_microphysics::RetryLadder::none(),
+            ..Default::default()
+        };
+        let failures =
+            burn_state(&mut state, 1e-8, &net, &eos, &layout, &opts, &ex, &geom).unwrap_err();
+        assert!(!failures.is_empty());
+        for f in &failures {
+            assert_eq!(f.error, exastro_microphysics::BdfError::MaxSteps);
+            assert!(f.stats.rhs_evals > 0, "genuine failure reports its cost");
+        }
     }
 
     #[test]

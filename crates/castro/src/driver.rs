@@ -9,8 +9,11 @@ use exastro_amr::{
     average_down, fill_patch_two_levels, BcSpec, FluxRegister, Geometry, Hierarchy, IntVect,
     MultiFab, Real,
 };
-use exastro_microphysics::{Composition, Eos, Network};
+use exastro_microphysics::{BurnFailure, Composition, Eos, Network};
 use exastro_parallel::{Arena, ExecSpace, PoolArena, Profiler};
+use exastro_resilience::recovery::{write_emergency, RecoveryOptions};
+use exastro_resilience::snapshot::{Clock, Snapshot};
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// Per-step statistics.
@@ -25,6 +28,119 @@ pub struct StepStats {
     /// Maximum density after the step.
     pub max_dens: Real,
 }
+
+/// A violation found by the post-step state validator.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StateViolation {
+    /// A state component is NaN or infinite.
+    NonFinite {
+        /// Component index in the state layout.
+        comp: usize,
+        /// The first offending zone.
+        zone: IntVect,
+    },
+    /// Density at or below zero.
+    NegativeDensity {
+        /// The offending density value.
+        rho: Real,
+        /// The first offending zone.
+        zone: IntVect,
+    },
+    /// Total or internal energy below zero.
+    NegativeEnergy {
+        /// The offending energy value.
+        e: Real,
+        /// The first offending zone.
+        zone: IntVect,
+    },
+    /// Species mass fractions drifted away from ΣX = 1.
+    SpeciesDrift {
+        /// The observed |ΣX − 1|.
+        drift: Real,
+        /// The first offending zone.
+        zone: IntVect,
+    },
+}
+
+impl std::fmt::Display for StateViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StateViolation::NonFinite { comp, zone } => {
+                write!(f, "non-finite value in component {comp} at {zone:?}")
+            }
+            StateViolation::NegativeDensity { rho, zone } => {
+                write!(f, "non-positive density {rho:.3e} at {zone:?}")
+            }
+            StateViolation::NegativeEnergy { e, zone } => {
+                write!(f, "negative energy {e:.3e} at {zone:?}")
+            }
+            StateViolation::SpeciesDrift { drift, zone } => {
+                write!(f, "|ΣX − 1| = {drift:.3e} at {zone:?}")
+            }
+        }
+    }
+}
+
+/// Why one attempted step could not be accepted. On `Err` the state passed
+/// to [`Castro::advance_level`] is tainted (partially advanced) and must be
+/// restored from a pre-step snapshot — [`Castro::advance_level_safe`] does
+/// exactly that.
+#[derive(Debug)]
+pub enum StepError {
+    /// One or more burn zones exhausted the retry ladder.
+    Burn(Vec<BurnFailure>),
+    /// The post-step validator rejected the state.
+    Invalid(StateViolation),
+}
+
+impl std::fmt::Display for StepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StepError::Burn(fails) => {
+                write!(f, "{} burn zone(s) failed all retries", fails.len())?;
+                if let Some(first) = fails.first() {
+                    write!(f, "; first: {first}")?;
+                }
+                Ok(())
+            }
+            StepError::Invalid(v) => write!(f, "post-step validation failed: {v}"),
+        }
+    }
+}
+
+impl std::error::Error for StepError {}
+
+/// A step that stayed unrecoverable through the whole rejection loop. The
+/// driver leaves the state restored to its pre-step contents, writes an
+/// emergency checkpoint when [`RecoveryOptions::emergency_dir`] is set,
+/// and returns this instead of aborting the process.
+#[derive(Debug)]
+pub struct DriverError {
+    /// The error from the final attempt.
+    pub error: StepError,
+    /// Step attempts made (1 initial + retries).
+    pub rejections: u32,
+    /// The smallest `dt` attempted before giving up.
+    pub dt_floor: Real,
+    /// Path of the emergency checkpoint, if one was written.
+    pub emergency_checkpoint: Option<PathBuf>,
+}
+
+impl std::fmt::Display for DriverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "step unrecoverable after {} attempt(s) (dt floor {:.3e}): {}",
+            self.rejections, self.dt_floor, self.error
+        )?;
+        if let Some(p) = &self.emergency_checkpoint {
+            write!(f, " [emergency checkpoint: {}]", p.display())?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for DriverError {}
 
 /// The Castro simulation object for one problem.
 pub struct Castro<'a> {
@@ -46,6 +162,8 @@ pub struct Castro<'a> {
     pub ex: ExecSpace,
     /// Scratch arena.
     pub arena: Arc<dyn Arena>,
+    /// Step-rejection policy and emergency-checkpoint destination.
+    pub recovery: RecoveryOptions,
 }
 
 impl<'a> Castro<'a> {
@@ -65,6 +183,7 @@ impl<'a> Castro<'a> {
             bc: BcSpec::outflow(),
             ex: ExecSpace::Serial,
             arena: Arc::new(PoolArena::new(None)),
+            recovery: RecoveryOptions::default(),
         }
     }
 
@@ -121,15 +240,64 @@ impl<'a> Castro<'a> {
         }
     }
 
+    /// Validate the post-step state: every component finite, density and
+    /// total energy positive, internal energy non-negative, and ΣX within
+    /// `species_tol` of unity. Returns the *first* violation in sweep
+    /// order (deterministic), or `Ok(())` for a healthy state.
+    pub fn validate_state(
+        &self,
+        state: &MultiFab,
+        species_tol: Real,
+    ) -> Result<(), StateViolation> {
+        let layout = self.layout;
+        for i in 0..state.nfabs() {
+            let vb = state.valid_box(i);
+            let fab = state.fab(i);
+            for iv in vb.iter() {
+                for c in 0..layout.ncomp() {
+                    if !fab.get(iv, c).is_finite() {
+                        return Err(StateViolation::NonFinite { comp: c, zone: iv });
+                    }
+                }
+                let rho = fab.get(iv, StateLayout::RHO);
+                if rho <= 0.0 {
+                    return Err(StateViolation::NegativeDensity { rho, zone: iv });
+                }
+                let eden = fab.get(iv, StateLayout::EDEN);
+                if eden <= 0.0 {
+                    return Err(StateViolation::NegativeEnergy { e: eden, zone: iv });
+                }
+                let eint = fab.get(iv, StateLayout::EINT);
+                if eint < 0.0 {
+                    return Err(StateViolation::NegativeEnergy { e: eint, zone: iv });
+                }
+                let mut xsum = 0.0;
+                for s in 0..layout.nspec {
+                    xsum += fab.get(iv, layout.spec(s)) / rho;
+                }
+                let drift = (xsum - 1.0).abs();
+                if drift > species_tol {
+                    return Err(StateViolation::SpeciesDrift { drift, zone: iv });
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Advance one level by `dt`: Strang burn half, hydro sweeps, gravity
-    /// source, EOS sync, Strang burn half. Returns step statistics and the
-    /// hydro fluxes (for refluxing).
+    /// source, EOS sync, Strang burn half, post-step validation. Returns
+    /// step statistics and the hydro fluxes (for refluxing).
+    ///
+    /// On `Err` the state has been partially advanced and must be restored
+    /// from a pre-step snapshot before continuing —
+    /// [`Castro::advance_level_safe`] wraps this call in exactly that
+    /// snapshot/restore transaction.
     pub fn advance_level(
         &self,
         state: &mut MultiFab,
         geom: &Geometry,
         dt: Real,
-    ) -> (StepStats, Vec<SweepFluxes>) {
+    ) -> Result<(StepStats, Vec<SweepFluxes>), StepError> {
         let _prof = Profiler::region("castro_advance");
         let mut stats = StepStats::default();
         if let Some(burn_opts) = &self.burn {
@@ -144,7 +312,7 @@ impl<'a> Castro<'a> {
                 &self.ex,
                 geom,
             )
-            .expect("first-half burn failed");
+            .map_err(StepError::Burn)?;
             stats.burn = b;
         }
         let fluxes = {
@@ -183,59 +351,96 @@ impl<'a> Castro<'a> {
                 &self.ex,
                 geom,
             )
-            .expect("second-half burn failed");
-            stats.burn.zones += b.zones;
-            stats.burn.total_steps += b.total_steps;
-            stats.burn.max_steps = stats.burn.max_steps.max(b.max_steps);
-            stats.burn.energy_released += b.energy_released;
-            stats.burn.failures += b.failures;
+            .map_err(StepError::Burn)?;
+            stats.burn.merge(&b);
+            stats.burn.skipped -= b.skipped; // halves see the same zones
+        }
+        {
+            let _r = Profiler::region("validate");
+            self.validate_state(state, self.recovery.species_tol)
+                .map_err(StepError::Invalid)?;
         }
         stats.max_temp = state.max(StateLayout::TEMP);
         stats.max_dens = state.max(StateLayout::RHO);
-        (stats, fluxes)
+        Ok((stats, fluxes))
     }
 
-    /// Advance one level with blow-up protection: if the updated state
-    /// contains non-finite values (a mid-step CFL violation through a
-    /// strengthening shock — the collision problem does this at contact),
-    /// the state is restored and the step retried with `dt/4`, up to four
-    /// times. Returns the stats and the `dt` actually taken.
+    /// Advance one level **transactionally**: snapshot the state, attempt
+    /// the step, and on any [`StepError`] (burn-ladder exhaustion, a
+    /// mid-step CFL violation through a strengthening shock — the collision
+    /// problem does this at contact — or any validator rejection) restore
+    /// the snapshot and retry with `dt` cut by [`RecoveryOptions::dt_cut`],
+    /// up to [`RecoveryOptions::max_rejections`] attempts. Returns the
+    /// stats and the `dt` actually taken.
+    ///
+    /// If every attempt fails the state is left **restored to its pre-step
+    /// contents**, an emergency checkpoint is written (when
+    /// [`RecoveryOptions::emergency_dir`] is set), and a structured
+    /// [`DriverError`] is returned — never a panic.
     pub fn advance_level_safe(
         &self,
         state: &mut MultiFab,
         geom: &Geometry,
         dt: Real,
-    ) -> (StepStats, Real) {
+    ) -> Result<(StepStats, Real), Box<DriverError>> {
         let mut try_dt = dt;
-        for _attempt in 0..4 {
+        let attempts = self.recovery.max_rejections.max(1);
+        let mut last_err = None;
+        for attempt in 0..attempts {
             let snapshot = state.clone();
-            let (stats, _) = self.advance_level(state, geom, try_dt);
-            let healthy = stats.max_dens.is_finite()
-                && stats.max_temp.is_finite()
-                && state.min(StateLayout::RHO).is_finite()
-                && state.min(StateLayout::RHO) > 0.0
-                && state.max(StateLayout::EDEN).is_finite();
-            if healthy {
-                return (stats, try_dt);
+            match self.advance_level(state, geom, try_dt) {
+                Ok((stats, _fluxes)) => return Ok((stats, try_dt)),
+                Err(e) => {
+                    *state = snapshot;
+                    last_err = Some(e);
+                    let _r = Profiler::region("step_reject");
+                    Profiler::record_retries(1);
+                    if attempt + 1 < attempts {
+                        try_dt *= self.recovery.dt_cut;
+                    }
+                }
             }
-            *state = snapshot;
-            try_dt *= 0.25;
         }
-        // Final attempt at the smallest dt, accepted as-is.
-        let (stats, _) = self.advance_level(state, geom, try_dt);
-        (stats, try_dt)
+        let emergency_checkpoint =
+            self.recovery.emergency_dir.as_deref().and_then(|dir| {
+                write_emergency(dir, &self.snapshot_level(state, geom, try_dt)).ok()
+            });
+        Err(Box::new(DriverError {
+            error: last_err.expect("at least one attempt was made"),
+            rejections: attempts,
+            dt_floor: try_dt,
+            emergency_checkpoint,
+        }))
+    }
+
+    /// Package the (pre-step) level state as a resilience snapshot for the
+    /// emergency-checkpoint path.
+    fn snapshot_level(&self, state: &MultiFab, geom: &Geometry, dt: Real) -> Snapshot {
+        Snapshot::single_level(
+            geom.clone(),
+            state.clone(),
+            Clock {
+                step: 0,
+                time: 0.0,
+                dt,
+            },
+            crate::restart::variable_names(&self.layout),
+        )
     }
 
     /// Advance a two-level (or more) hierarchy without subcycling: all
     /// levels take the same `dt`; conservation across coarse–fine
     /// boundaries is repaired by refluxing and the coarse data under fine
     /// grids is replaced by the averaged-down fine solution.
+    ///
+    /// Propagates the first level's [`StepError`]; as with
+    /// [`Castro::advance_level`], the states are tainted on `Err`.
     pub fn advance_hierarchy(
         &self,
         hier: &Hierarchy,
         states: &mut [MultiFab],
         dt: Real,
-    ) -> Vec<StepStats> {
+    ) -> Result<Vec<StepStats>, StepError> {
         assert_eq!(states.len(), hier.nlevels());
         let mut all_stats = Vec::new();
         // Fill fine-level ghosts from coarse data before anything moves.
@@ -258,7 +463,7 @@ impl<'a> Castro<'a> {
         let mut fluxes_per_level = Vec::new();
         for l in 0..hier.nlevels() {
             let geom = hier.level(l).geom.clone();
-            let (stats, fluxes) = self.advance_level(&mut states[l], &geom, dt);
+            let (stats, fluxes) = self.advance_level(&mut states[l], &geom, dt)?;
             all_stats.push(stats);
             fluxes_per_level.push(fluxes);
         }
@@ -318,7 +523,7 @@ impl<'a> Castro<'a> {
             let (coarse, fine) = states.split_at_mut(l);
             average_down(&fine[0], &mut coarse[l - 1], ratio);
         }
-        all_stats
+        Ok(all_stats)
     }
 
     /// Tag zones for refinement: temperature above `t_thresh` or density

@@ -40,7 +40,7 @@ pub mod wd_collision;
 pub use burn::{burn_state, hybrid_offload_estimate, BurnOptions, BurnStats};
 pub use diagnostics::{critical_zone_width, detonation_stability, StabilityReport};
 pub use diffusion::{diffuse, diffusion_dt, Conductivity};
-pub use driver::{Castro, StepStats};
+pub use driver::{Castro, DriverError, StateViolation, StepError, StepStats};
 pub use gravity::{Gravity, GravityField, GravityMode};
 pub use hydro::{Hydro, KernelStructure, SweepFluxes};
 pub use restart::{restore_hierarchy, snapshot_hierarchy, variable_names};

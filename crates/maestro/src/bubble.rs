@@ -8,7 +8,8 @@
 use crate::base_state::BaseState;
 use crate::lowmach::{LmLayout, Maestro};
 use exastro_amr::{Geometry, MultiFab, Real};
-use exastro_microphysics::{Composition, Eos, Network};
+use exastro_microphysics::{Composition, Eos, Network, RetryLadder};
+use exastro_resilience::recovery::RecoveryOptions;
 
 /// Bubble setup parameters (white-dwarf-core-like defaults).
 #[derive(Clone, Debug)]
@@ -150,5 +151,8 @@ pub fn bubble_maestro<'a>(eos: &'a dyn Eos, net: &'a dyn Network, base: BaseStat
         cfl: 0.5,
         do_burn: true,
         burn_min_temp: 1e8,
+        ladder: RetryLadder::default(),
+        burn_faults: None,
+        recovery: RecoveryOptions::default(),
     }
 }

@@ -13,9 +13,15 @@
 
 use crate::base_state::{rho_from_p_t, BaseState};
 use exastro_amr::{BcKind, BcSpec, Geometry, IntVect, MultiFab, Real, SPACEDIM};
-use exastro_microphysics::{Burner, Composition, Eos, Network};
+use exastro_microphysics::{
+    BurnFailure, BurnFaultConfig, Burner, Composition, Eos, LadderRung, Network, RecoveringBurner,
+    RetryLadder,
+};
 use exastro_parallel::Profiler;
+use exastro_resilience::recovery::{write_emergency, RecoveryOptions};
+use exastro_resilience::snapshot::Clock;
 use exastro_solvers::{MgBc, MgOptions, MgStats, Multigrid};
+use std::path::PathBuf;
 
 /// Component indices of the low-Mach state.
 #[derive(Clone, Copy, Debug)]
@@ -61,10 +67,136 @@ pub struct LmStepStats {
     pub projection: Option<MgStats>,
     /// Total burner integrator steps (reaction cost proxy).
     pub burn_steps: u64,
+    /// Burn retry-ladder attempts beyond the first, summed over zones.
+    pub burn_retries: u64,
+    /// Zones that needed at least one retry to burn.
+    pub burn_recovered: u64,
+    /// Zones rescued by the §VI outlier-offload rung.
+    pub burn_offloaded: u64,
     /// Peak temperature after the step.
     pub max_temp: Real,
     /// Peak vertical velocity.
     pub max_w: Real,
+}
+
+/// A violation found by the low-Mach post-step validator.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LmStateViolation {
+    /// A state component is NaN or infinite.
+    NonFinite {
+        /// Component index in the state layout.
+        comp: usize,
+        /// The first offending zone.
+        zone: IntVect,
+    },
+    /// Density at or below zero.
+    NegativeDensity {
+        /// The offending density value.
+        rho: Real,
+        /// The first offending zone.
+        zone: IntVect,
+    },
+    /// Temperature at or below zero.
+    NegativeTemperature {
+        /// The offending temperature value.
+        t: Real,
+        /// The first offending zone.
+        zone: IntVect,
+    },
+    /// Species mass fractions drifted away from ΣX = 1.
+    SpeciesDrift {
+        /// The observed |ΣX − 1|.
+        drift: Real,
+        /// The first offending zone.
+        zone: IntVect,
+    },
+}
+
+impl std::fmt::Display for LmStateViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LmStateViolation::NonFinite { comp, zone } => {
+                write!(f, "non-finite value in component {comp} at {zone:?}")
+            }
+            LmStateViolation::NegativeDensity { rho, zone } => {
+                write!(f, "non-positive density {rho:.3e} at {zone:?}")
+            }
+            LmStateViolation::NegativeTemperature { t, zone } => {
+                write!(f, "non-positive temperature {t:.3e} at {zone:?}")
+            }
+            LmStateViolation::SpeciesDrift { drift, zone } => {
+                write!(f, "|ΣX − 1| = {drift:.3e} at {zone:?}")
+            }
+        }
+    }
+}
+
+/// Why one attempted low-Mach step could not be accepted. On `Err` the
+/// state is tainted and must be restored from a pre-step snapshot
+/// ([`Maestro::advance_safe`] does that).
+#[derive(Debug)]
+pub enum LmStepError {
+    /// One or more reaction zones exhausted the retry ladder.
+    Burn(Vec<BurnFailure>),
+    /// The post-step validator rejected the state.
+    Invalid(LmStateViolation),
+}
+
+impl std::fmt::Display for LmStepError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LmStepError::Burn(fails) => {
+                write!(f, "{} reaction zone(s) failed all retries", fails.len())?;
+                if let Some(first) = fails.first() {
+                    write!(f, "; first: {first}")?;
+                }
+                Ok(())
+            }
+            LmStepError::Invalid(v) => write!(f, "post-step validation failed: {v}"),
+        }
+    }
+}
+
+impl std::error::Error for LmStepError {}
+
+/// An unrecoverable low-Mach step: the state is left restored to its
+/// pre-step contents and an emergency checkpoint (with the base state in
+/// the auxiliary arrays) is written when configured.
+#[derive(Debug)]
+pub struct LmDriverError {
+    /// The error from the final attempt.
+    pub error: LmStepError,
+    /// Step attempts made (1 initial + retries).
+    pub rejections: u32,
+    /// The smallest `dt` attempted before giving up.
+    pub dt_floor: Real,
+    /// Path of the emergency checkpoint, if one was written.
+    pub emergency_checkpoint: Option<PathBuf>,
+}
+
+impl std::fmt::Display for LmDriverError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "low-Mach step unrecoverable after {} attempt(s) (dt floor {:.3e}): {}",
+            self.rejections, self.dt_floor, self.error
+        )?;
+        if let Some(p) = &self.emergency_checkpoint {
+            write!(f, " [emergency checkpoint: {}]", p.display())?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for LmDriverError {}
+
+/// Per-sweep reaction totals (internal to [`Maestro::react`]).
+#[derive(Default)]
+struct ReactTotals {
+    steps: u64,
+    retries: u64,
+    recovered: u64,
+    offloaded: u64,
 }
 
 /// The low-Mach solver.
@@ -83,6 +215,12 @@ pub struct Maestro<'a> {
     pub do_burn: bool,
     /// Skip burning below this temperature.
     pub burn_min_temp: Real,
+    /// Burn failure-recovery ladder.
+    pub ladder: RetryLadder,
+    /// Deterministic burn fault injection (tests / CI smoke).
+    pub burn_faults: Option<BurnFaultConfig>,
+    /// Step-rejection policy and emergency-checkpoint destination.
+    pub recovery: RecoveryOptions,
 }
 
 impl<'a> Maestro<'a> {
@@ -264,14 +402,24 @@ impl<'a> Maestro<'a> {
     }
 
     /// React every zone for `dt` (temperature and composition evolve at
-    /// constant local density).
-    fn react(&self, state: &mut MultiFab, dt: Real) -> u64 {
-        let burner = Burner::new(self.net, self.eos, Burner::default_options());
+    /// constant local density), with failed zones retried through the
+    /// configured [`RetryLadder`]. Zone ids follow the sweep order over all
+    /// valid zones — including skipped cold zones — so they are identical
+    /// between the two Strang halves, which makes fault injection and
+    /// failure reports reproducible.
+    fn react(&self, state: &mut MultiFab, dt: Real) -> Result<ReactTotals, Vec<BurnFailure>> {
+        let burner =
+            RecoveringBurner::new(self.net, self.eos, Burner::default_options(), &self.ladder)
+                .with_faults(self.burn_faults.clone());
         let nspec = self.layout.nspec;
-        let mut total_steps = 0;
+        let mut totals = ReactTotals::default();
+        let mut failures: Vec<BurnFailure> = Vec::new();
+        let mut zone_id: u64 = 0;
         for i in 0..state.nfabs() {
             let vb = state.valid_box(i);
             for iv in vb.iter() {
+                let id = zone_id;
+                zone_id += 1;
                 let t = state.fab(i).get(iv, LmLayout::TEMP);
                 if t < self.burn_min_temp {
                     continue;
@@ -281,26 +429,97 @@ impl<'a> Maestro<'a> {
                 for s in 0..nspec {
                     x[s] = state.fab(i).get(iv, self.layout.spec(s)).clamp(0.0, 1.0);
                 }
-                if let Ok(out) = burner.burn(rho, t, &x, dt) {
-                    total_steps += out.stats.steps;
-                    state.fab_mut(i).set(iv, LmLayout::TEMP, out.t);
-                    for s in 0..nspec {
-                        state.fab_mut(i).set(iv, self.layout.spec(s), out.x[s]);
+                match burner.burn_zone(id, rho, t, &x, dt) {
+                    Ok(rec) => {
+                        totals.steps += rec.outcome.stats.steps;
+                        if rec.retries > 0 {
+                            Profiler::record_retries(rec.retries as u64);
+                            totals.retries += rec.retries as u64;
+                            totals.recovered += 1;
+                            if rec.rung == LadderRung::Offload {
+                                totals.offloaded += 1;
+                            }
+                        }
+                        state.fab_mut(i).set(iv, LmLayout::TEMP, rec.outcome.t);
+                        for s in 0..nspec {
+                            state
+                                .fab_mut(i)
+                                .set(iv, self.layout.spec(s), rec.outcome.x[s]);
+                        }
                     }
+                    // Keep sweeping: report every hard zone, not just the
+                    // first one found.
+                    Err(f) => failures.push(*f),
                 }
             }
         }
-        total_steps
+        if failures.is_empty() {
+            Ok(totals)
+        } else {
+            Err(failures)
+        }
+    }
+
+    /// Check the post-step state for physical sanity: every component
+    /// finite, density and temperature positive, ΣX within `species_tol`
+    /// of one. Returns the first violation in sweep order.
+    pub fn validate_state(
+        &self,
+        state: &MultiFab,
+        species_tol: Real,
+    ) -> Result<(), LmStateViolation> {
+        let ncomp = self.layout.ncomp();
+        let nspec = self.layout.nspec;
+        for (i, vb) in state.iter_boxes() {
+            for iv in vb.iter() {
+                for c in 0..ncomp {
+                    let v = state.fab(i).get(iv, c);
+                    if !v.is_finite() {
+                        return Err(LmStateViolation::NonFinite { comp: c, zone: iv });
+                    }
+                }
+                let rho = state.fab(i).get(iv, LmLayout::RHO);
+                if rho <= 0.0 {
+                    return Err(LmStateViolation::NegativeDensity { rho, zone: iv });
+                }
+                let t = state.fab(i).get(iv, LmLayout::TEMP);
+                if t <= 0.0 {
+                    return Err(LmStateViolation::NegativeTemperature { t, zone: iv });
+                }
+                let mut sum = 0.0;
+                for s in 0..nspec {
+                    sum += state.fab(i).get(iv, self.layout.spec(s));
+                }
+                let drift = (sum - 1.0).abs();
+                if drift > species_tol {
+                    return Err(LmStateViolation::SpeciesDrift { drift, zone: iv });
+                }
+            }
+        }
+        Ok(())
     }
 
     /// One full low-Mach step with Strang-split reactions.
-    pub fn advance(&self, state: &mut MultiFab, geom: &Geometry, dt: Real) -> LmStepStats {
+    ///
+    /// On `Err` the state is **tainted** — partially advanced — and must be
+    /// restored from a pre-step snapshot; [`Maestro::advance_safe`] wraps
+    /// this call in exactly that snapshot/restore transaction.
+    pub fn advance(
+        &self,
+        state: &mut MultiFab,
+        geom: &Geometry,
+        dt: Real,
+    ) -> Result<LmStepStats, LmStepError> {
         let _prof = Profiler::region("maestro_advance");
         let mut stats = LmStepStats::default();
         let bc = self.bc();
         if self.do_burn {
             let _r = Profiler::region("react");
-            stats.burn_steps += self.react(state, 0.5 * dt);
+            let t = self.react(state, 0.5 * dt).map_err(LmStepError::Burn)?;
+            stats.burn_steps += t.steps;
+            stats.burn_retries += t.retries;
+            stats.burn_recovered += t.recovered;
+            stats.burn_offloaded += t.offloaded;
         }
         {
             let _r = Profiler::region("enforce_density");
@@ -320,18 +539,84 @@ impl<'a> Maestro<'a> {
         stats.projection = Some(proj);
         if self.do_burn {
             let _r = Profiler::region("react");
-            stats.burn_steps += self.react(state, 0.5 * dt);
+            let t = self.react(state, 0.5 * dt).map_err(LmStepError::Burn)?;
+            stats.burn_steps += t.steps;
+            stats.burn_retries += t.retries;
+            stats.burn_recovered += t.recovered;
+            stats.burn_offloaded += t.offloaded;
         }
         {
             let _r = Profiler::region("enforce_density");
             self.enforce_density(state, geom);
+        }
+        {
+            let _r = Profiler::region("validate");
+            self.validate_state(state, self.recovery.species_tol)
+                .map_err(LmStepError::Invalid)?;
         }
         stats.max_temp = state.max(LmLayout::TEMP);
         stats.max_w = state
             .max(LmLayout::W)
             .abs()
             .max(state.min(LmLayout::W).abs());
-        stats
+        Ok(stats)
+    }
+
+    /// Advance one step **transactionally**: snapshot the state, attempt
+    /// the step, and on any [`LmStepError`] restore the snapshot and retry
+    /// with `dt` cut by [`RecoveryOptions::dt_cut`], up to
+    /// [`RecoveryOptions::max_rejections`] attempts. Returns the stats and
+    /// the `dt` actually taken.
+    ///
+    /// If every attempt fails the state is left **restored to its pre-step
+    /// contents**, an emergency checkpoint — carrying the base state in its
+    /// auxiliary arrays, so the run resumes bit-exact — is written when
+    /// [`RecoveryOptions::emergency_dir`] is set, and a structured
+    /// [`LmDriverError`] is returned — never a panic.
+    pub fn advance_safe(
+        &self,
+        state: &mut MultiFab,
+        geom: &Geometry,
+        dt: Real,
+    ) -> Result<(LmStepStats, Real), Box<LmDriverError>> {
+        let mut try_dt = dt;
+        let attempts = self.recovery.max_rejections.max(1);
+        let mut last_err = None;
+        for attempt in 0..attempts {
+            let snapshot = state.clone();
+            match self.advance(state, geom, try_dt) {
+                Ok(stats) => return Ok((stats, try_dt)),
+                Err(e) => {
+                    *state = snapshot;
+                    last_err = Some(e);
+                    let _r = Profiler::region("step_reject");
+                    Profiler::record_retries(1);
+                    if attempt + 1 < attempts {
+                        try_dt *= self.recovery.dt_cut;
+                    }
+                }
+            }
+        }
+        let emergency_checkpoint = self.recovery.emergency_dir.as_deref().and_then(|dir| {
+            let snap = crate::restart::snapshot_run(
+                geom,
+                state,
+                &self.base,
+                Clock {
+                    step: 0,
+                    time: 0.0,
+                    dt: try_dt,
+                },
+                &self.layout,
+            );
+            write_emergency(dir, &snap).ok()
+        });
+        Err(Box::new(LmDriverError {
+            error: last_err.expect("at least one attempt was made"),
+            rejections: attempts,
+            dt_floor: try_dt,
+            emergency_checkpoint,
+        }))
     }
 }
 
@@ -462,7 +747,7 @@ mod tests {
         let mut height_trace = vec![d0.bubble_height];
         for _ in 0..6 {
             let dt = maestro.estimate_dt(&state, &geom).min(5e-3);
-            let stats = maestro.advance(&mut state, &geom, dt);
+            let stats = maestro.advance(&mut state, &geom, dt).unwrap();
             assert!(stats.projection.as_ref().unwrap().cycles > 0);
             height_trace.push(bubble_diagnostics(&state, &geom, &layout, 6e8).bubble_height);
         }
@@ -479,6 +764,73 @@ mod tests {
             height_trace.last().unwrap() >= &height_trace[0],
             "bubble should not sink: {height_trace:?}"
         );
+    }
+
+    #[test]
+    fn injected_burn_faults_recover_through_the_ladder() {
+        use exastro_microphysics::{BdfError, BurnFaultConfig};
+        let (geom, mut state, mut maestro, layout) = bubble_setup(16);
+        maestro.burn_faults = Some(BurnFaultConfig {
+            seed: 7,
+            rate: 1.0,
+            rungs_to_fail: 1,
+            error: BdfError::MaxSteps,
+        });
+        let dt = maestro.estimate_dt(&state, &geom).min(5e-3);
+        let stats = maestro.advance(&mut state, &geom, dt).unwrap();
+        // Every burning zone failed once and recovered on the first retry.
+        assert!(stats.burn_recovered > 0, "no zones recovered");
+        assert_eq!(stats.burn_retries, stats.burn_recovered);
+        // Recovered state stays physical.
+        maestro
+            .validate_state(&state, maestro.recovery.species_tol)
+            .unwrap();
+        let _ = layout;
+    }
+
+    #[test]
+    fn unrecoverable_faults_restore_state_and_checkpoint() {
+        use exastro_microphysics::{BdfError, BurnFaultConfig};
+        let (geom, mut state, mut maestro, _layout) = bubble_setup(16);
+        maestro.burn_faults = Some(BurnFaultConfig {
+            seed: 11,
+            rate: 1.0,
+            rungs_to_fail: 99, // beyond the ladder: never recovers
+            error: BdfError::SingularMatrix,
+        });
+        let dir = std::env::temp_dir().join(format!("exastro-lm-emrg-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        maestro.recovery = RecoveryOptions {
+            max_rejections: 2,
+            ..RecoveryOptions::default()
+        }
+        .with_emergency_dir(&dir);
+        let before = state.clone();
+        let err = maestro.advance_safe(&mut state, &geom, 1e-3).unwrap_err();
+        assert!(matches!(err.error, LmStepError::Burn(ref f) if !f.is_empty()));
+        assert_eq!(err.rejections, 2);
+        assert!(err.dt_floor < 1e-3);
+        // The state was restored to its pre-step contents...
+        for (i, vb) in state.iter_boxes() {
+            for iv in vb.iter() {
+                for c in 0..maestro.layout.ncomp() {
+                    assert_eq!(
+                        state.fab(i).get(iv, c).to_bits(),
+                        before.fab(i).get(iv, c).to_bits()
+                    );
+                }
+            }
+        }
+        // ...and an emergency checkpoint with the base state landed on disk.
+        let path = err.emergency_checkpoint.expect("emergency checkpoint");
+        assert!(path.is_dir());
+        let snap = exastro_resilience::CheckpointManager::new(&dir)
+            .unwrap()
+            .resume()
+            .unwrap();
+        let base = crate::restart::restore_base_state(&snap).expect("base state in aux arrays");
+        assert_eq!(base.rho0, maestro.base.rho0);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]
@@ -511,7 +863,7 @@ mod tests {
         let base = init_bubble(&mut state, &geom, &layout, &EOS, net, &params);
         let maestro = bubble_maestro(&EOS, net, base);
         for _ in 0..3 {
-            maestro.advance(&mut state, &geom, 1e-3);
+            maestro.advance(&mut state, &geom, 1e-3).unwrap();
         }
         // Buoyancy residual from the discrete hydrostatic base is small:
         // velocities stay far below the convective scale (~1e6 cm/s).

@@ -126,6 +126,21 @@ impl<'a> Burner<'a> {
     /// Burn one zone at density `rho` from temperature `t0` and mass
     /// fractions `x0` for `dt` seconds.
     pub fn burn(&self, rho: f64, t0: f64, x0: &[f64], dt: f64) -> Result<BurnOutcome, BdfError> {
+        self.burn_traced(rho, t0, x0, dt, BdfStats::default()).0
+    }
+
+    /// Like [`Burner::burn`], but threads an accumulating [`BdfStats`]
+    /// through the call so the integration cost is reported **even on
+    /// failure** — the retry ladder uses this to charge every attempt to
+    /// the zone's [`crate::recovery::BurnFailure`] record.
+    pub fn burn_traced(
+        &self,
+        rho: f64,
+        t0: f64,
+        x0: &[f64],
+        dt: f64,
+        mut stats: BdfStats,
+    ) -> (Result<BurnOutcome, BdfError>, BdfStats) {
         let _prof = exastro_parallel::Profiler::region("burner");
         exastro_parallel::Profiler::record_zones(1);
         let n = self.net.nspec();
@@ -140,7 +155,12 @@ impl<'a> Burner<'a> {
             rho,
             self_heat: self.self_heat,
         };
-        let stats = self.integ.integrate(&sys, 0.0, dt, &mut y)?;
+        if let Err(e) = self
+            .integ
+            .integrate_with_stats(&sys, 0.0, dt, &mut y, &mut stats)
+        {
+            return (Err(e), stats);
+        }
         let mut x = vec![0.0; n];
         molar_to_mass(self.net.species(), &y[..n], &mut x);
         // Renormalize against integration drift.
@@ -157,12 +177,13 @@ impl<'a> Burner<'a> {
             .sum::<f64>()
             * N_A
             * MEV_TO_ERG;
-        Ok(BurnOutcome {
+        let outcome = BurnOutcome {
             x,
             t: y[n],
             enuc,
             stats,
-        })
+        };
+        (Ok(outcome), stats)
     }
 
     /// Integrate until the temperature first reaches `t_ignite` (the paper

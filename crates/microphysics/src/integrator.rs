@@ -106,6 +106,9 @@ pub enum BdfError {
     },
     /// The Newton matrix was singular beyond recovery.
     SingularMatrix,
+    /// The integration "succeeded" but left non-finite state behind (used
+    /// by post-integration validators, e.g. the burn retry ladder).
+    NonFinite,
 }
 
 impl std::fmt::Display for BdfError {
@@ -114,6 +117,7 @@ impl std::fmt::Display for BdfError {
             BdfError::MaxSteps => write!(f, "BDF: exceeded maximum step count"),
             BdfError::StepUnderflow { t } => write!(f, "BDF: step size underflow at t = {t}"),
             BdfError::SingularMatrix => write!(f, "BDF: singular Newton matrix"),
+            BdfError::NonFinite => write!(f, "BDF: integration produced non-finite state"),
         }
     }
 }
@@ -237,11 +241,31 @@ impl BdfIntegrator {
         tend: f64,
         y: &mut [f64],
     ) -> Result<BdfStats, BdfError> {
+        let mut stats = BdfStats::default();
+        self.integrate_with_stats(sys, t0, tend, y, &mut stats)?;
+        Ok(stats)
+    }
+
+    /// Like [`BdfIntegrator::integrate`], but accumulates into a
+    /// caller-owned [`BdfStats`] so the work spent is visible **even when
+    /// the integration fails** — the retry ladder charges every rung's cost
+    /// to the zone's failure record. Counters are added to whatever is
+    /// already in `stats` (pass a fresh `BdfStats::default()` for a single
+    /// attempt); `final_order` is overwritten with the order in use when
+    /// this call returned.
+    pub fn integrate_with_stats(
+        &self,
+        sys: &dyn OdeSystem,
+        t0: f64,
+        tend: f64,
+        y: &mut [f64],
+        stats: &mut BdfStats,
+    ) -> Result<(), BdfError> {
         assert_eq!(y.len(), sys.dim());
         assert!(tend > t0);
         let n = sys.dim();
         let max_order = self.opts.max_order.clamp(1, 5);
-        let mut stats = BdfStats::default();
+        let work_at_entry = stats.steps + stats.rejected;
         let mut ws = Workspace {
             ycur: vec![0.0; n],
             acor: vec![0.0; n],
@@ -280,8 +304,9 @@ impl BdfIntegrator {
         let mut have_acor_prev = false;
 
         while t < tend - 1e-14 * (tend - t0).abs() {
-            if stats.steps + stats.rejected > self.opts.max_steps as u64 {
+            if stats.steps + stats.rejected - work_at_entry > self.opts.max_steps as u64 {
                 y.copy_from_slice(&z[0]);
+                stats.final_order = q;
                 return Err(BdfError::MaxSteps);
             }
             // Clamp to land on tend.
@@ -316,6 +341,7 @@ impl BdfIntegrator {
                         stats.rejected += 1;
                         if h * 0.25 < hmin {
                             y.copy_from_slice(&z[0]);
+                            stats.final_order = q;
                             return Err(BdfError::SingularMatrix);
                         }
                         rescale(&mut z, q, 0.25);
@@ -375,6 +401,7 @@ impl BdfIntegrator {
                 newton_fails += 1;
                 if h * 0.25 < hmin {
                     y.copy_from_slice(&z[0]);
+                    stats.final_order = q;
                     return Err(BdfError::StepUnderflow { t });
                 }
                 rescale(&mut z, q, 0.25);
@@ -398,6 +425,7 @@ impl BdfIntegrator {
                 let r = (0.9 * est.powf(-1.0 / (q as f64 + 1.0))).clamp(0.1, 0.9);
                 if h * r < hmin {
                     y.copy_from_slice(&z[0]);
+                    stats.final_order = q;
                     return Err(BdfError::StepUnderflow { t });
                 }
                 rescale(&mut z, q, r);
@@ -481,7 +509,7 @@ impl BdfIntegrator {
         }
         y.copy_from_slice(&z[0]);
         stats.final_order = q;
-        Ok(stats)
+        Ok(())
     }
 }
 
@@ -766,6 +794,36 @@ mod tests {
             integ.integrate(&sys, 0.0, 1.0, &mut y).unwrap_err(),
             BdfError::MaxSteps
         );
+    }
+
+    #[test]
+    fn stats_survive_a_failed_integration() {
+        let sys = Decay { k: 1.0 };
+        let mut y = [1.0];
+        let integ = BdfIntegrator::new(BdfOptions {
+            max_steps: 3,
+            rtol: 1e-12,
+            atol: vec![1e-14],
+            h0: Some(1e-9),
+            ..Default::default()
+        });
+        let mut stats = BdfStats::default();
+        let err = integ
+            .integrate_with_stats(&sys, 0.0, 1.0, &mut y, &mut stats)
+            .unwrap_err();
+        assert_eq!(err, BdfError::MaxSteps);
+        assert!(stats.rhs_evals > 0, "failed run must still report its cost");
+        assert!(stats.steps + stats.rejected > 3);
+
+        // Accumulation: a second call adds to the same counters and the
+        // max-steps budget is measured from entry, not from zero.
+        let before = stats.rhs_evals;
+        let mut y2 = [1.0];
+        let err2 = integ
+            .integrate_with_stats(&sys, 0.0, 1.0, &mut y2, &mut stats)
+            .unwrap_err();
+        assert_eq!(err2, BdfError::MaxSteps);
+        assert!(stats.rhs_evals > before);
     }
 
     #[test]

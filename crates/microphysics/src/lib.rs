@@ -14,7 +14,9 @@
 //!   `triple_alpha`, and `aprox13` networks;
 //! * [`linalg`] — dense LU and the sparsity-pattern-compiled solver;
 //! * [`integrator`] — the VODE-style variable-order BDF integrator;
-//! * [`burner`] — the self-heating zone burner used by the hydro codes.
+//! * [`burner`] — the self-heating zone burner used by the hydro codes;
+//! * [`recovery`] — the burn retry ladder (relaxed tolerances → subcycling
+//!   → §VI outlier offload) with deterministic fault injection.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,6 +32,7 @@ pub mod integrator;
 pub mod linalg;
 pub mod network;
 pub mod rates;
+pub mod recovery;
 pub mod species;
 
 pub use burner::{BurnOutcome, Burner};
@@ -38,4 +41,8 @@ pub use integrator::{rk4, BdfError, BdfIntegrator, BdfOptions, BdfStats, NewtonS
 pub use linalg::{CompiledLu, DenseLu, Singular, SparsePattern};
 pub use network::{Aprox13, CBurn2, Iso7, Network, Reaction, TripleAlpha};
 pub use rates::{gamow_tau_alpha, screening_factor, Rate};
+pub use recovery::{
+    BurnFailure, BurnFaultConfig, LadderRung, OffloadOptions, RecoveredBurn, RecoveringBurner,
+    RetryLadder,
+};
 pub use species::{energy_rate, mass_to_molar, molar_to_mass, Composition, Species};

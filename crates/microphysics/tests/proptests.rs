@@ -208,3 +208,69 @@ proptest! {
         prop_assert!(net.eps(rho, t, &y) >= 0.0);
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn recovered_burns_are_finite_and_conserve_species(
+        log_rho in 5.0f64..7.8,
+        log_t in 8.8f64..9.5,
+        xc in 0.3f64..1.0,
+        log_dt in -8.0f64..-5.0,
+        seed in 0u64..1000,
+        rungs_to_fail in 0u32..4,
+        variant in 0usize..4,
+    ) {
+        // Whatever rung of the retry ladder ends up rescuing a zone, the
+        // recovered state must be physical: finite everywhere with the
+        // species mass fractions summing to one.
+        use exastro_microphysics::{
+            BdfError, BurnFaultConfig, Burner, LadderRung, RecoveringBurner, RetryLadder,
+        };
+        let net = CBurn2::new();
+        let eos = StellarEos;
+        let rho = 10f64.powf(log_rho);
+        let t0 = 10f64.powf(log_t);
+        let dt = 10f64.powf(log_dt);
+        let x0 = vec![xc, 1.0 - xc];
+        let error = match variant {
+            0 => BdfError::MaxSteps,
+            1 => BdfError::StepUnderflow { t: 0.0 },
+            2 => BdfError::SingularMatrix,
+            _ => BdfError::NonFinite,
+        };
+        let ladder = RetryLadder::default();
+        let burner = RecoveringBurner::new(&net, &eos, Burner::default_options(), &ladder)
+            .with_faults(Some(BurnFaultConfig {
+                seed,
+                rate: 1.0,
+                rungs_to_fail,
+                error,
+            }));
+        match burner.burn_zone(seed, rho, t0, &x0, dt) {
+            Ok(rec) => {
+                prop_assert!(rec.outcome.t.is_finite() && rec.outcome.t > 0.0);
+                prop_assert!(rec.outcome.enuc.is_finite());
+                let mut sum = 0.0;
+                for &x in &rec.outcome.x {
+                    prop_assert!(x.is_finite() && (-1e-8..=1.0 + 1e-8).contains(&x));
+                    sum += x;
+                }
+                prop_assert!((sum - 1.0).abs() <= 1e-6, "sum X = {sum}");
+                prop_assert!(rec.retries >= rungs_to_fail);
+                if rungs_to_fail > 0 {
+                    prop_assert!(rec.rung > LadderRung::Direct);
+                }
+            }
+            // The highest injected rung leaves only genuine attempts; a
+            // genuine failure must still be a fully structured report.
+            Err(f) => {
+                prop_assert_eq!(f.zone, seed);
+                prop_assert!(f.attempts >= 1);
+                prop_assert_eq!(f.x0.len(), 2);
+                prop_assert!(f.rho.is_finite() && f.t0.is_finite());
+            }
+        }
+    }
+}

@@ -45,7 +45,9 @@ pub use arena::{Arena, ArenaStats, MallocArena, PoolArena, ScratchBuf};
 pub use device::{DeviceConfig, DeviceStats, KernelProfile, SimDevice};
 pub use exec::{tiles_of, ExecSpace, TiledExec};
 pub use index::{IndexBox, IntVect, SPACEDIM};
-pub use pool::{par_each_mut, par_index_each, par_map_fold, PoolStats, Tasks, WorkerPool};
+pub use pool::{
+    par_each_mut, par_index_each, par_map_fold, try_par_for, PoolStats, Tasks, WorkerPool,
+};
 pub use profiler::{Profiler, Region, RegionStats};
 
 /// The floating-point type used throughout the suite.

@@ -27,8 +27,9 @@
 
 #![allow(unsafe_code)]
 
+use std::any::Any;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
 /// Counters describing pool behaviour since process start.
@@ -95,7 +96,9 @@ struct JobCore {
     ntasks: usize,
     departures: Mutex<usize>,
     departed_cv: Condvar,
-    panicked: AtomicBool,
+    /// First worker panic payload, rethrown verbatim on the caller thread
+    /// so `panic!("zone 372 ...")` survives the pool boundary.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
 }
 
 /// The participant body with its lifetime erased. Soundness: the registration
@@ -206,7 +209,7 @@ impl WorkerPool {
             ntasks,
             departures: Mutex::new(0),
             departed_cv: Condvar::new(),
-            panicked: AtomicBool::new(false),
+            panic: Mutex::new(None),
         };
         let want = max_threads.min(self.nworkers + 1);
         let nested = IN_POOL_WORKER.with(|f| f.get());
@@ -273,8 +276,10 @@ impl WorkerPool {
         if let Err(p) = caller_result {
             std::panic::resume_unwind(p);
         }
-        if core.panicked.load(Ordering::Relaxed) {
-            panic!("worker panicked in parallel region");
+        let worker_panic = core.panic.lock().unwrap().take();
+        if let Some(p) = worker_panic {
+            // Rethrow the worker's own payload, not a generic message.
+            std::panic::resume_unwind(p);
         }
     }
 }
@@ -312,8 +317,13 @@ fn worker_loop(shared: Arc<Shared>) {
             })
         }));
         IN_POOL_WORKER.with(|f| f.set(false));
-        if result.is_err() {
-            core.panicked.store(true, Ordering::Relaxed);
+        if let Err(p) = result {
+            let mut slot = core.panic.lock().unwrap();
+            // Keep the first payload; later ones are byproducts of the same
+            // failed region.
+            if slot.is_none() {
+                *slot = Some(p);
+            }
         }
         // Depart: after the unlock below we never touch the job again.
         let mut departed = core.departures.lock().unwrap();
@@ -358,6 +368,37 @@ pub fn par_each_mut_bounded<T: Send, F: Fn(usize, &mut T) + Sync>(
             f(i, item);
         }
     });
+}
+
+/// Fallible parallel-for: run `f(i)` for every `i in 0..n` on the global
+/// pool and collect the failures instead of unwinding the team. Every task
+/// runs regardless of other tasks' errors (a burn sweep wants the complete
+/// set of hard zones, not just the first), and the error list is sorted by
+/// index so the result is deterministic under any scheduling.
+pub fn try_par_for<E, F>(n: usize, max_threads: usize, f: F) -> Result<(), Vec<(usize, E)>>
+where
+    E: Send,
+    F: Fn(usize) -> Result<(), E> + Sync,
+{
+    let errors: Mutex<Vec<(usize, E)>> = Mutex::new(Vec::new());
+    WorkerPool::global().run(n, max_threads, &|tasks: Tasks<'_>| {
+        let mut local: Vec<(usize, E)> = Vec::new();
+        while let Some(i) = tasks.next_task() {
+            if let Err(e) = f(i) {
+                local.push((i, e));
+            }
+        }
+        if !local.is_empty() {
+            errors.lock().unwrap().append(&mut local);
+        }
+    });
+    let mut errs = errors.into_inner().unwrap();
+    if errs.is_empty() {
+        Ok(())
+    } else {
+        errs.sort_by_key(|(i, _)| *i);
+        Err(errs)
+    }
 }
 
 /// Fill `out[i] = f(i)` in parallel, then fold the results **in index
@@ -463,6 +504,59 @@ mod tests {
         });
         assert_eq!(hits.load(Ordering::Relaxed), 2);
         assert_eq!(pool.stats().serial_regions, 2);
+    }
+
+    #[test]
+    fn worker_panic_payload_is_preserved() {
+        // Force the panic onto a *worker* (not the caller): the caller
+        // claims tasks greedily, so give it a long task 0 while a worker
+        // hits the poisoned index.
+        let pool = WorkerPool::new(2);
+        for _ in 0..20 {
+            let result = catch_unwind(AssertUnwindSafe(|| {
+                pool.run(64, usize::MAX, &|tasks: Tasks<'_>| {
+                    while let Some(i) = tasks.next_task() {
+                        if i == 13 {
+                            panic!("zone 13 failed: SingularMatrix");
+                        }
+                        std::thread::yield_now();
+                    }
+                });
+            }));
+            let payload = result.expect_err("region must propagate the panic");
+            let msg = payload
+                .downcast_ref::<&str>()
+                .copied()
+                .or_else(|| payload.downcast_ref::<String>().map(|s| s.as_str()))
+                .expect("payload must still be the original message");
+            assert_eq!(msg, "zone 13 failed: SingularMatrix");
+        }
+    }
+
+    #[test]
+    fn try_par_for_collects_all_errors_in_order() {
+        let res: Result<(), Vec<(usize, String)>> = try_par_for(100, usize::MAX, |i| {
+            if i % 10 == 3 {
+                Err(format!("zone {i} is hard"))
+            } else {
+                Ok(())
+            }
+        });
+        let errs = res.unwrap_err();
+        let idx: Vec<usize> = errs.iter().map(|(i, _)| *i).collect();
+        assert_eq!(idx, vec![3, 13, 23, 33, 43, 53, 63, 73, 83, 93]);
+        assert_eq!(errs[1].1, "zone 13 is hard");
+    }
+
+    #[test]
+    fn try_par_for_ok_when_all_tasks_succeed() {
+        let hits = AtomicUsize::new(0);
+        let res: Result<(), Vec<(usize, ())>> = try_par_for(257, usize::MAX, |_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        });
+        assert!(res.is_ok());
+        assert_eq!(hits.load(Ordering::Relaxed), 257);
     }
 
     #[test]

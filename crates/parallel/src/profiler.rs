@@ -34,6 +34,9 @@ pub struct RegionStats {
     pub device_us: f64,
     /// Payload bytes moved inside the region (checkpoint I/O traffic).
     pub bytes: u64,
+    /// Recovery retries taken inside the region (burn ladder rungs beyond
+    /// the first attempt, driver step rejections).
+    pub retries: u64,
 }
 
 thread_local! {
@@ -103,6 +106,17 @@ impl Profiler {
         t.entry(path).or_default().bytes += bytes;
     }
 
+    /// Attribute `retries` recovery retries (burn-ladder rungs, step
+    /// rejections) to the innermost open region.
+    pub fn record_retries(retries: u64) {
+        if retries == 0 {
+            return;
+        }
+        let path = Self::current_path();
+        let mut t = table().lock().unwrap();
+        t.entry(path).or_default().retries += retries;
+    }
+
     /// Snapshot the full region table (path -> stats).
     pub fn snapshot() -> HashMap<String, RegionStats> {
         table().lock().unwrap().clone()
@@ -133,8 +147,8 @@ impl Profiler {
         let mut out = String::new();
         out.push_str("===================== execution telemetry =====================\n");
         out.push_str(&format!(
-            "{:<34} {:>7} {:>10} {:>6} {:>12} {:>12} {:>10}\n",
-            "region", "calls", "wall [ms]", "%top", "zones", "device [us]", "MB"
+            "{:<34} {:>7} {:>10} {:>6} {:>12} {:>12} {:>10} {:>8}\n",
+            "region", "calls", "wall [ms]", "%top", "zones", "device [us]", "MB", "retries"
         ));
         for (path, s) in rows {
             let pct = if total_ns > 0 {
@@ -143,14 +157,15 @@ impl Profiler {
                 0.0
             };
             out.push_str(&format!(
-                "{:<34} {:>7} {:>10.3} {:>5.1}% {:>12} {:>12.1} {:>10.2}\n",
+                "{:<34} {:>7} {:>10.3} {:>5.1}% {:>12} {:>12.1} {:>10.2} {:>8}\n",
                 path,
                 s.calls,
                 s.wall_ns as f64 / 1e6,
                 pct,
                 s.zones,
                 s.device_us,
-                s.bytes as f64 / 1e6
+                s.bytes as f64 / 1e6,
+                s.retries
             ));
         }
         let ps = WorkerPool::global().stats();
@@ -229,6 +244,11 @@ mod tests {
                 let _io = Profiler::region("io/checkpoint");
                 Profiler::record_bytes(1_000_000);
             }
+            {
+                let _b = Profiler::region("burn");
+                Profiler::record_retries(3);
+                Profiler::record_retries(0); // no-op
+            }
         }
         let outer = Profiler::get("prof_test_step").expect("outer recorded");
         assert_eq!(outer.calls, 1);
@@ -242,8 +262,12 @@ mod tests {
         let io = Profiler::get("prof_test_step/io/checkpoint").expect("io recorded");
         assert_eq!(io.bytes, 1_000_000);
 
+        let burn = Profiler::get("prof_test_step/burn").expect("burn recorded");
+        assert_eq!(burn.retries, 3);
+
         let report = Profiler::report();
         assert!(report.contains("prof_test_step/hydro"));
+        assert!(report.contains("retries"));
         assert!(report.contains("pool:"));
 
         let dev = crate::device::SimDevice::new(crate::device::DeviceConfig::v100());

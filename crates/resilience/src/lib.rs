@@ -21,7 +21,10 @@
 //!   the `io/checkpoint` profiler region);
 //! * [`faults`] — deterministic fault injection: kill schedules, blob
 //!   truncation, bit flips, torn renames, and injected write failures;
-//! * [`interval`] — the Young/Daly optimal checkpoint interval.
+//! * [`interval`] — the Young/Daly optimal checkpoint interval;
+//! * [`recovery`] — the shared step-rejection policy knobs and the
+//!   emergency-checkpoint writer used by both drivers when a step is
+//!   unrecoverable.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,10 +33,12 @@ pub mod faults;
 pub mod interval;
 pub mod manager;
 pub mod manifest;
+pub mod recovery;
 pub mod snapshot;
 
 pub use faults::{flip_bit, tear_rename, truncate_file, KillSchedule};
 pub use interval::{daly_interval, expected_waste, interval};
 pub use manager::{CheckpointManager, Error, ManagerStats, RetryPolicy};
 pub use manifest::{crc32, Manifest};
+pub use recovery::{write_emergency, RecoveryOptions};
 pub use snapshot::{digest_multifab, Clock, LevelSnapshot, Snapshot};

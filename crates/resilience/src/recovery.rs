@@ -1,0 +1,139 @@
+//! Shared step-recovery policy and the emergency-checkpoint escape hatch.
+//!
+//! Both drivers (Castro's compressible stepper and MAESTROeX's low-Mach
+//! stepper) run the same transactional-step protocol: snapshot → advance →
+//! validate → on violation restore the snapshot, cut `dt`, and retry — the
+//! step-retry mechanism of the production Castro code (Zingale et al.
+//! 2019). [`RecoveryOptions`] is the knob set they share; it lives here
+//! because both driver crates already depend on `exastro-resilience` and
+//! on nothing of each other.
+//!
+//! When the rejection budget is exhausted the run is *not* aborted: the
+//! driver calls [`write_emergency`] to persist the (restored, pre-step)
+//! state as a normal integrity-checked checkpoint and returns a structured
+//! error. A human — or a restart script — gets a resumable run plus the
+//! failure record, instead of a core dump.
+
+use crate::manager::{CheckpointManager, Error};
+use crate::snapshot::Snapshot;
+use std::path::{Path, PathBuf};
+
+/// Policy knobs for the transactional step-rejection loop.
+#[derive(Clone, Debug)]
+pub struct RecoveryOptions {
+    /// Maximum step attempts (1 initial + `max_rejections − 1` retries)
+    /// before the step is declared unrecoverable.
+    pub max_rejections: u32,
+    /// Factor applied to `dt` after each rejection (Castro retries with
+    /// dt/4 by default).
+    pub dt_cut: f64,
+    /// Tolerated |ΣX − 1| drift in the post-step validator.
+    pub species_tol: f64,
+    /// Where to write the emergency checkpoint when the step is
+    /// unrecoverable; `None` disables the emergency write.
+    pub emergency_dir: Option<PathBuf>,
+}
+
+impl Default for RecoveryOptions {
+    fn default() -> Self {
+        RecoveryOptions {
+            max_rejections: 4,
+            dt_cut: 0.25,
+            species_tol: 1e-6,
+            emergency_dir: None,
+        }
+    }
+}
+
+impl RecoveryOptions {
+    /// Enable emergency checkpoints under `dir`.
+    pub fn with_emergency_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.emergency_dir = Some(dir.into());
+        self
+    }
+}
+
+/// Write `snap` as an emergency checkpoint under `dir`, using the full
+/// atomic/manifested write path of [`CheckpointManager`]. A pre-existing
+/// checkpoint for the same step is replaced — an emergency write must not
+/// fail just because a scheduled checkpoint already used the name.
+pub fn write_emergency(dir: &Path, snap: &Snapshot) -> Result<PathBuf, Error> {
+    let mgr = CheckpointManager::new(dir)?;
+    let name = CheckpointManager::checkpoint_name(snap.clock.step);
+    let existing = dir.join(&name);
+    if existing.is_dir() {
+        std::fs::remove_dir_all(&existing)?;
+    }
+    mgr.write(snap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::{Clock, Snapshot};
+    use exastro_amr::{BoxArray, Geometry, MultiFab};
+
+    fn tiny_snapshot(step: u64) -> Snapshot {
+        let geom = Geometry::cube(8, 1.0, false);
+        let ba = BoxArray::decompose(geom.domain(), 8, 4);
+        let mut mf = MultiFab::local(ba, 1, 1);
+        for i in 0..mf.nfabs() {
+            let vb = mf.valid_box(i);
+            for iv in vb.iter() {
+                mf.fab_mut(i).set(
+                    iv,
+                    0,
+                    1.5 + (iv.x() + 2 * iv.y() + 3 * iv.z()) as f64 * 0.01,
+                );
+            }
+        }
+        Snapshot::single_level(
+            geom,
+            mf,
+            Clock {
+                step,
+                time: 0.25,
+                dt: 0.01,
+            },
+            vec!["rho".into()],
+        )
+    }
+
+    #[test]
+    fn emergency_write_is_a_valid_checkpoint() {
+        let dir = std::env::temp_dir().join(format!("exastro-emrg-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let snap = tiny_snapshot(17);
+        let path = write_emergency(&dir, &snap).unwrap();
+        assert!(path.ends_with("chk00000017"));
+        let mgr = CheckpointManager::new(&dir).unwrap();
+        let restored = mgr.resume().unwrap();
+        assert_eq!(restored.digest(), snap.digest());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn emergency_write_replaces_existing_checkpoint_of_same_step() {
+        let dir = std::env::temp_dir().join(format!("exastro-emrg2-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let first = tiny_snapshot(9);
+        write_emergency(&dir, &first).unwrap();
+        let mut second = tiny_snapshot(9);
+        second.clock.time = 0.75;
+        // Same step number: must overwrite, not error.
+        write_emergency(&dir, &second).unwrap();
+        let restored = CheckpointManager::new(&dir).unwrap().resume().unwrap();
+        assert_eq!(restored.clock.time.to_bits(), 0.75f64.to_bits());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_options_defaults_are_sane() {
+        let o = RecoveryOptions::default();
+        assert_eq!(o.max_rejections, 4);
+        assert!(o.dt_cut > 0.0 && o.dt_cut < 1.0);
+        assert!(o.emergency_dir.is_none());
+        let o = o.with_emergency_dir("/tmp/x");
+        assert!(o.emergency_dir.is_some());
+    }
+}

@@ -64,7 +64,7 @@ fn main() {
     let mut t = 0.0;
     for step in 0..60 {
         let dt = castro.estimate_dt(&state, &geom).min(0.005);
-        castro.advance_level(&mut state, &geom, dt);
+        castro.advance_level(&mut state, &geom, dt).unwrap();
         t += dt;
         if step % 10 == 9 {
             let r_meas = measure_shock_radius(&state, &geom, &params);

@@ -42,7 +42,9 @@ fn main() {
     let mut t = 0.0;
     for step in 0..12 {
         let dt = maestro.estimate_dt(&state, &geom).min(4e-3);
-        let stats = maestro.advance(&mut state, &geom, dt);
+        let stats = maestro
+            .advance(&mut state, &geom, dt)
+            .expect("bubble step failed");
         t += dt;
         let d = bubble_diagnostics(&state, &geom, &layout, params.t_ambient);
         println!(

@@ -40,7 +40,7 @@ fn main() {
     let mut gold = fresh_state(&geom, &layout, &eos);
     for _ in 0..TOTAL_STEPS {
         let dt = castro.estimate_dt(&gold, &geom).min(2e-3);
-        castro.advance_level(&mut gold, &geom, dt);
+        castro.advance_level(&mut gold, &geom, dt).unwrap();
     }
     let gold_digest = digest_multifab(&gold);
     println!("gold run: {TOTAL_STEPS} steps uninterrupted, digest {gold_digest:08x}");
@@ -78,7 +78,7 @@ fn main() {
         let mut died = false;
         while step < TOTAL_STEPS {
             let dt = castro.estimate_dt(&state, &geom).min(2e-3);
-            castro.advance_level(&mut state, &geom, dt);
+            castro.advance_level(&mut state, &geom, dt).unwrap();
             step += 1;
             time += dt;
             if kills.should_die(step) {

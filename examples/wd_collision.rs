@@ -72,7 +72,13 @@ fn main() {
     let mut t = 0.0;
     for step in 0..400 {
         let dt0 = castro.estimate_dt(&state, &geom);
-        let (stats, dt) = castro.advance_level_safe(&mut state, &geom, dt0);
+        let (stats, dt) = match castro.advance_level_safe(&mut state, &geom, dt0) {
+            Ok(ok) => ok,
+            Err(e) => {
+                println!("\n*** step {step} unrecoverable: {e} ***");
+                return;
+            }
+        };
         t += dt;
         if step % 10 == 0 {
             println!(

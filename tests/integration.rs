@@ -44,7 +44,7 @@ fn sedov_blast_tracks_similarity_solution() {
     let mut t = 0.0;
     for _ in 0..40 {
         let dt = castro.estimate_dt(&state, &geom).min(5e-3);
-        castro.advance_level(&mut state, &geom, dt);
+        castro.advance_level(&mut state, &geom, dt).unwrap();
         t += dt;
     }
     // Conservation to round-off while the blast is interior.
@@ -106,7 +106,7 @@ fn two_level_amr_advance_conserves_mass() {
         let dt = castro
             .estimate_dt(&states[1], &hier.level(1).geom)
             .min(2e-3);
-        castro.advance_hierarchy(&hier, &mut states, dt);
+        castro.advance_hierarchy(&hier, &mut states, dt).unwrap();
     }
     let mass_after = states[0].sum(StateLayout::RHO) * vol0;
     assert!(
@@ -206,7 +206,7 @@ fn burning_blast_releases_energy_and_conserves_species_mass() {
     let mut released = 0.0;
     for _ in 0..3 {
         let dt = castro.estimate_dt(&state, &geom);
-        let (stats, _) = castro.advance_level(&mut state, &geom, dt);
+        let (stats, _) = castro.advance_level(&mut state, &geom, dt).unwrap();
         released += stats.burn.energy_released;
     }
     assert!(released > 0.0, "hot carbon core must burn");
@@ -237,7 +237,7 @@ fn legacy_and_flat_structures_agree_through_full_driver() {
         castro.hydro.structure = structure;
         for _ in 0..5 {
             let dt = castro.estimate_dt(&state, &geom).min(2e-3);
-            castro.advance_level(&mut state, &geom, dt);
+            castro.advance_level(&mut state, &geom, dt).unwrap();
         }
         geom.domain()
             .iter()
@@ -293,7 +293,7 @@ fn sedov_amr_restart_is_bit_exact() {
     let mut time = 0.0;
     for _ in 0..3 {
         let dt = step_dt(&states);
-        castro.advance_hierarchy(&hier, &mut states, dt);
+        castro.advance_hierarchy(&hier, &mut states, dt).unwrap();
         time += dt;
     }
     let root = std::env::temp_dir().join(format!("exastro_amr_restart_{}", std::process::id()));
@@ -311,7 +311,7 @@ fn sedov_amr_restart_is_bit_exact() {
     let mut gold = states.clone();
     for _ in 0..3 {
         let dt = step_dt(&gold);
-        castro.advance_hierarchy(&hier, &mut gold, dt);
+        castro.advance_hierarchy(&hier, &mut gold, dt).unwrap();
     }
 
     // Resume from disk and run the same 3 steps.
@@ -325,7 +325,7 @@ fn sedov_amr_restart_is_bit_exact() {
         let dt = castro
             .estimate_dt(&resumed[1], &hier2.level(1).geom)
             .min(2e-3);
-        castro.advance_hierarchy(&hier2, &mut resumed, dt);
+        castro.advance_hierarchy(&hier2, &mut resumed, dt).unwrap();
     }
     assert_eq!(
         digest_states(&gold),
@@ -370,7 +370,7 @@ fn maestro_bubble_restart_is_bit_exact() {
     let mut time = 0.0;
     for _ in 0..2 {
         let dt = maestro.estimate_dt(&state, &geom).min(4e-3);
-        maestro.advance(&mut state, &geom, dt);
+        maestro.advance(&mut state, &geom, dt).unwrap();
         time += dt;
     }
     let root = std::env::temp_dir().join(format!("exastro_lm_restart_{}", std::process::id()));
@@ -388,7 +388,7 @@ fn maestro_bubble_restart_is_bit_exact() {
     let mut gold = state.clone();
     for _ in 0..2 {
         let dt = maestro.estimate_dt(&gold, &geom).min(4e-3);
-        maestro.advance(&mut gold, &geom, dt);
+        maestro.advance(&mut gold, &geom, dt).unwrap();
     }
 
     // Resume: rebuild the base state from aux arrays, then re-enter the loop.
@@ -399,7 +399,7 @@ fn maestro_bubble_restart_is_bit_exact() {
     let mut resumed = restored.levels[0].state.clone();
     for _ in 0..2 {
         let dt = maestro2.estimate_dt(&resumed, &geom).min(4e-3);
-        maestro2.advance(&mut resumed, &geom, dt);
+        maestro2.advance(&mut resumed, &geom, dt).unwrap();
     }
     assert_eq!(
         digest_multifab(&gold),
@@ -452,7 +452,7 @@ fn wd_collision_restart_is_bit_exact() {
 
     for _ in 0..2 {
         let dt = castro.estimate_dt(&state, &geom);
-        castro.advance_level(&mut state, &geom, dt);
+        castro.advance_level(&mut state, &geom, dt).unwrap();
     }
     let root = std::env::temp_dir().join(format!("exastro_wd_restart_{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&root);
@@ -472,14 +472,14 @@ fn wd_collision_restart_is_bit_exact() {
     let mut gold = state.clone();
     for _ in 0..2 {
         let dt = castro.estimate_dt(&gold, &geom);
-        castro.advance_level(&mut gold, &geom, dt);
+        castro.advance_level(&mut gold, &geom, dt).unwrap();
     }
 
     let restored = mgr.resume().unwrap();
     let mut resumed = restored.levels[0].state.clone();
     for _ in 0..2 {
         let dt = castro.estimate_dt(&resumed, &geom);
-        castro.advance_level(&mut resumed, &geom, dt);
+        castro.advance_level(&mut resumed, &geom, dt).unwrap();
     }
     assert_eq!(
         digest_multifab(&gold),
@@ -516,7 +516,7 @@ fn corrupted_checkpoint_falls_back_to_last_good() {
     // is the gold answer.
     for step in 1..=6u64 {
         let dt = castro.estimate_dt(&state, &geom).min(2e-3);
-        castro.advance_level(&mut state, &geom, dt);
+        castro.advance_level(&mut state, &geom, dt).unwrap();
         if step == 2 || step == 4 {
             let snap = Snapshot::single_level(
                 geom.clone(),
@@ -549,7 +549,7 @@ fn corrupted_checkpoint_falls_back_to_last_good() {
     let mut resumed = restored.levels[0].state.clone();
     for _ in 3..=6 {
         let dt = castro.estimate_dt(&resumed, &geom).min(2e-3);
-        castro.advance_level(&mut resumed, &geom, dt);
+        castro.advance_level(&mut resumed, &geom, dt).unwrap();
     }
     assert_eq!(digest_multifab(&resumed), gold);
     let _ = std::fs::remove_dir_all(&root);
@@ -572,7 +572,7 @@ fn checkpoint_restart_resumes_identically() {
     // Phase 1: 4 steps.
     for _ in 0..4 {
         let dt = castro.estimate_dt(&state, &geom).min(2e-3);
-        castro.advance_level(&mut state, &geom, dt);
+        castro.advance_level(&mut state, &geom, dt).unwrap();
     }
     // Checkpoint.
     let dir = std::env::temp_dir().join(format!("exastro_restart_{}", std::process::id()));
@@ -585,7 +585,7 @@ fn checkpoint_restart_resumes_identically() {
     let mut gold = state.clone();
     for _ in 0..3 {
         let dt = castro.estimate_dt(&gold, &geom).min(2e-3);
-        castro.advance_level(&mut gold, &geom, dt);
+        castro.advance_level(&mut gold, &geom, dt).unwrap();
     }
     // Restart from disk and run the same 3 steps.
     let ck = exastro::amr::read_checkpoint(&dir).unwrap();
@@ -593,7 +593,7 @@ fn checkpoint_restart_resumes_identically() {
     assert_eq!(ck.geom.domain(), geom.domain());
     for _ in 0..3 {
         let dt = castro.estimate_dt(&resumed, &geom).min(2e-3);
-        castro.advance_level(&mut resumed, &geom, dt);
+        castro.advance_level(&mut resumed, &geom, dt).unwrap();
     }
     for iv in geom.domain().iter().step_by(31) {
         for c in 0..layout.ncomp() {
@@ -605,4 +605,181 @@ fn checkpoint_restart_resumes_identically() {
         }
     }
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A dense carbon ball with a hot core: the burning-blast fixture shared by
+/// the failure-recovery tests below.
+fn hot_ball_setup() -> (
+    Geometry,
+    MultiFab,
+    Castro<'static>,
+    exastro::castro::StateLayout,
+) {
+    let eos: &'static StellarEos = Box::leak(Box::new(StellarEos));
+    let net: &'static CBurn2 = Box::leak(Box::new(CBurn2::new()));
+    let layout = StateLayout::new(net.nspec());
+    let geom = Geometry::cube(16, 2e8, false);
+    let ba = BoxArray::decompose(geom.domain(), 8, 4);
+    let mut state = MultiFab::local(ba, layout.ncomp(), 2);
+    let c = 1e8;
+    for i in 0..state.nfabs() {
+        let vb = state.valid_box(i);
+        for iv in vb.iter() {
+            let x = geom.cell_center(iv);
+            let r = ((x[0] - c).powi(2) + (x[1] - c).powi(2) + (x[2] - c).powi(2)).sqrt();
+            let rho = if r < 6e7 { 5e7 } else { 1e3 };
+            let t = if r < 2.5e7 { 2.2e9 } else { 1e7 };
+            let comp =
+                exastro::microphysics::Composition::from_mass_fractions(net.species(), &[1.0, 0.0]);
+            use exastro::microphysics::Eos;
+            let r_eos = eos.eval_rt(rho, t, &comp);
+            let fab = state.fab_mut(i);
+            fab.set(iv, StateLayout::RHO, rho);
+            fab.set(iv, StateLayout::TEMP, t);
+            fab.set(iv, StateLayout::EDEN, rho * r_eos.e);
+            fab.set(iv, StateLayout::EINT, rho * r_eos.e);
+            fab.set(iv, layout.spec(0), rho);
+        }
+    }
+    let mut castro = Castro::new(eos, net);
+    castro.bc = BcSpec::outflow();
+    castro.burn = Some(BurnOptions {
+        min_temp: 5e8,
+        min_dens: 1e5,
+        ..Default::default()
+    });
+    (geom, state, castro, layout)
+}
+
+#[test]
+fn injected_burn_faults_recover_in_full_driver() {
+    use exastro::microphysics::{BdfError, BurnFaultConfig};
+    let (geom, mut state, mut castro, layout) = hot_ball_setup();
+    castro.burn.as_mut().unwrap().faults = Some(BurnFaultConfig {
+        seed: 42,
+        rate: 1.0,
+        rungs_to_fail: 1,
+        error: BdfError::MaxSteps,
+    });
+    let dt = castro.estimate_dt(&state, &geom).min(1e-6);
+    let (stats, dt_taken) = castro.advance_level_safe(&mut state, &geom, dt).unwrap();
+    // Every burning zone failed once and was rescued — without rejecting
+    // the step.
+    assert_eq!(dt_taken, dt, "no step rejection expected");
+    assert!(stats.burn.zones > 0);
+    assert_eq!(stats.burn.recovered, stats.burn.zones);
+    assert_eq!(stats.burn.retries, stats.burn.zones);
+    // The recovered state is physical: the driver's own validator plus an
+    // explicit species-sum spot check.
+    castro
+        .validate_state(&state, castro.recovery.species_tol)
+        .unwrap();
+    for iv in geom.domain().iter().step_by(97) {
+        let rho = state.value_at(iv, StateLayout::RHO);
+        let sx: f64 = (0..2).map(|s| state.value_at(iv, layout.spec(s))).sum();
+        assert!((sx / rho - 1.0).abs() < 1e-6, "zone {iv:?}");
+    }
+}
+
+#[test]
+fn unrecoverable_step_restores_state_and_writes_emergency_checkpoint() {
+    use exastro::microphysics::{BdfError, BurnFaultConfig};
+    use exastro::resilience::CheckpointManager;
+    let (geom, mut state, mut castro, layout) = hot_ball_setup();
+    castro.burn.as_mut().unwrap().faults = Some(BurnFaultConfig {
+        seed: 11,
+        rate: 1.0,
+        rungs_to_fail: 99, // deeper than the ladder: never recovers
+        error: BdfError::SingularMatrix,
+    });
+    let dir = std::env::temp_dir().join(format!("exastro-drv-emrg-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    castro.recovery.max_rejections = 2;
+    castro.recovery = castro.recovery.clone().with_emergency_dir(&dir);
+    let before = state.clone();
+    let err = castro
+        .advance_level_safe(&mut state, &geom, 1e-6)
+        .unwrap_err();
+    // Structured failure, not a panic: the rejection loop ran dry.
+    assert_eq!(err.rejections, 2);
+    assert!(err.dt_floor < 1e-6);
+    match &err.error {
+        exastro::castro::StepError::Burn(fails) => {
+            assert!(!fails.is_empty());
+            assert_eq!(fails[0].attempts, 4, "all four ladder rungs tried");
+        }
+        other => panic!("expected burn failures, got {other}"),
+    }
+    // The state was restored bit-exactly to its pre-step contents.
+    for iv in geom.domain().iter().step_by(31) {
+        for c in 0..layout.ncomp() {
+            assert_eq!(
+                state.value_at(iv, c).to_bits(),
+                before.value_at(iv, c).to_bits(),
+                "state not restored at {iv:?} comp {c}"
+            );
+        }
+    }
+    // The emergency checkpoint landed and resumes to that restored state.
+    let chk = err
+        .emergency_checkpoint
+        .clone()
+        .expect("checkpoint written");
+    assert!(chk.is_dir());
+    let snap = CheckpointManager::new(&dir).unwrap().resume().unwrap();
+    assert_eq!(
+        snap.levels[0]
+            .state
+            .value_at(geom.domain().lo(), StateLayout::RHO),
+        state.value_at(geom.domain().lo(), StateLayout::RHO)
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn bubble_with_injected_faults_completes_through_safe_driver() {
+    use exastro::maestro::{
+        bubble_diagnostics, bubble_maestro, init_bubble, BubbleParams, LmLayout,
+    };
+    use exastro::microphysics::{BdfError, BurnFaultConfig};
+    let eos: &'static StellarEos = Box::leak(Box::new(StellarEos));
+    let net: &'static CBurn2 = Box::leak(Box::new(CBurn2::new()));
+    let geom = Geometry::new(
+        IndexBox::cube(16),
+        [0.0; 3],
+        [3.6e7; 3],
+        [true, true, false],
+        exastro::amr::CoordSys::Cartesian,
+    );
+    let ba = BoxArray::decompose(geom.domain(), 8, 4);
+    let layout = LmLayout::new(2);
+    let mut state = MultiFab::local(ba, layout.ncomp(), 1);
+    let base = init_bubble(
+        &mut state,
+        &geom,
+        &layout,
+        eos,
+        net,
+        &BubbleParams::default(),
+    );
+    let mut maestro = bubble_maestro(eos, net, base);
+    maestro.burn_faults = Some(BurnFaultConfig {
+        seed: 3,
+        rate: 1.0,
+        rungs_to_fail: 1,
+        error: BdfError::StepUnderflow { t: 0.0 },
+    });
+    let mut recovered = 0;
+    for _ in 0..2 {
+        let dt = maestro.estimate_dt(&state, &geom).min(5e-3);
+        let (stats, _) = maestro.advance_safe(&mut state, &geom, dt).unwrap();
+        recovered += stats.burn_recovered;
+        assert_eq!(stats.burn_retries, stats.burn_recovered);
+    }
+    assert!(recovered > 0, "bubble zones must have burned and recovered");
+    maestro
+        .validate_state(&state, maestro.recovery.species_tol)
+        .unwrap();
+    let d = bubble_diagnostics(&state, &geom, &layout, 6e8);
+    assert!(d.max_temp.is_finite() && d.max_temp > 0.0);
 }
