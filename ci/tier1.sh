@@ -27,8 +27,25 @@ cargo run --release --offline --example fault_injection | tee /tmp/fault_smoke.l
 grep -q "FAULT RECOVERY OK" /tmp/fault_smoke.log
 grep -q "EMERGENCY CHECKPOINT OK" /tmp/fault_smoke.log
 
-echo "== clippy (deny warnings) =="
-cargo clippy --workspace --offline -- -D warnings
+echo "== burner bench smoke (test mode) =="
+# Dense-vs-sparse Newton comparison in smoke mode: tiny sample counts, no
+# timing assertions — but the BENCH_burner.json artifact must be valid JSON
+# with the expected schema.
+cargo bench --offline -p exastro-bench --bench burner -- --test >/tmp/burner_smoke.log
+python3 - <<'EOF'
+import json
+d = json.load(open("BENCH_burner.json"))
+assert d["bench"] == "burner", d
+labels = {m["label"] for m in d["metrics"]}
+for need in ("iso7/newton_solve_speedup", "aprox13/newton_solve_speedup"):
+    assert need in labels, f"missing {need} in {sorted(labels)}"
+print(f"BENCH_burner.json OK ({len(d['metrics'])} metrics)")
+EOF
+
+echo "== clippy (deny warnings, deny deprecated) =="
+# -D deprecated keeps the repo itself off the integrate_with_stats shim
+# (and any future deprecation) while external callers get a soft warning.
+cargo clippy --workspace --all-targets --offline -- -D warnings -D deprecated
 
 echo "== rustfmt check =="
 cargo fmt --all --check

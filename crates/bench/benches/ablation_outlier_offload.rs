@@ -12,7 +12,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use exastro_castro::hybrid_offload_estimate;
-use exastro_microphysics::{Burner, CBurn2, StellarEos};
+use exastro_microphysics::{CBurn2, PlainBurner, StellarEos};
 use exastro_parallel::{DeviceConfig, SimDevice};
 
 /// Burn a distribution of zones and return the per-zone integrator step
@@ -20,7 +20,7 @@ use exastro_parallel::{DeviceConfig, SimDevice};
 fn measured_zone_costs(hot_fraction: f64, nzones: usize) -> Vec<f64> {
     let net = CBurn2::new();
     let eos = StellarEos;
-    let burner = Burner::new(&net, &eos, Burner::default_options());
+    let burner = PlainBurner::new(&net, &eos, PlainBurner::default_options());
     let n_hot = ((nzones as f64) * hot_fraction).round() as usize;
     let mut costs = Vec::with_capacity(nzones);
     // One representative quiescent and one representative igniting burn;

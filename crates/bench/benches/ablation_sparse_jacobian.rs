@@ -9,16 +9,16 @@
 //! burns through both solvers.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use exastro_microphysics::{Aprox13, BdfOptions, Burner, Network, NewtonSolver, StellarEos};
+use exastro_microphysics::{Aprox13, BdfOptions, Network, NewtonSolver, PlainBurner, StellarEos};
 
 fn burn_once(net: &Aprox13, eos: &StellarEos, solver: NewtonSolver) -> (f64, u64) {
-    let opts = BdfOptions {
-        rtol: 1e-8,
-        atol: vec![1e-12],
-        solver,
-        ..Default::default()
-    };
-    let burner = Burner::new(net, eos, opts);
+    let opts = BdfOptions::builder()
+        .rtol(1e-8)
+        .atol(1e-12)
+        .solver(solver)
+        .build()
+        .expect("bench options are valid");
+    let burner = PlainBurner::new(net, eos, opts);
     let mut x = vec![0.0; net.nspec()];
     x[net.index_of("c12")] = 0.5;
     x[net.index_of("o16")] = 0.5;
@@ -38,9 +38,9 @@ fn print_comparison() {
         p.empty_fraction() * 100.0
     );
     let (td, id) = burn_once(&net, &eos, NewtonSolver::Dense);
-    let (ts, is_) = burn_once(&net, &eos, NewtonSolver::Compiled(p));
-    println!("dense    LU: T_final = {td:.6e} K, {id} Newton iterations");
-    println!("compiled LU: T_final = {ts:.6e} K, {is_} Newton iterations");
+    let (ts, is_) = burn_once(&net, &eos, NewtonSolver::Sparse(net.sparsity_csr()));
+    println!("dense  LU: T_final = {td:.6e} K, {id} Newton iterations");
+    println!("sparse LU: T_final = {ts:.6e} K, {is_} Newton iterations");
     println!(
         "ΔT = {:.2e} K (identical physics, fewer flops)\n",
         (td - ts).abs()
@@ -56,16 +56,11 @@ fn bench(c: &mut Criterion) {
     g.bench_function("dense", |b| {
         b.iter(|| std::hint::black_box(burn_once(&net, &eos, NewtonSolver::Dense)))
     });
-    let pattern = net.sparsity();
-    g.bench_function("compiled_sparse", |b| {
-        b.iter(|| {
-            std::hint::black_box(burn_once(
-                &net,
-                &eos,
-                NewtonSolver::Compiled(pattern.clone()),
-            ))
-        })
+    let csr = net.sparsity_csr();
+    g.bench_function("analytic_sparse", |b| {
+        b.iter(|| std::hint::black_box(burn_once(&net, &eos, NewtonSolver::Sparse(csr.clone()))))
     });
+    let pattern = net.sparsity();
     // Raw solver kernels, isolated.
     use exastro_microphysics::{CompiledLu, DenseLu};
     let n = 14;

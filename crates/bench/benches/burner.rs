@@ -1,0 +1,189 @@
+//! **Burner Newton-solve comparison**: dense LU vs the analytic
+//! sparse-Jacobian path (`microphysics::sparse`) behind the unified
+//! `Burner` API, on the iso7 and aprox13 networks.
+//!
+//! The paper's §VI: "we can straightforwardly replace the dense linear
+//! system with a sparse linear system. We know what the sparsity pattern
+//! is … it is even possible to write the exact sequence of operations
+//! needed for the linear solve." `SparseLu` compiles exactly that
+//! operation sequence from the network's declared pattern (symbolic
+//! factorization with min-degree ordering, once per network); this bench
+//! measures what it buys per Newton solve and per complete burn.
+//!
+//! Emits `BENCH_burner.json` at the workspace root. Pass `--test` for the
+//! CI smoke mode (tiny sample counts; the JSON is still written).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use exastro_bench::{write_metrics_json, MetricPoint};
+use exastro_microphysics::{
+    Aprox13, BurnerConfig, DenseNewton, Iso7, LinearSolver, Network, PlainBurner, SolverChoice,
+    SparseNewton, StellarEos,
+};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// CI smoke mode: the vendored criterion shim ignores CLI arguments, so
+/// the bench itself honours `--test`.
+fn test_mode() -> bool {
+    std::env::args().any(|a| a == "--test")
+}
+
+fn co_fuel(net: &dyn Network) -> Vec<f64> {
+    let mut x = vec![0.0; net.nspec()];
+    x[net.index_of("c12")] = 0.5;
+    x[net.index_of("o16")] = 0.5;
+    x
+}
+
+/// A representative burner Jacobian at detonation conditions (the species
+/// block; the burner's temperature row stays zero, which is inside the
+/// declared pattern, so it exercises the same slot schedule).
+fn newton_matrix(net: &dyn Network) -> Vec<f64> {
+    let n = net.nspec();
+    let m = n + 1;
+    let x = co_fuel(net);
+    let mut y = vec![0.0; m];
+    exastro_microphysics::mass_to_molar(net.species(), &x, &mut y[..n]);
+    y[n] = 2.8e9;
+    let mut jac = vec![0.0; m * m];
+    net.jac(5e7, 2.8e9, &y[..n], &mut jac);
+    jac
+}
+
+/// Median wall time in ns of one Newton linear-algebra cycle (one factor
+/// of I − γJ + two back-solves, VODE's typical per-step ratio) through the
+/// `LinearSolver` trait — the isolated quantity the sparse path targets.
+fn newton_cycle_ns(solver: &mut dyn LinearSolver, jac: &[f64], m: usize, samples: usize) -> f64 {
+    let gamma = 1e-9; // keeps I − γJ strongly diagonally dominant
+    let inner = 64;
+    let mut times: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        for k in 0..inner {
+            solver.factor(jac, gamma).expect("factor");
+            let mut b1 = vec![1.0; m];
+            solver.solve(&mut b1);
+            let mut b2 = vec![0.5; m];
+            solver.solve(&mut b2);
+            std::hint::black_box((k, &b1, &b2));
+        }
+        times.push(start.elapsed().as_secs_f64() * 1e9 / inner as f64);
+    }
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+/// Burn the network once with the given solver policy; returns
+/// (final T, Newton iterations, integrator-attributed solve ns).
+fn burn_once(net: &dyn Network, eos: &StellarEos, choice: SolverChoice) -> (f64, u64, u64) {
+    let cfg = BurnerConfig {
+        solver: choice,
+        ..Default::default()
+    };
+    let burner = PlainBurner::new(net, eos, cfg.bdf_for(net));
+    let out = burner.burn(5e7, 2.8e9, &co_fuel(net), 1e-7).expect("burn");
+    (out.t, out.stats.newton_iters, out.stats.solve_ns)
+}
+
+fn bench(c: &mut Criterion) {
+    let smoke = test_mode();
+    let samples = if smoke { 3 } else { 25 };
+    let eos = StellarEos;
+    let iso7 = Iso7::new();
+    let aprox13 = Aprox13::new();
+    let nets: [(&str, &dyn Network); 2] = [("iso7", &iso7), ("aprox13", &aprox13)];
+
+    let mut metrics: Vec<MetricPoint> = Vec::new();
+    println!("=== burner Newton-solve: dense vs analytic sparse (§VI) ===");
+    for (name, net) in nets {
+        let m = net.nspec() + 1;
+        let csr = net.sparsity_csr();
+        let lu = exastro_microphysics::SparseLu::compile(&csr);
+        println!(
+            "{name}: {m}×{m}, {} pattern nnz ({:.0}% empty), {} fill-in under min-degree",
+            csr.nnz(),
+            csr.empty_fraction() * 100.0,
+            lu.fill_in()
+        );
+        metrics.push(MetricPoint::new(
+            &format!("{name}/pattern_nnz"),
+            csr.nnz() as f64,
+            "entries",
+        ));
+        metrics.push(MetricPoint::new(
+            &format!("{name}/fill_in"),
+            lu.fill_in() as f64,
+            "entries",
+        ));
+
+        // Isolated Newton cycle: factor + 2 solves through both solvers.
+        let jac = newton_matrix(net);
+        let mut dense = DenseNewton::new(m);
+        let mut sparse = SparseNewton::new(Arc::new(lu));
+        let dense_ns = newton_cycle_ns(&mut dense, &jac, m, samples);
+        let sparse_ns = newton_cycle_ns(&mut sparse, &jac, m, samples);
+        let speedup = dense_ns / sparse_ns;
+        println!(
+            "{name}: Newton cycle dense {dense_ns:.0} ns, sparse {sparse_ns:.0} ns \
+             → {speedup:.2}× speedup"
+        );
+        metrics.push(MetricPoint::new(
+            &format!("{name}/dense_newton_cycle"),
+            dense_ns,
+            "ns",
+        ));
+        metrics.push(MetricPoint::new(
+            &format!("{name}/sparse_newton_cycle"),
+            sparse_ns,
+            "ns",
+        ));
+        metrics.push(MetricPoint::new(
+            &format!("{name}/newton_solve_speedup"),
+            speedup,
+            "x",
+        ));
+
+        // Complete burns end-to-end: same physics, integrator-attributed
+        // linear-algebra time from BdfStats::solve_ns.
+        let (td, iters_d, solve_d) = burn_once(net, &eos, SolverChoice::Dense);
+        let (ts, iters_s, solve_s) = burn_once(net, &eos, SolverChoice::Sparse);
+        println!(
+            "{name}: burn ΔT = {:.2e} K ({iters_d} vs {iters_s} Newton iters); \
+             in-burn solve time {solve_d} ns dense, {solve_s} ns sparse",
+            (td - ts).abs()
+        );
+        metrics.push(MetricPoint::new(
+            &format!("{name}/burn_delta_t"),
+            (td - ts).abs(),
+            "K",
+        ));
+        metrics.push(MetricPoint::new(
+            &format!("{name}/burn_solve_ns_dense"),
+            solve_d as f64,
+            "ns",
+        ));
+        metrics.push(MetricPoint::new(
+            &format!("{name}/burn_solve_ns_sparse"),
+            solve_s as f64,
+            "ns",
+        ));
+    }
+
+    let path = write_metrics_json("burner", &metrics).expect("write BENCH_burner.json");
+    println!("wrote {}\n", path.display());
+
+    let mut g = c.benchmark_group("burner");
+    g.sample_size(if smoke { 2 } else { 15 });
+    for (name, net) in nets {
+        g.bench_function(format!("{name}/dense"), |b| {
+            b.iter(|| std::hint::black_box(burn_once(net, &eos, SolverChoice::Dense)))
+        });
+        g.bench_function(format!("{name}/sparse"), |b| {
+            b.iter(|| std::hint::black_box(burn_once(net, &eos, SolverChoice::Sparse)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

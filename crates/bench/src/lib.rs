@@ -76,6 +76,54 @@ pub fn write_bench_json(name: &str, points: &[BenchPoint]) -> std::io::Result<Pa
     Ok(path)
 }
 
+/// One named scalar measurement destined for a `BENCH_*.json` artifact —
+/// the schema for benches whose results are not scaling curves (solver
+/// timings, speedups, agreement errors).
+#[derive(Clone, Debug)]
+pub struct MetricPoint {
+    /// Metric name, e.g. `aprox13/newton_solve_speedup`.
+    pub label: String,
+    /// The measured value.
+    pub value: f64,
+    /// Unit string, e.g. `ns`, `x`, `K`.
+    pub unit: String,
+}
+
+impl MetricPoint {
+    /// Convenience constructor.
+    pub fn new(label: &str, value: f64, unit: &str) -> Self {
+        Self {
+            label: label.to_string(),
+            value,
+            unit: unit.to_string(),
+        }
+    }
+}
+
+/// Serialize scalar `metrics` and write `BENCH_{name}.json` at the
+/// workspace root. Same hand-rolled serialization rationale as
+/// [`write_bench_json`].
+pub fn write_metrics_json(name: &str, metrics: &[MetricPoint]) -> std::io::Result<PathBuf> {
+    let root = PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."));
+    let path = root.join(format!("BENCH_{name}.json"));
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"bench\": \"{name}\",\n"));
+    out.push_str("  \"metrics\": [\n");
+    for (i, m) in metrics.iter().enumerate() {
+        let sep = if i + 1 == metrics.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"label\": \"{}\", \"value\": {}, \"unit\": \"{}\"}}{sep}\n",
+            m.label,
+            json_f64(m.value),
+            m.unit
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    let mut f = std::fs::File::create(&path)?;
+    f.write_all(out.as_bytes())?;
+    Ok(path)
+}
+
 /// Build a ready-to-run Sedov state for kernel benchmarking.
 pub fn sedov_fixture(n: i32, max_grid: i32) -> (Geometry, MultiFab, StateLayout, GammaLaw, CBurn2) {
     let geom = Geometry::cube(n, 1.0, false);
@@ -147,5 +195,21 @@ mod tests {
         assert!(t2.contains("\"zones_per_us\": null"));
         assert!(!t2.contains("NaN") && !t2.contains("inf"));
         std::fs::remove_file(p2).unwrap();
+    }
+
+    #[test]
+    fn metrics_json_round_trips_structurally() {
+        let ms = vec![
+            MetricPoint::new("aprox13/newton_solve_speedup", 2.5, "x"),
+            MetricPoint::new("aprox13/delta_t", f64::NAN, "K"),
+        ];
+        let path = write_metrics_json("metrics_selftest", &ms).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"label\": \"aprox13/newton_solve_speedup\""));
+        assert!(text.contains("\"value\": 2.5"));
+        assert!(text.contains("\"unit\": \"x\""));
+        assert!(text.contains("\"value\": null"));
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+        std::fs::remove_file(path).unwrap();
     }
 }

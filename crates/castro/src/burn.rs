@@ -11,7 +11,8 @@
 use crate::state::StateLayout;
 use exastro_amr::{Geometry, MultiFab, Real};
 use exastro_microphysics::{
-    BurnFailure, BurnFaultConfig, Burner, Eos, LadderRung, Network, RecoveringBurner, RetryLadder,
+    BurnFailure, BurnFaultConfig, BurnTally, Burner, BurnerConfig, Eos, Network, RetryLadder,
+    SolverChoice,
 };
 use exastro_parallel::{ExecSpace, KernelProfile, SimDevice};
 
@@ -63,6 +64,9 @@ pub struct BurnOptions {
     pub registers_per_thread: u32,
     /// Step budget for the direct burn path (`None` = integrator default).
     pub max_steps: Option<usize>,
+    /// Newton linear-solver policy (dense LU or the pattern-specialized
+    /// sparse path), resolved against the network at burner construction.
+    pub solver: SolverChoice,
     /// The failure-recovery ladder (see [`exastro_microphysics::recovery`]).
     pub ladder: RetryLadder,
     /// Deterministic fault injection for tests and CI smoke runs.
@@ -76,6 +80,7 @@ impl Default for BurnOptions {
             min_dens: 1e3,
             registers_per_thread: 320,
             max_steps: None,
+            solver: SolverChoice::default(),
             ladder: RetryLadder::default(),
             faults: None,
         }
@@ -106,13 +111,18 @@ pub fn burn_state(
     ex: &ExecSpace,
     geom: &Geometry,
 ) -> Result<BurnStats, Vec<BurnFailure>> {
-    let mut base = Burner::default_options();
+    let mut cfg = BurnerConfig {
+        solver: opts.solver,
+        ladder: opts.ladder.clone(),
+        faults: opts.faults.clone(),
+        ..Default::default()
+    };
     if let Some(ms) = opts.max_steps {
-        base.max_steps = ms;
+        cfg.bdf.max_steps = ms;
     }
-    let burner =
-        RecoveringBurner::new(net, eos, base, &opts.ladder).with_faults(opts.faults.clone());
-    let mut stats = BurnStats::default();
+    let burner = cfg.build(net, eos);
+    let mut tally = BurnTally::default();
+    let mut energy_released: Real = 0.0;
     let mut failures: Vec<BurnFailure> = Vec::new();
     let nspec = layout.nspec;
     assert_eq!(nspec, net.nspec());
@@ -130,7 +140,7 @@ pub fn burn_state(
             let rho = fab.get(iv, StateLayout::RHO);
             let t = fab.get(iv, StateLayout::TEMP);
             if t < opts.min_temp || rho < opts.min_dens {
-                stats.skipped += 1;
+                tally.skip();
                 continue;
             }
             let mut x = vec![0.0; nspec];
@@ -144,19 +154,9 @@ pub fn burn_state(
                     continue;
                 }
             };
-            if rec.retries > 0 {
-                exastro_parallel::Profiler::record_retries(rec.retries as u64);
-                stats.retries += rec.retries as u64;
-                stats.recovered += 1;
-            }
-            if rec.rung == LadderRung::Offload {
-                stats.offloaded += 1;
-            }
+            tally.record(&rec);
             let out = rec.outcome;
-            stats.zones += 1;
-            stats.total_steps += out.stats.steps;
-            stats.max_steps = stats.max_steps.max(out.stats.steps);
-            stats.energy_released += out.enuc * rho * vol;
+            energy_released += out.enuc * rho * vol;
             for s in 0..nspec {
                 fab.set(iv, layout.spec(s), rho * out.x[s]);
             }
@@ -181,8 +181,8 @@ pub fn burn_state(
         let zones: i64 = (0..state.nfabs())
             .map(|i| state.valid_box(i).num_zones())
             .sum();
-        let mean = stats.total_steps.max(1) as f64 / stats.zones.max(1) as f64;
-        let imbalance = stats.max_steps.max(1) as f64 / mean;
+        let mean = tally.total_steps.max(1) as f64 / tally.zones.max(1) as f64;
+        let imbalance = tally.max_steps.max(1) as f64 / mean;
         // Warp-level serialization: effective cost per zone grows with the
         // outlier ratio (bounded).
         let cost = 5.0 * mean.max(1.0).log2().max(1.0) * imbalance.sqrt().min(32.0);
@@ -190,7 +190,16 @@ pub fn burn_state(
         exastro_parallel::Profiler::record_device_us(us);
     }
     if failures.is_empty() {
-        Ok(stats)
+        Ok(BurnStats {
+            zones: tally.zones,
+            skipped: tally.skipped,
+            total_steps: tally.total_steps,
+            max_steps: tally.max_steps,
+            energy_released,
+            retries: tally.retries,
+            recovered: tally.recovered,
+            offloaded: tally.offloaded,
+        })
     } else {
         Err(failures)
     }
@@ -390,7 +399,7 @@ mod tests {
                 seed: 2024,
                 rate: 1.0, // every burned zone fails once
                 rungs_to_fail: 1,
-                error: exastro_microphysics::BdfError::MaxSteps,
+                error: exastro_microphysics::BdfErrorKind::MaxSteps,
             }),
             ..Default::default()
         };
@@ -410,11 +419,11 @@ mod tests {
 
     #[test]
     fn every_bdf_error_variant_surfaces_through_burn_state() {
-        use exastro_microphysics::BdfError;
+        use exastro_microphysics::BdfErrorKind;
         for err in [
-            BdfError::MaxSteps,
-            BdfError::StepUnderflow { t: 3.2e-9 },
-            BdfError::SingularMatrix,
+            BdfErrorKind::MaxSteps,
+            BdfErrorKind::StepUnderflow { t: 3.2e-9 },
+            BdfErrorKind::SingularMatrix,
         ] {
             let (geom, mut state, layout) = carbon_state(8, true);
             let net = CBurn2::new();
@@ -458,9 +467,36 @@ mod tests {
             burn_state(&mut state, 1e-8, &net, &eos, &layout, &opts, &ex, &geom).unwrap_err();
         assert!(!failures.is_empty());
         for f in &failures {
-            assert_eq!(f.error, exastro_microphysics::BdfError::MaxSteps);
+            assert_eq!(f.error, exastro_microphysics::BdfErrorKind::MaxSteps);
             assert!(f.stats.rhs_evals > 0, "genuine failure reports its cost");
         }
+    }
+
+    #[test]
+    fn sparse_solver_option_matches_dense() {
+        // The SolverChoice knob must not change the physics: identical
+        // sweeps through both Newton solvers agree to integrator tolerance.
+        let net = CBurn2::new();
+        let eos = StellarEos;
+        let ex = ExecSpace::Serial;
+        let run = |solver: SolverChoice| {
+            let (geom, mut state, layout) = carbon_state(8, true);
+            let opts = BurnOptions {
+                solver,
+                ..Default::default()
+            };
+            burn_state(&mut state, 1e-8, &net, &eos, &layout, &opts, &ex, &geom).unwrap()
+        };
+        let d = run(SolverChoice::Dense);
+        let s = run(SolverChoice::Sparse);
+        assert_eq!(d.zones, s.zones);
+        assert!(s.energy_released > 0.0);
+        assert!(
+            (d.energy_released / s.energy_released - 1.0).abs() < 1e-6,
+            "dense {} vs sparse {}",
+            d.energy_released,
+            s.energy_released
+        );
     }
 
     #[test]

@@ -14,8 +14,8 @@
 use crate::base_state::{rho_from_p_t, BaseState};
 use exastro_amr::{BcKind, BcSpec, Geometry, IntVect, MultiFab, Real, SPACEDIM};
 use exastro_microphysics::{
-    BurnFailure, BurnFaultConfig, Burner, Composition, Eos, LadderRung, Network, RecoveringBurner,
-    RetryLadder,
+    BurnFailure, BurnFaultConfig, BurnTally, Burner, BurnerConfig, Composition, Eos, Network,
+    RetryLadder, SolverChoice,
 };
 use exastro_parallel::Profiler;
 use exastro_resilience::recovery::{write_emergency, RecoveryOptions};
@@ -190,15 +190,6 @@ impl std::fmt::Display for LmDriverError {
 
 impl std::error::Error for LmDriverError {}
 
-/// Per-sweep reaction totals (internal to [`Maestro::react`]).
-#[derive(Default)]
-struct ReactTotals {
-    steps: u64,
-    retries: u64,
-    recovered: u64,
-    offloaded: u64,
-}
-
 /// The low-Mach solver.
 pub struct Maestro<'a> {
     /// State layout.
@@ -217,6 +208,8 @@ pub struct Maestro<'a> {
     pub burn_min_temp: Real,
     /// Burn failure-recovery ladder.
     pub ladder: RetryLadder,
+    /// Newton linear-solver policy for the burn (dense or sparse).
+    pub burn_solver: SolverChoice,
     /// Deterministic burn fault injection (tests / CI smoke).
     pub burn_faults: Option<BurnFaultConfig>,
     /// Step-rejection policy and emergency-checkpoint destination.
@@ -407,12 +400,16 @@ impl<'a> Maestro<'a> {
     /// valid zones — including skipped cold zones — so they are identical
     /// between the two Strang halves, which makes fault injection and
     /// failure reports reproducible.
-    fn react(&self, state: &mut MultiFab, dt: Real) -> Result<ReactTotals, Vec<BurnFailure>> {
-        let burner =
-            RecoveringBurner::new(self.net, self.eos, Burner::default_options(), &self.ladder)
-                .with_faults(self.burn_faults.clone());
+    fn react(&self, state: &mut MultiFab, dt: Real) -> Result<BurnTally, Vec<BurnFailure>> {
+        let burner = BurnerConfig {
+            solver: self.burn_solver,
+            ladder: self.ladder.clone(),
+            faults: self.burn_faults.clone(),
+            ..Default::default()
+        }
+        .build(self.net, self.eos);
         let nspec = self.layout.nspec;
-        let mut totals = ReactTotals::default();
+        let mut totals = BurnTally::default();
         let mut failures: Vec<BurnFailure> = Vec::new();
         let mut zone_id: u64 = 0;
         for i in 0..state.nfabs() {
@@ -431,15 +428,7 @@ impl<'a> Maestro<'a> {
                 }
                 match burner.burn_zone(id, rho, t, &x, dt) {
                     Ok(rec) => {
-                        totals.steps += rec.outcome.stats.steps;
-                        if rec.retries > 0 {
-                            Profiler::record_retries(rec.retries as u64);
-                            totals.retries += rec.retries as u64;
-                            totals.recovered += 1;
-                            if rec.rung == LadderRung::Offload {
-                                totals.offloaded += 1;
-                            }
-                        }
+                        totals.record(&rec);
                         state.fab_mut(i).set(iv, LmLayout::TEMP, rec.outcome.t);
                         for s in 0..nspec {
                             state
@@ -516,7 +505,7 @@ impl<'a> Maestro<'a> {
         if self.do_burn {
             let _r = Profiler::region("react");
             let t = self.react(state, 0.5 * dt).map_err(LmStepError::Burn)?;
-            stats.burn_steps += t.steps;
+            stats.burn_steps += t.total_steps;
             stats.burn_retries += t.retries;
             stats.burn_recovered += t.recovered;
             stats.burn_offloaded += t.offloaded;
@@ -540,7 +529,7 @@ impl<'a> Maestro<'a> {
         if self.do_burn {
             let _r = Profiler::region("react");
             let t = self.react(state, 0.5 * dt).map_err(LmStepError::Burn)?;
-            stats.burn_steps += t.steps;
+            stats.burn_steps += t.total_steps;
             stats.burn_retries += t.retries;
             stats.burn_recovered += t.recovered;
             stats.burn_offloaded += t.offloaded;
@@ -768,13 +757,13 @@ mod tests {
 
     #[test]
     fn injected_burn_faults_recover_through_the_ladder() {
-        use exastro_microphysics::{BdfError, BurnFaultConfig};
+        use exastro_microphysics::{BdfErrorKind, BurnFaultConfig};
         let (geom, mut state, mut maestro, layout) = bubble_setup(16);
         maestro.burn_faults = Some(BurnFaultConfig {
             seed: 7,
             rate: 1.0,
             rungs_to_fail: 1,
-            error: BdfError::MaxSteps,
+            error: BdfErrorKind::MaxSteps,
         });
         let dt = maestro.estimate_dt(&state, &geom).min(5e-3);
         let stats = maestro.advance(&mut state, &geom, dt).unwrap();
@@ -790,13 +779,13 @@ mod tests {
 
     #[test]
     fn unrecoverable_faults_restore_state_and_checkpoint() {
-        use exastro_microphysics::{BdfError, BurnFaultConfig};
+        use exastro_microphysics::{BdfErrorKind, BurnFaultConfig};
         let (geom, mut state, mut maestro, _layout) = bubble_setup(16);
         maestro.burn_faults = Some(BurnFaultConfig {
             seed: 11,
             rate: 1.0,
             rungs_to_fail: 99, // beyond the ladder: never recovers
-            error: BdfError::SingularMatrix,
+            error: BdfErrorKind::SingularMatrix,
         });
         let dir = std::env::temp_dir().join(format!("exastro-lm-emrg-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);

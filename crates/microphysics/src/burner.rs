@@ -7,11 +7,23 @@
 //! feedback loop — energy release raises T, which raises the T⁴⁰-sensitive
 //! rates — that produces the thermonuclear runaways the paper studies, and
 //! it is why the ODE system is stiff enough to demand an implicit solver.
+//!
+//! Drivers consume burning through the [`Burner`] trait: one zone in,
+//! either a [`RecoveredBurn`] or a structured [`BurnFailure`] out. The
+//! plain single-attempt burner ([`PlainBurner`]) and the retry-ladder
+//! burner ([`crate::recovery::RecoveringBurner`]) both implement it, and
+//! [`BurnerConfig`] is the one-stop construction point both Castro and
+//! MAESTROeX use — including the dense/sparse Newton-solver choice and the
+//! [`BurnFaultConfig`] fault-injection plumbing.
 
 use crate::constants::{MEV_TO_ERG, N_A};
 use crate::eos::Eos;
-use crate::integrator::{BdfError, BdfIntegrator, BdfOptions, BdfStats, OdeSystem};
+use crate::integrator::{BdfError, BdfIntegrator, BdfOptions, BdfStats, NewtonSolver, OdeSystem};
 use crate::network::Network;
+use crate::recovery::{
+    validate_outcome, BurnFailure, BurnFaultConfig, LadderRung, RecoveredBurn, RecoveringBurner,
+    RetryLadder,
+};
 use crate::species::{mass_to_molar, molar_to_mass, Composition};
 
 /// Result of burning one zone for a time interval.
@@ -26,6 +38,27 @@ pub struct BurnOutcome {
     pub enuc: f64,
     /// Integrator statistics.
     pub stats: BdfStats,
+}
+
+/// The driver-facing burn interface: burn one zone, reporting either an
+/// annotated success or a structured failure. `zone` is the deterministic
+/// flat index used by fault injection and failure reporting.
+///
+/// Implemented by [`PlainBurner`] (single attempt) and
+/// [`crate::recovery::RecoveringBurner`] (retry ladder); both honour
+/// [`BurnFaultConfig`] injection, so drivers wire one interface and choose
+/// resilience by construction, not by call site.
+pub trait Burner {
+    /// Burn one zone at density `rho` from temperature `t0` and mass
+    /// fractions `x0` for `dt` seconds.
+    fn burn_zone(
+        &self,
+        zone: u64,
+        rho: f64,
+        t0: f64,
+        x0: &[f64],
+        dt: f64,
+    ) -> Result<RecoveredBurn, Box<BurnFailure>>;
 }
 
 struct BurnSystem<'a> {
@@ -89,22 +122,24 @@ impl OdeSystem for BurnSystem<'_> {
     }
 }
 
-/// Integrates nuclear burning in single zones.
-pub struct Burner<'a> {
+/// Integrates nuclear burning in single zones, one attempt per zone.
+pub struct PlainBurner<'a> {
     net: &'a dyn Network,
     eos: &'a dyn Eos,
     integ: BdfIntegrator,
     self_heat: bool,
+    faults: Option<BurnFaultConfig>,
 }
 
-impl<'a> Burner<'a> {
+impl<'a> PlainBurner<'a> {
     /// Create a self-heating burner with the given integrator options.
     pub fn new(net: &'a dyn Network, eos: &'a dyn Eos, opts: BdfOptions) -> Self {
-        Burner {
+        PlainBurner {
             net,
             eos,
             integ: BdfIntegrator::new(opts),
             self_heat: true,
+            faults: None,
         }
     }
 
@@ -114,33 +149,27 @@ impl<'a> Burner<'a> {
         self
     }
 
+    /// Attach a deterministic fault-injection schedule (attempt 0 of a
+    /// faulted zone fails from [`Burner::burn_zone`] without integrating).
+    pub fn with_faults(mut self, faults: Option<BurnFaultConfig>) -> Self {
+        self.faults = faults;
+        self
+    }
+
     /// Default tolerances appropriate for burning.
     pub fn default_options() -> BdfOptions {
-        BdfOptions {
-            rtol: 1e-8,
-            atol: vec![1e-12],
-            ..Default::default()
-        }
+        BdfOptions::builder()
+            .rtol(1e-8)
+            .atol(1e-12)
+            .build()
+            .expect("default burn options are valid")
     }
 
     /// Burn one zone at density `rho` from temperature `t0` and mass
-    /// fractions `x0` for `dt` seconds.
+    /// fractions `x0` for `dt` seconds. On failure the [`BdfError`] carries
+    /// the work statistics of the failed attempt, so the retry ladder can
+    /// charge every rung's cost to the zone.
     pub fn burn(&self, rho: f64, t0: f64, x0: &[f64], dt: f64) -> Result<BurnOutcome, BdfError> {
-        self.burn_traced(rho, t0, x0, dt, BdfStats::default()).0
-    }
-
-    /// Like [`Burner::burn`], but threads an accumulating [`BdfStats`]
-    /// through the call so the integration cost is reported **even on
-    /// failure** — the retry ladder uses this to charge every attempt to
-    /// the zone's [`crate::recovery::BurnFailure`] record.
-    pub fn burn_traced(
-        &self,
-        rho: f64,
-        t0: f64,
-        x0: &[f64],
-        dt: f64,
-        mut stats: BdfStats,
-    ) -> (Result<BurnOutcome, BdfError>, BdfStats) {
         let _prof = exastro_parallel::Profiler::region("burner");
         exastro_parallel::Profiler::record_zones(1);
         let n = self.net.nspec();
@@ -155,12 +184,17 @@ impl<'a> Burner<'a> {
             rho,
             self_heat: self.self_heat,
         };
-        if let Err(e) = self
-            .integ
-            .integrate_with_stats(&sys, 0.0, dt, &mut y, &mut stats)
-        {
-            return (Err(e), stats);
-        }
+        let solve_region = format!("solve[{}]", self.integ.solver_kind());
+        let stats = match self.integ.integrate(&sys, 0.0, dt, &mut y) {
+            Ok(stats) => {
+                exastro_parallel::Profiler::record_ns(&solve_region, stats.solve_ns);
+                stats
+            }
+            Err(e) => {
+                exastro_parallel::Profiler::record_ns(&solve_region, e.stats.solve_ns);
+                return Err(e);
+            }
+        };
         let mut x = vec![0.0; n];
         molar_to_mass(self.net.species(), &y[..n], &mut x);
         // Renormalize against integration drift.
@@ -177,13 +211,12 @@ impl<'a> Burner<'a> {
             .sum::<f64>()
             * N_A
             * MEV_TO_ERG;
-        let outcome = BurnOutcome {
+        Ok(BurnOutcome {
             x,
             t: y[n],
             enuc,
             stats,
-        };
-        (Ok(outcome), stats)
+        })
     }
 
     /// Integrate until the temperature first reaches `t_ignite` (the paper
@@ -248,17 +281,175 @@ impl<'a> Burner<'a> {
     }
 }
 
+impl Burner for PlainBurner<'_> {
+    fn burn_zone(
+        &self,
+        zone: u64,
+        rho: f64,
+        t0: f64,
+        x0: &[f64],
+        dt: f64,
+    ) -> Result<RecoveredBurn, Box<BurnFailure>> {
+        let fail = |error, stats| {
+            Box::new(BurnFailure {
+                zone,
+                rho,
+                t0,
+                x0: x0.to_vec(),
+                rung_reached: LadderRung::Direct,
+                attempts: 1,
+                error,
+                stats,
+            })
+        };
+        if let Some(f) = &self.faults {
+            if f.injects(zone, 0) {
+                return Err(fail(f.error.clone(), BdfStats::default()));
+            }
+        }
+        match self.burn(rho, t0, x0, dt) {
+            Ok(out) => match validate_outcome(&out) {
+                Ok(()) => Ok(RecoveredBurn {
+                    outcome: out,
+                    rung: LadderRung::Direct,
+                    retries: 0,
+                }),
+                Err(kind) => {
+                    let stats = out.stats;
+                    Err(fail(kind, stats))
+                }
+            },
+            Err(e) => Err(fail(e.kind, e.stats)),
+        }
+    }
+}
+
+/// Which Newton linear solver the burner should use, resolved against the
+/// network's declared sparsity at construction time (drivers pick a policy;
+/// the pattern itself comes from [`Network::sparsity_csr`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SolverChoice {
+    /// Dense LU with partial pivoting (VODE's default).
+    #[default]
+    Dense,
+    /// Pattern-specialized sparse LU (the paper's §VI plan).
+    Sparse,
+}
+
+impl SolverChoice {
+    /// Short name for telemetry.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SolverChoice::Dense => "dense",
+            SolverChoice::Sparse => "sparse",
+        }
+    }
+}
+
+/// One-stop burner construction shared by the Castro and MAESTROeX burn
+/// glue: base integrator options, solver policy, retry ladder, and fault
+/// injection in one value, turned into a ladder burner by
+/// [`BurnerConfig::build`].
+#[derive(Clone, Debug)]
+pub struct BurnerConfig {
+    /// Base integrator options (the solver field is overridden by
+    /// [`BurnerConfig::solver`]).
+    pub bdf: BdfOptions,
+    /// Newton linear-solver policy.
+    pub solver: SolverChoice,
+    /// The failure-recovery ladder.
+    pub ladder: RetryLadder,
+    /// Deterministic fault injection for tests and CI smoke runs.
+    pub faults: Option<BurnFaultConfig>,
+}
+
+impl Default for BurnerConfig {
+    fn default() -> Self {
+        BurnerConfig {
+            bdf: PlainBurner::default_options(),
+            solver: SolverChoice::default(),
+            ladder: RetryLadder::default(),
+            faults: None,
+        }
+    }
+}
+
+impl BurnerConfig {
+    /// The integrator options with the solver policy resolved against
+    /// `net`'s declared sparsity pattern.
+    pub fn bdf_for(&self, net: &dyn Network) -> BdfOptions {
+        let mut bdf = self.bdf.clone();
+        bdf.solver = match self.solver {
+            SolverChoice::Dense => NewtonSolver::Dense,
+            SolverChoice::Sparse => NewtonSolver::Sparse(net.sparsity_csr()),
+        };
+        bdf
+    }
+
+    /// Build the retry-ladder burner this configuration describes.
+    pub fn build<'a>(&self, net: &'a dyn Network, eos: &'a dyn Eos) -> RecoveringBurner<'a> {
+        RecoveringBurner::new(net, eos, self.bdf_for(net), &self.ladder)
+            .with_faults(self.faults.clone())
+    }
+}
+
+/// Shared per-sweep burn accounting: both drivers fold each
+/// [`RecoveredBurn`] through [`BurnTally::record`] (which also attributes
+/// ladder retries to the profiler) instead of hand-rolling the rung
+/// bookkeeping.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BurnTally {
+    /// Zones burned.
+    pub zones: u64,
+    /// Zones skipped by temperature/density cutoffs.
+    pub skipped: u64,
+    /// Total integrator steps over all zones (the cost proxy).
+    pub total_steps: u64,
+    /// The largest single-zone step count (the "outlier" of §VI).
+    pub max_steps: u64,
+    /// Retry-ladder attempts beyond the first, summed over zones.
+    pub retries: u64,
+    /// Zones that needed at least one retry to burn.
+    pub recovered: u64,
+    /// Zones rescued by the §VI outlier-offload rung.
+    pub offloaded: u64,
+}
+
+impl BurnTally {
+    /// Fold one recovered burn into the tally (and the profiler's retry
+    /// counter for the innermost open region).
+    pub fn record(&mut self, rec: &RecoveredBurn) {
+        self.zones += 1;
+        self.total_steps += rec.outcome.stats.steps;
+        self.max_steps = self.max_steps.max(rec.outcome.stats.steps);
+        if rec.retries > 0 {
+            exastro_parallel::Profiler::record_retries(rec.retries as u64);
+            self.retries += rec.retries as u64;
+            self.recovered += 1;
+        }
+        if rec.rung == LadderRung::Offload {
+            self.offloaded += 1;
+        }
+    }
+
+    /// Count a zone skipped by the driver's burn cutoffs.
+    pub fn skip(&mut self) {
+        self.skipped += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::eos::StellarEos;
+    use crate::integrator::BdfErrorKind;
     use crate::network::{Aprox13, CBurn2, TripleAlpha};
 
     #[test]
     fn quiescent_zone_stays_quiet() {
         let net = CBurn2::new();
         let eos = StellarEos;
-        let burner = Burner::new(&net, &eos, Burner::default_options());
+        let burner = PlainBurner::new(&net, &eos, PlainBurner::default_options());
         // Cold carbon: no burning on dynamical timescales.
         let out = burner.burn(1e6, 1e7, &[1.0, 0.0], 1.0).unwrap();
         assert!((out.x[0] - 1.0).abs() < 1e-10);
@@ -273,7 +464,7 @@ mod tests {
     fn hot_carbon_burns_exothermically() {
         let net = CBurn2::new();
         let eos = StellarEos;
-        let burner = Burner::new(&net, &eos, Burner::default_options());
+        let burner = PlainBurner::new(&net, &eos, PlainBurner::default_options());
         let out = burner.burn(5e7, 3e9, &[1.0, 0.0], 1e-6).unwrap();
         assert!(out.x[0] < 0.999, "carbon should be consumed: {:?}", out.x);
         assert!(out.x[1] > 1e-4);
@@ -288,7 +479,8 @@ mod tests {
     fn fixed_temperature_burn_does_not_heat() {
         let net = CBurn2::new();
         let eos = StellarEos;
-        let burner = Burner::new(&net, &eos, Burner::default_options()).fixed_temperature();
+        let burner =
+            PlainBurner::new(&net, &eos, PlainBurner::default_options()).fixed_temperature();
         let out = burner.burn(5e7, 3e9, &[1.0, 0.0], 1e-7).unwrap();
         // T is held fixed up to accumulated round-off over many steps.
         assert!((out.t / 3e9 - 1.0).abs() < 1e-8, "T drifted to {}", out.t);
@@ -300,7 +492,7 @@ mod tests {
         // The positive feedback loop: at higher ρ the same T ignites sooner.
         let net = CBurn2::new();
         let eos = StellarEos;
-        let burner = Burner::new(&net, &eos, Burner::default_options());
+        let burner = PlainBurner::new(&net, &eos, PlainBurner::default_options());
         let t_lo = burner
             .time_to_ignition(1e7, 2.2e9, &[1.0, 0.0], 4e9, 1e3)
             .unwrap();
@@ -321,7 +513,7 @@ mod tests {
     fn cold_zone_never_ignites() {
         let net = CBurn2::new();
         let eos = StellarEos;
-        let burner = Burner::new(&net, &eos, Burner::default_options());
+        let burner = PlainBurner::new(&net, &eos, PlainBurner::default_options());
         let res = burner
             .time_to_ignition(1e5, 1e8, &[1.0, 0.0], 4e9, 1.0)
             .unwrap();
@@ -332,7 +524,7 @@ mod tests {
     fn triple_alpha_heats_helium() {
         let net = TripleAlpha::new();
         let eos = StellarEos;
-        let burner = Burner::new(&net, &eos, Burner::default_options());
+        let burner = PlainBurner::new(&net, &eos, PlainBurner::default_options());
         let out = burner.burn(1e6, 3e8, &[1.0, 0.0, 0.0], 1e-2).unwrap();
         assert!(out.x[1] > 0.0, "carbon produced: {:?}", out.x);
         assert!(out.t > 3e8);
@@ -343,7 +535,7 @@ mod tests {
     fn aprox13_burn_conserves_mass_and_releases_energy() {
         let net = Aprox13::new();
         let eos = StellarEos;
-        let burner = Burner::new(&net, &eos, Burner::default_options());
+        let burner = PlainBurner::new(&net, &eos, PlainBurner::default_options());
         let mut x0 = vec![0.0; 13];
         x0[1] = 0.5; // C12
         x0[2] = 0.5; // O16
@@ -356,11 +548,102 @@ mod tests {
     }
 
     #[test]
+    fn sparse_solver_burn_matches_dense() {
+        // The same burn through both Newton solvers; the tight proptest
+        // agreement bound lives in tests/proptests.rs, this is the smoke
+        // version with the driver-facing SolverChoice plumbing.
+        let net = Aprox13::new();
+        let eos = StellarEos;
+        let mut x0 = vec![0.0; 13];
+        x0[1] = 0.5;
+        x0[2] = 0.5;
+        let run = |choice: SolverChoice| {
+            let cfg = BurnerConfig {
+                solver: choice,
+                ..Default::default()
+            };
+            let burner = PlainBurner::new(&net, &eos, cfg.bdf_for(&net));
+            burner.burn(1e7, 3e9, &x0, 1e-7).unwrap()
+        };
+        let d = run(SolverChoice::Dense);
+        let s = run(SolverChoice::Sparse);
+        for (a, b) in d.x.iter().zip(&s.x) {
+            assert!((a - b).abs() < 1e-8, "dense {a} vs sparse {b}");
+        }
+        assert!((d.t - s.t).abs() < 1e-8 * d.t);
+    }
+
+    #[test]
+    fn burner_trait_unifies_plain_and_recovering() {
+        let net = CBurn2::new();
+        let eos = StellarEos;
+        let cfg = BurnerConfig::default();
+        let plain = PlainBurner::new(&net, &eos, cfg.bdf_for(&net));
+        let ladder = cfg.build(&net, &eos);
+        let burners: [&dyn Burner; 2] = [&plain, &ladder];
+        for b in burners {
+            let rec = b.burn_zone(0, 5e7, 3e9, &[1.0, 0.0], 1e-6).unwrap();
+            assert_eq!(rec.rung, LadderRung::Direct);
+            assert_eq!(rec.retries, 0);
+            let sum: f64 = rec.outcome.x.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn plain_burner_injects_faults_through_the_trait() {
+        let net = CBurn2::new();
+        let eos = StellarEos;
+        let faults = BurnFaultConfig {
+            seed: 5,
+            rate: 1.0,
+            rungs_to_fail: 1,
+            error: BdfErrorKind::SingularMatrix,
+        };
+        let plain =
+            PlainBurner::new(&net, &eos, PlainBurner::default_options()).with_faults(Some(faults));
+        let fail = plain.burn_zone(9, 5e7, 3e9, &[1.0, 0.0], 1e-6).unwrap_err();
+        assert_eq!(fail.zone, 9);
+        assert_eq!(fail.attempts, 1);
+        assert_eq!(fail.error, BdfErrorKind::SingularMatrix);
+        assert_eq!(fail.rung_reached, LadderRung::Direct);
+    }
+
+    #[test]
+    fn burn_tally_accumulates_and_classifies() {
+        let mk = |steps: u64, retries: u32, rung: LadderRung| RecoveredBurn {
+            outcome: BurnOutcome {
+                x: vec![1.0],
+                t: 1e8,
+                enuc: 0.0,
+                stats: BdfStats {
+                    steps,
+                    ..Default::default()
+                },
+            },
+            rung,
+            retries,
+        };
+        let mut tally = BurnTally::default();
+        tally.record(&mk(10, 0, LadderRung::Direct));
+        tally.record(&mk(40, 2, LadderRung::Subcycle));
+        tally.record(&mk(200, 3, LadderRung::Offload));
+        tally.skip();
+        assert_eq!(tally.zones, 3);
+        assert_eq!(tally.skipped, 1);
+        assert_eq!(tally.total_steps, 250);
+        assert_eq!(tally.max_steps, 200);
+        assert_eq!(tally.retries, 5);
+        assert_eq!(tally.recovered, 2);
+        assert_eq!(tally.offloaded, 1);
+    }
+
+    #[test]
     fn enuc_is_consistent_with_temperature_rise() {
         // At constant density, ε integrated should ≈ ∫cv dT. Loose check.
         let net = CBurn2::new();
         let eos = StellarEos;
-        let burner = Burner::new(&net, &eos, Burner::default_options());
+        let burner = PlainBurner::new(&net, &eos, PlainBurner::default_options());
         let (rho, t0) = (5e8, 2.5e9);
         let out = burner.burn(rho, t0, &[1.0, 0.0], 3e-8).unwrap();
         assert!(out.t > t0 && out.enuc > 0.0);

@@ -17,12 +17,16 @@
 //! * errors are measured in the weighted-RMS norm and both the step size
 //!   and the order adapt.
 //!
-//! The Newton linear solves go through either dense LU (the VODE default)
-//! or the sparsity-pattern-compiled solver of [`crate::linalg::CompiledLu`]
-//! (the paper's §VI plan), selectable per call — that switch is the
-//! `ablation_sparse_jacobian` benchmark.
+//! The Newton linear solves go through the [`LinearSolver`] trait: dense LU
+//! with partial pivoting (the VODE default) or the symbolic sparse LU of
+//! [`crate::sparse`] (the paper's §VI plan), selected by
+//! [`BdfOptions::solver`]. Either way the matrix is factored **once per
+//! step attempt** and only back-solved inside the Newton loop.
 
-use crate::linalg::{CompiledLu, DenseLu, SparsePattern};
+use crate::linalg::{DenseNewton, LinearSolver};
+use crate::sparse::{CsrPattern, SparseLu, SparseNewton};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// A first-order ODE system `dy/dt = f(t, y)` with an analytic Jacobian.
 pub trait OdeSystem {
@@ -40,11 +44,23 @@ pub enum NewtonSolver {
     /// Dense LU with partial pivoting (VODE's default).
     #[default]
     Dense,
-    /// Pattern-compiled sparse elimination (§VI future work).
-    Compiled(SparsePattern),
+    /// Symbolic sparse LU specialized to the system's fixed sparsity
+    /// pattern (§VI future work); see [`crate::sparse::SparseLu`].
+    Sparse(CsrPattern),
 }
 
-/// Integrator options.
+impl NewtonSolver {
+    /// Short name for telemetry ("dense" / "sparse").
+    pub fn kind(&self) -> &'static str {
+        match self {
+            NewtonSolver::Dense => "dense",
+            NewtonSolver::Sparse(_) => "sparse",
+        }
+    }
+}
+
+/// Integrator options. Build with [`BdfOptions::builder`], which validates;
+/// the fields stay public for inspection.
 #[derive(Clone, Debug)]
 pub struct BdfOptions {
     /// Relative tolerance.
@@ -74,7 +90,147 @@ impl Default for BdfOptions {
     }
 }
 
-/// Statistics from one integration.
+impl BdfOptions {
+    /// Start building a validated option set:
+    /// `BdfOptions::builder().rtol(1e-10).solver(...).build()?`.
+    pub fn builder() -> BdfOptionsBuilder {
+        BdfOptionsBuilder {
+            opts: BdfOptions::default(),
+        }
+    }
+}
+
+/// Invalid integrator configuration, reported by
+/// [`BdfOptionsBuilder::build`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum BdfConfigError {
+    /// A tolerance was zero, negative, or non-finite.
+    NonPositiveTolerance {
+        /// Which tolerance ("rtol" or "atol").
+        which: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// The per-component atol vector was empty.
+    EmptyAtol,
+    /// `max_steps` was zero.
+    ZeroMaxSteps,
+    /// `max_order` was outside 1–5.
+    MaxOrderOutOfRange(usize),
+    /// An explicit initial step was zero, negative, or non-finite.
+    NonPositiveInitialStep(f64),
+}
+
+impl std::fmt::Display for BdfConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BdfConfigError::NonPositiveTolerance { which, value } => {
+                write!(
+                    f,
+                    "BDF config: {which} must be positive and finite, got {value}"
+                )
+            }
+            BdfConfigError::EmptyAtol => write!(f, "BDF config: atol vector is empty"),
+            BdfConfigError::ZeroMaxSteps => write!(f, "BDF config: max_steps must be > 0"),
+            BdfConfigError::MaxOrderOutOfRange(q) => {
+                write!(f, "BDF config: max_order must be 1–5, got {q}")
+            }
+            BdfConfigError::NonPositiveInitialStep(h) => {
+                write!(f, "BDF config: h0 must be positive and finite, got {h}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BdfConfigError {}
+
+/// Builder for [`BdfOptions`]; [`BdfOptionsBuilder::build`] validates the
+/// configuration and returns a typed [`BdfConfigError`] on nonsense input.
+#[derive(Clone, Debug)]
+pub struct BdfOptionsBuilder {
+    opts: BdfOptions,
+}
+
+impl BdfOptionsBuilder {
+    /// Relative tolerance.
+    pub fn rtol(mut self, rtol: f64) -> Self {
+        self.opts.rtol = rtol;
+        self
+    }
+
+    /// Scalar absolute tolerance, broadcast to every component.
+    pub fn atol(mut self, atol: f64) -> Self {
+        self.opts.atol = vec![atol];
+        self
+    }
+
+    /// Per-component absolute tolerances.
+    pub fn atol_vec(mut self, atol: Vec<f64>) -> Self {
+        self.opts.atol = atol;
+        self
+    }
+
+    /// Maximum BDF order (1–5).
+    pub fn max_order(mut self, q: usize) -> Self {
+        self.opts.max_order = q;
+        self
+    }
+
+    /// Maximum internal step count.
+    pub fn max_steps(mut self, n: usize) -> Self {
+        self.opts.max_steps = n;
+        self
+    }
+
+    /// Fixed initial step size (default: chosen automatically).
+    pub fn h0(mut self, h0: f64) -> Self {
+        self.opts.h0 = Some(h0);
+        self
+    }
+
+    /// Newton linear solver.
+    pub fn solver(mut self, solver: NewtonSolver) -> Self {
+        self.opts.solver = solver;
+        self
+    }
+
+    /// Validate and produce the options.
+    pub fn build(self) -> Result<BdfOptions, BdfConfigError> {
+        let o = self.opts;
+        if !(o.rtol > 0.0 && o.rtol.is_finite()) {
+            return Err(BdfConfigError::NonPositiveTolerance {
+                which: "rtol",
+                value: o.rtol,
+            });
+        }
+        if o.atol.is_empty() {
+            return Err(BdfConfigError::EmptyAtol);
+        }
+        for &a in &o.atol {
+            if !(a > 0.0 && a.is_finite()) {
+                return Err(BdfConfigError::NonPositiveTolerance {
+                    which: "atol",
+                    value: a,
+                });
+            }
+        }
+        if o.max_steps == 0 {
+            return Err(BdfConfigError::ZeroMaxSteps);
+        }
+        if !(1..=5).contains(&o.max_order) {
+            return Err(BdfConfigError::MaxOrderOutOfRange(o.max_order));
+        }
+        if let Some(h0) = o.h0 {
+            if !(h0 > 0.0 && h0.is_finite()) {
+                return Err(BdfConfigError::NonPositiveInitialStep(h0));
+            }
+        }
+        Ok(o)
+    }
+}
+
+/// Statistics from one integration (returned on success **and** carried by
+/// [`BdfError`] on failure, so failed work is never invisible).
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct BdfStats {
     /// Accepted steps.
@@ -89,13 +245,31 @@ pub struct BdfStats {
     pub factorizations: u64,
     /// Total Newton iterations.
     pub newton_iters: u64,
+    /// Wall time in the Newton linear algebra (factor + back-solves), ns.
+    pub solve_ns: u64,
     /// Order in use when integration finished.
     pub final_order: usize,
 }
 
-/// Integration failure.
+impl BdfStats {
+    /// Fold another integration's counters into this one (the retry
+    /// ladder charges every rung's cost to the zone). `final_order` takes
+    /// the most recent value.
+    pub fn merge(&mut self, other: &BdfStats) {
+        self.steps += other.steps;
+        self.rejected += other.rejected;
+        self.rhs_evals += other.rhs_evals;
+        self.jac_evals += other.jac_evals;
+        self.factorizations += other.factorizations;
+        self.newton_iters += other.newton_iters;
+        self.solve_ns += other.solve_ns;
+        self.final_order = other.final_order;
+    }
+}
+
+/// What went wrong, independent of how much work was spent finding out.
 #[derive(Clone, Debug, PartialEq)]
-pub enum BdfError {
+pub enum BdfErrorKind {
     /// Too many internal steps.
     MaxSteps,
     /// Step size underflowed: the problem is too stiff for the tolerances
@@ -111,14 +285,41 @@ pub enum BdfError {
     NonFinite,
 }
 
-impl std::fmt::Display for BdfError {
+impl std::fmt::Display for BdfErrorKind {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            BdfError::MaxSteps => write!(f, "BDF: exceeded maximum step count"),
-            BdfError::StepUnderflow { t } => write!(f, "BDF: step size underflow at t = {t}"),
-            BdfError::SingularMatrix => write!(f, "BDF: singular Newton matrix"),
-            BdfError::NonFinite => write!(f, "BDF: integration produced non-finite state"),
+            BdfErrorKind::MaxSteps => write!(f, "BDF: exceeded maximum step count"),
+            BdfErrorKind::StepUnderflow { t } => write!(f, "BDF: step size underflow at t = {t}"),
+            BdfErrorKind::SingularMatrix => write!(f, "BDF: singular Newton matrix"),
+            BdfErrorKind::NonFinite => write!(f, "BDF: integration produced non-finite state"),
         }
+    }
+}
+
+/// Integration failure: the error kind plus the statistics of the work
+/// spent before failing (the retry ladder charges failed attempts to the
+/// zone's record, so a failure that hid its cost would corrupt telemetry).
+#[derive(Clone, Debug, PartialEq)]
+pub struct BdfError {
+    /// What went wrong.
+    pub kind: BdfErrorKind,
+    /// Work performed before the failure.
+    pub stats: BdfStats,
+}
+
+impl BdfError {
+    /// A bare error with zeroed stats (for injected/synthetic failures).
+    pub fn from_kind(kind: BdfErrorKind) -> Self {
+        BdfError {
+            kind,
+            stats: BdfStats::default(),
+        }
+    }
+}
+
+impl std::fmt::Display for BdfError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.kind)
     }
 }
 
@@ -150,16 +351,15 @@ struct Workspace {
     rhs: Vec<f64>,
     resid: Vec<f64>,
     jac: Vec<f64>,
-    newton_mat: Vec<f64>,
     ewt: Vec<f64>,
-    sparse_work: Vec<f64>,
 }
 
 /// The BDF integrator object; reusable across many zones to amortize
-/// setup (notably the symbolic sparse factorization).
+/// setup (notably the symbolic sparse factorization, which is computed
+/// once here and shared by every solve).
 pub struct BdfIntegrator {
     opts: BdfOptions,
-    compiled: Option<CompiledLu>,
+    sparse: Option<Arc<SparseLu>>,
 }
 
 /// Apply the Pascal-triangle prediction `z ← A z` in place.
@@ -205,11 +405,36 @@ fn rescale(z: &mut [Vec<f64>], q: usize, r: f64) {
 impl BdfIntegrator {
     /// Create an integrator with the given options.
     pub fn new(opts: BdfOptions) -> Self {
-        let compiled = match &opts.solver {
-            NewtonSolver::Compiled(p) => Some(CompiledLu::compile(p)),
+        let sparse = match &opts.solver {
+            NewtonSolver::Sparse(p) => Some(Arc::new(SparseLu::compile(p))),
             NewtonSolver::Dense => None,
         };
-        BdfIntegrator { opts, compiled }
+        BdfIntegrator { opts, sparse }
+    }
+
+    /// The configured options.
+    pub fn options(&self) -> &BdfOptions {
+        &self.opts
+    }
+
+    /// The configured linear-solver kind ("dense" / "sparse").
+    pub fn solver_kind(&self) -> &'static str {
+        self.opts.solver.kind()
+    }
+
+    fn make_solver(&self, n: usize) -> Box<dyn LinearSolver> {
+        match &self.sparse {
+            None => Box::new(DenseNewton::new(n)),
+            Some(lu) => {
+                assert_eq!(
+                    lu.dim(),
+                    n,
+                    "sparse pattern dimension {} does not match system dimension {n}",
+                    lu.dim()
+                );
+                Box::new(SparseNewton::new(Arc::clone(lu)))
+            }
+        }
     }
 
     fn error_weights(&self, y: &[f64], ewt: &mut [f64]) {
@@ -233,26 +458,14 @@ impl BdfIntegrator {
             .sqrt()
     }
 
-    /// Integrate `sys` from `t0` to `tend`, updating `y` in place.
-    pub fn integrate(
-        &self,
-        sys: &dyn OdeSystem,
-        t0: f64,
-        tend: f64,
-        y: &mut [f64],
-    ) -> Result<BdfStats, BdfError> {
-        let mut stats = BdfStats::default();
-        self.integrate_with_stats(sys, t0, tend, y, &mut stats)?;
-        Ok(stats)
-    }
-
-    /// Like [`BdfIntegrator::integrate`], but accumulates into a
-    /// caller-owned [`BdfStats`] so the work spent is visible **even when
-    /// the integration fails** — the retry ladder charges every rung's cost
-    /// to the zone's failure record. Counters are added to whatever is
-    /// already in `stats` (pass a fresh `BdfStats::default()` for a single
-    /// attempt); `final_order` is overwritten with the order in use when
-    /// this call returned.
+    /// Deprecated accumulate-into-caller-stats entry point. The unified
+    /// [`BdfIntegrator::integrate`] always returns stats — on failure they
+    /// ride on [`BdfError::stats`] — so a separate accumulating variant is
+    /// no longer needed; use [`BdfStats::merge`] to accumulate.
+    #[deprecated(
+        since = "0.5.0",
+        note = "use `integrate` (stats are always returned; errors carry them too) and `BdfStats::merge`"
+    )]
     pub fn integrate_with_stats(
         &self,
         sys: &dyn OdeSystem,
@@ -261,11 +474,35 @@ impl BdfIntegrator {
         y: &mut [f64],
         stats: &mut BdfStats,
     ) -> Result<(), BdfError> {
+        match self.integrate(sys, t0, tend, y) {
+            Ok(s) => {
+                stats.merge(&s);
+                Ok(())
+            }
+            Err(e) => {
+                stats.merge(&e.stats);
+                Err(e)
+            }
+        }
+    }
+
+    /// Integrate `sys` from `t0` to `tend`, updating `y` in place. Returns
+    /// the work statistics on success; on failure the returned
+    /// [`BdfError`] carries both the error kind and the statistics of the
+    /// work spent before failing.
+    pub fn integrate(
+        &self,
+        sys: &dyn OdeSystem,
+        t0: f64,
+        tend: f64,
+        y: &mut [f64],
+    ) -> Result<BdfStats, BdfError> {
         assert_eq!(y.len(), sys.dim());
         assert!(tend > t0);
         let n = sys.dim();
         let max_order = self.opts.max_order.clamp(1, 5);
-        let work_at_entry = stats.steps + stats.rejected;
+        let mut stats = BdfStats::default();
+        let mut solver = self.make_solver(n);
         let mut ws = Workspace {
             ycur: vec![0.0; n],
             acor: vec![0.0; n],
@@ -273,9 +510,7 @@ impl BdfIntegrator {
             rhs: vec![0.0; n],
             resid: vec![0.0; n],
             jac: vec![0.0; n * n],
-            newton_mat: vec![0.0; n * n],
             ewt: vec![0.0; n],
-            sparse_work: vec![0.0; self.compiled.as_ref().map_or(0, |c| c.nnz_filled())],
         };
         let mut l = [0.0f64; 6];
 
@@ -303,11 +538,17 @@ impl BdfIntegrator {
         let mut err_fails = 0usize;
         let mut have_acor_prev = false;
 
+        macro_rules! fail {
+            ($kind:expr, $z:expr, $q:expr) => {{
+                y.copy_from_slice(&$z[0]);
+                stats.final_order = $q;
+                return Err(BdfError { kind: $kind, stats });
+            }};
+        }
+
         while t < tend - 1e-14 * (tend - t0).abs() {
-            if stats.steps + stats.rejected - work_at_entry > self.opts.max_steps as u64 {
-                y.copy_from_slice(&z[0]);
-                stats.final_order = q;
-                return Err(BdfError::MaxSteps);
+            if stats.steps + stats.rejected > self.opts.max_steps as u64 {
+                fail!(BdfErrorKind::MaxSteps, z, q);
             }
             // Clamp to land on tend.
             if t + h > tend {
@@ -326,31 +567,20 @@ impl BdfIntegrator {
             ws.ycur.copy_from_slice(&z[0]);
             sys.jac(tn, &ws.ycur, &mut ws.jac);
             stats.jac_evals += 1;
-            for r in 0..n {
-                for c in 0..n {
-                    ws.newton_mat[r * n + c] = -gamma * ws.jac[r * n + c];
-                }
-                ws.newton_mat[r * n + r] += 1.0;
-            }
             stats.factorizations += 1;
-            let dense_fact = match &self.compiled {
-                None => match DenseLu::factor(&ws.newton_mat, n) {
-                    Ok(f) => Some(f),
-                    Err(_) => {
-                        unpredict(&mut z, q);
-                        stats.rejected += 1;
-                        if h * 0.25 < hmin {
-                            y.copy_from_slice(&z[0]);
-                            stats.final_order = q;
-                            return Err(BdfError::SingularMatrix);
-                        }
-                        rescale(&mut z, q, 0.25);
-                        h *= 0.25;
-                        continue;
-                    }
-                },
-                Some(_) => None,
-            };
+            let t_factor = Instant::now();
+            let factored = solver.factor(&ws.jac, gamma);
+            stats.solve_ns += t_factor.elapsed().as_nanos() as u64;
+            if factored.is_err() {
+                unpredict(&mut z, q);
+                stats.rejected += 1;
+                if h * 0.25 < hmin {
+                    fail!(BdfErrorKind::SingularMatrix, z, q);
+                }
+                rescale(&mut z, q, 0.25);
+                h *= 0.25;
+                continue;
+            }
 
             // Newton iteration; acor accumulates e = y − y_pred.
             ws.acor.iter_mut().for_each(|v| *v = 0.0);
@@ -363,20 +593,9 @@ impl BdfIntegrator {
                 for i in 0..n {
                     ws.resid[i] = gamma * ws.rhs[i] - l[0] * z[1][i] - ws.acor[i];
                 }
-                let solved = match &dense_fact {
-                    Some(f) => {
-                        f.solve(&mut ws.resid);
-                        true
-                    }
-                    None => {
-                        let c = self.compiled.as_ref().unwrap();
-                        c.factor_solve(&ws.newton_mat, &mut ws.resid, &mut ws.sparse_work)
-                            .is_ok()
-                    }
-                };
-                if !solved {
-                    break;
-                }
+                let t_solve = Instant::now();
+                solver.solve(&mut ws.resid);
+                stats.solve_ns += t_solve.elapsed().as_nanos() as u64;
                 stats.newton_iters += 1;
                 for i in 0..n {
                     ws.acor[i] += ws.resid[i];
@@ -400,9 +619,7 @@ impl BdfIntegrator {
                 stats.rejected += 1;
                 newton_fails += 1;
                 if h * 0.25 < hmin {
-                    y.copy_from_slice(&z[0]);
-                    stats.final_order = q;
-                    return Err(BdfError::StepUnderflow { t });
+                    fail!(BdfErrorKind::StepUnderflow { t }, z, q);
                 }
                 rescale(&mut z, q, 0.25);
                 h *= 0.25;
@@ -424,9 +641,7 @@ impl BdfIntegrator {
                 err_fails += 1;
                 let r = (0.9 * est.powf(-1.0 / (q as f64 + 1.0))).clamp(0.1, 0.9);
                 if h * r < hmin {
-                    y.copy_from_slice(&z[0]);
-                    stats.final_order = q;
-                    return Err(BdfError::StepUnderflow { t });
+                    fail!(BdfErrorKind::StepUnderflow { t }, z, q);
                 }
                 rescale(&mut z, q, r);
                 h *= r;
@@ -509,7 +724,7 @@ impl BdfIntegrator {
         }
         y.copy_from_slice(&z[0]);
         stats.final_order = q;
-        Ok(())
+        Ok(stats)
     }
 }
 
@@ -668,10 +883,8 @@ mod tests {
         // k = 1e8 over t = 1: explicit would need ~1e8 steps.
         let sys = Decay { k: 1e8 };
         let mut y = [1.0];
-        let integ = BdfIntegrator::new(BdfOptions {
-            rtol: 1e-6,
-            ..Default::default()
-        });
+        let opts = BdfOptions::builder().rtol(1e-6).build().unwrap();
+        let integ = BdfIntegrator::new(opts);
         let stats = integ.integrate(&sys, 0.0, 1.0, &mut y).unwrap();
         assert!(y[0].abs() < 1e-8);
         assert!(
@@ -684,11 +897,12 @@ mod tests {
     #[test]
     fn robertson_standard_checkpoint() {
         let mut y = [1.0, 0.0, 0.0];
-        let integ = BdfIntegrator::new(BdfOptions {
-            rtol: 1e-8,
-            atol: vec![1e-12, 1e-14, 1e-12],
-            ..Default::default()
-        });
+        let opts = BdfOptions::builder()
+            .rtol(1e-8)
+            .atol_vec(vec![1e-12, 1e-14, 1e-12])
+            .build()
+            .unwrap();
+        let integ = BdfIntegrator::new(opts);
         let stats = integ.integrate(&Robertson, 0.0, 40.0, &mut y).unwrap();
         // Reference values at t = 40 (from published stiff test suites).
         assert!((y[0] - 0.7158271).abs() < 1e-4, "y0 = {}", y[0]);
@@ -696,16 +910,18 @@ mod tests {
         assert!((y[2] - 0.2841636).abs() < 1e-4, "y2 = {}", y[2]);
         assert!((y[0] + y[1] + y[2] - 1.0).abs() < 1e-7);
         assert!(stats.steps < 20_000, "{} steps", stats.steps);
+        assert!(stats.solve_ns > 0, "linear-solve time must be attributed");
     }
 
     #[test]
     fn oscillator_accuracy_and_order_raising() {
         let mut y = [1.0, 0.0];
-        let integ = BdfIntegrator::new(BdfOptions {
-            rtol: 1e-9,
-            atol: vec![1e-12],
-            ..Default::default()
-        });
+        let opts = BdfOptions::builder()
+            .rtol(1e-9)
+            .atol(1e-12)
+            .build()
+            .unwrap();
+        let integ = BdfIntegrator::new(opts);
         let stats = integ.integrate(&Oscillator, 0.0, 10.0, &mut y).unwrap();
         assert!((y[0] - 10f64.cos()).abs() < 1e-5, "y0 = {}", y[0]);
         assert!((y[1] + 10f64.sin()).abs() < 1e-5, "y1 = {}", y[1]);
@@ -720,11 +936,12 @@ mod tests {
     fn tighter_tolerance_means_smaller_error() {
         let run = |rtol: f64| {
             let mut y = [1.0, 0.0];
-            let integ = BdfIntegrator::new(BdfOptions {
-                rtol,
-                atol: vec![rtol * 1e-3],
-                ..Default::default()
-            });
+            let opts = BdfOptions::builder()
+                .rtol(rtol)
+                .atol(rtol * 1e-3)
+                .build()
+                .unwrap();
+            let integ = BdfIntegrator::new(opts);
             integ.integrate(&Oscillator, 0.0, 5.0, &mut y).unwrap();
             (y[0] - 5f64.cos()).abs()
         };
@@ -735,8 +952,8 @@ mod tests {
     }
 
     #[test]
-    fn compiled_solver_matches_dense() {
-        let pattern = SparsePattern::new(
+    fn sparse_solver_matches_dense() {
+        let pattern = CsrPattern::new(
             3,
             vec![
                 (0, 0),
@@ -750,22 +967,23 @@ mod tests {
             ],
         );
         let run = |solver: NewtonSolver| {
+            let opts = BdfOptions::builder()
+                .rtol(1e-8)
+                .atol_vec(vec![1e-12, 1e-14, 1e-12])
+                .solver(solver)
+                .build()
+                .unwrap();
             let mut y = [1.0, 0.0, 0.0];
-            let integ = BdfIntegrator::new(BdfOptions {
-                rtol: 1e-8,
-                atol: vec![1e-12, 1e-14, 1e-12],
-                solver,
-                ..Default::default()
-            });
+            let integ = BdfIntegrator::new(opts);
             integ.integrate(&Robertson, 0.0, 40.0, &mut y).unwrap();
             y
         };
         let yd = run(NewtonSolver::Dense);
-        let ys = run(NewtonSolver::Compiled(pattern));
+        let ys = run(NewtonSolver::Sparse(pattern));
         for i in 0..3 {
             assert!(
                 (yd[i] - ys[i]).abs() < 1e-6 * yd[i].abs().max(1e-10),
-                "component {i}: dense {} vs compiled {}",
+                "component {i}: dense {} vs sparse {}",
                 yd[i],
                 ys[i]
             );
@@ -783,47 +1001,131 @@ mod tests {
     fn max_steps_is_enforced() {
         let sys = Decay { k: 1.0 };
         let mut y = [1.0];
-        let integ = BdfIntegrator::new(BdfOptions {
-            max_steps: 3,
-            rtol: 1e-12,
-            atol: vec![1e-14],
-            h0: Some(1e-9),
-            ..Default::default()
-        });
+        let opts = BdfOptions::builder()
+            .max_steps(3)
+            .rtol(1e-12)
+            .atol(1e-14)
+            .h0(1e-9)
+            .build()
+            .unwrap();
+        let integ = BdfIntegrator::new(opts);
         assert_eq!(
-            integ.integrate(&sys, 0.0, 1.0, &mut y).unwrap_err(),
-            BdfError::MaxSteps
+            integ.integrate(&sys, 0.0, 1.0, &mut y).unwrap_err().kind,
+            BdfErrorKind::MaxSteps
         );
     }
 
     #[test]
-    fn stats_survive_a_failed_integration() {
+    fn failed_integration_reports_its_cost() {
         let sys = Decay { k: 1.0 };
         let mut y = [1.0];
-        let integ = BdfIntegrator::new(BdfOptions {
-            max_steps: 3,
-            rtol: 1e-12,
-            atol: vec![1e-14],
-            h0: Some(1e-9),
-            ..Default::default()
-        });
-        let mut stats = BdfStats::default();
-        let err = integ
-            .integrate_with_stats(&sys, 0.0, 1.0, &mut y, &mut stats)
-            .unwrap_err();
-        assert_eq!(err, BdfError::MaxSteps);
-        assert!(stats.rhs_evals > 0, "failed run must still report its cost");
-        assert!(stats.steps + stats.rejected > 3);
+        let opts = BdfOptions::builder()
+            .max_steps(3)
+            .rtol(1e-12)
+            .atol(1e-14)
+            .h0(1e-9)
+            .build()
+            .unwrap();
+        let integ = BdfIntegrator::new(opts);
+        let err = integ.integrate(&sys, 0.0, 1.0, &mut y).unwrap_err();
+        assert_eq!(err.kind, BdfErrorKind::MaxSteps);
+        assert!(
+            err.stats.rhs_evals > 0,
+            "failed run must still report its cost"
+        );
+        assert!(err.stats.steps + err.stats.rejected > 3);
 
-        // Accumulation: a second call adds to the same counters and the
-        // max-steps budget is measured from entry, not from zero.
-        let before = stats.rhs_evals;
+        // Accumulation across attempts is the caller's merge.
+        let mut total = err.stats;
         let mut y2 = [1.0];
-        let err2 = integ
-            .integrate_with_stats(&sys, 0.0, 1.0, &mut y2, &mut stats)
-            .unwrap_err();
-        assert_eq!(err2, BdfError::MaxSteps);
-        assert!(stats.rhs_evals > before);
+        let err2 = integ.integrate(&sys, 0.0, 1.0, &mut y2).unwrap_err();
+        total.merge(&err2.stats);
+        assert_eq!(err2.kind, BdfErrorKind::MaxSteps);
+        assert!(total.rhs_evals > err.stats.rhs_evals);
+    }
+
+    #[test]
+    fn stats_merge_sums_counters() {
+        let a = BdfStats {
+            steps: 3,
+            rejected: 1,
+            rhs_evals: 10,
+            jac_evals: 4,
+            factorizations: 4,
+            newton_iters: 8,
+            solve_ns: 100,
+            final_order: 2,
+        };
+        let mut m = a;
+        m.merge(&BdfStats {
+            steps: 2,
+            rejected: 0,
+            rhs_evals: 5,
+            jac_evals: 2,
+            factorizations: 2,
+            newton_iters: 4,
+            solve_ns: 50,
+            final_order: 4,
+        });
+        assert_eq!(m.steps, 5);
+        assert_eq!(m.rejected, 1);
+        assert_eq!(m.rhs_evals, 15);
+        assert_eq!(m.jac_evals, 6);
+        assert_eq!(m.factorizations, 6);
+        assert_eq!(m.newton_iters, 12);
+        assert_eq!(m.solve_ns, 150);
+        assert_eq!(m.final_order, 4, "final_order takes the latest value");
+    }
+
+    #[test]
+    fn builder_validates_configuration() {
+        assert!(BdfOptions::builder().build().is_ok());
+        assert_eq!(
+            BdfOptions::builder().rtol(0.0).build().unwrap_err(),
+            BdfConfigError::NonPositiveTolerance {
+                which: "rtol",
+                value: 0.0
+            }
+        );
+        assert!(matches!(
+            BdfOptions::builder().rtol(f64::NAN).build().unwrap_err(),
+            BdfConfigError::NonPositiveTolerance { which: "rtol", .. }
+        ));
+        assert_eq!(
+            BdfOptions::builder().atol(-1e-9).build().unwrap_err(),
+            BdfConfigError::NonPositiveTolerance {
+                which: "atol",
+                value: -1e-9
+            }
+        );
+        assert_eq!(
+            BdfOptions::builder().atol_vec(vec![]).build().unwrap_err(),
+            BdfConfigError::EmptyAtol
+        );
+        assert_eq!(
+            BdfOptions::builder().max_steps(0).build().unwrap_err(),
+            BdfConfigError::ZeroMaxSteps
+        );
+        assert_eq!(
+            BdfOptions::builder().max_order(7).build().unwrap_err(),
+            BdfConfigError::MaxOrderOutOfRange(7)
+        );
+        assert_eq!(
+            BdfOptions::builder().h0(-1.0).build().unwrap_err(),
+            BdfConfigError::NonPositiveInitialStep(-1.0)
+        );
+        let opts = BdfOptions::builder()
+            .rtol(1e-10)
+            .atol(1e-14)
+            .max_order(3)
+            .max_steps(1000)
+            .h0(1e-12)
+            .solver(NewtonSolver::Sparse(CsrPattern::new(2, vec![(0, 1)])))
+            .build()
+            .unwrap();
+        assert_eq!(opts.rtol, 1e-10);
+        assert_eq!(opts.max_order, 3);
+        assert_eq!(opts.solver.kind(), "sparse");
     }
 
     #[test]

@@ -11,10 +11,14 @@
 //!   electron) equations of state;
 //! * [`rates`] — Gamow-peak reaction-rate fits and plasma screening;
 //! * [`network`] — the reaction-network framework and the `cburn2`,
-//!   `triple_alpha`, and `aprox13` networks;
-//! * [`linalg`] — dense LU and the sparsity-pattern-compiled solver;
+//!   `triple_alpha`, `iso7`, and `aprox13` networks;
+//! * [`linalg`] — dense LU and the [`linalg::LinearSolver`] Newton-solver
+//!   interface;
+//! * [`sparse`] — pattern-specialized sparse LU with precomputed symbolic
+//!   factorization (the analytic sparse-Jacobian path of the paper's §VI);
 //! * [`integrator`] — the VODE-style variable-order BDF integrator;
-//! * [`burner`] — the self-heating zone burner used by the hydro codes;
+//! * [`burner`] — the self-heating zone burner and the [`burner::Burner`]
+//!   trait the hydro codes drive it through;
 //! * [`recovery`] — the burn retry ladder (relaxed tolerances → subcycling
 //!   → §VI outlier offload) with deterministic fault injection.
 
@@ -33,16 +37,21 @@ pub mod linalg;
 pub mod network;
 pub mod rates;
 pub mod recovery;
+pub mod sparse;
 pub mod species;
 
-pub use burner::{BurnOutcome, Burner};
+pub use burner::{BurnOutcome, BurnTally, Burner, BurnerConfig, PlainBurner, SolverChoice};
 pub use eos::{Eos, EosResult, GammaLaw, StellarEos};
-pub use integrator::{rk4, BdfError, BdfIntegrator, BdfOptions, BdfStats, NewtonSolver, OdeSystem};
-pub use linalg::{CompiledLu, DenseLu, Singular, SparsePattern};
+pub use integrator::{
+    rk4, BdfConfigError, BdfError, BdfErrorKind, BdfIntegrator, BdfOptions, BdfOptionsBuilder,
+    BdfStats, NewtonSolver, OdeSystem,
+};
+pub use linalg::{CompiledLu, DenseLu, DenseNewton, LinearSolver, Singular, SparsePattern};
 pub use network::{Aprox13, CBurn2, Iso7, Network, Reaction, TripleAlpha};
 pub use rates::{gamow_tau_alpha, screening_factor, Rate};
 pub use recovery::{
     BurnFailure, BurnFaultConfig, LadderRung, OffloadOptions, RecoveredBurn, RecoveringBurner,
     RetryLadder,
 };
+pub use sparse::{CsrPattern, SparseLu, SparseNewton};
 pub use species::{energy_rate, mass_to_molar, molar_to_mass, Composition, Species};

@@ -16,6 +16,7 @@
 
 use crate::linalg::SparsePattern;
 use crate::rates::{gamow_tau_alpha, screening_factor, Rate};
+use crate::sparse::CsrPattern;
 use crate::species::{energy_rate, iso, Species};
 
 /// One reaction: `Σ count_i · reactant_i → Σ count_j · product_j`.
@@ -232,6 +233,12 @@ pub trait Network: Send + Sync {
         }
         entries.push((n, n));
         SparsePattern::new(m, entries)
+    }
+
+    /// [`Network::sparsity`] in compressed-sparse-row form, ready for
+    /// symbolic factorization by [`crate::sparse::SparseLu`].
+    fn sparsity_csr(&self) -> CsrPattern {
+        CsrPattern::from_coords(&self.sparsity())
     }
 }
 
@@ -668,18 +675,38 @@ mod tests {
 
     #[test]
     fn jacobian_respects_declared_sparsity() {
-        let net = Aprox13::new();
-        let n = net.nspec();
-        let m = n + 1;
-        let p = net.sparsity();
-        let mut y = vec![0.01; n];
-        y[0] = 0.05;
-        let mut jac = vec![0.0; m * m];
-        net.jac(5e6, 3e9, &y, &mut jac);
-        for r in 0..n {
-            for c in 0..m {
-                if jac[r * m + c] != 0.0 {
-                    assert!(p.contains(r, c), "nonzero J[{r}][{c}] outside pattern");
+        // Every network's declared pattern must be a superset of the
+        // numerically nonzero Jacobian entries — the sparse Newton solver
+        // only allocates storage for declared slots, so an undeclared
+        // nonzero would be silently dropped. Probe several (ρ, T, Y)
+        // states so rate cutoffs don't hide couplings.
+        let nets: [&dyn Network; 4] = [
+            &CBurn2::new(),
+            &TripleAlpha::new(),
+            &Iso7::new(),
+            &Aprox13::new(),
+        ];
+        for net in nets {
+            let n = net.nspec();
+            let m = n + 1;
+            let p = net.sparsity();
+            let csr = net.sparsity_csr();
+            assert_eq!(csr.dim(), m);
+            for (rho, t) in [(5e6, 3e9), (1e8, 5e9), (1e4, 5e8)] {
+                let mut y = vec![0.01; n];
+                y[0] = 0.05;
+                let mut jac = vec![0.0; m * m];
+                net.jac(rho, t, &y, &mut jac);
+                for r in 0..n {
+                    for c in 0..m {
+                        if jac[r * m + c] != 0.0 {
+                            assert!(
+                                p.contains(r, c) && csr.contains(r, c),
+                                "{}: nonzero J[{r}][{c}] outside pattern",
+                                net.name()
+                            );
+                        }
+                    }
                 }
             }
         }

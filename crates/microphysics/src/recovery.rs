@@ -28,11 +28,11 @@
 //! Deterministic **fault injection** ([`BurnFaultConfig`], in the style of
 //! `exastro-resilience`'s `KillSchedule`) makes every rung exercisable in
 //! tests and CI: a seeded per-zone predicate forces the first N attempts of
-//! selected zones to fail with a configurable [`BdfError`].
+//! selected zones to fail with a configurable [`BdfErrorKind`].
 
-use crate::burner::{BurnOutcome, Burner};
+use crate::burner::{BurnOutcome, Burner, PlainBurner};
 use crate::eos::Eos;
-use crate::integrator::{BdfError, BdfOptions, BdfStats};
+use crate::integrator::{BdfErrorKind, BdfOptions, BdfStats};
 use crate::network::Network;
 
 /// Tolerated |ΣX − 1| drift in a recovered outcome; anything worse fails
@@ -92,15 +92,16 @@ impl Default for OffloadOptions {
 
 impl OffloadOptions {
     fn to_bdf(&self) -> BdfOptions {
-        BdfOptions {
-            rtol: self.rtol,
-            atol: vec![self.atol],
-            max_order: self.max_order,
-            max_steps: self.max_steps,
-            // The offload path is scalar and dense by construction.
-            solver: crate::integrator::NewtonSolver::Dense,
-            h0: None,
-        }
+        // The offload path stays scalar and dense by construction (it is
+        // the conservative fallback; sparse-pattern bugs must not be able
+        // to take it down with the direct rung).
+        BdfOptions::builder()
+            .rtol(self.rtol)
+            .atol(self.atol)
+            .max_order(self.max_order)
+            .max_steps(self.max_steps)
+            .build()
+            .expect("offload options are valid")
     }
 }
 
@@ -154,7 +155,7 @@ pub struct BurnFaultConfig {
     /// unrecoverable and exercises the driver's failure path.
     pub rungs_to_fail: u32,
     /// The error each injected failure reports.
-    pub error: BdfError,
+    pub error: BdfErrorKind,
 }
 
 /// splitmix64 finalizer — a cheap, well-mixed hash.
@@ -197,7 +198,7 @@ pub struct BurnFailure {
     /// Total burn attempts made (ladder rungs tried).
     pub attempts: u32,
     /// The error from the final attempt.
-    pub error: BdfError,
+    pub error: BdfErrorKind,
     /// Integrator statistics accumulated over **all** attempts — the cost
     /// this zone consumed before being given up on.
     pub stats: BdfStats,
@@ -227,11 +228,28 @@ pub struct RecoveredBurn {
     pub retries: u32,
 }
 
-/// A [`Burner`] wrapped in the retry ladder, with optional fault injection.
+/// Validate a rung's outcome: everything finite, no significantly negative
+/// abundance, ΣX within [`SPECIES_SUM_TOL`] of unity. Shared by the plain
+/// burner's [`Burner`] impl and the ladder.
+pub(crate) fn validate_outcome(out: &BurnOutcome) -> Result<(), BdfErrorKind> {
+    let finite = out.t.is_finite()
+        && out.t > 0.0
+        && out.enuc.is_finite()
+        && out.x.iter().all(|x| x.is_finite() && *x > -1e-8);
+    let sum: f64 = out.x.iter().sum();
+    if finite && (sum - 1.0).abs() <= SPECIES_SUM_TOL {
+        Ok(())
+    } else {
+        Err(BdfErrorKind::NonFinite)
+    }
+}
+
+/// A [`PlainBurner`] wrapped in the retry ladder, with optional fault
+/// injection. Drivers consume it through the [`Burner`] trait.
 pub struct RecoveringBurner<'a> {
-    direct: Burner<'a>,
-    relaxed: Option<Burner<'a>>,
-    offload: Option<Burner<'a>>,
+    direct: PlainBurner<'a>,
+    relaxed: Option<PlainBurner<'a>>,
+    offload: Option<PlainBurner<'a>>,
     subcycles: Option<u32>,
     faults: Option<BurnFaultConfig>,
 }
@@ -248,14 +266,14 @@ impl<'a> RecoveringBurner<'a> {
             let mut o = opts.clone();
             o.rtol *= f;
             o.atol.iter_mut().for_each(|a| *a *= f);
-            Burner::new(net, eos, o)
+            PlainBurner::new(net, eos, o)
         });
         let offload = ladder
             .offload
             .as_ref()
-            .map(|o| Burner::new(net, eos, o.to_bdf()));
+            .map(|o| PlainBurner::new(net, eos, o.to_bdf()));
         RecoveringBurner {
-            direct: Burner::new(net, eos, opts),
+            direct: PlainBurner::new(net, eos, opts),
             relaxed,
             offload,
             subcycles: ladder.subcycles,
@@ -269,22 +287,9 @@ impl<'a> RecoveringBurner<'a> {
         self
     }
 
-    /// Validate a rung's outcome: everything finite, no significantly
-    /// negative abundance, ΣX within [`SPECIES_SUM_TOL`] of unity.
-    fn validate(out: &BurnOutcome) -> Result<(), BdfError> {
-        let finite = out.t.is_finite()
-            && out.t > 0.0
-            && out.enuc.is_finite()
-            && out.x.iter().all(|x| x.is_finite() && *x > -1e-8);
-        let sum: f64 = out.x.iter().sum();
-        if finite && (sum - 1.0).abs() <= SPECIES_SUM_TOL {
-            Ok(())
-        } else {
-            Err(BdfError::NonFinite)
-        }
-    }
-
-    /// Run one rung, threading the accumulated stats through.
+    /// Run one rung. Both arms carry their own statistics (the outcome's on
+    /// success, the error's on failure); the caller merges them into the
+    /// zone's running total.
     fn attempt(
         &self,
         rung: LadderRung,
@@ -292,47 +297,50 @@ impl<'a> RecoveringBurner<'a> {
         t0: f64,
         x0: &[f64],
         dt: f64,
-        stats: BdfStats,
-    ) -> (Result<BurnOutcome, BdfError>, BdfStats) {
+    ) -> Result<BurnOutcome, crate::integrator::BdfError> {
         match rung {
-            LadderRung::Direct => self.direct.burn_traced(rho, t0, x0, dt, stats),
+            LadderRung::Direct => self.direct.burn(rho, t0, x0, dt),
             LadderRung::RelaxedTol => self
                 .relaxed
                 .as_ref()
                 .expect("relaxed rung not configured")
-                .burn_traced(rho, t0, x0, dt, stats),
+                .burn(rho, t0, x0, dt),
             LadderRung::Offload => self
                 .offload
                 .as_ref()
                 .expect("offload rung not configured")
-                .burn_traced(rho, t0, x0, dt, stats),
+                .burn(rho, t0, x0, dt),
             LadderRung::Subcycle => {
                 let k = self.subcycles.unwrap_or(1).max(1);
                 let sub = dt / k as f64;
                 let mut t = t0;
                 let mut x = x0.to_vec();
                 let mut enuc = 0.0;
-                let mut stats = stats;
+                let mut stats = BdfStats::default();
                 for _ in 0..k {
-                    let (res, s) = self.direct.burn_traced(rho, t, &x, sub, stats);
-                    stats = s;
-                    match res {
+                    match self.direct.burn(rho, t, &x, sub) {
                         Ok(out) => {
+                            stats.merge(&out.stats);
                             t = out.t;
                             x = out.x;
                             enuc += out.enuc;
                         }
-                        Err(e) => return (Err(e), stats),
+                        Err(mut e) => {
+                            stats.merge(&e.stats);
+                            e.stats = stats;
+                            return Err(e);
+                        }
                     }
                 }
-                (Ok(BurnOutcome { x, t, enuc, stats }), stats)
+                Ok(BurnOutcome { x, t, enuc, stats })
             }
         }
     }
+}
 
-    /// Burn one zone through the ladder. `zone` is the deterministic flat
-    /// index used by fault injection and failure reporting.
-    pub fn burn_zone(
+impl Burner for RecoveringBurner<'_> {
+    /// Burn one zone through the ladder.
+    fn burn_zone(
         &self,
         zone: u64,
         rho: f64,
@@ -352,7 +360,7 @@ impl<'a> RecoveringBurner<'a> {
         }
 
         let mut stats = BdfStats::default();
-        let mut last_err = BdfError::NonFinite;
+        let mut last_err = BdfErrorKind::NonFinite;
         let mut last_rung = LadderRung::Direct;
         let mut attempts = 0u32;
         for rung in rungs {
@@ -367,22 +375,26 @@ impl<'a> RecoveringBurner<'a> {
                 last_err = self.faults.as_ref().unwrap().error.clone();
                 continue;
             }
-            let (res, s) = self.attempt(rung, rho, t0, x0, dt, stats);
-            stats = s;
-            match res {
-                Ok(out) => match Self::validate(&out) {
-                    Ok(()) => {
-                        let mut out = out;
-                        out.stats = stats;
-                        return Ok(RecoveredBurn {
-                            outcome: out,
-                            rung,
-                            retries: attempts - 1,
-                        });
+            match self.attempt(rung, rho, t0, x0, dt) {
+                Ok(out) => {
+                    stats.merge(&out.stats);
+                    match validate_outcome(&out) {
+                        Ok(()) => {
+                            let mut out = out;
+                            out.stats = stats;
+                            return Ok(RecoveredBurn {
+                                outcome: out,
+                                rung,
+                                retries: attempts - 1,
+                            });
+                        }
+                        Err(kind) => last_err = kind,
                     }
-                    Err(e) => last_err = e,
-                },
-                Err(e) => last_err = e,
+                }
+                Err(e) => {
+                    stats.merge(&e.stats);
+                    last_err = e.kind;
+                }
             }
         }
         Err(Box::new(BurnFailure {
@@ -409,7 +421,7 @@ mod tests {
         (5e7, 3e9, vec![1.0, 0.0], 1e-6)
     }
 
-    fn faults(rate: f64, rungs_to_fail: u32, error: BdfError) -> BurnFaultConfig {
+    fn faults(rate: f64, rungs_to_fail: u32, error: BdfErrorKind) -> BurnFaultConfig {
         BurnFaultConfig {
             seed: 42,
             rate,
@@ -430,13 +442,13 @@ mod tests {
         let net = CBurn2::new();
         let eos = StellarEos;
         let (rho, t0, x0, dt) = hot_zone();
-        let plain = Burner::new(&net, &eos, Burner::default_options())
+        let plain = PlainBurner::new(&net, &eos, PlainBurner::default_options())
             .burn(rho, t0, &x0, dt)
             .unwrap();
         let rb = RecoveringBurner::new(
             &net,
             &eos,
-            Burner::default_options(),
+            PlainBurner::default_options(),
             &RetryLadder::default(),
         );
         let rec = rb.burn_zone(7, rho, t0, &x0, dt).unwrap();
@@ -457,10 +469,10 @@ mod tests {
         let rb = RecoveringBurner::new(
             &net,
             &eos,
-            Burner::default_options(),
+            PlainBurner::default_options(),
             &RetryLadder::default(),
         )
-        .with_faults(Some(faults(1.0, 1, BdfError::MaxSteps)));
+        .with_faults(Some(faults(1.0, 1, BdfErrorKind::MaxSteps)));
         let rec = rb.burn_zone(3, rho, t0, &x0, dt).unwrap();
         assert_eq!(rec.rung, LadderRung::RelaxedTol);
         assert_eq!(rec.retries, 1);
@@ -475,10 +487,10 @@ mod tests {
         let rb = RecoveringBurner::new(
             &net,
             &eos,
-            Burner::default_options(),
+            PlainBurner::default_options(),
             &RetryLadder::default(),
         )
-        .with_faults(Some(faults(1.0, 2, BdfError::StepUnderflow { t: 0.0 })));
+        .with_faults(Some(faults(1.0, 2, BdfErrorKind::StepUnderflow { t: 0.0 })));
         let rec = rb.burn_zone(3, rho, t0, &x0, dt).unwrap();
         assert_eq!(rec.rung, LadderRung::Subcycle);
         assert_eq!(rec.retries, 2);
@@ -493,10 +505,10 @@ mod tests {
         let rb = RecoveringBurner::new(
             &net,
             &eos,
-            Burner::default_options(),
+            PlainBurner::default_options(),
             &RetryLadder::default(),
         )
-        .with_faults(Some(faults(1.0, 3, BdfError::SingularMatrix)));
+        .with_faults(Some(faults(1.0, 3, BdfErrorKind::SingularMatrix)));
         let rec = rb.burn_zone(3, rho, t0, &x0, dt).unwrap();
         assert_eq!(rec.rung, LadderRung::Offload);
         assert_eq!(rec.retries, 3);
@@ -509,15 +521,15 @@ mod tests {
         let eos = StellarEos;
         let (rho, t0, x0, dt) = hot_zone();
         for err in [
-            BdfError::MaxSteps,
-            BdfError::StepUnderflow { t: 1.5e-7 },
-            BdfError::SingularMatrix,
-            BdfError::NonFinite,
+            BdfErrorKind::MaxSteps,
+            BdfErrorKind::StepUnderflow { t: 1.5e-7 },
+            BdfErrorKind::SingularMatrix,
+            BdfErrorKind::NonFinite,
         ] {
             let rb = RecoveringBurner::new(
                 &net,
                 &eos,
-                Burner::default_options(),
+                PlainBurner::default_options(),
                 &RetryLadder::default(),
             )
             .with_faults(Some(faults(1.0, 99, err.clone())));
@@ -538,8 +550,13 @@ mod tests {
         let net = CBurn2::new();
         let eos = StellarEos;
         let (rho, t0, x0, dt) = hot_zone();
-        let rb = RecoveringBurner::new(&net, &eos, Burner::default_options(), &RetryLadder::none())
-            .with_faults(Some(faults(1.0, 1, BdfError::MaxSteps)));
+        let rb = RecoveringBurner::new(
+            &net,
+            &eos,
+            PlainBurner::default_options(),
+            &RetryLadder::none(),
+        )
+        .with_faults(Some(faults(1.0, 1, BdfErrorKind::MaxSteps)));
         let fail = rb.burn_zone(0, rho, t0, &x0, dt).unwrap_err();
         assert_eq!(fail.attempts, 1);
         assert_eq!(fail.rung_reached, LadderRung::Direct);
@@ -553,7 +570,7 @@ mod tests {
         let net = CBurn2::new();
         let eos = StellarEos;
         let (rho, t0, x0, dt) = hot_zone();
-        let mut opts = Burner::default_options();
+        let mut opts = PlainBurner::default_options();
         opts.max_steps = 4;
         let rb = RecoveringBurner::new(&net, &eos, opts, &RetryLadder::default());
         let rec = rb.burn_zone(0, rho, t0, &x0, dt).unwrap();
@@ -569,7 +586,7 @@ mod tests {
 
     #[test]
     fn fault_rate_selects_roughly_that_fraction_of_zones() {
-        let f = faults(0.01, 1, BdfError::MaxSteps);
+        let f = faults(0.01, 1, BdfErrorKind::MaxSteps);
         let n = 100_000u64;
         let hit = (0..n).filter(|&z| f.zone_is_faulty(z)).count() as f64 / n as f64;
         assert!((0.005..0.02).contains(&hit), "hit rate {hit}");

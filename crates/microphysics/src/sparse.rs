@@ -1,0 +1,637 @@
+//! Sparse-Jacobian linear algebra for the stiff-burner Newton solves — the
+//! paper's §VI plan ("we can straightforwardly replace the dense linear
+//! system with a sparse linear system; we know what the sparsity pattern
+//! is") made concrete.
+//!
+//! A reaction network's Jacobian sparsity is fixed at compile time, so all
+//! of the *symbolic* work of a sparse LU — the fill-reducing elimination
+//! order, the fill-in pattern, and the exact multiply–subtract schedule —
+//! is done **once per network** ([`SparseLu::compile`]) and replayed every
+//! Newton iteration with no index searches, no branching, and no pivot
+//! hunting. This is a Gilbert–Peierls-style factorization specialized to a
+//! fixed pattern: Gilbert & Peierls compute each column's reach by a
+//! depth-first traversal during numeric factorization; with a pattern that
+//! never changes the traversal is hoisted into the one-time symbolic phase
+//! and the numeric phase degenerates to a straight-line replay.
+//!
+//! Pivot-free elimination is safe here for the same reason it is in VODE's
+//! sparse variants: the Newton matrix is `I − γJ` with `γ = l₀h` small, so
+//! it is strongly diagonally dominant. The symbolic phase still orders the
+//! elimination by **minimum degree** — without it, the dense He⁴ and
+//! temperature rows/columns of an alpha-chain network act as an arrowhead
+//! and elimination at step 0 fills the entire matrix (see the arrow-matrix
+//! test in [`crate::linalg`]); eliminating the near-tridiagonal chain block
+//! first keeps the fill close to zero.
+
+use crate::linalg::{LinearSolver, Singular, SparsePattern};
+use std::sync::Arc;
+
+/// A fixed sparsity pattern in compressed-sparse-row form: for each row, a
+/// sorted run of column indices. The diagonal is always included (Newton
+/// matrices are `I − γJ`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CsrPattern {
+    n: usize,
+    row_ptr: Vec<usize>,
+    cols: Vec<usize>,
+}
+
+impl CsrPattern {
+    /// Build from a list of (row, col) nonzero positions; duplicates are
+    /// merged and the diagonal is forced in.
+    pub fn new(n: usize, mut entries: Vec<(usize, usize)>) -> Self {
+        for d in 0..n {
+            entries.push((d, d));
+        }
+        entries.sort_unstable();
+        entries.dedup();
+        let mut row_ptr = vec![0usize; n + 1];
+        let mut cols = Vec::with_capacity(entries.len());
+        for &(r, c) in &entries {
+            assert!(r < n && c < n, "entry ({r},{c}) out of range for n={n}");
+            row_ptr[r + 1] += 1;
+            cols.push(c);
+        }
+        for r in 0..n {
+            row_ptr[r + 1] += row_ptr[r];
+        }
+        CsrPattern { n, row_ptr, cols }
+    }
+
+    /// Convert a coordinate-list [`SparsePattern`].
+    pub fn from_coords(p: &SparsePattern) -> Self {
+        Self::new(p.dim(), p.entries().to_vec())
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Number of structurally nonzero slots.
+    pub fn nnz(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Fraction of the dense matrix that is structurally zero.
+    pub fn empty_fraction(&self) -> f64 {
+        1.0 - self.nnz() as f64 / (self.n * self.n) as f64
+    }
+
+    /// The sorted column indices of row `r`.
+    pub fn row(&self, r: usize) -> &[usize] {
+        &self.cols[self.row_ptr[r]..self.row_ptr[r + 1]]
+    }
+
+    /// True if `(r, c)` is a structural nonzero.
+    pub fn contains(&self, r: usize, c: usize) -> bool {
+        self.row(r).binary_search(&c).is_ok()
+    }
+
+    /// Iterate all (row, col) entries in row-major order.
+    pub fn entries(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.n).flat_map(move |r| self.row(r).iter().map(move |&c| (r, c)))
+    }
+}
+
+/// Greedy minimum-degree ordering on the symmetrized pattern: at each step
+/// eliminate the node with the fewest remaining neighbours, then connect
+/// those neighbours into a clique (the fill that elimination would create).
+/// O(n³) worst case — run once per network on matrices of dimension ≲ 20.
+fn min_degree_order(n: usize, pattern: &CsrPattern) -> Vec<usize> {
+    let mut adj = vec![false; n * n];
+    for (r, c) in pattern.entries() {
+        if r != c {
+            adj[r * n + c] = true;
+            adj[c * n + r] = true;
+        }
+    }
+    let mut eliminated = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut best = usize::MAX;
+        let mut best_deg = usize::MAX;
+        for v in 0..n {
+            if eliminated[v] {
+                continue;
+            }
+            let deg = (0..n).filter(|&u| !eliminated[u] && adj[v * n + u]).count();
+            if deg < best_deg {
+                best_deg = deg;
+                best = v;
+            }
+        }
+        let nbrs: Vec<usize> = (0..n)
+            .filter(|&u| !eliminated[u] && adj[best * n + u])
+            .collect();
+        for &a in &nbrs {
+            for &b in &nbrs {
+                if a != b {
+                    adj[a * n + b] = true;
+                }
+            }
+        }
+        eliminated[best] = true;
+        order.push(best);
+    }
+    order
+}
+
+/// One pivot-column operation of the numeric factorization: divide the
+/// sub-diagonal slot `mult` by pivot `diag`, then apply the elimination
+/// updates `elims[e0..e1]` with that multiplier.
+#[derive(Clone, Copy, Debug)]
+struct ColOp {
+    mult: u32,
+    diag: u32,
+    e0: u32,
+    e1: u32,
+}
+
+/// Precomputed symbolic sparse LU for one pattern: fill-reducing minimum
+/// degree order, fill-in, and the complete numeric schedule.
+///
+/// Numeric factorization ([`SparseLu::factor`] /
+/// [`SparseLu::factor_newton`]) and the triangular solves
+/// ([`SparseLu::solve`]) are straight-line replays of the schedule — the
+/// operation count a code generator would emit, which is the paper's §VI
+/// code-generation plan.
+#[derive(Clone, Debug)]
+pub struct SparseLu {
+    n: usize,
+    /// `perm[k]` = original index eliminated k-th (factors `P A Pᵀ`).
+    perm: Vec<usize>,
+    /// Structural nonzeros after fill-in, in permuted row-major order.
+    nnz_filled: usize,
+    /// Number of structural slots before fill-in.
+    nnz_pattern: usize,
+    /// Slot of permuted (k, k).
+    diag: Vec<u32>,
+    col_ops: Vec<ColOp>,
+    /// Elimination updates `(src, target)`: `v[target] -= m · v[src]`.
+    elims: Vec<(u32, u32)>,
+    /// `(slot, dense index r·n+c in ORIGINAL numbering)` for each pattern
+    /// entry — the gather that loads a dense row-major Jacobian.
+    scatter: Vec<(u32, u32)>,
+    /// Forward-substitution schedule `(slot, src row, target row)`.
+    lower: Vec<(u32, u32, u32)>,
+    /// Back-substitution schedule, pivot rows descending.
+    upper: Vec<(u32, u32, u32)>,
+}
+
+impl SparseLu {
+    /// Run the symbolic factorization for `pattern`: choose the elimination
+    /// order, compute the fill, and record the numeric schedule.
+    pub fn compile(pattern: &CsrPattern) -> Self {
+        let n = pattern.dim();
+        let perm = min_degree_order(n, pattern);
+        let mut inv = vec![0usize; n];
+        for (k, &p) in perm.iter().enumerate() {
+            inv[p] = k;
+        }
+        // Permuted boolean pattern, then fill-in by no-pivot elimination.
+        let mut nz = vec![false; n * n];
+        for (r, c) in pattern.entries() {
+            nz[inv[r] * n + inv[c]] = true;
+        }
+        for k in 0..n {
+            debug_assert!(nz[k * n + k], "diagonal is structurally guaranteed");
+            for r in (k + 1)..n {
+                if nz[r * n + k] {
+                    for c in (k + 1)..n {
+                        if nz[k * n + c] {
+                            nz[r * n + c] = true;
+                        }
+                    }
+                }
+            }
+        }
+        let mut slot_of = vec![u32::MAX; n * n];
+        let mut nnz_filled = 0usize;
+        for r in 0..n {
+            for c in 0..n {
+                if nz[r * n + c] {
+                    slot_of[r * n + c] = nnz_filled as u32;
+                    nnz_filled += 1;
+                }
+            }
+        }
+        let diag: Vec<u32> = (0..n).map(|k| slot_of[k * n + k]).collect();
+        let mut col_ops = Vec::new();
+        let mut elims: Vec<(u32, u32)> = Vec::new();
+        for k in 0..n {
+            for r in (k + 1)..n {
+                if slot_of[r * n + k] != u32::MAX {
+                    let e0 = elims.len() as u32;
+                    for c in (k + 1)..n {
+                        if slot_of[k * n + c] != u32::MAX {
+                            elims.push((slot_of[k * n + c], slot_of[r * n + c]));
+                        }
+                    }
+                    col_ops.push(ColOp {
+                        mult: slot_of[r * n + k],
+                        diag: diag[k],
+                        e0,
+                        e1: elims.len() as u32,
+                    });
+                }
+            }
+        }
+        let scatter = pattern
+            .entries()
+            .map(|(r, c)| (slot_of[inv[r] * n + inv[c]], (r * n + c) as u32))
+            .collect();
+        let mut lower = Vec::new();
+        for k in 0..n {
+            for r in (k + 1)..n {
+                if slot_of[r * n + k] != u32::MAX {
+                    lower.push((slot_of[r * n + k], k as u32, r as u32));
+                }
+            }
+        }
+        let mut upper = Vec::new();
+        for k in (0..n).rev() {
+            for r in 0..k {
+                if slot_of[r * n + k] != u32::MAX {
+                    upper.push((slot_of[r * n + k], k as u32, r as u32));
+                }
+            }
+        }
+        SparseLu {
+            n,
+            perm,
+            nnz_filled,
+            nnz_pattern: pattern.nnz(),
+            diag,
+            col_ops,
+            elims,
+            scatter,
+            lower,
+            upper,
+        }
+    }
+
+    /// Matrix dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Stored values after fill-in (the factor workspace length).
+    pub fn nnz_filled(&self) -> usize {
+        self.nnz_filled
+    }
+
+    /// Fill-in created by the chosen elimination order (0 = perfect).
+    pub fn fill_in(&self) -> usize {
+        self.nnz_filled - self.nnz_pattern
+    }
+
+    /// The fill-reducing elimination order (`order[k]` = original index
+    /// eliminated k-th).
+    pub fn elimination_order(&self) -> &[usize] {
+        &self.perm
+    }
+
+    /// Multiply–subtract operations per numeric factorization — the flop
+    /// count the dense O(n³/3) elimination is being compared against.
+    pub fn factor_ops(&self) -> usize {
+        self.col_ops.len() + self.elims.len()
+    }
+
+    fn eliminate(&self, vals: &mut [f64]) -> Result<(), Singular> {
+        for op in &self.col_ops {
+            let d = vals[op.diag as usize];
+            if d == 0.0 || !d.is_finite() {
+                return Err(Singular);
+            }
+            let m = vals[op.mult as usize] / d;
+            vals[op.mult as usize] = m;
+            for &(src, tgt) in &self.elims[op.e0 as usize..op.e1 as usize] {
+                vals[tgt as usize] -= m * vals[src as usize];
+            }
+        }
+        for &d in &self.diag {
+            let v = vals[d as usize];
+            if v == 0.0 || !v.is_finite() {
+                return Err(Singular);
+            }
+        }
+        Ok(())
+    }
+
+    /// Numerically factor the dense row-major matrix `a` (only pattern
+    /// slots are read) into `vals`, which must have length
+    /// [`SparseLu::nnz_filled`].
+    pub fn factor(&self, a: &[f64], vals: &mut [f64]) -> Result<(), Singular> {
+        assert_eq!(a.len(), self.n * self.n);
+        assert_eq!(vals.len(), self.nnz_filled);
+        vals.iter_mut().for_each(|v| *v = 0.0);
+        for &(slot, didx) in &self.scatter {
+            vals[slot as usize] = a[didx as usize];
+        }
+        self.eliminate(vals)
+    }
+
+    /// Form and factor the Newton matrix `I − γJ` from the dense row-major
+    /// Jacobian `jac` in one pass — the integrator's hot path.
+    pub fn factor_newton(&self, jac: &[f64], gamma: f64, vals: &mut [f64]) -> Result<(), Singular> {
+        assert_eq!(jac.len(), self.n * self.n);
+        assert_eq!(vals.len(), self.nnz_filled);
+        vals.iter_mut().for_each(|v| *v = 0.0);
+        for &(slot, didx) in &self.scatter {
+            vals[slot as usize] = -gamma * jac[didx as usize];
+        }
+        for &d in &self.diag {
+            vals[d as usize] += 1.0;
+        }
+        self.eliminate(vals)
+    }
+
+    /// Solve `A x = b` in place from a successful factorization. `scratch`
+    /// must have length `dim` (it carries the permuted right-hand side).
+    pub fn solve(&self, vals: &[f64], b: &mut [f64], scratch: &mut [f64]) {
+        let n = self.n;
+        assert_eq!(b.len(), n);
+        assert_eq!(scratch.len(), n);
+        for k in 0..n {
+            scratch[k] = b[self.perm[k]];
+        }
+        for &(slot, src, tgt) in &self.lower {
+            scratch[tgt as usize] -= vals[slot as usize] * scratch[src as usize];
+        }
+        let mut ui = 0usize;
+        for k in (0..n).rev() {
+            scratch[k] /= vals[self.diag[k] as usize];
+            while ui < self.upper.len() && self.upper[ui].1 == k as u32 {
+                let (slot, src, tgt) = self.upper[ui];
+                scratch[tgt as usize] -= vals[slot as usize] * scratch[src as usize];
+                ui += 1;
+            }
+        }
+        for k in 0..n {
+            b[self.perm[k]] = scratch[k];
+        }
+    }
+}
+
+/// The sparse [`LinearSolver`]: a shared symbolic factorization (computed
+/// once per network and reused across every zone the integrator burns) plus
+/// this solver's private numeric workspace.
+pub struct SparseNewton {
+    lu: Arc<SparseLu>,
+    vals: Vec<f64>,
+    scratch: Vec<f64>,
+}
+
+impl SparseNewton {
+    /// Create a solver over a precompiled symbolic factorization.
+    pub fn new(lu: Arc<SparseLu>) -> Self {
+        let vals = vec![0.0; lu.nnz_filled()];
+        let scratch = vec![0.0; lu.dim()];
+        SparseNewton { lu, vals, scratch }
+    }
+}
+
+impl LinearSolver for SparseNewton {
+    fn kind(&self) -> &'static str {
+        "sparse"
+    }
+
+    fn factor(&mut self, jac: &[f64], gamma: f64) -> Result<(), Singular> {
+        self.lu.factor_newton(jac, gamma, &mut self.vals)
+    }
+
+    fn solve(&mut self, b: &mut [f64]) {
+        self.lu.solve(&self.vals, b, &mut self.scratch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linalg::DenseLu;
+
+    fn matvec(a: &[f64], x: &[f64], n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|r| (0..n).map(|c| a[r * n + c] * x[c]).sum())
+            .collect()
+    }
+
+    #[test]
+    fn csr_pattern_bookkeeping() {
+        let p = CsrPattern::new(4, vec![(0, 2), (2, 0), (3, 1), (0, 2)]);
+        assert_eq!(p.dim(), 4);
+        assert_eq!(p.nnz(), 7, "4 diagonal + 3 off-diagonal, deduped");
+        assert!(p.contains(0, 2) && p.contains(2, 0) && p.contains(3, 1));
+        assert!(!p.contains(1, 3));
+        assert_eq!(p.row(0), &[0, 2]);
+        let e: Vec<_> = p.entries().collect();
+        assert_eq!(e.len(), 7);
+        assert!(e.windows(2).all(|w| w[0] < w[1]), "row-major sorted");
+    }
+
+    #[test]
+    fn csr_matches_coordinate_pattern() {
+        let coords = SparsePattern::new(3, vec![(0, 1), (2, 0)]);
+        let csr = CsrPattern::from_coords(&coords);
+        assert_eq!(csr.nnz(), coords.nnz());
+        for (r, c) in csr.entries() {
+            assert!(coords.contains(r, c));
+        }
+    }
+
+    #[test]
+    fn min_degree_defeats_the_arrowhead() {
+        // Dense first row/col + diagonal: natural order fills everything;
+        // minimum degree eliminates the head last and creates NO fill.
+        let n = 8;
+        let mut e = Vec::new();
+        for i in 1..n {
+            e.push((0, i));
+            e.push((i, 0));
+        }
+        let p = CsrPattern::new(n, e);
+        let lu = SparseLu::compile(&p);
+        assert_eq!(lu.fill_in(), 0, "min-degree creates no arrowhead fill");
+        // The dense head is deferred until its degree decays to a leaf's:
+        // it appears in the last two elimination positions, never early
+        // (natural order would eliminate it first and fill everything).
+        let pos = lu.elimination_order().iter().position(|&k| k == 0).unwrap();
+        assert!(
+            pos >= n - 2,
+            "the dense head goes (nearly) last: {:?}",
+            lu.elimination_order()
+        );
+    }
+
+    #[test]
+    fn sparse_lu_solves_the_arrow_system_exactly() {
+        let n = 6;
+        let mut e = Vec::new();
+        for i in 1..n {
+            e.push((0, i));
+            e.push((i, 0));
+        }
+        let p = CsrPattern::new(n, e);
+        let lu = SparseLu::compile(&p);
+        let mut a = vec![0.0; n * n];
+        for i in 0..n {
+            a[i * n + i] = 10.0 + i as f64;
+        }
+        for i in 1..n {
+            a[i] = 1.0 + 0.3 * i as f64;
+            a[i * n] = -1.0 - 0.2 * i as f64;
+        }
+        let x: Vec<f64> = (0..n).map(|i| 1.0 - 0.5 * i as f64).collect();
+        let mut b = matvec(&a, &x, n);
+        let mut vals = vec![0.0; lu.nnz_filled()];
+        lu.factor(&a, &mut vals).unwrap();
+        let mut scratch = vec![0.0; n];
+        lu.solve(&vals, &mut b, &mut scratch);
+        for i in 0..n {
+            assert!((b[i] - x[i]).abs() < 1e-12, "i={i}: {} vs {}", b[i], x[i]);
+        }
+    }
+
+    #[test]
+    fn sparse_matches_dense_on_random_patterns() {
+        let mut seed = 99u64;
+        let mut rng = move || {
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (seed >> 33) as f64 / (1u64 << 31) as f64
+        };
+        for n in [2usize, 5, 8, 14] {
+            let mut entries = Vec::new();
+            for r in 0..n {
+                for c in 0..n {
+                    if r != c && rng() < 0.35 {
+                        entries.push((r, c));
+                    }
+                }
+            }
+            let p = CsrPattern::new(n, entries);
+            let lu = SparseLu::compile(&p);
+            let mut a = vec![0.0; n * n];
+            for (r, c) in p.entries() {
+                a[r * n + c] = if r == c {
+                    n as f64 + 2.0 + rng()
+                } else {
+                    rng() - 0.5
+                };
+            }
+            let x: Vec<f64> = (0..n).map(|_| rng() * 2.0 - 1.0).collect();
+            let b0 = matvec(&a, &x, n);
+            let mut bs = b0.clone();
+            let mut vals = vec![0.0; lu.nnz_filled()];
+            lu.factor(&a, &mut vals).unwrap();
+            let mut scratch = vec![0.0; n];
+            lu.solve(&vals, &mut bs, &mut scratch);
+            let mut bd = b0;
+            DenseLu::factor(&a, n).unwrap().solve(&mut bd);
+            for i in 0..n {
+                assert!((bs[i] - bd[i]).abs() < 1e-8, "n={n} i={i}");
+                assert!((bs[i] - x[i]).abs() < 1e-8, "n={n} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn factor_newton_builds_i_minus_gamma_j() {
+        let n = 3;
+        let p = CsrPattern::new(n, vec![(0, 1), (1, 0), (1, 2), (2, 1)]);
+        let lu = SparseLu::compile(&p);
+        let jac = [0.5, 2.0, 0.0, -1.0, 0.25, 3.0, 0.0, -2.0, 1.5];
+        let gamma = 0.1;
+        // Dense reference of I - γJ.
+        let mut m = vec![0.0; n * n];
+        for r in 0..n {
+            for c in 0..n {
+                m[r * n + c] = -gamma * jac[r * n + c];
+            }
+            m[r * n + r] += 1.0;
+        }
+        let x = [1.0, -2.0, 0.5];
+        let mut b = matvec(&m, &x, n);
+        let mut vals = vec![0.0; lu.nnz_filled()];
+        lu.factor_newton(&jac, gamma, &mut vals).unwrap();
+        let mut scratch = vec![0.0; n];
+        lu.solve(&vals, &mut b, &mut scratch);
+        for i in 0..n {
+            assert!((b[i] - x[i]).abs() < 1e-12, "i={i}");
+        }
+    }
+
+    #[test]
+    fn singular_matrix_is_detected() {
+        let p = CsrPattern::new(2, vec![(0, 1), (1, 0)]);
+        let lu = SparseLu::compile(&p);
+        let a = [0.0, 1.0, 1.0, 0.0]; // needs pivoting → must error, not lie
+        let mut vals = vec![0.0; lu.nnz_filled()];
+        assert_eq!(lu.factor(&a, &mut vals).unwrap_err(), Singular);
+    }
+
+    #[test]
+    fn alpha_chain_pattern_stays_sparse_under_min_degree() {
+        // An aprox13-shaped pattern: near-tridiagonal chain plus dense
+        // first (He) and last (T) rows/columns. The natural order would
+        // fill it completely; minimum degree must keep the factor well
+        // below dense and the flop schedule below the dense n³/3 count.
+        let n = 14;
+        let mut e = Vec::new();
+        for i in 1..n - 1 {
+            e.push((0, i));
+            e.push((i, 0));
+            e.push((n - 1, i));
+            e.push((i, n - 1));
+            if i + 1 < n - 1 {
+                e.push((i, i + 1));
+                e.push((i + 1, i));
+            }
+        }
+        e.push((0, n - 1));
+        e.push((n - 1, 0));
+        let p = CsrPattern::new(n, e);
+        let lu = SparseLu::compile(&p);
+        assert!(
+            lu.nnz_filled() < n * n * 2 / 3,
+            "filled {} of {} — ordering failed",
+            lu.nnz_filled(),
+            n * n
+        );
+        assert!(
+            lu.factor_ops() < n * n * n / 6,
+            "{} scheduled ops vs dense ~{}",
+            lu.factor_ops(),
+            n * n * n / 3
+        );
+    }
+
+    #[test]
+    fn sparse_newton_solver_roundtrip() {
+        let n = 4;
+        let p = CsrPattern::new(n, vec![(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let mut solver = SparseNewton::new(Arc::new(SparseLu::compile(&p)));
+        assert_eq!(solver.kind(), "sparse");
+        let mut jac = vec![0.0; n * n];
+        for (r, c) in p.entries() {
+            jac[r * n + c] = if r == c { -2.0 } else { 0.7 };
+        }
+        let gamma = 0.25;
+        let mut m = vec![0.0; n * n];
+        for r in 0..n {
+            for c in 0..n {
+                m[r * n + c] = -gamma * jac[r * n + c];
+            }
+            m[r * n + r] += 1.0;
+        }
+        let x = [0.5, -1.0, 2.0, 0.25];
+        let mut b = matvec(&m, &x, n);
+        solver.factor(&jac, gamma).unwrap();
+        solver.solve(&mut b);
+        for i in 0..n {
+            assert!((b[i] - x[i]).abs() < 1e-12, "i={i}");
+        }
+    }
+}

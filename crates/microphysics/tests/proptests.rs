@@ -187,7 +187,8 @@ proptest! {
         let sys = Decay { k };
         let mut y = [1.0];
         let tend = (3.0 / k).min(10.0);
-        let integ = BdfIntegrator::new(BdfOptions { rtol: 1e-8, ..Default::default() });
+        let opts = BdfOptions::builder().rtol(1e-8).build().unwrap();
+        let integ = BdfIntegrator::new(opts);
         integ.integrate(&sys, 0.0, tend, &mut y).unwrap();
         let exact = (-k * tend).exp();
         prop_assert!((y[0] - exact).abs() < 1e-4 * exact.max(1e-8), "k={k}: {} vs {exact}", y[0]);
@@ -226,7 +227,8 @@ proptest! {
         // recovered state must be physical: finite everywhere with the
         // species mass fractions summing to one.
         use exastro_microphysics::{
-            BdfError, BurnFaultConfig, Burner, LadderRung, RecoveringBurner, RetryLadder,
+            BdfErrorKind, BurnFaultConfig, Burner, LadderRung, PlainBurner, RecoveringBurner,
+            RetryLadder,
         };
         let net = CBurn2::new();
         let eos = StellarEos;
@@ -235,13 +237,13 @@ proptest! {
         let dt = 10f64.powf(log_dt);
         let x0 = vec![xc, 1.0 - xc];
         let error = match variant {
-            0 => BdfError::MaxSteps,
-            1 => BdfError::StepUnderflow { t: 0.0 },
-            2 => BdfError::SingularMatrix,
-            _ => BdfError::NonFinite,
+            0 => BdfErrorKind::MaxSteps,
+            1 => BdfErrorKind::StepUnderflow { t: 0.0 },
+            2 => BdfErrorKind::SingularMatrix,
+            _ => BdfErrorKind::NonFinite,
         };
         let ladder = RetryLadder::default();
-        let burner = RecoveringBurner::new(&net, &eos, Burner::default_options(), &ladder)
+        let burner = RecoveringBurner::new(&net, &eos, PlainBurner::default_options(), &ladder)
             .with_faults(Some(BurnFaultConfig {
                 seed,
                 rate: 1.0,
@@ -271,6 +273,74 @@ proptest! {
                 prop_assert_eq!(f.x0.len(), 2);
                 prop_assert!(f.rho.is_finite() && f.t0.is_finite());
             }
+        }
+    }
+}
+
+proptest! {
+    // Tight-tolerance burns are expensive; fewer cases, same coverage via
+    // the network index being part of the random input.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sparse_newton_agrees_with_dense_on_every_network(
+        net_idx in 0usize..4,
+        log_rho in 5.0f64..7.5,
+        log_t in 8.7f64..9.3,
+        frac in 0.2f64..0.8,
+        log_dt in -8.0f64..-6.0,
+    ) {
+        // The analytic sparse-Jacobian path must be a pure implementation
+        // detail: over random (rho, T, X) on all four networks, dense and
+        // sparse Newton burns agree in the final abundances to 1e-10 —
+        // far below any physical significance, at integration tolerances
+        // tight enough that the linear solver is the only moving part.
+        use exastro_microphysics::{BdfOptions, Iso7, NewtonSolver, PlainBurner};
+        let nets: [Box<dyn Network>; 4] = [
+            Box::new(CBurn2::new()),
+            Box::new(TripleAlpha::new()),
+            Box::new(Iso7::new()),
+            Box::new(Aprox13::new()),
+        ];
+        let net = &*nets[net_idx];
+        let eos = StellarEos;
+        let rho = 10f64.powf(log_rho);
+        let t0 = 10f64.powf(log_t);
+        let dt = 10f64.powf(log_dt);
+        let mut x0 = vec![0.0; net.nspec()];
+        x0[0] = frac;
+        x0[1] = 1.0 - frac;
+        let burn = |solver: NewtonSolver| {
+            let opts = BdfOptions::builder()
+                .rtol(1e-10)
+                .atol(1e-14)
+                .solver(solver)
+                .build()
+                .unwrap();
+            PlainBurner::new(net, &eos, opts).burn(rho, t0, &x0, dt)
+        };
+        let dense = burn(NewtonSolver::Dense);
+        let sparse = burn(NewtonSolver::Sparse(net.sparsity_csr()));
+        match (dense, sparse) {
+            (Ok(d), Ok(s)) => {
+                for (i, (a, b)) in d.x.iter().zip(&s.x).enumerate() {
+                    prop_assert!(
+                        (a - b).abs() <= 1e-10,
+                        "{} X[{i}]: dense {a:.16e} vs sparse {b:.16e}",
+                        net.name()
+                    );
+                }
+                prop_assert!(
+                    ((d.t - s.t) / d.t).abs() <= 1e-9,
+                    "{} T: dense {:.16e} vs sparse {:.16e}", net.name(), d.t, s.t
+                );
+            }
+            // Both paths must at least agree on whether the state is
+            // integrable at these tolerances.
+            (d, s) => prop_assert!(
+                d.is_err() && s.is_err(),
+                "{}: one solver failed where the other succeeded", net.name()
+            ),
         }
     }
 }

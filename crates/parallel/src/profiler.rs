@@ -96,6 +96,25 @@ impl Profiler {
         t.entry(path).or_default().device_us += us;
     }
 
+    /// Attribute an externally measured duration of `ns` nanoseconds to the
+    /// child region `name` of the current path (one call per invocation).
+    /// This is for costs measured inside code that cannot hold a [`Region`]
+    /// guard across its own timing boundaries — e.g. the burner attributes
+    /// the integrator-reported Newton linear-algebra time to
+    /// `burner/solve[dense]` without re-entering the integrator loop.
+    pub fn record_ns(name: &str, ns: u64) {
+        let parent = Self::current_path();
+        let path = if parent == "(top)" {
+            name.to_string()
+        } else {
+            format!("{parent}/{name}")
+        };
+        let mut t = table().lock().unwrap();
+        let e = t.entry(path).or_default();
+        e.calls += 1;
+        e.wall_ns += ns;
+    }
+
     /// Attribute `bytes` of payload I/O to the innermost open region.
     pub fn record_bytes(bytes: u64) {
         if bytes == 0 {
@@ -248,6 +267,8 @@ mod tests {
                 let _b = Profiler::region("burn");
                 Profiler::record_retries(3);
                 Profiler::record_retries(0); // no-op
+                Profiler::record_ns("solve[dense]", 1500);
+                Profiler::record_ns("solve[dense]", 500);
             }
         }
         let outer = Profiler::get("prof_test_step").expect("outer recorded");
@@ -264,6 +285,10 @@ mod tests {
 
         let burn = Profiler::get("prof_test_step/burn").expect("burn recorded");
         assert_eq!(burn.retries, 3);
+
+        let solve = Profiler::get("prof_test_step/burn/solve[dense]").expect("solve recorded");
+        assert_eq!(solve.calls, 2);
+        assert_eq!(solve.wall_ns, 2000);
 
         let report = Profiler::report();
         assert!(report.contains("prof_test_step/hydro"));

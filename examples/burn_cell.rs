@@ -6,7 +6,7 @@
 //! cargo run --release --example burn_cell
 //! ```
 
-use exastro::microphysics::{Aprox13, Burner, Network, NewtonSolver, StellarEos};
+use exastro::microphysics::{Aprox13, Network, PlainBurner, SolverChoice, StellarEos};
 
 fn main() {
     let net = Aprox13::new();
@@ -27,7 +27,7 @@ fn main() {
         net.sparsity().empty_fraction() * 100.0
     );
 
-    let burner = Burner::new(&net, &eos, Burner::default_options());
+    let burner = PlainBurner::new(&net, &eos, PlainBurner::default_options());
     let mut t = t0;
     let mut elapsed = 0.0f64;
     let mut dt = 1e-9;
@@ -56,19 +56,21 @@ fn main() {
         }
     }
 
-    // Show the sparse-Jacobian option producing the same physics.
-    let opts = exastro::microphysics::BdfOptions {
-        solver: NewtonSolver::Compiled(net.sparsity()),
-        ..Burner::default_options()
+    // Show the sparse-Jacobian option producing the same physics. The
+    // BurnerConfig resolves the policy against the network's declared
+    // sparsity pattern and compiles the symbolic factorization once.
+    let cfg = exastro::microphysics::BurnerConfig {
+        solver: SolverChoice::Sparse,
+        ..Default::default()
     };
-    let sparse_burner = Burner::new(&net, &eos, opts);
+    let sparse_burner = PlainBurner::new(&net, &eos, cfg.bdf_for(&net));
     let mut x0 = vec![0.0; net.nspec()];
     x0[net.index_of("c12")] = 0.5;
     x0[net.index_of("o16")] = 0.5;
     let dense = burner.burn(rho, t0, &x0, 1e-7).unwrap();
     let sparse = sparse_burner.burn(rho, t0, &x0, 1e-7).unwrap();
     println!(
-        "\ndense vs compiled-sparse Newton solve after 1e-7 s: ΔT = {:.2e} K (identical physics)",
+        "\ndense vs sparse-LU Newton solve after 1e-7 s: ΔT = {:.2e} K (identical physics)",
         (dense.t - sparse.t).abs()
     );
 }

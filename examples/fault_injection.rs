@@ -19,7 +19,7 @@
 use exastro::amr::{BcSpec, BoxArray, Geometry, MultiFab};
 use exastro::castro::{BurnOptions, Castro, StateLayout};
 use exastro::microphysics::{
-    BdfError, BurnFaultConfig, CBurn2, Composition, Eos, Network, StellarEos,
+    BdfErrorKind, BurnFaultConfig, CBurn2, Composition, Eos, Network, StellarEos,
 };
 use exastro::parallel::Profiler;
 
@@ -70,7 +70,7 @@ fn main() {
             seed: 2024,
             rate: 0.01,
             rungs_to_fail: 1,
-            error: BdfError::MaxSteps,
+            error: BdfErrorKind::MaxSteps,
         }),
         ..Default::default()
     });
@@ -115,7 +115,7 @@ fn main() {
         seed: 7,
         rate: 1.0,
         rungs_to_fail: 99,
-        error: BdfError::SingularMatrix,
+        error: BdfErrorKind::SingularMatrix,
     });
     castro.recovery = castro.recovery.clone().with_emergency_dir(&dir);
     castro.recovery.max_rejections = 2;

@@ -12,12 +12,12 @@
 //! ```
 
 use exastro::castro::critical_zone_width;
-use exastro::microphysics::{Burner, StellarEos, TripleAlpha};
+use exastro::microphysics::{PlainBurner, StellarEos, TripleAlpha};
 
 fn main() {
     let net = TripleAlpha::new();
     let eos = StellarEos;
-    let burner = Burner::new(&net, &eos, Burner::default_options());
+    let burner = PlainBurner::new(&net, &eos, PlainBurner::default_options());
 
     // A column through the accreted helium layer: density falls with
     // height; the base is hottest.

@@ -653,13 +653,13 @@ fn hot_ball_setup() -> (
 
 #[test]
 fn injected_burn_faults_recover_in_full_driver() {
-    use exastro::microphysics::{BdfError, BurnFaultConfig};
+    use exastro::microphysics::{BdfErrorKind, BurnFaultConfig};
     let (geom, mut state, mut castro, layout) = hot_ball_setup();
     castro.burn.as_mut().unwrap().faults = Some(BurnFaultConfig {
         seed: 42,
         rate: 1.0,
         rungs_to_fail: 1,
-        error: BdfError::MaxSteps,
+        error: BdfErrorKind::MaxSteps,
     });
     let dt = castro.estimate_dt(&state, &geom).min(1e-6);
     let (stats, dt_taken) = castro.advance_level_safe(&mut state, &geom, dt).unwrap();
@@ -683,14 +683,14 @@ fn injected_burn_faults_recover_in_full_driver() {
 
 #[test]
 fn unrecoverable_step_restores_state_and_writes_emergency_checkpoint() {
-    use exastro::microphysics::{BdfError, BurnFaultConfig};
+    use exastro::microphysics::{BdfErrorKind, BurnFaultConfig};
     use exastro::resilience::CheckpointManager;
     let (geom, mut state, mut castro, layout) = hot_ball_setup();
     castro.burn.as_mut().unwrap().faults = Some(BurnFaultConfig {
         seed: 11,
         rate: 1.0,
         rungs_to_fail: 99, // deeper than the ladder: never recovers
-        error: BdfError::SingularMatrix,
+        error: BdfErrorKind::SingularMatrix,
     });
     let dir = std::env::temp_dir().join(format!("exastro-drv-emrg-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
@@ -741,7 +741,7 @@ fn bubble_with_injected_faults_completes_through_safe_driver() {
     use exastro::maestro::{
         bubble_diagnostics, bubble_maestro, init_bubble, BubbleParams, LmLayout,
     };
-    use exastro::microphysics::{BdfError, BurnFaultConfig};
+    use exastro::microphysics::{BdfErrorKind, BurnFaultConfig};
     let eos: &'static StellarEos = Box::leak(Box::new(StellarEos));
     let net: &'static CBurn2 = Box::leak(Box::new(CBurn2::new()));
     let geom = Geometry::new(
@@ -767,7 +767,7 @@ fn bubble_with_injected_faults_completes_through_safe_driver() {
         seed: 3,
         rate: 1.0,
         rungs_to_fail: 1,
-        error: BdfError::StepUnderflow { t: 0.0 },
+        error: BdfErrorKind::StepUnderflow { t: 0.0 },
     });
     let mut recovered = 0;
     for _ in 0..2 {
