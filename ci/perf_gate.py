@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate.
+
+Compares freshly regenerated ``BENCH_*.json`` artifacts at the repo root
+against the committed baselines in ``ci/baselines/``. Points are matched by
+``(label, nodes)``; the gate fails when a fresh ``zones_per_us`` falls more
+than ``--tolerance`` (default 15%) below its baseline.
+
+Only the scaling-curve schema (``{"points": [...]}``) is gated: those
+numbers come from the deterministic machine performance model, so a drop is
+a real modeling/code regression, not scheduler noise. Wall-clock metric
+artifacts (``{"metrics": [...]}``) are reported but never gated.
+
+Usage:
+    python3 ci/perf_gate.py [--tolerance 0.15] [--baseline-dir ci/baselines]
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--tolerance", type=float, default=0.15,
+                    help="allowed fractional drop in zones/us (default 0.15)")
+    ap.add_argument("--baseline-dir", default=None,
+                    help="directory of committed baselines (default ci/baselines)")
+    ap.add_argument("--fresh-dir", default=None,
+                    help="directory of fresh BENCH_*.json (default repo root)")
+    args = ap.parse_args()
+
+    root = pathlib.Path(__file__).resolve().parent.parent
+    baseline_dir = pathlib.Path(args.baseline_dir or root / "ci" / "baselines")
+    fresh_dir = pathlib.Path(args.fresh_dir or root)
+
+    baselines = sorted(baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        print(f"perf gate: no baselines in {baseline_dir}", file=sys.stderr)
+        return 1
+
+    failures = []
+    compared = 0
+    for bpath in baselines:
+        base = load(bpath)
+        fpath = fresh_dir / bpath.name
+        if not fpath.exists():
+            failures.append(f"{bpath.name}: fresh artifact missing at {fpath}")
+            continue
+        fresh = load(fpath)
+        if "points" not in base:
+            print(f"{bpath.name}: metrics-style artifact, not gated")
+            continue
+        fresh_pts = {(p["label"], p["nodes"]): p for p in fresh.get("points", [])}
+        for p in base["points"]:
+            key = (p["label"], p["nodes"])
+            fp = fresh_pts.get(key)
+            if fp is None:
+                failures.append(f"{bpath.name}: point {key} missing from fresh run")
+                continue
+            b_tp, f_tp = p["zones_per_us"], fp["zones_per_us"]
+            if b_tp is None or f_tp is None:
+                continue
+            compared += 1
+            floor = b_tp * (1.0 - args.tolerance)
+            status = "OK"
+            if f_tp < floor:
+                status = "REGRESSION"
+                failures.append(
+                    f"{bpath.name}: {key[0]}@{key[1]} nodes: "
+                    f"{f_tp:.2f} zones/us < floor {floor:.2f} "
+                    f"(baseline {b_tp:.2f}, tolerance {args.tolerance:.0%})"
+                )
+            print(f"{bpath.name}: {key[0]:>10}@{key[1]:<4} "
+                  f"baseline {b_tp:>10.2f}  fresh {f_tp:>10.2f}  {status}")
+
+    if failures:
+        print(f"\nperf gate: {len(failures)} failure(s):", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    if compared == 0:
+        print("perf gate: no comparable points found", file=sys.stderr)
+        return 1
+    print(f"\nperf gate: OK ({compared} points within {args.tolerance:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -42,6 +42,56 @@ for need in ("iso7/newton_solve_speedup", "aprox13/newton_solve_speedup"):
 print(f"BENCH_burner.json OK ({len(d['metrics'])} metrics)")
 EOF
 
+echo "== telemetry smoke (quickstart --trace --metrics) =="
+# A short quickstart run with both telemetry sinks on: the Chrome trace
+# must be valid JSON with balanced, name-matched B/E pairs and monotonic
+# per-thread timestamps, and the step-metrics stream must carry the full
+# schema with 1-based ordinals.
+QUICKSTART_STEPS=12 cargo run --release --offline --example quickstart -- \
+  --trace /tmp/quickstart_trace.json --metrics /tmp/quickstart_steps.jsonl \
+  >/tmp/quickstart_smoke.log
+python3 - <<'EOF'
+import json
+d = json.load(open("/tmp/quickstart_trace.json"))
+evs = d["traceEvents"]
+assert evs, "empty trace"
+stacks, last_ts = {}, {}
+for e in evs:
+    assert e["ph"] in ("B", "E"), e
+    assert e["pid"] == 1
+    tid = e["tid"]
+    assert e["ts"] >= last_ts.get(tid, 0.0), f"non-monotonic ts on tid {tid}"
+    last_ts[tid] = e["ts"]
+    if e["ph"] == "B":
+        stacks.setdefault(tid, []).append(e["name"])
+    else:
+        assert stacks.get(tid), f"stray E on tid {tid}"
+        top = stacks[tid].pop()
+        assert top == e["name"], f"mismatched E {e['name']} vs open {top}"
+for tid, s in stacks.items():
+    assert not s, f"unbalanced B on tid {tid}: {s}"
+print(f"trace OK ({len(evs)} events, {len(last_ts)} thread(s), "
+      f"dropped {d.get('droppedEventCount', 0)})")
+need = {"driver", "step", "t", "dt", "wall_ns", "zones", "zones_per_us",
+        "newton_iters", "bdf_steps", "burn_retries", "recovered_relaxed",
+        "recovered_subcycle", "recovered_offload", "step_rejections",
+        "checkpoint_bytes", "arena_live_bytes", "arena_peak_bytes"}
+recs = [json.loads(l) for l in open("/tmp/quickstart_steps.jsonl")]
+assert len(recs) == 12, f"expected 12 steps, got {len(recs)}"
+for i, r in enumerate(recs):
+    assert need <= set(r), f"missing keys: {need - set(r)}"
+    assert r["step"] == i + 1
+    assert r["driver"] == "castro"
+print(f"steps.jsonl OK ({len(recs)} records)")
+EOF
+
+echo "== perf gate (deterministic scaling curves vs committed baselines) =="
+# fig2/fig3 throughputs come from the machine performance model, so they
+# are bit-reproducible; any drop beyond tolerance is a real regression.
+cargo bench --offline -p exastro-bench --bench fig2_sedov_weak_scaling -- --test >/tmp/fig2_smoke.log
+cargo bench --offline -p exastro-bench --bench fig3_bubble_weak_scaling -- --test >/tmp/fig3_smoke.log
+python3 ci/perf_gate.py
+
 echo "== clippy (deny warnings, deny deprecated) =="
 # -D deprecated keeps the repo itself off the integrate_with_stats shim
 # (and any future deprecation) while external callers get a soft warning.

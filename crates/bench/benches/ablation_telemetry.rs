@@ -1,0 +1,114 @@
+//! **Observability ablation**: the cost of leaving telemetry on.
+//!
+//! The telemetry subsystem promises to be free when disabled (one relaxed
+//! atomic load per profiler region) and cheap when enabled (a shard-local
+//! ring-buffer push per region plus one `StepMetrics` record per step).
+//! This bench drives the same Castro Sedov advance three ways — telemetry
+//! disabled, trace spans enabled, trace + step metrics enabled — and
+//! reports the relative overhead. The acceptance target is < 2% overhead
+//! with everything on; the result is written to `BENCH_telemetry.json` so
+//! the CI perf gate can watch it drift.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use exastro_bench::{bench_castro, sedov_fixture, write_metrics_json, MetricPoint};
+use exastro_castro::KernelStructure;
+use exastro_telemetry::{NullSink, Telemetry};
+use std::sync::Arc;
+
+/// Best-of-N wall time: the minimum is the standard estimator for "what the
+/// code costs without scheduler interference", and overhead in the few-
+/// percent range is invisible under this machine's ±15% median jitter.
+fn min_secs(c: &Criterion, suffix: &str) -> f64 {
+    c.samples
+        .iter()
+        .find(|s| s.id.ends_with(suffix))
+        .unwrap_or_else(|| panic!("missing sample {suffix}"))
+        .times
+        .iter()
+        .min()
+        .expect("at least one sample")
+        .as_secs_f64()
+}
+
+fn bench(c: &mut Criterion) {
+    let n = 24;
+    let (geom, state, _layout, eos, net) = sedov_fixture(n, 12);
+    let mut castro = bench_castro(&eos, &net, KernelStructure::Flat);
+    let dt = castro.estimate_dt(&state, &geom);
+    let zones = (n as f64).powi(3);
+
+    Telemetry::disable();
+    // Warm caches and the worker pool so the first timed group is not
+    // charged with one-time startup cost.
+    for _ in 0..2 {
+        let mut s = state.clone();
+        castro.advance_level_safe(&mut s, &geom, dt).unwrap();
+    }
+    let mut g = c.benchmark_group("telemetry_ablation");
+    g.sample_size(15);
+    g.bench_function("advance_telemetry_off", |b| {
+        b.iter(|| {
+            let mut s = state.clone();
+            std::hint::black_box(castro.advance_level_safe(&mut s, &geom, dt).unwrap());
+        })
+    });
+    g.finish();
+
+    Telemetry::enable();
+    let mut g = c.benchmark_group("telemetry_ablation");
+    g.sample_size(15);
+    g.bench_function("advance_trace_on", |b| {
+        b.iter(|| {
+            let mut s = state.clone();
+            std::hint::black_box(castro.advance_level_safe(&mut s, &geom, dt).unwrap());
+        })
+    });
+    g.finish();
+
+    castro.telemetry.attach_sink(Arc::new(NullSink));
+    let mut g = c.benchmark_group("telemetry_ablation");
+    g.sample_size(15);
+    g.bench_function("advance_trace_and_metrics_on", |b| {
+        b.iter(|| {
+            let mut s = state.clone();
+            std::hint::black_box(castro.advance_level_safe(&mut s, &geom, dt).unwrap());
+        })
+    });
+    g.finish();
+    Telemetry::disable();
+    Telemetry::reset();
+
+    let off = min_secs(c, "advance_telemetry_off");
+    let trace = min_secs(c, "advance_trace_on");
+    let full = min_secs(c, "advance_trace_and_metrics_on");
+    let overhead_trace = (trace / off - 1.0) * 100.0;
+    let overhead_full = (full / off - 1.0) * 100.0;
+    println!("=== telemetry ablation (Castro Sedov {n}^3 advance) ===");
+    println!(
+        "telemetry off:             {:.2} ms  ({:.1} zones/µs)",
+        off * 1e3,
+        zones / (off * 1e6)
+    );
+    println!(
+        "trace spans on:            {:.2} ms  ({:+.2}% vs off)",
+        trace * 1e3,
+        overhead_trace
+    );
+    println!(
+        "trace + step metrics on:   {:.2} ms  ({:+.2}% vs off, target < 2%)",
+        full * 1e3,
+        overhead_full
+    );
+    let metrics = vec![
+        MetricPoint::new("telemetry_off/zones_per_us", zones / (off * 1e6), "z/us"),
+        MetricPoint::new("trace_on/overhead", overhead_trace, "%"),
+        MetricPoint::new("trace_and_metrics_on/overhead", overhead_full, "%"),
+    ];
+    match write_metrics_json("telemetry", &metrics) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("BENCH_telemetry.json not written: {e}"),
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

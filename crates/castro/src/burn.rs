@@ -27,12 +27,18 @@ pub struct BurnStats {
     pub total_steps: u64,
     /// The largest single-zone step count (the "outlier" of §VI).
     pub max_steps: u64,
+    /// Total Newton iterations over all zones.
+    pub newton_iters: u64,
     /// Total nuclear energy released, erg.
     pub energy_released: Real,
     /// Retry-ladder attempts beyond the first, summed over zones.
     pub retries: u64,
     /// Zones that needed at least one retry to burn.
     pub recovered: u64,
+    /// Zones whose winning rung was relaxed-tolerance.
+    pub recovered_relaxed: u64,
+    /// Zones whose winning rung was subcycling.
+    pub recovered_subcycle: u64,
     /// Zones rescued by the §VI outlier-offload rung.
     pub offloaded: u64,
 }
@@ -45,9 +51,12 @@ impl BurnStats {
         self.skipped += o.skipped;
         self.total_steps += o.total_steps;
         self.max_steps = self.max_steps.max(o.max_steps);
+        self.newton_iters += o.newton_iters;
         self.energy_released += o.energy_released;
         self.retries += o.retries;
         self.recovered += o.recovered;
+        self.recovered_relaxed += o.recovered_relaxed;
+        self.recovered_subcycle += o.recovered_subcycle;
         self.offloaded += o.offloaded;
     }
 }
@@ -195,14 +204,70 @@ pub fn burn_state(
             skipped: tally.skipped,
             total_steps: tally.total_steps,
             max_steps: tally.max_steps,
+            newton_iters: tally.newton_iters,
             energy_released,
             retries: tally.retries,
             recovered: tally.recovered,
+            recovered_relaxed: tally.recovered_relaxed,
+            recovered_subcycle: tally.recovered_subcycle,
             offloaded: tally.offloaded,
         })
     } else {
         Err(failures)
     }
+}
+
+/// The §VI "outlier zone" claim, made directly observable: probe-burn every
+/// zone of `state` for `dt` **without modifying it** and return a
+/// single-component `MultiFab` holding each zone's burn cost in BDF steps
+/// (0 for zones the cutoffs skip; the accumulated attempt cost for zones
+/// that fail every ladder rung). Rendered as a slice, this is the spatial
+/// heatmap showing the handful of igniting zones that cost orders of
+/// magnitude more than their quiescent neighbours.
+pub fn burn_cost_multifab(
+    state: &MultiFab,
+    dt: Real,
+    net: &dyn Network,
+    eos: &dyn Eos,
+    layout: &StateLayout,
+    opts: &BurnOptions,
+) -> MultiFab {
+    let mut cfg = BurnerConfig {
+        solver: opts.solver,
+        ladder: opts.ladder.clone(),
+        faults: opts.faults.clone(),
+        ..Default::default()
+    };
+    if let Some(ms) = opts.max_steps {
+        cfg.bdf.max_steps = ms;
+    }
+    let burner = cfg.build(net, eos);
+    let nspec = layout.nspec;
+    let mut cost = MultiFab::new(state.box_array().clone(), state.dist_map().clone(), 1, 0);
+    let mut zone_id = 0u64;
+    for fi in 0..state.nfabs() {
+        let vb = state.valid_box(fi);
+        let fab = state.fab(fi);
+        for iv in vb.iter() {
+            let zone = zone_id;
+            zone_id += 1;
+            let rho = fab.get(iv, StateLayout::RHO);
+            let t = fab.get(iv, StateLayout::TEMP);
+            if t < opts.min_temp || rho < opts.min_dens {
+                continue; // skipped zones cost 0
+            }
+            let mut x = vec![0.0; nspec];
+            for s in 0..nspec {
+                x[s] = (fab.get(iv, layout.spec(s)) / rho).clamp(0.0, 1.0);
+            }
+            let steps = match burner.burn_zone(zone, rho, t, &x, dt) {
+                Ok(rec) => rec.outcome.stats.steps,
+                Err(f) => f.stats.steps,
+            };
+            cost.fab_mut(fi).set(iv, 0, steps as Real);
+        }
+    }
+    cost
 }
 
 /// Estimate the device time (µs) a burn launch would take if outlier zones
@@ -496,6 +561,46 @@ mod tests {
             "dense {} vs sparse {}",
             d.energy_released,
             s.energy_released
+        );
+    }
+
+    #[test]
+    fn burn_cost_multifab_maps_outliers_without_touching_state() {
+        let (geom, state, layout) = carbon_state(8, true);
+        let net = CBurn2::new();
+        let eos = StellarEos;
+        let before: Real = geom
+            .domain()
+            .iter()
+            .map(|iv| state.value_at(iv, StateLayout::TEMP))
+            .sum();
+        let cost = burn_cost_multifab(&state, 1e-8, &net, &eos, &layout, &BurnOptions::default());
+        let after: Real = geom
+            .domain()
+            .iter()
+            .map(|iv| state.value_at(iv, StateLayout::TEMP))
+            .sum();
+        assert_eq!(before, after, "probe must not modify the state");
+        assert_eq!(cost.ncomp(), 1);
+        // Cold zones cost 0; the hot center costs many BDF steps.
+        let center = IntVect::splat(4);
+        let corner = IntVect::splat(0);
+        assert!(cost.value_at(center, 0) > 0.0, "hot center has burn cost");
+        assert_eq!(cost.value_at(corner, 0), 0.0, "cold corner is free");
+        let max = geom
+            .domain()
+            .iter()
+            .map(|iv| cost.value_at(iv, 0))
+            .fold(0.0, Real::max);
+        let nonzero = geom
+            .domain()
+            .iter()
+            .filter(|&iv| cost.value_at(iv, 0) > 0.0)
+            .count();
+        assert!(max >= 1.0);
+        assert!(
+            nonzero < 512,
+            "only the igniting pocket should be expensive"
         );
     }
 

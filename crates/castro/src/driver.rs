@@ -13,8 +13,10 @@ use exastro_microphysics::{BurnFailure, Composition, Eos, Network};
 use exastro_parallel::{Arena, ExecSpace, PoolArena, Profiler};
 use exastro_resilience::recovery::{write_emergency, RecoveryOptions};
 use exastro_resilience::snapshot::{Clock, Snapshot};
+use exastro_telemetry::{StepMetrics, StepRecorder};
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Per-step statistics.
 #[derive(Clone, Debug, Default)]
@@ -164,6 +166,9 @@ pub struct Castro<'a> {
     pub arena: Arc<dyn Arena>,
     /// Step-rejection policy and emergency-checkpoint destination.
     pub recovery: RecoveryOptions,
+    /// Per-step metrics recorder; inert until a sink is attached via
+    /// [`StepRecorder::attach_sink`].
+    pub telemetry: StepRecorder,
 }
 
 impl<'a> Castro<'a> {
@@ -184,6 +189,7 @@ impl<'a> Castro<'a> {
             ex: ExecSpace::Serial,
             arena: Arc::new(PoolArena::new(None)),
             recovery: RecoveryOptions::default(),
+            telemetry: StepRecorder::new(),
         }
     }
 
@@ -386,10 +392,18 @@ impl<'a> Castro<'a> {
         let mut try_dt = dt;
         let attempts = self.recovery.max_rejections.max(1);
         let mut last_err = None;
+        // Wall clock for the whole transaction, rejected attempts included:
+        // telemetry should charge the step with what it actually cost.
+        let step_start = self.telemetry.is_active().then(Instant::now);
         for attempt in 0..attempts {
             let snapshot = state.clone();
             match self.advance_level(state, geom, try_dt) {
-                Ok((stats, _fluxes)) => return Ok((stats, try_dt)),
+                Ok((stats, _fluxes)) => {
+                    if let Some(t0) = step_start {
+                        self.record_step_metrics(state, &stats, try_dt, t0, attempt);
+                    }
+                    return Ok((stats, try_dt));
+                }
                 Err(e) => {
                     *state = snapshot;
                     last_err = Some(e);
@@ -411,6 +425,38 @@ impl<'a> Castro<'a> {
             dt_floor: try_dt,
             emergency_checkpoint,
         }))
+    }
+
+    /// Build and emit the [`StepMetrics`] record for one accepted step.
+    fn record_step_metrics(
+        &self,
+        state: &MultiFab,
+        stats: &StepStats,
+        dt: Real,
+        step_start: Instant,
+        rejections: u32,
+    ) {
+        let wall_ns = step_start.elapsed().as_nanos() as u64;
+        let zones: u64 = (0..state.nfabs())
+            .map(|i| state.valid_box(i).num_zones() as u64)
+            .sum();
+        let arena = self.arena.stats();
+        self.telemetry.record(StepMetrics {
+            driver: "castro".to_string(),
+            dt,
+            wall_ns,
+            zones,
+            newton_iters: stats.burn.newton_iters,
+            bdf_steps: stats.burn.total_steps,
+            burn_retries: stats.burn.retries,
+            recovered_relaxed: stats.burn.recovered_relaxed,
+            recovered_subcycle: stats.burn.recovered_subcycle,
+            recovered_offload: stats.burn.offloaded,
+            step_rejections: rejections as u64,
+            arena_live_bytes: arena.bytes_live,
+            arena_peak_bytes: arena.bytes_peak,
+            ..Default::default()
+        });
     }
 
     /// Package the (pre-step) level state as a resilience snapshot for the

@@ -37,7 +37,7 @@ pub mod sponge;
 pub mod state;
 pub mod wd_collision;
 
-pub use burn::{burn_state, hybrid_offload_estimate, BurnOptions, BurnStats};
+pub use burn::{burn_cost_multifab, burn_state, hybrid_offload_estimate, BurnOptions, BurnStats};
 pub use diagnostics::{critical_zone_width, detonation_stability, StabilityReport};
 pub use diffusion::{diffuse, diffusion_dt, Conductivity};
 pub use driver::{Castro, DriverError, StateViolation, StepError, StepStats};

@@ -155,5 +155,6 @@ pub fn bubble_maestro<'a>(eos: &'a dyn Eos, net: &'a dyn Network, base: BaseStat
         burn_solver: SolverChoice::default(),
         burn_faults: None,
         recovery: RecoveryOptions::default(),
+        telemetry: Default::default(),
     }
 }

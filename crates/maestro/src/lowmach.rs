@@ -21,7 +21,9 @@ use exastro_parallel::Profiler;
 use exastro_resilience::recovery::{write_emergency, RecoveryOptions};
 use exastro_resilience::snapshot::Clock;
 use exastro_solvers::{MgBc, MgOptions, MgStats, Multigrid};
+use exastro_telemetry::{StepMetrics, StepRecorder};
 use std::path::PathBuf;
+use std::time::Instant;
 
 /// Component indices of the low-Mach state.
 #[derive(Clone, Copy, Debug)]
@@ -67,10 +69,16 @@ pub struct LmStepStats {
     pub projection: Option<MgStats>,
     /// Total burner integrator steps (reaction cost proxy).
     pub burn_steps: u64,
+    /// Total Newton iterations over all burned zones.
+    pub burn_newton_iters: u64,
     /// Burn retry-ladder attempts beyond the first, summed over zones.
     pub burn_retries: u64,
     /// Zones that needed at least one retry to burn.
     pub burn_recovered: u64,
+    /// Zones whose winning rung was relaxed-tolerance.
+    pub burn_recovered_relaxed: u64,
+    /// Zones whose winning rung was subcycling.
+    pub burn_recovered_subcycle: u64,
     /// Zones rescued by the §VI outlier-offload rung.
     pub burn_offloaded: u64,
     /// Peak temperature after the step.
@@ -214,6 +222,9 @@ pub struct Maestro<'a> {
     pub burn_faults: Option<BurnFaultConfig>,
     /// Step-rejection policy and emergency-checkpoint destination.
     pub recovery: RecoveryOptions,
+    /// Per-step metrics recorder; inert until a sink is attached via
+    /// [`StepRecorder::attach_sink`].
+    pub telemetry: StepRecorder,
 }
 
 impl<'a> Maestro<'a> {
@@ -506,8 +517,11 @@ impl<'a> Maestro<'a> {
             let _r = Profiler::region("react");
             let t = self.react(state, 0.5 * dt).map_err(LmStepError::Burn)?;
             stats.burn_steps += t.total_steps;
+            stats.burn_newton_iters += t.newton_iters;
             stats.burn_retries += t.retries;
             stats.burn_recovered += t.recovered;
+            stats.burn_recovered_relaxed += t.recovered_relaxed;
+            stats.burn_recovered_subcycle += t.recovered_subcycle;
             stats.burn_offloaded += t.offloaded;
         }
         {
@@ -530,8 +544,11 @@ impl<'a> Maestro<'a> {
             let _r = Profiler::region("react");
             let t = self.react(state, 0.5 * dt).map_err(LmStepError::Burn)?;
             stats.burn_steps += t.total_steps;
+            stats.burn_newton_iters += t.newton_iters;
             stats.burn_retries += t.retries;
             stats.burn_recovered += t.recovered;
+            stats.burn_recovered_relaxed += t.recovered_relaxed;
+            stats.burn_recovered_subcycle += t.recovered_subcycle;
             stats.burn_offloaded += t.offloaded;
         }
         {
@@ -571,10 +588,17 @@ impl<'a> Maestro<'a> {
         let mut try_dt = dt;
         let attempts = self.recovery.max_rejections.max(1);
         let mut last_err = None;
+        // Wall clock for the whole transaction, rejected attempts included.
+        let step_start = self.telemetry.is_active().then(Instant::now);
         for attempt in 0..attempts {
             let snapshot = state.clone();
             match self.advance(state, geom, try_dt) {
-                Ok(stats) => return Ok((stats, try_dt)),
+                Ok(stats) => {
+                    if let Some(t0) = step_start {
+                        self.record_step_metrics(state, &stats, try_dt, t0, attempt);
+                    }
+                    return Ok((stats, try_dt));
+                }
                 Err(e) => {
                     *state = snapshot;
                     last_err = Some(e);
@@ -606,6 +630,36 @@ impl<'a> Maestro<'a> {
             dt_floor: try_dt,
             emergency_checkpoint,
         }))
+    }
+
+    /// Build and emit the [`StepMetrics`] record for one accepted step.
+    /// The low-Mach driver owns no arena, so arena occupancy reads zero.
+    fn record_step_metrics(
+        &self,
+        state: &MultiFab,
+        stats: &LmStepStats,
+        dt: Real,
+        step_start: Instant,
+        rejections: u32,
+    ) {
+        let wall_ns = step_start.elapsed().as_nanos() as u64;
+        let zones: u64 = (0..state.nfabs())
+            .map(|i| state.valid_box(i).num_zones() as u64)
+            .sum();
+        self.telemetry.record(StepMetrics {
+            driver: "maestro".to_string(),
+            dt,
+            wall_ns,
+            zones,
+            newton_iters: stats.burn_newton_iters,
+            bdf_steps: stats.burn_steps,
+            burn_retries: stats.burn_retries,
+            recovered_relaxed: stats.burn_recovered_relaxed,
+            recovered_subcycle: stats.burn_recovered_subcycle,
+            recovered_offload: stats.burn_offloaded,
+            step_rejections: rejections as u64,
+            ..Default::default()
+        });
     }
 }
 

@@ -309,11 +309,15 @@ impl Burner for PlainBurner<'_> {
         }
         match self.burn(rho, t0, x0, dt) {
             Ok(out) => match validate_outcome(&out) {
-                Ok(()) => Ok(RecoveredBurn {
-                    outcome: out,
-                    rung: LadderRung::Direct,
-                    retries: 0,
-                }),
+                Ok(()) => {
+                    let rec = RecoveredBurn {
+                        outcome: out,
+                        rung: LadderRung::Direct,
+                        retries: 0,
+                    };
+                    record_burn_telemetry(&rec);
+                    Ok(rec)
+                }
                 Err(kind) => {
                     let stats = out.stats;
                     Err(fail(kind, stats))
@@ -393,6 +397,26 @@ impl BurnerConfig {
     }
 }
 
+/// Per-zone burn-cost telemetry, recorded by both [`Burner`] impls on every
+/// successful zone when telemetry is enabled: log-scale histograms of BDF
+/// steps and Newton iterations (the §VI outlier-zone distributions) and a
+/// counter per retry-ladder rung reached.
+pub(crate) fn record_burn_telemetry(rec: &RecoveredBurn) {
+    use exastro_telemetry::Telemetry;
+    if !Telemetry::is_enabled() {
+        return;
+    }
+    Telemetry::record_hist("burn.bdf_steps", rec.outcome.stats.steps as f64);
+    Telemetry::record_hist("burn.newton_iters", rec.outcome.stats.newton_iters as f64);
+    let rung_counter = match rec.rung {
+        LadderRung::Direct => "burn.rung.direct",
+        LadderRung::RelaxedTol => "burn.rung.relaxed-tol",
+        LadderRung::Subcycle => "burn.rung.subcycle",
+        LadderRung::Offload => "burn.rung.offload",
+    };
+    exastro_telemetry::counter_add(rung_counter, 1);
+}
+
 /// Shared per-sweep burn accounting: both drivers fold each
 /// [`RecoveredBurn`] through [`BurnTally::record`] (which also attributes
 /// ladder retries to the profiler) instead of hand-rolling the rung
@@ -407,10 +431,16 @@ pub struct BurnTally {
     pub total_steps: u64,
     /// The largest single-zone step count (the "outlier" of §VI).
     pub max_steps: u64,
+    /// Total Newton iterations over all zones.
+    pub newton_iters: u64,
     /// Retry-ladder attempts beyond the first, summed over zones.
     pub retries: u64,
     /// Zones that needed at least one retry to burn.
     pub recovered: u64,
+    /// Zones whose winning rung was relaxed-tolerance.
+    pub recovered_relaxed: u64,
+    /// Zones whose winning rung was subcycling.
+    pub recovered_subcycle: u64,
     /// Zones rescued by the §VI outlier-offload rung.
     pub offloaded: u64,
 }
@@ -422,13 +452,17 @@ impl BurnTally {
         self.zones += 1;
         self.total_steps += rec.outcome.stats.steps;
         self.max_steps = self.max_steps.max(rec.outcome.stats.steps);
+        self.newton_iters += rec.outcome.stats.newton_iters;
         if rec.retries > 0 {
             exastro_parallel::Profiler::record_retries(rec.retries as u64);
             self.retries += rec.retries as u64;
             self.recovered += 1;
         }
-        if rec.rung == LadderRung::Offload {
-            self.offloaded += 1;
+        match rec.rung {
+            LadderRung::Direct => {}
+            LadderRung::RelaxedTol => self.recovered_relaxed += 1,
+            LadderRung::Subcycle => self.recovered_subcycle += 1,
+            LadderRung::Offload => self.offloaded += 1,
         }
     }
 
@@ -618,6 +652,7 @@ mod tests {
                 enuc: 0.0,
                 stats: BdfStats {
                     steps,
+                    newton_iters: 2 * steps,
                     ..Default::default()
                 },
             },
@@ -628,13 +663,17 @@ mod tests {
         tally.record(&mk(10, 0, LadderRung::Direct));
         tally.record(&mk(40, 2, LadderRung::Subcycle));
         tally.record(&mk(200, 3, LadderRung::Offload));
+        tally.record(&mk(5, 1, LadderRung::RelaxedTol));
         tally.skip();
-        assert_eq!(tally.zones, 3);
+        assert_eq!(tally.zones, 4);
         assert_eq!(tally.skipped, 1);
-        assert_eq!(tally.total_steps, 250);
+        assert_eq!(tally.total_steps, 255);
         assert_eq!(tally.max_steps, 200);
-        assert_eq!(tally.retries, 5);
-        assert_eq!(tally.recovered, 2);
+        assert_eq!(tally.newton_iters, 510);
+        assert_eq!(tally.retries, 6);
+        assert_eq!(tally.recovered, 3);
+        assert_eq!(tally.recovered_relaxed, 1);
+        assert_eq!(tally.recovered_subcycle, 1);
         assert_eq!(tally.offloaded, 1);
     }
 

@@ -382,11 +382,13 @@ impl Burner for RecoveringBurner<'_> {
                         Ok(()) => {
                             let mut out = out;
                             out.stats = stats;
-                            return Ok(RecoveredBurn {
+                            let rec = RecoveredBurn {
                                 outcome: out,
                                 rung,
                                 retries: attempts - 1,
-                            });
+                            };
+                            crate::burner::record_burn_telemetry(&rec);
+                            return Ok(rec);
                         }
                         Err(kind) => last_err = kind,
                     }

@@ -48,7 +48,7 @@ pub use index::{IndexBox, IntVect, SPACEDIM};
 pub use pool::{
     par_each_mut, par_index_each, par_map_fold, try_par_for, PoolStats, Tasks, WorkerPool,
 };
-pub use profiler::{Profiler, Region, RegionStats};
+pub use profiler::{InstalledStack, Profiler, Region, RegionStats};
 
 /// The floating-point type used throughout the suite.
 pub type Real = f64;

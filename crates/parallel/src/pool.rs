@@ -99,6 +99,15 @@ struct JobCore {
     /// First worker panic payload, rethrown verbatim on the caller thread
     /// so `panic!("zone 372 ...")` survives the pool boundary.
     panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// The submitting thread's profiler region stack. Workers install it for
+    /// the job's duration so `Profiler::record_*` calls inside the body
+    /// attribute to the submitter's region path, not an empty one
+    /// (`REGION_STACK` is thread-local and would otherwise read as "(top)"
+    /// on a worker).
+    region_stack: Vec<String>,
+    /// Trace-span label for worker participation, precomputed on the
+    /// submitting thread (None when telemetry is disabled).
+    trace_label: Option<String>,
 }
 
 /// The participant body with its lifetime erased. Soundness: the registration
@@ -204,12 +213,23 @@ impl WorkerPool {
     /// another thread's region currently owns the team.
     pub fn run(&self, ntasks: usize, max_threads: usize, body: &(dyn Fn(Tasks<'_>) + Sync)) {
         self.regions.fetch_add(1, Ordering::Relaxed);
+        let region_stack = crate::profiler::Profiler::current_stack();
+        let trace_label = if exastro_telemetry::Telemetry::is_enabled() {
+            Some(format!(
+                "pool:{}",
+                region_stack.last().map(String::as_str).unwrap_or("(top)")
+            ))
+        } else {
+            None
+        };
         let core = JobCore {
             next: AtomicUsize::new(0),
             ntasks,
             departures: Mutex::new(0),
             departed_cv: Condvar::new(),
             panic: Mutex::new(None),
+            region_stack,
+            trace_label,
         };
         let want = max_threads.min(self.nworkers + 1);
         let nested = IN_POOL_WORKER.with(|f| f.get());
@@ -310,12 +330,26 @@ fn worker_loop(shared: Arc<Shared>) {
         let core: &JobCore = unsafe { &*core_ptr };
         let body: &(dyn Fn(Tasks<'_>) + Sync) = unsafe { &*body_ptr };
         IN_POOL_WORKER.with(|f| f.set(true));
-        let result = catch_unwind(AssertUnwindSafe(|| {
-            body(Tasks {
-                next: &core.next,
-                ntasks: core.ntasks,
-            })
-        }));
+        let result = {
+            // Attribute profiler counters recorded inside the body to the
+            // submitting thread's region path, and (when telemetry is on)
+            // mark this worker's participation with a trace span carrying
+            // *this* thread's id.
+            let _stack = crate::profiler::Profiler::install_stack(core.region_stack.clone());
+            if let Some(label) = &core.trace_label {
+                exastro_telemetry::Telemetry::trace_begin(label);
+            }
+            let r = catch_unwind(AssertUnwindSafe(|| {
+                body(Tasks {
+                    next: &core.next,
+                    ntasks: core.ntasks,
+                })
+            }));
+            if let Some(label) = &core.trace_label {
+                exastro_telemetry::Telemetry::trace_end(label);
+            }
+            r
+        };
         IN_POOL_WORKER.with(|f| f.set(false));
         if let Err(p) = result {
             let mut slot = core.panic.lock().unwrap();
@@ -557,6 +591,28 @@ mod tests {
         });
         assert!(res.is_ok());
         assert_eq!(hits.load(Ordering::Relaxed), 257);
+    }
+
+    #[test]
+    fn worker_bodies_attribute_to_submitter_region() {
+        use crate::profiler::Profiler;
+        // Regression test for cross-thread region attribution: record_zones
+        // calls made by pool workers must land on the *submitting* thread's
+        // region path, not "(top)" (REGION_STACK is thread-local).
+        let pool = WorkerPool::new(3);
+        {
+            let _r = Profiler::region("pool_attr_test");
+            for _ in 0..20 {
+                pool.run(64, usize::MAX, &|tasks: Tasks<'_>| {
+                    while let Some(_i) = tasks.next_task() {
+                        Profiler::record_zones(1);
+                        std::thread::yield_now();
+                    }
+                });
+            }
+        }
+        let s = Profiler::get("pool_attr_test").expect("region recorded");
+        assert_eq!(s.zones, 20 * 64, "every zone attributes to the submitter");
     }
 
     #[test]

@@ -16,6 +16,7 @@
 //! statistics); [`Profiler::reset`] clears it between runs.
 
 use crate::pool::WorkerPool;
+use exastro_telemetry::Telemetry;
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::sync::{Mutex, OnceLock};
@@ -55,11 +56,35 @@ pub struct Profiler;
 
 impl Profiler {
     /// Open a named region on this thread; close it by dropping the guard.
+    /// When telemetry is enabled the region also emits a begin/end trace
+    /// span (see `exastro_telemetry::Telemetry::write_trace`).
     pub fn region(name: &str) -> Region {
+        Telemetry::trace_begin(name);
         REGION_STACK.with(|s| s.borrow_mut().push(name.to_string()));
         Region {
             start: Instant::now(),
         }
+    }
+
+    /// A copy of this thread's open-region stack (innermost last). Used by
+    /// the worker pool to carry the submitting thread's region context into
+    /// pool workers (see [`Profiler::install_stack`]).
+    pub fn current_stack() -> Vec<String> {
+        REGION_STACK.with(|s| s.borrow().clone())
+    }
+
+    /// Replace this thread's region stack with `stack` until the returned
+    /// guard drops (which restores the previous stack). Pool workers install
+    /// the *submitting* thread's stack for a job's duration so that
+    /// `record_zones`/`record_device_us` calls made inside the job body
+    /// attribute to the submitter's region path instead of an empty one.
+    ///
+    /// The guard intentionally does not time anything: wall time for the
+    /// region is measured once, on the submitting thread that holds the
+    /// [`Region`] guard.
+    pub fn install_stack(stack: Vec<String>) -> InstalledStack {
+        let saved = REGION_STACK.with(|s| std::mem::replace(&mut *s.borrow_mut(), stack));
+        InstalledStack { saved }
     }
 
     /// The current slash-joined region path on this thread, or "(top)" when
@@ -152,17 +177,26 @@ impl Profiler {
         table().lock().unwrap().clear();
     }
 
-    /// Render the end-of-run report: regions sorted by inclusive wall time,
-    /// with calls, zones, simulated device time, and worker-pool hit rates.
-    pub fn report() -> String {
+    /// The single accumulation pass shared by [`Profiler::report`] and
+    /// [`Profiler::report_json`]: rows sorted by wall time descending with
+    /// ties broken by region path (so equal-wall-time rows never reorder
+    /// between runs), plus the top-level total used for the `%top` column.
+    pub fn report_rows() -> (Vec<(String, RegionStats)>, u64) {
         let snap = Self::snapshot();
-        let mut rows: Vec<(&String, &RegionStats)> = snap.iter().collect();
-        rows.sort_by(|a, b| b.1.wall_ns.cmp(&a.1.wall_ns).then_with(|| a.0.cmp(b.0)));
+        let mut rows: Vec<(String, RegionStats)> = snap.into_iter().collect();
+        rows.sort_by(|a, b| b.1.wall_ns.cmp(&a.1.wall_ns).then_with(|| a.0.cmp(&b.0)));
         let total_ns: u64 = rows
             .iter()
             .filter(|(p, _)| !p.contains('/'))
             .map(|(_, s)| s.wall_ns)
             .sum();
+        (rows, total_ns)
+    }
+
+    /// Render the end-of-run report: regions sorted by inclusive wall time,
+    /// with calls, zones, simulated device time, and worker-pool hit rates.
+    pub fn report() -> String {
+        let (rows, total_ns) = Self::report_rows();
         let mut out = String::new();
         out.push_str("===================== execution telemetry =====================\n");
         out.push_str(&format!(
@@ -201,6 +235,42 @@ impl Profiler {
         out
     }
 
+    /// The end-of-run report as a JSON object sharing the exact accumulation
+    /// pass (and therefore row order) of [`Profiler::report`]:
+    /// `{"total_ns": .., "regions": [{"path", "calls", "wall_ns", "zones",
+    /// "device_us", "bytes", "retries"}, ..], "pool": {..}}`.
+    pub fn report_json() -> String {
+        let (rows, total_ns) = Self::report_rows();
+        let mut out = String::new();
+        out.push_str(&format!("{{\"total_ns\": {total_ns}, \"regions\": ["));
+        for (i, (path, s)) in rows.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let device_us = if s.device_us.is_finite() {
+                format!("{}", s.device_us)
+            } else {
+                "null".to_string()
+            };
+            out.push_str(&format!(
+                "{{\"path\": \"{}\", \"calls\": {}, \"wall_ns\": {}, \"zones\": {}, \"device_us\": {}, \"bytes\": {}, \"retries\": {}}}",
+                json_escape(path),
+                s.calls,
+                s.wall_ns,
+                s.zones,
+                device_us,
+                s.bytes,
+                s.retries,
+            ));
+        }
+        let ps = WorkerPool::global().stats();
+        out.push_str(&format!(
+            "], \"pool\": {{\"threads\": {}, \"threads_spawned\": {}, \"regions\": {}, \"pooled_regions\": {}, \"serial_regions\": {}}}}}",
+            ps.threads, ps.threads_spawned, ps.regions, ps.pooled_regions, ps.serial_regions,
+        ));
+        out
+    }
+
     /// The end-of-run report extended with the device's host↔device traffic
     /// summary (checkpoint D2H copies, bytes, and simulated copy time).
     pub fn report_with_device(device: &crate::device::SimDevice) -> String {
@@ -217,6 +287,19 @@ impl Profiler {
     }
 }
 
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
 /// RAII guard for one profiler region; closes (and records wall time) on
 /// drop.
 pub struct Region {
@@ -227,13 +310,27 @@ impl Drop for Region {
     fn drop(&mut self) {
         let wall = self.start.elapsed();
         let path = Profiler::current_path();
-        REGION_STACK.with(|s| {
-            s.borrow_mut().pop();
-        });
+        let name = REGION_STACK.with(|s| s.borrow_mut().pop());
+        if let Some(name) = name {
+            Telemetry::trace_end(&name);
+        }
         let mut t = table().lock().unwrap();
         let e = t.entry(path).or_default();
         e.calls += 1;
         e.wall_ns += wall.as_nanos() as u64;
+    }
+}
+
+/// Guard returned by [`Profiler::install_stack`]; restores the thread's
+/// previous region stack on drop.
+pub struct InstalledStack {
+    saved: Vec<String>,
+}
+
+impl Drop for InstalledStack {
+    fn drop(&mut self) {
+        let saved = std::mem::take(&mut self.saved);
+        REGION_STACK.with(|s| *s.borrow_mut() = saved);
     }
 }
 
@@ -294,6 +391,38 @@ mod tests {
         assert!(report.contains("prof_test_step/hydro"));
         assert!(report.contains("retries"));
         assert!(report.contains("pool:"));
+
+        // report_json shares the same accumulation pass: same rows, same
+        // deterministic tie-sorted order, machine-readable.
+        let json = Profiler::report_json();
+        assert!(json.contains("\"path\": \"prof_test_step/hydro\""));
+        assert!(json.contains("\"zones\": 42"));
+        assert!(json.contains("\"total_ns\""));
+        assert!(json.contains("\"pool\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        let (rows, _) = Profiler::report_rows();
+        let paths: Vec<&str> = rows.iter().map(|(p, _)| p.as_str()).collect();
+        let mut pos = 0;
+        for p in &paths {
+            let at = json
+                .find(&format!("\"path\": \"{p}\""))
+                .expect("row in json");
+            assert!(at >= pos, "json row order must match report order");
+            pos = at;
+        }
+
+        // install_stack: a foreign stack attributes records, then restores.
+        {
+            let _g = Profiler::install_stack(vec![
+                "prof_test_step".to_string(),
+                "installed".to_string(),
+            ]);
+            assert_eq!(Profiler::current_path(), "prof_test_step/installed");
+            Profiler::record_zones(5);
+        }
+        assert_eq!(Profiler::current_path(), "(top)");
+        assert_eq!(Profiler::get("prof_test_step/installed").unwrap().zones, 5);
 
         let dev = crate::device::SimDevice::new(crate::device::DeviceConfig::v100());
         dev.d2h_copy(2_000_000);

@@ -1,0 +1,329 @@
+//! Per-step time-series metrics: the [`StepMetrics`] record, the
+//! [`MetricsSink`] trait with in-memory / JSONL-file / null impls, and the
+//! [`StepRecorder`] handle the drivers embed.
+//!
+//! One [`StepMetrics`] is appended per *accepted* step by
+//! `Castro::advance_level_safe` and `Maestro::advance_safe`. The JSONL
+//! form (one JSON object per line) streams safely — a killed run leaves
+//! whole, parseable lines — and reproduces the paper's §IV burner-fraction
+//! table with a ten-line script (see EXPERIMENTS.md).
+
+use std::io::Write;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One accepted driver step, in machine-readable form.
+///
+/// Counter fields are *per step* (deltas), not run totals: summing a column
+/// over a `steps.jsonl` file reconciles with the end-of-run profiler /
+/// `BurnTally` totals, which the driver integration tests assert.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StepMetrics {
+    /// Which driver emitted this record (`"castro"` or `"maestro"`).
+    pub driver: String,
+    /// 1-based accepted-step ordinal within this recorder's run.
+    pub step: u64,
+    /// Simulation time at the *end* of the step.
+    pub t: f64,
+    /// The dt actually taken (after any rejection-driven cuts).
+    pub dt: f64,
+    /// Wall-clock nanoseconds for the step (including rejected attempts).
+    pub wall_ns: u64,
+    /// Zones advanced this step (one count per accepted advance).
+    pub zones: u64,
+    /// Throughput in zones per microsecond (the paper's Figures 2–4 unit).
+    pub zones_per_us: f64,
+    /// Newton iterations spent in the burner this step.
+    pub newton_iters: u64,
+    /// BDF steps taken by the burner this step.
+    pub bdf_steps: u64,
+    /// Burn retry-ladder attempts beyond the first (all rungs).
+    pub burn_retries: u64,
+    /// Zones recovered on the relaxed-tolerance rung.
+    pub recovered_relaxed: u64,
+    /// Zones recovered on the subcycling rung.
+    pub recovered_subcycle: u64,
+    /// Zones recovered on the offload rung.
+    pub recovered_offload: u64,
+    /// Whole-step rejections (snapshot restore + dt cut) before acceptance.
+    pub step_rejections: u64,
+    /// Checkpoint bytes written since the previous record.
+    pub checkpoint_bytes: u64,
+    /// Arena live bytes after the step (0 when the driver has no arena).
+    pub arena_live_bytes: u64,
+    /// Arena peak bytes so far (0 when the driver has no arena).
+    pub arena_peak_bytes: u64,
+}
+
+/// Format an `f64` as a JSON value (`null` for non-finite).
+pub(crate) fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // Ensure a numeric token JSON parsers accept (Rust never prints
+        // leading dots or bare exponents, so plain Display is already
+        // valid); keep it as-is.
+        s
+    } else {
+        "null".to_string()
+    }
+}
+
+impl StepMetrics {
+    /// This record as one JSON object (no trailing newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"driver\": \"{}\", \"step\": {}, \"t\": {}, \"dt\": {}, \"wall_ns\": {}, \"zones\": {}, \"zones_per_us\": {}, \"newton_iters\": {}, \"bdf_steps\": {}, \"burn_retries\": {}, \"recovered_relaxed\": {}, \"recovered_subcycle\": {}, \"recovered_offload\": {}, \"step_rejections\": {}, \"checkpoint_bytes\": {}, \"arena_live_bytes\": {}, \"arena_peak_bytes\": {}}}",
+            self.driver,
+            self.step,
+            json_f64(self.t),
+            json_f64(self.dt),
+            self.wall_ns,
+            self.zones,
+            json_f64(self.zones_per_us),
+            self.newton_iters,
+            self.bdf_steps,
+            self.burn_retries,
+            self.recovered_relaxed,
+            self.recovered_subcycle,
+            self.recovered_offload,
+            self.step_rejections,
+            self.checkpoint_bytes,
+            self.arena_live_bytes,
+            self.arena_peak_bytes,
+        )
+    }
+}
+
+/// Destination for per-step records. Implementations must be safe to call
+/// from the driver thread each step (`&self`, internally synchronized).
+pub trait MetricsSink: Send + Sync {
+    /// Append one step record.
+    fn record(&self, m: &StepMetrics);
+    /// Flush any buffering to the underlying medium.
+    fn flush(&self) {}
+}
+
+/// Keeps every record in memory; the test and reconciliation sink.
+#[derive(Default)]
+pub struct MemorySink {
+    records: Mutex<Vec<StepMetrics>>,
+}
+
+impl MemorySink {
+    /// An empty in-memory sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of every record so far.
+    pub fn snapshot(&self) -> Vec<StepMetrics> {
+        self.records.lock().unwrap().clone()
+    }
+
+    /// Drain and return every record so far.
+    pub fn take(&self) -> Vec<StepMetrics> {
+        std::mem::take(&mut self.records.lock().unwrap())
+    }
+}
+
+impl MetricsSink for MemorySink {
+    fn record(&self, m: &StepMetrics) {
+        self.records.lock().unwrap().push(m.clone());
+    }
+}
+
+/// Appends records as JSON Lines to a file (one object per line, flushed
+/// per record so a killed run leaves whole lines).
+pub struct JsonlSink {
+    file: Mutex<std::io::BufWriter<std::fs::File>>,
+}
+
+impl JsonlSink {
+    /// Create (truncate) `path` and stream records to it.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(JsonlSink {
+            file: Mutex::new(std::io::BufWriter::new(std::fs::File::create(path)?)),
+        })
+    }
+}
+
+impl MetricsSink for JsonlSink {
+    fn record(&self, m: &StepMetrics) {
+        let mut f = self.file.lock().unwrap();
+        // I/O errors are swallowed: losing telemetry must never fail a run.
+        let _ = writeln!(f, "{}", m.to_json());
+        let _ = f.flush();
+    }
+
+    fn flush(&self) {
+        let _ = self.file.lock().unwrap().flush();
+    }
+}
+
+/// Discards everything (the explicit "metrics off" sink).
+#[derive(Default, Clone, Copy)]
+pub struct NullSink;
+
+impl MetricsSink for NullSink {
+    fn record(&self, _m: &StepMetrics) {}
+}
+
+/// The handle a driver embeds: owns the optional sink, the step ordinal,
+/// and the checkpoint-bytes watermark used to turn the process-wide
+/// `checkpoint.bytes` counter into per-step deltas.
+///
+/// `Default` is the inert state (no sink, zero cost per step beyond one
+/// `Option` check), so drivers constructed by struct literal or `new()`
+/// stay telemetry-free until `attach_sink` is called.
+#[derive(Default)]
+pub struct StepRecorder {
+    sink: Option<Arc<dyn MetricsSink>>,
+    step: AtomicU64,
+    /// Run time accumulated over recorded steps, as `f64` bits.
+    time_bits: AtomicU64,
+    ckpt_bytes_seen: AtomicU64,
+}
+
+impl StepRecorder {
+    /// An inert recorder (no sink attached).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attach `sink` and reset the step ordinal; subsequent accepted steps
+    /// are recorded. The checkpoint watermark starts at the counter's
+    /// current value, so pre-attach checkpoints are not attributed.
+    pub fn attach_sink(&mut self, sink: Arc<dyn MetricsSink>) {
+        self.sink = Some(sink);
+        self.step.store(0, Ordering::Relaxed);
+        self.time_bits.store(0f64.to_bits(), Ordering::Relaxed);
+        self.ckpt_bytes_seen.store(
+            crate::counters::counter_get("checkpoint.bytes"),
+            Ordering::Relaxed,
+        );
+    }
+
+    /// Whether a sink is attached (drivers skip metric assembly when not).
+    pub fn is_active(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Record one accepted step. Fills in the step ordinal, accumulates
+    /// `t` from the recorded `dt` values (a run clock starting at 0 when
+    /// the sink was attached), derives `zones_per_us` from
+    /// `zones`/`wall_ns`, and charges the `checkpoint.bytes` counter delta
+    /// since the last record (checkpoints written between steps attribute
+    /// to the following step, so run totals still reconcile). No-op
+    /// without a sink.
+    pub fn record(&self, mut m: StepMetrics) {
+        let Some(sink) = &self.sink else { return };
+        m.step = self.step.fetch_add(1, Ordering::Relaxed) + 1;
+        let t = f64::from_bits(self.time_bits.load(Ordering::Relaxed)) + m.dt;
+        self.time_bits.store(t.to_bits(), Ordering::Relaxed);
+        m.t = t;
+        m.zones_per_us = if m.wall_ns > 0 {
+            m.zones as f64 / (m.wall_ns as f64 / 1_000.0)
+        } else {
+            f64::NAN
+        };
+        let now = crate::counters::counter_get("checkpoint.bytes");
+        let seen = self.ckpt_bytes_seen.swap(now, Ordering::Relaxed);
+        m.checkpoint_bytes = now.saturating_sub(seen);
+        sink.record(&m);
+    }
+
+    /// Flush the attached sink, if any.
+    pub fn flush(&self) {
+        if let Some(sink) = &self.sink {
+            sink.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_round_trip_and_memory_sink() {
+        let sink = Arc::new(MemorySink::new());
+        let mut rec = StepRecorder::new();
+        assert!(!rec.is_active());
+        rec.record(StepMetrics::default()); // inert: no sink yet
+        rec.attach_sink(sink.clone());
+        assert!(rec.is_active());
+        rec.record(StepMetrics {
+            driver: "castro".into(),
+            dt: 0.25,
+            wall_ns: 2_000,
+            zones: 8,
+            ..Default::default()
+        });
+        rec.record(StepMetrics {
+            driver: "castro".into(),
+            dt: 0.5,
+            ..Default::default()
+        });
+        let recs = sink.snapshot();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].step, 1);
+        assert_eq!(recs[1].step, 2);
+        // t accumulates the recorded dt values.
+        assert_eq!(recs[0].t, 0.25);
+        assert_eq!(recs[1].t, 0.75);
+        assert!((recs[0].zones_per_us - 4.0).abs() < 1e-12);
+        let line = recs[0].to_json();
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\"driver\": \"castro\""));
+        assert!(line.contains("\"zones\": 8"));
+        assert_eq!(line.matches('{').count(), 1);
+    }
+
+    #[test]
+    fn checkpoint_bytes_are_per_step_deltas() {
+        let sink = Arc::new(MemorySink::new());
+        let mut rec = StepRecorder::new();
+        crate::counters::counter_add("checkpoint.bytes", 100); // pre-attach
+        rec.attach_sink(sink.clone());
+        crate::counters::counter_add("checkpoint.bytes", 40);
+        rec.record(StepMetrics::default());
+        rec.record(StepMetrics::default());
+        crate::counters::counter_add("checkpoint.bytes", 5);
+        rec.record(StepMetrics::default());
+        let recs = sink.snapshot();
+        assert_eq!(recs[0].checkpoint_bytes, 40);
+        assert_eq!(recs[1].checkpoint_bytes, 0);
+        assert_eq!(recs[2].checkpoint_bytes, 5);
+    }
+
+    #[test]
+    fn non_finite_values_serialize_as_null() {
+        let m = StepMetrics {
+            t: f64::NAN,
+            zones_per_us: f64::INFINITY,
+            ..Default::default()
+        };
+        let j = m.to_json();
+        assert!(j.contains("\"t\": null"));
+        assert!(j.contains("\"zones_per_us\": null"));
+        assert!(!j.contains("NaN") && !j.contains("inf"));
+    }
+
+    #[test]
+    fn jsonl_file_sink_writes_one_line_per_record() {
+        let dir = std::env::temp_dir().join(format!("exastro-metrics-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("steps.jsonl");
+        let sink = JsonlSink::create(&path).unwrap();
+        sink.record(&StepMetrics::default());
+        sink.record(&StepMetrics::default());
+        sink.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,360 @@
+//! Trace spans: a lock-sharded ring buffer of begin/end events with a
+//! Chrome trace-event JSON exporter.
+//!
+//! Every span is two events — `B` (begin) and `E` (end) — attributed to a
+//! small stable per-thread id and stamped with nanoseconds since a
+//! process-wide monotonic epoch. Events land in the shard owned by the
+//! recording thread (`tid % nshards`), so concurrent threads almost never
+//! contend on a lock, and the recording cost is one mutex acquire plus a
+//! `VecDeque` push.
+//!
+//! ## Bounded memory, well-formed output
+//!
+//! Each shard is a fixed-capacity ring: when full, the **oldest** event in
+//! the shard is evicted (and counted in [`TraceBuffer::dropped`]). Because
+//! eviction removes a per-thread *prefix* of events, the survivors of any
+//! thread are a suffix of a properly nested sequence, and the exporter can
+//! repair it deterministically:
+//!
+//! * an `E` arriving while the replayed stack is empty lost its `B` to
+//!   eviction → skipped;
+//! * a `B` still open at export time (a live region, or an `E` that was
+//!   never recorded) → closed with a synthetic `E` at the latest observed
+//!   timestamp.
+//!
+//! The exported JSON is therefore always loadable in `chrome://tracing` /
+//! Perfetto *and* passes the strict CI schema check: per-thread balanced
+//! B/E, LIFO nesting, monotonic timestamps.
+
+use std::collections::{HashMap, VecDeque};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Begin or end of a span (Chrome trace-event `ph` values).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Span begin (`"B"`).
+    Begin,
+    /// Span end (`"E"`).
+    End,
+}
+
+impl Phase {
+    /// The Chrome trace-event `ph` string.
+    pub fn ph(&self) -> &'static str {
+        match self {
+            Phase::Begin => "B",
+            Phase::End => "E",
+        }
+    }
+}
+
+/// One recorded event.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Span name (a profiler region name or pool job label).
+    pub name: String,
+    /// Stable small per-thread id.
+    pub tid: u64,
+    /// Nanoseconds since the buffer's monotonic epoch.
+    pub ts_ns: u64,
+    /// Begin or end.
+    pub phase: Phase,
+    /// Global recording sequence number (total order tiebreak).
+    pub seq: u64,
+}
+
+const NSHARDS: usize = 16;
+const DEFAULT_CAPACITY_PER_SHARD: usize = 1 << 15;
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// This thread's stable trace id (assigned on first use, starts at 1).
+pub fn thread_trace_id() -> u64 {
+    TID.with(|t| *t)
+}
+
+/// A lock-sharded bounded ring of trace events.
+pub struct TraceBuffer {
+    shards: Vec<Mutex<VecDeque<TraceEvent>>>,
+    capacity_per_shard: usize,
+    epoch: Instant,
+    seq: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl TraceBuffer {
+    /// A buffer holding at most `capacity` events total, split evenly over
+    /// the shards.
+    pub fn new(capacity: usize) -> Self {
+        let per_shard = (capacity / NSHARDS).max(4);
+        TraceBuffer {
+            shards: (0..NSHARDS)
+                .map(|_| Mutex::new(VecDeque::with_capacity(per_shard.min(1024))))
+                .collect(),
+            capacity_per_shard: per_shard,
+            epoch: Instant::now(),
+            seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    fn push(&self, name: &str, phase: Phase) {
+        let tid = thread_trace_id();
+        let ev = TraceEvent {
+            name: name.to_string(),
+            tid,
+            ts_ns: self.epoch.elapsed().as_nanos() as u64,
+            phase,
+            seq: self.seq.fetch_add(1, Ordering::Relaxed),
+        };
+        let mut shard = self.shards[(tid as usize) % NSHARDS].lock().unwrap();
+        if shard.len() >= self.capacity_per_shard {
+            shard.pop_front();
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+        shard.push_back(ev);
+    }
+
+    /// Record a span begin on the calling thread.
+    pub fn begin(&self, name: &str) {
+        self.push(name, Phase::Begin);
+    }
+
+    /// Record a span end on the calling thread.
+    pub fn end(&self, name: &str) {
+        self.push(name, Phase::End);
+    }
+
+    /// Events evicted by ring overflow since the last [`TraceBuffer::clear`].
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Discard all recorded events and reset the drop counter (the epoch is
+    /// kept, so timestamps stay monotonic across clears).
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.lock().unwrap().clear();
+        }
+        self.dropped.store(0, Ordering::Relaxed);
+    }
+
+    /// All events after the export-time repair (see module docs): balanced
+    /// B/E per thread, LIFO-nested, sorted by `(ts_ns, seq)`.
+    pub fn events_sorted(&self) -> Vec<TraceEvent> {
+        let mut all: Vec<TraceEvent> = Vec::new();
+        for s in &self.shards {
+            all.extend(s.lock().unwrap().iter().cloned());
+        }
+        all.sort_by_key(|e| (e.ts_ns, e.seq));
+        let max_ts = all.last().map(|e| e.ts_ns).unwrap_or(0);
+        let mut max_seq = all.last().map(|e| e.seq + 1).unwrap_or(0);
+        // Replay per-thread stacks: drop orphan E events (their B was
+        // evicted), close still-open B events with synthetic E events.
+        let mut stacks: HashMap<u64, Vec<(String, u64)>> = HashMap::new();
+        let mut out: Vec<TraceEvent> = Vec::with_capacity(all.len());
+        for ev in all {
+            match ev.phase {
+                Phase::Begin => {
+                    stacks
+                        .entry(ev.tid)
+                        .or_default()
+                        .push((ev.name.clone(), out.len() as u64));
+                    out.push(ev);
+                }
+                Phase::End => {
+                    let stack = stacks.entry(ev.tid).or_default();
+                    match stack.last() {
+                        Some((top, _)) if *top == ev.name => {
+                            stack.pop();
+                            out.push(ev);
+                        }
+                        // Orphan E (B evicted) or name mismatch: skip to
+                        // keep the output balanced and nested.
+                        _ => {}
+                    }
+                }
+            }
+        }
+        for (tid, stack) in stacks {
+            for (name, _) in stack.into_iter().rev() {
+                out.push(TraceEvent {
+                    name,
+                    tid,
+                    ts_ns: max_ts,
+                    phase: Phase::End,
+                    seq: max_seq,
+                });
+                max_seq += 1;
+            }
+        }
+        out.sort_by_key(|e| (e.ts_ns, e.seq));
+        out
+    }
+
+    /// Write the repaired event stream as Chrome trace-event JSON (the
+    /// `{"traceEvents": [...]}` object form). `ts` is microseconds with
+    /// nanosecond fraction, `pid` is constant 1, `tid` is the stable
+    /// per-thread id. Returns the path written.
+    pub fn write_chrome_trace(&self, path: impl AsRef<Path>) -> std::io::Result<PathBuf> {
+        let path = path.as_ref().to_path_buf();
+        let events = self.events_sorted();
+        let mut f = std::io::BufWriter::new(std::fs::File::create(&path)?);
+        writeln!(f, "{{")?;
+        writeln!(f, "  \"displayTimeUnit\": \"ns\",")?;
+        writeln!(f, "  \"droppedEventCount\": {},", self.dropped())?;
+        writeln!(f, "  \"traceEvents\": [")?;
+        for (i, ev) in events.iter().enumerate() {
+            let sep = if i + 1 == events.len() { "" } else { "," };
+            writeln!(
+                f,
+                "    {{\"name\": \"{}\", \"cat\": \"exastro\", \"ph\": \"{}\", \"ts\": {}.{:03}, \"pid\": 1, \"tid\": {}}}{sep}",
+                json_escape(&ev.name),
+                ev.phase.ph(),
+                ev.ts_ns / 1_000,
+                ev.ts_ns % 1_000,
+                ev.tid,
+            )?;
+        }
+        writeln!(f, "  ]")?;
+        writeln!(f, "}}")?;
+        f.flush()?;
+        Ok(path)
+    }
+}
+
+impl Default for TraceBuffer {
+    fn default() -> Self {
+        TraceBuffer::new(NSHARDS * DEFAULT_CAPACITY_PER_SHARD)
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The process-wide trace buffer used by the `Telemetry` facade.
+pub fn global() -> &'static TraceBuffer {
+    static GLOBAL: OnceLock<TraceBuffer> = OnceLock::new();
+    GLOBAL.get_or_init(TraceBuffer::default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_well_formed(events: &[TraceEvent]) {
+        let mut stacks: HashMap<u64, Vec<&str>> = HashMap::new();
+        let mut last_ts: HashMap<u64, u64> = HashMap::new();
+        for ev in events {
+            let prev = last_ts.entry(ev.tid).or_insert(0);
+            assert!(ev.ts_ns >= *prev, "timestamps regress on tid {}", ev.tid);
+            *prev = ev.ts_ns;
+            let stack = stacks.entry(ev.tid).or_default();
+            match ev.phase {
+                Phase::Begin => stack.push(&ev.name),
+                Phase::End => {
+                    let top = stack.pop().expect("E with empty stack");
+                    assert_eq!(top, ev.name, "E does not match innermost B");
+                }
+            }
+        }
+        for (tid, stack) in stacks {
+            assert!(stack.is_empty(), "unbalanced spans on tid {tid}: {stack:?}");
+        }
+    }
+
+    #[test]
+    fn spans_nest_and_export_balanced() {
+        let buf = TraceBuffer::new(1024);
+        buf.begin("step");
+        buf.begin("hydro");
+        buf.end("hydro");
+        buf.begin("burn");
+        buf.end("burn");
+        buf.end("step");
+        let events = buf.events_sorted();
+        assert_eq!(events.len(), 6);
+        assert_well_formed(&events);
+    }
+
+    #[test]
+    fn open_spans_are_closed_at_export() {
+        let buf = TraceBuffer::new(1024);
+        buf.begin("outer");
+        buf.begin("inner");
+        // Neither span closed: export must synthesize both E events.
+        let events = buf.events_sorted();
+        assert_eq!(events.len(), 4);
+        assert_well_formed(&events);
+    }
+
+    #[test]
+    fn eviction_keeps_output_balanced() {
+        // Tiny ring: force eviction of early B events, leaving orphan Es.
+        let buf = TraceBuffer::new(NSHARDS * 4);
+        for i in 0..200 {
+            buf.begin(&format!("span{i}"));
+            buf.end(&format!("span{i}"));
+        }
+        assert!(buf.dropped() > 0);
+        assert_well_formed(&buf.events_sorted());
+    }
+
+    #[test]
+    fn cross_thread_events_are_attributed_separately() {
+        let buf = std::sync::Arc::new(TraceBuffer::new(4096));
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let b = buf.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..20 {
+                    b.begin(&format!("t{t}-{i}"));
+                    b.end(&format!("t{t}-{i}"));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let events = buf.events_sorted();
+        assert_eq!(events.len(), 4 * 20 * 2);
+        assert_well_formed(&events);
+        let tids: std::collections::HashSet<u64> = events.iter().map(|e| e.tid).collect();
+        assert_eq!(tids.len(), 4, "each thread gets its own tid");
+    }
+
+    #[test]
+    fn chrome_export_is_valid_jsonish() {
+        let buf = TraceBuffer::new(1024);
+        buf.begin("a \"quoted\" name\n");
+        buf.end("a \"quoted\" name\n");
+        let dir = std::env::temp_dir().join(format!("exastro-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = buf.write_chrome_trace(dir.join("t.json")).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"traceEvents\""));
+        assert!(text.contains("\\\"quoted\\\""));
+        assert!(text.contains("\\u000a"));
+        assert_eq!(text.matches('{').count(), text.matches('}').count());
+        assert_eq!(text.matches('[').count(), text.matches(']').count());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

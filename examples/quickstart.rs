@@ -3,6 +3,9 @@
 //!
 //! ```sh
 //! cargo run --release --example quickstart
+//! # with telemetry: a Chrome trace (load in Perfetto / chrome://tracing)
+//! # and a per-step metrics stream (one JSON object per line):
+//! cargo run --release --example quickstart -- --trace out.json --metrics steps.jsonl
 //! ```
 
 use exastro::amr::{BcSpec, BoxArray, DistributionMapping, Geometry, MultiFab};
@@ -12,8 +15,39 @@ use exastro::castro::{
 };
 use exastro::microphysics::{CBurn2, GammaLaw};
 use exastro::parallel::{DeviceConfig, ExecSpace, Profiler, SimDevice};
+use exastro::telemetry::{JsonlSink, Telemetry};
+use std::sync::Arc;
+
+/// `--trace <path> --metrics <path>` (both optional, any order).
+struct Cli {
+    trace: Option<String>,
+    metrics: Option<String>,
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        trace: None,
+        metrics: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--trace" => cli.trace = Some(args.next().expect("--trace needs a path")),
+            "--metrics" => cli.metrics = Some(args.next().expect("--metrics needs a path")),
+            other => {
+                eprintln!("unknown argument {other}; usage: quickstart [--trace out.json] [--metrics steps.jsonl]");
+                std::process::exit(2);
+            }
+        }
+    }
+    cli
+}
 
 fn main() {
+    let cli = parse_cli();
+    if cli.trace.is_some() || cli.metrics.is_some() {
+        Telemetry::enable();
+    }
     // A 48³ periodic unit box, decomposed into 24³ grids.
     let n = 48;
     let geom = Geometry::cube(n, 1.0, false);
@@ -52,6 +86,10 @@ fn main() {
         min_dens: 0.0,
         ..Default::default()
     });
+    if let Some(path) = &cli.metrics {
+        let sink = JsonlSink::create(path).expect("create metrics file");
+        castro.telemetry.attach_sink(Arc::new(sink));
+    }
 
     let mass0 = castro.total_mass(&state, &geom);
     let energy0 = castro.total_energy(&state, &geom);
@@ -61,10 +99,17 @@ fn main() {
         "step", "t", "R_measured", "R_analytic", "ratio"
     );
 
+    // QUICKSTART_STEPS trims the run for CI smoke tests.
+    let nsteps: usize = std::env::var("QUICKSTART_STEPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(60);
     let mut t = 0.0;
-    for step in 0..60 {
+    for step in 0..nsteps {
         let dt = castro.estimate_dt(&state, &geom).min(0.005);
-        castro.advance_level(&mut state, &geom, dt).unwrap();
+        // The transactional advance emits one StepMetrics record per
+        // accepted step when a metrics sink is attached.
+        castro.advance_level_safe(&mut state, &geom, dt).unwrap();
         t += dt;
         if step % 10 == 9 {
             let r_meas = measure_shock_radius(&state, &geom, &params);
@@ -87,6 +132,17 @@ fn main() {
     // Per-region wall time, zone counts, and simulated device time collected
     // by the telemetry layer during the run.
     println!("\n{}", Profiler::report());
+
+    castro.telemetry.flush();
+    if let Some(path) = &cli.trace {
+        match Telemetry::write_trace(path) {
+            Ok(p) => println!("trace written to {} (open in Perfetto)", p.display()),
+            Err(e) => eprintln!("trace not written: {e}"),
+        }
+    }
+    if let Some(path) = &cli.metrics {
+        println!("step metrics written to {path} (JSON Lines)");
+    }
 }
 
 fn net_nspec(net: &CBurn2) -> usize {

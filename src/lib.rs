@@ -20,7 +20,9 @@
 //! * [`maestro`] — low-Mach convection;
 //! * [`machine`] — the cluster performance simulator;
 //! * [`resilience`] — checkpoint/restart with integrity checking and
-//!   fault injection.
+//!   fault injection;
+//! * [`telemetry`] — Chrome-trace spans, per-step metrics, zone-cost
+//!   histograms.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,3 +35,4 @@ pub use exastro_microphysics as microphysics;
 pub use exastro_parallel as parallel;
 pub use exastro_resilience as resilience;
 pub use exastro_solvers as solvers;
+pub use exastro_telemetry as telemetry;
