@@ -6,10 +6,14 @@ against the committed baselines in ``ci/baselines/``. Points are matched by
 ``(label, nodes)``; the gate fails when a fresh ``zones_per_us`` falls more
 than ``--tolerance`` (default 15%) below its baseline.
 
-Only the scaling-curve schema (``{"points": [...]}``) is gated: those
+Scaling-curve artifacts (``{"points": [...]}``) are fully gated: those
 numbers come from the deterministic machine performance model, so a drop is
 a real modeling/code regression, not scheduler noise. Wall-clock metric
-artifacts (``{"metrics": [...]}``) are reported but never gated.
+artifacts (``{"metrics": [...]}``) are mostly reported without gating — the
+exception is ``batch_speedup`` labels, which are same-run throughput ratios
+(batched vs scalar burns on the same machine in the same process), so the
+machine speed cancels and a drop below tolerance means the SoA batcher
+itself regressed.
 
 Usage:
     python3 ci/perf_gate.py [--tolerance 0.15] [--baseline-dir ci/baselines]
@@ -30,6 +34,11 @@ def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--tolerance", type=float, default=0.15,
                     help="allowed fractional drop in zones/us (default 0.15)")
+    ap.add_argument("--metric-tolerance", type=float, default=0.25,
+                    help="allowed fractional drop for gated wall-clock "
+                         "metric labels like batch_speedup (default 0.25: "
+                         "the ratio cancels machine speed but not load "
+                         "transients within a run)")
     ap.add_argument("--baseline-dir", default=None,
                     help="directory of committed baselines (default ci/baselines)")
     ap.add_argument("--fresh-dir", default=None,
@@ -55,7 +64,32 @@ def main():
             continue
         fresh = load(fpath)
         if "points" not in base:
-            print(f"{bpath.name}: metrics-style artifact, not gated")
+            gated = [m for m in base.get("metrics", [])
+                     if "batch_speedup" in m["label"]]
+            if not gated:
+                print(f"{bpath.name}: metrics-style artifact, not gated")
+                continue
+            fresh_metrics = {m["label"]: m for m in fresh.get("metrics", [])}
+            for m in gated:
+                fm = fresh_metrics.get(m["label"])
+                if fm is None:
+                    failures.append(
+                        f"{bpath.name}: label {m['label']} missing from fresh run")
+                    continue
+                compared += 1
+                floor = m["value"] * (1.0 - args.metric_tolerance)
+                status = "OK"
+                if fm["value"] < floor:
+                    status = "REGRESSION"
+                    failures.append(
+                        f"{bpath.name}: {m['label']}: "
+                        f"{fm['value']:.2f}x < floor {floor:.2f}x "
+                        f"(baseline {m['value']:.2f}x, "
+                        f"tolerance {args.metric_tolerance:.0%})"
+                    )
+                print(f"{bpath.name}: {m['label']:>26} "
+                      f"baseline {m['value']:>8.2f}x  "
+                      f"fresh {fm['value']:>8.2f}x  {status}")
             continue
         fresh_pts = {(p["label"], p["nodes"]): p for p in fresh.get("points", [])}
         for p in base["points"]:

@@ -28,17 +28,26 @@ grep -q "FAULT RECOVERY OK" /tmp/fault_smoke.log
 grep -q "EMERGENCY CHECKPOINT OK" /tmp/fault_smoke.log
 
 echo "== burner bench smoke (test mode) =="
-# Dense-vs-sparse Newton comparison in smoke mode: tiny sample counts, no
-# timing assertions — but the BENCH_burner.json artifact must be valid JSON
-# with the expected schema.
+# Dense-vs-sparse Newton comparison plus batched SoA throughput in smoke
+# mode: tiny sample counts, no timing assertions here — but the
+# BENCH_burner.json artifact must be valid JSON with the expected schema,
+# and the batched path must actually beat the scalar ladder (speedup > 1;
+# the quantitative floor lives in the perf gate below).
 cargo bench --offline -p exastro-bench --bench burner -- --test >/tmp/burner_smoke.log
 python3 - <<'EOF'
 import json
 d = json.load(open("BENCH_burner.json"))
 assert d["bench"] == "burner", d
 labels = {m["label"] for m in d["metrics"]}
-for need in ("iso7/newton_solve_speedup", "aprox13/newton_solve_speedup"):
+for need in ("iso7/newton_solve_speedup", "aprox13/newton_solve_speedup",
+             "iso7/zones_per_us_scalar", "aprox13/zones_per_us_scalar",
+             "iso7/zones_per_us_batch8", "aprox13/zones_per_us_batch8",
+             "iso7/batch_speedup_w8", "aprox13/batch_speedup_w8"):
     assert need in labels, f"missing {need} in {sorted(labels)}"
+by = {m["label"]: m["value"] for m in d["metrics"]}
+for net in ("iso7", "aprox13"):
+    s = by[f"{net}/batch_speedup_w8"]
+    assert s > 1.0, f"{net}: batched burns slower than scalar ({s:.2f}x)"
 print(f"BENCH_burner.json OK ({len(d['metrics'])} metrics)")
 EOF
 

@@ -9,10 +9,10 @@
 //! statistics so the hybrid CPU/GPU ablation can exploit exactly that.
 
 use crate::state::StateLayout;
-use exastro_amr::{Geometry, MultiFab, Real};
+use exastro_amr::{Geometry, IntVect, MultiFab, Real};
 use exastro_microphysics::{
     BurnFailure, BurnFaultConfig, BurnTally, Burner, BurnerConfig, Eos, Network, RetryLadder,
-    SolverChoice,
+    SolverChoice, ZoneBurn,
 };
 use exastro_parallel::{ExecSpace, KernelProfile, SimDevice};
 
@@ -80,6 +80,11 @@ pub struct BurnOptions {
     pub ladder: RetryLadder,
     /// Deterministic fault injection for tests and CI smoke runs.
     pub faults: Option<BurnFaultConfig>,
+    /// Lane width of the batched SoA burn path: the sweep's burnable zones
+    /// are grouped by temperature and advanced `batch_width` at a time
+    /// through one shared BDF history (see [`exastro_microphysics::batch`]).
+    /// Width < 2 burns every zone through the scalar ladder.
+    pub batch_width: usize,
 }
 
 impl Default for BurnOptions {
@@ -92,16 +97,20 @@ impl Default for BurnOptions {
             solver: SolverChoice::default(),
             ladder: RetryLadder::default(),
             faults: None,
+            batch_width: 8,
         }
     }
 }
 
 /// Burn every zone of `state` for `dt` with the given network.
 ///
-/// Serial over zones (each zone is an independent stiff integration; the
-/// device cost model charges the launch with a per-zone cost derived from
+/// The sweep gathers every zone that passes the cutoffs, groups them by
+/// temperature, and advances them [`BurnOptions::batch_width`] at a time
+/// through the batched SoA BDF path (lanes that diverge fall back to the
+/// scalar retry ladder — see [`exastro_microphysics::batch`]); the device
+/// cost model still charges the launch with a per-zone cost derived from
 /// the actual integrator work, capturing the latency-hiding problem of
-/// nonuniform burns).
+/// nonuniform burns.
 ///
 /// A zone whose integration fails is pushed through the retry ladder
 /// ([`BurnOptions::ladder`]); only if every rung fails does the sweep
@@ -124,25 +133,29 @@ pub fn burn_state(
         solver: opts.solver,
         ladder: opts.ladder.clone(),
         faults: opts.faults.clone(),
+        batch_width: opts.batch_width,
         ..Default::default()
     };
     if let Some(ms) = opts.max_steps {
         cfg.bdf.max_steps = ms;
     }
-    let burner = cfg.build(net, eos);
+    let burner = cfg.build_batched(net, eos);
     let mut tally = BurnTally::default();
     let mut energy_released: Real = 0.0;
     let mut failures: Vec<BurnFailure> = Vec::new();
     let nspec = layout.nspec;
     assert_eq!(nspec, net.nspec());
     let vol = geom.cell_volume();
-    // Deterministic flat zone index in sweep order: the fault-injection
-    // predicate and failure reports key on it, and it is identical between
-    // the two Strang halves of a step.
+    // Gather pass: collect every burnable zone. The flat zone index is
+    // deterministic in sweep order — the fault-injection predicate and
+    // failure reports key on it, and it is identical between the two
+    // Strang halves of a step and between batch widths.
+    let mut zones: Vec<ZoneBurn> = Vec::new();
+    let mut sites: Vec<(usize, IntVect)> = Vec::new();
     let mut zone_id = 0u64;
     for fi in 0..state.nfabs() {
         let vb = state.valid_box(fi);
-        let fab = state.fab_mut(fi);
+        let fab = state.fab(fi);
         for iv in vb.iter() {
             let zone = zone_id;
             zone_id += 1;
@@ -156,32 +169,46 @@ pub fn burn_state(
             for s in 0..nspec {
                 x[s] = (fab.get(iv, layout.spec(s)) / rho).clamp(0.0, 1.0);
             }
-            let rec = match burner.burn_zone(zone, rho, t, &x, dt) {
-                Ok(r) => r,
-                Err(f) => {
-                    failures.push(*f);
-                    continue;
-                }
-            };
-            tally.record(&rec);
-            let out = rec.outcome;
-            energy_released += out.enuc * rho * vol;
-            for s in 0..nspec {
-                fab.set(iv, layout.spec(s), rho * out.x[s]);
-            }
-            fab.set(iv, StateLayout::TEMP, out.t);
-            // Deposit the released specific energy.
-            fab.set(
-                iv,
-                StateLayout::EINT,
-                fab.get(iv, StateLayout::EINT) + rho * out.enuc,
-            );
-            fab.set(
-                iv,
-                StateLayout::EDEN,
-                fab.get(iv, StateLayout::EDEN) + rho * out.enuc,
-            );
+            zones.push(ZoneBurn {
+                zone,
+                rho,
+                t0: t,
+                x0: x,
+            });
+            sites.push((fi, iv));
         }
+    }
+    // Burn pass: SoA batches with scalar-ladder fallback.
+    let recs = burner.burn_all(&zones, dt);
+    // Scatter pass: results come back in input order.
+    for (((fi, iv), zb), res) in sites.into_iter().zip(&zones).zip(recs) {
+        let rec = match res {
+            Ok(r) => r,
+            Err(f) => {
+                failures.push(*f);
+                continue;
+            }
+        };
+        tally.record(&rec);
+        let out = rec.outcome;
+        let rho = zb.rho;
+        energy_released += out.enuc * rho * vol;
+        let fab = state.fab_mut(fi);
+        for s in 0..nspec {
+            fab.set(iv, layout.spec(s), rho * out.x[s]);
+        }
+        fab.set(iv, StateLayout::TEMP, out.t);
+        // Deposit the released specific energy.
+        fab.set(
+            iv,
+            StateLayout::EINT,
+            fab.get(iv, StateLayout::EINT) + rho * out.enuc,
+        );
+        fab.set(
+            iv,
+            StateLayout::EDEN,
+            fab.get(iv, StateLayout::EDEN) + rho * out.enuc,
+        );
     }
     // Charge the device once per fab-sized launch with a cost reflecting
     // the mean per-zone work; the max/mean ratio is what breaks latency

@@ -154,6 +154,7 @@ pub fn bubble_maestro<'a>(eos: &'a dyn Eos, net: &'a dyn Network, base: BaseStat
         ladder: RetryLadder::default(),
         burn_solver: SolverChoice::default(),
         burn_faults: None,
+        burn_batch_width: 8,
         recovery: RecoveryOptions::default(),
         telemetry: Default::default(),
     }

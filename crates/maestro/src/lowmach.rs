@@ -14,8 +14,8 @@
 use crate::base_state::{rho_from_p_t, BaseState};
 use exastro_amr::{BcKind, BcSpec, Geometry, IntVect, MultiFab, Real, SPACEDIM};
 use exastro_microphysics::{
-    BurnFailure, BurnFaultConfig, BurnTally, Burner, BurnerConfig, Composition, Eos, Network,
-    RetryLadder, SolverChoice,
+    BurnFailure, BurnFaultConfig, BurnTally, BurnerConfig, Composition, Eos, Network, RetryLadder,
+    SolverChoice, ZoneBurn,
 };
 use exastro_parallel::Profiler;
 use exastro_resilience::recovery::{write_emergency, RecoveryOptions};
@@ -220,6 +220,10 @@ pub struct Maestro<'a> {
     pub burn_solver: SolverChoice,
     /// Deterministic burn fault injection (tests / CI smoke).
     pub burn_faults: Option<BurnFaultConfig>,
+    /// Lane width of the batched SoA burn path (see
+    /// [`exastro_microphysics::batch`]); width < 2 keeps every zone on the
+    /// scalar retry ladder.
+    pub burn_batch_width: usize,
     /// Step-rejection policy and emergency-checkpoint destination.
     pub recovery: RecoveryOptions,
     /// Per-step metrics recorder; inert until a sink is attached via
@@ -416,12 +420,16 @@ impl<'a> Maestro<'a> {
             solver: self.burn_solver,
             ladder: self.ladder.clone(),
             faults: self.burn_faults.clone(),
+            batch_width: self.burn_batch_width,
             ..Default::default()
         }
-        .build(self.net, self.eos);
+        .build_batched(self.net, self.eos);
         let nspec = self.layout.nspec;
         let mut totals = BurnTally::default();
         let mut failures: Vec<BurnFailure> = Vec::new();
+        // Gather pass: every zone above the cutoff, with sweep-order ids.
+        let mut zones: Vec<ZoneBurn> = Vec::new();
+        let mut sites: Vec<(usize, IntVect)> = Vec::new();
         let mut zone_id: u64 = 0;
         for i in 0..state.nfabs() {
             let vb = state.valid_box(i);
@@ -437,20 +445,30 @@ impl<'a> Maestro<'a> {
                 for s in 0..nspec {
                     x[s] = state.fab(i).get(iv, self.layout.spec(s)).clamp(0.0, 1.0);
                 }
-                match burner.burn_zone(id, rho, t, &x, dt) {
-                    Ok(rec) => {
-                        totals.record(&rec);
-                        state.fab_mut(i).set(iv, LmLayout::TEMP, rec.outcome.t);
-                        for s in 0..nspec {
-                            state
-                                .fab_mut(i)
-                                .set(iv, self.layout.spec(s), rec.outcome.x[s]);
-                        }
+                zones.push(ZoneBurn {
+                    zone: id,
+                    rho,
+                    t0: t,
+                    x0: x,
+                });
+                sites.push((i, iv));
+            }
+        }
+        // Burn through the SoA batches, scatter back in input order.
+        for ((i, iv), res) in sites.into_iter().zip(burner.burn_all(&zones, dt)) {
+            match res {
+                Ok(rec) => {
+                    totals.record(&rec);
+                    state.fab_mut(i).set(iv, LmLayout::TEMP, rec.outcome.t);
+                    for s in 0..nspec {
+                        state
+                            .fab_mut(i)
+                            .set(iv, self.layout.spec(s), rec.outcome.x[s]);
                     }
-                    // Keep sweeping: report every hard zone, not just the
-                    // first one found.
-                    Err(f) => failures.push(*f),
                 }
+                // Keep sweeping: report every hard zone, not just the
+                // first one found.
+                Err(f) => failures.push(*f),
             }
         }
         if failures.is_empty() {

@@ -1,0 +1,1423 @@
+//! Batched structure-of-arrays burning: advance N zones through one BDF
+//! integration in lockstep — the SIMD-across-zones layout of the paper's
+//! §VI GPU-batching plan, on the CPU.
+//!
+//! The PR-5 cost heatmaps show what Zingale et al. 2024 describe: most
+//! zones in a burn sweep are cheap and *similar* — same network, similar
+//! (ρ, T, X), hence similar step-size histories — while a few outliers are
+//! orders of magnitude harder. The batched path exploits the first
+//! population and generalizes the §VI outlier-offload idea for the second:
+//!
+//! * **One Nordsieck history per batch.** The batch shares `t`, `h`, and
+//!   the BDF order `q`; every per-component vector becomes a
+//!   structure-of-arrays block `buf[i·W + lane]`, so prediction,
+//!   correction, error weighting, and the sparse-LU `ColOp` replay
+//!   ([`SparseLu::factor_newton_batch`] / [`SparseLu::solve_batch`]) run as
+//!   tight unit-stride lane-inner loops the auto-vectorizer turns into
+//!   SIMD across the batch.
+//! * **Per-lane control signals.** Error-test estimates, Newton residual
+//!   norms, and singularity flags are computed per lane; the shared step
+//!   accepts only when every active lane passes, and the step-size factor
+//!   comes from the worst active lane.
+//! * **Amortized Jacobians.** Because a factorization now serves the whole
+//!   batch, the batch path adopts VODE/CVODE's modified-Newton Jacobian
+//!   reuse: the Jacobian is refreshed only when stale (every
+//!   [`JAC_REFRESH_STEPS`] accepted steps), after a convergence failure,
+//!   or when `γ = l₀h` has drifted more than [`GAMMA_DRIFT_TOL`] since the
+//!   last factorization — at which point the matrix is refactored (cheap,
+//!   batched) without re-evaluating the Jacobian. The scalar integrator
+//!   refreshes and refactors every step attempt; this reuse is most of the
+//!   batched path's speedup and does not change what the corrector
+//!   converges *to*, only how it gets there.
+//! * **Dropout to the scalar ladder.** A lane that repeatedly fails the
+//!   error test, repeatedly fails Newton, or hits a singular factor drops
+//!   out of the batch; [`BatchBurner`] re-burns it from its *entry* state
+//!   through the existing scalar [`RecoveringBurner`] retry ladder, so a
+//!   dropped zone's result is bit-identical to what the scalar ladder
+//!   produces. Batch occupancy and the dropout rate are recorded through
+//!   `exastro-telemetry` (`burn.batch.*`).
+//!
+//! Zones are grouped by temperature before chunking ([`BatchBurner::
+//! burn_all`]) so cost-similar zones share a history; a cold lane riding a
+//! hot batch is charged the hot step count, which is exactly the warp-level
+//! serialization the §VI heatmaps quantify.
+
+use crate::burner::{record_burn_telemetry, BurnOutcome, BurnSystem, Burner, BurnerConfig};
+use crate::constants::{MEV_TO_ERG, N_A};
+use crate::eos::Eos;
+use crate::integrator::{
+    bdf_l, check_atol, predict, rescale, unpredict, BdfErrorKind, BdfOptions, BdfStats, OdeSystem,
+};
+use crate::network::Network;
+use crate::recovery::{
+    validate_outcome, BurnFailure, BurnFaultConfig, RecoveredBurn, RecoveringBurner,
+};
+use crate::sparse::SparseLu;
+use crate::species::{mass_to_molar, molar_to_mass};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Accepted steps between Jacobian refreshes (CVODE's MSBJ is 50; burns
+/// move faster, so refresh more often).
+pub const JAC_REFRESH_STEPS: u64 = 25;
+
+/// Relative `γ` drift that forces a refactorization of `I − γJ` (with the
+/// Jacobian itself reused). CVODE's DGMAX analogue.
+pub const GAMMA_DRIFT_TOL: f64 = 0.1;
+
+/// Consecutive per-lane *culprit* rejections (decisive error-test or
+/// fresh-Jacobian Newton failures while a batchmate passed) before a lane
+/// drops out of the batch. The underlying controller rejects steps
+/// routinely near the error boundary — the scalar path shrugs those off —
+/// so dropout requires a streak of failures that are clearly the lane's
+/// own, not boundary noise.
+const LANE_FAIL_LIMIT: u32 = 4;
+
+/// An error-test failure counts against a lane only when its estimate is
+/// decisively over the line; est barely above 1 is the shared controller
+/// hunting, which the scalar path also does.
+const BLAME_EST: f64 = 2.0;
+
+/// Consecutive singular factorizations before a lane drops out.
+const SINGULAR_FAIL_LIMIT: u32 = 2;
+
+/// A batch of independent ODE systems integrated in lockstep, one system
+/// per lane. The integrator owns the SoA layout; implementations see plain
+/// dense per-lane vectors (so [`BatchBurnSystem`] can delegate straight to
+/// the scalar burn physics).
+pub trait LaneOde {
+    /// Per-lane state dimension.
+    fn dim(&self) -> usize;
+    /// Number of lanes in the batch.
+    fn lanes(&self) -> usize;
+    /// Evaluate lane `lane`'s right-hand side into `dydt` (length `dim`).
+    fn rhs(&self, lane: usize, t: f64, y: &[f64], dydt: &mut [f64]);
+    /// Evaluate lane `lane`'s dense row-major `dim²` Jacobian.
+    fn jac(&self, lane: usize, t: f64, y: &[f64], jac: &mut [f64]);
+}
+
+/// Why a lane left the batch (informational — the zone is re-burned by the
+/// scalar ladder, so a dropout is a routing decision, not a failure).
+#[derive(Clone, Debug, PartialEq)]
+pub enum LaneStatus {
+    /// The lane reached `tend` inside the batch.
+    Completed,
+    /// The lane diverged from the batch's shared step/order history and
+    /// must be handled by the scalar path.
+    Dropped(BdfErrorKind),
+}
+
+/// Outcome of one lane of a batched integration.
+#[derive(Clone, Debug)]
+pub struct LaneReport {
+    /// Completed, or dropped and why.
+    pub status: LaneStatus,
+    /// This lane's view of the batch work: steps/rejections it
+    /// participated in, its own RHS/Jacobian evaluations, and an even
+    /// per-lane share of the batched linear-algebra wall time.
+    pub stats: BdfStats,
+}
+
+/// Per-lane weighted-RMS norms of the SoA block `v` (`dim × width`).
+fn wrms_lanes(v: &[f64], ewt: &[f64], dim: usize, width: usize, out: &mut [f64]) {
+    out.iter_mut().for_each(|o| *o = 0.0);
+    for i in 0..dim {
+        let vr = &v[i * width..][..width];
+        let er = &ewt[i * width..][..width];
+        for l in 0..width {
+            let x = vr[l] * er[l];
+            out[l] += x * x;
+        }
+    }
+    let inv_n = 1.0 / dim as f64;
+    for o in out.iter_mut() {
+        *o = (*o * inv_n).sqrt();
+    }
+}
+
+/// The batched BDF integrator: the scalar integrator's Nordsieck machinery
+/// over SoA vectors, with per-lane control signals and dropout. Always
+/// backed by the pattern-specialized sparse LU (the batched `ColOp` replay
+/// is the SIMD carrier; a batched dense LU with partial pivoting would
+/// branch per lane).
+pub struct BatchBdf {
+    opts: BdfOptions,
+    lu: Arc<SparseLu>,
+}
+
+/// All per-lane counters of one batched integration.
+struct LaneBook {
+    active: Vec<bool>,
+    dropped: Vec<Option<BdfErrorKind>>,
+    steps: Vec<u64>,
+    rejected: Vec<u64>,
+    rhs_evals: Vec<u64>,
+    jac_evals: Vec<u64>,
+    factorizations: Vec<u64>,
+    newton_iters: Vec<u64>,
+    err_fails: Vec<u32>,
+    newton_fails: Vec<u32>,
+    sing_fails: Vec<u32>,
+}
+
+impl LaneBook {
+    fn new(w: usize) -> Self {
+        LaneBook {
+            active: vec![true; w],
+            dropped: vec![None; w],
+            steps: vec![0; w],
+            rejected: vec![0; w],
+            rhs_evals: vec![0; w],
+            jac_evals: vec![0; w],
+            factorizations: vec![0; w],
+            newton_iters: vec![0; w],
+            err_fails: vec![0; w],
+            newton_fails: vec![0; w],
+            sing_fails: vec![0; w],
+        }
+    }
+
+    fn drop_lane(&mut self, lane: usize, why: BdfErrorKind) {
+        if self.active[lane] {
+            self.active[lane] = false;
+            self.dropped[lane] = Some(why);
+        }
+    }
+
+    fn any_active(&self) -> bool {
+        self.active.iter().any(|&a| a)
+    }
+}
+
+impl BatchBdf {
+    /// Create a batched integrator over a precompiled symbolic sparse LU
+    /// (one per network, shared across every batch).
+    pub fn new(opts: BdfOptions, lu: Arc<SparseLu>) -> Self {
+        BatchBdf { opts, lu }
+    }
+
+    /// Integrate every lane of `sys` from `t0` to `tend`. `y` is the
+    /// structure-of-arrays state `y[i·width + lane]`, updated in place for
+    /// lanes that complete; dropped lanes' slots are meaningless and the
+    /// caller re-burns those zones from their entry state.
+    pub fn integrate(
+        &self,
+        sys: &dyn LaneOde,
+        t0: f64,
+        tend: f64,
+        y: &mut [f64],
+    ) -> Vec<LaneReport> {
+        let n = sys.dim();
+        let w = sys.lanes();
+        assert_eq!(y.len(), n * w);
+        assert!(tend > t0);
+        assert_eq!(self.lu.dim(), n, "sparse pattern does not match the system");
+        let mut book = LaneBook::new(w);
+        let mut solve_ns: u64 = 0;
+        let mut q = 1usize;
+        if let Err(e) = check_atol(&self.opts, n) {
+            for l in 0..w {
+                book.drop_lane(l, e.kind.clone());
+            }
+            return self.reports(&book, solve_ns, q);
+        }
+        let max_order = self.opts.max_order.clamp(1, 5);
+        let nw = n * w;
+
+        let mut ycur = vec![0.0; nw];
+        let mut acor = vec![0.0; nw];
+        let mut acor_prev = vec![0.0; nw];
+        let mut rhs = vec![0.0; nw];
+        let mut resid = vec![0.0; nw];
+        let mut ewt = vec![0.0; nw];
+        let mut sol_scratch = vec![0.0; nw];
+        let mut jacs = vec![0.0; n * n * w];
+        let mut vals = vec![0.0; self.lu.nnz_filled() * w];
+        let mut singular = vec![false; w];
+        let mut lane_y = vec![0.0; n];
+        let mut lane_f = vec![0.0; n];
+        let mut lane_jac = vec![0.0; n * n];
+        let mut dn = vec![0.0; w];
+        let mut est = vec![0.0; w];
+        let mut lane_norm = vec![0.0; w];
+        let mut conv = vec![false; w];
+        let mut diverged = vec![false; w];
+        let mut mask = vec![0.0; w];
+        let mut last_dn = vec![0.0; w];
+        let mut l = [0.0f64; 6];
+
+        // Initial step from the worst lane's RHS scale (every lane must be
+        // resolvable at the shared h).
+        self.error_weights(y, n, w, &mut ewt);
+        let mut rate_max: f64 = 1e-30;
+        for lane in 0..w {
+            gather_lane(y, w, lane, &mut lane_y);
+            sys.rhs(lane, t0, &lane_y, &mut lane_f);
+            book.rhs_evals[lane] += 1;
+            scatter_lane(&lane_f, w, lane, &mut rhs);
+            let mut acc = 0.0;
+            for i in 0..n {
+                let x = lane_f[i] * ewt[i * w + lane];
+                acc += x * x;
+            }
+            let rate = (acc / n as f64).sqrt();
+            if !rate.is_finite() {
+                book.drop_lane(lane, BdfErrorKind::NonFinite);
+            } else {
+                rate_max = rate_max.max(rate);
+            }
+        }
+        let mut h = match self.opts.h0 {
+            Some(h0) => h0,
+            None => ((1.0 / rate_max) * 1e-3)
+                .min((tend - t0) * 1e-3)
+                .max((tend - t0) * 1e-12),
+        };
+        let hmin = (tend - t0) * 1e-15;
+
+        // Shared Nordsieck history over SoA vectors.
+        let mut z: Vec<Vec<f64>> = vec![y.to_vec(), rhs.iter().map(|&f| f * h).collect()];
+        let mut t = t0;
+        let mut qwait = 2usize;
+        let mut steps: u64 = 0;
+        let mut rejected: u64 = 0;
+        let mut global_newton_fails = 0usize;
+        let mut global_err_fails = 0usize;
+        let mut have_acor_prev = false;
+
+        // Modified-Newton Jacobian reuse state.
+        let mut jac_fresh = false;
+        let mut jac_age: u64 = 0;
+        let mut gamma_factored: Option<f64> = None;
+
+        while t < tend - 1e-14 * (tend - t0).abs() && book.any_active() {
+            if steps + rejected > self.opts.max_steps as u64 {
+                for lane in 0..w {
+                    if book.active[lane] {
+                        book.drop_lane(lane, BdfErrorKind::MaxSteps);
+                    }
+                }
+                break;
+            }
+            if t + h > tend {
+                let r = (tend - t) / h;
+                rescale(&mut z, q, r);
+                h = tend - t;
+            }
+            bdf_l(q, &mut l);
+            let gamma = l[0] * h;
+            self.error_weights(&z[0], n, w, &mut ewt);
+            predict(&mut z, q);
+            let tn = t + h;
+
+            let need_jac = !jac_fresh || jac_age >= JAC_REFRESH_STEPS;
+            let need_factor = need_jac
+                || gamma_factored
+                    .map(|g| ((gamma - g) / g).abs() > GAMMA_DRIFT_TOL)
+                    .unwrap_or(true);
+            if need_jac {
+                for lane in 0..w {
+                    if !book.active[lane] {
+                        continue;
+                    }
+                    gather_lane(&z[0], w, lane, &mut lane_y);
+                    sys.jac(lane, tn, &lane_y, &mut lane_jac);
+                    jacs[lane * n * n..][..n * n].copy_from_slice(&lane_jac);
+                    book.jac_evals[lane] += 1;
+                }
+                jac_fresh = true;
+                jac_age = 0;
+            }
+            if need_factor {
+                let t_factor = Instant::now();
+                self.lu
+                    .factor_newton_batch(&jacs, gamma, w, &mut vals, &mut singular);
+                solve_ns += t_factor.elapsed().as_nanos() as u64;
+                gamma_factored = Some(gamma);
+                for lane in 0..w {
+                    if book.active[lane] {
+                        book.factorizations[lane] += 1;
+                    }
+                }
+                let any_singular = (0..w).any(|lane| book.active[lane] && singular[lane]);
+                if any_singular {
+                    unpredict(&mut z, q);
+                    rejected += 1;
+                    let mut culprits = Vec::new();
+                    for lane in 0..w {
+                        if book.active[lane] && singular[lane] {
+                            book.rejected[lane] += 1;
+                            book.sing_fails[lane] += 1;
+                            if book.sing_fails[lane] >= SINGULAR_FAIL_LIMIT {
+                                book.drop_lane(lane, BdfErrorKind::SingularMatrix);
+                            } else {
+                                culprits.push(lane);
+                            }
+                        }
+                    }
+                    if h * 0.25 < hmin {
+                        for lane in culprits {
+                            book.drop_lane(lane, BdfErrorKind::SingularMatrix);
+                        }
+                    } else {
+                        rescale(&mut z, q, 0.25);
+                        h *= 0.25;
+                    }
+                    continue;
+                }
+            }
+
+            // Modified-Newton corrector, all lanes in lockstep. A lane is
+            // converged once its residual norm passes the scalar test and
+            // is then frozen (its acor receives no further updates, exactly
+            // like the scalar break); iteration continues until every
+            // active lane has converged or diverged, or the budget runs
+            // out.
+            acor.iter_mut().for_each(|v| *v = 0.0);
+            ycur.copy_from_slice(&z[0]);
+            conv.iter_mut().for_each(|c| *c = false);
+            diverged.iter_mut().for_each(|c| *c = false);
+            last_dn.iter_mut().for_each(|d| *d = f64::INFINITY);
+            for _ in 0..4 {
+                for lane in 0..w {
+                    mask[lane] = if book.active[lane] && !conv[lane] && !diverged[lane] {
+                        1.0
+                    } else {
+                        0.0
+                    };
+                }
+                for lane in 0..w {
+                    if mask[lane] == 0.0 {
+                        continue;
+                    }
+                    gather_lane(&ycur, w, lane, &mut lane_y);
+                    sys.rhs(lane, tn, &lane_y, &mut lane_f);
+                    book.rhs_evals[lane] += 1;
+                    scatter_lane(&lane_f, w, lane, &mut rhs);
+                    book.newton_iters[lane] += 1;
+                }
+                for i in 0..nw {
+                    resid[i] = gamma * rhs[i] - l[0] * z[1][i] - acor[i];
+                }
+                let t_solve = Instant::now();
+                self.lu.solve_batch(&vals, w, &mut resid, &mut sol_scratch);
+                solve_ns += t_solve.elapsed().as_nanos() as u64;
+                // Frozen lanes take no update (branch-free via the mask).
+                for i in 0..n {
+                    let rr = &mut resid[i * w..][..w];
+                    let ar = &mut acor[i * w..][..w];
+                    let yr = &mut ycur[i * w..][..w];
+                    let zr = &z[0][i * w..][..w];
+                    for lane in 0..w {
+                        rr[lane] *= mask[lane];
+                        ar[lane] += rr[lane];
+                        yr[lane] = zr[lane] + ar[lane];
+                    }
+                }
+                wrms_lanes(&resid, &ewt, n, w, &mut dn);
+                let mut all_settled = true;
+                for lane in 0..w {
+                    if mask[lane] == 0.0 {
+                        continue;
+                    }
+                    if dn[lane].is_finite() && dn[lane] < 0.1 {
+                        conv[lane] = true;
+                    } else if !dn[lane].is_finite() || dn[lane] > 2.0 * last_dn[lane] {
+                        // Diverging: further iterations will not save it.
+                        diverged[lane] = true;
+                    } else {
+                        last_dn[lane] = dn[lane];
+                        all_settled = false;
+                    }
+                }
+                if all_settled {
+                    break;
+                }
+            }
+            let any_nonconv = (0..w).any(|lane| book.active[lane] && !conv[lane]);
+            if any_nonconv {
+                unpredict(&mut z, q);
+                rejected += 1;
+                for lane in 0..w {
+                    if book.active[lane] {
+                        book.rejected[lane] += 1;
+                    }
+                }
+                if jac_age > 0 {
+                    // The Jacobian was stale: refresh it and retry the same
+                    // step before shrinking h (CVODE's convergence-failure
+                    // path). `jac_age > 0` guarantees the retry uses a
+                    // genuinely newer Jacobian, so this cannot loop.
+                    jac_fresh = false;
+                    continue;
+                }
+                // Blame a lane only when it failed while a batchmate
+                // passed: a failure shared by every lane is the shared h
+                // hunting (the scalar path tolerates that indefinitely),
+                // not a lane diverging from the batch.
+                let any_passed = (0..w).any(|lane| book.active[lane] && conv[lane]);
+                for lane in 0..w {
+                    if !book.active[lane] {
+                        continue;
+                    }
+                    if conv[lane] {
+                        // This lane held up its end: the rejection is a
+                        // batchmate's, so its consecutive count restarts.
+                        book.newton_fails[lane] = 0;
+                    } else {
+                        if any_passed {
+                            book.newton_fails[lane] += 1;
+                        }
+                        if book.newton_fails[lane] >= LANE_FAIL_LIMIT {
+                            book.drop_lane(lane, BdfErrorKind::StepUnderflow { t });
+                        }
+                    }
+                }
+                global_newton_fails += 1;
+                if h * 0.25 < hmin {
+                    for lane in 0..w {
+                        if book.active[lane] && !conv[lane] {
+                            book.drop_lane(lane, BdfErrorKind::StepUnderflow { t });
+                        }
+                    }
+                } else {
+                    rescale(&mut z, q, 0.25);
+                    h *= 0.25;
+                }
+                jac_fresh = false;
+                if global_newton_fails > 2 && q > 1 {
+                    z.truncate(2);
+                    q = 1;
+                    qwait = 2;
+                    have_acor_prev = false;
+                }
+                continue;
+            }
+            global_newton_fails = 0;
+            for lane in 0..w {
+                if book.active[lane] {
+                    book.newton_fails[lane] = 0;
+                    book.sing_fails[lane] = 0;
+                }
+            }
+
+            // Per-lane error test; the step stands only if every active
+            // lane passes.
+            wrms_lanes(&acor, &ewt, n, w, &mut est);
+            let qp1 = q as f64 + 1.0;
+            for e in est.iter_mut() {
+                *e /= qp1;
+            }
+            // A non-finite estimate fails the test too, hence not `> 1.0`.
+            let failed = |e: f64| e.is_nan() || e > 1.0;
+            let any_bad = (0..w).any(|lane| book.active[lane] && failed(est[lane]));
+            if any_bad {
+                unpredict(&mut z, q);
+                rejected += 1;
+                global_err_fails += 1;
+                let any_passed = (0..w).any(|lane| book.active[lane] && est[lane] <= 1.0);
+                let mut est_max: f64 = 0.0;
+                for lane in 0..w {
+                    if !book.active[lane] {
+                        continue;
+                    }
+                    book.rejected[lane] += 1;
+                    if est[lane] <= 1.0 {
+                        // The lane passed; the rejection is a batchmate's.
+                        book.err_fails[lane] = 0;
+                    } else {
+                        if any_passed && est[lane] > BLAME_EST {
+                            book.err_fails[lane] += 1;
+                        }
+                        if book.err_fails[lane] >= LANE_FAIL_LIMIT {
+                            book.drop_lane(lane, BdfErrorKind::StepUnderflow { t });
+                        } else if est[lane].is_finite() {
+                            est_max = est_max.max(est[lane]);
+                        } else {
+                            book.drop_lane(lane, BdfErrorKind::NonFinite);
+                        }
+                    }
+                }
+                if est_max > 1.0 {
+                    let r = (0.9 * est_max.powf(-1.0 / qp1)).clamp(0.1, 0.9);
+                    if h * r < hmin {
+                        for lane in 0..w {
+                            if book.active[lane] && failed(est[lane]) {
+                                book.drop_lane(lane, BdfErrorKind::StepUnderflow { t });
+                            }
+                        }
+                    } else {
+                        rescale(&mut z, q, r);
+                        h *= r;
+                    }
+                }
+                if global_err_fails >= 3 && q > 1 {
+                    z.truncate(2);
+                    q = 1;
+                    qwait = 2;
+                    have_acor_prev = false;
+                }
+                continue;
+            }
+            global_err_fails = 0;
+            for lane in 0..w {
+                if book.active[lane] {
+                    book.err_fails[lane] = 0;
+                }
+            }
+
+            // Accept.
+            for j in 0..=q {
+                let zj = &mut z[j];
+                for i in 0..nw {
+                    zj[i] += l[j] * acor[i];
+                }
+            }
+            t = tn;
+            steps += 1;
+            jac_age += 1;
+            let mut est_acc: f64 = 0.0;
+            for lane in 0..w {
+                if book.active[lane] {
+                    book.steps[lane] += 1;
+                    est_acc = est_acc.max(est[lane]);
+                }
+            }
+
+            // Shared step/order adaptation from the worst active lane.
+            // The scalar controller's 0.9·est^(−1/(q+1)) targets est ≈ 0.73
+            // — fine when est measures the one system being stepped, but
+            // the batch serves max-over-lanes, and parking the worst lane
+            // that close to the error boundary produces a reject/accept
+            // limit cycle that strings up per-lane failures. Use CVODE's
+            // biased controller instead (target est ≈ 1/6): the worst lane
+            // gets real margin and rejections become rare.
+            let eta_q = 1.0 / ((6.0 * est_acc.max(1e-12)).powf(1.0 / qp1) + 1e-6);
+            let mut eta = eta_q;
+            let mut new_q = q;
+            if qwait > 0 {
+                qwait -= 1;
+            } else {
+                if q > 1 {
+                    wrms_lanes(&z[q], &ewt, n, w, &mut lane_norm);
+                    let mut est_dn: f64 = 0.0;
+                    for lane in 0..w {
+                        if book.active[lane] {
+                            est_dn = est_dn.max(lane_norm[lane] / q as f64);
+                        }
+                    }
+                    let eta_dn = 1.0 / ((6.0 * est_dn.max(1e-12)).powf(1.0 / q as f64) + 1e-6);
+                    if eta_dn > eta {
+                        eta = eta_dn;
+                        new_q = q - 1;
+                    }
+                }
+                if q < max_order && have_acor_prev {
+                    for i in 0..nw {
+                        resid[i] = acor[i] - acor_prev[i];
+                    }
+                    wrms_lanes(&resid, &ewt, n, w, &mut lane_norm);
+                    let mut est_up: f64 = 0.0;
+                    for lane in 0..w {
+                        if book.active[lane] {
+                            est_up = est_up.max(lane_norm[lane] / (q as f64 + 2.0));
+                        }
+                    }
+                    let eta_up =
+                        1.0 / ((10.0 * est_up.max(1e-12)).powf(1.0 / (q as f64 + 2.0)) + 1e-6);
+                    if eta_up > eta {
+                        eta = eta_up;
+                        new_q = q + 1;
+                    }
+                }
+            }
+            acor_prev.copy_from_slice(&acor);
+            have_acor_prev = true;
+
+            if new_q != q {
+                if new_q > q {
+                    let mut zq1 = vec![0.0; nw];
+                    for i in 0..nw {
+                        zq1[i] = acor[i] * l[q] / qp1;
+                    }
+                    z.push(zq1);
+                } else {
+                    z.truncate(new_q + 1);
+                }
+                q = new_q;
+                qwait = q + 1;
+                have_acor_prev = false;
+            }
+            let eta = eta.clamp(0.2, 5.0);
+            if !(0.9..=1.3).contains(&eta) {
+                rescale(&mut z, q, eta);
+                h *= eta;
+            }
+        }
+
+        // Write back the completed lanes.
+        for lane in 0..w {
+            if book.active[lane] {
+                for i in 0..n {
+                    y[i * w + lane] = z[0][i * w + lane];
+                }
+            }
+        }
+        self.reports(&book, solve_ns, q)
+    }
+
+    fn error_weights(&self, z0: &[f64], n: usize, w: usize, ewt: &mut [f64]) {
+        for i in 0..n {
+            let atol = if self.opts.atol.len() == 1 {
+                self.opts.atol[0]
+            } else {
+                self.opts.atol[i]
+            };
+            let zr = &z0[i * w..][..w];
+            let er = &mut ewt[i * w..][..w];
+            for l in 0..w {
+                er[l] = 1.0 / (self.opts.rtol * zr[l].abs() + atol);
+            }
+        }
+    }
+
+    fn reports(&self, book: &LaneBook, solve_ns: u64, q: usize) -> Vec<LaneReport> {
+        let w = book.active.len();
+        let share = solve_ns / w.max(1) as u64;
+        (0..w)
+            .map(|lane| LaneReport {
+                status: match &book.dropped[lane] {
+                    None => LaneStatus::Completed,
+                    Some(kind) => LaneStatus::Dropped(kind.clone()),
+                },
+                stats: BdfStats {
+                    steps: book.steps[lane],
+                    rejected: book.rejected[lane],
+                    rhs_evals: book.rhs_evals[lane],
+                    jac_evals: book.jac_evals[lane],
+                    factorizations: book.factorizations[lane],
+                    newton_iters: book.newton_iters[lane],
+                    solve_ns: share,
+                    final_order: q,
+                },
+            })
+            .collect()
+    }
+}
+
+fn gather_lane(soa: &[f64], w: usize, lane: usize, out: &mut [f64]) {
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = soa[i * w + lane];
+    }
+}
+
+fn scatter_lane(src: &[f64], w: usize, lane: usize, soa: &mut [f64]) {
+    for (i, s) in src.iter().enumerate() {
+        soa[i * w + lane] = *s;
+    }
+}
+
+/// The burn system of a batch: one scalar [`BurnSystem`] per lane (each
+/// with its own density), so the batched path integrates *exactly* the
+/// physics of the scalar path.
+struct BatchBurnSystem<'a> {
+    lanes: Vec<BurnSystem<'a>>,
+    dim: usize,
+}
+
+impl LaneOde for BatchBurnSystem<'_> {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+    fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+    fn rhs(&self, lane: usize, t: f64, y: &[f64], dydt: &mut [f64]) {
+        self.lanes[lane].rhs(t, y, dydt);
+    }
+    fn jac(&self, lane: usize, t: f64, y: &[f64], jac: &mut [f64]) {
+        self.lanes[lane].jac(t, y, jac);
+    }
+}
+
+/// One zone's burn request, as collected by a driver sweep.
+#[derive(Clone, Debug)]
+pub struct ZoneBurn {
+    /// Deterministic flat zone index (fault injection and failure reports
+    /// key on it).
+    pub zone: u64,
+    /// Density, g/cm³.
+    pub rho: f64,
+    /// Entry temperature, K.
+    pub t0: f64,
+    /// Entry mass fractions.
+    pub x0: Vec<f64>,
+}
+
+/// The batched burner: chunks a sweep's zones into SoA batches for
+/// [`BatchBdf`], and routes everything the batch cannot hold — dropouts,
+/// fault-injected zones, leftover single zones, sub-width sweeps — through
+/// the scalar [`RecoveringBurner`] retry ladder it wraps.
+///
+/// The batch path always uses the network's pattern-specialized sparse LU
+/// (the batched replay *is* the SIMD carrier); the configured
+/// [`SolverChoice`] still governs the scalar ladder underneath.
+pub struct BatchBurner<'a> {
+    net: &'a dyn Network,
+    eos: &'a dyn Eos,
+    integ: BatchBdf,
+    ladder: RecoveringBurner<'a>,
+    width: usize,
+    faults: Option<BurnFaultConfig>,
+}
+
+impl BurnerConfig {
+    /// Build the batched burner this configuration describes (see
+    /// [`BurnerConfig::batch_width`]); the scalar ladder from
+    /// [`BurnerConfig::build`] rides inside it for dropouts and faults.
+    pub fn build_batched<'a>(&self, net: &'a dyn Network, eos: &'a dyn Eos) -> BatchBurner<'a> {
+        BatchBurner {
+            net,
+            eos,
+            integ: BatchBdf::new(
+                self.bdf.clone(),
+                Arc::new(SparseLu::compile(&net.sparsity_csr())),
+            ),
+            ladder: self.build(net, eos),
+            width: self.batch_width,
+            faults: self.faults.clone(),
+        }
+    }
+}
+
+impl<'a> BatchBurner<'a> {
+    /// The configured lane width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// The scalar retry ladder the batch drops out to.
+    pub fn ladder(&self) -> &RecoveringBurner<'a> {
+        &self.ladder
+    }
+
+    /// Burn a sweep's worth of zones for `dt` seconds each. Results come
+    /// back in input order. Zones are sorted by temperature (stable,
+    /// deterministic) before chunking so cost-similar zones share a batch;
+    /// fault-injected zones bypass the batch so the injection schedule
+    /// sees exactly the scalar attempt sequence.
+    pub fn burn_all(
+        &self,
+        zones: &[ZoneBurn],
+        dt: f64,
+    ) -> Vec<Result<RecoveredBurn, Box<BurnFailure>>> {
+        let mut results: Vec<Option<Result<RecoveredBurn, Box<BurnFailure>>>> =
+            (0..zones.len()).map(|_| None).collect();
+        let mut batchable: Vec<usize> = Vec::new();
+        for (i, zb) in zones.iter().enumerate() {
+            let faulted = self
+                .faults
+                .as_ref()
+                .map(|f| f.zone_is_faulty(zb.zone))
+                .unwrap_or(false);
+            if self.width < 2 || faulted {
+                results[i] = Some(self.ladder.burn_zone(zb.zone, zb.rho, zb.t0, &zb.x0, dt));
+            } else {
+                batchable.push(i);
+            }
+        }
+        // Hot zones batch with hot zones: similar step-size histories keep
+        // occupancy high. total_cmp + zone id keeps the order total and
+        // deterministic (bit-exact restarts resort identically).
+        batchable.sort_by(|&a, &b| {
+            zones[b]
+                .t0
+                .total_cmp(&zones[a].t0)
+                .then(zones[a].zone.cmp(&zones[b].zone))
+        });
+        for chunk in batchable.chunks(self.width) {
+            if chunk.len() < 2 {
+                for &i in chunk {
+                    let zb = &zones[i];
+                    results[i] = Some(self.ladder.burn_zone(zb.zone, zb.rho, zb.t0, &zb.x0, dt));
+                }
+                continue;
+            }
+            self.burn_chunk(zones, chunk, dt, &mut results);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every zone was burned"))
+            .collect()
+    }
+
+    fn burn_chunk(
+        &self,
+        zones: &[ZoneBurn],
+        chunk: &[usize],
+        dt: f64,
+        results: &mut [Option<Result<RecoveredBurn, Box<BurnFailure>>>],
+    ) {
+        use exastro_telemetry::Telemetry;
+        let n = self.net.nspec();
+        let m = n + 1;
+        let w = chunk.len();
+        let _prof = exastro_parallel::Profiler::region("burner");
+        let sys = BatchBurnSystem {
+            lanes: chunk
+                .iter()
+                .map(|&i| BurnSystem {
+                    net: self.net,
+                    eos: self.eos,
+                    rho: zones[i].rho,
+                    self_heat: true,
+                })
+                .collect(),
+            dim: m,
+        };
+        let mut y = vec![0.0; m * w];
+        let mut y_entry = vec![0.0; m * w];
+        let mut lane_buf = vec![0.0; n];
+        for (lane, &i) in chunk.iter().enumerate() {
+            let zb = &zones[i];
+            mass_to_molar(self.net.species(), &zb.x0, &mut lane_buf);
+            for k in 0..n {
+                y[k * w + lane] = lane_buf[k];
+            }
+            y[n * w + lane] = zb.t0;
+        }
+        y_entry.copy_from_slice(&y);
+        let reports = self.integ.integrate(&sys, 0.0, dt, &mut y);
+        let mut solve_share: u64 = 0;
+        let mut completed = 0u64;
+        let mut dropped = 0u64;
+        for (lane, &i) in chunk.iter().enumerate() {
+            let zb = &zones[i];
+            let report = &reports[lane];
+            solve_share += report.stats.solve_ns;
+            let batch_ok = matches!(report.status, LaneStatus::Completed);
+            let rec = if batch_ok {
+                let mut yl = vec![0.0; m];
+                let mut yl0 = vec![0.0; m];
+                gather_lane(&y, w, lane, &mut yl);
+                gather_lane(&y_entry, w, lane, &mut yl0);
+                let mut x = vec![0.0; n];
+                molar_to_mass(self.net.species(), &yl[..n], &mut x);
+                let sum: f64 = x.iter().sum();
+                if (sum - 1.0).abs() < 0.01 && sum > 0.0 {
+                    x.iter_mut().for_each(|xi| *xi /= sum);
+                }
+                let enuc = self
+                    .net
+                    .species()
+                    .iter()
+                    .enumerate()
+                    .map(|(k, s)| s.bind_mev * (yl[k] - yl0[k]))
+                    .sum::<f64>()
+                    * N_A
+                    * MEV_TO_ERG;
+                let out = BurnOutcome {
+                    x,
+                    t: yl[n],
+                    enuc,
+                    stats: report.stats,
+                };
+                match validate_outcome(&out) {
+                    Ok(()) => Some(RecoveredBurn {
+                        outcome: out,
+                        rung: crate::recovery::LadderRung::Direct,
+                        retries: 0,
+                    }),
+                    Err(_) => None,
+                }
+            } else {
+                None
+            };
+            match rec {
+                Some(rec) => {
+                    completed += 1;
+                    exastro_parallel::Profiler::record_zones(1);
+                    record_burn_telemetry(&rec);
+                    results[i] = Some(Ok(rec));
+                }
+                None => {
+                    // Dropout: re-burn from the entry state through the
+                    // scalar ladder (bit-identical to a ladder-only burn),
+                    // charging the zone its share of the failed batch work
+                    // as one extra retry.
+                    dropped += 1;
+                    let res = self.ladder.burn_zone(zb.zone, zb.rho, zb.t0, &zb.x0, dt);
+                    results[i] = Some(match res {
+                        Ok(mut rec) => {
+                            let mut s = report.stats;
+                            s.merge(&rec.outcome.stats);
+                            rec.outcome.stats = s;
+                            rec.retries += 1;
+                            Ok(rec)
+                        }
+                        Err(mut f) => {
+                            let mut s = report.stats;
+                            s.merge(&f.stats);
+                            f.stats = s;
+                            f.attempts += 1;
+                            Err(f)
+                        }
+                    });
+                }
+            }
+        }
+        exastro_parallel::Profiler::record_ns("solve[batch-sparse]", solve_share);
+        if Telemetry::is_enabled() {
+            exastro_telemetry::counter_add("burn.batch.zones", completed);
+            exastro_telemetry::counter_add("burn.batch.dropouts", dropped);
+            Telemetry::record_hist("burn.batch.occupancy", completed as f64 / w as f64);
+        }
+    }
+}
+
+impl Burner for BatchBurner<'_> {
+    /// A single zone cannot batch: it takes the scalar ladder directly.
+    fn burn_zone(
+        &self,
+        zone: u64,
+        rho: f64,
+        t0: f64,
+        x0: &[f64],
+        dt: f64,
+    ) -> Result<RecoveredBurn, Box<BurnFailure>> {
+        self.ladder.burn_zone(zone, rho, t0, x0, dt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eos::StellarEos;
+    use crate::integrator::{BdfIntegrator, NewtonSolver};
+    use crate::network::{Aprox13, CBurn2};
+    use crate::recovery::LadderRung;
+    use crate::sparse::CsrPattern;
+
+    /// Lanes of Robertson problems with per-lane rate scalings.
+    struct RobertsonLanes {
+        k: Vec<f64>,
+    }
+    impl LaneOde for RobertsonLanes {
+        fn dim(&self) -> usize {
+            3
+        }
+        fn lanes(&self) -> usize {
+            self.k.len()
+        }
+        fn rhs(&self, lane: usize, _t: f64, y: &[f64], d: &mut [f64]) {
+            let k = self.k[lane];
+            d[0] = -0.04 * k * y[0] + 1e4 * y[1] * y[2];
+            d[2] = 3e7 * k * y[1] * y[1];
+            d[1] = -d[0] - d[2];
+        }
+        fn jac(&self, lane: usize, _t: f64, y: &[f64], j: &mut [f64]) {
+            let k = self.k[lane];
+            j[0] = -0.04 * k;
+            j[1] = 1e4 * y[2];
+            j[2] = 1e4 * y[1];
+            j[6] = 0.0;
+            j[7] = 6e7 * k * y[1];
+            j[8] = 0.0;
+            j[3] = -j[0] - j[6];
+            j[4] = -j[1] - j[7];
+            j[5] = -j[2] - j[8];
+        }
+    }
+
+    /// Scalar wrapper for one Robertson lane.
+    struct RobertsonScalar {
+        k: f64,
+    }
+    impl OdeSystem for RobertsonScalar {
+        fn dim(&self) -> usize {
+            3
+        }
+        fn rhs(&self, t: f64, y: &[f64], d: &mut [f64]) {
+            RobertsonLanes { k: vec![self.k] }.rhs(0, t, y, d);
+        }
+        fn jac(&self, t: f64, y: &[f64], j: &mut [f64]) {
+            RobertsonLanes { k: vec![self.k] }.jac(0, t, y, j);
+        }
+    }
+
+    fn robertson_pattern() -> CsrPattern {
+        CsrPattern::new(
+            3,
+            vec![
+                (0, 0),
+                (0, 1),
+                (0, 2),
+                (1, 0),
+                (1, 1),
+                (1, 2),
+                (2, 1),
+                (2, 2),
+            ],
+        )
+    }
+
+    #[test]
+    fn batched_robertson_matches_scalar_per_lane() {
+        let ks = vec![1.0, 0.7, 1.3, 0.9];
+        let w = ks.len();
+        let opts = BdfOptions::builder()
+            .rtol(1e-10)
+            .atol_vec(vec![1e-12, 1e-14, 1e-12])
+            .build()
+            .unwrap();
+        let lu = Arc::new(SparseLu::compile(&robertson_pattern()));
+        let batch = BatchBdf::new(opts.clone(), lu);
+        let sys = RobertsonLanes { k: ks.clone() };
+        let mut y = vec![0.0; 3 * w];
+        for l in 0..w {
+            y[l] = 1.0; // y0 = [1, 0, 0] per lane
+        }
+        let reports = batch.integrate(&sys, 0.0, 40.0, &mut y);
+        for (l, k) in ks.iter().enumerate() {
+            assert_eq!(reports[l].status, LaneStatus::Completed, "lane {l}");
+            assert!(reports[l].stats.steps > 0);
+            let mut opts = opts.clone();
+            opts.solver = NewtonSolver::Sparse(robertson_pattern());
+            let integ = BdfIntegrator::new(opts);
+            let mut ys = [1.0, 0.0, 0.0];
+            integ
+                .integrate(&RobertsonScalar { k: *k }, 0.0, 40.0, &mut ys)
+                .unwrap();
+            for i in 0..3 {
+                let (b, s) = (y[i * w + l], ys[i]);
+                // The batch controller takes a different h/order sequence,
+                // so agreement is to the global-error level, not bitwise.
+                assert!(
+                    (b - s).abs() < 1e-6 * s.abs().max(1e-8),
+                    "lane {l} comp {i}: batch {b} vs scalar {s}"
+                );
+            }
+            // Conservation survives the batch.
+            let sum: f64 = (0..3).map(|i| y[i * w + l]).sum();
+            assert!((sum - 1.0).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn batch_reuses_jacobians_across_steps() {
+        let w = 4;
+        let opts = BdfOptions::builder()
+            .rtol(1e-8)
+            .atol(1e-12)
+            .build()
+            .unwrap();
+        let lu = Arc::new(SparseLu::compile(&robertson_pattern()));
+        let batch = BatchBdf::new(opts, lu);
+        let sys = RobertsonLanes {
+            k: vec![1.0, 1.01, 0.99, 1.02],
+        };
+        let mut y = vec![0.0; 3 * w];
+        for l in 0..w {
+            y[l] = 1.0;
+        }
+        let reports = batch.integrate(&sys, 0.0, 40.0, &mut y);
+        let r = &reports[0];
+        assert_eq!(r.status, LaneStatus::Completed);
+        assert!(
+            r.stats.jac_evals * 3 < r.stats.steps,
+            "modified-Newton reuse must amortize Jacobians: {} evals over {} steps",
+            r.stats.jac_evals,
+            r.stats.steps
+        );
+        assert!(
+            r.stats.factorizations < r.stats.steps,
+            "γ-drift refactor must be rarer than steps: {} vs {}",
+            r.stats.factorizations,
+            r.stats.steps
+        );
+    }
+
+    #[test]
+    fn batched_atol_mismatch_drops_every_lane_structurally() {
+        let opts = BdfOptions::builder()
+            .atol_vec(vec![1e-12, 1e-12]) // dim is 3
+            .build()
+            .unwrap();
+        let lu = Arc::new(SparseLu::compile(&robertson_pattern()));
+        let batch = BatchBdf::new(opts, lu);
+        let sys = RobertsonLanes { k: vec![1.0, 1.0] };
+        let mut y = vec![1.0, 1.0, 0.0, 0.0, 0.0, 0.0];
+        let reports = batch.integrate(&sys, 0.0, 1.0, &mut y);
+        for r in &reports {
+            assert_eq!(
+                r.status,
+                LaneStatus::Dropped(BdfErrorKind::AtolMismatch {
+                    atol_len: 2,
+                    dim: 3
+                })
+            );
+        }
+    }
+
+    #[test]
+    fn burn_all_matches_the_scalar_ladder_closely() {
+        let net = CBurn2::new();
+        let eos = StellarEos;
+        let cfg = BurnerConfig {
+            batch_width: 4,
+            ..Default::default()
+        };
+        let batched = cfg.build_batched(&net, &eos);
+        let ladder = cfg.build(&net, &eos);
+        let zones: Vec<ZoneBurn> = (0..8)
+            .map(|i| ZoneBurn {
+                zone: i,
+                rho: 5e7 * (1.0 + 0.01 * i as f64),
+                t0: 3e9 * (1.0 + 0.005 * i as f64),
+                x0: vec![1.0, 0.0],
+            })
+            .collect();
+        let dt = 1e-7;
+        let recs = batched.burn_all(&zones, dt);
+        assert_eq!(recs.len(), zones.len());
+        for (zb, rec) in zones.iter().zip(&recs) {
+            let rec = rec.as_ref().expect("batched burn succeeds");
+            let sref = ladder
+                .burn_zone(zb.zone, zb.rho, zb.t0, &zb.x0, dt)
+                .unwrap();
+            assert!(
+                ((rec.outcome.t - sref.outcome.t) / sref.outcome.t).abs() < 1e-5,
+                "zone {}: batch T {} vs scalar T {}",
+                zb.zone,
+                rec.outcome.t,
+                sref.outcome.t
+            );
+            for (a, b) in rec.outcome.x.iter().zip(&sref.outcome.x) {
+                assert!((a - b).abs() < 1e-5, "zone {}: {a} vs {b}", zb.zone);
+            }
+            let sum: f64 = rec.outcome.x.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn occupancy_and_dropouts_land_in_telemetry() {
+        use exastro_telemetry::{counter_get, histogram, Telemetry};
+        // Counters and histograms are process-global, so assert on deltas
+        // and leave telemetry enabled for whoever else is running.
+        Telemetry::enable();
+        let zones_before = counter_get("burn.batch.zones");
+        let occ_before = histogram("burn.batch.occupancy").count();
+        let net = CBurn2::new();
+        let eos = StellarEos;
+        let cfg = BurnerConfig {
+            batch_width: 4,
+            ..Default::default()
+        };
+        // Mild, cost-similar zones (tight spread, CO fuel) so the whole
+        // chunk completes inside the batch rather than dropping out.
+        let zones: Vec<ZoneBurn> = (0..4)
+            .map(|i| ZoneBurn {
+                zone: i,
+                rho: 5e7,
+                t0: 2.8e9 * (1.0 + 0.001 * i as f64),
+                x0: vec![0.5, 0.5],
+            })
+            .collect();
+        let recs = cfg.build_batched(&net, &eos).burn_all(&zones, 1e-7);
+        for rec in recs {
+            let rec = rec.expect("burn succeeds");
+            assert_eq!(rec.retries, 0, "zone should complete inside the batch");
+        }
+        assert!(
+            counter_get("burn.batch.zones") >= zones_before + 4,
+            "batch-completed zones must show up in burn.batch.zones"
+        );
+        assert!(
+            histogram("burn.batch.occupancy").count() > occ_before,
+            "every chunk must record an occupancy sample"
+        );
+        // Starve the integrator so every lane drops out: the dropouts
+        // counter must advance by the full batch.
+        let drops_before = counter_get("burn.batch.dropouts");
+        let mut starved = cfg.clone();
+        starved.bdf.max_steps = 3;
+        for rec in starved.build_batched(&net, &eos).burn_all(&zones, 1e-7) {
+            // Rescued or not, the zones left the batch as dropouts.
+            let _ = rec;
+        }
+        assert!(
+            counter_get("burn.batch.dropouts") >= drops_before + 4,
+            "starved lanes must show up in burn.batch.dropouts"
+        );
+    }
+
+    #[test]
+    fn results_come_back_in_input_order_despite_sorting() {
+        let net = CBurn2::new();
+        let eos = StellarEos;
+        let cfg = BurnerConfig {
+            batch_width: 4,
+            ..Default::default()
+        };
+        let batched = cfg.build_batched(&net, &eos);
+        // Alternating hot/cold so the temperature sort reorders heavily.
+        let zones: Vec<ZoneBurn> = (0..8)
+            .map(|i| ZoneBurn {
+                zone: i,
+                rho: 5e7,
+                t0: if i % 2 == 0 {
+                    3e9
+                } else {
+                    1e8 + 1e6 * i as f64
+                },
+                x0: vec![1.0, 0.0],
+            })
+            .collect();
+        let recs = batched.burn_all(&zones, 1e-8);
+        for (i, (zb, rec)) in zones.iter().zip(&recs).enumerate() {
+            let rec = rec.as_ref().unwrap();
+            if zb.t0 > 1e9 {
+                assert!(
+                    rec.outcome.t > 1e9,
+                    "slot {i} must hold the hot zone's result"
+                );
+            } else {
+                assert!(
+                    rec.outcome.t < 1e9,
+                    "slot {i} must hold the cold zone's result"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn starved_batch_drops_out_bit_identical_to_the_scalar_ladder() {
+        // A step budget far too small for the batch: every lane drops out
+        // and is re-burned by the ladder, so the final state must be
+        // *bit-identical* to a ladder-only burn, with the batch attempt
+        // charged as one extra retry.
+        let net = CBurn2::new();
+        let eos = StellarEos;
+        let mut cfg = BurnerConfig {
+            batch_width: 4,
+            ..Default::default()
+        };
+        cfg.bdf.max_steps = 3;
+        let batched = cfg.build_batched(&net, &eos);
+        let ladder = cfg.build(&net, &eos);
+        let zones: Vec<ZoneBurn> = (0..4)
+            .map(|i| ZoneBurn {
+                zone: i,
+                rho: 5e7,
+                t0: 3e9,
+                x0: vec![1.0, 0.0],
+            })
+            .collect();
+        let dt = 1e-6;
+        let recs = batched.burn_all(&zones, dt);
+        for (zb, rec) in zones.iter().zip(&recs) {
+            let rec = rec.as_ref().expect("ladder rescues the dropout");
+            let sref = ladder
+                .burn_zone(zb.zone, zb.rho, zb.t0, &zb.x0, dt)
+                .unwrap();
+            assert_eq!(rec.outcome.t.to_bits(), sref.outcome.t.to_bits());
+            for (a, b) in rec.outcome.x.iter().zip(&sref.outcome.x) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+            assert_eq!(rec.rung, sref.rung);
+            assert_eq!(
+                rec.retries,
+                sref.retries + 1,
+                "the failed batch attempt is charged as a retry"
+            );
+            assert!(
+                rec.outcome.stats.steps >= sref.outcome.stats.steps,
+                "dropout work is charged to the zone"
+            );
+        }
+    }
+
+    #[test]
+    fn faulted_zones_bypass_the_batch_and_ride_the_ladder() {
+        let net = CBurn2::new();
+        let eos = StellarEos;
+        let cfg = BurnerConfig {
+            batch_width: 4,
+            faults: Some(BurnFaultConfig {
+                seed: 42,
+                rate: 1.0,
+                rungs_to_fail: 1,
+                error: BdfErrorKind::MaxSteps,
+            }),
+            ..Default::default()
+        };
+        let batched = cfg.build_batched(&net, &eos);
+        let zones: Vec<ZoneBurn> = (0..4)
+            .map(|i| ZoneBurn {
+                zone: i,
+                rho: 5e7,
+                t0: 3e9,
+                x0: vec![1.0, 0.0],
+            })
+            .collect();
+        for rec in batched.burn_all(&zones, 1e-6) {
+            let rec = rec.unwrap();
+            assert_eq!(rec.rung, LadderRung::RelaxedTol, "injection saw attempt 0");
+            assert_eq!(rec.retries, 1, "no spurious batch retry is charged");
+        }
+    }
+
+    #[test]
+    fn width_below_two_is_the_scalar_ladder_exactly() {
+        let net = CBurn2::new();
+        let eos = StellarEos;
+        let cfg = BurnerConfig {
+            batch_width: 1,
+            ..Default::default()
+        };
+        let batched = cfg.build_batched(&net, &eos);
+        let ladder = cfg.build(&net, &eos);
+        let zones = [ZoneBurn {
+            zone: 0,
+            rho: 5e7,
+            t0: 3e9,
+            x0: vec![1.0, 0.0],
+        }];
+        let rec = batched.burn_all(&zones, 1e-6).remove(0).unwrap();
+        let sref = ladder.burn_zone(0, 5e7, 3e9, &[1.0, 0.0], 1e-6).unwrap();
+        assert_eq!(rec.outcome.t.to_bits(), sref.outcome.t.to_bits());
+        for (a, b) in rec.outcome.x.iter().zip(&sref.outcome.x) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn aprox13_batch_burn_is_physical() {
+        let net = Aprox13::new();
+        let eos = StellarEos;
+        let cfg = BurnerConfig {
+            batch_width: 8,
+            ..Default::default()
+        };
+        let batched = cfg.build_batched(&net, &eos);
+        let mut x0 = vec![0.0; 13];
+        x0[1] = 0.5;
+        x0[2] = 0.5;
+        let zones: Vec<ZoneBurn> = (0..8)
+            .map(|i| ZoneBurn {
+                zone: i,
+                rho: 1e7 * (1.0 + 0.02 * i as f64),
+                t0: 3e9 * (1.0 + 0.01 * i as f64),
+                x0: x0.clone(),
+            })
+            .collect();
+        for rec in batched.burn_all(&zones, 1e-7) {
+            let rec = rec.unwrap();
+            let sum: f64 = rec.outcome.x.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6, "ΣX = {sum}");
+            assert!(rec.outcome.enuc > 0.0);
+            assert!(rec.outcome.x[1] < 0.5, "carbon consumed");
+        }
+    }
+}

@@ -61,11 +61,11 @@ pub trait Burner {
     ) -> Result<RecoveredBurn, Box<BurnFailure>>;
 }
 
-struct BurnSystem<'a> {
-    net: &'a dyn Network,
-    eos: &'a dyn Eos,
-    rho: f64,
-    self_heat: bool,
+pub(crate) struct BurnSystem<'a> {
+    pub(crate) net: &'a dyn Network,
+    pub(crate) eos: &'a dyn Eos,
+    pub(crate) rho: f64,
+    pub(crate) self_heat: bool,
 }
 
 impl BurnSystem<'_> {
@@ -170,8 +170,6 @@ impl<'a> PlainBurner<'a> {
     /// the work statistics of the failed attempt, so the retry ladder can
     /// charge every rung's cost to the zone.
     pub fn burn(&self, rho: f64, t0: f64, x0: &[f64], dt: f64) -> Result<BurnOutcome, BdfError> {
-        let _prof = exastro_parallel::Profiler::region("burner");
-        exastro_parallel::Profiler::record_zones(1);
         let n = self.net.nspec();
         assert_eq!(x0.len(), n);
         let mut y = vec![0.0; n + 1];
@@ -268,16 +266,31 @@ impl<'a> PlainBurner<'a> {
                 }
                 return Ok(Some(elapsed + 0.5 * (lo + hi)));
             }
+            let t_pre = t;
             t = out.t;
             x = out.x;
             elapsed += step;
-            // Shrink intervals as the temperature accelerates; relax them
-            // while quiescent.
-            if out.t > 1.05 * t {
-                dt = (dt * 0.5).max(t_max * 1e-9);
-            }
+            dt = ignition_probe_dt(dt, t_pre, out.t, t_max);
         }
         Ok(None)
+    }
+}
+
+/// Probe-interval adaptation for [`PlainBurner::time_to_ignition`]: shrink
+/// the interval while the temperature accelerates (so the bisection window
+/// around the runaway stays tight), relax it while quiescent (so a long
+/// pre-ignition simmer does not cost thousands of probes). The comparison
+/// is against the **pre-step** temperature — comparing the post-step value
+/// with itself made the shrink branch dead code.
+fn ignition_probe_dt(dt: f64, t_pre: f64, t_post: f64, t_max: f64) -> f64 {
+    if t_post > 1.05 * t_pre {
+        // Accelerating: halve the probe, bounded away from zero.
+        (dt * 0.5).max(t_max * 1e-9)
+    } else if t_post < 1.005 * t_pre {
+        // Quiescent: relax back toward the coarse march.
+        (dt * 2.0).min(t_max / 512.0)
+    } else {
+        dt
     }
 }
 
@@ -290,6 +303,11 @@ impl Burner for PlainBurner<'_> {
         x0: &[f64],
         dt: f64,
     ) -> Result<RecoveredBurn, Box<BurnFailure>> {
+        // One physical zone per `burn_zone` call, however many integration
+        // attempts it takes (recording inside `burn` counted a
+        // ladder-recovered zone once per rung, inflating zones/µs).
+        let _prof = exastro_parallel::Profiler::region("burner");
+        exastro_parallel::Profiler::record_zones(1);
         let fail = |error, stats| {
             Box::new(BurnFailure {
                 zone,
@@ -365,6 +383,10 @@ pub struct BurnerConfig {
     pub ladder: RetryLadder,
     /// Deterministic fault injection for tests and CI smoke runs.
     pub faults: Option<BurnFaultConfig>,
+    /// Lane width of the batched SoA burn path built by
+    /// [`BurnerConfig::build_batched`] (see [`crate::batch`]). A width
+    /// below 2 disables batching: every zone takes the scalar ladder.
+    pub batch_width: usize,
 }
 
 impl Default for BurnerConfig {
@@ -374,6 +396,7 @@ impl Default for BurnerConfig {
             solver: SolverChoice::default(),
             ladder: RetryLadder::default(),
             faults: None,
+            batch_width: 8,
         }
     }
 }
@@ -541,6 +564,55 @@ mod tests {
             t_hi < t_lo,
             "higher density must ignite faster: {t_hi} vs {t_lo}"
         );
+    }
+
+    #[test]
+    fn ignition_probe_shrinks_on_acceleration_not_on_itself() {
+        // Regression: the probe adaptation used to compare the post-step
+        // temperature against itself (`out.t > 1.05 * t` evaluated after
+        // `t = out.t`), so the shrink branch was dead code and the probe
+        // never tightened around the runaway.
+        let t_max = 1e3;
+        let dt = t_max / 512.0;
+        // Accelerating (+6% over the step): halve.
+        assert_eq!(ignition_probe_dt(dt, 1e9, 1.06e9, t_max), dt * 0.5);
+        // Repeated acceleration bottoms out at the floor, not zero.
+        let mut d = dt;
+        for _ in 0..64 {
+            d = ignition_probe_dt(d, 1e9, 2e9, t_max);
+        }
+        assert_eq!(d, t_max * 1e-9);
+        // Quiescent (+0.1%): relax, capped at the coarse march.
+        assert_eq!(
+            ignition_probe_dt(dt * 0.125, 1e9, 1.001e9, t_max),
+            dt * 0.25
+        );
+        assert_eq!(ignition_probe_dt(dt, 1e9, 1.001e9, t_max), dt);
+        // Simmering in between (+2%): hold.
+        assert_eq!(ignition_probe_dt(dt, 1e9, 1.02e9, t_max), dt);
+    }
+
+    #[test]
+    fn ignition_probe_tightens_along_a_runaway_trajectory() {
+        // Drive the helper with an exponentially accelerating temperature
+        // history (what a carbon runaway looks like to the prober): the
+        // probe interval must shrink monotonically to the floor.
+        let t_max = 1e3;
+        let mut dt: f64 = t_max / 512.0;
+        let mut t = 1e9;
+        let mut shrunk = 0;
+        for _ in 0..40 {
+            let t_next = t * 1.08;
+            let nd = ignition_probe_dt(dt, t, t_next, t_max);
+            assert!(nd <= dt, "never relaxes while accelerating");
+            if nd < dt {
+                shrunk += 1;
+            }
+            dt = nd;
+            t = t_next;
+        }
+        assert!(shrunk > 5, "the shrink branch must actually fire");
+        assert_eq!(dt, t_max * 1e-9);
     }
 
     #[test]

@@ -283,6 +283,16 @@ pub enum BdfErrorKind {
     /// The integration "succeeded" but left non-finite state behind (used
     /// by post-integration validators, e.g. the burn retry ladder).
     NonFinite,
+    /// A per-component `atol` vector matched neither length 1 (broadcast)
+    /// nor the system dimension. Caught at [`BdfIntegrator::integrate`]
+    /// entry, before any stepping, instead of panicking with an
+    /// index-out-of-bounds mid-integration.
+    AtolMismatch {
+        /// Length of the configured atol vector.
+        atol_len: usize,
+        /// System dimension it failed to match.
+        dim: usize,
+    },
 }
 
 impl std::fmt::Display for BdfErrorKind {
@@ -292,6 +302,11 @@ impl std::fmt::Display for BdfErrorKind {
             BdfErrorKind::StepUnderflow { t } => write!(f, "BDF: step size underflow at t = {t}"),
             BdfErrorKind::SingularMatrix => write!(f, "BDF: singular Newton matrix"),
             BdfErrorKind::NonFinite => write!(f, "BDF: integration produced non-finite state"),
+            BdfErrorKind::AtolMismatch { atol_len, dim } => write!(
+                f,
+                "BDF: atol has {atol_len} components but the system dimension is {dim} \
+                 (expected 1 or {dim})"
+            ),
         }
     }
 }
@@ -328,7 +343,7 @@ impl std::error::Error for BdfError {}
 /// Corrector coefficients `l[0..=q]` for fixed-step BDF of order `q`:
 /// the coefficients of `Λ(x) = Π_{i=1..q}(1 + x/i)`, normalized to `l₁ = 1`.
 /// `l₀` equals the BDF β (1, 2/3, 6/11, 12/25, 60/137).
-fn bdf_l(q: usize, l: &mut [f64; 6]) {
+pub(crate) fn bdf_l(q: usize, l: &mut [f64; 6]) {
     l.iter_mut().for_each(|v| *v = 0.0);
     l[0] = 1.0;
     for i in 1..=q {
@@ -342,6 +357,19 @@ fn bdf_l(q: usize, l: &mut [f64; 6]) {
     for v in l.iter_mut() {
         *v /= l1;
     }
+}
+
+/// Reject a per-component `atol` whose length matches neither 1 nor the
+/// system dimension — indexing it per component would panic mid-integration
+/// (shared by the scalar and batched integrators).
+pub(crate) fn check_atol(opts: &BdfOptions, dim: usize) -> Result<(), BdfError> {
+    if opts.atol.len() != 1 && opts.atol.len() != dim {
+        return Err(BdfError::from_kind(BdfErrorKind::AtolMismatch {
+            atol_len: opts.atol.len(),
+            dim,
+        }));
+    }
+    Ok(())
 }
 
 struct Workspace {
@@ -362,8 +390,11 @@ pub struct BdfIntegrator {
     sparse: Option<Arc<SparseLu>>,
 }
 
-/// Apply the Pascal-triangle prediction `z ← A z` in place.
-fn predict(z: &mut [Vec<f64>], q: usize) {
+/// Apply the Pascal-triangle prediction `z ← A z` in place. The inner loop
+/// is over the vector length, so the same routine serves the scalar
+/// integrator (vectors of length `dim`) and the batched one (structure-of-
+/// arrays vectors of length `dim × width`).
+pub(crate) fn predict(z: &mut [Vec<f64>], q: usize) {
     for k in 1..=q {
         for j in (k..=q).rev() {
             let (a, b) = z.split_at_mut(j);
@@ -378,7 +409,7 @@ fn predict(z: &mut [Vec<f64>], q: usize) {
 
 /// Undo [`predict`] (exact inverse; same descending loop, opposite sign,
 /// as in CVODE's `cvRestore`).
-fn unpredict(z: &mut [Vec<f64>], q: usize) {
+pub(crate) fn unpredict(z: &mut [Vec<f64>], q: usize) {
     for k in 1..=q {
         for j in (k..=q).rev() {
             let (a, b) = z.split_at_mut(j);
@@ -392,7 +423,7 @@ fn unpredict(z: &mut [Vec<f64>], q: usize) {
 }
 
 /// Exact step-size rescale `z_j ← r^j z_j`.
-fn rescale(z: &mut [Vec<f64>], q: usize, r: f64) {
+pub(crate) fn rescale(z: &mut [Vec<f64>], q: usize, r: f64) {
     let mut f = 1.0;
     for zj in z.iter_mut().take(q + 1).skip(1) {
         f *= r;
@@ -500,6 +531,7 @@ impl BdfIntegrator {
         assert_eq!(y.len(), sys.dim());
         assert!(tend > t0);
         let n = sys.dim();
+        check_atol(&self.opts, n)?;
         let max_order = self.opts.max_order.clamp(1, 5);
         let mut stats = BdfStats::default();
         let mut solver = self.make_solver(n);
@@ -1126,6 +1158,36 @@ mod tests {
         assert_eq!(opts.rtol, 1e-10);
         assert_eq!(opts.max_order, 3);
         assert_eq!(opts.solver.kind(), "sparse");
+    }
+
+    #[test]
+    fn mismatched_atol_is_a_structured_error_not_a_panic() {
+        // Robertson has dim 3; a 2-component atol used to index out of
+        // bounds inside error_weights once the integrator was mid-step.
+        let opts = BdfOptions::builder()
+            .atol_vec(vec![1e-12, 1e-12])
+            .build()
+            .unwrap();
+        let integ = BdfIntegrator::new(opts);
+        let mut y = [1.0, 0.0, 0.0];
+        let err = integ.integrate(&Robertson, 0.0, 40.0, &mut y).unwrap_err();
+        assert_eq!(
+            err.kind,
+            BdfErrorKind::AtolMismatch {
+                atol_len: 2,
+                dim: 3
+            }
+        );
+        // Caught at entry: no work was spent, and the state is untouched.
+        assert_eq!(err.stats, BdfStats::default());
+        assert_eq!(y, [1.0, 0.0, 0.0]);
+        // Broadcast (1) and exact-match (dim) lengths still integrate.
+        for atol in [vec![1e-12], vec![1e-12, 1e-14, 1e-12]] {
+            let opts = BdfOptions::builder().atol_vec(atol).build().unwrap();
+            let integ = BdfIntegrator::new(opts);
+            let mut y = [1.0, 0.0, 0.0];
+            assert!(integ.integrate(&Robertson, 0.0, 40.0, &mut y).is_ok());
+        }
     }
 
     #[test]

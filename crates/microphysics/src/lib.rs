@@ -29,6 +29,7 @@
 // obscure the math.
 #![allow(clippy::needless_range_loop)]
 
+pub mod batch;
 pub mod burner;
 pub mod constants;
 pub mod eos;
@@ -40,6 +41,7 @@ pub mod recovery;
 pub mod sparse;
 pub mod species;
 
+pub use batch::{BatchBdf, BatchBurner, LaneOde, LaneReport, LaneStatus, ZoneBurn};
 pub use burner::{BurnOutcome, BurnTally, Burner, BurnerConfig, PlainBurner, SolverChoice};
 pub use eos::{Eos, EosResult, GammaLaw, StellarEos};
 pub use integrator::{

@@ -348,6 +348,10 @@ impl Burner for RecoveringBurner<'_> {
         x0: &[f64],
         dt: f64,
     ) -> Result<RecoveredBurn, Box<BurnFailure>> {
+        // One physical zone per `burn_zone` call, however many ladder rungs
+        // it climbs (a subcycled recovery must contribute exactly 1 zone).
+        let _prof = exastro_parallel::Profiler::region("burner");
+        exastro_parallel::Profiler::record_zones(1);
         let mut rungs = vec![LadderRung::Direct];
         if self.relaxed.is_some() {
             rungs.push(LadderRung::RelaxedTol);
@@ -583,6 +587,38 @@ mod tests {
             rec.outcome.stats.rejected + rec.outcome.stats.steps > 12,
             "stats must accumulate across failed rungs: {:?}",
             rec.outcome.stats
+        );
+    }
+
+    #[test]
+    fn subcycled_recovery_counts_exactly_one_zone() {
+        // Regression: zone counting used to live inside `PlainBurner::burn`
+        // and fired once per *attempt*, so a zone recovered on the subcycle
+        // rung (2 failed rungs + 4 sub-burns) counted as up to 7 zones and
+        // inflated every zones/µs metric. Wrap the burn in a unique outer
+        // region so this test reads its own profiler path regardless of
+        // what other tests record concurrently.
+        let net = CBurn2::new();
+        let eos = StellarEos;
+        let (rho, t0, x0, dt) = hot_zone();
+        let rb = RecoveringBurner::new(
+            &net,
+            &eos,
+            PlainBurner::default_options(),
+            &RetryLadder::default(),
+        )
+        .with_faults(Some(faults(1.0, 2, BdfErrorKind::MaxSteps)));
+        let rec = {
+            let _outer = exastro_parallel::Profiler::region("one_zone_test");
+            rb.burn_zone(11, rho, t0, &x0, dt).unwrap()
+        };
+        assert_eq!(rec.rung, LadderRung::Subcycle, "the fault forced rung 2");
+        assert_eq!(rec.retries, 2);
+        let stats = exastro_parallel::Profiler::get("one_zone_test/burner")
+            .expect("the burn recorded under the test's region");
+        assert_eq!(
+            stats.zones, 1,
+            "one physical zone, however many attempts the ladder took"
         );
     }
 

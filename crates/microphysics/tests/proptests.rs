@@ -344,3 +344,153 @@ proptest! {
         }
     }
 }
+
+proptest! {
+    // Tight-tolerance burns on every network again: fewer cases, the
+    // network index is part of the random input.
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn batched_burns_agree_with_the_scalar_ladder_on_every_network(
+        net_idx in 0usize..4,
+        log_rho in 5.0f64..7.5,
+        log_t in 8.7f64..9.3,
+        frac in 0.2f64..0.8,
+        log_dt in -8.0f64..-6.0,
+    ) {
+        // The batched SoA path shares every physics kernel with the scalar
+        // burner but runs its own step-size controller, so the lanes take a
+        // different h-sequence than the scalar ladder would. Agreement is
+        // therefore bounded by the integration tolerances rather than being
+        // bit-exact: at rtol 1e-11 / atol 1e-15 both paths must land within
+        // 1e-10 in every mass fraction.
+        use exastro_microphysics::{
+            BdfOptions, Burner, BurnerConfig, Iso7, SolverChoice, ZoneBurn,
+        };
+        let nets: [Box<dyn Network>; 4] = [
+            Box::new(CBurn2::new()),
+            Box::new(TripleAlpha::new()),
+            Box::new(Iso7::new()),
+            Box::new(Aprox13::new()),
+        ];
+        let net = &*nets[net_idx];
+        let eos = StellarEos;
+        let rho = 10f64.powf(log_rho);
+        let t0 = 10f64.powf(log_t);
+        let dt = 10f64.powf(log_dt);
+        let cfg = BurnerConfig {
+            bdf: BdfOptions::builder().rtol(1e-11).atol(1e-15).build().unwrap(),
+            solver: SolverChoice::Sparse,
+            batch_width: 4,
+            ..Default::default()
+        };
+        // Four slightly perturbed zones so every lane carries distinct
+        // state and the shared controller has real work to arbitrate.
+        let zones: Vec<ZoneBurn> = (0..4)
+            .map(|l| {
+                let mut x0 = vec![0.0; net.nspec()];
+                x0[0] = frac;
+                x0[1] = 1.0 - frac;
+                ZoneBurn {
+                    zone: l as u64,
+                    rho: rho * (1.0 + 1e-3 * l as f64),
+                    t0: t0 * (1.0 + 1e-3 * l as f64),
+                    x0,
+                }
+            })
+            .collect();
+        let batched = cfg.build_batched(net, &eos).burn_all(&zones, dt);
+        let ladder = cfg.build(net, &eos);
+        for (zb, res) in zones.iter().zip(batched) {
+            let sref = ladder.burn_zone(zb.zone, zb.rho, zb.t0, &zb.x0, dt);
+            match (res, sref) {
+                (Ok(b), Ok(s)) => {
+                    for (i, (a, c)) in b.outcome.x.iter().zip(&s.outcome.x).enumerate() {
+                        prop_assert!(
+                            (a - c).abs() <= 1e-10,
+                            "{} zone {} X[{i}]: batch {a:.16e} vs scalar {c:.16e}",
+                            net.name(), zb.zone
+                        );
+                    }
+                    prop_assert!(
+                        ((b.outcome.t - s.outcome.t) / s.outcome.t).abs() <= 1e-9,
+                        "{} zone {} T: batch {:.16e} vs scalar {:.16e}",
+                        net.name(), zb.zone, b.outcome.t, s.outcome.t
+                    );
+                }
+                // Both paths must agree on whether the zone is burnable.
+                (b, s) => prop_assert!(
+                    b.is_err() && s.is_err(),
+                    "{} zone {}: batch and scalar disagree on failure",
+                    net.name(), zb.zone
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn starved_batches_fall_back_bit_identical_to_the_ladder(
+        net_idx in 0usize..2,
+        log_rho in 5.0f64..7.2,
+        log_t in 8.8f64..9.3,
+        frac in 0.2f64..0.8,
+        max_steps in 2usize..5,
+    ) {
+        // Starve the integrator so every lane drops out of the batch. The
+        // dropouts are re-burned from their entry state through the exact
+        // scalar retry ladder, so — success or structured failure — the
+        // result must be bit-identical to never having batched at all,
+        // modulo the one extra attempt the batch itself consumed.
+        use exastro_microphysics::{Burner, BurnerConfig, PlainBurner, SolverChoice, ZoneBurn};
+        let nets: [Box<dyn Network>; 2] =
+            [Box::new(CBurn2::new()), Box::new(TripleAlpha::new())];
+        let net = &*nets[net_idx];
+        let eos = StellarEos;
+        let rho = 10f64.powf(log_rho);
+        let t0 = 10f64.powf(log_t);
+        let dt = 1e-6;
+        let mut bdf = PlainBurner::default_options();
+        bdf.max_steps = max_steps;
+        let cfg = BurnerConfig {
+            bdf,
+            solver: SolverChoice::Sparse,
+            batch_width: 4,
+            ..Default::default()
+        };
+        let zones: Vec<ZoneBurn> = (0..4)
+            .map(|l| {
+                let mut x0 = vec![0.0; net.nspec()];
+                x0[0] = frac;
+                x0[1] = 1.0 - frac;
+                ZoneBurn {
+                    zone: l as u64,
+                    rho: rho * (1.0 + 1e-2 * l as f64),
+                    t0: t0 * (1.0 + 1e-2 * l as f64),
+                    x0,
+                }
+            })
+            .collect();
+        let batched = cfg.build_batched(net, &eos).burn_all(&zones, dt);
+        let ladder = cfg.build(net, &eos);
+        for (zb, res) in zones.iter().zip(batched) {
+            let sref = ladder.burn_zone(zb.zone, zb.rho, zb.t0, &zb.x0, dt);
+            match (res, sref) {
+                (Ok(b), Ok(s)) => {
+                    prop_assert_eq!(b.outcome.t.to_bits(), s.outcome.t.to_bits());
+                    for (a, c) in b.outcome.x.iter().zip(&s.outcome.x) {
+                        prop_assert_eq!(a.to_bits(), c.to_bits());
+                    }
+                    prop_assert_eq!(b.rung, s.rung);
+                    prop_assert_eq!(b.retries, s.retries + 1);
+                }
+                (Err(b), Err(s)) => {
+                    prop_assert_eq!(&b.error, &s.error);
+                    prop_assert_eq!(b.attempts, s.attempts + 1);
+                    prop_assert_eq!(b.t0.to_bits(), s.t0.to_bits());
+                }
+                _ => prop_assert!(false, "{} zone {}: batch and scalar disagree on failure",
+                    net.name(), zb.zone),
+            }
+        }
+    }
+}
