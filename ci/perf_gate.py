@@ -64,8 +64,13 @@ def main():
             continue
         fresh = load(fpath)
         if "points" not in base:
+            # Gated metric labels: batch_speedup (same-run ratio, machine
+            # speed cancels → --metric-tolerance) and jobs_per_hour (the
+            # service scheduler's throughput against a baseline committed
+            # far below any healthy run → the tighter --tolerance).
             gated = [m for m in base.get("metrics", [])
-                     if "batch_speedup" in m["label"]]
+                     if "batch_speedup" in m["label"]
+                     or "jobs_per_hour" in m["label"]]
             if not gated:
                 print(f"{bpath.name}: metrics-style artifact, not gated")
                 continue
@@ -77,19 +82,21 @@ def main():
                         f"{bpath.name}: label {m['label']} missing from fresh run")
                     continue
                 compared += 1
-                floor = m["value"] * (1.0 - args.metric_tolerance)
+                tol = (args.tolerance if "jobs_per_hour" in m["label"]
+                       else args.metric_tolerance)
+                floor = m["value"] * (1.0 - tol)
                 status = "OK"
                 if fm["value"] < floor:
                     status = "REGRESSION"
                     failures.append(
                         f"{bpath.name}: {m['label']}: "
-                        f"{fm['value']:.2f}x < floor {floor:.2f}x "
-                        f"(baseline {m['value']:.2f}x, "
-                        f"tolerance {args.metric_tolerance:.0%})"
+                        f"{fm['value']:.2f} < floor {floor:.2f} "
+                        f"(baseline {m['value']:.2f}, "
+                        f"tolerance {tol:.0%})"
                     )
                 print(f"{bpath.name}: {m['label']:>26} "
-                      f"baseline {m['value']:>8.2f}x  "
-                      f"fresh {fm['value']:>8.2f}x  {status}")
+                      f"baseline {m['value']:>8.2f}  "
+                      f"fresh {fm['value']:>8.2f}  {status}")
             continue
         fresh_pts = {(p["label"], p["nodes"]): p for p in fresh.get("points", [])}
         for p in base["points"]:

@@ -94,16 +94,82 @@ for i, r in enumerate(recs):
 print(f"steps.jsonl OK ({len(recs)} records)")
 EOF
 
+echo "== service smoke (multi-tenant job runtime) =="
+# Mixed tenant population over the two-node pool: a rigged-to-fail burn
+# must be contained to its own job, the high-priority arrival must
+# checkpoint-preempt somebody, the report JSON must carry the full
+# schema, and every job's steps.jsonl must have exactly steps_done
+# records with contiguous 1-based ordinals — including the tenants that
+# were preempted, migrated, and resumed mid-run.
+rm -rf /tmp/service_jobs
+cargo run --release --offline --example service -- \
+  --report /tmp/service_report.json --jsonl-dir /tmp/service_jobs \
+  | tee /tmp/service_smoke.log
+grep -q "SERVICE OK" /tmp/service_smoke.log
+python3 - <<'EOF'
+import json, pathlib
+r = json.load(open("/tmp/service_report.json"))
+need = {"wall_s", "submitted", "rejected", "completed", "failed",
+        "preemptions", "queue_peak", "queue_bound", "total_ranks",
+        "rank_utilization", "jobs_per_hour", "latency_p50_s",
+        "latency_p99_s", "jobs"}
+assert need <= set(r), f"report missing keys: {need - set(r)}"
+assert r["completed"] == 5 and r["failed"] == 1, (r["completed"], r["failed"])
+assert r["preemptions"] >= 1, "high-priority arrival must have preempted"
+jneed = {"id", "scenario", "network", "priority", "resolution", "nodes",
+         "ranks", "steps_done", "steps_requested", "outcome", "preemptions",
+         "latency_s", "deadline_met", "ckpt_every", "final_digest",
+         "sim_us", "zones", "step_records"}
+failed = [j for j in r["jobs"] if j["outcome"] == "failed"]
+assert len(failed) == 1 and "error" in failed[0], failed
+drivers = {"sedov_blast": "castro", "wd_collision": "castro",
+           "xrb_flame": "castro", "reacting_bubble": "maestro"}
+for j in r["jobs"]:
+    assert jneed <= set(j), f"{j['id']}: missing {jneed - set(j)}"
+    if j["outcome"] == "completed":
+        assert j["steps_done"] == j["steps_requested"], j
+    path = pathlib.Path("/tmp/service_jobs") / f"{j['id']}.steps.jsonl"
+    assert path.exists(), f"missing per-job stream {path}"
+    recs = [json.loads(l) for l in open(path)]
+    assert len(recs) == j["steps_done"], (
+        f"{j['id']}: {len(recs)} records vs {j['steps_done']} steps")
+    for i, rec in enumerate(recs):
+        assert rec["step"] == i + 1, f"{j['id']}: ordinal gap at {i}"
+        assert rec["driver"] == drivers[j["scenario"]], rec
+high = [j for j in r["jobs"] if j["priority"] == "high"]
+assert high and high[0]["deadline_met"] is True, high
+print(f"service report OK ({len(r['jobs'])} jobs, "
+      f"{r['preemptions']} preemption(s), 1 contained failure)")
+EOF
+
 echo "== perf gate (deterministic scaling curves vs committed baselines) =="
 # fig2/fig3 throughputs come from the machine performance model, so they
 # are bit-reproducible; any drop beyond tolerance is a real regression.
+# The service bench adds scheduler throughput (jobs/hour) against a
+# deliberately conservative floor.
 cargo bench --offline -p exastro-bench --bench fig2_sedov_weak_scaling -- --test >/tmp/fig2_smoke.log
 cargo bench --offline -p exastro-bench --bench fig3_bubble_weak_scaling -- --test >/tmp/fig3_smoke.log
+cargo bench --offline -p exastro-bench --bench service -- --test >/tmp/service_bench_smoke.log
+python3 - <<'EOF'
+import json
+d = json.load(open("BENCH_service.json"))
+assert d["bench"] == "service", d
+by = {m["label"]: m["value"] for m in d["metrics"]}
+for need in ("service/jobs_per_hour", "service/latency_p50",
+             "service/latency_p99", "service/rank_utilization_2x_oversub",
+             "service/queue_peak", "service/preemptions"):
+    assert need in by, f"missing {need} in {sorted(by)}"
+assert by["service/jobs_per_hour"] > 0
+assert by["service/preemptions"] > 0, "the bench's high wave must preempt"
+assert 0.0 < by["service/rank_utilization_2x_oversub"] <= 1.0
+print(f"BENCH_service.json OK ({len(d['metrics'])} metrics)")
+EOF
 python3 ci/perf_gate.py
 
 echo "== clippy (deny warnings, deny deprecated) =="
-# -D deprecated keeps the repo itself off the integrate_with_stats shim
-# (and any future deprecation) while external callers get a soft warning.
+# -D deprecated keeps the repo itself off any deprecated API (the last
+# holder, the integrate_with_stats shim, is gone) while external callers
+# of a future deprecation get a soft warning.
 cargo clippy --workspace --all-targets --offline -- -D warnings -D deprecated
 
 echo "== rustfmt check =="

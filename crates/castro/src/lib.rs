@@ -43,7 +43,7 @@ pub use diffusion::{diffuse, diffusion_dt, Conductivity};
 pub use driver::{Castro, DriverError, StateViolation, StepError, StepStats};
 pub use gravity::{Gravity, GravityField, GravityMode};
 pub use hydro::{Hydro, KernelStructure, SweepFluxes};
-pub use restart::{restore_hierarchy, snapshot_hierarchy, variable_names};
+pub use restart::{restore_hierarchy, snapshot_hierarchy, snapshot_level, variable_names};
 pub use riemann::{hllc, FaceFlux};
 pub use sedov::{init_sedov, measure_shock_radius, sedov_shock_radius, sedov_xi0, SedovParams};
 pub use sponge::Sponge;

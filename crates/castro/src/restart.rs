@@ -9,7 +9,7 @@
 //! this via CRC digests).
 
 use crate::state::StateLayout;
-use exastro_amr::{AmrLevel, DistStrategy, DistributionMapping, Hierarchy, MultiFab};
+use exastro_amr::{AmrLevel, DistStrategy, DistributionMapping, Geometry, Hierarchy, MultiFab};
 use exastro_resilience::snapshot::{Clock, LevelSnapshot, Snapshot};
 
 /// Component names for the checkpoint header, in [`StateLayout`] order:
@@ -86,6 +86,19 @@ pub fn restore_hierarchy(
     let hier = Hierarchy::from_levels(levels, nranks, strategy, max_grid_size);
     let states = snap.levels.iter().map(|l| l.state.clone()).collect();
     (hier, states)
+}
+
+/// Capture a restartable snapshot of a *single-level* Castro run — the
+/// job-facing entry point the service scheduler uses for preemption
+/// checkpoints, where jobs run one level on one geometry. Equivalent to
+/// [`snapshot_hierarchy`] on a single-level hierarchy.
+pub fn snapshot_level(
+    geom: &Geometry,
+    state: &MultiFab,
+    clock: Clock,
+    layout: &StateLayout,
+) -> Snapshot {
+    Snapshot::single_level(geom.clone(), state.clone(), clock, variable_names(layout))
 }
 
 #[cfg(test)]

@@ -15,6 +15,7 @@
 pub mod fig2;
 pub mod fig3;
 pub mod model;
+pub mod ranks;
 pub mod workload;
 
 pub use fig2::{canonical_series, envelope_series, sedov_workload, ScalingPoint};
@@ -22,4 +23,5 @@ pub use fig3::{bubble_point, bubble_series, BubblePoint};
 pub use model::{
     CpuNodeReference, Machine, NetworkModel, NodeModel, RankComm, StepTime, StepWorkload,
 };
+pub use ranks::{RankLease, RankPool};
 pub use workload::{add_comm, exchange_comm, scale_comm};

@@ -1,0 +1,205 @@
+//! Rank pool: the machine as a schedulable resource.
+//!
+//! The performance model in [`crate::model`] prices *one* job's step on a
+//! set of ranks; a multi-tenant service needs the complementary view — the
+//! machine as a finite pool of GPU ranks that concurrent jobs lease and
+//! release. [`RankPool`] provides exactly that shard view: a fixed universe
+//! of rank ids (`nodes × gpus_per_node`), explicit leases, and enough
+//! bookkeeping (lowest-free-id placement, node spans) for a scheduler to
+//! reason about packing. It is deliberately mechanism-only: admission
+//! order, fair share, and preemption policy live in the scheduler that owns
+//! the pool, not here.
+
+use crate::model::Machine;
+
+/// A lease of specific rank ids, returned by [`RankPool::try_lease`] and
+/// surrendered back via [`RankPool::release`].
+///
+/// The ids are real positions in the modeled machine (`node =
+/// rank / gpus_per_node`), so two leases never alias and a job resumed
+/// after preemption generally lands on *different* ranks — which is safe
+/// precisely because the simulation state travels in checkpoints, not in
+/// rank-local memory.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RankLease {
+    ranks: Vec<usize>,
+}
+
+impl RankLease {
+    /// The leased rank ids, ascending.
+    pub fn ranks(&self) -> &[usize] {
+        &self.ranks
+    }
+
+    /// Number of ranks held.
+    pub fn len(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// True when the lease holds no ranks (never produced by `try_lease`).
+    pub fn is_empty(&self) -> bool {
+        self.ranks.is_empty()
+    }
+}
+
+/// A fixed pool of GPU ranks over a modeled machine.
+#[derive(Clone, Debug)]
+pub struct RankPool {
+    gpus_per_node: usize,
+    free: Vec<bool>,
+    leased: usize,
+}
+
+impl RankPool {
+    /// A pool spanning `nodes` nodes of `machine` (one rank per GPU).
+    pub fn new(machine: &Machine, nodes: usize) -> Self {
+        let g = machine.node.gpus_per_node.max(1);
+        RankPool {
+            gpus_per_node: g,
+            free: vec![true; nodes * g],
+            leased: 0,
+        }
+    }
+
+    /// A pool with an explicit rank count (for tests and synthetic sizing);
+    /// node spans assume `gpus_per_node` ranks per node.
+    pub fn with_ranks(nranks: usize, gpus_per_node: usize) -> Self {
+        RankPool {
+            gpus_per_node: gpus_per_node.max(1),
+            free: vec![true; nranks],
+            leased: 0,
+        }
+    }
+
+    /// Total ranks in the pool.
+    pub fn total(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Ranks currently leased out.
+    pub fn leased(&self) -> usize {
+        self.leased
+    }
+
+    /// Ranks currently available.
+    pub fn available(&self) -> usize {
+        self.free.len() - self.leased
+    }
+
+    /// Ranks per node assumed by [`RankPool::nodes_spanned`].
+    pub fn gpus_per_node(&self) -> usize {
+        self.gpus_per_node
+    }
+
+    /// Lease `n` ranks, lowest free ids first. Returns `None` (leaving the
+    /// pool untouched) when fewer than `n` ranks are free or `n == 0`.
+    pub fn try_lease(&mut self, n: usize) -> Option<RankLease> {
+        if n == 0 || n > self.available() {
+            return None;
+        }
+        let mut ranks = Vec::with_capacity(n);
+        for (id, free) in self.free.iter_mut().enumerate() {
+            if *free {
+                *free = false;
+                ranks.push(id);
+                if ranks.len() == n {
+                    break;
+                }
+            }
+        }
+        debug_assert_eq!(ranks.len(), n);
+        self.leased += n;
+        Some(RankLease { ranks })
+    }
+
+    /// Return a lease's ranks to the pool.
+    ///
+    /// # Panics
+    /// Panics if the lease holds a rank that is not currently leased (a
+    /// double release or a lease from a different pool) — both are
+    /// scheduler bugs worth failing loudly on.
+    pub fn release(&mut self, lease: RankLease) {
+        for id in &lease.ranks {
+            assert!(
+                !self.free[*id],
+                "rank {id} released while not leased (double release?)"
+            );
+            self.free[*id] = true;
+        }
+        self.leased -= lease.ranks.len();
+    }
+
+    /// Number of distinct nodes a lease touches — the `nodes` a scheduler
+    /// should charge when pricing the lease's I/O and collectives.
+    pub fn nodes_spanned(&self, lease: &RankLease) -> usize {
+        let mut nodes: Vec<usize> = lease.ranks.iter().map(|r| r / self.gpus_per_node).collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_sizes_from_machine() {
+        let m = Machine::summit();
+        let pool = RankPool::new(&m, 4);
+        assert_eq!(pool.total(), 4 * m.node.gpus_per_node);
+        assert_eq!(pool.available(), pool.total());
+        assert_eq!(pool.leased(), 0);
+    }
+
+    #[test]
+    fn lease_release_round_trip_lowest_ids_first() {
+        let mut pool = RankPool::with_ranks(8, 4);
+        let a = pool.try_lease(3).unwrap();
+        assert_eq!(a.ranks(), &[0, 1, 2]);
+        let b = pool.try_lease(2).unwrap();
+        assert_eq!(b.ranks(), &[3, 4]);
+        assert_eq!(pool.available(), 3);
+        pool.release(a);
+        assert_eq!(pool.available(), 6);
+        // Freed ids are reusable, still lowest-first.
+        let c = pool.try_lease(4).unwrap();
+        assert_eq!(c.ranks(), &[0, 1, 2, 5]);
+        pool.release(b);
+        pool.release(c);
+        assert_eq!(pool.available(), 8);
+    }
+
+    #[test]
+    fn oversubscription_is_refused_not_partial() {
+        let mut pool = RankPool::with_ranks(4, 4);
+        let a = pool.try_lease(3).unwrap();
+        assert!(pool.try_lease(2).is_none());
+        assert_eq!(pool.available(), 1, "failed lease must not consume ranks");
+        assert!(pool.try_lease(0).is_none());
+        pool.release(a);
+    }
+
+    #[test]
+    fn nodes_spanned_counts_distinct_nodes() {
+        let mut pool = RankPool::with_ranks(12, 6);
+        let a = pool.try_lease(6).unwrap(); // ranks 0..6 = node 0
+        assert_eq!(pool.nodes_spanned(&a), 1);
+        let b = pool.try_lease(2).unwrap(); // ranks 6,7 = node 1
+        assert_eq!(pool.nodes_spanned(&b), 1);
+        pool.release(a);
+        let c = pool.try_lease(8).unwrap(); // 0..6 + 8,9 → spans both nodes
+        assert_eq!(pool.nodes_spanned(&c), 2);
+        pool.release(b);
+        pool.release(c);
+    }
+
+    #[test]
+    #[should_panic(expected = "double release")]
+    fn double_release_panics() {
+        let mut pool = RankPool::with_ranks(4, 4);
+        let a = pool.try_lease(2).unwrap();
+        pool.release(a.clone());
+        pool.release(a);
+    }
+}

@@ -489,34 +489,6 @@ impl BdfIntegrator {
             .sqrt()
     }
 
-    /// Deprecated accumulate-into-caller-stats entry point. The unified
-    /// [`BdfIntegrator::integrate`] always returns stats — on failure they
-    /// ride on [`BdfError::stats`] — so a separate accumulating variant is
-    /// no longer needed; use [`BdfStats::merge`] to accumulate.
-    #[deprecated(
-        since = "0.5.0",
-        note = "use `integrate` (stats are always returned; errors carry them too) and `BdfStats::merge`"
-    )]
-    pub fn integrate_with_stats(
-        &self,
-        sys: &dyn OdeSystem,
-        t0: f64,
-        tend: f64,
-        y: &mut [f64],
-        stats: &mut BdfStats,
-    ) -> Result<(), BdfError> {
-        match self.integrate(sys, t0, tend, y) {
-            Ok(s) => {
-                stats.merge(&s);
-                Ok(())
-            }
-            Err(e) => {
-                stats.merge(&e.stats);
-                Err(e)
-            }
-        }
-    }
-
     /// Integrate `sys` from `t0` to `tend`, updating `y` in place. Returns
     /// the work statistics on success; on failure the returned
     /// [`BdfError`] carries both the error kind and the statistics of the

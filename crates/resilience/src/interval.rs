@@ -47,6 +47,61 @@ pub fn expected_waste(tau: f64, mtbf: f64, ckpt_cost: f64) -> f64 {
     ckpt_cost / tau + tau / (2.0 * mtbf)
 }
 
+/// What the Young/Daly model needs to know about one job: its footprint on
+/// the machine and its failure/step timescales. Everything a driver or the
+/// service scheduler already tracks.
+#[derive(Clone, Copy, Debug)]
+pub struct JobProfile {
+    /// Nodes the job occupies (sets both checkpoint bandwidth and the
+    /// job's share of machine failures).
+    pub nodes: usize,
+    /// Bytes one checkpoint of this job writes (e.g.
+    /// [`crate::snapshot::Snapshot::payload_bytes`]).
+    pub checkpoint_bytes: u64,
+    /// Mean time between failures of a *single* node, seconds. The job's
+    /// effective MTBF is this divided by `nodes`.
+    pub per_node_mtbf_s: f64,
+    /// Wall seconds one simulation step costs (used to convert the optimal
+    /// interval into a step cadence).
+    pub step_wall_s: f64,
+}
+
+impl Default for JobProfile {
+    fn default() -> Self {
+        JobProfile {
+            nodes: 1,
+            checkpoint_bytes: 0,
+            // 10-year per-node MTBF: the exascale sizing used throughout
+            // the paper discussion (machine MTBF shrinks as 1/N from here).
+            per_node_mtbf_s: 10.0 * 365.0 * 86_400.0,
+            step_wall_s: 1.0,
+        }
+    }
+}
+
+/// The Young-optimal checkpoint interval for `job` on `machine`, seconds:
+/// `sqrt(2·M·C)` with `M = per_node_mtbf / nodes` and `C` the machine
+/// model's cost of writing the job's checkpoint from its nodes. This is the
+/// drivers' *default* cadence — an explicitly configured cadence always
+/// overrides it. Returns 0 when the job writes no checkpoint bytes.
+pub fn suggest_interval(machine: &exastro_machine::Machine, job: &JobProfile) -> f64 {
+    let cost_s = machine.checkpoint_write_us(job.checkpoint_bytes, job.nodes.max(1)) * 1e-6;
+    let mtbf_s = job.per_node_mtbf_s / job.nodes.max(1) as f64;
+    interval(mtbf_s, cost_s)
+}
+
+/// [`suggest_interval`] converted to a step cadence (steps between
+/// checkpoints), clamped to at least 1. With degenerate inputs (zero-cost
+/// checkpoints or non-positive step time) it returns 1: checkpointing every
+/// step is the safe fallback when the model has nothing to optimize.
+pub fn suggest_cadence_steps(machine: &exastro_machine::Machine, job: &JobProfile) -> u64 {
+    let tau = suggest_interval(machine, job);
+    if tau <= 0.0 || job.step_wall_s <= 0.0 {
+        return 1;
+    }
+    ((tau / job.step_wall_s).round() as u64).max(1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -82,6 +137,62 @@ mod tests {
         // C ≥ 2M: degenerate regime pins to MTBF.
         assert_eq!(daly_interval(100.0, 500.0), 100.0);
         assert_eq!(daly_interval(-1.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn suggest_interval_matches_closed_form_optimum() {
+        let machine = exastro_machine::Machine::summit();
+        let job = JobProfile {
+            nodes: 64,
+            checkpoint_bytes: 1 << 30,
+            per_node_mtbf_s: 10.0 * 365.0 * 86_400.0,
+            step_wall_s: 2.0,
+        };
+        // Closed form: τ = sqrt(2·M·C) with the machine model's own C.
+        let c = machine.checkpoint_write_us(job.checkpoint_bytes, job.nodes) * 1e-6;
+        let m = job.per_node_mtbf_s / job.nodes as f64;
+        let expected = (2.0 * m * c).sqrt();
+        let tau = suggest_interval(&machine, &job);
+        assert!(
+            (tau - expected).abs() < 1e-9 * expected,
+            "suggest_interval {tau} != closed form {expected}"
+        );
+        // And it really is the first-order optimum: no scanned cadence
+        // beats it for waste.
+        let w_opt = expected_waste(tau, m, c);
+        let mut t = tau / 20.0;
+        while t < 20.0 * tau {
+            assert!(expected_waste(t, m, c) >= w_opt - 1e-12);
+            t *= 1.1;
+        }
+        // Step cadence is the interval divided by the step cost.
+        let steps = suggest_cadence_steps(&machine, &job);
+        assert_eq!(steps, (tau / job.step_wall_s).round() as u64);
+        assert!(steps >= 1);
+        // Degenerate job: unknown step cost → checkpoint every step.
+        let nop = JobProfile {
+            step_wall_s: 0.0,
+            ..job
+        };
+        assert_eq!(suggest_cadence_steps(&machine, &nop), 1);
+    }
+
+    #[test]
+    fn suggested_cadence_shrinks_as_the_job_grows() {
+        // Bigger jobs see more failures (MTBF/N) — the suggested interval
+        // must shrink even as checkpoint bandwidth grows with nodes.
+        let machine = exastro_machine::Machine::summit();
+        let small = JobProfile {
+            nodes: 8,
+            checkpoint_bytes: 1 << 28,
+            ..Default::default()
+        };
+        let big = JobProfile {
+            nodes: 4096,
+            checkpoint_bytes: 1 << 28,
+            ..Default::default()
+        };
+        assert!(suggest_interval(&machine, &big) < suggest_interval(&machine, &small));
     }
 
     #[test]

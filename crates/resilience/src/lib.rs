@@ -37,7 +37,9 @@ pub mod recovery;
 pub mod snapshot;
 
 pub use faults::{flip_bit, tear_rename, truncate_file, KillSchedule};
-pub use interval::{daly_interval, expected_waste, interval};
+pub use interval::{
+    daly_interval, expected_waste, interval, suggest_cadence_steps, suggest_interval, JobProfile,
+};
 pub use manager::{CheckpointManager, Error, ManagerStats, RetryPolicy};
 pub use manifest::{crc32, Manifest};
 pub use recovery::{write_emergency, RecoveryOptions};

@@ -1,0 +1,480 @@
+//! One admitted job: its physics state, driver glue, and checkpoint
+//! lifecycle.
+//!
+//! A [`Job`] owns everything a simulation needs (EOS, network, state,
+//! geometry, base state for low-Mach runs) and is advanced in *slices* —
+//! a few steps per scheduling quantum — by a driver built fresh per slice
+//! borrowing the job's physics. The per-job [`StepRecorder`] travels into
+//! and back out of each transient driver, so step ordinals and the run
+//! clock stay continuous across slices, preemptions, and resumes.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use exastro_amr::{BcSpec, BoxArray, CoordSys, Geometry, IndexBox, MultiFab};
+use exastro_castro::{
+    init_collision, init_sedov, snapshot_level, Castro, CollisionParams, Floors, Gravity,
+    GravityMode, SedovParams, StateLayout,
+};
+use exastro_maestro::{
+    init_bubble, restore_base_state, snapshot_run, BaseState, BubbleParams, LmLayout, Maestro,
+};
+use exastro_microphysics::{
+    Composition, Eos, GammaLaw, Network, RetryLadder, SolverChoice, StellarEos,
+};
+use exastro_resilience::recovery::RecoveryOptions;
+use exastro_resilience::snapshot::{digest_multifab, Clock, Snapshot};
+use exastro_resilience::CheckpointManager;
+use exastro_telemetry::{JsonlSink, MemorySink, MetricsSink, MultiSink, StepRecorder};
+
+use crate::spec::{JobId, JobSpec, Scenario};
+use exastro_castro::BurnOptions;
+
+/// How a slice of execution ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum SliceStatus {
+    /// The job ran its quantum and has steps left.
+    Ran,
+    /// The job reached its requested step count.
+    Finished,
+    /// The driver reported an unrecoverable error; the job is dead.
+    Failed(String),
+}
+
+/// Scenario-specific physics payload.
+pub(crate) enum Physics {
+    /// Compressible (Castro) scenarios.
+    Castro(StateLayout),
+    /// Low-Mach (MAESTROeX) scenarios, which carry a 1-D base state.
+    Maestro { layout: LmLayout, base: BaseState },
+}
+
+/// One admitted job and everything needed to advance, checkpoint, and
+/// resume it.
+pub(crate) struct Job {
+    pub id: JobId,
+    pub spec: JobSpec,
+    pub geom: Geometry,
+    pub state: MultiFab,
+    pub physics: Physics,
+    pub clock: Clock,
+    eos: Box<dyn Eos + Send + Sync>,
+    net: Box<dyn Network + Send + Sync>,
+    /// Persistent per-job recorder: ordinals continue across slices.
+    recorder: StepRecorder,
+    /// In-memory copy of every step record, aggregated into the report.
+    pub memory: Arc<MemorySink>,
+    /// Lazily created per-job checkpoint directory manager.
+    ckpt: Option<CheckpointManager>,
+    ckpt_dir: PathBuf,
+    /// Steps between scheduled checkpoints (Young/Daly unless overridden).
+    pub ckpt_every: u64,
+    /// Ranks this job leases while running.
+    pub ranks_needed: usize,
+    /// Modeled machine time one step costs, microseconds.
+    pub step_sim_us: f64,
+    /// Modeled machine time consumed so far, microseconds.
+    pub sim_us: f64,
+    /// Weighted fair-share virtual time (sim-us received / weight).
+    pub vtime: f64,
+    /// Times this job has been checkpointed off the machine.
+    pub preemptions: u32,
+    /// Admission order (fair-share tiebreak).
+    pub submit_seq: u64,
+    /// Wall-clock submit instant (job latency measurement).
+    pub submitted_at: std::time::Instant,
+    /// Scheduling rounds the job has been overtaken while queued.
+    pub bypassed: u32,
+    /// True between a preemption and the matching resume: the field data
+    /// lives only in the checkpoint, not in memory.
+    evicted: bool,
+}
+
+/// Per-scenario dt cap (numerical hygiene for the violent first steps;
+/// mirrors what the standalone examples use).
+fn dt_cap(s: Scenario) -> f64 {
+    match s {
+        Scenario::SedovBlast => 2e-3,
+        Scenario::ReactingBubble => 4e-3,
+        Scenario::WdCollision => f64::INFINITY,
+        Scenario::XrbFlame => f64::INFINITY,
+    }
+}
+
+/// Initialize an accreted helium layer igniting at its base: an
+/// X-ray-burst flame column. Plane-parallel, hot (`3×10⁸ K`) below a
+/// tanh interface, cool (`10⁸ K`) above, pure helium fuel.
+fn init_xrb(
+    state: &mut MultiFab,
+    geom: &Geometry,
+    layout: &StateLayout,
+    eos: &dyn Eos,
+    net: &dyn Network,
+) {
+    let ihe = net
+        .species()
+        .iter()
+        .position(|s| s.name == "he4")
+        .expect("xrb_flame needs he4 (validated at submit)");
+    let mut x = vec![0.0; layout.nspec];
+    x[ihe] = 1.0;
+    let comp = Composition::from_mass_fractions(net.species(), &x);
+    let zlo = geom.prob_lo()[2];
+    let height = geom.prob_length(2);
+    for i in 0..state.nfabs() {
+        let vb = state.valid_box(i);
+        for iv in vb.iter() {
+            let z = (geom.cell_center(iv)[2] - zlo) / height;
+            // Hot ignition layer at the base, tanh edge at z = 0.2.
+            let hot = 0.5 * (1.0 - ((z - 0.2) / 0.08).tanh());
+            let t = 1e8 + 2e8 * hot;
+            let rho = 5e5 * (1.0 - 0.4 * z);
+            let r = eos.eval_rt(rho, t, &comp);
+            let fab = state.fab_mut(i);
+            fab.set(iv, StateLayout::RHO, rho);
+            fab.set(iv, StateLayout::MX, 0.0);
+            fab.set(iv, StateLayout::MY, 0.0);
+            fab.set(iv, StateLayout::MZ, 0.0);
+            fab.set(iv, StateLayout::EDEN, rho * r.e);
+            fab.set(iv, StateLayout::EINT, rho * r.e);
+            fab.set(iv, StateLayout::TEMP, t);
+            for (s, xs) in x.iter().enumerate() {
+                fab.set(iv, layout.spec(s), rho * xs);
+            }
+        }
+    }
+}
+
+impl Job {
+    /// Build the job's initial condition and telemetry plumbing.
+    ///
+    /// `jsonl_dir`, when set, receives a `job-NNNN.steps.jsonl` stream;
+    /// step records always also land in the in-memory sink for the
+    /// service report.
+    pub(crate) fn build(
+        id: JobId,
+        spec: JobSpec,
+        ranks_needed: usize,
+        submit_seq: u64,
+        ckpt_root: &std::path::Path,
+        jsonl_dir: Option<&std::path::Path>,
+    ) -> Result<Job, String> {
+        let n = spec.resolution;
+        let net = spec.network.build();
+        let (eos, geom, state, physics): (Box<dyn Eos + Send + Sync>, Geometry, MultiFab, Physics) =
+            match spec.scenario {
+                Scenario::SedovBlast => {
+                    let eos = GammaLaw::monatomic();
+                    let layout = StateLayout::new(net.nspec());
+                    let geom = Geometry::cube(n, 1.0, false);
+                    let ba = BoxArray::decompose(geom.domain(), 12, 4);
+                    let mut state = MultiFab::local(ba, layout.ncomp(), 2);
+                    init_sedov(&mut state, &geom, &layout, &eos, &SedovParams::default());
+                    (Box::new(eos), geom, state, Physics::Castro(layout))
+                }
+                Scenario::WdCollision => {
+                    let eos = StellarEos;
+                    let layout = StateLayout::new(net.nspec());
+                    let params = CollisionParams {
+                        v_approach: 6e8,
+                        separation: 3.0,
+                        ..Default::default()
+                    };
+                    let half_width = 2.5 * params.radius;
+                    let geom = Geometry::new(
+                        IndexBox::cube(n),
+                        [-half_width; 3],
+                        [half_width; 3],
+                        [false; 3],
+                        CoordSys::Cartesian,
+                    );
+                    let ba = BoxArray::decompose(geom.domain(), 12, 4);
+                    let mut state = MultiFab::local(ba, layout.ncomp(), 2);
+                    init_collision(&mut state, &geom, &layout, &eos, &*net, &params);
+                    (Box::new(eos), geom, state, Physics::Castro(layout))
+                }
+                Scenario::XrbFlame => {
+                    let eos = StellarEos;
+                    let layout = StateLayout::new(net.nspec());
+                    // A 2×10³ cm column of the neutron-star envelope.
+                    let geom = Geometry::new(
+                        IndexBox::cube(n),
+                        [0.0; 3],
+                        [2e3; 3],
+                        [true, true, false],
+                        CoordSys::Cartesian,
+                    );
+                    let ba = BoxArray::decompose(geom.domain(), 12, 4);
+                    let mut state = MultiFab::local(ba, layout.ncomp(), 2);
+                    init_xrb(&mut state, &geom, &layout, &eos, &*net);
+                    (Box::new(eos), geom, state, Physics::Castro(layout))
+                }
+                Scenario::ReactingBubble => {
+                    let eos = StellarEos;
+                    let layout = LmLayout::new(net.nspec());
+                    let geom = Geometry::new(
+                        IndexBox::cube(n),
+                        [0.0; 3],
+                        [3.6e7; 3],
+                        [true, true, false],
+                        CoordSys::Cartesian,
+                    );
+                    let ba = BoxArray::decompose(geom.domain(), 12, 4);
+                    let mut state = MultiFab::local(ba, layout.ncomp(), 1);
+                    let base = init_bubble(
+                        &mut state,
+                        &geom,
+                        &layout,
+                        &eos,
+                        &*net,
+                        &BubbleParams::default(),
+                    );
+                    (
+                        Box::new(eos),
+                        geom,
+                        state,
+                        Physics::Maestro { layout, base },
+                    )
+                }
+            };
+
+        // Telemetry: in-memory always (feeds the report), JSONL when asked.
+        let memory = Arc::new(MemorySink::new());
+        let mut recorder = StepRecorder::new();
+        let mut sinks: Vec<Arc<dyn MetricsSink>> = vec![memory.clone()];
+        if let Some(dir) = jsonl_dir {
+            let path = dir.join(format!("{id}.steps.jsonl"));
+            let sink =
+                JsonlSink::create(&path).map_err(|e| format!("create {}: {e}", path.display()))?;
+            sinks.push(Arc::new(sink));
+        }
+        recorder.attach_sink(Arc::new(MultiSink::new(sinks)));
+
+        Ok(Job {
+            ckpt_dir: ckpt_root.join(id.to_string()),
+            id,
+            spec,
+            geom,
+            state,
+            physics,
+            clock: Clock::default(),
+            eos,
+            net,
+            recorder,
+            memory,
+            ckpt: None,
+            ckpt_every: 0, // set by the scheduler (Young/Daly or explicit)
+            ranks_needed,
+            step_sim_us: 0.0,
+            sim_us: 0.0,
+            vtime: 0.0,
+            preemptions: 0,
+            submit_seq,
+            submitted_at: std::time::Instant::now(),
+            bypassed: 0,
+            evicted: false,
+        })
+    }
+
+    /// CRC32 of the job's conserved state (bit-exactness probe).
+    pub(crate) fn state_digest(&self) -> u32 {
+        digest_multifab(&self.state)
+    }
+
+    /// Zones in the job's domain.
+    pub(crate) fn zones(&self) -> u64 {
+        let s = self.geom.domain().size();
+        (s.x() as u64) * (s.y() as u64) * (s.z() as u64)
+    }
+
+    /// Advance up to `quantum` steps. Checkpoints on the job's cadence.
+    pub(crate) fn run_slice(&mut self, quantum: u64) -> SliceStatus {
+        for _ in 0..quantum {
+            if self.clock.step >= self.spec.steps {
+                return SliceStatus::Finished;
+            }
+            if let Err(why) = self.step_once() {
+                return SliceStatus::Failed(why);
+            }
+            self.sim_us += self.step_sim_us;
+            if self.ckpt_every > 0 && self.clock.step.is_multiple_of(self.ckpt_every) {
+                if let Err(why) = self.checkpoint() {
+                    return SliceStatus::Failed(why);
+                }
+            }
+        }
+        if self.clock.step >= self.spec.steps {
+            SliceStatus::Finished
+        } else {
+            SliceStatus::Ran
+        }
+    }
+
+    fn step_once(&mut self) -> Result<(), String> {
+        let cap = dt_cap(self.spec.scenario);
+        let recorder = std::mem::take(&mut self.recorder);
+        let (result, recorder) = match &self.physics {
+            Physics::Castro(_) => {
+                let mut drv = Castro::new(&*self.eos, &*self.net);
+                self.configure_castro(&mut drv);
+                drv.telemetry = recorder;
+                let dt = drv.estimate_dt(&self.state, &self.geom).min(cap);
+                let r = drv
+                    .advance_level_safe(&mut self.state, &self.geom, dt)
+                    .map(|(_, dt_taken)| dt_taken)
+                    .map_err(|e| format!("{e}"));
+                (r, drv.telemetry)
+            }
+            Physics::Maestro { layout, base } => {
+                let drv = Maestro {
+                    layout: LmLayout::new(layout.nspec),
+                    eos: &*self.eos,
+                    net: &*self.net,
+                    base: base.clone(),
+                    cfl: 0.5,
+                    do_burn: true,
+                    burn_min_temp: 1e8,
+                    ladder: RetryLadder::default(),
+                    burn_solver: SolverChoice::default(),
+                    burn_faults: self.spec.burn_faults.clone(),
+                    burn_batch_width: 8,
+                    recovery: RecoveryOptions::default(),
+                    telemetry: recorder,
+                };
+                let dt = drv.estimate_dt(&self.state, &self.geom).min(cap);
+                let r = drv
+                    .advance_safe(&mut self.state, &self.geom, dt)
+                    .map(|(_, dt_taken)| dt_taken)
+                    .map_err(|e| format!("{e}"));
+                (r, drv.telemetry)
+            }
+        };
+        self.recorder = recorder;
+        let dt_taken = result?;
+        self.clock.step += 1;
+        self.clock.time += dt_taken;
+        self.clock.dt = dt_taken;
+        Ok(())
+    }
+
+    fn configure_castro<'a>(&self, drv: &mut Castro<'a>) {
+        match self.spec.scenario {
+            Scenario::SedovBlast => {
+                drv.hydro.cfl = 0.4;
+                drv.hydro.floors = Floors::dimensionless();
+                drv.bc = BcSpec::outflow();
+                // Burning only matters here when a fault drill asks for
+                // it: zero thresholds make every zone eligible, so the
+                // injected faults actually fire.
+                if self.spec.burn_faults.is_some() {
+                    drv.burn = Some(BurnOptions {
+                        min_temp: 0.0,
+                        min_dens: 0.0,
+                        faults: self.spec.burn_faults.clone(),
+                        ..Default::default()
+                    });
+                }
+            }
+            Scenario::WdCollision => {
+                drv.hydro.cfl = 0.2;
+                drv.gravity = Gravity {
+                    mode: GravityMode::Monopole,
+                    n_bins: 256,
+                };
+                drv.bc = BcSpec::outflow();
+                drv.burn = Some(BurnOptions {
+                    min_temp: 5e8,
+                    min_dens: 1e4,
+                    faults: self.spec.burn_faults.clone(),
+                    ..Default::default()
+                });
+            }
+            Scenario::XrbFlame => {
+                drv.bc = BcSpec::outflow();
+                drv.burn = Some(BurnOptions {
+                    min_temp: 1.5e8,
+                    min_dens: 1e2,
+                    faults: self.spec.burn_faults.clone(),
+                    ..Default::default()
+                });
+            }
+            Scenario::ReactingBubble => unreachable!("bubble runs on maestro"),
+        }
+    }
+
+    fn snapshot(&self) -> Snapshot {
+        match &self.physics {
+            Physics::Castro(layout) => snapshot_level(&self.geom, &self.state, self.clock, layout),
+            Physics::Maestro { layout, base } => {
+                snapshot_run(&self.geom, &self.state, base, self.clock, layout)
+            }
+        }
+    }
+
+    fn manager(&mut self) -> Result<&CheckpointManager, String> {
+        if self.ckpt.is_none() {
+            let mgr = CheckpointManager::new(&self.ckpt_dir)
+                .map_err(|e| format!("checkpoint root {}: {e}", self.ckpt_dir.display()))?
+                .keep_last(2);
+            self.ckpt = Some(mgr);
+        }
+        Ok(self.ckpt.as_ref().unwrap())
+    }
+
+    /// Write a durable checkpoint of the current state.
+    pub(crate) fn checkpoint(&mut self) -> Result<(), String> {
+        let snap = self.snapshot();
+        self.manager()?
+            .write(&snap)
+            .map(|_| ())
+            .map_err(|e| format!("checkpoint write: {e}"))
+    }
+
+    /// Checkpoint bytes one snapshot of this job carries (Young/Daly `C`).
+    pub(crate) fn checkpoint_bytes(&self) -> u64 {
+        self.snapshot().payload_bytes()
+    }
+
+    /// Evict the job from the machine: checkpoint, then drop the
+    /// in-memory field data. The job is now resumable from disk only —
+    /// which is the point: a migrated job must carry no rank-local state.
+    pub(crate) fn preempt(&mut self) -> Result<(), String> {
+        self.checkpoint()?;
+        self.preemptions += 1;
+        // Shrink the in-memory state to a stub so a bug that "resumes"
+        // without restoring fails loudly instead of silently reusing the
+        // old memory — the migrated job must carry no rank-local state.
+        self.state = MultiFab::local(BoxArray::decompose(IndexBox::cube(1), 1, 1), 1, 0);
+        self.evicted = true;
+        Ok(())
+    }
+
+    /// Restore state from the newest intact checkpoint (after preemption,
+    /// possibly onto different ranks — the state travels on disk).
+    pub(crate) fn resume(&mut self) -> Result<(), String> {
+        let snap = self
+            .manager()?
+            .resume()
+            .map_err(|e| format!("resume: {e}"))?;
+        if let Physics::Maestro { base, .. } = &mut self.physics {
+            *base = restore_base_state(&snap).ok_or("checkpoint missing base state")?;
+        }
+        let lvl = &snap.levels[0];
+        self.geom = lvl.geom.clone();
+        self.state = lvl.state.clone();
+        self.clock = snap.clock;
+        self.evicted = false;
+        Ok(())
+    }
+
+    /// Whether the job's field data lives only in its checkpoint (true
+    /// between a preemption and the matching resume).
+    pub(crate) fn is_evicted(&self) -> bool {
+        self.evicted
+    }
+
+    /// Flush the job's telemetry stream.
+    pub(crate) fn flush_telemetry(&self) {
+        self.recorder.flush();
+    }
+}

@@ -1,0 +1,48 @@
+//! # exastro-service
+//!
+//! Simulation-as-a-service: a multi-tenant job runtime over the cluster
+//! simulator. The ROADMAP's north star is a production system serving
+//! heavy traffic — campaigns of many independent runs across scenarios,
+//! networks, and node counts (Katz et al. §IV) — not one bulk-synchronous
+//! job at a time. This crate composes the pieces earlier PRs built into
+//! that serving layer:
+//!
+//! - **Admission**: [`Service::submit`] takes a [`JobSpec`] (scenario ×
+//!   network × resolution × nodes × priority) through a *bounded* queue;
+//!   a full queue answers [`SubmitError::QueueFull`] — backpressure, not
+//!   buffering without limit.
+//! - **Placement**: jobs gang-lease ranks from a
+//!   [`exastro_machine::RankPool`] over the modeled machine and advance
+//!   concurrently on the worker pool (`exastro_parallel`), a few steps
+//!   per scheduling quantum, through the transactional
+//!   `advance_level_safe`/`advance_safe` drivers.
+//! - **Fair share**: weighted by [`PriorityClass`] (virtual time = work
+//!   received / weight), with a bypass-count starvation guard that lets a
+//!   repeatedly-overtaken job reserve the pool.
+//! - **Preemption**: a strictly-higher-class arrival on a full pool
+//!   checkpoints a victim off the machine
+//!   (`exastro_resilience::CheckpointManager`), requeues it, and resumes
+//!   it later — generally on different ranks. Bit-exact restart makes the
+//!   migration invisible to the answer, and the integration tests prove
+//!   it by digest.
+//! - **Cadence**: each job's default checkpoint interval is the
+//!   Young/Daly optimum for *its* footprint on *this* machine
+//!   ([`exastro_resilience::interval::suggest_cadence_steps`]); an
+//!   explicit `ckpt_every` overrides.
+//! - **Telemetry**: per-job `StepRecorder` streams (JSONL per job plus an
+//!   in-memory sink), service counters (`service.submitted`,
+//!   `service.completed`, `service.failed`, `service.preempted`,
+//!   `service.rejected`), and a [`ServiceReport`] with jobs/hour, latency
+//!   percentiles, and rank utilization.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod job;
+pub mod report;
+pub mod scheduler;
+pub mod spec;
+
+pub use report::{JobOutcome, JobRecord, ServiceReport};
+pub use scheduler::{Service, ServiceConfig};
+pub use spec::{JobId, JobSpec, NetChoice, PriorityClass, Scenario, SubmitError};

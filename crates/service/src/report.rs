@@ -1,0 +1,156 @@
+//! Service-level and per-job summaries.
+
+use crate::spec::{JobId, NetChoice, PriorityClass, Scenario};
+
+/// How a job ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// Ran all requested steps.
+    Completed,
+    /// Died on an unrecoverable driver error (the message says why).
+    Failed(String),
+}
+
+/// Terminal record of one job.
+#[derive(Clone, Debug)]
+pub struct JobRecord {
+    /// Service-assigned id.
+    pub id: JobId,
+    /// Scenario the job ran.
+    pub scenario: Scenario,
+    /// Network it burned with.
+    pub network: NetChoice,
+    /// Deadline/priority class.
+    pub priority: PriorityClass,
+    /// Zones per side.
+    pub resolution: i32,
+    /// Nodes requested.
+    pub nodes: usize,
+    /// Ranks leased while running.
+    pub ranks: usize,
+    /// Steps actually completed.
+    pub steps_done: u64,
+    /// Steps the spec asked for.
+    pub steps_requested: u64,
+    /// Completed or failed (with reason).
+    pub outcome: JobOutcome,
+    /// Times the job was checkpointed off the machine for a higher class.
+    pub preemptions: u32,
+    /// Submit → terminal wall seconds.
+    pub latency_s: f64,
+    /// Whether the soft deadline was met (when one was set).
+    pub deadline_met: Option<bool>,
+    /// Checkpoint cadence used (Young/Daly unless the spec overrode it).
+    pub ckpt_every: u64,
+    /// CRC32 of the final conserved state (bit-exactness probe).
+    pub final_digest: u32,
+    /// Modeled machine microseconds consumed.
+    pub sim_us: f64,
+    /// Zones in the job's domain.
+    pub zones: u64,
+    /// Step-metrics records captured for this job.
+    pub step_records: u64,
+}
+
+/// Point-in-time service summary (see [`crate::Service::report`]).
+#[derive(Clone, Debug)]
+pub struct ServiceReport {
+    /// Wall seconds since the service started.
+    pub wall_s: f64,
+    /// Jobs ever submitted (admitted or not).
+    pub submitted: u64,
+    /// Submissions refused (backpressure or invalid spec).
+    pub rejected: u64,
+    /// Jobs that ran to completion.
+    pub completed: usize,
+    /// Jobs that died on a driver error.
+    pub failed: usize,
+    /// Preemption events (checkpoint → requeue → resume elsewhere).
+    pub preemptions: u64,
+    /// Jobs waiting right now.
+    pub queue_depth: usize,
+    /// Deepest the queue ever got.
+    pub queue_peak: usize,
+    /// The configured admission bound.
+    pub queue_bound: usize,
+    /// Jobs on the machine right now.
+    pub running: usize,
+    /// Ranks in the pool.
+    pub total_ranks: usize,
+    /// Leased rank-seconds over available rank-seconds, 0..1.
+    pub rank_utilization: f64,
+    /// Completed jobs per hour of service wall time.
+    pub jobs_per_hour: f64,
+    /// Median completed-job latency, seconds.
+    pub latency_p50_s: f64,
+    /// 99th-percentile completed-job latency, seconds.
+    pub latency_p99_s: f64,
+    /// Terminal records, in completion order.
+    pub jobs: Vec<JobRecord>,
+}
+
+impl std::fmt::Display for ServiceReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "service: {:.2}s wall | {} submitted ({} rejected) | {} completed, {} failed | \
+             {} preemption(s)",
+            self.wall_s,
+            self.submitted,
+            self.rejected,
+            self.completed,
+            self.failed,
+            self.preemptions
+        )?;
+        writeln!(
+            f,
+            "queue: depth {} (peak {}, bound {}) | running {} | {} ranks at {:.1}% utilization",
+            self.queue_depth,
+            self.queue_peak,
+            self.queue_bound,
+            self.running,
+            self.total_ranks,
+            100.0 * self.rank_utilization
+        )?;
+        writeln!(
+            f,
+            "throughput: {:.1} jobs/hour | latency p50 {:.3}s p99 {:.3}s",
+            self.jobs_per_hour, self.latency_p50_s, self.latency_p99_s
+        )?;
+        writeln!(
+            f,
+            "{:>9} {:>16} {:>12} {:>7} {:>6} {:>6} {:>6} {:>7} {:>9} {:>9}",
+            "job",
+            "scenario",
+            "net",
+            "class",
+            "res",
+            "steps",
+            "preempt",
+            "ckpt",
+            "latency",
+            "outcome"
+        )?;
+        for r in &self.jobs {
+            let outcome = match &r.outcome {
+                JobOutcome::Completed => "ok".to_string(),
+                JobOutcome::Failed(_) => "FAILED".to_string(),
+            };
+            writeln!(
+                f,
+                "{:>9} {:>16} {:>12} {:>7} {:>6} {:>6} {:>7} {:>7} {:>8.3}s {:>9}",
+                r.id.to_string(),
+                r.scenario.name(),
+                r.network.name(),
+                r.priority.name(),
+                r.resolution,
+                r.steps_done,
+                r.preemptions,
+                r.ckpt_every,
+                r.latency_s,
+                outcome
+            )?;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,498 @@
+//! The multi-tenant scheduler: bounded admission, weighted fair share,
+//! gang placement on the rank pool, and checkpoint-based preemption.
+//!
+//! One [`Service::tick`] is a scheduling quantum:
+//!
+//! 1. **Account** rank-seconds leased since the last tick (utilization).
+//! 2. **Place** waiting jobs in fair-share order (lowest virtual time
+//!    first; class weight, then submit order break ties). A job that
+//!    cannot fit is skipped — but only [`ServiceConfig::bypass_limit`]
+//!    times: after that the queue head *reserves* the pool (no later job
+//!    may jump it), which bounds waiting time and kills starvation.
+//! 3. **Preempt** when the best waiting job outranks (strictly) the
+//!    weakest running job and the pool cannot fit it: victims are
+//!    checkpointed via [`exastro_resilience::CheckpointManager`],
+//!    evicted, and requeued; the freed ranks go to the high job. A job
+//!    is preempted at most [`ServiceConfig::max_preemptions`] times,
+//!    then becomes immune (no preemption livelock).
+//! 4. **Run** every placed job one slice (a few steps) concurrently on
+//!    the worker pool; a resumed job restores from its newest intact
+//!    checkpoint first — generally onto *different* ranks, which is safe
+//!    because restarts are bit-exact.
+//! 5. **Retire** finished and failed jobs (release ranks, final record).
+
+use std::collections::VecDeque;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use exastro_machine::{sedov_workload, Machine, RankLease, RankPool};
+use exastro_parallel::par_each_mut;
+use exastro_resilience::interval::{suggest_cadence_steps, JobProfile};
+use exastro_telemetry::{counter_add, Telemetry};
+
+use crate::job::{Job, SliceStatus};
+use crate::report::{JobOutcome, JobRecord, ServiceReport};
+use crate::spec::{JobId, JobSpec, SubmitError};
+
+/// Service knobs. Defaults give a one-node pool with a small queue —
+/// the shape the examples and tests use; production sizing scales
+/// `nodes` and `queue_bound` up.
+pub struct ServiceConfig {
+    /// The modeled machine supplying ranks and checkpoint pricing.
+    pub machine: Machine,
+    /// Nodes in the rank pool (`nodes × gpus_per_node` ranks).
+    pub nodes: usize,
+    /// Admission queue bound; submits beyond it get backpressure.
+    pub queue_bound: usize,
+    /// Steps per scheduling quantum for each running job.
+    pub slice_steps: u64,
+    /// Times one job may be preempted before it becomes immune.
+    pub max_preemptions: u32,
+    /// Times a queued job may be overtaken before it reserves the pool.
+    pub bypass_limit: u32,
+    /// Directory for per-job `job-NNNN.steps.jsonl` streams (`None`
+    /// keeps telemetry in memory only).
+    pub jsonl_dir: Option<PathBuf>,
+    /// Root directory for per-job checkpoint trees.
+    pub ckpt_root: PathBuf,
+    /// Per-node MTBF assumed by the Young/Daly cadence, seconds.
+    pub per_node_mtbf_s: f64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            machine: Machine::summit(),
+            nodes: 1,
+            queue_bound: 64,
+            slice_steps: 2,
+            max_preemptions: 2,
+            bypass_limit: 8,
+            jsonl_dir: None,
+            ckpt_root: std::env::temp_dir().join(format!("exastro_service_{}", std::process::id())),
+            per_node_mtbf_s: 10.0 * 365.0 * 86_400.0,
+        }
+    }
+}
+
+struct Running {
+    job: Job,
+    lease: RankLease,
+    status: SliceStatus,
+}
+
+/// The long-running job service.
+pub struct Service {
+    cfg: ServiceConfig,
+    pool: RankPool,
+    queue: VecDeque<Job>,
+    running: Vec<Running>,
+    records: Vec<JobRecord>,
+    next_id: u64,
+    submit_seq: u64,
+    started_at: Instant,
+    last_tick: Instant,
+    /// Σ (tick wall seconds × ranks leased) — utilization numerator.
+    leased_rank_seconds: f64,
+    queue_peak: usize,
+    submitted: u64,
+    rejected: u64,
+    preemptions: u64,
+}
+
+impl Service {
+    /// A service over `cfg`'s machine and knobs.
+    pub fn new(cfg: ServiceConfig) -> Service {
+        let pool = RankPool::new(&cfg.machine, cfg.nodes);
+        let now = Instant::now();
+        Service {
+            pool,
+            cfg,
+            queue: VecDeque::new(),
+            running: Vec::new(),
+            records: Vec::new(),
+            next_id: 0,
+            submit_seq: 0,
+            started_at: now,
+            last_tick: now,
+            leased_rank_seconds: 0.0,
+            queue_peak: 0,
+            submitted: 0,
+            rejected: 0,
+            preemptions: 0,
+        }
+    }
+
+    /// Total ranks in the pool.
+    pub fn total_ranks(&self) -> usize {
+        self.pool.total()
+    }
+
+    /// Jobs waiting for placement.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Jobs currently on the machine.
+    pub fn running_count(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Submit a job. `Err(QueueFull)` is backpressure — the spec was not
+    /// admitted and the caller should retry later; `Err(InvalidSpec)`
+    /// means the spec can never run here.
+    pub fn submit(&mut self, spec: JobSpec) -> Result<JobId, SubmitError> {
+        self.submitted += 1;
+        counter_add("service.submitted", 1);
+        if let Err(why) = spec.validate() {
+            self.rejected += 1;
+            counter_add("service.rejected", 1);
+            return Err(SubmitError::InvalidSpec(why));
+        }
+        let ranks_needed = spec.nodes * self.pool.gpus_per_node();
+        if ranks_needed > self.pool.total() {
+            self.rejected += 1;
+            counter_add("service.rejected", 1);
+            return Err(SubmitError::InvalidSpec(format!(
+                "job wants {ranks_needed} ranks but the pool has {}",
+                self.pool.total()
+            )));
+        }
+        if self.queue.len() >= self.cfg.queue_bound {
+            self.rejected += 1;
+            counter_add("service.rejected", 1);
+            return Err(SubmitError::QueueFull {
+                bound: self.cfg.queue_bound,
+            });
+        }
+        let id = JobId(self.next_id);
+        self.next_id += 1;
+        let seq = self.submit_seq;
+        self.submit_seq += 1;
+        if let Some(dir) = &self.cfg.jsonl_dir {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| SubmitError::InvalidSpec(format!("jsonl dir: {e}")))?;
+        }
+        let mut job = Job::build(
+            id,
+            spec,
+            ranks_needed,
+            seq,
+            &self.cfg.ckpt_root,
+            self.cfg.jsonl_dir.as_deref(),
+        )
+        .map_err(SubmitError::InvalidSpec)?;
+
+        // Price one step of this job on the modeled machine (the same
+        // workload builder the weak-scaling figures use) and derive the
+        // Young/Daly checkpoint cadence from it unless the tenant set one.
+        let wl = sedov_workload(
+            &self.cfg.machine,
+            job.spec.nodes,
+            job.spec.resolution,
+            12,
+            4,
+        );
+        job.step_sim_us = self.cfg.machine.simulate_step(&wl).total_us;
+        job.ckpt_every = match job.spec.ckpt_every {
+            Some(every) => every,
+            None => {
+                let profile = JobProfile {
+                    nodes: job.spec.nodes,
+                    checkpoint_bytes: job.checkpoint_bytes(),
+                    per_node_mtbf_s: self.cfg.per_node_mtbf_s,
+                    step_wall_s: job.step_sim_us * 1e-6,
+                };
+                suggest_cadence_steps(&self.cfg.machine, &profile)
+            }
+        };
+        counter_add("service.admitted", 1);
+        self.queue.push_back(job);
+        self.queue_peak = self.queue_peak.max(self.queue.len());
+        Ok(id)
+    }
+
+    /// Fair-share ordering key for a waiting job: lowest virtual time
+    /// first; heavier class, then earlier submission break ties.
+    fn share_key(job: &Job) -> (f64, f64, u64) {
+        (job.vtime, -job.spec.priority.weight(), job.submit_seq)
+    }
+
+    /// One scheduling quantum. Returns `false` once the service is idle
+    /// (nothing queued, nothing running).
+    pub fn tick(&mut self) -> bool {
+        // 1. Utilization accounting for the interval just elapsed.
+        let now = Instant::now();
+        let dt = now.duration_since(self.last_tick).as_secs_f64();
+        self.last_tick = now;
+        self.leased_rank_seconds += dt * self.pool.leased() as f64;
+
+        self.place_queued();
+        self.preempt_for_priority();
+        self.run_slices();
+        self.retire();
+
+        Telemetry::record_hist("service/queue_depth", self.queue.len() as f64);
+        Telemetry::record_hist("service/running", self.running.len() as f64);
+        !self.queue.is_empty() || !self.running.is_empty()
+    }
+
+    /// Drive ticks until idle or `max_ticks`; returns true if idle.
+    pub fn run_until_idle(&mut self, max_ticks: usize) -> bool {
+        for _ in 0..max_ticks {
+            if !self.tick() {
+                return true;
+            }
+        }
+        !self.tick()
+    }
+
+    fn place_queued(&mut self) {
+        // Sort a view of queue indices by fair-share key.
+        let mut order: Vec<usize> = (0..self.queue.len()).collect();
+        order.sort_by(|&a, &b| {
+            let ka = Self::share_key(&self.queue[a]);
+            let kb = Self::share_key(&self.queue[b]);
+            ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut placed: Vec<(usize, RankLease)> = Vec::new();
+        let mut blocked_reserver = false;
+        for &qi in &order {
+            if blocked_reserver {
+                // A starving job ahead of us has reserved the pool.
+                continue;
+            }
+            let need = self.queue[qi].ranks_needed;
+            if let Some(lease) = self.pool.try_lease(need) {
+                placed.push((qi, lease));
+            } else {
+                let job = &mut self.queue[qi];
+                job.bypassed += 1;
+                if job.bypassed > self.cfg.bypass_limit {
+                    // Starvation guard: nobody may overtake this job
+                    // anymore until it places.
+                    blocked_reserver = true;
+                }
+            }
+        }
+        // Pull the placed jobs out of the queue (descending index so the
+        // remaining indices stay valid; queue order is preserved).
+        placed.sort_by_key(|p| std::cmp::Reverse(p.0));
+        for (qi, lease) in placed {
+            let job = self.queue.remove(qi).expect("placed index in queue");
+            self.start(job, lease);
+        }
+    }
+
+    /// When the best waiting job strictly outranks the weakest running
+    /// job and cannot fit, checkpoint victims off the machine until it
+    /// fits (or no eligible victims remain).
+    fn preempt_for_priority(&mut self) {
+        loop {
+            // Highest-class waiting job that is not placeable right now.
+            let Some(qi) = (0..self.queue.len()).max_by_key(|&i| {
+                let j = &self.queue[i];
+                (j.spec.priority, std::cmp::Reverse(j.submit_seq))
+            }) else {
+                return;
+            };
+            let need = self.queue[qi].ranks_needed;
+            let class = self.queue[qi].spec.priority;
+            if self.pool.available() >= need {
+                // Fits without violence; the next place_queued gets it.
+                return;
+            }
+            // Victims: strictly lower class, not preemption-immune;
+            // weakest class first, then youngest (least sunk work).
+            let mut victims: Vec<usize> = (0..self.running.len())
+                .filter(|&i| {
+                    let j = &self.running[i].job;
+                    j.spec.priority < class && j.preemptions < self.cfg.max_preemptions
+                })
+                .collect();
+            victims.sort_by_key(|&i| {
+                let j = &self.running[i].job;
+                (j.spec.priority, std::cmp::Reverse(j.submit_seq))
+            });
+            let mut freed = self.pool.available();
+            let mut chosen: Vec<usize> = Vec::new();
+            for &vi in &victims {
+                if freed >= need {
+                    break;
+                }
+                freed += self.running[vi].lease.len();
+                chosen.push(vi);
+            }
+            if freed < need || chosen.is_empty() {
+                return; // not enough preemptible capacity — wait it out
+            }
+            // Evict chosen victims (checkpoint → release → requeue),
+            // highest index first so removals do not shift the others.
+            chosen.sort_unstable_by(|a, b| b.cmp(a));
+            for vi in chosen {
+                let mut r = self.running.swap_remove(vi);
+                match r.job.preempt() {
+                    Ok(()) => {
+                        self.preemptions += 1;
+                        counter_add("service.preempted", 1);
+                        self.pool.release(r.lease);
+                        self.queue.push_back(r.job);
+                        self.queue_peak = self.queue_peak.max(self.queue.len());
+                    }
+                    Err(why) => {
+                        // A job we cannot checkpoint cannot be moved;
+                        // fail it rather than lose its state silently.
+                        self.pool.release(r.lease);
+                        self.finish(r.job, JobOutcome::Failed(format!("preempt: {why}")));
+                    }
+                }
+            }
+            // Give the high job its ranks immediately.
+            if let Some(lease) = self.pool.try_lease(need) {
+                let job = self.queue.remove(qi).expect("high job in queue");
+                self.start(job, lease);
+            }
+        }
+    }
+
+    fn start(&mut self, mut job: Job, lease: RankLease) {
+        if job.is_evicted() {
+            if let Err(why) = job.resume() {
+                self.pool.release(lease);
+                self.finish(job, JobOutcome::Failed(format!("resume: {why}")));
+                return;
+            }
+        }
+        job.bypassed = 0;
+        self.running.push(Running {
+            job,
+            lease,
+            status: SliceStatus::Ran,
+        });
+    }
+
+    fn run_slices(&mut self) {
+        if self.running.is_empty() {
+            return;
+        }
+        let quantum = self.cfg.slice_steps.max(1);
+        // Concurrent slices on the worker pool: one task per running job.
+        par_each_mut(&mut self.running, |_, r| {
+            r.status = r.job.run_slice(quantum);
+        });
+        // Fair-share accounting (serial: needs &mut self bookkeeping).
+        for r in &mut self.running {
+            if r.status != SliceStatus::Ran {
+                continue;
+            }
+            let w = r.job.spec.priority.weight();
+            r.job.vtime += quantum as f64 * r.job.step_sim_us / w;
+        }
+    }
+
+    fn retire(&mut self) {
+        let mut i = 0;
+        while i < self.running.len() {
+            match &self.running[i].status {
+                SliceStatus::Ran => i += 1,
+                SliceStatus::Finished => {
+                    let r = self.running.swap_remove(i);
+                    self.pool.release(r.lease);
+                    self.finish(r.job, JobOutcome::Completed);
+                }
+                SliceStatus::Failed(why) => {
+                    let why = why.clone();
+                    let r = self.running.swap_remove(i);
+                    self.pool.release(r.lease);
+                    self.finish(r.job, JobOutcome::Failed(why));
+                }
+            }
+        }
+    }
+
+    fn finish(&mut self, job: Job, outcome: JobOutcome) {
+        match &outcome {
+            JobOutcome::Completed => counter_add("service.completed", 1),
+            JobOutcome::Failed(_) => counter_add("service.failed", 1),
+        }
+        job.flush_telemetry();
+        let latency_s = job.submitted_at.elapsed().as_secs_f64();
+        let deadline_met = job.spec.deadline_s.map(|d| latency_s <= d);
+        let steps = job.memory.snapshot();
+        self.records.push(JobRecord {
+            id: job.id,
+            scenario: job.spec.scenario,
+            network: job.spec.network,
+            priority: job.spec.priority,
+            resolution: job.spec.resolution,
+            nodes: job.spec.nodes,
+            ranks: job.ranks_needed,
+            steps_done: job.clock.step,
+            steps_requested: job.spec.steps,
+            outcome,
+            preemptions: job.preemptions,
+            latency_s,
+            deadline_met,
+            ckpt_every: job.ckpt_every,
+            final_digest: job.state_digest(),
+            sim_us: job.sim_us,
+            zones: job.zones(),
+            step_records: steps.len() as u64,
+        });
+    }
+
+    /// The service-level summary (jobs/hour, latency percentiles, rank
+    /// utilization, and every terminal job record).
+    pub fn report(&self) -> ServiceReport {
+        let wall_s = self.started_at.elapsed().as_secs_f64();
+        let mut latencies: Vec<f64> = self
+            .records
+            .iter()
+            .filter(|r| matches!(r.outcome, JobOutcome::Completed))
+            .map(|r| r.latency_s)
+            .collect();
+        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let completed = latencies.len();
+        let failed = self
+            .records
+            .iter()
+            .filter(|r| matches!(r.outcome, JobOutcome::Failed(_)))
+            .count();
+        let utilization = if wall_s > 0.0 && self.pool.total() > 0 {
+            self.leased_rank_seconds / (wall_s * self.pool.total() as f64)
+        } else {
+            0.0
+        };
+        ServiceReport {
+            wall_s,
+            submitted: self.submitted,
+            rejected: self.rejected,
+            completed,
+            failed,
+            preemptions: self.preemptions,
+            queue_depth: self.queue.len(),
+            queue_peak: self.queue_peak,
+            queue_bound: self.cfg.queue_bound,
+            running: self.running.len(),
+            total_ranks: self.pool.total(),
+            rank_utilization: utilization,
+            jobs_per_hour: if wall_s > 0.0 {
+                completed as f64 * 3600.0 / wall_s
+            } else {
+                0.0
+            },
+            latency_p50_s: percentile(&latencies, 0.50),
+            latency_p99_s: percentile(&latencies, 0.99),
+            jobs: self.records.clone(),
+        }
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice (0 when empty).
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}

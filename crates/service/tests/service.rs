@@ -1,0 +1,273 @@
+//! End-to-end service tests: preemption/migration bit-exactness, failure
+//! isolation, and scheduler liveness.
+
+use exastro_service::{
+    JobOutcome, JobSpec, NetChoice, PriorityClass, Scenario, Service, ServiceConfig, SubmitError,
+};
+
+fn test_cfg(tag: &str, nodes: usize) -> ServiceConfig {
+    ServiceConfig {
+        nodes,
+        ckpt_root: std::env::temp_dir().join(format!("exastro_svc_{tag}_{}", std::process::id())),
+        ..Default::default()
+    }
+}
+
+/// Run one job alone on an uncontended service and return its final digest.
+fn solo_digest(tag: &str, spec: JobSpec) -> u32 {
+    let mut svc = Service::new(test_cfg(tag, 1));
+    let id = svc.submit(spec).expect("solo submit");
+    assert!(svc.run_until_idle(10_000), "solo run must drain");
+    let report = svc.report();
+    let rec = report.jobs.iter().find(|r| r.id == id).expect("record");
+    assert_eq!(rec.outcome, JobOutcome::Completed, "solo run must complete");
+    assert_eq!(rec.steps_done, rec.steps_requested);
+    rec.final_digest
+}
+
+/// The tentpole acceptance test: a high-priority arrival preempts two
+/// running low-priority jobs (checkpoint → requeue), which later resume —
+/// generally on different ranks — and finish with states bit-identical to
+/// uninterrupted runs of the same specs.
+#[test]
+fn preempt_migrate_resume_is_bit_exact_castro() {
+    let spec_a = JobSpec {
+        scenario: Scenario::SedovBlast,
+        resolution: 12,
+        steps: 10,
+        priority: PriorityClass::Batch,
+        ..Default::default()
+    };
+    let spec_c = JobSpec {
+        scenario: Scenario::XrbFlame,
+        network: NetChoice::TripleAlpha,
+        resolution: 8,
+        steps: 8,
+        priority: PriorityClass::Batch,
+        ..Default::default()
+    };
+    let want_a = solo_digest("solo_a", spec_a.clone());
+    let want_c = solo_digest("solo_c", spec_c.clone());
+
+    // Two nodes: A and C fill the pool; the 2-node High job must evict both.
+    let mut svc = Service::new(test_cfg("contended", 2));
+    let id_a = svc.submit(spec_a).unwrap();
+    let id_c = svc.submit(spec_c).unwrap();
+    svc.tick(); // place A and C, run their first slice
+    assert_eq!(svc.running_count(), 2);
+    let id_b = svc
+        .submit(JobSpec {
+            scenario: Scenario::SedovBlast,
+            resolution: 12,
+            nodes: 2,
+            steps: 4,
+            priority: PriorityClass::High,
+            ..Default::default()
+        })
+        .unwrap();
+    assert!(svc.run_until_idle(10_000), "contended run must drain");
+
+    let report = svc.report();
+    assert!(
+        report.preemptions >= 2,
+        "both low jobs must have been checkpointed off the machine, got {}",
+        report.preemptions
+    );
+    let rec = |id| report.jobs.iter().find(|r| r.id == id).expect("record");
+    for (id, want) in [(id_a, want_a), (id_c, want_c)] {
+        let r = rec(id);
+        assert_eq!(r.outcome, JobOutcome::Completed);
+        assert!(r.preemptions >= 1, "{id:?} should have been preempted");
+        assert_eq!(
+            r.final_digest, want,
+            "preempted+migrated job must end bit-identical to the solo run"
+        );
+    }
+    assert_eq!(rec(id_b).outcome, JobOutcome::Completed);
+    assert_eq!(rec(id_b).preemptions, 0, "High is never a victim here");
+}
+
+/// Same bit-exactness guarantee through the low-Mach (MAESTROeX) path,
+/// whose checkpoints carry a 1-D base state alongside the field data.
+#[test]
+fn preempt_migrate_resume_is_bit_exact_maestro() {
+    let spec = JobSpec {
+        scenario: Scenario::ReactingBubble,
+        resolution: 12,
+        steps: 8,
+        priority: PriorityClass::Batch,
+        ..Default::default()
+    };
+    let want = solo_digest("solo_lm", spec.clone());
+
+    let mut svc = Service::new(test_cfg("contended_lm", 1));
+    let id = svc.submit(spec).unwrap();
+    svc.tick(); // bubble starts on the full (one-node) pool
+    let high = svc
+        .submit(JobSpec {
+            steps: 2,
+            priority: PriorityClass::High,
+            ..Default::default()
+        })
+        .unwrap();
+    assert!(svc.run_until_idle(10_000));
+
+    let report = svc.report();
+    let r = report.jobs.iter().find(|r| r.id == id).unwrap();
+    assert_eq!(r.outcome, JobOutcome::Completed);
+    assert!(r.preemptions >= 1, "bubble must have been evicted");
+    assert_eq!(r.final_digest, want, "low-Mach restart must be bit-exact");
+    let h = report.jobs.iter().find(|r| r.id == high).unwrap();
+    assert_eq!(h.outcome, JobOutcome::Completed);
+}
+
+/// Driver-level job failure (an unrecoverable burn) marks that job failed
+/// and leaves every co-tenant untouched.
+#[test]
+fn unrecoverable_burn_fails_only_that_job() {
+    use exastro_microphysics::{BdfErrorKind, BurnFaultConfig};
+
+    let mut svc = Service::new(test_cfg("blast_radius", 1));
+    let doomed = svc
+        .submit(JobSpec {
+            burn_faults: Some(BurnFaultConfig {
+                seed: 7,
+                rate: 1.0,
+                rungs_to_fail: 99, // deeper than the retry ladder: fatal
+                error: BdfErrorKind::MaxSteps,
+            }),
+            ..Default::default()
+        })
+        .unwrap();
+    let bystander_a = svc.submit(JobSpec::default()).unwrap();
+    let bystander_b = svc
+        .submit(JobSpec {
+            scenario: Scenario::ReactingBubble,
+            steps: 3,
+            ..Default::default()
+        })
+        .unwrap();
+    assert!(svc.run_until_idle(10_000));
+
+    let report = svc.report();
+    assert_eq!(report.failed, 1);
+    assert_eq!(report.completed, 2);
+    let rec = |id| report.jobs.iter().find(|r| r.id == id).expect("record");
+    assert!(matches!(rec(doomed).outcome, JobOutcome::Failed(_)));
+    assert_eq!(rec(bystander_a).outcome, JobOutcome::Completed);
+    assert_eq!(rec(bystander_b).outcome, JobOutcome::Completed);
+}
+
+/// Backpressure: the admission queue refuses, never buffers past its bound.
+#[test]
+fn queue_bound_is_backpressure_not_buffering() {
+    let mut cfg = test_cfg("bound", 1);
+    cfg.queue_bound = 3;
+    let mut svc = Service::new(cfg);
+    let mut admitted = 0;
+    let mut refused = 0;
+    for _ in 0..8 {
+        match svc.submit(JobSpec {
+            steps: 1,
+            ..Default::default()
+        }) {
+            Ok(_) => admitted += 1,
+            Err(SubmitError::QueueFull { bound }) => {
+                assert_eq!(bound, 3);
+                refused += 1;
+            }
+            Err(e) => panic!("unexpected: {e}"),
+        }
+        assert!(svc.queue_depth() <= 3, "queue grew past its bound");
+    }
+    assert_eq!(admitted, 3);
+    assert_eq!(refused, 5);
+    assert!(svc.run_until_idle(10_000));
+    assert_eq!(svc.report().completed, 3);
+}
+
+/// Oversized and incompatible specs are rejected outright, not queued.
+#[test]
+fn impossible_specs_are_rejected_at_submit() {
+    let mut svc = Service::new(test_cfg("reject", 1));
+    assert!(matches!(
+        svc.submit(JobSpec {
+            nodes: 5, // pool only has one node
+            ..Default::default()
+        }),
+        Err(SubmitError::InvalidSpec(_))
+    ));
+    assert!(matches!(
+        svc.submit(JobSpec {
+            scenario: Scenario::XrbFlame,
+            network: NetChoice::CBurn2, // no he4
+            ..Default::default()
+        }),
+        Err(SubmitError::InvalidSpec(_))
+    ));
+    assert_eq!(svc.queue_depth(), 0);
+    let report = svc.report();
+    assert_eq!(report.submitted, 2);
+    assert_eq!(report.rejected, 2);
+}
+
+mod fairness {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(6))]
+
+        /// Liveness + fairness under random mixes: the queue never exceeds
+        /// its bound, every admitted job terminates (no starvation — the
+        /// bypass guard bounds waiting), and completed jobs ran exactly the
+        /// steps they asked for.
+        #[test]
+        fn every_admitted_job_terminates(
+            scenarios in prop::collection::vec(0..2usize, 1..10),
+            classes in prop::collection::vec(0..3usize, 1..10),
+            steps in prop::collection::vec(1u64..5, 1..10),
+        ) {
+            let mut cfg = test_cfg("fair", 1);
+            cfg.queue_bound = 4;
+            let mut svc = Service::new(cfg);
+            let mut admitted = Vec::new();
+            let n = scenarios.len().min(classes.len()).min(steps.len());
+            for i in 0..n {
+                let spec = JobSpec {
+                    scenario: [Scenario::SedovBlast, Scenario::ReactingBubble][scenarios[i]],
+                    priority: [
+                        PriorityClass::Batch,
+                        PriorityClass::Normal,
+                        PriorityClass::High,
+                    ][classes[i]],
+                    resolution: 8,
+                    steps: steps[i],
+                    ..Default::default()
+                };
+                match svc.submit(spec) {
+                    Ok(id) => admitted.push(id),
+                    Err(SubmitError::QueueFull { .. }) => {}
+                    Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                }
+                prop_assert!(svc.queue_depth() <= 4, "queue exceeded its bound");
+                // Interleave scheduling with submission (arrivals mid-flight).
+                if i % 2 == 1 {
+                    svc.tick();
+                }
+            }
+            prop_assert!(svc.run_until_idle(50_000), "service failed to drain");
+            let report = svc.report();
+            // Every admitted job must reach a terminal state.
+            prop_assert_eq!(report.completed + report.failed, admitted.len());
+            for id in admitted {
+                let rec = report.jobs.iter().find(|r| r.id == id);
+                prop_assert!(rec.is_some(), "admitted job vanished");
+                let rec = rec.unwrap();
+                if rec.outcome == JobOutcome::Completed {
+                    prop_assert_eq!(rec.steps_done, rec.steps_requested);
+                }
+            }
+        }
+    }
+}

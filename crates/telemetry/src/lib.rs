@@ -37,7 +37,9 @@ pub mod trace;
 
 pub use counters::{counter_add, counter_get, counters_snapshot};
 pub use histogram::{histogram, histogram_names, Histogram};
-pub use metrics::{JsonlSink, MemorySink, MetricsSink, NullSink, StepMetrics, StepRecorder};
+pub use metrics::{
+    JsonlSink, MemorySink, MetricsSink, MultiSink, NullSink, StepMetrics, StepRecorder,
+};
 pub use trace::{Phase, TraceBuffer, TraceEvent};
 
 use std::path::{Path, PathBuf};

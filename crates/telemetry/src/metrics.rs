@@ -161,6 +161,35 @@ impl MetricsSink for JsonlSink {
     }
 }
 
+/// Fans every record out to several sinks — e.g. a per-job JSONL stream
+/// for operators *and* an in-memory sink the service aggregates into its
+/// report, without the driver knowing there is more than one consumer.
+#[derive(Default)]
+pub struct MultiSink {
+    sinks: Vec<Arc<dyn MetricsSink>>,
+}
+
+impl MultiSink {
+    /// A fan-out over `sinks` (empty is allowed and records nothing).
+    pub fn new(sinks: Vec<Arc<dyn MetricsSink>>) -> Self {
+        MultiSink { sinks }
+    }
+}
+
+impl MetricsSink for MultiSink {
+    fn record(&self, m: &StepMetrics) {
+        for s in &self.sinks {
+            s.record(m);
+        }
+    }
+
+    fn flush(&self) {
+        for s in &self.sinks {
+            s.flush();
+        }
+    }
+}
+
 /// Discards everything (the explicit "metrics off" sink).
 #[derive(Default, Clone, Copy)]
 pub struct NullSink;
@@ -244,6 +273,35 @@ impl StepRecorder {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn multi_sink_fans_out_to_every_member() {
+        let a = Arc::new(MemorySink::new());
+        let b = Arc::new(MemorySink::new());
+        let multi = MultiSink::new(vec![a.clone(), b.clone()]);
+        let mut rec = StepRecorder::new();
+        rec.attach_sink(Arc::new(multi));
+        rec.record(StepMetrics {
+            driver: "castro".into(),
+            dt: 0.5,
+            wall_ns: 1_000,
+            zones: 4,
+            ..Default::default()
+        });
+        rec.record(StepMetrics {
+            driver: "castro".into(),
+            dt: 0.5,
+            wall_ns: 2_000,
+            zones: 4,
+            ..Default::default()
+        });
+        assert_eq!(a.snapshot().len(), 2);
+        assert_eq!(a.snapshot(), b.snapshot());
+        // Ordinals are assigned once by the recorder, not per sink.
+        assert_eq!(a.snapshot()[1].step, 2);
+        // An empty fan-out records nothing and must not panic.
+        MultiSink::new(vec![]).record(&StepMetrics::default());
+    }
 
     #[test]
     fn jsonl_round_trip_and_memory_sink() {

@@ -34,5 +34,6 @@ pub use exastro_maestro as maestro;
 pub use exastro_microphysics as microphysics;
 pub use exastro_parallel as parallel;
 pub use exastro_resilience as resilience;
+pub use exastro_service as service;
 pub use exastro_solvers as solvers;
 pub use exastro_telemetry as telemetry;
