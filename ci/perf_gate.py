@@ -65,12 +65,14 @@ def main():
         fresh = load(fpath)
         if "points" not in base:
             # Gated metric labels: batch_speedup (same-run ratio, machine
-            # speed cancels → --metric-tolerance) and jobs_per_hour (the
-            # service scheduler's throughput against a baseline committed
-            # far below any healthy run → the tighter --tolerance).
+            # speed cancels → --metric-tolerance) and jobs_per_hour /
+            # goodput (scheduler throughput — plain and under injected
+            # node failures — against baselines committed far below any
+            # healthy run → the tighter --tolerance).
             gated = [m for m in base.get("metrics", [])
                      if "batch_speedup" in m["label"]
-                     or "jobs_per_hour" in m["label"]]
+                     or "jobs_per_hour" in m["label"]
+                     or "goodput" in m["label"]]
             if not gated:
                 print(f"{bpath.name}: metrics-style artifact, not gated")
                 continue
@@ -82,7 +84,8 @@ def main():
                         f"{bpath.name}: label {m['label']} missing from fresh run")
                     continue
                 compared += 1
-                tol = (args.tolerance if "jobs_per_hour" in m["label"]
+                tol = (args.tolerance
+                       if "jobs_per_hour" in m["label"] or "goodput" in m["label"]
                        else args.metric_tolerance)
                 floor = m["value"] * (1.0 - tol)
                 status = "OK"

@@ -142,6 +142,41 @@ print(f"service report OK ({len(r['jobs'])} jobs, "
       f"{r['preemptions']} preemption(s), 1 contained failure)")
 EOF
 
+echo "== chaos smoke (self-healing under node failures) =="
+# The chaos drill arms the seeded NodeFaultModel (node kills with repair
+# plus a straggler wave) over a mixed tenant population: the run must
+# show real failures and recoveries, and every completed job's digest is
+# checked in-process against a fault-free solo run — zero corruption.
+cargo run --release --offline --example chaos -- \
+  --report /tmp/chaos_report.json | tee /tmp/chaos_smoke.log
+grep -q "CHAOS OK" /tmp/chaos_smoke.log
+python3 - <<'EOF'
+import json
+r = json.load(open("/tmp/chaos_report.json"))
+need = {"wall_s", "submitted", "completed", "failed", "quarantined",
+        "node_failures", "lease_revocations", "recoveries",
+        "straggler_migrations", "total_ranks", "ranks_in_service", "jobs"}
+assert need <= set(r), f"chaos report missing keys: {need - set(r)}"
+assert r["node_failures"] >= 3, r["node_failures"]
+assert r["lease_revocations"] >= 1 and r["recoveries"] >= 1, (
+    r["lease_revocations"], r["recoveries"])
+assert r["straggler_migrations"] >= 1, r["straggler_migrations"]
+assert r["failed"] == 0, "chaos must never surface as a driver failure"
+jneed = {"id", "outcome", "recoveries", "migrations", "final_digest",
+         "steps_done", "steps_requested"}
+for j in r["jobs"]:
+    assert jneed <= set(j), f"{j['id']}: missing {jneed - set(j)}"
+    assert j["outcome"] in ("completed", "quarantined"), j
+    if j["outcome"] == "completed":
+        assert j["steps_done"] == j["steps_requested"], j
+    else:
+        assert j.get("reason"), f"{j['id']}: quarantine needs a reason"
+recovered = [j for j in r["jobs"] if j["recoveries"] > 0]
+assert recovered, "at least one job must have recovered from a node kill"
+print(f"chaos report OK ({len(r['jobs'])} jobs, {r['node_failures']} kill(s), "
+      f"{r['recoveries']} recovery(ies), {r['straggler_migrations']} migration(s))")
+EOF
+
 echo "== perf gate (deterministic scaling curves vs committed baselines) =="
 # fig2/fig3 throughputs come from the machine performance model, so they
 # are bit-reproducible; any drop beyond tolerance is a real regression.
@@ -150,6 +185,7 @@ echo "== perf gate (deterministic scaling curves vs committed baselines) =="
 cargo bench --offline -p exastro-bench --bench fig2_sedov_weak_scaling -- --test >/tmp/fig2_smoke.log
 cargo bench --offline -p exastro-bench --bench fig3_bubble_weak_scaling -- --test >/tmp/fig3_smoke.log
 cargo bench --offline -p exastro-bench --bench service -- --test >/tmp/service_bench_smoke.log
+cargo bench --offline -p exastro-bench --bench chaos -- --test >/tmp/chaos_bench_smoke.log
 python3 - <<'EOF'
 import json
 d = json.load(open("BENCH_service.json"))
@@ -163,6 +199,19 @@ assert by["service/jobs_per_hour"] > 0
 assert by["service/preemptions"] > 0, "the bench's high wave must preempt"
 assert 0.0 < by["service/rank_utilization_2x_oversub"] <= 1.0
 print(f"BENCH_service.json OK ({len(d['metrics'])} metrics)")
+c = json.load(open("BENCH_chaos.json"))
+assert c["bench"] == "chaos", c
+cby = {m["label"]: m["value"] for m in c["metrics"]}
+for need in ("chaos/goodput_jobs_per_hour", "chaos/completion_rate_immortal",
+             "chaos/completion_rate_moderate", "chaos/completion_rate_harsh",
+             "chaos/node_failures_moderate", "chaos/recoveries_moderate"):
+    assert need in cby, f"missing {need} in {sorted(cby)}"
+assert cby["chaos/goodput_jobs_per_hour"] > 0
+assert cby["chaos/completion_rate_immortal"] == 1.0, (
+    "no failures injected -> everything completes")
+assert cby["chaos/node_failures_moderate"] >= 1, (
+    "the moderate schedule must actually inject failures")
+print(f"BENCH_chaos.json OK ({len(c['metrics'])} metrics)")
 EOF
 python3 ci/perf_gate.py
 

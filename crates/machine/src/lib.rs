@@ -12,12 +12,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod fig2;
 pub mod fig3;
 pub mod model;
 pub mod ranks;
 pub mod workload;
 
+pub use faults::{FaultEvent, NodeFaultConfig, NodeFaultModel};
 pub use fig2::{canonical_series, envelope_series, sedov_workload, ScalingPoint};
 pub use fig3::{bubble_point, bubble_series, BubblePoint};
 pub use model::{

@@ -9,11 +9,21 @@
 //! reason about packing. It is deliberately mechanism-only: admission
 //! order, fair share, and preemption policy live in the scheduler that owns
 //! the pool, not here.
+//!
+//! Ranks are not immortal: [`RankPool::fail_rank`]/[`fail_node`]
+//! (driven by [`crate::NodeFaultModel`]) take ranks out of service, a
+//! lease whose ranks died is surrendered through
+//! [`RankPool::revoke_failed`] — which reports the casualties instead of
+//! panicking — and [`repair_node`] returns capacity.
+//!
+//! [`fail_node`]: RankPool::fail_node
+//! [`repair_node`]: RankPool::repair_node
 
 use crate::model::Machine;
 
 /// A lease of specific rank ids, returned by [`RankPool::try_lease`] and
-/// surrendered back via [`RankPool::release`].
+/// surrendered back via [`RankPool::release`] (healthy) or
+/// [`RankPool::revoke_failed`] (after its ranks died).
 ///
 /// The ids are real positions in the modeled machine (`node =
 /// rank / gpus_per_node`), so two leases never alias and a job resumed
@@ -42,11 +52,25 @@ impl RankLease {
     }
 }
 
+/// Lifecycle of one rank in the pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum RankState {
+    /// In service, available for leasing.
+    Free,
+    /// In service, held by an outstanding lease.
+    Leased,
+    /// Out of service (its node died) and not held by any lease.
+    Failed,
+    /// Out of service *while held*: the node died under a live lease.
+    /// The holder must surrender via [`RankPool::revoke_failed`].
+    FailedLeased,
+}
+
 /// A fixed pool of GPU ranks over a modeled machine.
 #[derive(Clone, Debug)]
 pub struct RankPool {
     gpus_per_node: usize,
-    free: Vec<bool>,
+    state: Vec<RankState>,
     leased: usize,
 }
 
@@ -56,7 +80,7 @@ impl RankPool {
         let g = machine.node.gpus_per_node.max(1);
         RankPool {
             gpus_per_node: g,
-            free: vec![true; nodes * g],
+            state: vec![RankState::Free; nodes * g],
             leased: 0,
         }
     }
@@ -66,24 +90,40 @@ impl RankPool {
     pub fn with_ranks(nranks: usize, gpus_per_node: usize) -> Self {
         RankPool {
             gpus_per_node: gpus_per_node.max(1),
-            free: vec![true; nranks],
+            state: vec![RankState::Free; nranks],
             leased: 0,
         }
     }
 
-    /// Total ranks in the pool.
+    /// Total ranks in the pool (in service or not).
     pub fn total(&self) -> usize {
-        self.free.len()
+        self.state.len()
     }
 
-    /// Ranks currently leased out.
+    /// Ranks currently leased out (including failed-under-lease ranks
+    /// whose leases have not been revoked yet).
     pub fn leased(&self) -> usize {
         self.leased
     }
 
-    /// Ranks currently available.
+    /// Ranks currently available for leasing (in service and free).
     pub fn available(&self) -> usize {
-        self.free.len() - self.leased
+        self.state.iter().filter(|s| **s == RankState::Free).count()
+    }
+
+    /// Ranks currently in service (not failed), leased or not. A gang
+    /// needing more than this cannot run until repairs land — the
+    /// scheduler's graceful-degradation check.
+    pub fn in_service(&self) -> usize {
+        self.state
+            .iter()
+            .filter(|s| matches!(s, RankState::Free | RankState::Leased))
+            .count()
+    }
+
+    /// Ranks currently out of service.
+    pub fn failed(&self) -> usize {
+        self.total() - self.in_service()
     }
 
     /// Ranks per node assumed by [`RankPool::nodes_spanned`].
@@ -91,42 +131,183 @@ impl RankPool {
         self.gpus_per_node
     }
 
+    /// Node index of a rank.
+    fn node_of(&self, rank: usize) -> usize {
+        rank / self.gpus_per_node
+    }
+
     /// Lease `n` ranks, lowest free ids first. Returns `None` (leaving the
     /// pool untouched) when fewer than `n` ranks are free or `n == 0`.
     pub fn try_lease(&mut self, n: usize) -> Option<RankLease> {
-        if n == 0 || n > self.available() {
+        self.try_lease_avoiding(n, &[])
+    }
+
+    /// Lease `n` ranks, preferring ranks *not* on any node in
+    /// `avoid_nodes` (straggler-aware placement); falls back to avoided
+    /// nodes only when the healthy ranks alone cannot satisfy the gang.
+    /// Within each preference tier, lowest ids win. Returns `None` when
+    /// fewer than `n` ranks are free in total.
+    pub fn try_lease_avoiding(&mut self, n: usize, avoid_nodes: &[usize]) -> Option<RankLease> {
+        if n == 0 {
             return None;
         }
-        let mut ranks = Vec::with_capacity(n);
-        for (id, free) in self.free.iter_mut().enumerate() {
-            if *free {
-                *free = false;
+        let mut ranks: Vec<usize> = Vec::with_capacity(n);
+        for (id, s) in self.state.iter().enumerate() {
+            if *s == RankState::Free && !avoid_nodes.contains(&self.node_of(id)) {
                 ranks.push(id);
                 if ranks.len() == n {
                     break;
                 }
             }
         }
-        debug_assert_eq!(ranks.len(), n);
+        if ranks.len() < n && !avoid_nodes.is_empty() {
+            for (id, s) in self.state.iter().enumerate() {
+                if *s == RankState::Free && avoid_nodes.contains(&self.node_of(id)) {
+                    ranks.push(id);
+                    if ranks.len() == n {
+                        break;
+                    }
+                }
+            }
+        }
+        if ranks.len() < n {
+            return None;
+        }
+        ranks.sort_unstable();
+        for &id in &ranks {
+            self.state[id] = RankState::Leased;
+        }
         self.leased += n;
         Some(RankLease { ranks })
     }
 
-    /// Return a lease's ranks to the pool.
+    /// Free ranks outside the given nodes — the healthy headroom a
+    /// straggler migration can actually move a gang into.
+    pub fn free_outside(&self, avoid_nodes: &[usize]) -> usize {
+        self.state
+            .iter()
+            .enumerate()
+            .filter(|(id, s)| **s == RankState::Free && !avoid_nodes.contains(&self.node_of(*id)))
+            .count()
+    }
+
+    /// Return a *healthy* lease's ranks to the pool.
     ///
     /// # Panics
     /// Panics if the lease holds a rank that is not currently leased (a
     /// double release or a lease from a different pool) — both are
-    /// scheduler bugs worth failing loudly on.
+    /// scheduler bugs worth failing loudly on — or a rank that failed
+    /// under the lease, which must go through
+    /// [`RankPool::revoke_failed`] instead so the casualty is accounted.
     pub fn release(&mut self, lease: RankLease) {
         for id in &lease.ranks {
-            assert!(
-                !self.free[*id],
-                "rank {id} released while not leased (double release?)"
-            );
-            self.free[*id] = true;
+            match self.state[*id] {
+                RankState::Leased => self.state[*id] = RankState::Free,
+                RankState::FailedLeased => {
+                    panic!("rank {id} failed under its lease; use revoke_failed, not release")
+                }
+                RankState::Free | RankState::Failed => {
+                    panic!("rank {id} released while not leased (double release?)")
+                }
+            }
         }
         self.leased -= lease.ranks.len();
+    }
+
+    /// Surrender a lease some of whose ranks died. Surviving ranks return
+    /// to the free pool; dead ranks stay out of service until repaired.
+    /// Returns the dead rank ids (possibly empty, e.g. when the node was
+    /// killed *and* repaired within one scheduling window).
+    ///
+    /// # Panics
+    /// Panics if the lease holds a rank that is not currently leased —
+    /// a double revocation is as much a scheduler bug as a double release.
+    pub fn revoke_failed(&mut self, lease: RankLease) -> Vec<usize> {
+        let mut dead = Vec::new();
+        for id in &lease.ranks {
+            match self.state[*id] {
+                RankState::Leased => self.state[*id] = RankState::Free,
+                RankState::FailedLeased => {
+                    self.state[*id] = RankState::Failed;
+                    dead.push(*id);
+                }
+                RankState::Free | RankState::Failed => {
+                    panic!("rank {id} revoked while not leased (double revoke?)")
+                }
+            }
+        }
+        self.leased -= lease.ranks.len();
+        dead
+    }
+
+    /// Take one rank out of service. A free rank simply leaves the pool;
+    /// a leased rank is marked failed-under-lease and its holder's lease
+    /// becomes compromised (see [`RankPool::lease_compromised`]). Returns
+    /// true when the rank was newly failed.
+    pub fn fail_rank(&mut self, rank: usize) -> bool {
+        match self.state[rank] {
+            RankState::Free => {
+                self.state[rank] = RankState::Failed;
+                true
+            }
+            RankState::Leased => {
+                self.state[rank] = RankState::FailedLeased;
+                true
+            }
+            RankState::Failed | RankState::FailedLeased => false,
+        }
+    }
+
+    /// Take every rank of `node` out of service; returns how many ranks
+    /// were newly failed.
+    pub fn fail_node(&mut self, node: usize) -> usize {
+        self.node_ranks(node).filter(|&r| self.fail_rank(r)).count()
+    }
+
+    /// Return every rank of `node` to service. Failed-free ranks become
+    /// leasable again; a rank that failed *under a lease* returns to the
+    /// leased state (its holder's pending revocation then simply finds no
+    /// casualties). Returns how many ranks were repaired.
+    pub fn repair_node(&mut self, node: usize) -> usize {
+        let mut repaired = 0;
+        let (lo, hi) = self.node_span(node);
+        for r in lo..hi {
+            match self.state[r] {
+                RankState::Failed => {
+                    self.state[r] = RankState::Free;
+                    repaired += 1;
+                }
+                RankState::FailedLeased => {
+                    self.state[r] = RankState::Leased;
+                    repaired += 1;
+                }
+                _ => {}
+            }
+        }
+        repaired
+    }
+
+    /// True when any rank of `lease` has failed under it.
+    pub fn lease_compromised(&self, lease: &RankLease) -> bool {
+        lease
+            .ranks
+            .iter()
+            .any(|&r| self.state[r] == RankState::FailedLeased)
+    }
+
+    /// The rank-id range `[lo, hi)` of `node`.
+    fn node_span(&self, node: usize) -> (usize, usize) {
+        let lo = node * self.gpus_per_node;
+        (
+            lo.min(self.state.len()),
+            ((node + 1) * self.gpus_per_node).min(self.state.len()),
+        )
+    }
+
+    /// Iterator over the rank ids of `node`.
+    fn node_ranks(&self, node: usize) -> std::ops::Range<usize> {
+        let (lo, hi) = self.node_span(node);
+        lo..hi
     }
 
     /// Number of distinct nodes a lease touches — the `nodes` a scheduler
@@ -149,7 +330,9 @@ mod tests {
         let pool = RankPool::new(&m, 4);
         assert_eq!(pool.total(), 4 * m.node.gpus_per_node);
         assert_eq!(pool.available(), pool.total());
+        assert_eq!(pool.in_service(), pool.total());
         assert_eq!(pool.leased(), 0);
+        assert_eq!(pool.failed(), 0);
     }
 
     #[test]
@@ -201,5 +384,109 @@ mod tests {
         let a = pool.try_lease(2).unwrap();
         pool.release(a.clone());
         pool.release(a);
+    }
+
+    #[test]
+    fn failed_free_ranks_leave_the_pool_and_repair_returns_them() {
+        let mut pool = RankPool::with_ranks(8, 4);
+        assert_eq!(pool.fail_node(1), 4); // ranks 4..8
+        assert_eq!(pool.available(), 4);
+        assert_eq!(pool.in_service(), 4);
+        assert_eq!(pool.failed(), 4);
+        // Leases route around the dead node.
+        let a = pool.try_lease(4).unwrap();
+        assert_eq!(a.ranks(), &[0, 1, 2, 3]);
+        assert!(pool.try_lease(1).is_none(), "dead ranks must not lease");
+        assert_eq!(pool.repair_node(1), 4);
+        let b = pool.try_lease(2).unwrap();
+        assert_eq!(b.ranks(), &[4, 5]);
+        pool.release(a);
+        pool.release(b);
+        assert_eq!(pool.available(), 8);
+    }
+
+    #[test]
+    fn node_failure_compromises_the_lease_and_revoke_reports_casualties() {
+        let mut pool = RankPool::with_ranks(12, 6);
+        let gang = pool.try_lease(8).unwrap(); // nodes 0 and 1
+        assert!(!pool.lease_compromised(&gang));
+        assert_eq!(pool.fail_node(1), 6); // ranks 6..12: 6,7 leased, 8..12 free
+        assert!(pool.lease_compromised(&gang));
+        assert_eq!(pool.in_service(), 6);
+        let dead = pool.revoke_failed(gang);
+        assert_eq!(
+            dead,
+            vec![6, 7],
+            "exactly the leased ranks on the dead node"
+        );
+        assert_eq!(pool.leased(), 0);
+        // Node 0's survivors are free again; node 1 stays out of service.
+        assert_eq!(pool.available(), 6);
+        assert_eq!(pool.failed(), 6);
+        assert_eq!(pool.repair_node(1), 6);
+        assert_eq!(pool.available(), 12);
+    }
+
+    #[test]
+    fn revoke_of_a_healthy_lease_is_a_plain_surrender() {
+        // A node killed *and* repaired inside one scheduling window: the
+        // lease was doomed (the scheduler saw the kill event) but by
+        // revocation time the ranks are healthy again — no casualties.
+        let mut pool = RankPool::with_ranks(6, 6);
+        let lease = pool.try_lease(6).unwrap();
+        pool.fail_node(0);
+        pool.repair_node(0);
+        let dead = pool.revoke_failed(lease);
+        assert!(dead.is_empty());
+        assert_eq!(pool.available(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "use revoke_failed")]
+    fn releasing_a_compromised_lease_panics_toward_revoke() {
+        let mut pool = RankPool::with_ranks(6, 6);
+        let lease = pool.try_lease(6).unwrap();
+        pool.fail_node(0);
+        pool.release(lease);
+    }
+
+    #[test]
+    #[should_panic(expected = "double revoke")]
+    fn double_revoke_panics_like_double_release() {
+        // The two surrender paths must not be confusable: a lease already
+        // revoked (ranks back to Free/Failed) fails loudly on re-revoke,
+        // exactly as release fails on double release.
+        let mut pool = RankPool::with_ranks(6, 6);
+        let lease = pool.try_lease(3).unwrap();
+        pool.fail_node(0);
+        pool.revoke_failed(lease.clone());
+        pool.revoke_failed(lease);
+    }
+
+    #[test]
+    #[should_panic(expected = "double release")]
+    fn release_after_revoke_is_still_a_double_release() {
+        let mut pool = RankPool::with_ranks(4, 4);
+        let lease = pool.try_lease(2).unwrap();
+        pool.revoke_failed(lease.clone()); // healthy revoke: ranks → Free
+        pool.release(lease); // second surrender must die loudly
+    }
+
+    #[test]
+    fn avoiding_placement_prefers_healthy_nodes_then_falls_back() {
+        let mut pool = RankPool::with_ranks(12, 4); // nodes 0,1,2
+                                                    // Prefer off node 0: placement starts at node 1.
+        let a = pool.try_lease_avoiding(4, &[0]).unwrap();
+        assert_eq!(a.ranks(), &[4, 5, 6, 7]);
+        assert_eq!(pool.free_outside(&[0]), 4);
+        // Healthy capacity exhausted mid-gang: falls back onto node 0,
+        // still lowest-id-first within each tier, lease sorted ascending.
+        let b = pool.try_lease_avoiding(6, &[0]).unwrap();
+        assert_eq!(b.ranks(), &[0, 1, 8, 9, 10, 11]);
+        // Nothing free at all → refused, pool untouched.
+        assert!(pool.try_lease_avoiding(3, &[0]).is_none());
+        assert_eq!(pool.available(), 2);
+        pool.release(a);
+        pool.release(b);
     }
 }

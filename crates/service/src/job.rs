@@ -30,6 +30,37 @@ use exastro_telemetry::{JsonlSink, MemorySink, MetricsSink, MultiSink, StepRecor
 use crate::spec::{JobId, JobSpec, Scenario};
 use exastro_castro::BurnOptions;
 
+/// A structured checkpoint-lifecycle error. Once leases can be revoked
+/// mid-slice, "resume with no checkpoint on disk" is a *reachable* state,
+/// not a scheduler bug — it must be a contained, matchable error rather
+/// than a panic or a stringly-typed one.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JobError {
+    /// Resume was asked for before any checkpoint was ever written.
+    NoCheckpoint,
+    /// The per-job checkpoint directory could not be created or opened.
+    CheckpointInit(String),
+    /// A scheduled or eviction checkpoint failed to write.
+    CheckpointWrite(String),
+    /// The newest intact checkpoint could not be restored.
+    Restore(String),
+}
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::NoCheckpoint => {
+                write!(f, "no checkpoint exists for this job (never written)")
+            }
+            JobError::CheckpointInit(why) => write!(f, "checkpoint root: {why}"),
+            JobError::CheckpointWrite(why) => write!(f, "checkpoint write: {why}"),
+            JobError::Restore(why) => write!(f, "restore: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
+
 /// How a slice of execution ended.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub(crate) enum SliceStatus {
@@ -79,12 +110,28 @@ pub(crate) struct Job {
     pub vtime: f64,
     /// Times this job has been checkpointed off the machine.
     pub preemptions: u32,
+    /// Times this job has been re-admitted from checkpoint after its
+    /// ranks died underneath it.
+    pub recoveries: u32,
+    /// Times this job has been checkpoint-migrated off a straggling node.
+    pub migrations: u32,
     /// Admission order (fair-share tiebreak).
     pub submit_seq: u64,
     /// Wall-clock submit instant (job latency measurement).
     pub submitted_at: std::time::Instant,
     /// Scheduling rounds the job has been overtaken while queued.
     pub bypassed: u32,
+    /// Scheduling rounds the job's gang has exceeded in-service capacity.
+    pub capacity_waits: u64,
+    /// Recovery backoff: the job may not place before this tick.
+    pub eligible_at_tick: u64,
+    /// Step the newest checkpoint holds (lost-work accounting).
+    pub last_ckpt_step: u64,
+    /// Whether any checkpoint was ever written (guards resume).
+    pub ckpt_written: bool,
+    /// Sim clock when the job's ranks died (MTTR measurement); cleared
+    /// when it gets back onto the machine.
+    pub failed_at_sim_us: Option<f64>,
     /// True between a preemption and the matching resume: the field data
     /// lives only in the checkpoint, not in memory.
     evicted: bool,
@@ -269,9 +316,16 @@ impl Job {
             sim_us: 0.0,
             vtime: 0.0,
             preemptions: 0,
+            recoveries: 0,
+            migrations: 0,
             submit_seq,
             submitted_at: std::time::Instant::now(),
             bypassed: 0,
+            capacity_waits: 0,
+            eligible_at_tick: 0,
+            last_ckpt_step: 0,
+            ckpt_written: false,
+            failed_at_sim_us: None,
             evicted: false,
         })
     }
@@ -299,7 +353,7 @@ impl Job {
             self.sim_us += self.step_sim_us;
             if self.ckpt_every > 0 && self.clock.step.is_multiple_of(self.ckpt_every) {
                 if let Err(why) = self.checkpoint() {
-                    return SliceStatus::Failed(why);
+                    return SliceStatus::Failed(why.to_string());
                 }
             }
         }
@@ -411,23 +465,26 @@ impl Job {
         }
     }
 
-    fn manager(&mut self) -> Result<&CheckpointManager, String> {
+    fn manager(&mut self) -> Result<&CheckpointManager, JobError> {
         if self.ckpt.is_none() {
             let mgr = CheckpointManager::new(&self.ckpt_dir)
-                .map_err(|e| format!("checkpoint root {}: {e}", self.ckpt_dir.display()))?
+                .map_err(|e| JobError::CheckpointInit(format!("{}: {e}", self.ckpt_dir.display())))?
                 .keep_last(2);
             self.ckpt = Some(mgr);
         }
-        Ok(self.ckpt.as_ref().unwrap())
+        self.ckpt.as_ref().ok_or(JobError::NoCheckpoint)
     }
 
     /// Write a durable checkpoint of the current state.
-    pub(crate) fn checkpoint(&mut self) -> Result<(), String> {
+    pub(crate) fn checkpoint(&mut self) -> Result<(), JobError> {
         let snap = self.snapshot();
+        let step = self.clock.step;
         self.manager()?
             .write(&snap)
-            .map(|_| ())
-            .map_err(|e| format!("checkpoint write: {e}"))
+            .map_err(|e| JobError::CheckpointWrite(e.to_string()))?;
+        self.ckpt_written = true;
+        self.last_ckpt_step = step;
+        Ok(())
     }
 
     /// Checkpoint bytes one snapshot of this job carries (Young/Daly `C`).
@@ -435,29 +492,60 @@ impl Job {
         self.snapshot().payload_bytes()
     }
 
+    /// Drop the in-memory field data, leaving only the checkpoint (if
+    /// any) behind. The stub state makes a "resume" that forgot to
+    /// restore fail loudly instead of silently reusing old memory — an
+    /// evicted job must carry no rank-local state.
+    fn drop_field_data(&mut self) {
+        self.state = MultiFab::local(BoxArray::decompose(IndexBox::cube(1), 1, 1), 1, 0);
+        self.evicted = true;
+    }
+
     /// Evict the job from the machine: checkpoint, then drop the
     /// in-memory field data. The job is now resumable from disk only —
     /// which is the point: a migrated job must carry no rank-local state.
-    pub(crate) fn preempt(&mut self) -> Result<(), String> {
+    pub(crate) fn preempt(&mut self) -> Result<(), JobError> {
         self.checkpoint()?;
         self.preemptions += 1;
-        // Shrink the in-memory state to a stub so a bug that "resumes"
-        // without restoring fails loudly instead of silently reusing the
-        // old memory — the migrated job must carry no rank-local state.
-        self.state = MultiFab::local(BoxArray::decompose(IndexBox::cube(1), 1, 1), 1, 0);
-        self.evicted = true;
+        self.drop_field_data();
         Ok(())
+    }
+
+    /// Checkpoint-migrate off a straggling node: identical mechanics to
+    /// [`Job::preempt`] but charged to the migration budget, not the
+    /// preemption-immunity budget — mitigating a slow node must not eat
+    /// the job's protection against priority churn.
+    pub(crate) fn migrate(&mut self) -> Result<(), JobError> {
+        self.checkpoint()?;
+        self.migrations += 1;
+        self.drop_field_data();
+        Ok(())
+    }
+
+    /// Fail over after the job's ranks died: the in-memory state is gone
+    /// with the node, so *discard* it (no checkpoint write — there is
+    /// nothing trustworthy to write) and mark the job resumable from its
+    /// last durable checkpoint only.
+    pub(crate) fn fail_over(&mut self) {
+        self.recoveries += 1;
+        self.drop_field_data();
     }
 
     /// Restore state from the newest intact checkpoint (after preemption,
     /// possibly onto different ranks — the state travels on disk).
-    pub(crate) fn resume(&mut self) -> Result<(), String> {
+    /// [`JobError::NoCheckpoint`] when none was ever written — reachable
+    /// when a lease is revoked before the first cadence point.
+    pub(crate) fn resume(&mut self) -> Result<(), JobError> {
+        if !self.ckpt_written {
+            return Err(JobError::NoCheckpoint);
+        }
         let snap = self
             .manager()?
             .resume()
-            .map_err(|e| format!("resume: {e}"))?;
+            .map_err(|e| JobError::Restore(e.to_string()))?;
         if let Physics::Maestro { base, .. } = &mut self.physics {
-            *base = restore_base_state(&snap).ok_or("checkpoint missing base state")?;
+            *base = restore_base_state(&snap)
+                .ok_or_else(|| JobError::Restore("checkpoint missing base state".into()))?;
         }
         let lvl = &snap.levels[0];
         self.geom = lvl.geom.clone();
@@ -476,5 +564,32 @@ impl Job {
     /// Flush the job's telemetry stream.
     pub(crate) fn flush_telemetry(&self) {
         self.recorder.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::JobSpec;
+
+    /// The satellite fix: resume before any checkpoint exists is a
+    /// contained, matchable [`JobError::NoCheckpoint`], not a panic —
+    /// reachable once leases can be revoked before the first cadence
+    /// point.
+    #[test]
+    fn resume_without_checkpoint_is_a_contained_error() {
+        let dir = std::env::temp_dir().join(format!("exastro_job_nockpt_{}", std::process::id()));
+        let mut job = Job::build(JobId(0), JobSpec::default(), 6, 0, &dir, None).unwrap();
+        assert_eq!(job.resume().unwrap_err(), JobError::NoCheckpoint);
+        // Once a checkpoint exists, the same call restores bit-exactly.
+        let digest = job.state_digest();
+        job.checkpoint().unwrap();
+        job.fail_over();
+        assert!(job.is_evicted());
+        assert_ne!(job.state_digest(), digest, "evicted state must be a stub");
+        job.resume().unwrap();
+        assert_eq!(job.state_digest(), digest);
+        assert_eq!(job.recoveries, 1);
+        let _ = std::fs::remove_dir_all(dir);
     }
 }

@@ -29,11 +29,26 @@
 //!   Young/Daly optimum for *its* footprint on *this* machine
 //!   ([`exastro_resilience::interval::suggest_cadence_steps`]); an
 //!   explicit `ckpt_every` overrides.
+//! - **Self-healing** (DESIGN.md §15): arm [`ServiceConfig::faults`] with
+//!   a seeded [`exastro_machine::NodeFaultModel`] and the modeled machine
+//!   fails underneath the service over simulated time. The health monitor
+//!   revokes leases whose ranks died (`RankPool::revoke_failed`), fails
+//!   the slice over *without* checkpointing dead state, and re-admits the
+//!   job from its last checkpoint on a fresh lease with bounded
+//!   exponential backoff — bit-exact by digest vs an uninterrupted run.
+//!   Poison jobs quarantine after `quarantine_limit` recoveries
+//!   ([`JobOutcome::Quarantined`], structured reason); stragglers are
+//!   checkpoint-migrated to healthy nodes; gangs that no longer fit the
+//!   surviving pool quarantine instead of wedging the queue.
 //! - **Telemetry**: per-job `StepRecorder` streams (JSONL per job plus an
 //!   in-memory sink), service counters (`service.submitted`,
 //!   `service.completed`, `service.failed`, `service.preempted`,
-//!   `service.rejected`), and a [`ServiceReport`] with jobs/hour, latency
-//!   percentiles, and rank utilization.
+//!   `service.rejected`, plus `service.node_failures`,
+//!   `service.lease_revocations`, `service.recoveries`,
+//!   `service.straggler_migrations`, `service.quarantined` under chaos),
+//!   MTTR/detection-latency/lost-steps histograms, and a
+//!   [`ServiceReport`] with jobs/hour, latency percentiles, and rank
+//!   utilization.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -43,6 +58,7 @@ pub mod report;
 pub mod scheduler;
 pub mod spec;
 
+pub use job::JobError;
 pub use report::{JobOutcome, JobRecord, ServiceReport};
 pub use scheduler::{Service, ServiceConfig};
 pub use spec::{JobId, JobSpec, NetChoice, PriorityClass, Scenario, SubmitError};

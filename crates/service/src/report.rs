@@ -9,6 +9,10 @@ pub enum JobOutcome {
     Completed,
     /// Died on an unrecoverable driver error (the message says why).
     Failed(String),
+    /// Circuit-broken by the scheduler: the job exhausted its recovery
+    /// budget (or waited out degraded capacity) and was parked with a
+    /// structured reason instead of looping through the machine forever.
+    Quarantined(String),
 }
 
 /// Terminal record of one job.
@@ -32,10 +36,14 @@ pub struct JobRecord {
     pub steps_done: u64,
     /// Steps the spec asked for.
     pub steps_requested: u64,
-    /// Completed or failed (with reason).
+    /// Completed, failed (with reason), or quarantined (with reason).
     pub outcome: JobOutcome,
     /// Times the job was checkpointed off the machine for a higher class.
     pub preemptions: u32,
+    /// Times the job was re-admitted from checkpoint after its ranks died.
+    pub recoveries: u32,
+    /// Times the job was checkpoint-migrated off a straggling node.
+    pub migrations: u32,
     /// Submit → terminal wall seconds.
     pub latency_s: f64,
     /// Whether the soft deadline was met (when one was set).
@@ -65,8 +73,18 @@ pub struct ServiceReport {
     pub completed: usize,
     /// Jobs that died on a driver error.
     pub failed: usize,
+    /// Jobs circuit-broken into quarantine.
+    pub quarantined: usize,
     /// Preemption events (checkpoint → requeue → resume elsewhere).
     pub preemptions: u64,
+    /// Node-kill events the fault model injected under the service.
+    pub node_failures: u64,
+    /// Leases surrendered because their ranks died.
+    pub lease_revocations: u64,
+    /// Successful re-admissions from checkpoint after a node failure.
+    pub recoveries: u64,
+    /// Checkpoint-migrations off straggling nodes.
+    pub straggler_migrations: u64,
     /// Jobs waiting right now.
     pub queue_depth: usize,
     /// Deepest the queue ever got.
@@ -77,6 +95,8 @@ pub struct ServiceReport {
     pub running: usize,
     /// Ranks in the pool.
     pub total_ranks: usize,
+    /// Ranks currently in service (total minus dead-and-unrepaired).
+    pub ranks_in_service: usize,
     /// Leased rank-seconds over available rank-seconds, 0..1.
     pub rank_utilization: f64,
     /// Completed jobs per hour of service wall time.
@@ -89,17 +109,106 @@ pub struct ServiceReport {
     pub jobs: Vec<JobRecord>,
 }
 
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            '\n' => vec!['\\', 'n'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+impl ServiceReport {
+    /// Hand-rolled JSON rendering (the workspace is registry-free: no
+    /// serde). Failed jobs carry an `"error"` key, quarantined jobs a
+    /// `"reason"` key; CI schema-checks both.
+    pub fn to_json(&self) -> String {
+        let r = self;
+        let mut s = String::from("{\n");
+        s += &format!("  \"wall_s\": {},\n", r.wall_s);
+        s += &format!("  \"submitted\": {},\n", r.submitted);
+        s += &format!("  \"rejected\": {},\n", r.rejected);
+        s += &format!("  \"completed\": {},\n", r.completed);
+        s += &format!("  \"failed\": {},\n", r.failed);
+        s += &format!("  \"quarantined\": {},\n", r.quarantined);
+        s += &format!("  \"preemptions\": {},\n", r.preemptions);
+        s += &format!("  \"node_failures\": {},\n", r.node_failures);
+        s += &format!("  \"lease_revocations\": {},\n", r.lease_revocations);
+        s += &format!("  \"recoveries\": {},\n", r.recoveries);
+        s += &format!("  \"straggler_migrations\": {},\n", r.straggler_migrations);
+        s += &format!("  \"queue_peak\": {},\n", r.queue_peak);
+        s += &format!("  \"queue_bound\": {},\n", r.queue_bound);
+        s += &format!("  \"total_ranks\": {},\n", r.total_ranks);
+        s += &format!("  \"ranks_in_service\": {},\n", r.ranks_in_service);
+        s += &format!("  \"rank_utilization\": {},\n", r.rank_utilization);
+        s += &format!("  \"jobs_per_hour\": {},\n", r.jobs_per_hour);
+        s += &format!("  \"latency_p50_s\": {},\n", r.latency_p50_s);
+        s += &format!("  \"latency_p99_s\": {},\n", r.latency_p99_s);
+        s += "  \"jobs\": [\n";
+        for (i, j) in r.jobs.iter().enumerate() {
+            s += "    {";
+            s += &format!("\"id\": \"{}\", ", j.id);
+            s += &format!("\"scenario\": \"{}\", ", j.scenario.name());
+            s += &format!("\"network\": \"{}\", ", j.network.name());
+            s += &format!("\"priority\": \"{}\", ", j.priority.name());
+            s += &format!("\"resolution\": {}, ", j.resolution);
+            s += &format!("\"nodes\": {}, ", j.nodes);
+            s += &format!("\"ranks\": {}, ", j.ranks);
+            s += &format!("\"steps_done\": {}, ", j.steps_done);
+            s += &format!("\"steps_requested\": {}, ", j.steps_requested);
+            match &j.outcome {
+                JobOutcome::Completed => s += "\"outcome\": \"completed\", ",
+                JobOutcome::Failed(why) => {
+                    s += &format!(
+                        "\"outcome\": \"failed\", \"error\": \"{}\", ",
+                        json_escape(why)
+                    );
+                }
+                JobOutcome::Quarantined(why) => {
+                    s += &format!(
+                        "\"outcome\": \"quarantined\", \"reason\": \"{}\", ",
+                        json_escape(why)
+                    );
+                }
+            }
+            s += &format!("\"preemptions\": {}, ", j.preemptions);
+            s += &format!("\"recoveries\": {}, ", j.recoveries);
+            s += &format!("\"migrations\": {}, ", j.migrations);
+            s += &format!("\"latency_s\": {}, ", j.latency_s);
+            s += &format!(
+                "\"deadline_met\": {}, ",
+                match j.deadline_met {
+                    Some(b) => b.to_string(),
+                    None => "null".into(),
+                }
+            );
+            s += &format!("\"ckpt_every\": {}, ", j.ckpt_every);
+            s += &format!("\"final_digest\": {}, ", j.final_digest);
+            s += &format!("\"sim_us\": {}, ", j.sim_us);
+            s += &format!("\"zones\": {}, ", j.zones);
+            s += &format!("\"step_records\": {}", j.step_records);
+            s += if i + 1 < r.jobs.len() { "},\n" } else { "}\n" };
+        }
+        s += "  ]\n}\n";
+        s
+    }
+}
+
 impl std::fmt::Display for ServiceReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "service: {:.2}s wall | {} submitted ({} rejected) | {} completed, {} failed | \
-             {} preemption(s)",
+            "service: {:.2}s wall | {} submitted ({} rejected) | {} completed, {} failed, \
+             {} quarantined | {} preemption(s)",
             self.wall_s,
             self.submitted,
             self.rejected,
             self.completed,
             self.failed,
+            self.quarantined,
             self.preemptions
         )?;
         writeln!(
@@ -112,6 +221,19 @@ impl std::fmt::Display for ServiceReport {
             self.total_ranks,
             100.0 * self.rank_utilization
         )?;
+        if self.node_failures > 0 || self.total_ranks != self.ranks_in_service {
+            writeln!(
+                f,
+                "chaos: {} node failure(s) | {} lease revocation(s) | {} recovery(ies) | \
+                 {} straggler migration(s) | {}/{} ranks in service",
+                self.node_failures,
+                self.lease_revocations,
+                self.recoveries,
+                self.straggler_migrations,
+                self.ranks_in_service,
+                self.total_ranks
+            )?;
+        }
         writeln!(
             f,
             "throughput: {:.1} jobs/hour | latency p50 {:.3}s p99 {:.3}s",
@@ -119,7 +241,7 @@ impl std::fmt::Display for ServiceReport {
         )?;
         writeln!(
             f,
-            "{:>9} {:>16} {:>12} {:>7} {:>6} {:>6} {:>6} {:>7} {:>9} {:>9}",
+            "{:>9} {:>16} {:>12} {:>7} {:>6} {:>6} {:>6} {:>5} {:>7} {:>9} {:>11}",
             "job",
             "scenario",
             "net",
@@ -127,18 +249,20 @@ impl std::fmt::Display for ServiceReport {
             "res",
             "steps",
             "preempt",
+            "recov",
             "ckpt",
             "latency",
             "outcome"
         )?;
         for r in &self.jobs {
             let outcome = match &r.outcome {
-                JobOutcome::Completed => "ok".to_string(),
-                JobOutcome::Failed(_) => "FAILED".to_string(),
+                JobOutcome::Completed => "ok",
+                JobOutcome::Failed(_) => "FAILED",
+                JobOutcome::Quarantined(_) => "QUARANTINED",
             };
             writeln!(
                 f,
-                "{:>9} {:>16} {:>12} {:>7} {:>6} {:>6} {:>7} {:>7} {:>8.3}s {:>9}",
+                "{:>9} {:>16} {:>12} {:>7} {:>6} {:>6} {:>7} {:>5} {:>7} {:>8.3}s {:>11}",
                 r.id.to_string(),
                 r.scenario.name(),
                 r.network.name(),
@@ -146,6 +270,7 @@ impl std::fmt::Display for ServiceReport {
                 r.resolution,
                 r.steps_done,
                 r.preemptions,
+                r.recoveries,
                 r.ckpt_every,
                 r.latency_s,
                 outcome

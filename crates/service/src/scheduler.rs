@@ -1,5 +1,7 @@
 //! The multi-tenant scheduler: bounded admission, weighted fair share,
-//! gang placement on the rank pool, and checkpoint-based preemption.
+//! gang placement on the rank pool, checkpoint-based preemption, and —
+//! when a [`NodeFaultConfig`] is armed — self-healing against the
+//! cluster failing underneath the jobs.
 //!
 //! One [`Service::tick`] is a scheduling quantum:
 //!
@@ -9,6 +11,10 @@
 //!    cannot fit is skipped — but only [`ServiceConfig::bypass_limit`]
 //!    times: after that the queue head *reserves* the pool (no later job
 //!    may jump it), which bounds waiting time and kills starvation.
+//!    Jobs backing off after a recovery sit out; jobs whose gang exceeds
+//!    *in-service* capacity wait for repairs (and quarantine after
+//!    [`ServiceConfig::capacity_patience`] rounds) instead of wedging
+//!    the queue — graceful degradation.
 //! 3. **Preempt** when the best waiting job outranks (strictly) the
 //!    weakest running job and the pool cannot fit it: victims are
 //!    checkpointed via [`exastro_resilience::CheckpointManager`],
@@ -18,14 +24,27 @@
 //! 4. **Run** every placed job one slice (a few steps) concurrently on
 //!    the worker pool; a resumed job restores from its newest intact
 //!    checkpoint first — generally onto *different* ranks, which is safe
-//!    because restarts are bit-exact.
-//! 5. **Retire** finished and failed jobs (release ranks, final record).
+//!    because restarts are bit-exact. The slowest gang member sets each
+//!    job's observed step cost (stragglers multiply it), and the tick's
+//!    simulated-time advance drives the fault model.
+//! 5. **Heal** (fault model armed): advance [`NodeFaultModel`], fail
+//!    ranks whose nodes died, revoke compromised leases
+//!    ([`exastro_machine::RankPool::revoke_failed`]), fail the slice,
+//!    and re-admit each victim from its last checkpoint with bounded
+//!    exponential backoff; a job that burns
+//!    [`ServiceConfig::quarantine_limit`] recoveries is circuit-broken
+//!    into [`JobOutcome::Quarantined`]. Jobs observing ≥
+//!    [`ServiceConfig::straggler_migrate_factor`]× their modeled step
+//!    cost are checkpoint-migrated onto healthy ranks.
+//! 6. **Retire** finished and failed jobs (release ranks, final record).
 
 use std::collections::VecDeque;
 use std::path::PathBuf;
 use std::time::Instant;
 
-use exastro_machine::{sedov_workload, Machine, RankLease, RankPool};
+use exastro_machine::{
+    sedov_workload, FaultEvent, Machine, NodeFaultConfig, NodeFaultModel, RankLease, RankPool,
+};
 use exastro_parallel::par_each_mut;
 use exastro_resilience::interval::{suggest_cadence_steps, JobProfile};
 use exastro_telemetry::{counter_add, Telemetry};
@@ -34,9 +53,10 @@ use crate::job::{Job, SliceStatus};
 use crate::report::{JobOutcome, JobRecord, ServiceReport};
 use crate::spec::{JobId, JobSpec, SubmitError};
 
-/// Service knobs. Defaults give a one-node pool with a small queue —
-/// the shape the examples and tests use; production sizing scales
-/// `nodes` and `queue_bound` up.
+/// Service knobs. Defaults give a one-node pool with a small queue and
+/// *no* fault injection — the shape the examples and tests use;
+/// production sizing scales `nodes` and `queue_bound` up and arms
+/// `faults` with the fleet's measured MTBF.
 pub struct ServiceConfig {
     /// The modeled machine supplying ranks and checkpoint pricing.
     pub machine: Machine,
@@ -55,8 +75,32 @@ pub struct ServiceConfig {
     pub jsonl_dir: Option<PathBuf>,
     /// Root directory for per-job checkpoint trees.
     pub ckpt_root: PathBuf,
-    /// Per-node MTBF assumed by the Young/Daly cadence, seconds.
+    /// Per-node MTBF assumed by the Young/Daly cadence, seconds. When
+    /// `faults` is armed with a finite MTBF, that value wins — the
+    /// cadence should price the failures actually being injected.
     pub per_node_mtbf_s: f64,
+    /// Whole-machine fault injection (`None` = the immortal cluster).
+    pub faults: Option<NodeFaultConfig>,
+    /// Observed/modeled step-cost ratio at which a running job is
+    /// checkpoint-migrated off its straggling node.
+    pub straggler_migrate_factor: f64,
+    /// Times one job may be straggler-migrated before it rides it out.
+    pub max_migrations: u32,
+    /// Recovery backoff after a node failure, in ticks: the `k`-th
+    /// recovery waits `min(base << (k-1), max)` ticks before the job may
+    /// place again.
+    pub recovery_backoff_base: u64,
+    /// Upper bound on the recovery backoff, ticks.
+    pub recovery_backoff_max: u64,
+    /// Circuit breaker: recoveries a job may burn before it is
+    /// quarantined instead of re-admitted.
+    pub quarantine_limit: u32,
+    /// Rounds a job may wait for its gang to fit *in-service* capacity
+    /// (shrunk by dead nodes) before it is quarantined.
+    pub capacity_patience: u64,
+    /// Simulated time an idle tick (nothing running) advances, µs —
+    /// keeps the fault model's clock moving while the queue backs off.
+    pub idle_tick_sim_us: f64,
 }
 
 impl Default for ServiceConfig {
@@ -71,6 +115,14 @@ impl Default for ServiceConfig {
             jsonl_dir: None,
             ckpt_root: std::env::temp_dir().join(format!("exastro_service_{}", std::process::id())),
             per_node_mtbf_s: 10.0 * 365.0 * 86_400.0,
+            faults: None,
+            straggler_migrate_factor: 2.0,
+            max_migrations: 2,
+            recovery_backoff_base: 1,
+            recovery_backoff_max: 16,
+            quarantine_limit: 3,
+            capacity_patience: 200,
+            idle_tick_sim_us: 1e6,
         }
     }
 }
@@ -79,12 +131,20 @@ struct Running {
     job: Job,
     lease: RankLease,
     status: SliceStatus,
+    /// Max fault-model slowdown over the lease's nodes this tick.
+    slow: f64,
+    /// Steps the job actually advanced this tick.
+    steps_ran: u64,
+    /// Set when a node under this lease died: the slice is void and the
+    /// lease must be surrendered through `revoke_failed`.
+    doomed: bool,
 }
 
 /// The long-running job service.
 pub struct Service {
     cfg: ServiceConfig,
     pool: RankPool,
+    fault_model: Option<NodeFaultModel>,
     queue: VecDeque<Job>,
     running: Vec<Running>,
     records: Vec<JobRecord>,
@@ -94,19 +154,33 @@ pub struct Service {
     last_tick: Instant,
     /// Σ (tick wall seconds × ranks leased) — utilization numerator.
     leased_rank_seconds: f64,
+    /// Simulated-time clock driving the fault model, µs. Advances by the
+    /// slowest running gang's observed slice cost each tick.
+    sim_clock_us: f64,
+    tick_no: u64,
     queue_peak: usize,
     submitted: u64,
     rejected: u64,
     preemptions: u64,
+    node_failures: u64,
+    lease_revocations: u64,
+    recoveries: u64,
+    straggler_migrations: u64,
+    quarantined: usize,
 }
 
 impl Service {
     /// A service over `cfg`'s machine and knobs.
     pub fn new(cfg: ServiceConfig) -> Service {
         let pool = RankPool::new(&cfg.machine, cfg.nodes);
+        let fault_model = cfg
+            .faults
+            .clone()
+            .map(|f| NodeFaultModel::new(f, cfg.nodes));
         let now = Instant::now();
         Service {
             pool,
+            fault_model,
             cfg,
             queue: VecDeque::new(),
             running: Vec::new(),
@@ -116,16 +190,28 @@ impl Service {
             started_at: now,
             last_tick: now,
             leased_rank_seconds: 0.0,
+            sim_clock_us: 0.0,
+            tick_no: 0,
             queue_peak: 0,
             submitted: 0,
             rejected: 0,
             preemptions: 0,
+            node_failures: 0,
+            lease_revocations: 0,
+            recoveries: 0,
+            straggler_migrations: 0,
+            quarantined: 0,
         }
     }
 
     /// Total ranks in the pool.
     pub fn total_ranks(&self) -> usize {
         self.pool.total()
+    }
+
+    /// Ranks currently in service (total minus dead-and-unrepaired).
+    pub fn ranks_in_service(&self) -> usize {
+        self.pool.in_service()
     }
 
     /// Jobs waiting for placement.
@@ -136,6 +222,12 @@ impl Service {
     /// Jobs currently on the machine.
     pub fn running_count(&self) -> usize {
         self.running.len()
+    }
+
+    /// Simulated seconds the service has advanced (the fault model's
+    /// clock; 0 until the first tick).
+    pub fn sim_clock_s(&self) -> f64 {
+        self.sim_clock_us * 1e-6
     }
 
     /// Submit a job. `Err(QueueFull)` is backpressure — the spec was not
@@ -186,6 +278,8 @@ impl Service {
         // Price one step of this job on the modeled machine (the same
         // workload builder the weak-scaling figures use) and derive the
         // Young/Daly checkpoint cadence from it unless the tenant set one.
+        // When fault injection is armed with a finite MTBF, *that* is the
+        // failure rate the cadence must price, not the nominal fleet MTBF.
         let wl = sedov_workload(
             &self.cfg.machine,
             job.spec.nodes,
@@ -197,10 +291,17 @@ impl Service {
         job.ckpt_every = match job.spec.ckpt_every {
             Some(every) => every,
             None => {
+                let mtbf = self
+                    .cfg
+                    .faults
+                    .as_ref()
+                    .map(|f| f.node_mtbf_s)
+                    .filter(|m| m.is_finite())
+                    .unwrap_or(self.cfg.per_node_mtbf_s);
                 let profile = JobProfile {
                     nodes: job.spec.nodes,
                     checkpoint_bytes: job.checkpoint_bytes(),
-                    per_node_mtbf_s: self.cfg.per_node_mtbf_s,
+                    per_node_mtbf_s: mtbf,
                     step_wall_s: job.step_sim_us * 1e-6,
                 };
                 suggest_cadence_steps(&self.cfg.machine, &profile)
@@ -226,10 +327,14 @@ impl Service {
         let dt = now.duration_since(self.last_tick).as_secs_f64();
         self.last_tick = now;
         self.leased_rank_seconds += dt * self.pool.leased() as f64;
+        self.tick_no += 1;
 
         self.place_queued();
         self.preempt_for_priority();
         self.run_slices();
+        self.advance_faults();
+        self.recover_failed();
+        self.mitigate_stragglers();
         self.retire();
 
         Telemetry::record_hist("service/queue_depth", self.queue.len() as f64);
@@ -247,23 +352,53 @@ impl Service {
         !self.tick()
     }
 
+    /// Nodes currently straggling (empty without a fault model).
+    fn slow_nodes(&self) -> Vec<usize> {
+        self.fault_model
+            .as_ref()
+            .map(|f| f.straggling_nodes())
+            .unwrap_or_default()
+    }
+
     fn place_queued(&mut self) {
         // Sort a view of queue indices by fair-share key.
         let mut order: Vec<usize> = (0..self.queue.len()).collect();
         order.sort_by(|&a, &b| {
             let ka = Self::share_key(&self.queue[a]);
             let kb = Self::share_key(&self.queue[b]);
-            ka.partial_cmp(&kb).unwrap_or(std::cmp::Ordering::Equal)
+            ka.0.total_cmp(&kb.0)
+                .then(ka.1.total_cmp(&kb.1))
+                .then(ka.2.cmp(&kb.2))
         });
+        let avoid = self.slow_nodes();
         let mut placed: Vec<(usize, RankLease)> = Vec::new();
+        let mut quarantine: Vec<usize> = Vec::new();
         let mut blocked_reserver = false;
         for &qi in &order {
+            if self.queue[qi].eligible_at_tick > self.tick_no {
+                // Backing off after a recovery: sits out, neither places
+                // nor reserves, and does not accrue bypasses.
+                continue;
+            }
+            if self.queue[qi].ranks_needed > self.pool.in_service() {
+                // Graceful degradation: the gang no longer fits the
+                // surviving machine. Wait for repairs without wedging the
+                // queue (no reservation), quarantine once patience runs
+                // out so the job does not wait forever on a node that
+                // will never come back.
+                let job = &mut self.queue[qi];
+                job.capacity_waits += 1;
+                if job.capacity_waits > self.cfg.capacity_patience {
+                    quarantine.push(qi);
+                }
+                continue;
+            }
             if blocked_reserver {
                 // A starving job ahead of us has reserved the pool.
                 continue;
             }
             let need = self.queue[qi].ranks_needed;
-            if let Some(lease) = self.pool.try_lease(need) {
+            if let Some(lease) = self.pool.try_lease_avoiding(need, &avoid) {
                 placed.push((qi, lease));
             } else {
                 let job = &mut self.queue[qi];
@@ -275,12 +410,35 @@ impl Service {
                 }
             }
         }
-        // Pull the placed jobs out of the queue (descending index so the
-        // remaining indices stay valid; queue order is preserved).
-        placed.sort_by_key(|p| std::cmp::Reverse(p.0));
-        for (qi, lease) in placed {
-            let job = self.queue.remove(qi).expect("placed index in queue");
-            self.start(job, lease);
+        // Pull placed and quarantined jobs out of the queue (descending
+        // index so the remaining indices stay valid; queue order is
+        // preserved). The two sets are disjoint by construction.
+        enum Act {
+            Place(RankLease),
+            Quarantine,
+        }
+        let mut acts: Vec<(usize, Act)> = placed
+            .into_iter()
+            .map(|(qi, l)| (qi, Act::Place(l)))
+            .chain(quarantine.into_iter().map(|qi| (qi, Act::Quarantine)))
+            .collect();
+        acts.sort_by_key(|a| std::cmp::Reverse(a.0));
+        for (qi, act) in acts {
+            let job = self.queue.remove(qi).expect("acted index in queue");
+            match act {
+                Act::Place(lease) => self.start(job, lease),
+                Act::Quarantine => {
+                    let why = format!(
+                        "capacity: gang wants {} ranks but only {} of {} are in service \
+                         after node failures ({} round(s) waited)",
+                        job.ranks_needed,
+                        self.pool.in_service(),
+                        self.pool.total(),
+                        job.capacity_waits
+                    );
+                    self.finish(job, JobOutcome::Quarantined(why));
+                }
+            }
         }
     }
 
@@ -290,10 +448,19 @@ impl Service {
     fn preempt_for_priority(&mut self) {
         loop {
             // Highest-class waiting job that is not placeable right now.
-            let Some(qi) = (0..self.queue.len()).max_by_key(|&i| {
-                let j = &self.queue[i];
-                (j.spec.priority, std::cmp::Reverse(j.submit_seq))
-            }) else {
+            // Backing-off jobs and gangs beyond in-service capacity are
+            // not candidates: preempting victims for a job that cannot
+            // start anyway just thrashes checkpoints.
+            let Some(qi) = (0..self.queue.len())
+                .filter(|&i| {
+                    let j = &self.queue[i];
+                    j.eligible_at_tick <= self.tick_no && j.ranks_needed <= self.pool.in_service()
+                })
+                .max_by_key(|&i| {
+                    let j = &self.queue[i];
+                    (j.spec.priority, std::cmp::Reverse(j.submit_seq))
+                })
+            else {
                 return;
             };
             let need = self.queue[qi].ranks_needed;
@@ -362,31 +529,206 @@ impl Service {
                 self.finish(job, JobOutcome::Failed(format!("resume: {why}")));
                 return;
             }
+        } else if self.fault_model.is_some() && !job.ckpt_written {
+            // Chaos armed: guarantee resumability *before* the first
+            // step, so a node that dies ahead of the first cadence point
+            // still leaves a fail-over target. (Without a fault model
+            // this write is dead weight — skip it.)
+            if let Err(why) = job.checkpoint() {
+                self.pool.release(lease);
+                self.finish(
+                    job,
+                    JobOutcome::Failed(format!("initial checkpoint: {why}")),
+                );
+                return;
+            }
+        }
+        if let Some(died_at) = job.failed_at_sim_us.take() {
+            // Back on the machine after a node failure: MTTR is the sim
+            // time from rank death to renewed placement.
+            self.recoveries += 1;
+            counter_add("service.recoveries", 1);
+            Telemetry::record_hist(
+                "service/mttr_sim_s",
+                (self.sim_clock_us - died_at).max(0.0) * 1e-6,
+            );
         }
         job.bypassed = 0;
+        job.capacity_waits = 0;
         self.running.push(Running {
             job,
             lease,
             status: SliceStatus::Ran,
+            slow: 1.0,
+            steps_ran: 0,
+            doomed: false,
         });
     }
 
     fn run_slices(&mut self) {
         if self.running.is_empty() {
+            // Nothing on the machine: simulated time still flows (the
+            // fault model must keep aging while the queue backs off).
+            if !self.queue.is_empty() && self.fault_model.is_some() {
+                self.sim_clock_us += self.cfg.idle_tick_sim_us;
+            }
             return;
         }
         let quantum = self.cfg.slice_steps.max(1);
+        // Observed slowdown per gang: the slowest leased node sets the
+        // pace (gangs are bulk-synchronous).
+        if let Some(fm) = &self.fault_model {
+            let g = self.pool.gpus_per_node();
+            for r in &mut self.running {
+                r.slow = r
+                    .lease
+                    .ranks()
+                    .iter()
+                    .map(|&rank| fm.slowdown(rank / g))
+                    .fold(1.0, f64::max);
+            }
+        }
         // Concurrent slices on the worker pool: one task per running job.
         par_each_mut(&mut self.running, |_, r| {
+            let before = r.job.clock.step;
             r.status = r.job.run_slice(quantum);
+            r.steps_ran = r.job.clock.step - before;
         });
-        // Fair-share accounting (serial: needs &mut self bookkeeping).
+        // Fair-share accounting (serial: needs &mut self bookkeeping),
+        // and the tick's simulated-time advance: the slices above ran
+        // concurrently, so the slowest gang's observed cost is the wall.
+        let mut tick_sim_us = 0.0f64;
         for r in &mut self.running {
+            tick_sim_us = tick_sim_us.max(r.steps_ran as f64 * r.job.step_sim_us * r.slow);
             if r.status != SliceStatus::Ran {
                 continue;
             }
             let w = r.job.spec.priority.weight();
             r.job.vtime += quantum as f64 * r.job.step_sim_us / w;
+        }
+        if tick_sim_us <= 0.0 && self.fault_model.is_some() {
+            tick_sim_us = self.cfg.idle_tick_sim_us;
+        }
+        self.sim_clock_us += tick_sim_us;
+    }
+
+    /// Advance the fault model to the current sim time and apply what it
+    /// injected: dead nodes leave the pool (dooming the leases over
+    /// them), repaired nodes return.
+    fn advance_faults(&mut self) {
+        let Some(fm) = &mut self.fault_model else {
+            return;
+        };
+        let g = self.pool.gpus_per_node();
+        let now_s = self.sim_clock_us * 1e-6;
+        for ev in fm.advance(now_s) {
+            match ev {
+                FaultEvent::NodeKilled { node, at_s } => {
+                    self.pool.fail_node(node);
+                    self.node_failures += 1;
+                    counter_add("service.node_failures", 1);
+                    // Health monitor: the kill surfaces at the end of the
+                    // scheduling window in which it happened.
+                    Telemetry::record_hist("service/detect_latency_sim_s", (now_s - at_s).max(0.0));
+                    for r in &mut self.running {
+                        if r.lease.ranks().iter().any(|&rank| rank / g == node) {
+                            r.doomed = true;
+                        }
+                    }
+                }
+                FaultEvent::NodeRepaired { node, .. } => {
+                    self.pool.repair_node(node);
+                }
+                // Stragglers and network degradation change *speed*, not
+                // membership; run_slices queries the model each tick.
+                FaultEvent::StragglerBegan { .. }
+                | FaultEvent::StragglerEnded { .. }
+                | FaultEvent::NetworkDegraded { .. }
+                | FaultEvent::NetworkRestored { .. } => {}
+            }
+        }
+    }
+
+    /// The recovery ladder's cluster rung: every doomed job surrenders
+    /// its lease (`revoke_failed` — surviving ranks return to the pool),
+    /// discards its slice, and is either re-admitted from its last
+    /// checkpoint under exponential backoff or circuit-broken into
+    /// quarantine.
+    fn recover_failed(&mut self) {
+        let mut i = 0;
+        while i < self.running.len() {
+            if !self.running[i].doomed {
+                i += 1;
+                continue;
+            }
+            let mut r = self.running.swap_remove(i);
+            let dead = self.pool.revoke_failed(r.lease);
+            self.lease_revocations += 1;
+            counter_add("service.lease_revocations", 1);
+            let lost = r.job.clock.step.saturating_sub(r.job.last_ckpt_step);
+            Telemetry::record_hist("service/lost_steps", lost as f64);
+            r.job.fail_over();
+            if r.job.recoveries >= self.cfg.quarantine_limit {
+                let why = format!(
+                    "recovery budget exhausted: {} node-failure recoveries \
+                     (limit {}); last failure killed rank(s) {:?}",
+                    r.job.recoveries, self.cfg.quarantine_limit, dead
+                );
+                self.finish(r.job, JobOutcome::Quarantined(why));
+                continue;
+            }
+            // Bounded exponential backoff before the next placement try.
+            let k = r.job.recoveries.max(1);
+            let backoff = self
+                .cfg
+                .recovery_backoff_base
+                .saturating_mul(1u64 << (k - 1).min(16))
+                .min(self.cfg.recovery_backoff_max);
+            r.job.eligible_at_tick = self.tick_no + backoff;
+            r.job.failed_at_sim_us = Some(self.sim_clock_us);
+            self.queue.push_back(r.job);
+            self.queue_peak = self.queue_peak.max(self.queue.len());
+        }
+    }
+
+    /// Straggler mitigation: a gang observing ≥ N× its modeled step cost
+    /// is checkpoint-migrated off the slow node — but only when enough
+    /// healthy ranks are actually free to take it (otherwise migrating
+    /// just parks the job behind the same stragglers).
+    fn mitigate_stragglers(&mut self) {
+        if self.fault_model.is_none() {
+            return;
+        }
+        let slow_nodes = self.slow_nodes();
+        if slow_nodes.is_empty() {
+            return;
+        }
+        let mut i = 0;
+        while i < self.running.len() {
+            let r = &self.running[i];
+            let movable = r.status == SliceStatus::Ran
+                && !r.doomed
+                && r.slow >= self.cfg.straggler_migrate_factor
+                && r.job.migrations < self.cfg.max_migrations
+                && self.pool.free_outside(&slow_nodes) >= r.job.ranks_needed;
+            if !movable {
+                i += 1;
+                continue;
+            }
+            let mut r = self.running.swap_remove(i);
+            match r.job.migrate() {
+                Ok(()) => {
+                    self.straggler_migrations += 1;
+                    counter_add("service.straggler_migrations", 1);
+                    self.pool.release(r.lease);
+                    self.queue.push_back(r.job);
+                    self.queue_peak = self.queue_peak.max(self.queue.len());
+                }
+                Err(why) => {
+                    self.pool.release(r.lease);
+                    self.finish(r.job, JobOutcome::Failed(format!("migrate: {why}")));
+                }
+            }
         }
     }
 
@@ -414,6 +756,10 @@ impl Service {
         match &outcome {
             JobOutcome::Completed => counter_add("service.completed", 1),
             JobOutcome::Failed(_) => counter_add("service.failed", 1),
+            JobOutcome::Quarantined(_) => {
+                self.quarantined += 1;
+                counter_add("service.quarantined", 1);
+            }
         }
         job.flush_telemetry();
         let latency_s = job.submitted_at.elapsed().as_secs_f64();
@@ -431,6 +777,8 @@ impl Service {
             steps_requested: job.spec.steps,
             outcome,
             preemptions: job.preemptions,
+            recoveries: job.recoveries,
+            migrations: job.migrations,
             latency_s,
             deadline_met,
             ckpt_every: job.ckpt_every,
@@ -442,7 +790,7 @@ impl Service {
     }
 
     /// The service-level summary (jobs/hour, latency percentiles, rank
-    /// utilization, and every terminal job record).
+    /// utilization, chaos counters, and every terminal job record).
     pub fn report(&self) -> ServiceReport {
         let wall_s = self.started_at.elapsed().as_secs_f64();
         let mut latencies: Vec<f64> = self
@@ -451,7 +799,7 @@ impl Service {
             .filter(|r| matches!(r.outcome, JobOutcome::Completed))
             .map(|r| r.latency_s)
             .collect();
-        latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        sort_total(&mut latencies);
         let completed = latencies.len();
         let failed = self
             .records
@@ -469,12 +817,18 @@ impl Service {
             rejected: self.rejected,
             completed,
             failed,
+            quarantined: self.quarantined,
             preemptions: self.preemptions,
+            node_failures: self.node_failures,
+            lease_revocations: self.lease_revocations,
+            recoveries: self.recoveries,
+            straggler_migrations: self.straggler_migrations,
             queue_depth: self.queue.len(),
             queue_peak: self.queue_peak,
             queue_bound: self.cfg.queue_bound,
             running: self.running.len(),
             total_ranks: self.pool.total(),
+            ranks_in_service: self.pool.in_service(),
             rank_utilization: utilization,
             jobs_per_hour: if wall_s > 0.0 {
                 completed as f64 * 3600.0 / wall_s
@@ -488,6 +842,13 @@ impl Service {
     }
 }
 
+/// Total-order ascending sort for latency samples. `total_cmp` (not
+/// `partial_cmp().unwrap()`) so a NaN — e.g. from a poisoned wall-clock
+/// reading — sorts to the end instead of panicking the report path.
+fn sort_total(v: &mut [f64]) {
+    v.sort_by(f64::total_cmp);
+}
+
 /// Nearest-rank percentile of an ascending-sorted slice (0 when empty).
 fn percentile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
@@ -495,4 +856,29 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
     }
     let idx = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len()) - 1;
     sorted[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_sort_survives_nan() {
+        // Regression: the report path used partial_cmp().unwrap(), which
+        // panics the whole service summary on a single NaN sample.
+        let mut v = vec![3.0, f64::NAN, 1.0, 2.0, f64::NAN];
+        sort_total(&mut v);
+        assert_eq!(&v[..3], &[1.0, 2.0, 3.0]);
+        assert!(v[3].is_nan() && v[4].is_nan(), "NaNs sort last: {v:?}");
+        // Percentiles over the finite prefix stay sane.
+        assert_eq!(percentile(&v[..3], 0.50), 2.0);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.50), 2.0);
+        assert_eq!(percentile(&v, 0.99), 4.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
 }

@@ -1,0 +1,191 @@
+//! Chaos drill: the self-healing service under seeded node kills and a
+//! straggler wave.
+//!
+//! Boots the service on a five-node slice of the modeled machine with
+//! the deterministic `NodeFaultModel` armed (MTBF-driven node crashes
+//! with repair, plus transient stragglers), submits a mixed tenant
+//! population, and lets the cluster fail underneath it. Every tenant's
+//! final digest is checked in-process against a fault-free solo run of
+//! the same spec: recoveries must be visible in the report and **zero**
+//! digests may be corrupted.
+//!
+//! ```sh
+//! cargo run --release --example chaos
+//! # machine-readable report (CI schema-checks it):
+//! cargo run --release --example chaos -- --report /tmp/chaos_report.json
+//! ```
+
+use exastro::machine::NodeFaultConfig;
+use exastro::service::{
+    JobOutcome, JobSpec, NetChoice, PriorityClass, Scenario, Service, ServiceConfig,
+};
+
+/// `--report <path>` (optional).
+fn parse_report_path() -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    let mut report = None;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--report" => report = Some(args.next().expect("--report needs a path")),
+            other => {
+                eprintln!("unknown argument {other}; usage: chaos [--report out.json]");
+                std::process::exit(2);
+            }
+        }
+    }
+    report
+}
+
+fn base_cfg(tag: &str, nodes: usize) -> ServiceConfig {
+    ServiceConfig {
+        nodes,
+        ckpt_root: std::env::temp_dir()
+            .join(format!("exastro_chaos_demo_{tag}_{}", std::process::id())),
+        ..Default::default()
+    }
+}
+
+/// Fault-free ground truth for one spec.
+fn solo_digest(tag: &str, spec: JobSpec) -> u32 {
+    let mut svc = Service::new(base_cfg(tag, spec.nodes));
+    let id = svc.submit(spec).expect("solo submit");
+    assert!(svc.run_until_idle(10_000), "solo run must drain");
+    let report = svc.report();
+    let rec = report.jobs.iter().find(|r| r.id == id).expect("record");
+    assert_eq!(rec.outcome, JobOutcome::Completed, "solo run must complete");
+    rec.final_digest
+}
+
+fn main() {
+    let report_path = parse_report_path();
+
+    let tenants = [
+        JobSpec {
+            scenario: Scenario::SedovBlast,
+            resolution: 12,
+            steps: 10,
+            priority: PriorityClass::Batch,
+            ..Default::default()
+        },
+        JobSpec {
+            scenario: Scenario::XrbFlame,
+            network: NetChoice::TripleAlpha,
+            resolution: 8,
+            steps: 8,
+            ..Default::default()
+        },
+        JobSpec {
+            scenario: Scenario::ReactingBubble,
+            resolution: 12,
+            steps: 6,
+            ..Default::default()
+        },
+        JobSpec {
+            scenario: Scenario::SedovBlast,
+            resolution: 8,
+            steps: 12,
+            ..Default::default()
+        },
+        JobSpec {
+            scenario: Scenario::SedovBlast,
+            resolution: 12,
+            steps: 6,
+            priority: PriorityClass::High,
+            ..Default::default()
+        },
+        JobSpec {
+            scenario: Scenario::ReactingBubble,
+            resolution: 8,
+            steps: 8,
+            priority: PriorityClass::Batch,
+            ..Default::default()
+        },
+    ];
+    println!(
+        "computing fault-free ground-truth digests for {} tenants...",
+        tenants.len()
+    );
+    let want: Vec<u32> = tenants
+        .iter()
+        .enumerate()
+        .map(|(i, s)| solo_digest(&format!("solo{i}"), s.clone()))
+        .collect();
+
+    // The same seeded storm the integration test proves out: node MTBF a
+    // couple dozen job-steps, repairs shortly after, straggler episodes
+    // at 4× step cost.
+    let mut cfg = base_cfg("storm", 5);
+    cfg.quarantine_limit = 10;
+    cfg.idle_tick_sim_us = 2_000.0;
+    cfg.faults = Some(NodeFaultConfig {
+        seed: 0xC4A05,
+        node_mtbf_s: 0.025,
+        repair_s: Some(0.020),
+        straggler_mtbf_s: 0.030,
+        straggler_factor: 4.0,
+        straggler_duration_s: 0.050,
+        ..Default::default()
+    });
+    println!(
+        "service up: 5 nodes (30 ranks), node MTBF {:.0} ms with repair, straggler wave armed",
+        0.025 * 1e3
+    );
+    let mut svc = Service::new(cfg);
+    let ids: Vec<_> = tenants
+        .iter()
+        .map(|s| svc.submit(s.clone()).expect("tenant admits"))
+        .collect();
+    assert!(svc.run_until_idle(100_000), "chaos run must drain");
+
+    let report = svc.report();
+    print!("{report}");
+    if let Some(path) = &report_path {
+        std::fs::write(path, report.to_json()).expect("write report");
+        println!("wrote {path}");
+    }
+
+    // The drill's acceptance: failures actually happened, the service
+    // healed, and not one digest was corrupted.
+    assert!(
+        report.node_failures >= 3,
+        "the storm must kill >=3 nodes, got {}",
+        report.node_failures
+    );
+    assert!(
+        report.recoveries >= 1,
+        "the report must show checkpoint recoveries"
+    );
+    assert!(
+        report.straggler_migrations >= 1,
+        "the straggler wave must force a migration"
+    );
+    let mut corrupted = 0;
+    for (id, want) in ids.iter().zip(&want) {
+        let rec = report.jobs.iter().find(|r| r.id == *id).expect("record");
+        match &rec.outcome {
+            JobOutcome::Completed => {
+                if rec.final_digest != *want {
+                    eprintln!(
+                        "{id}: digest {:#010x} != solo {want:#010x}",
+                        rec.final_digest
+                    );
+                    corrupted += 1;
+                }
+            }
+            JobOutcome::Quarantined(reason) => {
+                println!("{id}: quarantined ({reason})");
+            }
+            JobOutcome::Failed(why) => panic!("{id} failed under chaos: {why}"),
+        }
+    }
+    assert_eq!(corrupted, 0, "zero corrupted digests required");
+    println!(
+        "{} node failure(s), {} revocation(s), {} recovery(ies), {} migration(s), \
+         0 corrupted digests",
+        report.node_failures,
+        report.lease_revocations,
+        report.recoveries,
+        report.straggler_migrations
+    );
+    println!("CHAOS OK");
+}

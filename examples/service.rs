@@ -16,7 +16,7 @@
 
 use exastro::microphysics::{BdfErrorKind, BurnFaultConfig};
 use exastro::service::{
-    JobOutcome, JobSpec, NetChoice, PriorityClass, Scenario, Service, ServiceConfig, ServiceReport,
+    JobOutcome, JobSpec, NetChoice, PriorityClass, Scenario, Service, ServiceConfig,
 };
 
 /// `--report <path> --jsonl-dir <dir>` (both optional, any order).
@@ -44,74 +44,6 @@ fn parse_cli() -> Cli {
         }
     }
     cli
-}
-
-fn json_escape(s: &str) -> String {
-    s.chars()
-        .flat_map(|c| match c {
-            '"' => vec!['\\', '"'],
-            '\\' => vec!['\\', '\\'],
-            '\n' => vec!['\\', 'n'],
-            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
-            c => vec![c],
-        })
-        .collect()
-}
-
-/// Hand-rolled JSON (the workspace is registry-free: no serde).
-fn report_json(r: &ServiceReport) -> String {
-    let mut s = String::from("{\n");
-    s += &format!("  \"wall_s\": {},\n", r.wall_s);
-    s += &format!("  \"submitted\": {},\n", r.submitted);
-    s += &format!("  \"rejected\": {},\n", r.rejected);
-    s += &format!("  \"completed\": {},\n", r.completed);
-    s += &format!("  \"failed\": {},\n", r.failed);
-    s += &format!("  \"preemptions\": {},\n", r.preemptions);
-    s += &format!("  \"queue_peak\": {},\n", r.queue_peak);
-    s += &format!("  \"queue_bound\": {},\n", r.queue_bound);
-    s += &format!("  \"total_ranks\": {},\n", r.total_ranks);
-    s += &format!("  \"rank_utilization\": {},\n", r.rank_utilization);
-    s += &format!("  \"jobs_per_hour\": {},\n", r.jobs_per_hour);
-    s += &format!("  \"latency_p50_s\": {},\n", r.latency_p50_s);
-    s += &format!("  \"latency_p99_s\": {},\n", r.latency_p99_s);
-    s += "  \"jobs\": [\n";
-    for (i, j) in r.jobs.iter().enumerate() {
-        let (outcome, error) = match &j.outcome {
-            JobOutcome::Completed => ("completed", None),
-            JobOutcome::Failed(why) => ("failed", Some(why.clone())),
-        };
-        s += "    {";
-        s += &format!("\"id\": \"{}\", ", j.id);
-        s += &format!("\"scenario\": \"{}\", ", j.scenario.name());
-        s += &format!("\"network\": \"{}\", ", j.network.name());
-        s += &format!("\"priority\": \"{}\", ", j.priority.name());
-        s += &format!("\"resolution\": {}, ", j.resolution);
-        s += &format!("\"nodes\": {}, ", j.nodes);
-        s += &format!("\"ranks\": {}, ", j.ranks);
-        s += &format!("\"steps_done\": {}, ", j.steps_done);
-        s += &format!("\"steps_requested\": {}, ", j.steps_requested);
-        s += &format!("\"outcome\": \"{outcome}\", ");
-        if let Some(why) = error {
-            s += &format!("\"error\": \"{}\", ", json_escape(&why));
-        }
-        s += &format!("\"preemptions\": {}, ", j.preemptions);
-        s += &format!("\"latency_s\": {}, ", j.latency_s);
-        s += &format!(
-            "\"deadline_met\": {}, ",
-            match j.deadline_met {
-                Some(b) => b.to_string(),
-                None => "null".into(),
-            }
-        );
-        s += &format!("\"ckpt_every\": {}, ", j.ckpt_every);
-        s += &format!("\"final_digest\": {}, ", j.final_digest);
-        s += &format!("\"sim_us\": {}, ", j.sim_us);
-        s += &format!("\"zones\": {}, ", j.zones);
-        s += &format!("\"step_records\": {}", j.step_records);
-        s += if i + 1 < r.jobs.len() { "},\n" } else { "}\n" };
-    }
-    s += "  ]\n}\n";
-    s
 }
 
 fn main() {
@@ -211,7 +143,7 @@ fn main() {
     print!("{report}");
 
     if let Some(path) = &cli.report {
-        std::fs::write(path, report_json(&report)).expect("write report");
+        std::fs::write(path, report.to_json()).expect("write report");
         println!("wrote {path}");
     }
     println!("per-job telemetry in {}", jsonl_dir.display());
