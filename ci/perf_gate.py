@@ -13,7 +13,10 @@ artifacts (``{"metrics": [...]}``) are mostly reported without gating — the
 exception is ``batch_speedup`` labels, which are same-run throughput ratios
 (batched vs scalar burns on the same machine in the same process), so the
 machine speed cancels and a drop below tolerance means the SoA batcher
-itself regressed.
+itself regressed. ``overlap_efficiency`` labels are likewise gated: they
+come from the deterministic machine model's overlapped-stepping term, so a
+drop means the overlap pricing (or the comm measurement feeding it)
+regressed, not the host.
 
 Usage:
     python3 ci/perf_gate.py [--tolerance 0.15] [--baseline-dir ci/baselines]
@@ -72,7 +75,8 @@ def main():
             gated = [m for m in base.get("metrics", [])
                      if "batch_speedup" in m["label"]
                      or "jobs_per_hour" in m["label"]
-                     or "goodput" in m["label"]]
+                     or "goodput" in m["label"]
+                     or "overlap_efficiency" in m["label"]]
             if not gated:
                 print(f"{bpath.name}: metrics-style artifact, not gated")
                 continue
@@ -84,9 +88,10 @@ def main():
                         f"{bpath.name}: label {m['label']} missing from fresh run")
                     continue
                 compared += 1
-                tol = (args.tolerance
-                       if "jobs_per_hour" in m["label"] or "goodput" in m["label"]
-                       else args.metric_tolerance)
+                deterministic = ("jobs_per_hour" in m["label"]
+                                 or "goodput" in m["label"]
+                                 or "overlap_efficiency" in m["label"])
+                tol = args.tolerance if deterministic else args.metric_tolerance
                 floor = m["value"] * (1.0 - tol)
                 status = "OK"
                 if fm["value"] < floor:

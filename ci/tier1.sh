@@ -177,6 +177,32 @@ print(f"chaos report OK ({len(r['jobs'])} jobs, {r['node_failures']} kill(s), "
       f"{r['recoveries']} recovery(ies), {r['straggler_migrations']} migration(s))")
 EOF
 
+echo "== task-graph overlap ablation smoke (test mode) =="
+# The tentpole's ablation: the modeled 512-node efficiency with the
+# overlapped exchange must beat bulk-synchronous stepping, and the real
+# graph-overlapped Castro advance (bit-identical results, asserted in the
+# castro tests) must not be slower than sync beyond noise.
+cargo bench --offline -p exastro-bench --bench ablation_taskgraph -- --test >/tmp/taskgraph_smoke.log
+python3 - <<'EOF'
+import json
+d = json.load(open("BENCH_taskgraph.json"))
+assert d["bench"] == "taskgraph", d
+by = {m["label"]: m["value"] for m in d["metrics"]}
+for need in ("taskgraph/overlap_efficiency", "taskgraph/sync_efficiency",
+             "taskgraph/efficiency_gain",
+             "taskgraph/scheduler_overhead_us_per_task",
+             "taskgraph/wall_speedup_sedov32"):
+    assert need in by, f"missing {need} in {sorted(by)}"
+assert by["taskgraph/overlap_efficiency"] > by["taskgraph/sync_efficiency"], (
+    "overlap must improve modeled 512-node efficiency")
+assert by["taskgraph/efficiency_gain"] > 1.0
+assert by["taskgraph/scheduler_overhead_us_per_task"] < 100.0, (
+    "scheduler overhead implausibly high")
+assert by["taskgraph/wall_speedup_sedov32"] > 0.7, (
+    "graph-overlapped advance should not be drastically slower than sync")
+print(f"BENCH_taskgraph.json OK ({len(d['metrics'])} metrics)")
+EOF
+
 echo "== perf gate (deterministic scaling curves vs committed baselines) =="
 # fig2/fig3 throughputs come from the machine performance model, so they
 # are bit-reproducible; any drop beyond tolerance is a real regression.

@@ -180,9 +180,11 @@ pub fn fill_patch_two_levels(
     bc: &BcSpec,
 ) {
     assert!(coarse.ngrow() >= 1);
-    coarse.fill_boundary(coarse_geom);
+    // Intra-level traces are priced by the drivers' own step exchanges; the
+    // fill_patch fills are inter-level plumbing and deliberately untraced.
+    let _ = coarse.fill_boundary(coarse_geom);
     coarse.fill_physical_bc(coarse_geom, bc);
-    fine.fill_boundary(fine_geom);
+    let _ = fine.fill_boundary(fine_geom);
 
     let ncomp = fine.ncomp();
     let fine_domain = fine_geom.domain();

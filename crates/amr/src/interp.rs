@@ -156,7 +156,7 @@ mod tests {
             let v = ((iv.x() as Real).sin() + (iv.y() as Real * 0.7).cos()) * 2.0;
             coarse.fab_mut(0).set(iv, 0, v);
         }
-        coarse.fill_boundary(&geom);
+        let _ = coarse.fill_boundary(&geom);
         prolong_lin(&coarse, &mut fine, 4);
         // Conservation: sum over fine = ratio^3 * sum over coarse.
         let cs = coarse.sum(0);

@@ -41,7 +41,7 @@ pub use geometry::{CoordSys, Geometry};
 pub use hierarchy::{fill_patch_two_levels, AmrLevel, Hierarchy};
 pub use interp::{average_down, prolong_lin, prolong_pc};
 pub use io::{read_checkpoint, write_checkpoint, Checkpoint, IoError};
-pub use multifab::{BcKind, BcSpec, CommTrace, Message, MultiFab};
+pub use multifab::{apply_physical_bc, BcKind, BcSpec, CommTrace, Message, MultiFab, PendingComm};
 
 // Re-export the index primitives so downstream crates have one import path.
 pub use exastro_parallel::{IndexBox, IntVect, Real, SPACEDIM};

@@ -11,9 +11,14 @@
 
 use crate::boxarray::BoxArray;
 use crate::distribution::DistributionMapping;
-use crate::fab::FArrayBox;
+use crate::fab::{Array4Mut, FArrayBox};
 use crate::geometry::Geometry;
-use exastro_parallel::{par_each_mut, par_map_fold, IndexBox, IntVect, Profiler, Real, SPACEDIM};
+use exastro_parallel::{
+    par_each_mut, par_each_mut_bounded, par_index_each, par_map_fold, IndexBox, IntVect, Profiler,
+    Real, WorkerPool, SPACEDIM,
+};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
 
 /// One point-to-point message in a communication trace.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -54,6 +59,142 @@ impl CommTrace {
             out[m.src] += m.bytes;
         }
         out
+    }
+}
+
+/// One planned ghost-zone copy: fill `region` (destination index space) of
+/// fab `dst` from fab `src`, reading `iv - shift` (periodic image shift).
+#[derive(Clone, Copy, Debug)]
+struct GhostOp {
+    src: usize,
+    dst: usize,
+    region: IndexBox,
+    shift: IntVect,
+}
+
+/// An in-flight ghost exchange: the first phase of the two-phase comm API.
+///
+/// Produced by [`MultiFab::post_fill_boundary`] (planned **and** packed — the
+/// MPI-isend analogue) or [`MultiFab::plan_fill_boundary`] (planned only, for
+/// task-graph callers that stage packing as tasks). Carries the partial
+/// [`CommTrace`], priced at planning time: the exchange pattern depends only
+/// on the box layout, so the trace is complete before any data moves and is
+/// byte-identical to the bulk-synchronous trace.
+///
+/// Completion paths:
+/// * [`PendingComm::wait`] — pack anything still pending, unpack every ghost
+///   region into the target multifab, return the trace. `post` + `wait` is
+///   exactly the old one-shot `fill_boundary`.
+/// * [`PendingComm::pack_op`] / [`PendingComm::unpack_fab`] +
+///   [`PendingComm::finish`] — per-task staging for the graph scheduler:
+///   pack ops and per-fab unpacks become graph nodes with ghost-exchange
+///   edges, and `finish` returns the trace once every op has completed.
+///
+/// Buffers are individually locked so graph tasks can pack/unpack disjoint
+/// ops concurrently; per-destination unpacks apply ops in planning order, so
+/// the result is bit-identical under any legal schedule.
+#[must_use = "an unfinished exchange fills no ghosts and loses its CommTrace"]
+pub struct PendingComm {
+    ops: Vec<GhostOp>,
+    bufs: Vec<Mutex<Vec<Real>>>,
+    packed: Vec<AtomicBool>,
+    /// Op indices targeting each destination fab, in planning order.
+    per_dst: Vec<Vec<usize>>,
+    trace: CommTrace,
+    ba: BoxArray,
+    ncomp: usize,
+    ngrow: i32,
+}
+
+impl PendingComm {
+    /// Number of planned copy ops.
+    pub fn nops(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `(src fab, dst fab)` of op `o` — the graph builder's edge endpoints.
+    pub fn op_endpoints(&self, o: usize) -> (usize, usize) {
+        (self.ops[o].src, self.ops[o].dst)
+    }
+
+    /// The partial trace carried by this exchange (complete at post time).
+    pub fn trace(&self) -> &CommTrace {
+        &self.trace
+    }
+
+    /// Pack op `o`'s buffer by reading source-fab data through `read`
+    /// (`read(iv, c)` must return fab `src`'s value at `iv`, a *valid* zone
+    /// of the source box). Safe to call concurrently for distinct ops.
+    pub fn pack_op<F: Fn(IntVect, usize) -> Real>(&self, o: usize, read: F) {
+        let op = &self.ops[o];
+        let mut buf = self.bufs[o].lock().unwrap();
+        buf.clear();
+        for c in 0..self.ncomp {
+            for iv in op.region.iter() {
+                buf.push(read(iv - op.shift, c));
+            }
+        }
+        self.packed[o].store(true, Ordering::Release);
+    }
+
+    /// Unpack every op targeting fab `fab_index`, in planning order, through
+    /// `write(iv, c, value)`. All of the fab's incoming ops must already be
+    /// packed (the graph's ghost-exchange edges guarantee it). Safe to call
+    /// concurrently for distinct fabs.
+    pub fn unpack_fab<F: FnMut(IntVect, usize, Real)>(&self, fab_index: usize, mut write: F) {
+        for &oi in &self.per_dst[fab_index] {
+            debug_assert!(
+                self.packed[oi].load(Ordering::Acquire),
+                "unpacking op {oi} before it was packed"
+            );
+            let op = &self.ops[oi];
+            let buf = self.bufs[oi].lock().unwrap();
+            let mut idx = 0;
+            for c in 0..self.ncomp {
+                for iv in op.region.iter() {
+                    write(iv, c, buf[idx]);
+                    idx += 1;
+                }
+            }
+        }
+    }
+
+    /// Phase two: complete the exchange into `mf` (normally the multifab
+    /// that posted it, but any multifab on the same box layout works — the
+    /// low-Mach driver completes into its advection snapshot). Ops not yet
+    /// packed are packed from `mf`'s current valid data; every ghost region
+    /// is then unpacked in planning order. Returns the full trace.
+    #[must_use = "the CommTrace prices this exchange in the machine model; merge it into the step trace"]
+    pub fn wait(self, mf: &mut MultiFab) -> CommTrace {
+        assert_eq!(self.ba, mf.ba, "wait() target has a different box layout");
+        assert_eq!(self.ncomp, mf.ncomp, "wait() target ncomp mismatch");
+        assert_eq!(self.ngrow, mf.ngrow, "wait() target ngrow mismatch");
+        for (o, op) in self.ops.iter().enumerate() {
+            if !self.packed[o].load(Ordering::Acquire) {
+                let sfab = &mf.fabs[op.src];
+                self.pack_op(o, |iv, c| sfab.get(iv, c));
+            }
+        }
+        // Unpack in parallel over destination fabs (disjoint mutable
+        // access). The cap is *computed* — fabs with pending ops — and can
+        // be 0 on an exchange with no ghost traffic.
+        let cap = self.per_dst.iter().filter(|v| !v.is_empty()).count();
+        let pending = &self;
+        par_each_mut_bounded(WorkerPool::global(), &mut mf.fabs, cap, |fi, dfab| {
+            pending.unpack_fab(fi, |iv, c, v| dfab.set(iv, c, v));
+        });
+        self.trace
+    }
+
+    /// Complete a fully staged exchange (every op packed and unpacked by
+    /// graph tasks) and return the trace.
+    #[must_use = "the CommTrace prices this exchange in the machine model; merge it into the step trace"]
+    pub fn finish(self) -> CommTrace {
+        debug_assert!(
+            self.packed.iter().all(|p| p.load(Ordering::Acquire)),
+            "finish() with unpacked ops: the graph missed pack tasks"
+        );
+        self.trace
     }
 }
 
@@ -191,6 +332,15 @@ impl MultiFab {
         (0..self.fabs.len()).map(|i| (i, self.ba.get(i)))
     }
 
+    /// One kernel view per fab, all live at once — what the task-graph
+    /// scheduler hands its box tasks so that (for example) fab 3's unpack
+    /// can write ghosts while fab 5's interior kernel reads valid zones.
+    /// Callers own the disjointness argument: concurrent tasks must touch
+    /// disjoint `(zone, component)` slots (see [`Array4Mut`]).
+    pub fn fab_views_mut(&mut self) -> Vec<Array4Mut<'_>> {
+        self.fabs.iter_mut().map(|f| f.array_mut()).collect()
+    }
+
     /// Total bytes of payload across all fabs.
     pub fn bytes(&self) -> u64 {
         self.fabs.iter().map(|f| f.bytes()).sum()
@@ -280,86 +430,60 @@ impl MultiFab {
     /// fabs, honouring periodic boundaries. Returns the communication trace.
     ///
     /// This is the nearest-neighbour exchange that dominates Castro's MPI
-    /// time at scale (Figure 2); the trace feeds the machine model.
+    /// time at scale (Figure 2); the trace feeds the machine model. The call
+    /// is now a thin wrapper over the two-phase surface:
+    /// [`MultiFab::post_fill_boundary`] followed by [`PendingComm::wait`].
+    /// Overlapping callers use the two phases directly and run interior
+    /// kernels between them.
+    #[must_use = "the CommTrace prices this exchange in the machine model; merge it into the step trace"]
     pub fn fill_boundary(&mut self, geom: &Geometry) -> CommTrace {
+        self.post_fill_boundary(geom).wait(self)
+    }
+
+    /// Plan the ghost exchange without moving any data: compute the copy
+    /// ops, allocate (empty) pack buffers, and price the traffic. The
+    /// returned [`PendingComm`] carries the partial [`CommTrace`].
+    ///
+    /// This is the entry point for task-graph callers that stage
+    /// [`PendingComm::pack_op`] / [`PendingComm::unpack_fab`] as graph
+    /// tasks; plain two-phase callers want [`MultiFab::post_fill_boundary`].
+    #[must_use = "the plan holds the exchange state; wait() or finish() it"]
+    pub fn plan_fill_boundary(&self, geom: &Geometry) -> PendingComm {
         let _prof = Profiler::region("fill_boundary");
-        let mut trace = CommTrace::default();
-        if self.ngrow == 0 {
-            return trace;
-        }
-        let shifts = geom.periodic_shifts();
-        // Plan all copies first (src index, dst index, region, shift), then
-        // execute through a pack buffer — the moral equivalent of MPI
-        // pack/send/recv/unpack.
-        struct CopyOp {
-            src: usize,
-            dst: usize,
-            region: IndexBox,
-            shift: IntVect,
-        }
         let mut ops = Vec::new();
-        for dst in 0..self.fabs.len() {
-            let gbox = self.grown_box(dst);
-            let vbox = self.ba.get(dst);
-            for src in 0..self.fabs.len() {
-                let svb = self.ba.get(src);
-                for &shift in &shifts {
-                    if src == dst && shift == IntVect::zero() {
-                        continue;
-                    }
-                    let image = svb.shift(shift);
-                    let isect = gbox.intersection(&image);
-                    if isect.is_empty() {
-                        continue;
-                    }
-                    // Only fill true ghost zones, never the valid region.
-                    for region in isect.difference(&vbox) {
-                        ops.push(CopyOp {
-                            src,
-                            dst,
-                            region,
-                            shift,
-                        });
+        if self.ngrow > 0 {
+            let shifts = geom.periodic_shifts();
+            for dst in 0..self.fabs.len() {
+                let gbox = self.grown_box(dst);
+                let vbox = self.ba.get(dst);
+                for src in 0..self.fabs.len() {
+                    let svb = self.ba.get(src);
+                    for &shift in &shifts {
+                        if src == dst && shift == IntVect::zero() {
+                            continue;
+                        }
+                        let image = svb.shift(shift);
+                        let isect = gbox.intersection(&image);
+                        if isect.is_empty() {
+                            continue;
+                        }
+                        // Only fill true ghost zones, never the valid region.
+                        for region in isect.difference(&vbox) {
+                            ops.push(GhostOp {
+                                src,
+                                dst,
+                                region,
+                                shift,
+                            });
+                        }
                     }
                 }
             }
         }
-        // Pack every op from source valid data into its own buffer, in
-        // parallel over ops (sources are only read).
-        let ncomp = self.ncomp;
-        let fabs = &self.fabs;
-        let mut bufs: Vec<Vec<Real>> = ops
-            .iter()
-            .map(|op| Vec::with_capacity(op.region.num_zones() as usize * ncomp))
-            .collect();
-        par_each_mut(&mut bufs, |oi, buf| {
-            let op = &ops[oi];
-            let sfab = &fabs[op.src];
-            for c in 0..ncomp {
-                for iv in op.region.iter() {
-                    buf.push(sfab.get(iv - op.shift, c));
-                }
-            }
-        });
-        // Unpack in parallel over *destination fabs* (disjoint mutable
-        // access); each fab applies its ops in planning order, preserving
-        // the serial overwrite semantics.
-        let mut per_dst: Vec<Vec<usize>> = vec![Vec::new(); self.fabs.len()];
-        for (oi, op) in ops.iter().enumerate() {
-            per_dst[op.dst].push(oi);
-        }
-        par_each_mut(&mut self.fabs, |fi, dfab| {
-            for &oi in &per_dst[fi] {
-                let op = &ops[oi];
-                let mut idx = 0;
-                for c in 0..ncomp {
-                    for iv in op.region.iter() {
-                        dfab.set(iv, c, bufs[oi][idx]);
-                        idx += 1;
-                    }
-                }
-            }
-        });
+        // Price the exchange now: the plan (not the data) determines the
+        // traffic, so the partial trace is complete at post time and is
+        // deterministic in planning order.
+        let mut trace = CommTrace::default();
         let mut ghost_zones = 0u64;
         for op in &ops {
             let n = op.region.num_zones() as usize;
@@ -377,7 +501,43 @@ impl MultiFab {
             }
         }
         Profiler::record_zones(ghost_zones);
-        trace
+        let ncomp = self.ncomp;
+        let bufs = ops
+            .iter()
+            .map(|op| Mutex::new(Vec::with_capacity(op.region.num_zones() as usize * ncomp)))
+            .collect();
+        let packed = ops.iter().map(|_| AtomicBool::new(false)).collect();
+        let mut per_dst: Vec<Vec<usize>> = vec![Vec::new(); self.fabs.len()];
+        for (oi, op) in ops.iter().enumerate() {
+            per_dst[op.dst].push(oi);
+        }
+        PendingComm {
+            ops,
+            bufs,
+            packed,
+            per_dst,
+            trace,
+            ba: self.ba.clone(),
+            ncomp,
+            ngrow: self.ngrow,
+        }
+    }
+
+    /// Phase one of the ghost exchange: plan the copies and pack every
+    /// send buffer from the *current* valid data — the analogue of posting
+    /// MPI isends, whose buffers capture the data at post time. The state
+    /// may then be mutated (interior kernels) before [`PendingComm::wait`]
+    /// unpacks the ghosts.
+    #[must_use = "dropping a posted exchange loses the ghost fill; call wait()"]
+    pub fn post_fill_boundary(&self, geom: &Geometry) -> PendingComm {
+        let pending = self.plan_fill_boundary(geom);
+        let fabs = &self.fabs;
+        let pref = &pending;
+        par_index_each(pending.ops.len(), pending.ops.len(), |o| {
+            let sfab = &fabs[pref.ops[o].src];
+            pref.pack_op(o, |iv, c| sfab.get(iv, c));
+        });
+        pending
     }
 
     /// Fill ghost zones that lie outside the problem domain on non-periodic
@@ -386,74 +546,8 @@ impl MultiFab {
         if self.ngrow == 0 {
             return;
         }
-        let domain = geom.domain();
         for i in 0..self.fabs.len() {
-            let gbox = self.grown_box(i);
-            for d in 0..SPACEDIM {
-                for side in 0..2 {
-                    let kind = bc.kind[d][side];
-                    if kind == BcKind::Periodic || geom.periodic()[d] {
-                        continue;
-                    }
-                    // Ghost region beyond this domain face, clipped to gbox.
-                    let region = if side == 0 {
-                        if gbox.lo()[d] >= domain.lo()[d] {
-                            continue;
-                        }
-                        let mut hi = gbox.hi();
-                        hi[d] = domain.lo()[d] - 1;
-                        IndexBox::new(gbox.lo(), hi)
-                    } else {
-                        if gbox.hi()[d] <= domain.hi()[d] {
-                            continue;
-                        }
-                        let mut lo = gbox.lo();
-                        lo[d] = domain.hi()[d] + 1;
-                        IndexBox::new(lo, gbox.hi())
-                    };
-                    if region.is_empty() {
-                        continue;
-                    }
-                    let fab = &mut self.fabs[i];
-                    for c in 0..self.ncomp {
-                        let sign = if kind == BcKind::Reflect && bc.is_odd(c, d) {
-                            -1.0
-                        } else {
-                            1.0
-                        };
-                        for iv in region.iter() {
-                            let mut siv = iv;
-                            match kind {
-                                BcKind::Outflow => {
-                                    siv[d] = siv[d].clamp(domain.lo()[d], domain.hi()[d]);
-                                    // Clamp the transverse dims into the fab
-                                    // too, for corner ghosts.
-                                }
-                                BcKind::Reflect => {
-                                    siv[d] = if side == 0 {
-                                        2 * domain.lo()[d] - 1 - siv[d]
-                                    } else {
-                                        2 * domain.hi()[d] + 1 - siv[d]
-                                    };
-                                }
-                                BcKind::Periodic => unreachable!(),
-                            }
-                            // Transverse corner zones may still be outside
-                            // the fab's coverage after mirroring; clamp to
-                            // the grown box (those zones were filled by the
-                            // pass over their own dimension).
-                            for t in 0..SPACEDIM {
-                                siv[t] = siv[t].clamp(gbox.lo()[t], gbox.hi()[t]);
-                            }
-                            if siv == iv {
-                                continue;
-                            }
-                            let v = fab.get(siv, c) * sign;
-                            fab.set(iv, c, v);
-                        }
-                    }
-                }
-            }
+            apply_physical_bc(&self.fabs[i].array_mut(), geom, bc);
         }
     }
 
@@ -568,6 +662,85 @@ impl MultiFab {
     }
 }
 
+/// Apply physical boundary conditions to one fab through a kernel view —
+/// the per-fab body of [`MultiFab::fill_physical_bc`], exposed so task-graph
+/// unpack tasks can fold the physical fill into their own node (disjoint
+/// slots: each fab's BC only touches that fab's ghost zones).
+///
+/// Within one fab the writes are ordered (corner ghosts read zones filled by
+/// an earlier dimension's pass), so a task must call this serially, after
+/// the fab's ghost ops are unpacked — the same ordering the bulk-synchronous
+/// path uses.
+pub fn apply_physical_bc(arr: &Array4Mut<'_>, geom: &Geometry, bc: &BcSpec) {
+    let gbox = arr.index_box();
+    let ncomp = arr.ncomp();
+    let domain = geom.domain();
+    for d in 0..SPACEDIM {
+        for side in 0..2 {
+            let kind = bc.kind[d][side];
+            if kind == BcKind::Periodic || geom.periodic()[d] {
+                continue;
+            }
+            // Ghost region beyond this domain face, clipped to gbox.
+            let region = if side == 0 {
+                if gbox.lo()[d] >= domain.lo()[d] {
+                    continue;
+                }
+                let mut hi = gbox.hi();
+                hi[d] = domain.lo()[d] - 1;
+                IndexBox::new(gbox.lo(), hi)
+            } else {
+                if gbox.hi()[d] <= domain.hi()[d] {
+                    continue;
+                }
+                let mut lo = gbox.lo();
+                lo[d] = domain.hi()[d] + 1;
+                IndexBox::new(lo, gbox.hi())
+            };
+            if region.is_empty() {
+                continue;
+            }
+            for c in 0..ncomp {
+                let sign = if kind == BcKind::Reflect && bc.is_odd(c, d) {
+                    -1.0
+                } else {
+                    1.0
+                };
+                for iv in region.iter() {
+                    let mut siv = iv;
+                    match kind {
+                        BcKind::Outflow => {
+                            siv[d] = siv[d].clamp(domain.lo()[d], domain.hi()[d]);
+                            // Clamp the transverse dims into the fab
+                            // too, for corner ghosts.
+                        }
+                        BcKind::Reflect => {
+                            siv[d] = if side == 0 {
+                                2 * domain.lo()[d] - 1 - siv[d]
+                            } else {
+                                2 * domain.hi()[d] + 1 - siv[d]
+                            };
+                        }
+                        BcKind::Periodic => unreachable!(),
+                    }
+                    // Transverse corner zones may still be outside
+                    // the fab's coverage after mirroring; clamp to
+                    // the grown box (those zones were filled by the
+                    // pass over their own dimension).
+                    for t in 0..SPACEDIM {
+                        siv[t] = siv[t].clamp(gbox.lo()[t], gbox.hi()[t]);
+                    }
+                    if siv == iv {
+                        continue;
+                    }
+                    let v = arr.at(siv[0], siv[1], siv[2], c) * sign;
+                    arr.set(iv[0], iv[1], iv[2], c, v);
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -595,7 +768,7 @@ mod tests {
         let ba = BoxArray::decompose(geom.domain(), 8, 8);
         let mut mf = MultiFab::local(ba, 1, 2);
         fill_linear(&mut mf);
-        mf.fill_boundary(&geom);
+        let _ = mf.fill_boundary(&geom);
         // Every interior ghost zone must equal the valid value of the box
         // that owns that zone.
         for i in 0..mf.nfabs() {
@@ -617,7 +790,7 @@ mod tests {
         let ba = BoxArray::decompose(geom.domain(), 8, 8); // single box
         let mut mf = MultiFab::local(ba, 1, 1);
         fill_linear(&mut mf);
-        mf.fill_boundary(&geom);
+        let _ = mf.fill_boundary(&geom);
         // Ghost at i = -1 must equal valid at i = 7.
         let g = mf.fab(0).get(IntVect::new(-1, 3, 4), 0);
         let v = mf.fab(0).get(IntVect::new(7, 3, 4), 0);
@@ -634,9 +807,9 @@ mod tests {
         let ba = BoxArray::decompose(geom.domain(), 8, 8);
         let mut mf = MultiFab::local(ba, 2, 2);
         fill_linear(&mut mf);
-        mf.fill_boundary(&geom);
+        let _ = mf.fill_boundary(&geom);
         let snapshot: Vec<Vec<Real>> = (0..mf.nfabs()).map(|i| mf.fab(i).data().to_vec()).collect();
-        mf.fill_boundary(&geom);
+        let _ = mf.fill_boundary(&geom);
         for i in 0..mf.nfabs() {
             assert_eq!(mf.fab(i).data(), &snapshot[i][..], "fab {i} changed");
         }
@@ -672,7 +845,7 @@ mod tests {
         let ba = BoxArray::decompose(geom.domain(), 8, 8);
         let mut mf = MultiFab::local(ba, 1, 2);
         fill_linear(&mut mf);
-        mf.fill_boundary(&geom);
+        let _ = mf.fill_boundary(&geom);
         mf.fill_physical_bc(&geom, &BcSpec::outflow());
         // Ghost at i=-1 and i=-2 equal interior i=0 value.
         for gi in [-1, -2] {
@@ -710,6 +883,106 @@ mod tests {
         // High face: ghost i=8 mirrors i=7.
         assert_eq!(mf.fab(0).get(IntVect::new(8, 3, 3), 0), 8.0);
         assert_eq!(mf.fab(0).get(IntVect::new(8, 3, 3), 1), -8.0);
+    }
+
+    #[test]
+    fn two_phase_post_wait_matches_one_shot() {
+        let geom = periodic_geom(16);
+        let ba = BoxArray::decompose(geom.domain(), 8, 8);
+        let mut sync = MultiFab::local(ba.clone(), 2, 2);
+        fill_linear(&mut sync);
+        let mut overlapped = sync.clone();
+        let t1 = sync.fill_boundary(&geom);
+        // Post, then mutate the valid data *between* the phases: the packed
+        // buffers must carry post-time values (MPI isend semantics), so the
+        // ghosts still reflect the pre-mutation state.
+        let pending = overlapped.post_fill_boundary(&geom);
+        let t2 = pending.wait(&mut overlapped);
+        for i in 0..sync.nfabs() {
+            assert_eq!(sync.fab(i).data(), overlapped.fab(i).data(), "fab {i}");
+        }
+        // Identical traces: same messages, same local volume.
+        assert_eq!(t1.messages, t2.messages);
+        assert_eq!(t1.local_bytes, t2.local_bytes);
+    }
+
+    #[test]
+    fn post_buffers_capture_data_at_post_time() {
+        let geom = periodic_geom(8);
+        let ba = BoxArray::decompose(geom.domain(), 8, 8); // single box
+        let mut mf = MultiFab::local(ba, 1, 1);
+        fill_linear(&mut mf);
+        let pending = mf.post_fill_boundary(&geom);
+        // Overwrite the valid data after posting: the ghost fill must still
+        // deliver the *posted* values.
+        let expect = mf.fab(0).get(IntVect::new(7, 3, 4), 0);
+        mf.fab_mut(0).set(IntVect::new(7, 3, 4), 0, -999.0);
+        let _ = pending.wait(&mut mf);
+        assert_eq!(mf.fab(0).get(IntVect::new(-1, 3, 4), 0), expect);
+    }
+
+    #[test]
+    fn plan_then_staged_pack_unpack_matches_one_shot() {
+        let geom = periodic_geom(16);
+        let ba = BoxArray::decompose(geom.domain(), 8, 8);
+        let mut sync = MultiFab::local(ba.clone(), 2, 2);
+        fill_linear(&mut sync);
+        let mut staged = sync.clone();
+        let t1 = sync.fill_boundary(&geom);
+        // Stage every op by hand, the way graph tasks do, then finish.
+        let pending = staged.plan_fill_boundary(&geom);
+        assert!(pending.nops() > 0);
+        for o in 0..pending.nops() {
+            let (src, _dst) = pending.op_endpoints(o);
+            let sfab = staged.fab(src);
+            pending.pack_op(o, |iv, c| sfab.get(iv, c));
+        }
+        for fi in 0..staged.nfabs() {
+            let arr = staged.fab_mut(fi).array_mut();
+            pending.unpack_fab(fi, |iv, c, v| arr.set(iv[0], iv[1], iv[2], c, v));
+        }
+        let t2 = pending.finish();
+        for i in 0..sync.nfabs() {
+            assert_eq!(sync.fab(i).data(), staged.fab(i).data(), "fab {i}");
+        }
+        assert_eq!(t1.messages, t2.messages);
+        assert_eq!(t1.local_bytes, t2.local_bytes);
+    }
+
+    #[test]
+    fn wait_can_target_a_clone_on_the_same_layout() {
+        let geom = periodic_geom(16);
+        let ba = BoxArray::decompose(geom.domain(), 8, 8);
+        let mut mf = MultiFab::local(ba, 1, 2);
+        fill_linear(&mut mf);
+        let mut reference = mf.clone();
+        let _ = reference.fill_boundary(&geom);
+        // Post from mf, complete into a clone (the low-Mach driver's
+        // advection-snapshot pattern).
+        let pending = mf.post_fill_boundary(&geom);
+        let mut old = mf.clone();
+        let _ = pending.wait(&mut old);
+        for i in 0..mf.nfabs() {
+            assert_eq!(old.fab(i).data(), reference.fab(i).data(), "fab {i}");
+        }
+    }
+
+    #[test]
+    fn trace_merge_accumulates_across_phases() {
+        let geom = periodic_geom(16);
+        let ba = BoxArray::decompose(geom.domain(), 8, 8);
+        let mut mf = MultiFab::local(ba, 1, 1);
+        let mut total = CommTrace::default();
+        let t1 = mf.fill_boundary(&geom);
+        total.merge(&t1);
+        let t2 = mf.fill_boundary(&geom);
+        total.merge(&t2);
+        assert_eq!(total.local_bytes, t1.local_bytes + t2.local_bytes);
+        assert_eq!(
+            total.network_bytes(),
+            t1.network_bytes() + t2.network_bytes()
+        );
+        assert_eq!(total.messages.len(), t1.messages.len() + t2.messages.len());
     }
 
     #[test]
@@ -779,7 +1052,7 @@ mod tests {
         let mut mf = MultiFab::local(ba, 1, 1);
         fill_linear(&mut mf);
         let before = mf.fab(0).get(IntVect::new(-1, 0, 0), 0);
-        mf.fill_boundary(&geom);
+        let _ = mf.fill_boundary(&geom);
         // No periodic images: domain-boundary ghosts are untouched.
         assert_eq!(mf.fab(0).get(IntVect::new(-1, 0, 0), 0), before);
     }

@@ -72,7 +72,7 @@ proptest! {
                 mf.fab_mut(i).set(iv, 0, val(iv));
             }
         }
-        mf.fill_boundary(&geom);
+        let _ = mf.fill_boundary(&geom);
         // Naive reference: every ghost zone must hold the periodic image's
         // global value.
         let nn = geom.domain().size();
@@ -109,7 +109,7 @@ proptest! {
                 coarse.fab_mut(i).set(iv, 0, ((s >> 33) as f64 / 1e9) - 4.0);
             }
         }
-        coarse.fill_boundary(&geom);
+        let _ = coarse.fill_boundary(&geom);
         let fba = cba.refine(ratio);
         for prolong_kind in 0..2 {
             let mut fine = MultiFab::local(fba.clone(), 1, 0);
@@ -173,5 +173,144 @@ proptest! {
         let per = ba.len() as f64 / nranks as f64;
         let max_boxes = (0..nranks).map(|r| dm.boxes_on(r).len()).max().unwrap();
         prop_assert!(max_boxes as f64 <= per.ceil() + 1e-12);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Two-phase exchange vs bulk-synchronous fill on adversarial topologies.
+// ---------------------------------------------------------------------------
+
+mod two_phase_props {
+    use exastro_amr::{
+        BoxArray, CoordSys, DistStrategy, DistributionMapping, Geometry, IndexBox, IntVect,
+        MultiFab,
+    };
+    use proptest::prelude::*;
+
+    /// Deterministic global field so any zone's expected value is known.
+    fn val(iv: IntVect, c: usize, seed: u64) -> f64 {
+        let h = (iv.x() as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((iv.y() as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F))
+            .wrapping_add((iv.z() as u64).wrapping_mul(0x1656_67B1_9E37_79F9))
+            .wrapping_add((c as u64).wrapping_mul(0xD6E8_FEB8_6659_FD93))
+            .wrapping_add(seed);
+        (h >> 16) as f64 / (1u64 << 40) as f64 - 0.5
+    }
+
+    /// The adversarial box layouts: the shapes most likely to break a
+    /// two-phase exchange (self-wrap, long chains, boxes with no
+    /// neighbours at all).
+    fn topology(kind: usize) -> (Vec<IndexBox>, IndexBox) {
+        match kind {
+            // A chain of thin slabs along x: every box talks only to its
+            // two neighbours, maximizing exchange fan-in order sensitivity.
+            0 => {
+                let boxes = (0..6)
+                    .map(|i| {
+                        IndexBox::new(IntVect::new(4 * i, 0, 0), IntVect::new(4 * i + 3, 7, 7))
+                    })
+                    .collect();
+                (
+                    boxes,
+                    IndexBox::new(IntVect::new(0, 0, 0), IntVect::new(23, 7, 7)),
+                )
+            }
+            // Isolated boxes: gaps wider than any ghost region, so the
+            // exchange plan must be empty between them.
+            1 => {
+                let boxes = vec![
+                    IndexBox::new(IntVect::new(0, 0, 0), IntVect::new(5, 5, 5)),
+                    IndexBox::new(IntVect::new(12, 0, 0), IntVect::new(17, 5, 5)),
+                    IndexBox::new(IntVect::new(0, 12, 0), IntVect::new(5, 17, 5)),
+                ];
+                (
+                    boxes,
+                    IndexBox::new(IntVect::new(0, 0, 0), IntVect::new(17, 17, 5)),
+                )
+            }
+            // A single box: with periodic wrap every ghost is its own image.
+            2 => {
+                let b = IndexBox::cube(8);
+                (vec![b], b)
+            }
+            // A 2x2x2 block tiling, the plain case as control.
+            _ => {
+                let domain = IndexBox::cube(12);
+                (
+                    BoxArray::decompose(domain, 6, 2).iter().copied().collect(),
+                    domain,
+                )
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn two_phase_exchange_is_bit_identical_to_bulk(
+            kind in 0usize..4,
+            ngrow in 1i32..3,
+            ncomp in 1usize..3,
+            periodic_bit in 0u8..2,
+            nranks in 1usize..4,
+            seed in 0u64..10_000,
+        ) {
+            let periodic = periodic_bit == 1;
+            let (boxes, domain) = topology(kind);
+            let ba = BoxArray::from_boxes(boxes);
+            let geom = Geometry::new(
+                domain,
+                [0.0; 3],
+                [1.0; 3],
+                [periodic; 3],
+                CoordSys::Cartesian,
+            );
+            let dm = DistributionMapping::new(&ba, nranks, DistStrategy::Sfc);
+            let mut bulk = MultiFab::new(ba, dm, ncomp, ngrow);
+            // Sentinel ghosts + deterministic valid data, identically in
+            // both copies (unreached ghosts must match too).
+            for i in 0..bulk.nfabs() {
+                let gb = bulk.grown_box(i);
+                let vb = bulk.valid_box(i);
+                for iv in gb.iter() {
+                    for c in 0..ncomp {
+                        let v = if vb.contains(iv) { val(iv, c, seed) } else { -7777.0 };
+                        bulk.fab_mut(i).set(iv, c, v);
+                    }
+                }
+            }
+            let mut two_phase = bulk.clone();
+
+            let bulk_trace = bulk.fill_boundary(&geom);
+            let pending = two_phase.post_fill_boundary(&geom);
+            let split_trace = pending.wait(&mut two_phase);
+
+            for i in 0..bulk.nfabs() {
+                let gb = bulk.grown_box(i);
+                for iv in gb.iter() {
+                    for c in 0..ncomp {
+                        let a = bulk.fab(i).get(iv, c);
+                        let b = two_phase.fab(i).get(iv, c);
+                        prop_assert!(
+                            a.to_bits() == b.to_bits(),
+                            "divergence: topo {} fab {} {:?} comp {} ({} vs {})",
+                            kind, i, iv, c, a, b
+                        );
+                    }
+                }
+            }
+            // The priced ledger must be identical too: same messages,
+            // same bytes, regardless of which API produced it.
+            prop_assert_eq!(bulk_trace.network_bytes(), split_trace.network_bytes());
+            prop_assert_eq!(bulk_trace.local_bytes, split_trace.local_bytes);
+            prop_assert_eq!(bulk_trace.messages.len(), split_trace.messages.len());
+            // Isolated boxes must exchange nothing box-to-box.
+            if kind == 1 && !periodic {
+                prop_assert_eq!(split_trace.local_bytes, 0);
+                prop_assert_eq!(split_trace.network_bytes(), 0);
+            }
+        }
     }
 }

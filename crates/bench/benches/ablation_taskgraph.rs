@@ -1,0 +1,128 @@
+//! **Tentpole ablation**: task-graph overlapped ghost exchange vs
+//! bulk-synchronous stepping.
+//!
+//! Three measurements isolate the overlap machinery:
+//!
+//! * the *modeled* 512-node weak-scaling efficiency with and without the
+//!   overlapped exchange (deterministic machine model — gated in CI);
+//! * the *measured* per-task scheduling overhead of [`TaskGraph::run`]
+//!   on a no-op graph (what the model charges as `scheduler_overhead_us`);
+//! * the *measured* wall-clock of a real graph-overlapped Castro advance
+//!   against the same advance run bulk-synchronously — bit-identical
+//!   results (asserted in `castro`'s tests), so any wall-clock difference
+//!   is pure scheduling.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use exastro_bench::{bench_castro, sedov_fixture, write_metrics_json, MetricPoint};
+use exastro_castro::KernelStructure;
+use exastro_machine::{canonical_series, overlapped_series, Machine};
+use exastro_parallel::{TaskGraph, WorkerPool};
+
+/// No-op tasks in the scheduler-overhead probe graph.
+const PROBE_TASKS: usize = 2048;
+
+fn scheduler_overhead_us() -> f64 {
+    // A chain-of-chains graph: 8 independent chains of 256 tasks keeps
+    // the ready queue shallow (the worst case for wakeup overhead).
+    let mut g = TaskGraph::new();
+    for _ in 0..8 {
+        let mut prev = g.add_task();
+        for _ in 0..(PROBE_TASKS / 8 - 1) {
+            prev = g.add_task_after(&[prev]);
+        }
+    }
+    let pool = WorkerPool::global();
+    // Warm the pool before timing.
+    g.run(pool, 4, |_| {}).unwrap();
+    let start = std::time::Instant::now();
+    let reps = 20;
+    for _ in 0..reps {
+        g.run(pool, 4, |_| {}).unwrap();
+    }
+    let us = start.elapsed().as_secs_f64() * 1e6;
+    us / (reps * PROBE_TASKS) as f64
+}
+
+fn print_ablation() {
+    let m = Machine::summit();
+    println!("\n=== Task-graph overlap ablation ===");
+    let sync = canonical_series(&m, &[1, 512]);
+    let ovl = overlapped_series(&m, &[1, 512]);
+    println!(
+        "modeled 512-node efficiency: sync {:.3} -> overlapped {:.3}",
+        sync[1].normalized, ovl[1].normalized
+    );
+
+    let overhead = scheduler_overhead_us();
+    println!("measured scheduler overhead: {overhead:.3} µs/task ({PROBE_TASKS}-task probe)");
+
+    // Real advance, both paths, identical physics (bit-identity is
+    // asserted in the castro test suite; here we only time it).
+    let (geom, state, _layout, eos, net) = sedov_fixture(32, 8);
+    let mut castro_sync = bench_castro(&eos, &net, KernelStructure::Flat);
+    castro_sync.hydro.overlap = false;
+    let castro_ovl = bench_castro(&eos, &net, KernelStructure::Flat);
+    let dt = castro_sync.estimate_dt(&state, &geom);
+    let time_advance = |c: &exastro_castro::Castro<'_>| {
+        let mut s = state.clone();
+        // Warm caches/pool.
+        let _ = c.advance_level(&mut s, &geom, dt);
+        let start = std::time::Instant::now();
+        let reps = 5;
+        for _ in 0..reps {
+            let mut s = state.clone();
+            let _ = c.advance_level(&mut s, &geom, dt);
+        }
+        start.elapsed().as_secs_f64() * 1e6 / reps as f64
+    };
+    let us_sync = time_advance(&castro_sync);
+    let us_ovl = time_advance(&castro_ovl);
+    let wall_speedup = us_sync / us_ovl;
+    println!(
+        "measured 32³ Sedov advance: sync {us_sync:.0} µs, overlapped {us_ovl:.0} µs \
+         ({wall_speedup:.2}×)"
+    );
+
+    let metrics = vec![
+        MetricPoint::new("taskgraph/overlap_efficiency", ovl[1].normalized, "frac"),
+        MetricPoint::new("taskgraph/sync_efficiency", sync[1].normalized, "frac"),
+        MetricPoint::new(
+            "taskgraph/efficiency_gain",
+            ovl[1].normalized / sync[1].normalized,
+            "x",
+        ),
+        MetricPoint::new("taskgraph/scheduler_overhead_us_per_task", overhead, "us"),
+        MetricPoint::new("taskgraph/wall_speedup_sedov32", wall_speedup, "x"),
+    ];
+    match write_metrics_json("taskgraph", &metrics) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("BENCH_taskgraph.json not written: {e}"),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_ablation();
+    let (geom, state, _layout, eos, net) = sedov_fixture(32, 8);
+    let mut g = c.benchmark_group("taskgraph");
+    g.sample_size(10);
+    let mut castro_sync = bench_castro(&eos, &net, KernelStructure::Flat);
+    castro_sync.hydro.overlap = false;
+    let castro_ovl = bench_castro(&eos, &net, KernelStructure::Flat);
+    let dt = castro_sync.estimate_dt(&state, &geom);
+    g.bench_function("advance_sync", |b| {
+        b.iter(|| {
+            let mut s = state.clone();
+            std::hint::black_box(castro_sync.advance_level(&mut s, &geom, dt))
+        })
+    });
+    g.bench_function("advance_overlapped", |b| {
+        b.iter(|| {
+            let mut s = state.clone();
+            std::hint::black_box(castro_ovl.advance_level(&mut s, &geom, dt))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -6,7 +6,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use exastro_bench::{write_bench_json, BenchPoint};
-use exastro_machine::{canonical_series, envelope_series, sedov_workload, Machine};
+use exastro_machine::{
+    canonical_series, envelope_series, overlapped_series, sedov_workload,
+    sedov_workload_overlapped, Machine,
+};
 
 fn print_figure() {
     let m = Machine::summit();
@@ -21,6 +24,20 @@ fn print_figure() {
         );
         points.push(BenchPoint::new(
             "canonical",
+            p.nodes,
+            p.throughput,
+            p.normalized,
+        ));
+    }
+    println!("\ncanonical + task-graph overlapped exchange:");
+    println!("{:>6} {:>12} {:>11}", "nodes", "zones/µs", "normalized");
+    for p in overlapped_series(&m, &[1, 8, 64, 512]) {
+        println!(
+            "{:>6} {:>12.1} {:>11.3}",
+            p.nodes, p.throughput, p.normalized
+        );
+        points.push(BenchPoint::new(
+            "overlapped",
             p.nodes,
             p.throughput,
             p.normalized,
@@ -58,6 +75,12 @@ fn bench(c: &mut Criterion) {
     g.bench_function("simulate_64_node_point", |b| {
         b.iter(|| {
             let w = sedov_workload(&m, 64, 1024, 64, 32);
+            std::hint::black_box(m.simulate_step(&w))
+        })
+    });
+    g.bench_function("simulate_64_node_point_overlapped", |b| {
+        b.iter(|| {
+            let w = sedov_workload_overlapped(&m, 64, 1024, 64, 32);
             std::hint::black_box(m.simulate_step(&w))
         })
     });

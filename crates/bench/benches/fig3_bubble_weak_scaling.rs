@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use exastro_amr::{BoxArray, DistStrategy, DistributionMapping, Geometry, IndexBox, MultiFab};
 use exastro_bench::{write_bench_json, BenchPoint};
-use exastro_machine::{bubble_point, bubble_series, Machine};
+use exastro_machine::{bubble_point, bubble_series, bubble_series_overlapped, Machine};
 use exastro_maestro::{bubble_maestro, init_bubble, BubbleParams, LmLayout};
 use exastro_microphysics::{CBurn2, Network, StellarEos};
 
@@ -29,6 +29,24 @@ fn print_figure() {
         );
         points.push(BenchPoint::new(
             "bubble",
+            p.nodes,
+            p.throughput,
+            p.normalized,
+        ));
+    }
+    println!("\nwith task-graph overlapped exchange:");
+    for p in bubble_series_overlapped(&m, &[1, 8, 27, 64, 125]) {
+        println!(
+            "{:>6} {:>10.2} {:>11.3} {:>12.0} {:>12.0} {:>9.2}",
+            p.nodes,
+            p.throughput,
+            p.normalized,
+            p.react_us,
+            p.multigrid_us,
+            p.multigrid_us / p.react_us
+        );
+        points.push(BenchPoint::new(
+            "bubble_overlapped",
             p.nodes,
             p.throughput,
             p.normalized,

@@ -153,6 +153,7 @@ pub fn bench_castro<'a>(
     c.hydro = Hydro {
         cfl: 0.4,
         structure,
+        overlap: true,
         floors: Floors::dimensionless(),
     };
     c.bc = BcSpec::outflow();

@@ -7,7 +7,7 @@
 //! a simple degenerate-electron power law.
 
 use crate::state::StateLayout;
-use exastro_amr::{BcSpec, Geometry, IntVect, MultiFab, Real};
+use exastro_amr::{BcSpec, CommTrace, Geometry, IntVect, MultiFab, Real};
 use exastro_parallel::ExecSpace;
 
 /// Thermal conductivity model, erg cm⁻¹ s⁻¹ K⁻¹.
@@ -68,7 +68,8 @@ pub fn diffusion_dt(
 /// Apply one explicit conduction update over `dt`: face-centred fluxes
 /// `F = −k ∇T` deposited into `ρe` and `ρE`. Conservative: interior fluxes
 /// cancel in the total. The temperature field itself is re-synced by the
-/// driver's EOS pass afterwards.
+/// driver's EOS pass afterwards. Returns the ghost exchange's [`CommTrace`]
+/// for the machine model.
 pub fn diffuse(
     state: &mut MultiFab,
     geom: &Geometry,
@@ -76,8 +77,8 @@ pub fn diffuse(
     k_th: &Conductivity,
     dt: Real,
     ex: &ExecSpace,
-) {
-    state.fill_boundary(geom);
+) -> CommTrace {
+    let trace = state.fill_boundary(geom);
     state.fill_physical_bc(geom, bc);
     let dx = geom.dx();
     let old = state.clone();
@@ -112,6 +113,7 @@ pub fn diffuse(
             uarr.add(ii, jj, kk, StateLayout::EDEN, de);
         });
     }
+    trace
 }
 
 #[cfg(test)]
@@ -154,7 +156,7 @@ mod tests {
         let k = Conductivity::Constant(0.05);
         let dt = diffusion_dt(&state, &geom, &k, 1.0);
         for _ in 0..10 {
-            diffuse(&mut state, &geom, &bc, &k, dt, &ExecSpace::Serial);
+            let _ = diffuse(&mut state, &geom, &bc, &k, dt, &ExecSpace::Serial);
         }
         let e1 = state.sum(StateLayout::EDEN);
         assert!((e1 / e0 - 1.0).abs() < 1e-12, "{e0} -> {e1}");
@@ -178,7 +180,7 @@ mod tests {
                     state.fab_mut(i).set(iv, StateLayout::TEMP, e);
                 }
             }
-            diffuse(&mut state, &geom, &bc, &k, dt, &ExecSpace::Serial);
+            let _ = diffuse(&mut state, &geom, &bc, &k, dt, &ExecSpace::Serial);
         }
         let peak1 = state.value_at(c, StateLayout::EINT);
         let neighbor1 = state.value_at(c + IntVect::new(1, 0, 0), StateLayout::EINT);
@@ -193,7 +195,7 @@ mod tests {
         let (geom, mut state, _l) = hot_spot_state(8);
         let bc = BcSpec::periodic();
         let before = state.value_at(IntVect::splat(4), StateLayout::EINT);
-        diffuse(
+        let _ = diffuse(
             &mut state,
             &geom,
             &bc,
@@ -241,7 +243,7 @@ mod tests {
         state.set_val(StateLayout::EDEN, 2.0);
         let bc = BcSpec::outflow();
         let e0 = state.sum(StateLayout::EDEN);
-        diffuse(
+        let _ = diffuse(
             &mut state,
             &geom,
             &bc,

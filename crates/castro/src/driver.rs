@@ -6,13 +6,14 @@ use crate::gravity::{Gravity, GravityField, GravityMode};
 use crate::hydro::{Hydro, SweepFluxes};
 use crate::state::{cons_to_prim, StateLayout};
 use exastro_amr::{
-    average_down, fill_patch_two_levels, BcSpec, FluxRegister, Geometry, Hierarchy, IntVect,
-    MultiFab, Real,
+    average_down, fill_patch_two_levels, BcSpec, CommTrace, FluxRegister, Geometry, Hierarchy,
+    IntVect, MultiFab, Real,
 };
 use exastro_microphysics::{BurnFailure, Composition, Eos, Network};
 use exastro_parallel::{Arena, ExecSpace, PoolArena, Profiler};
 use exastro_resilience::recovery::{write_emergency, RecoveryOptions};
 use exastro_resilience::snapshot::{Clock, Snapshot};
+use exastro_resilience::stepper::{StepFailure, StepOutcome, Stepper};
 use exastro_telemetry::{StepMetrics, StepRecorder};
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -29,6 +30,9 @@ pub struct StepStats {
     pub max_temp: Real,
     /// Maximum density after the step.
     pub max_dens: Real,
+    /// Communication performed by the step (hydro ghost exchanges plus the
+    /// gravity solve's own fills), merged across phases.
+    pub comm: CommTrace,
 }
 
 /// A violation found by the post-step state validator.
@@ -323,7 +327,7 @@ impl<'a> Castro<'a> {
         }
         let fluxes = {
             let _r = Profiler::region("hydro");
-            self.hydro.advance(
+            let (fluxes, comm) = self.hydro.advance(
                 state,
                 dt,
                 geom,
@@ -333,12 +337,15 @@ impl<'a> Castro<'a> {
                 &self.bc,
                 &self.ex,
                 self.arena.as_ref(),
-            )
+            );
+            stats.comm.merge(&comm);
+            fluxes
         };
         if self.gravity.mode != GravityMode::Off {
             let _r = Profiler::region("gravity");
             let field: GravityField = self.gravity.solve(state, geom);
             stats.gravity_converged = field.mg.as_ref().map(|m| m.converged);
+            stats.comm.merge(&field.comm);
             Gravity::apply_source(state, &field, dt, &self.ex);
         }
         {
@@ -596,5 +603,29 @@ impl<'a> Castro<'a> {
     /// Total energy (ρE integrated).
     pub fn total_energy(&self, state: &MultiFab, geom: &Geometry) -> Real {
         state.sum(StateLayout::EDEN) * geom.cell_volume()
+    }
+}
+
+impl Stepper for Castro<'_> {
+    fn estimate_dt(&self, state: &MultiFab, geom: &Geometry) -> Real {
+        Castro::estimate_dt(self, state, geom)
+    }
+
+    fn step(
+        &mut self,
+        state: &mut MultiFab,
+        geom: &Geometry,
+        dt: Real,
+    ) -> Result<StepOutcome, StepFailure> {
+        self.advance_level_safe(state, geom, dt)
+            .map(|(stats, dt_taken)| StepOutcome {
+                dt_taken,
+                comm: stats.comm,
+            })
+            .map_err(|e| StepFailure::new(e.to_string()))
+    }
+
+    fn take_recorder(&mut self) -> exastro_telemetry::StepRecorder {
+        std::mem::take(&mut self.telemetry)
     }
 }

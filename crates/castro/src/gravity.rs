@@ -12,7 +12,7 @@
 //!   its communication.
 
 use crate::state::StateLayout;
-use exastro_amr::{Geometry, IntVect, MultiFab, Real};
+use exastro_amr::{CommTrace, Geometry, IntVect, MultiFab, Real};
 use exastro_microphysics::constants::G_NEWTON;
 use exastro_parallel::ExecSpace;
 use exastro_solvers::{MgBc, MgOptions, MgStats, Multigrid};
@@ -53,6 +53,9 @@ pub struct GravityField {
     pub accel: MultiFab,
     /// Multigrid statistics when [`GravityMode::Poisson`] ran.
     pub mg: Option<MgStats>,
+    /// Ghost exchanges performed directly by the solve (the multigrid's
+    /// own traffic is ledgered inside [`MgStats`]).
+    pub comm: CommTrace,
 }
 
 impl Gravity {
@@ -62,6 +65,7 @@ impl Gravity {
             GravityMode::Off => GravityField {
                 accel: MultiFab::new(state.box_array().clone(), state.dist_map().clone(), 3, 0),
                 mg: None,
+                comm: CommTrace::default(),
             },
             GravityMode::Monopole => self.monopole(state, geom),
             GravityMode::Poisson => self.poisson(state, geom),
@@ -128,7 +132,11 @@ impl Gravity {
                 }
             }
         }
-        GravityField { accel, mg: None }
+        GravityField {
+            accel,
+            mg: None,
+            comm: CommTrace::default(),
+        }
     }
 
     fn poisson(&self, state: &MultiFab, geom: &Geometry) -> GravityField {
@@ -174,7 +182,7 @@ impl Gravity {
         // g = −∇φ by central differences (ghosts refilled with the BC data
         // by the solver's final copy… refill domain ghosts from the
         // monopole again and exchange interior ghosts).
-        phi.fill_boundary(geom);
+        let comm = phi.fill_boundary(geom);
         for i in 0..phi.nfabs() {
             let gb = phi.grown_box(i);
             for iv in gb.iter() {
@@ -204,6 +212,7 @@ impl Gravity {
         GravityField {
             accel,
             mg: Some(stats),
+            comm,
         }
     }
 

@@ -17,6 +17,20 @@
 //! All scratch storage is drawn from an [`Arena`], so the pool-allocator
 //! ablation measures exactly the allocation churn this module generates.
 //!
+//! ## Communication overlap
+//!
+//! Each sweep's faces split into an **interior** set, whose 4-zone stencil
+//! lies entirely in valid data, and a **boundary band** (the outermost two
+//! face layers per side along the sweep dimension), which reads ghost
+//! zones. With [`Hydro::overlap`] set, a sweep runs as a dependency graph
+//! on the worker pool ([`TaskGraph`]): ghost packs are posted through the
+//! two-phase [`MultiFab::plan_fill_boundary`] API, interior kernels run
+//! with nothing to wait for, and band kernels fire per box as soon as that
+//! box's ghosts have been unpacked. The schedule is free to reorder; the
+//! results are bit-identical to the bulk-synchronous path because every
+//! task writes disjoint slots and every face computes the same arithmetic
+//! on the same inputs (a test digests both paths).
+//!
 //! Castro proper uses an unsplit corner-transport-upwind scheme with PPM;
 //! the dimensional splitting used here is a documented simplification
 //! (DESIGN.md) that preserves the stencil shape, the per-zone kernel
@@ -24,9 +38,12 @@
 
 use crate::riemann::hllc;
 use crate::state::{cons_to_prim, Floors, Primitive, StateLayout};
-use exastro_amr::{Array4Mut, BcSpec, FArrayBox, Geometry, IndexBox, IntVect, MultiFab};
+use exastro_amr::{
+    apply_physical_bc, Array4Mut, BcSpec, CommTrace, FArrayBox, Geometry, IndexBox, IntVect,
+    MultiFab,
+};
 use exastro_microphysics::{Eos, Species};
-use exastro_parallel::{Arena, ExecSpace, KernelProfile, Real};
+use exastro_parallel::{Arena, ExecSpace, KernelProfile, Real, TaskGraph, WorkerPool};
 
 /// Which loop structure the sweep kernels use (§III ablation).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -58,6 +75,11 @@ pub struct Hydro {
     pub cfl: Real,
     /// Kernel structure (see module docs).
     pub structure: KernelStructure,
+    /// Overlap ghost exchange with interior compute via the task-graph
+    /// scheduler. Only the [`KernelStructure::Flat`] kernels support it
+    /// (the legacy slope staging reads ghosts up front); with `Legacy`
+    /// the sweep silently falls back to the bulk-synchronous path.
+    pub overlap: bool,
     /// State floors.
     pub floors: Floors,
 }
@@ -67,6 +89,7 @@ impl Default for Hydro {
         Hydro {
             cfl: 0.5,
             structure: KernelStructure::Flat,
+            overlap: true,
             floors: Floors::default(),
         }
     }
@@ -81,6 +104,62 @@ pub struct SweepFluxes {
     pub fabs: Vec<FArrayBox>,
     /// Sweep dimension.
     pub dim: usize,
+}
+
+/// The full face box of `vb` along `dim`: every valid zone's low face plus
+/// one extra layer for the last zone's high face.
+pub fn face_box(vb: IndexBox, dim: usize) -> IndexBox {
+    let mut hi = vb.hi();
+    hi[dim] += 1;
+    IndexBox::new(vb.lo(), hi)
+}
+
+/// The faces of `vb` along `dim` whose reconstruction stencil (zones
+/// `iv − 2e .. iv + e`) lies entirely in valid data: `iv_d ∈ [lo+2, hi−1]`.
+/// `None` when the box is too narrow (< 4 zones) to have any.
+pub fn interior_faces(vb: IndexBox, dim: usize) -> Option<IndexBox> {
+    let mut lo = vb.lo();
+    let mut hi = vb.hi();
+    lo[dim] += 2;
+    hi[dim] -= 1;
+    (lo[dim] <= hi[dim]).then(|| IndexBox::new(lo, hi))
+}
+
+/// The boundary-band face boxes of `vb` along `dim` — the faces whose
+/// stencil reads ghost zones. Up to two boxes (low side, high side),
+/// clipped so that together with [`interior_faces`] they tile
+/// [`face_box`] disjointly for any box width (including 1–3 zone boxes).
+pub fn band_faces(vb: IndexBox, dim: usize) -> Vec<IndexBox> {
+    let (l, h) = (vb.lo()[dim], vb.hi()[dim]);
+    let mut out = Vec::with_capacity(2);
+    // Low band: faces lo and lo+1, clipped to the face box.
+    let mut blo = vb.lo();
+    let mut bhi = vb.hi();
+    bhi[dim] = (l + 1).min(h + 1);
+    out.push(IndexBox::new(blo, bhi));
+    // High band: faces hi and hi+1, minus any overlap with the low band.
+    blo[dim] = (l + 2).max(h);
+    bhi[dim] = h + 1;
+    if blo[dim] <= bhi[dim] {
+        out.push(IndexBox::new(blo, bhi));
+    }
+    out
+}
+
+/// The two ghost-zone slabs (2 deep along `dim`, valid extent transverse)
+/// whose primitives the band faces read. Transverse ghosts are *not*
+/// included: a dimensionally split sweep never reads them.
+pub fn ghost_slabs(vb: IndexBox, dim: usize) -> [IndexBox; 2] {
+    let mut llo = vb.lo();
+    let mut lhi = vb.hi();
+    llo[dim] = vb.lo()[dim] - 2;
+    lhi[dim] = vb.lo()[dim] - 1;
+    let lo_slab = IndexBox::new(llo, lhi);
+    let mut hlo = vb.lo();
+    let mut hhi = vb.hi();
+    hlo[dim] = vb.hi()[dim] + 1;
+    hhi[dim] = vb.hi()[dim] + 2;
+    [lo_slab, IndexBox::new(hlo, hhi)]
 }
 
 /// Monotonized-central limited slope.
@@ -149,22 +228,21 @@ impl Hydro {
         self.cfl * min_dt
     }
 
-    /// Compute primitives on `region` of `fab` into an arena scratch view.
+    /// Compute primitives on `region` zones, reading conserved data through
+    /// `sarr` and writing into the scratch view `qarr`. Pointwise, so any
+    /// partition of a region computes the same values as one full pass.
     #[allow(clippy::too_many_arguments)]
-    fn primitives(
+    fn primitives_region(
         &self,
-        fab: &FArrayBox,
+        sarr: &Array4Mut<'_>,
         region: IndexBox,
         layout: &StateLayout,
         eos: &dyn Eos,
         species: &[Species],
         ex: &ExecSpace,
-        qbuf: &mut [Real],
+        qarr: &Array4Mut<'_>,
     ) {
-        let nq = Q::ncomp(layout.nspec);
         let ncomp = layout.ncomp();
-        let qarr = Array4Mut::from_slice(qbuf, region, nq);
-        let sarr = fab.array();
         let floors = self.floors;
         let layout = *layout;
         let profile = KernelProfile::new(3.0, 180); // EOS Newton inversion is heavy
@@ -194,6 +272,71 @@ impl Hydro {
         });
     }
 
+    /// Solve the face Riemann problems on `faces` and store fluxes into
+    /// `farr`. With `slopes` (legacy structure) staged slopes are read
+    /// back; otherwise each face recomputes its own (flat structure).
+    #[allow(clippy::too_many_arguments)]
+    fn flux_region(
+        &self,
+        faces: IndexBox,
+        qarr: &Array4Mut<'_>,
+        slopes: Option<&Array4Mut<'_>>,
+        farr: &Array4Mut<'_>,
+        dim: usize,
+        dtdx: Real,
+        layout: &StateLayout,
+        ex: &ExecSpace,
+        profile: &KernelProfile,
+    ) {
+        let e = IntVect::dim_vec(dim);
+        let floors = self.floors;
+        let nspec = layout.nspec;
+        let layout = *layout;
+        ex.par_for_prof(faces, profile, |i, j, k| {
+            let iv = IntVect::new(i, j, k);
+            let (ql, qr) = trace_pair(qarr, iv, e, dim, dtdx, nspec, slopes, &floors);
+            write_flux(farr, i, j, k, &ql, &qr, dim, &layout);
+        });
+    }
+
+    /// Conservative update of `vb` from face fluxes, plus the −p∇·u
+    /// internal-energy source and the density floor.
+    #[allow(clippy::too_many_arguments)]
+    fn update_region(
+        &self,
+        vb: IndexBox,
+        farr: &Array4Mut<'_>,
+        qarr: &Array4Mut<'_>,
+        uarr: &Array4Mut<'_>,
+        dim: usize,
+        dtdx: Real,
+        layout: &StateLayout,
+        ex: &ExecSpace,
+        profile: &KernelProfile,
+    ) {
+        let e = IntVect::dim_vec(dim);
+        let ncomp = layout.ncomp();
+        let small_dens = self.floors.small_dens;
+        ex.par_for_prof(vb, profile, |i, j, k| {
+            let (ip, jp, kp) = (i + e.x(), j + e.y(), k + e.z());
+            for c in 0..ncomp {
+                if c == StateLayout::TEMP {
+                    continue;
+                }
+                let du = -dtdx * (farr.at(ip, jp, kp, c) - farr.at(i, j, k, c));
+                uarr.add(i, j, k, c, du);
+            }
+            // −p ∇·u source for the auxiliary internal energy.
+            let pc = qarr.at(i, j, k, Q::P);
+            let div_u = farr.at(ip, jp, kp, ncomp) - farr.at(i, j, k, ncomp);
+            uarr.add(i, j, k, StateLayout::EINT, -dtdx * pc * div_u);
+            // Density floor.
+            if uarr.at(i, j, k, StateLayout::RHO) < small_dens {
+                uarr.set(i, j, k, StateLayout::RHO, small_dens);
+            }
+        });
+    }
+
     /// One directional sweep over every fab of `state`; ghost zones must be
     /// filled for `state` on entry. Returns the face fluxes (for flux
     /// registers) and applies the conservative update.
@@ -214,8 +357,7 @@ impl Hydro {
         let nq = Q::ncomp(layout.nspec);
         let ncomp = layout.ncomp();
         let nflux = ncomp + 1; // + face normal velocity
-        let dx = geom.dx()[dim];
-        let dtdx = dt / dx;
+        let dtdx = dt / geom.dx()[dim];
         let mut flux_fabs = Vec::with_capacity(state.nfabs());
         let profile = flux_kernel_profile(layout.nspec, self.structure);
 
@@ -224,92 +366,53 @@ impl Hydro {
             // Primitives on the valid box grown by 2 (stencil support).
             let qregion = vb.grow(2);
             let mut qbuf = arena.alloc(qregion.num_zones() as usize * nq);
-            self.primitives(state.fab(fi), qregion, layout, eos, species, ex, &mut qbuf);
-            let qarr = Array4(&qbuf, qregion, nq);
-
-            // Face box: one extra face layer in the sweep dimension.
-            let mut face_hi = vb.hi();
-            face_hi[dim] += 1;
-            let face_bx = IndexBox::new(vb.lo(), face_hi);
+            let face_bx = face_box(vb, dim);
             let mut flux = FArrayBox::new(face_bx, nflux);
             {
+                let sarr = state.fab_mut(fi).array_mut();
+                let qarr = Array4Mut::from_slice(&mut qbuf, qregion, nq);
+                self.primitives_region(&sarr, qregion, layout, eos, species, ex, &qarr);
                 let farr = flux.array_mut();
-                let e = IntVect::dim_vec(dim);
                 match self.structure {
                     KernelStructure::Flat => {
                         // Fused: each face recomputes the slopes of its two
                         // neighbouring zones.
-                        let floors = self.floors;
-                        ex.par_for_prof(face_bx, &profile, |i, j, k| {
-                            let iv = IntVect::new(i, j, k);
-                            let (ql, qr) =
-                                trace_pair(&qarr, iv, e, dim, dtdx, layout.nspec, None, &floors);
-                            write_flux(&farr, i, j, k, &ql, &qr, dim, layout);
-                        });
+                        self.flux_region(
+                            face_bx, &qarr, None, &farr, dim, dtdx, layout, ex, &profile,
+                        );
                     }
                     KernelStructure::Legacy => {
                         // Stage limited slopes for every zone in a scratch
                         // array (extra footprint), then a second loop reads
                         // them back. Faces touch zones vb ± 1 in the sweep
                         // dimension.
+                        let e = IntVect::dim_vec(dim);
                         let sregion = vb.grow_dir(dim, 1);
                         let mut sbuf = arena.alloc(sregion.num_zones() as usize * nq);
-                        {
-                            let sarr = Array4Mut::from_slice(&mut sbuf, sregion, nq);
-                            ex.par_for_prof(sregion, &profile, |i, j, k| {
-                                for c in 0..nq {
-                                    let vm = qarr.at(i - e.x(), j - e.y(), k - e.z(), c);
-                                    let v0 = qarr.at(i, j, k, c);
-                                    let vp = qarr.at(i + e.x(), j + e.y(), k + e.z(), c);
-                                    sarr.set(i, j, k, c, mc_slope(vm, v0, vp));
-                                }
-                            });
-                        }
-                        let sarr_r = Array4(&sbuf, sregion, nq);
-                        let floors = self.floors;
-                        ex.par_for_prof(face_bx, &profile, |i, j, k| {
-                            let iv = IntVect::new(i, j, k);
-                            let (ql, qr) = trace_pair(
-                                &qarr,
-                                iv,
-                                e,
-                                dim,
-                                dtdx,
-                                layout.nspec,
-                                Some(&sarr_r),
-                                &floors,
-                            );
-                            write_flux(&farr, i, j, k, &ql, &qr, dim, layout);
+                        let slarr = Array4Mut::from_slice(&mut sbuf, sregion, nq);
+                        ex.par_for_prof(sregion, &profile, |i, j, k| {
+                            for c in 0..nq {
+                                let vm = qarr.at(i - e.x(), j - e.y(), k - e.z(), c);
+                                let v0 = qarr.at(i, j, k, c);
+                                let vp = qarr.at(i + e.x(), j + e.y(), k + e.z(), c);
+                                slarr.set(i, j, k, c, mc_slope(vm, v0, vp));
+                            }
                         });
+                        self.flux_region(
+                            face_bx,
+                            &qarr,
+                            Some(&slarr),
+                            &farr,
+                            dim,
+                            dtdx,
+                            layout,
+                            ex,
+                            &profile,
+                        );
                     }
                 }
-            }
-
-            // Conservative update of the valid zones.
-            {
-                let farr = flux.array();
-                let sfab = state.fab_mut(fi);
-                let uarr = sfab.array_mut();
-                let e = IntVect::dim_vec(dim);
-                let small_dens = self.floors.small_dens;
-                ex.par_for_prof(vb, &profile, |i, j, k| {
-                    let (ip, jp, kp) = (i + e.x(), j + e.y(), k + e.z());
-                    for c in 0..ncomp {
-                        if c == StateLayout::TEMP {
-                            continue;
-                        }
-                        let du = -dtdx * (farr.at(ip, jp, kp, c) - farr.at(i, j, k, c));
-                        uarr.add(i, j, k, c, du);
-                    }
-                    // −p ∇·u source for the auxiliary internal energy.
-                    let pc = qarr.at(i, j, k, Q::P);
-                    let div_u = farr.at(ip, jp, kp, ncomp) - farr.at(i, j, k, ncomp);
-                    uarr.add(i, j, k, StateLayout::EINT, -dtdx * pc * div_u);
-                    // Density floor.
-                    if uarr.at(i, j, k, StateLayout::RHO) < small_dens {
-                        uarr.set(i, j, k, StateLayout::RHO, small_dens);
-                    }
-                });
+                // Conservative update of the valid zones.
+                self.update_region(vb, &farr, &qarr, &sarr, dim, dtdx, layout, ex, &profile);
             }
             flux_fabs.push(flux);
         }
@@ -319,8 +422,163 @@ impl Hydro {
         }
     }
 
+    /// One directional sweep as a task graph: ghost exchange posted through
+    /// [`MultiFab::plan_fill_boundary`], interior kernels overlapping the
+    /// in-flight halos, band kernels gated per box on that box's unpack.
+    ///
+    /// Per-box tasks and edges (`n` = number of fabs):
+    ///
+    /// | task        | work                                | depends on            |
+    /// |-------------|-------------------------------------|-----------------------|
+    /// | `pack f`    | pack ops with src = f               | —                     |
+    /// | `unpack f`  | unpack ghosts of f, physical BC     | packs of f's senders  |
+    /// | `interior f`| primitives on valid, interior fluxes| —                     |
+    /// | `band f`    | slab primitives, band fluxes        | `unpack f`,`interior f`|
+    /// | `update f`  | conservative update of f            | `interior f`, `band f`, `pack f` |
+    ///
+    /// `update f` waits on `pack f` because the pack reads f's valid zones;
+    /// the ghost-exchange buffers must capture pre-update data exactly as
+    /// an MPI isend would.
+    #[allow(clippy::too_many_arguments)]
+    fn sweep_overlapped(
+        &self,
+        state: &mut MultiFab,
+        dim: usize,
+        dt: Real,
+        geom: &Geometry,
+        layout: &StateLayout,
+        eos: &dyn Eos,
+        species: &[Species],
+        bc: &BcSpec,
+        ex: &ExecSpace,
+        arena: &dyn Arena,
+    ) -> (SweepFluxes, CommTrace) {
+        assert!(state.ngrow() >= 2, "hydro needs two ghost zones");
+        let n = state.nfabs();
+        let nq = Q::ncomp(layout.nspec);
+        let nflux = layout.ncomp() + 1;
+        let dtdx = dt / geom.dx()[dim];
+        let profile = flux_kernel_profile(layout.nspec, self.structure);
+
+        let pending = state.plan_fill_boundary(geom);
+        let mut packs_of: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut senders_of: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for o in 0..pending.nops() {
+            let (src, dst) = pending.op_endpoints(o);
+            packs_of[src].push(o);
+            senders_of[dst].push(src);
+        }
+        for s in &mut senders_of {
+            s.sort_unstable();
+            s.dedup();
+        }
+
+        let vbs: Vec<IndexBox> = (0..n).map(|i| state.valid_box(i)).collect();
+        let qregions: Vec<IndexBox> = vbs.iter().map(|vb| vb.grow(2)).collect();
+        let mut qbufs: Vec<_> = qregions
+            .iter()
+            .map(|r| arena.alloc(r.num_zones() as usize * nq))
+            .collect();
+        let mut flux_fabs: Vec<FArrayBox> = vbs
+            .iter()
+            .map(|vb| FArrayBox::new(face_box(*vb, dim), nflux))
+            .collect();
+
+        {
+            let state_views = state.fab_views_mut();
+            let q_views: Vec<Array4Mut<'_>> = qbufs
+                .iter_mut()
+                .zip(&qregions)
+                .map(|(b, r)| Array4Mut::from_slice(b, *r, nq))
+                .collect();
+            let flux_views: Vec<Array4Mut<'_>> =
+                flux_fabs.iter_mut().map(|f| f.array_mut()).collect();
+
+            // Task ids by block: pack f, n + unpack f, 2n + interior f,
+            // 3n + band f, 4n + update f.
+            let mut g = TaskGraph::new();
+            for _ in 0..n {
+                g.add_task();
+            }
+            for f in 0..n {
+                let id = g.add_task();
+                for &s in &senders_of[f] {
+                    g.add_edge(s, id);
+                }
+            }
+            for _ in 0..n {
+                g.add_task();
+            }
+            for f in 0..n {
+                g.add_task_after(&[n + f, 2 * n + f]);
+            }
+            for f in 0..n {
+                g.add_task_after(&[2 * n + f, 3 * n + f, f]);
+            }
+
+            let pend = &pending;
+            let svs = &state_views;
+            let qvs = &q_views;
+            let fvs = &flux_views;
+            g.run(WorkerPool::global(), n.max(1), |t| {
+                let (kind, f) = (t / n, t % n);
+                match kind {
+                    0 => {
+                        let sv = &svs[f];
+                        for &o in &packs_of[f] {
+                            pend.pack_op(o, |iv, c| sv.at(iv.x(), iv.y(), iv.z(), c));
+                        }
+                    }
+                    1 => {
+                        let sv = &svs[f];
+                        pend.unpack_fab(f, |iv, c, v| sv.set(iv.x(), iv.y(), iv.z(), c, v));
+                        apply_physical_bc(sv, geom, bc);
+                    }
+                    2 => {
+                        self.primitives_region(&svs[f], vbs[f], layout, eos, species, ex, &qvs[f]);
+                        if let Some(faces) = interior_faces(vbs[f], dim) {
+                            self.flux_region(
+                                faces, &qvs[f], None, &fvs[f], dim, dtdx, layout, ex, &profile,
+                            );
+                        }
+                    }
+                    3 => {
+                        for slab in ghost_slabs(vbs[f], dim) {
+                            self.primitives_region(
+                                &svs[f], slab, layout, eos, species, ex, &qvs[f],
+                            );
+                        }
+                        for faces in band_faces(vbs[f], dim) {
+                            self.flux_region(
+                                faces, &qvs[f], None, &fvs[f], dim, dtdx, layout, ex, &profile,
+                            );
+                        }
+                    }
+                    _ => {
+                        self.update_region(
+                            vbs[f], &fvs[f], &qvs[f], &svs[f], dim, dtdx, layout, ex, &profile,
+                        );
+                    }
+                }
+            })
+            .expect("hydro sweep graph is a DAG by construction");
+        }
+        let trace = pending.finish();
+        (
+            SweepFluxes {
+                fabs: flux_fabs,
+                dim,
+            },
+            trace,
+        )
+    }
+
     /// A full hydro step: three directional sweeps with ghost refills
-    /// between them. Returns per-dimension fluxes for refluxing.
+    /// between them. With [`Hydro::overlap`] and flat kernels each sweep
+    /// runs as a task graph overlapping exchange with interior compute;
+    /// otherwise exchange completes up front (bulk-synchronous). Returns
+    /// per-dimension fluxes for refluxing and the step's communication
+    /// trace for the machine model.
     #[allow(clippy::too_many_arguments)]
     pub fn advance(
         &self,
@@ -333,21 +591,25 @@ impl Hydro {
         bc: &BcSpec,
         ex: &ExecSpace,
         arena: &dyn Arena,
-    ) -> Vec<SweepFluxes> {
+    ) -> (Vec<SweepFluxes>, CommTrace) {
         let mut fluxes = Vec::with_capacity(3);
+        let mut trace = CommTrace::default();
+        let overlapped = self.overlap && self.structure == KernelStructure::Flat;
         for dim in 0..3 {
-            state.fill_boundary(geom);
-            state.fill_physical_bc(geom, bc);
-            fluxes.push(self.sweep(state, dim, dt, geom, layout, eos, species, ex, arena));
+            if overlapped {
+                let (fx, t) = self
+                    .sweep_overlapped(state, dim, dt, geom, layout, eos, species, bc, ex, arena);
+                trace.merge(&t);
+                fluxes.push(fx);
+            } else {
+                let t = state.fill_boundary(geom);
+                trace.merge(&t);
+                state.fill_physical_bc(geom, bc);
+                fluxes.push(self.sweep(state, dim, dt, geom, layout, eos, species, ex, arena));
+            }
         }
-        fluxes
+        (fluxes, trace)
     }
-}
-
-/// Shorthand for viewing a scratch slice as a fab.
-#[allow(non_snake_case)]
-fn Array4<'a>(data: &'a [Real], bx: IndexBox, ncomp: usize) -> exastro_amr::Array4<'a> {
-    exastro_amr::Array4::from_slice(data, bx, ncomp)
 }
 
 /// Reconstruct and half-step-trace the left/right primitive states at the
@@ -357,13 +619,13 @@ fn Array4<'a>(data: &'a [Real], bx: IndexBox, ncomp: usize) -> exastro_amr::Arra
 #[allow(clippy::too_many_arguments)]
 #[inline]
 fn trace_pair(
-    q: &exastro_amr::Array4<'_>,
+    q: &Array4Mut<'_>,
     iv: IntVect,
     e: IntVect,
     dim: usize,
     dtdx: Real,
     nspec: usize,
-    slopes: Option<&exastro_amr::Array4<'_>>,
+    slopes: Option<&Array4Mut<'_>>,
     floors: &Floors,
 ) -> (TracedState, TracedState) {
     let zl = iv - e;
@@ -386,14 +648,14 @@ pub struct TracedState {
 #[allow(clippy::too_many_arguments)]
 #[inline]
 fn trace_one(
-    q: &exastro_amr::Array4<'_>,
+    q: &Array4Mut<'_>,
     z: IntVect,
     e: IntVect,
     dim: usize,
     dtdx: Real,
     nspec: usize,
     side: Real,
-    slopes: Option<&exastro_amr::Array4<'_>>,
+    slopes: Option<&Array4Mut<'_>>,
     floors: &Floors,
 ) -> TracedState {
     let at = |iv: IntVect, c: usize| q.at(iv.x(), iv.y(), iv.z(), c);
@@ -565,6 +827,7 @@ mod tests {
         let hydro = Hydro {
             cfl: 0.4,
             structure,
+            overlap: true,
             floors: Floors::dimensionless(),
         };
         let ex = ExecSpace::Serial;
@@ -576,7 +839,7 @@ mod tests {
         for _ in 0..nsteps {
             let dt = hydro.estimate_dt(&state, &layout, &eos, net.species(), &geom, &ex);
             assert!(dt > 0.0 && dt.is_finite());
-            hydro.advance(
+            let _ = hydro.advance(
                 &mut state,
                 dt.min(1e-2),
                 &geom,
@@ -589,6 +852,49 @@ mod tests {
             );
         }
         (geom, state, layout)
+    }
+
+    #[test]
+    fn face_split_tiles_face_box_for_all_widths() {
+        for width in 1..=6 {
+            for dim in 0..3 {
+                let mut hi = IntVect::splat(3);
+                hi[dim] = width - 1;
+                let vb = IndexBox::new(IntVect::splat(0), hi);
+                let fb = face_box(vb, dim);
+                let mut covered = vec![0u32; fb.num_zones() as usize];
+                let mark = |covered: &mut Vec<u32>, bx: IndexBox| {
+                    for (n, iv) in fb.iter().enumerate() {
+                        if bx.contains(iv) {
+                            covered[n] += 1;
+                        }
+                    }
+                };
+                if let Some(ib) = interior_faces(vb, dim) {
+                    mark(&mut covered, ib);
+                }
+                for bb in band_faces(vb, dim) {
+                    mark(&mut covered, bb);
+                }
+                assert!(
+                    covered.iter().all(|&c| c == 1),
+                    "width {width} dim {dim}: interior+band must tile faces exactly once: {covered:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ghost_slabs_are_outside_and_two_deep() {
+        let vb = IndexBox::new(IntVect::splat(0), IntVect::new(7, 3, 3));
+        let [lo, hi] = ghost_slabs(vb, 0);
+        assert_eq!(lo.lo().x(), -2);
+        assert_eq!(lo.hi().x(), -1);
+        assert_eq!(hi.lo().x(), 8);
+        assert_eq!(hi.hi().x(), 9);
+        // Transverse extent stays the valid extent (no corner ghosts).
+        assert_eq!(lo.lo().y(), 0);
+        assert_eq!(lo.hi().y(), 3);
     }
 
     #[test]
@@ -628,6 +934,91 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn overlapped_and_sync_paths_agree_bitwise() {
+        // Many boxes, fully periodic, smooth multi-dimensional flow: the
+        // task-graph schedule must reproduce the bulk-synchronous answer
+        // bit for bit, fluxes and traces included.
+        let run = |overlap: bool| {
+            let geom = Geometry::cube(16, 1.0, true);
+            let ba = BoxArray::decompose(geom.domain(), 4, 4);
+            let layout = StateLayout::new(2);
+            let mut state = MultiFab::local(ba, layout.ncomp(), 2);
+            let eos = GammaLaw { gamma: 1.4 };
+            let net = CBurn2::new();
+            let comp = Composition::from_mass_fractions(net.species(), &[0.7, 0.3]);
+            for i in 0..state.nfabs() {
+                let vb = state.valid_box(i);
+                for iv in vb.iter() {
+                    let x = geom.cell_center(iv);
+                    let tp = 2.0 * std::f64::consts::PI;
+                    let rho = 1.0 + 0.2 * (tp * x[0]).sin() * (tp * x[1]).cos();
+                    let u = 0.3 * (tp * x[2]).sin();
+                    let v = 0.2 * (tp * x[0]).cos();
+                    let p = 1.0 + 0.1 * (tp * x[1]).sin();
+                    let e = eos.e_from_p(rho, p);
+                    let t = eos.t_from_e(rho, e, &comp, 1e3);
+                    let ke = 0.5 * rho * (u * u + v * v);
+                    let fab = state.fab_mut(i);
+                    fab.set(iv, StateLayout::RHO, rho);
+                    fab.set(iv, StateLayout::MX, rho * u);
+                    fab.set(iv, StateLayout::MX + 1, rho * v);
+                    fab.set(iv, StateLayout::EDEN, rho * e + ke);
+                    fab.set(iv, StateLayout::EINT, rho * e);
+                    fab.set(iv, StateLayout::TEMP, t);
+                    fab.set(iv, layout.spec(0), 0.7 * rho);
+                    fab.set(iv, layout.spec(1), 0.3 * rho);
+                }
+            }
+            let hydro = Hydro {
+                cfl: 0.4,
+                structure: KernelStructure::Flat,
+                overlap,
+                floors: Floors::dimensionless(),
+            };
+            let ex = ExecSpace::Serial;
+            let arena = PoolArena::new(None);
+            let bc = BcSpec::periodic();
+            let mut trace = CommTrace::default();
+            for _ in 0..3 {
+                let dt = hydro.estimate_dt(&state, &layout, &eos, net.species(), &geom, &ex);
+                let (_, t) = hydro.advance(
+                    &mut state,
+                    dt,
+                    &geom,
+                    &layout,
+                    &eos,
+                    net.species(),
+                    &bc,
+                    &ex,
+                    &arena,
+                );
+                trace.merge(&t);
+            }
+            (state, trace)
+        };
+        let (so, to) = run(true);
+        let (ss, ts) = run(false);
+        assert!(so.nfabs() > 8, "want many boxes to stress the graph");
+        for i in 0..so.nfabs() {
+            let vb = so.valid_box(i);
+            for iv in vb.iter() {
+                for c in 0..so.ncomp() {
+                    let a = so.fab(i).get(iv, c);
+                    let b = ss.fab(i).get(iv, c);
+                    assert!(
+                        a.to_bits() == b.to_bits(),
+                        "overlap mismatch fab {i} {iv:?} comp {c}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+        // The comm trace is priced at plan time and must match exactly.
+        assert_eq!(to.network_bytes(), ts.network_bytes());
+        assert_eq!(to.local_bytes, ts.local_bytes);
+        assert_eq!(to.messages.len(), ts.messages.len());
     }
 
     #[test]
@@ -691,7 +1082,7 @@ mod tests {
         let bc = BcSpec::periodic();
         for _ in 0..10 {
             let dt = hydro.estimate_dt(&state, &layout, &eos, net.species(), &geom, &ex);
-            hydro.advance(
+            let _ = hydro.advance(
                 &mut state,
                 dt,
                 &geom,
@@ -725,7 +1116,7 @@ mod tests {
         bc.kind[1] = [BcKind::Periodic; 2];
         bc.kind[2] = [BcKind::Periodic; 2];
         for _ in 0..3 {
-            hydro.advance(
+            let _ = hydro.advance(
                 &mut state,
                 1e-3,
                 &geom,

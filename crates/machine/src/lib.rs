@@ -20,10 +20,16 @@ pub mod ranks;
 pub mod workload;
 
 pub use faults::{FaultEvent, NodeFaultConfig, NodeFaultModel};
-pub use fig2::{canonical_series, envelope_series, sedov_workload, ScalingPoint};
-pub use fig3::{bubble_point, bubble_series, BubblePoint};
+pub use fig2::{
+    canonical_series, envelope_series, hydro_overlap, overlapped_series, sedov_workload,
+    sedov_workload_overlapped, ScalingPoint,
+};
+pub use fig3::{
+    bubble_point, bubble_point_with, bubble_series, bubble_series_overlapped, BubblePoint,
+};
 pub use model::{
-    CpuNodeReference, Machine, NetworkModel, NodeModel, RankComm, StepTime, StepWorkload,
+    CpuNodeReference, Machine, NetworkModel, NodeModel, OverlapModel, RankComm, StepTime,
+    StepWorkload,
 };
 pub use ranks::{RankLease, RankPool};
 pub use workload::{add_comm, exchange_comm, scale_comm};

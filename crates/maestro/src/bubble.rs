@@ -155,6 +155,7 @@ pub fn bubble_maestro<'a>(eos: &'a dyn Eos, net: &'a dyn Network, base: BaseStat
         burn_solver: SolverChoice::default(),
         burn_faults: None,
         burn_batch_width: 8,
+        overlap: true,
         recovery: RecoveryOptions::default(),
         telemetry: Default::default(),
     }

@@ -12,7 +12,9 @@
 //! one node.
 
 use crate::base_state::{rho_from_p_t, BaseState};
-use exastro_amr::{BcKind, BcSpec, Geometry, IntVect, MultiFab, Real, SPACEDIM};
+use exastro_amr::{
+    BcKind, BcSpec, CommTrace, Geometry, IndexBox, IntVect, MultiFab, Real, SPACEDIM,
+};
 use exastro_microphysics::{
     BurnFailure, BurnFaultConfig, BurnTally, BurnerConfig, Composition, Eos, Network, RetryLadder,
     SolverChoice, ZoneBurn,
@@ -20,6 +22,7 @@ use exastro_microphysics::{
 use exastro_parallel::Profiler;
 use exastro_resilience::recovery::{write_emergency, RecoveryOptions};
 use exastro_resilience::snapshot::Clock;
+use exastro_resilience::stepper::{StepFailure, StepOutcome, Stepper};
 use exastro_solvers::{MgBc, MgOptions, MgStats, Multigrid};
 use exastro_telemetry::{StepMetrics, StepRecorder};
 use std::path::PathBuf;
@@ -85,6 +88,9 @@ pub struct LmStepStats {
     pub max_temp: Real,
     /// Peak vertical velocity.
     pub max_w: Real,
+    /// Communication performed by the step (advection ghost exchange plus
+    /// the projection's velocity/potential fills), merged across phases.
+    pub comm: CommTrace,
 }
 
 /// A violation found by the low-Mach post-step validator.
@@ -224,6 +230,10 @@ pub struct Maestro<'a> {
     /// [`exastro_microphysics::batch`]); width < 2 keeps every zone on the
     /// scalar retry ladder.
     pub burn_batch_width: usize,
+    /// Overlap the advection ghost exchange with stencil-interior advection
+    /// via the two-phase comm API ([`MultiFab::post_fill_boundary`]);
+    /// results are bit-identical to the bulk-synchronous path.
+    pub overlap: bool,
     /// Step-rejection policy and emergency-checkpoint destination.
     pub recovery: RecoveryOptions,
     /// Per-step metrics recorder; inert until a sink is attached via
@@ -282,30 +292,104 @@ impl<'a> Maestro<'a> {
     /// First-order upwind advection of all components by the cell velocity.
     fn advect(&self, state: &mut MultiFab, geom: &Geometry, dt: Real) {
         let old = state.clone();
+        for i in 0..state.nfabs() {
+            self.advect_fab_zones(state, &old, geom, dt, i, |_| true);
+        }
+    }
+
+    /// The zones of `vb` whose 1-zone upwind stencil lies entirely in valid
+    /// data — advection there needs no ghosts. `None` when the box is too
+    /// narrow (< 3 zones in some dimension) to have any.
+    fn stencil_interior(vb: IndexBox) -> Option<IndexBox> {
+        (0..3)
+            .all(|d| vb.hi()[d] - vb.lo()[d] >= 2)
+            .then(|| vb.grow(-1))
+    }
+
+    /// Upwind-advect the zones of fab `i` selected by `include`, reading
+    /// pre-step data from `old`. Pointwise in the destination zone, so any
+    /// partition of the valid box computes identical updates.
+    fn advect_fab_zones<F: Fn(IntVect) -> bool>(
+        &self,
+        state: &mut MultiFab,
+        old: &MultiFab,
+        geom: &Geometry,
+        dt: Real,
+        i: usize,
+        include: F,
+    ) {
         let dx = geom.dx();
+        let ncomp = self.layout.ncomp();
+        let vb = state.valid_box(i);
+        for iv in vb.iter() {
+            if !include(iv) {
+                continue;
+            }
+            let mut upd = vec![0.0; ncomp];
+            for d in 0..3 {
+                let e = IntVect::dim_vec(d);
+                let vel = old.fab(i).get(iv, LmLayout::U + d);
+                for (c, u) in upd.iter_mut().enumerate() {
+                    let grad = if vel >= 0.0 {
+                        old.fab(i).get(iv, c) - old.fab(i).get(iv - e, c)
+                    } else {
+                        old.fab(i).get(iv + e, c) - old.fab(i).get(iv, c)
+                    };
+                    *u -= vel * grad / dx[d] * dt;
+                }
+            }
+            for c in 0..ncomp {
+                let v = state.fab(i).get(iv, c) + upd[c];
+                state.fab_mut(i).set(iv, c, v);
+            }
+        }
+    }
+
+    /// Exchange + advect + buoyancy, overlapped: the ghost exchange is
+    /// *posted* (send buffers captured), the state snapshotted, and all
+    /// stencil-interior zones advected while the halos are in flight; the
+    /// exchange then completes into the snapshot and only the boundary
+    /// zones wait for it. Finally the state's own ghosts are synced to the
+    /// snapshot's, leaving the multifab bit-identical to the synchronous
+    /// path (the projection's velocity copy reads them).
+    fn advect_overlapped(
+        &self,
+        state: &mut MultiFab,
+        geom: &Geometry,
+        bc: &BcSpec,
+        dt: Real,
+    ) -> CommTrace {
+        let pending = state.post_fill_boundary(geom);
+        let mut old = state.clone();
+        for i in 0..state.nfabs() {
+            if let Some(ib) = Self::stencil_interior(state.valid_box(i)) {
+                self.advect_fab_zones(state, &old, geom, dt, i, |iv| ib.contains(iv));
+            }
+        }
+        let trace = pending.wait(&mut old);
+        old.fill_physical_bc(geom, bc);
+        for i in 0..state.nfabs() {
+            let interior = Self::stencil_interior(state.valid_box(i));
+            self.advect_fab_zones(state, &old, geom, dt, i, |iv| {
+                !interior.is_some_and(|ib| ib.contains(iv))
+            });
+        }
+        // Restore the ghost picture of the synchronous path: pre-advect
+        // exchanged-and-bc'd values.
         let ncomp = self.layout.ncomp();
         for i in 0..state.nfabs() {
             let vb = state.valid_box(i);
-            for iv in vb.iter() {
-                let mut upd = vec![0.0; ncomp];
-                for d in 0..3 {
-                    let e = IntVect::dim_vec(d);
-                    let vel = old.fab(i).get(iv, LmLayout::U + d);
-                    for (c, u) in upd.iter_mut().enumerate() {
-                        let grad = if vel >= 0.0 {
-                            old.fab(i).get(iv, c) - old.fab(i).get(iv - e, c)
-                        } else {
-                            old.fab(i).get(iv + e, c) - old.fab(i).get(iv, c)
-                        };
-                        *u -= vel * grad / dx[d] * dt;
-                    }
+            let gb = state.grown_box(i);
+            for iv in gb.iter() {
+                if vb.contains(iv) {
+                    continue;
                 }
                 for c in 0..ncomp {
-                    let v = state.fab(i).get(iv, c) + upd[c];
-                    state.fab_mut(i).set(iv, c, v);
+                    state.fab_mut(i).set(iv, c, old.fab(i).get(iv, c));
                 }
             }
         }
+        trace
     }
 
     /// Buoyancy source: `w += −g (ρ − ρ₀)/ρ dt`.
@@ -326,7 +410,7 @@ impl<'a> Maestro<'a> {
     /// Project the velocity onto the (approximately) divergence-free space:
     /// solve `∇²φ = ∇·U / dt`, then `U −= dt ∇φ`. This is the global
     /// multigrid solve that dominates MAESTROeX communication at scale.
-    pub fn project(&self, state: &mut MultiFab, geom: &Geometry, dt: Real) -> MgStats {
+    pub fn project(&self, state: &mut MultiFab, geom: &Geometry, dt: Real) -> (MgStats, CommTrace) {
         let ba = state.box_array().clone();
         let dm = state.dist_map().clone();
         let mut rhs = MultiFab::new(ba.clone(), dm.clone(), 1, 0);
@@ -340,7 +424,7 @@ impl<'a> Maestro<'a> {
                 }
             }
         }
-        vel.fill_boundary(geom);
+        let mut comm = vel.fill_boundary(geom);
         let velbc = BcSpec {
             kind: {
                 let mut k = [[BcKind::Periodic; 2]; SPACEDIM];
@@ -383,7 +467,8 @@ impl<'a> Maestro<'a> {
             },
         );
         let stats = mg.solve(&mut phi, &rhs, geom);
-        phi.fill_boundary(geom);
+        let phi_trace = phi.fill_boundary(geom);
+        comm.merge(&phi_trace);
         // Neumann ghosts at the walls.
         let phibc = BcSpec {
             kind: {
@@ -406,7 +491,7 @@ impl<'a> Maestro<'a> {
                 }
             }
         }
-        stats
+        (stats, comm)
     }
 
     /// React every zone for `dt` (temperature and composition evolve at
@@ -546,17 +631,24 @@ impl<'a> Maestro<'a> {
             let _r = Profiler::region("enforce_density");
             self.enforce_density(state, geom);
         }
-        state.fill_boundary(geom);
-        state.fill_physical_bc(geom, &bc);
         {
             let _r = Profiler::region("advect");
-            self.advect(state, geom, dt);
+            let trace = if self.overlap {
+                self.advect_overlapped(state, geom, &bc, dt)
+            } else {
+                let trace = state.fill_boundary(geom);
+                state.fill_physical_bc(geom, &bc);
+                self.advect(state, geom, dt);
+                trace
+            };
+            stats.comm.merge(&trace);
             self.buoyancy(state, dt);
         }
-        let proj = {
+        let (proj, proj_comm) = {
             let _r = Profiler::region("project");
             self.project(state, geom, dt)
         };
+        stats.comm.merge(&proj_comm);
         stats.projection = Some(proj);
         if self.do_burn {
             let _r = Profiler::region("react");
@@ -681,6 +773,30 @@ impl<'a> Maestro<'a> {
     }
 }
 
+impl Stepper for Maestro<'_> {
+    fn estimate_dt(&self, state: &MultiFab, geom: &Geometry) -> Real {
+        Maestro::estimate_dt(self, state, geom)
+    }
+
+    fn step(
+        &mut self,
+        state: &mut MultiFab,
+        geom: &Geometry,
+        dt: Real,
+    ) -> Result<StepOutcome, StepFailure> {
+        self.advance_safe(state, geom, dt)
+            .map(|(stats, dt_taken)| StepOutcome {
+                dt_taken,
+                comm: stats.comm,
+            })
+            .map_err(|e| StepFailure::new(e.to_string()))
+    }
+
+    fn take_recorder(&mut self) -> exastro_telemetry::StepRecorder {
+        std::mem::take(&mut self.telemetry)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -718,6 +834,48 @@ mod tests {
     }
 
     #[test]
+    fn overlapped_and_sync_advect_agree_bitwise() {
+        // The overlapped path must be a pure scheduling change: every bit of
+        // the state (valid AND ghost zones -- the projection reads ghosts)
+        // and every byte of the comm ledger must match the bulk-synchronous
+        // path after several steps.
+        let (geom, sync_state, mut maestro, _l) = bubble_setup(16);
+        let mut sync_state = sync_state;
+        let mut ovl_state = sync_state.clone();
+        maestro.overlap = false;
+        let mut sync_comm = CommTrace::default();
+        for _ in 0..3 {
+            let st = maestro.advance(&mut sync_state, &geom, 2e-4).unwrap();
+            sync_comm.merge(&st.comm);
+        }
+        maestro.overlap = true;
+        let mut ovl_comm = CommTrace::default();
+        for _ in 0..3 {
+            let st = maestro.advance(&mut ovl_state, &geom, 2e-4).unwrap();
+            ovl_comm.merge(&st.comm);
+        }
+        for i in 0..sync_state.nfabs() {
+            for iv in sync_state.grown_box(i).iter() {
+                for c in 0..sync_state.ncomp() {
+                    let a = sync_state.fab(i).get(iv, c);
+                    let b = ovl_state.fab(i).get(iv, c);
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "bit divergence at fab {i} zone {iv:?} comp {c}: {a} vs {b}"
+                    );
+                }
+            }
+        }
+        assert!(
+            sync_comm.network_bytes() > 0,
+            "fixture must exchange off-rank"
+        );
+        assert_eq!(sync_comm.network_bytes(), ovl_comm.network_bytes());
+        assert_eq!(sync_comm.local_bytes, ovl_comm.local_bytes);
+    }
+
+    #[test]
     fn projection_kills_divergence() {
         let (geom, mut state, maestro, _l) = bubble_setup(16);
         // Seed a strongly divergent velocity field.
@@ -735,7 +893,11 @@ mod tests {
             }
         }
         let div_before = divergence_norm(&state, &geom);
-        let stats = maestro.project(&mut state, &geom, 1.0);
+        let (stats, comm) = maestro.project(&mut state, &geom, 1.0);
+        assert!(
+            comm.network_bytes() > 0,
+            "SFC layout must exchange off-rank"
+        );
         let div_after = divergence_norm(&state, &geom);
         assert!(stats.converged, "projection multigrid must converge");
         // This is an *approximate* (cell-centred) projection, as in
@@ -759,7 +921,7 @@ mod tests {
                 }
             }
         }
-        vel.fill_boundary(geom);
+        let _ = vel.fill_boundary(geom);
         let dx = geom.dx();
         let mut norm = 0.0;
         for i in 0..vel.nfabs() {

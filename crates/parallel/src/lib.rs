@@ -18,6 +18,9 @@
 //! * [`pool`] — the persistent worker-thread pool behind the tiled backend:
 //!   threads are spawned once per process and parallel regions are a pointer
 //!   handoff plus a condvar wake, not a thread spawn;
+//! * [`graph`] — the dependency-graph task scheduler over the pool: boxes
+//!   become tasks, ghost exchanges become edges, interior kernels run while
+//!   halos are in flight (the overlap behind the two-phase comm API);
 //! * [`profiler`] — TinyProfiler-style execution telemetry: named nested
 //!   regions accumulating wall time, zones processed, and simulated device
 //!   microseconds, rendered as an end-of-run report.
@@ -37,6 +40,7 @@
 pub mod arena;
 pub mod device;
 pub mod exec;
+pub mod graph;
 pub mod index;
 pub mod pool;
 pub mod profiler;
@@ -44,9 +48,11 @@ pub mod profiler;
 pub use arena::{Arena, ArenaStats, MallocArena, PoolArena, ScratchBuf};
 pub use device::{DeviceConfig, DeviceStats, KernelProfile, SimDevice};
 pub use exec::{tiles_of, ExecSpace, TiledExec};
+pub use graph::{GraphError, GraphRunStats, TaskGraph};
 pub use index::{IndexBox, IntVect, SPACEDIM};
 pub use pool::{
-    par_each_mut, par_index_each, par_map_fold, try_par_for, PoolStats, Tasks, WorkerPool,
+    par_each_mut, par_each_mut_bounded, par_index_each, par_map_fold, try_par_for, PoolStats,
+    Tasks, WorkerPool,
 };
 pub use profiler::{InstalledStack, Profiler, Region, RegionStats};
 

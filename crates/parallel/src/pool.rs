@@ -382,6 +382,11 @@ pub fn par_each_mut<T: Send, F: Fn(usize, &mut T) + Sync>(items: &mut [T], f: F)
 }
 
 /// [`par_each_mut`] on an explicit pool with a participant cap.
+///
+/// A cap of 0 is clamped to 1 (inline serial): callers like the task-graph
+/// scheduler pass *computed* caps (ready-set widths, buffer counts) that can
+/// legitimately reach zero, and "no parallelism" must still mean "every
+/// element is processed".
 pub fn par_each_mut_bounded<T: Send, F: Fn(usize, &mut T) + Sync>(
     pool: &WorkerPool,
     items: &mut [T],
@@ -395,7 +400,7 @@ pub fn par_each_mut_bounded<T: Send, F: Fn(usize, &mut T) + Sync>(
     let n = items.len();
     let ptr = SlicePtr(items.as_mut_ptr());
     let pref = &ptr;
-    pool.run(n, max_threads, &|tasks: Tasks<'_>| {
+    pool.run(n, max_threads.max(1), &|tasks: Tasks<'_>| {
         while let Some(i) = tasks.next_task() {
             // SAFETY: i < n and claimed exactly once; see SlicePtr.
             let item: &mut T = unsafe { &mut *pref.0.add(i) };
@@ -513,6 +518,21 @@ mod tests {
         for (i, x) in v.iter().enumerate() {
             assert_eq!(*x, (i * i) as u64);
         }
+    }
+
+    #[test]
+    fn bounded_cap_of_zero_clamps_to_serial_and_processes_everything() {
+        // The task-graph scheduler passes computed caps; a width of 0 must
+        // degrade to serial execution, never skip work or hang.
+        let pool = WorkerPool::new(2);
+        let mut v: Vec<u64> = vec![0; 37];
+        par_each_mut_bounded(&pool, &mut v, 0, |i, x| *x = i as u64 + 1);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i as u64 + 1, "element {i} skipped under cap 0");
+        }
+        // Still correct for an empty slice under cap 0.
+        let mut empty: Vec<u64> = Vec::new();
+        par_each_mut_bounded(&pool, &mut empty, 0, |_, _| unreachable!());
     }
 
     #[test]

@@ -220,3 +220,122 @@ proptest! {
         prop_assert_eq!(s1.to_bits(), s2.to_bits());
     }
 }
+
+// ---------------------------------------------------------------------------
+// Task-graph scheduling: any legal execution order must be immaterial.
+// ---------------------------------------------------------------------------
+
+mod graph_props {
+    use exastro_parallel::{TaskGraph, WorkerPool};
+    use proptest::prelude::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// Mix a task's id with its dependencies' results: any schedule that
+    /// respects the edges computes the same table bit-for-bit, and any
+    /// schedule that violates one computes something else with high
+    /// probability.
+    fn run_and_hash<R>(g: &TaskGraph, deps: &[Vec<usize>], run: R) -> Vec<u64>
+    where
+        R: FnOnce(&TaskGraph, &(dyn Fn(usize) + Sync)),
+    {
+        let out: Vec<AtomicU64> = (0..g.len()).map(|_| AtomicU64::new(0)).collect();
+        let body = |t: usize| {
+            let mut h = (t as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xD6E8_FEB8_6659_FD93;
+            for &d in &deps[t] {
+                h = h
+                    .rotate_left(17)
+                    .wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+                    .wrapping_add(out[d].load(Ordering::SeqCst));
+            }
+            out[t].store(h, Ordering::SeqCst);
+        };
+        run(g, &body);
+        out.into_iter().map(AtomicU64::into_inner).collect()
+    }
+
+    /// A random forward-edge DAG plus its dependency lists.
+    fn random_dag(n: usize, density: f64, seed: u64) -> (TaskGraph, Vec<Vec<usize>>) {
+        let mut g = TaskGraph::new();
+        for _ in 0..n {
+            g.add_task();
+        }
+        let mut deps = vec![Vec::new(); n];
+        let mut s = seed;
+        let mut rnd = move || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (s >> 33) as f64 / (1u64 << 31) as f64
+        };
+        for a in 0..n {
+            for (b, d) in deps.iter_mut().enumerate().skip(a + 1) {
+                if rnd() < density {
+                    g.add_edge(a, b);
+                    d.push(a);
+                }
+            }
+        }
+        (g, deps)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn random_dags_hash_identically_under_every_scheduler(
+            n in 2usize..28,
+            density in 0.0f64..0.6,
+            seed in 0u64..100_000,
+        ) {
+            let (g, deps) = random_dag(n, density, seed);
+            let serial = run_and_hash(&g, &deps, |g, f| g.run_serial(f).unwrap());
+            for order_seed in [1u64, 42, seed ^ 0xABCD] {
+                let shuffled =
+                    run_and_hash(&g, &deps, |g, f| g.run_seeded(order_seed, f).unwrap());
+                prop_assert_eq!(&serial, &shuffled);
+            }
+            let pooled = run_and_hash(&g, &deps, |g, f| {
+                g.run(WorkerPool::global(), 4, f).unwrap();
+            });
+            prop_assert_eq!(&serial, &pooled);
+        }
+
+        #[test]
+        fn chains_and_diamonds_hash_identically(
+            width in 1usize..6,
+            length in 2usize..8,
+            seed in 0u64..1000,
+        ) {
+            // `width` parallel chains of `length` tasks, then a diamond
+            // joining their tails: the shapes the hydro step builds.
+            let mut g = TaskGraph::new();
+            let mut deps: Vec<Vec<usize>> = Vec::new();
+            let mut tails = Vec::new();
+            for _ in 0..width {
+                let mut prev = g.add_task();
+                deps.push(Vec::new());
+                for _ in 1..length {
+                    let t = g.add_task_after(&[prev]);
+                    deps.push(vec![prev]);
+                    prev = t;
+                }
+                tails.push(prev);
+            }
+            let join = g.add_task_after(&tails);
+            deps.push(tails.clone());
+            let (a, b) = (g.add_task_after(&[join]), g.add_task_after(&[join]));
+            deps.push(vec![join]);
+            deps.push(vec![join]);
+            let _tip = g.add_task_after(&[a, b]);
+            deps.push(vec![a, b]);
+
+            let serial = run_and_hash(&g, &deps, |g, f| g.run_serial(f).unwrap());
+            let shuffled = run_and_hash(&g, &deps, |g, f| g.run_seeded(seed, f).unwrap());
+            prop_assert_eq!(&serial, &shuffled);
+            let pooled = run_and_hash(&g, &deps, |g, f| {
+                g.run(WorkerPool::global(), 3, f).unwrap();
+            });
+            prop_assert_eq!(&serial, &pooled);
+        }
+    }
+}

@@ -24,7 +24,10 @@
 //! * [`interval`] — the Young/Daly optimal checkpoint interval;
 //! * [`recovery`] — the shared step-rejection policy knobs and the
 //!   emergency-checkpoint writer used by both drivers when a step is
-//!   unrecoverable.
+//!   unrecoverable;
+//! * [`stepper`] — the driver-agnostic [`Stepper`] contract: transactional
+//!   step semantics any host (the service, soak harnesses) can drive
+//!   without knowing which physics is behind it.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,6 +38,7 @@ pub mod manager;
 pub mod manifest;
 pub mod recovery;
 pub mod snapshot;
+pub mod stepper;
 
 pub use faults::{flip_bit, tear_rename, truncate_file, KillSchedule};
 pub use interval::{
@@ -44,3 +48,4 @@ pub use manager::{CheckpointManager, Error, ManagerStats, RetryPolicy};
 pub use manifest::{crc32, Manifest};
 pub use recovery::{write_emergency, RecoveryOptions};
 pub use snapshot::{digest_multifab, Clock, LevelSnapshot, Snapshot};
+pub use stepper::{StepFailure, StepOutcome, Stepper};

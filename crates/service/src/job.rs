@@ -24,6 +24,7 @@ use exastro_microphysics::{
 };
 use exastro_resilience::recovery::RecoveryOptions;
 use exastro_resilience::snapshot::{digest_multifab, Clock, Snapshot};
+use exastro_resilience::stepper::Stepper;
 use exastro_resilience::CheckpointManager;
 use exastro_telemetry::{JsonlSink, MemorySink, MetricsSink, MultiSink, StepRecorder};
 
@@ -367,93 +368,15 @@ impl Job {
     fn step_once(&mut self) -> Result<(), String> {
         let cap = dt_cap(self.spec.scenario);
         let recorder = std::mem::take(&mut self.recorder);
-        let (result, recorder) = match &self.physics {
-            Physics::Castro(_) => {
-                let mut drv = Castro::new(&*self.eos, &*self.net);
-                self.configure_castro(&mut drv);
-                drv.telemetry = recorder;
-                let dt = drv.estimate_dt(&self.state, &self.geom).min(cap);
-                let r = drv
-                    .advance_level_safe(&mut self.state, &self.geom, dt)
-                    .map(|(_, dt_taken)| dt_taken)
-                    .map_err(|e| format!("{e}"));
-                (r, drv.telemetry)
-            }
-            Physics::Maestro { layout, base } => {
-                let drv = Maestro {
-                    layout: LmLayout::new(layout.nspec),
-                    eos: &*self.eos,
-                    net: &*self.net,
-                    base: base.clone(),
-                    cfl: 0.5,
-                    do_burn: true,
-                    burn_min_temp: 1e8,
-                    ladder: RetryLadder::default(),
-                    burn_solver: SolverChoice::default(),
-                    burn_faults: self.spec.burn_faults.clone(),
-                    burn_batch_width: 8,
-                    recovery: RecoveryOptions::default(),
-                    telemetry: recorder,
-                };
-                let dt = drv.estimate_dt(&self.state, &self.geom).min(cap);
-                let r = drv
-                    .advance_safe(&mut self.state, &self.geom, dt)
-                    .map(|(_, dt_taken)| dt_taken)
-                    .map_err(|e| format!("{e}"));
-                (r, drv.telemetry)
-            }
-        };
-        self.recorder = recorder;
-        let dt_taken = result?;
+        let mut drv = build_stepper(&self.spec, &self.physics, &*self.eos, &*self.net, recorder);
+        let dt = drv.estimate_dt(&self.state, &self.geom).min(cap);
+        let result = drv.step(&mut self.state, &self.geom, dt);
+        self.recorder = drv.take_recorder();
+        let outcome = result.map_err(|e| e.to_string())?;
         self.clock.step += 1;
-        self.clock.time += dt_taken;
-        self.clock.dt = dt_taken;
+        self.clock.time += outcome.dt_taken;
+        self.clock.dt = outcome.dt_taken;
         Ok(())
-    }
-
-    fn configure_castro<'a>(&self, drv: &mut Castro<'a>) {
-        match self.spec.scenario {
-            Scenario::SedovBlast => {
-                drv.hydro.cfl = 0.4;
-                drv.hydro.floors = Floors::dimensionless();
-                drv.bc = BcSpec::outflow();
-                // Burning only matters here when a fault drill asks for
-                // it: zero thresholds make every zone eligible, so the
-                // injected faults actually fire.
-                if self.spec.burn_faults.is_some() {
-                    drv.burn = Some(BurnOptions {
-                        min_temp: 0.0,
-                        min_dens: 0.0,
-                        faults: self.spec.burn_faults.clone(),
-                        ..Default::default()
-                    });
-                }
-            }
-            Scenario::WdCollision => {
-                drv.hydro.cfl = 0.2;
-                drv.gravity = Gravity {
-                    mode: GravityMode::Monopole,
-                    n_bins: 256,
-                };
-                drv.bc = BcSpec::outflow();
-                drv.burn = Some(BurnOptions {
-                    min_temp: 5e8,
-                    min_dens: 1e4,
-                    faults: self.spec.burn_faults.clone(),
-                    ..Default::default()
-                });
-            }
-            Scenario::XrbFlame => {
-                drv.bc = BcSpec::outflow();
-                drv.burn = Some(BurnOptions {
-                    min_temp: 1.5e8,
-                    min_dens: 1e2,
-                    faults: self.spec.burn_faults.clone(),
-                    ..Default::default()
-                });
-            }
-            Scenario::ReactingBubble => unreachable!("bubble runs on maestro"),
-        }
     }
 
     fn snapshot(&self) -> Snapshot {
@@ -564,6 +487,90 @@ impl Job {
     /// Flush the job's telemetry stream.
     pub(crate) fn flush_telemetry(&self) {
         self.recorder.flush();
+    }
+}
+
+/// Build the per-slice transactional driver for `physics` behind the
+/// driver-agnostic [`Stepper`] contract. A free function over split-out
+/// borrows rather than a `&self` method: the returned driver captures only
+/// `eos` and `net`, leaving `&mut job.state` free for the step itself.
+fn build_stepper<'a>(
+    spec: &JobSpec,
+    physics: &Physics,
+    eos: &'a (dyn Eos + Send + Sync),
+    net: &'a (dyn Network + Send + Sync),
+    recorder: StepRecorder,
+) -> Box<dyn Stepper + 'a> {
+    match physics {
+        Physics::Castro(_) => {
+            let mut drv = Castro::new(eos, net);
+            configure_castro(spec, &mut drv);
+            drv.telemetry = recorder;
+            Box::new(drv)
+        }
+        Physics::Maestro { layout, base } => Box::new(Maestro {
+            layout: LmLayout::new(layout.nspec),
+            eos,
+            net,
+            base: base.clone(),
+            cfl: 0.5,
+            do_burn: true,
+            burn_min_temp: 1e8,
+            ladder: RetryLadder::default(),
+            burn_solver: SolverChoice::default(),
+            burn_faults: spec.burn_faults.clone(),
+            burn_batch_width: 8,
+            overlap: true,
+            recovery: RecoveryOptions::default(),
+            telemetry: recorder,
+        }),
+    }
+}
+
+/// Scenario-specific Castro configuration (CFL, floors, gravity,
+/// burning) -- shared by every Castro-family scenario the service runs.
+fn configure_castro(spec: &JobSpec, drv: &mut Castro<'_>) {
+    match spec.scenario {
+        Scenario::SedovBlast => {
+            drv.hydro.cfl = 0.4;
+            drv.hydro.floors = Floors::dimensionless();
+            drv.bc = BcSpec::outflow();
+            // Burning only matters here when a fault drill asks for
+            // it: zero thresholds make every zone eligible, so the
+            // injected faults actually fire.
+            if spec.burn_faults.is_some() {
+                drv.burn = Some(BurnOptions {
+                    min_temp: 0.0,
+                    min_dens: 0.0,
+                    faults: spec.burn_faults.clone(),
+                    ..Default::default()
+                });
+            }
+        }
+        Scenario::WdCollision => {
+            drv.hydro.cfl = 0.2;
+            drv.gravity = Gravity {
+                mode: GravityMode::Monopole,
+                n_bins: 256,
+            };
+            drv.bc = BcSpec::outflow();
+            drv.burn = Some(BurnOptions {
+                min_temp: 5e8,
+                min_dens: 1e4,
+                faults: spec.burn_faults.clone(),
+                ..Default::default()
+            });
+        }
+        Scenario::XrbFlame => {
+            drv.bc = BcSpec::outflow();
+            drv.burn = Some(BurnOptions {
+                min_temp: 1.5e8,
+                min_dens: 1e2,
+                faults: spec.burn_faults.clone(),
+                ..Default::default()
+            });
+        }
+        Scenario::ReactingBubble => unreachable!("bubble runs on maestro"),
     }
 }
 
