@@ -18,6 +18,13 @@ come from the deterministic machine model's overlapped-stepping term, so a
 drop means the overlap pricing (or the comm measurement feeding it)
 regressed, not the host.
 
+A baseline metric may also carry a ``"max"`` field: an *absolute upper
+bound* on the fresh value, independent of the baseline value and of any
+tolerance. This is how same-run overhead percentages are gated — e.g.
+``graph_trace_on/overhead`` in ``BENCH_telemetry.json`` must stay below
+2.0 (%): the ratio cancels machine speed, so exceeding the bound means
+the instrumentation itself got more expensive.
+
 Usage:
     python3 ci/perf_gate.py [--tolerance 0.15] [--baseline-dir ci/baselines]
 """
@@ -73,7 +80,8 @@ def main():
             # node failures — against baselines committed far below any
             # healthy run → the tighter --tolerance).
             gated = [m for m in base.get("metrics", [])
-                     if "batch_speedup" in m["label"]
+                     if "max" in m
+                     or "batch_speedup" in m["label"]
                      or "jobs_per_hour" in m["label"]
                      or "goodput" in m["label"]
                      or "overlap_efficiency" in m["label"]]
@@ -88,6 +96,20 @@ def main():
                         f"{bpath.name}: label {m['label']} missing from fresh run")
                     continue
                 compared += 1
+                if "max" in m:
+                    # Absolute upper bound: no tolerance, no baseline
+                    # scaling — the number itself is the contract.
+                    status = "OK"
+                    if fm["value"] > m["max"]:
+                        status = "REGRESSION"
+                        failures.append(
+                            f"{bpath.name}: {m['label']}: "
+                            f"{fm['value']:.2f} > max {m['max']:.2f}"
+                        )
+                    print(f"{bpath.name}: {m['label']:>26} "
+                          f"max      {m['max']:>8.2f}  "
+                          f"fresh {fm['value']:>8.2f}  {status}")
+                    continue
                 deterministic = ("jobs_per_hour" in m["label"]
                                  or "goodput" in m["label"]
                                  or "overlap_efficiency" in m["label"])

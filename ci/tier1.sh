@@ -51,36 +51,80 @@ for net in ("iso7", "aprox13"):
 print(f"BENCH_burner.json OK ({len(d['metrics'])} metrics)")
 EOF
 
-echo "== telemetry smoke (quickstart --trace --metrics) =="
-# A short quickstart run with both telemetry sinks on: the Chrome trace
-# must be valid JSON with balanced, name-matched B/E pairs and monotonic
-# per-thread timestamps, and the step-metrics stream must carry the full
-# schema with 1-based ordinals.
+echo "== telemetry smoke (quickstart --trace --metrics --graph-trace) =="
+# A short quickstart run with every telemetry sink on: the Chrome trace
+# must be valid JSON with balanced, name-matched B/E pairs, id-paired s/f
+# flow arrows, and monotonic per-thread timestamps; the step-metrics
+# stream must carry the full schema with 1-based ordinals; and the
+# critical-path summary must reconcile measured overlap vs the machine
+# model per graph.
 QUICKSTART_STEPS=12 cargo run --release --offline --example quickstart -- \
   --trace /tmp/quickstart_trace.json --metrics /tmp/quickstart_steps.jsonl \
+  --graph-trace /tmp/quickstart_graphs.json \
   >/tmp/quickstart_smoke.log
 python3 - <<'EOF'
 import json
 d = json.load(open("/tmp/quickstart_trace.json"))
 evs = d["traceEvents"]
 assert evs, "empty trace"
-stacks, last_ts = {}, {}
+stacks, last_ts, flows = {}, {}, {}
 for e in evs:
-    assert e["ph"] in ("B", "E"), e
+    assert e["ph"] in ("B", "E", "s", "f"), e
     assert e["pid"] == 1
     tid = e["tid"]
     assert e["ts"] >= last_ts.get(tid, 0.0), f"non-monotonic ts on tid {tid}"
     last_ts[tid] = e["ts"]
     if e["ph"] == "B":
         stacks.setdefault(tid, []).append(e["name"])
-    else:
+    elif e["ph"] == "E":
         assert stacks.get(tid), f"stray E on tid {tid}"
         top = stacks[tid].pop()
         assert top == e["name"], f"mismatched E {e['name']} vs open {top}"
+    else:
+        # Flow arrows bind an edge across tasks: one s and one f per id,
+        # each inside an open slice, f with bp=e so Perfetto attaches it
+        # to the enclosing slice end.
+        assert stacks.get(tid), f"flow {e['ph']} outside any open slice"
+        if e["ph"] == "f":
+            assert e.get("bp") == "e", f"f without bp=e: {e}"
+        flows.setdefault(e["id"], []).append((e["ph"], e["ts"]))
 for tid, s in stacks.items():
     assert not s, f"unbalanced B on tid {tid}: {s}"
+assert flows, "graph tracing produced no flow arrows"
+for fid, parts in flows.items():
+    phs = sorted(p for p, _ in parts)
+    assert phs == ["f", "s"], f"flow {fid} not an s/f pair: {phs}"
+    ts = {p: t for p, t in parts}
+    assert ts["s"] <= ts["f"], f"flow {fid} travels backward in time"
 print(f"trace OK ({len(evs)} events, {len(last_ts)} thread(s), "
-      f"dropped {d.get('droppedEventCount', 0)})")
+      f"{len(flows)} flow(s), dropped {d.get('droppedEventCount', 0)})")
+g = json.load(open("/tmp/quickstart_graphs.json"))
+assert g["schema"] == "exastro.graphtrace.v1", g.get("schema")
+assert g["graphs"], "no graph summaries recorded"
+for s in g["graphs"]:
+    need = {"label", "tasks", "edges", "workers", "wall_us", "total_run_us",
+            "total_queue_wait_us", "critical_path_us", "critical_path",
+            "comm_us", "compute_us", "hidden_comm_us",
+            "measured_overlap_efficiency", "predicted_overlap_efficiency",
+            "overlap_drift"}
+    assert need <= set(s), f"graph summary missing {need - set(s)}"
+    assert s["tasks"] > 0 and s["critical_path_us"] > 0
+    assert s["critical_path"], "critical path must be non-empty"
+    assert s["critical_path_us"] <= s["total_run_us"] + 1e-9, (
+        "critical path cannot exceed total work")
+    if s["measured_overlap_efficiency"] is not None:
+        m, p = s["measured_overlap_efficiency"], s["predicted_overlap_efficiency"]
+        assert 0.0 <= m <= 1.0, m
+        assert p is not None and s["overlap_drift"] is not None, (
+            "summaries must be reconciled against the overlap model")
+        assert abs((m - p) - s["overlap_drift"]) < 1e-12
+    # per-task slack: on-critical-path tasks have zero slack
+    for t in s["task_stats"]:
+        assert t["slack_us"] >= 0.0
+        if t["on_critical_path"]:
+            assert t["slack_us"] < 1e-9, f"critical task with slack: {t}"
+print(f"graphs.json OK ({len(g['graphs'])} graph(s), "
+      f"{sum(s['tasks'] for s in g['graphs'])} task(s))")
 need = {"driver", "step", "t", "dt", "wall_ns", "zones", "zones_per_us",
         "newton_iters", "bdf_steps", "burn_retries", "recovered_relaxed",
         "recovered_subcycle", "recovered_offload", "step_rejections",
@@ -148,7 +192,8 @@ echo "== chaos smoke (self-healing under node failures) =="
 # show real failures and recoveries, and every completed job's digest is
 # checked in-process against a fault-free solo run — zero corruption.
 cargo run --release --offline --example chaos -- \
-  --report /tmp/chaos_report.json | tee /tmp/chaos_smoke.log
+  --report /tmp/chaos_report.json --events /tmp/chaos_events.jsonl \
+  | tee /tmp/chaos_smoke.log
 grep -q "CHAOS OK" /tmp/chaos_smoke.log
 python3 - <<'EOF'
 import json
@@ -175,6 +220,42 @@ recovered = [j for j in r["jobs"] if j["recoveries"] > 0]
 assert recovered, "at least one job must have recovered from a node kill"
 print(f"chaos report OK ({len(r['jobs'])} jobs, {r['node_failures']} kill(s), "
       f"{r['recoveries']} recovery(ies), {r['straggler_migrations']} migration(s))")
+
+# The structured event log: schema-valid line by line, and its derived
+# counts must agree with the report (the exact-reproduction guarantee
+# lives in crates/service/tests/events.rs; this smoke cross-checks the
+# example's artifact).
+kinds_seen = {}
+events = []
+prev_sim = -1.0
+for line in open("/tmp/chaos_events.jsonl"):
+    e = json.loads(line)
+    events.append(e)
+    assert e["schema"] == "exastro.event.v1", e
+    for k in ("sim_us", "tick", "kind"):
+        assert k in e, f"event missing {k}: {e}"
+    assert e["sim_us"] >= prev_sim, "event timestamps must be nondecreasing"
+    prev_sim = e["sim_us"]
+    kinds_seen[e["kind"]] = kinds_seen.get(e["kind"], 0) + 1
+for need_kind in ("admit", "lease", "start", "checkpoint", "node_fail",
+                  "revoke", "recover"):
+    assert kinds_seen.get(need_kind), f"no {need_kind} events in the storm"
+assert kinds_seen["node_fail"] == r["node_failures"]
+assert kinds_seen["revoke"] == r["lease_revocations"]
+assert kinds_seen["recover"] == r["recoveries"]
+assert kinds_seen.get("migrate", 0) == r["straggler_migrations"]
+for e in events:
+    if e["kind"] == "recover":
+        assert e.get("mttr_s") is not None, "recover must carry mttr_s"
+    if e["kind"] == "revoke":
+        assert e.get("lost_steps") is not None, "revoke must price lost work"
+    if e["kind"] == "start":
+        assert e.get("queue_wait_s") is not None
+terminal = [e for e in events
+            if e["kind"] in ("complete", "fail", "quarantine")]
+assert len(terminal) == len(r["jobs"]), (len(terminal), len(r["jobs"]))
+print(f"chaos_events.jsonl OK ({len(events)} events, "
+      f"{len(kinds_seen)} kinds: {sorted(kinds_seen)})")
 EOF
 
 echo "== task-graph overlap ablation smoke (test mode) =="
@@ -191,7 +272,8 @@ by = {m["label"]: m["value"] for m in d["metrics"]}
 for need in ("taskgraph/overlap_efficiency", "taskgraph/sync_efficiency",
              "taskgraph/efficiency_gain",
              "taskgraph/scheduler_overhead_us_per_task",
-             "taskgraph/wall_speedup_sedov32"):
+             "taskgraph/wall_speedup_sedov32",
+             "taskgraph/measured_overlap_eff", "taskgraph/model_drift"):
     assert need in by, f"missing {need} in {sorted(by)}"
 assert by["taskgraph/overlap_efficiency"] > by["taskgraph/sync_efficiency"], (
     "overlap must improve modeled 512-node efficiency")
@@ -200,6 +282,10 @@ assert by["taskgraph/scheduler_overhead_us_per_task"] < 100.0, (
     "scheduler overhead implausibly high")
 assert by["taskgraph/wall_speedup_sedov32"] > 0.7, (
     "graph-overlapped advance should not be drastically slower than sync")
+assert 0.0 <= by["taskgraph/measured_overlap_eff"] <= 1.0, (
+    "measured overlap efficiency is a fraction")
+# model_drift's tolerance band is asserted in
+# crates/bench/tests/overlap_reconcile.rs; the artifact just records it.
 print(f"BENCH_taskgraph.json OK ({len(d['metrics'])} metrics)")
 EOF
 
@@ -212,6 +298,10 @@ cargo bench --offline -p exastro-bench --bench fig2_sedov_weak_scaling -- --test
 cargo bench --offline -p exastro-bench --bench fig3_bubble_weak_scaling -- --test >/tmp/fig3_smoke.log
 cargo bench --offline -p exastro-bench --bench service -- --test >/tmp/service_bench_smoke.log
 cargo bench --offline -p exastro-bench --bench chaos -- --test >/tmp/chaos_bench_smoke.log
+# Telemetry overhead (including graph tracing) regenerates
+# BENCH_telemetry.json; its baseline gates the overhead percentages
+# against an absolute 2% ceiling ("max" rule in perf_gate.py).
+cargo bench --offline -p exastro-bench --bench ablation_telemetry -- --test >/tmp/telemetry_smoke.log
 python3 - <<'EOF'
 import json
 d = json.load(open("BENCH_service.json"))

@@ -15,8 +15,9 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use exastro_bench::{bench_castro, sedov_fixture, write_metrics_json, MetricPoint};
 use exastro_castro::KernelStructure;
-use exastro_machine::{canonical_series, overlapped_series, Machine};
+use exastro_machine::{canonical_series, hydro_overlap, overlapped_series, Machine};
 use exastro_parallel::{TaskGraph, WorkerPool};
+use exastro_telemetry::{graphtrace, Telemetry};
 
 /// No-op tasks in the scheduler-overhead probe graph.
 const PROBE_TASKS: usize = 2048;
@@ -83,6 +84,46 @@ fn print_ablation() {
          ({wall_speedup:.2}×)"
     );
 
+    // *Measured* overlap efficiency: one more overlapped advance with
+    // graph tracing armed, each sweep graph summarized and reconciled
+    // against the machine model's predicted hidden fraction for these
+    // boxes. The drift (measured − predicted) is what the modeling
+    // earlier PRs only asserted; now it is a number in the artifact.
+    Telemetry::enable_graph_trace();
+    graphtrace::clear();
+    {
+        let mut s = state.clone();
+        let _ = castro_ovl.advance_level(&mut s, &geom, dt);
+    }
+    let model = hydro_overlap(8);
+    let mut summaries: Vec<graphtrace::GraphSummary> = graphtrace::take()
+        .iter()
+        .map(graphtrace::summarize)
+        .collect();
+    for s in &mut summaries {
+        let p = model.predicted_hidden_fraction(s.compute_us, s.comm_us);
+        s.reconcile(p);
+    }
+    Telemetry::disable_graph_trace();
+    Telemetry::reset();
+    let measured = graphtrace::overall_efficiency(&summaries).unwrap_or(0.0);
+    let total_comm: f64 = summaries.iter().map(|s| s.comm_us).sum();
+    let predicted = if total_comm > 0.0 {
+        summaries
+            .iter()
+            .map(|s| model.predicted_hidden_fraction(s.compute_us, s.comm_us) * s.comm_us)
+            .sum::<f64>()
+            / total_comm
+    } else {
+        0.0
+    };
+    let drift = measured - predicted;
+    println!(
+        "measured overlap efficiency: {measured:.3} vs modeled {predicted:.3} \
+         (drift {drift:+.3} over {} traced graph(s))",
+        summaries.len()
+    );
+
     let metrics = vec![
         MetricPoint::new("taskgraph/overlap_efficiency", ovl[1].normalized, "frac"),
         MetricPoint::new("taskgraph/sync_efficiency", sync[1].normalized, "frac"),
@@ -93,6 +134,11 @@ fn print_ablation() {
         ),
         MetricPoint::new("taskgraph/scheduler_overhead_us_per_task", overhead, "us"),
         MetricPoint::new("taskgraph/wall_speedup_sedov32", wall_speedup, "x"),
+        // Deliberately not gated (host-dependent: a serial pool measures
+        // ~0); the reconciliation *test* in tests/overlap_reconcile.rs
+        // bounds the drift, the artifact just records it.
+        MetricPoint::new("taskgraph/measured_overlap_eff", measured, "frac"),
+        MetricPoint::new("taskgraph/model_drift", drift, "frac"),
     ];
     match write_metrics_json("taskgraph", &metrics) {
         Ok(path) => println!("wrote {}", path.display()),

@@ -1,0 +1,103 @@
+//! Measured-vs-modeled overlap reconciliation (the PR's acceptance test).
+//!
+//! Runs a fig2-style graph-overlapped Castro advance with graph tracing
+//! armed, computes the *measured* overlap efficiency (comm wall time
+//! hidden behind compute, from per-task timestamps), reconciles it
+//! against [`exastro_machine::OverlapModel::predicted_hidden_fraction`],
+//! and bounds the drift:
+//!
+//! * with ≥ 2 workers the machinery can actually overlap, so the
+//!   measurement must land within a generous band of the model
+//!   (|drift| ≤ 0.6 — the model prices an idealized NIC, the
+//!   measurement sees a real scheduler on a possibly-loaded host);
+//! * on a serial pool nothing can overlap, so the measurement must not
+//!   *exceed* the prediction (measured ≈ 0 ≤ predicted).
+//!
+//! The same reconciliation lands in `BENCH_taskgraph.json` (labels
+//! `taskgraph/measured_overlap_eff`, `taskgraph/model_drift`) via the
+//! `ablation_taskgraph` bench.
+
+use exastro_bench::{bench_castro, sedov_fixture};
+use exastro_castro::KernelStructure;
+use exastro_machine::hydro_overlap;
+use exastro_telemetry::{graphtrace, Telemetry};
+
+#[test]
+fn measured_overlap_reconciles_with_the_machine_model() {
+    let (geom, state, _layout, eos, net) = sedov_fixture(32, 8);
+    let castro = bench_castro(&eos, &net, KernelStructure::Flat);
+    assert!(castro.hydro.overlap, "fixture must use the overlapped path");
+    let dt = castro.estimate_dt(&state, &geom);
+
+    // Warm the worker pool and caches outside the traced window so the
+    // measurement sees steady-state scheduling, not thread spawn.
+    {
+        let mut s = state.clone();
+        let _ = castro.advance_level(&mut s, &geom, dt);
+    }
+
+    Telemetry::enable_graph_trace();
+    graphtrace::clear();
+    {
+        let mut s = state.clone();
+        let _ = castro.advance_level(&mut s, &geom, dt);
+    }
+    let traces = graphtrace::take();
+    Telemetry::disable_graph_trace();
+    Telemetry::reset();
+    assert!(
+        !traces.is_empty(),
+        "an overlapped advance must record its sweep graphs"
+    );
+
+    let model = hydro_overlap(8);
+    let mut summaries: Vec<graphtrace::GraphSummary> =
+        traces.iter().map(graphtrace::summarize).collect();
+    for s in &mut summaries {
+        let p = model.predicted_hidden_fraction(s.compute_us, s.comm_us);
+        assert!((0.0..=1.0).contains(&p), "prediction is a fraction: {p}");
+        s.reconcile(p);
+        if s.measured_overlap_efficiency.is_some() {
+            assert!(
+                s.overlap_drift.is_some(),
+                "reconcile must derive a per-graph drift"
+            );
+        }
+    }
+
+    let measured =
+        graphtrace::overall_efficiency(&summaries).expect("sweep graphs carry comm tasks");
+    assert!(
+        (0.0..=1.0 + 1e-12).contains(&measured),
+        "measured efficiency is a fraction: {measured}"
+    );
+    let total_comm: f64 = summaries.iter().map(|s| s.comm_us).sum();
+    let predicted = summaries
+        .iter()
+        .map(|s| model.predicted_hidden_fraction(s.compute_us, s.comm_us) * s.comm_us)
+        .sum::<f64>()
+        / total_comm;
+    let drift = measured - predicted;
+    let workers = summaries.iter().map(|s| s.workers).max().unwrap_or(0);
+    eprintln!(
+        "overlap reconciliation: measured {measured:.3} vs modeled {predicted:.3} \
+         (drift {drift:+.3}, {workers} worker(s), {} graph(s))",
+        summaries.len()
+    );
+
+    if workers >= 2 {
+        assert!(
+            drift.abs() <= 0.6,
+            "measured overlap {measured:.3} drifted {drift:+.3} from the model's \
+             {predicted:.3} — beyond the reconciliation band"
+        );
+    } else {
+        // A serial pool interleaves nothing: the measurement must sit at
+        // (or below) the model, never above it.
+        assert!(
+            measured <= predicted + 1e-9,
+            "a serial schedule measured more overlap ({measured:.3}) than the \
+             model predicts ({predicted:.3})"
+        );
+    }
+}

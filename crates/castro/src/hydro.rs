@@ -44,6 +44,7 @@ use exastro_amr::{
 };
 use exastro_microphysics::{Eos, Species};
 use exastro_parallel::{Arena, ExecSpace, KernelProfile, Real, TaskGraph, WorkerPool};
+use exastro_telemetry::{TaskClass, TaskLabel};
 
 /// Which loop structure the sweep kernels use (§III ablation).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -520,47 +521,66 @@ impl Hydro {
             let svs = &state_views;
             let qvs = &q_views;
             let fvs = &flux_views;
-            g.run(WorkerPool::global(), n.max(1), |t| {
-                let (kind, f) = (t / n, t % n);
-                match kind {
-                    0 => {
-                        let sv = &svs[f];
-                        for &o in &packs_of[f] {
-                            pend.pack_op(o, |iv, c| sv.at(iv.x(), iv.y(), iv.z(), c));
+            let dim_name = ["x", "y", "z"][dim];
+            g.run_labeled(
+                WorkerPool::global(),
+                n.max(1),
+                &format!("hydro.sweep.{dim_name}"),
+                |t| {
+                    let (kind, f) = (t / n, t % n);
+                    let (name, class) = match kind {
+                        0 => ("pack", TaskClass::Comm),
+                        1 => ("unpack", TaskClass::Comm),
+                        2 => ("interior", TaskClass::Compute),
+                        3 => ("band", TaskClass::Compute),
+                        _ => ("update", TaskClass::Compute),
+                    };
+                    TaskLabel::new(format!("{name}.f{f}"), class)
+                },
+                |t| {
+                    let (kind, f) = (t / n, t % n);
+                    match kind {
+                        0 => {
+                            let sv = &svs[f];
+                            for &o in &packs_of[f] {
+                                pend.pack_op(o, |iv, c| sv.at(iv.x(), iv.y(), iv.z(), c));
+                            }
                         }
-                    }
-                    1 => {
-                        let sv = &svs[f];
-                        pend.unpack_fab(f, |iv, c, v| sv.set(iv.x(), iv.y(), iv.z(), c, v));
-                        apply_physical_bc(sv, geom, bc);
-                    }
-                    2 => {
-                        self.primitives_region(&svs[f], vbs[f], layout, eos, species, ex, &qvs[f]);
-                        if let Some(faces) = interior_faces(vbs[f], dim) {
-                            self.flux_region(
-                                faces, &qvs[f], None, &fvs[f], dim, dtdx, layout, ex, &profile,
-                            );
+                        1 => {
+                            let sv = &svs[f];
+                            pend.unpack_fab(f, |iv, c, v| sv.set(iv.x(), iv.y(), iv.z(), c, v));
+                            apply_physical_bc(sv, geom, bc);
                         }
-                    }
-                    3 => {
-                        for slab in ghost_slabs(vbs[f], dim) {
+                        2 => {
                             self.primitives_region(
-                                &svs[f], slab, layout, eos, species, ex, &qvs[f],
+                                &svs[f], vbs[f], layout, eos, species, ex, &qvs[f],
                             );
+                            if let Some(faces) = interior_faces(vbs[f], dim) {
+                                self.flux_region(
+                                    faces, &qvs[f], None, &fvs[f], dim, dtdx, layout, ex, &profile,
+                                );
+                            }
                         }
-                        for faces in band_faces(vbs[f], dim) {
-                            self.flux_region(
-                                faces, &qvs[f], None, &fvs[f], dim, dtdx, layout, ex, &profile,
+                        3 => {
+                            for slab in ghost_slabs(vbs[f], dim) {
+                                self.primitives_region(
+                                    &svs[f], slab, layout, eos, species, ex, &qvs[f],
+                                );
+                            }
+                            for faces in band_faces(vbs[f], dim) {
+                                self.flux_region(
+                                    faces, &qvs[f], None, &fvs[f], dim, dtdx, layout, ex, &profile,
+                                );
+                            }
+                        }
+                        _ => {
+                            self.update_region(
+                                vbs[f], &fvs[f], &qvs[f], &svs[f], dim, dtdx, layout, ex, &profile,
                             );
                         }
                     }
-                    _ => {
-                        self.update_region(
-                            vbs[f], &fvs[f], &qvs[f], &svs[f], dim, dtdx, layout, ex, &profile,
-                        );
-                    }
-                }
-            })
+                },
+            )
             .expect("hydro sweep graph is a DAG by construction");
         }
         let trace = pending.finish();

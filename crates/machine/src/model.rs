@@ -183,6 +183,23 @@ pub struct OverlapModel {
     pub scheduler_overhead_us: f64,
 }
 
+impl OverlapModel {
+    /// The fraction of communication time this model predicts gets hidden
+    /// behind compute, given *measured* per-step totals: the same
+    /// `min(p2p, interior_fraction · compute)` rule [`Machine::simulate_step`]
+    /// prices, expressed as `hidden / comm` so it is directly comparable to
+    /// the measured overlap efficiency a graph trace reports
+    /// (`telemetry::graphtrace`). Returns 1 when there is no communication
+    /// to hide.
+    pub fn predicted_hidden_fraction(&self, compute_us: f64, comm_us: f64) -> f64 {
+        if comm_us <= 0.0 {
+            return 1.0;
+        }
+        let hidden = comm_us.min(self.interior_fraction.clamp(0.0, 1.0) * compute_us.max(0.0));
+        hidden / comm_us
+    }
+}
+
 /// A full step description for the cluster simulator.
 #[derive(Clone, Debug, Default)]
 pub struct StepWorkload {
@@ -446,6 +463,26 @@ mod tests {
                 ..mk_step()
             }
         }
+    }
+
+    #[test]
+    fn predicted_hidden_fraction_matches_the_pricing_rule() {
+        let m = OverlapModel {
+            interior_fraction: 0.5,
+            scheduler_overhead_us: 3.0,
+        };
+        // Comm smaller than the interior budget: fully hidden.
+        assert_eq!(m.predicted_hidden_fraction(100.0, 40.0), 1.0);
+        // Comm beyond the budget: only interior_fraction·compute hides.
+        assert_eq!(m.predicted_hidden_fraction(100.0, 200.0), 0.25);
+        // No comm at all: trivially fully hidden.
+        assert_eq!(m.predicted_hidden_fraction(100.0, 0.0), 1.0);
+        // Fractions clamp into [0, 1].
+        let wild = OverlapModel {
+            interior_fraction: 7.0,
+            scheduler_overhead_us: 0.0,
+        };
+        assert_eq!(wild.predicted_hidden_fraction(10.0, 100.0), 0.1);
     }
 
     #[test]

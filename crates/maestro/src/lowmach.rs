@@ -13,18 +13,19 @@
 
 use crate::base_state::{rho_from_p_t, BaseState};
 use exastro_amr::{
-    BcKind, BcSpec, CommTrace, Geometry, IndexBox, IntVect, MultiFab, Real, SPACEDIM,
+    apply_physical_bc, Array4Mut, BcKind, BcSpec, CommTrace, Geometry, IndexBox, IntVect, MultiFab,
+    Real, SPACEDIM,
 };
 use exastro_microphysics::{
     BurnFailure, BurnFaultConfig, BurnTally, BurnerConfig, Composition, Eos, Network, RetryLadder,
     SolverChoice, ZoneBurn,
 };
-use exastro_parallel::Profiler;
+use exastro_parallel::{Profiler, TaskGraph, WorkerPool};
 use exastro_resilience::recovery::{write_emergency, RecoveryOptions};
 use exastro_resilience::snapshot::Clock;
 use exastro_resilience::stepper::{StepFailure, StepOutcome, Stepper};
 use exastro_solvers::{MgBc, MgOptions, MgStats, Multigrid};
-use exastro_telemetry::{StepMetrics, StepRecorder};
+use exastro_telemetry::{StepMetrics, StepRecorder, TaskClass, TaskLabel};
 use std::path::PathBuf;
 use std::time::Instant;
 
@@ -291,9 +292,13 @@ impl<'a> Maestro<'a> {
 
     /// First-order upwind advection of all components by the cell velocity.
     fn advect(&self, state: &mut MultiFab, geom: &Geometry, dt: Real) {
-        let old = state.clone();
-        for i in 0..state.nfabs() {
-            self.advect_fab_zones(state, &old, geom, dt, i, |_| true);
+        let mut old = state.clone();
+        let n = state.nfabs();
+        let vbs: Vec<IndexBox> = (0..n).map(|i| state.valid_box(i)).collect();
+        let svs = state.fab_views_mut();
+        let ovs = old.fab_views_mut();
+        for i in 0..n {
+            self.advect_view_zones(&svs[i], &ovs[i], vbs[i], geom, dt, |_| true);
         }
     }
 
@@ -306,21 +311,22 @@ impl<'a> Maestro<'a> {
             .then(|| vb.grow(-1))
     }
 
-    /// Upwind-advect the zones of fab `i` selected by `include`, reading
-    /// pre-step data from `old`. Pointwise in the destination zone, so any
-    /// partition of the valid box computes identical updates.
-    fn advect_fab_zones<F: Fn(IntVect) -> bool>(
+    /// Upwind-advect the zones of `vb` selected by `include`, reading
+    /// pre-step data from the snapshot view `ov` and writing the state view
+    /// `sv`. Pointwise in the destination zone, so any partition of the
+    /// valid box computes identical updates — the sync and overlapped paths
+    /// share this body, which is what makes them bit-identical.
+    fn advect_view_zones<F: Fn(IntVect) -> bool>(
         &self,
-        state: &mut MultiFab,
-        old: &MultiFab,
+        sv: &Array4Mut<'_>,
+        ov: &Array4Mut<'_>,
+        vb: IndexBox,
         geom: &Geometry,
         dt: Real,
-        i: usize,
         include: F,
     ) {
         let dx = geom.dx();
         let ncomp = self.layout.ncomp();
-        let vb = state.valid_box(i);
         for iv in vb.iter() {
             if !include(iv) {
                 continue;
@@ -328,30 +334,36 @@ impl<'a> Maestro<'a> {
             let mut upd = vec![0.0; ncomp];
             for d in 0..3 {
                 let e = IntVect::dim_vec(d);
-                let vel = old.fab(i).get(iv, LmLayout::U + d);
+                let vel = ov.at(iv.x(), iv.y(), iv.z(), LmLayout::U + d);
                 for (c, u) in upd.iter_mut().enumerate() {
+                    let lo = iv - e;
+                    let hi = iv + e;
                     let grad = if vel >= 0.0 {
-                        old.fab(i).get(iv, c) - old.fab(i).get(iv - e, c)
+                        ov.at(iv.x(), iv.y(), iv.z(), c) - ov.at(lo.x(), lo.y(), lo.z(), c)
                     } else {
-                        old.fab(i).get(iv + e, c) - old.fab(i).get(iv, c)
+                        ov.at(hi.x(), hi.y(), hi.z(), c) - ov.at(iv.x(), iv.y(), iv.z(), c)
                     };
                     *u -= vel * grad / dx[d] * dt;
                 }
             }
-            for c in 0..ncomp {
-                let v = state.fab(i).get(iv, c) + upd[c];
-                state.fab_mut(i).set(iv, c, v);
+            for (c, u) in upd.iter().enumerate() {
+                let v = sv.at(iv.x(), iv.y(), iv.z(), c) + u;
+                sv.set(iv.x(), iv.y(), iv.z(), c, v);
             }
         }
     }
 
-    /// Exchange + advect + buoyancy, overlapped: the ghost exchange is
-    /// *posted* (send buffers captured), the state snapshotted, and all
-    /// stencil-interior zones advected while the halos are in flight; the
-    /// exchange then completes into the snapshot and only the boundary
-    /// zones wait for it. Finally the state's own ghosts are synced to the
-    /// snapshot's, leaving the multifab bit-identical to the synchronous
-    /// path (the projection's velocity copy reads them).
+    /// Exchange + advect, overlapped, structured as a [`TaskGraph`] so the
+    /// overlap is *measured*, not assumed: per fab, `pack` (Comm) captures
+    /// send buffers from the pre-step snapshot, `unpack` (Comm) completes
+    /// the exchange into the snapshot's ghosts and applies physical BCs,
+    /// `interior` (Compute) advects all stencil-interior zones with no
+    /// dependencies (free to run while halos are in flight), and `boundary`
+    /// (Compute) advects the remaining zones after `unpack`, then syncs the
+    /// state's own ghosts to the snapshot's. The multifab ends bit-identical
+    /// to the synchronous path (the projection's velocity copy reads the
+    /// ghosts). With graph tracing enabled the schedule lands in
+    /// [`exastro_telemetry::graphtrace`] under the label `lowmach.advect`.
     fn advect_overlapped(
         &self,
         state: &mut MultiFab,
@@ -359,37 +371,116 @@ impl<'a> Maestro<'a> {
         bc: &BcSpec,
         dt: Real,
     ) -> CommTrace {
-        let pending = state.post_fill_boundary(geom);
-        let mut old = state.clone();
-        for i in 0..state.nfabs() {
-            if let Some(ib) = Self::stencil_interior(state.valid_box(i)) {
-                self.advect_fab_zones(state, &old, geom, dt, i, |iv| ib.contains(iv));
-            }
-        }
-        let trace = pending.wait(&mut old);
-        old.fill_physical_bc(geom, bc);
-        for i in 0..state.nfabs() {
-            let interior = Self::stencil_interior(state.valid_box(i));
-            self.advect_fab_zones(state, &old, geom, dt, i, |iv| {
-                !interior.is_some_and(|ib| ib.contains(iv))
-            });
-        }
-        // Restore the ghost picture of the synchronous path: pre-advect
-        // exchanged-and-bc'd values.
+        let n = state.nfabs();
         let ncomp = self.layout.ncomp();
-        for i in 0..state.nfabs() {
-            let vb = state.valid_box(i);
-            let gb = state.grown_box(i);
-            for iv in gb.iter() {
-                if vb.contains(iv) {
-                    continue;
-                }
-                for c in 0..ncomp {
-                    state.fab_mut(i).set(iv, c, old.fab(i).get(iv, c));
+        let pending = state.plan_fill_boundary(geom);
+        let mut packs_of: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut senders_of: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for o in 0..pending.nops() {
+            let (src, dst) = pending.op_endpoints(o);
+            packs_of[src].push(o);
+            senders_of[dst].push(src);
+        }
+        for s in &mut senders_of {
+            s.sort_unstable();
+            s.dedup();
+        }
+
+        let mut old = state.clone();
+        let vbs: Vec<IndexBox> = (0..n).map(|i| state.valid_box(i)).collect();
+        let gbs: Vec<IndexBox> = (0..n).map(|i| state.grown_box(i)).collect();
+        {
+            let state_views = state.fab_views_mut();
+            let old_views = old.fab_views_mut();
+
+            // Task ids by block: pack f, n + unpack f, 2n + interior f,
+            // 3n + boundary f.
+            let mut g = TaskGraph::new();
+            for _ in 0..n {
+                g.add_task();
+            }
+            for f in 0..n {
+                let id = g.add_task();
+                for &s in &senders_of[f] {
+                    g.add_edge(s, id);
                 }
             }
+            for _ in 0..n {
+                g.add_task();
+            }
+            for f in 0..n {
+                g.add_task_after(&[n + f]);
+            }
+
+            let pend = &pending;
+            let svs = &state_views;
+            let ovs = &old_views;
+            g.run_labeled(
+                WorkerPool::global(),
+                n.max(1),
+                "lowmach.advect",
+                |t| {
+                    let (kind, f) = (t / n, t % n);
+                    let (name, class) = match kind {
+                        0 => ("pack", TaskClass::Comm),
+                        1 => ("unpack", TaskClass::Comm),
+                        2 => ("interior", TaskClass::Compute),
+                        _ => ("boundary", TaskClass::Compute),
+                    };
+                    TaskLabel::new(format!("{name}.f{f}"), class)
+                },
+                |t| {
+                    let (kind, f) = (t / n, t % n);
+                    match kind {
+                        0 => {
+                            // Send buffers read the snapshot, which holds the
+                            // same pre-advect values the sync path exchanges.
+                            let ov = &ovs[f];
+                            for &o in &packs_of[f] {
+                                pend.pack_op(o, |iv, c| ov.at(iv.x(), iv.y(), iv.z(), c));
+                            }
+                        }
+                        1 => {
+                            let ov = &ovs[f];
+                            pend.unpack_fab(f, |iv, c, v| ov.set(iv.x(), iv.y(), iv.z(), c, v));
+                            apply_physical_bc(ov, geom, bc);
+                        }
+                        2 => {
+                            if let Some(ib) = Self::stencil_interior(vbs[f]) {
+                                self.advect_view_zones(&svs[f], &ovs[f], vbs[f], geom, dt, |iv| {
+                                    ib.contains(iv)
+                                });
+                            }
+                        }
+                        _ => {
+                            let interior = Self::stencil_interior(vbs[f]);
+                            self.advect_view_zones(&svs[f], &ovs[f], vbs[f], geom, dt, |iv| {
+                                !interior.is_some_and(|ib| ib.contains(iv))
+                            });
+                            // Restore the ghost picture of the synchronous
+                            // path: pre-advect exchanged-and-bc'd values.
+                            let (sv, ov) = (&svs[f], &ovs[f]);
+                            for iv in gbs[f].iter() {
+                                if vbs[f].contains(iv) {
+                                    continue;
+                                }
+                                for c in 0..ncomp {
+                                    sv.set(
+                                        iv.x(),
+                                        iv.y(),
+                                        iv.z(),
+                                        c,
+                                        ov.at(iv.x(), iv.y(), iv.z(), c),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                },
+            )
+            .expect("advect graph is a DAG by construction");
         }
-        trace
+        pending.finish()
     }
 
     /// Buoyancy source: `w += −g (ρ − ρ₀)/ρ dt`.

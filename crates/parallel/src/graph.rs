@@ -26,8 +26,11 @@
 //! is what lets the overlapped drivers reproduce the bulk-synchronous digest.
 
 use crate::pool::{Tasks, WorkerPool};
+use exastro_telemetry::graphtrace::{self, GraphTrace, TaskClass, TaskLabel, TaskRecord};
+use exastro_telemetry::{counter_add, Telemetry};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Condvar, Mutex};
+use std::time::Instant;
 
 /// Why a graph could not be executed.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -212,12 +215,51 @@ impl TaskGraph {
     /// pending — the overlap the drivers build on. A caller-computed cap of
     /// 0 is clamped to 1 (serial), matching
     /// [`crate::pool::par_each_mut_bounded`].
+    ///
+    /// Tasks run unnamed (`task<N>`, class `Other`); drivers that want
+    /// per-task spans, dependency flow arrows, and an overlap ledger use
+    /// [`TaskGraph::run_labeled`].
     pub fn run<F: Fn(usize) + Sync>(
         &self,
         pool: &WorkerPool,
         max_threads: usize,
         f: F,
     ) -> Result<GraphRunStats, GraphError> {
+        self.run_labeled(
+            pool,
+            max_threads,
+            "graph",
+            |t| TaskLabel::new(format!("task{t}"), TaskClass::Other),
+            f,
+        )
+    }
+
+    /// [`TaskGraph::run`] with observability: `label` names the graph and
+    /// `meta(t)` supplies each task's span name and overlap class.
+    ///
+    /// When `Telemetry::graph_trace_enabled()`, every task records its
+    /// ready/start/end timestamps and worker id into a
+    /// [`GraphTrace`](exastro_telemetry::GraphTrace) (drained by
+    /// `Telemetry::write_graph_summary`), and each task emits a span plus
+    /// dependency flow arrows (`ph: "s"`/`"f"`) into the shared trace ring
+    /// buffer — the arrows Perfetto draws between task slices. When only
+    /// `Telemetry::is_enabled()`, a successful run still bumps the
+    /// `graph.runs` / `graph.tasks` / `graph.edges` / `graph.peak_ready`
+    /// counters so graph activity shows up in `counters_snapshot()`
+    /// without callers threading [`GraphRunStats`]. `meta` is never called
+    /// when graph tracing is off.
+    pub fn run_labeled<F, L>(
+        &self,
+        pool: &WorkerPool,
+        max_threads: usize,
+        label: &str,
+        meta: L,
+        f: F,
+    ) -> Result<GraphRunStats, GraphError>
+    where
+        F: Fn(usize) + Sync,
+        L: Fn(usize) -> TaskLabel + Sync,
+    {
         let n = self.len();
         let stats = GraphRunStats {
             tasks: n,
@@ -231,13 +273,51 @@ impl TaskGraph {
         // participants in the condvar wait below.
         self.topo_order()?;
 
+        // Per-task schedule observations, written under the run lock.
+        struct Sched {
+            ready_ns: Vec<u64>,
+            start_ns: Vec<u64>,
+            end_ns: Vec<u64>,
+            worker: Vec<u64>,
+        }
         struct RunState {
             indeg: Vec<usize>,
             ready: Vec<usize>,
             completed: usize,
             peak_ready: usize,
             panic: Option<Box<dyn std::any::Any + Send>>,
+            sched: Option<Sched>,
         }
+
+        let tracing = Telemetry::is_enabled() && Telemetry::graph_trace_enabled();
+        let epoch = Instant::now();
+        let labels: Vec<TaskLabel> = if tracing {
+            (0..n).map(&meta).collect()
+        } else {
+            Vec::new()
+        };
+        // Process-unique flow ids, one per edge: the id of edge
+        // (t -> dependents[t][j]) is flow_base + edge_offset[t] + j. The
+        // predecessor emits the arrow tail inside its span; the successor,
+        // which can only start later, emits the head inside its own.
+        let (flow_base, edge_offset, incoming) = if tracing {
+            let mut offsets = Vec::with_capacity(n);
+            let mut acc = 0u64;
+            for t in 0..n {
+                offsets.push(acc);
+                acc += self.dependents[t].len() as u64;
+            }
+            let mut incoming: Vec<Vec<u64>> = vec![Vec::new(); n];
+            for (t, &off) in offsets.iter().enumerate() {
+                for (j, &d) in self.dependents[t].iter().enumerate() {
+                    incoming[d].push(off + j as u64);
+                }
+            }
+            (graphtrace::reserve_flow_ids(acc), offsets, incoming)
+        } else {
+            (0, Vec::new(), Vec::new())
+        };
+
         let indeg = self.indegrees();
         let ready: Vec<usize> = (0..n).filter(|&t| indeg[t] == 0).collect();
         let state = Mutex::new(RunState {
@@ -246,6 +326,12 @@ impl TaskGraph {
             ready,
             completed: 0,
             panic: None,
+            sched: tracing.then(|| Sched {
+                ready_ns: vec![0; n],
+                start_ns: vec![0; n],
+                end_ns: vec![0; n],
+                worker: vec![0; n],
+            }),
         });
         let wake = Condvar::new();
 
@@ -262,11 +348,28 @@ impl TaskGraph {
                     st = wake.wait(st).unwrap();
                 };
                 drop(st);
+                let start_ns = tracing.then(|| epoch.elapsed().as_nanos() as u64);
+                if tracing {
+                    Telemetry::trace_begin(&labels[t].name);
+                    for &e in &incoming[t] {
+                        Telemetry::trace_flow_finish("dep", flow_base + e);
+                    }
+                }
                 let result = catch_unwind(AssertUnwindSafe(|| f(t)));
+                if tracing && result.is_ok() {
+                    for j in 0..self.dependents[t].len() {
+                        Telemetry::trace_flow_start("dep", flow_base + edge_offset[t] + j as u64);
+                    }
+                }
+                if tracing {
+                    Telemetry::trace_end(&labels[t].name);
+                }
+                let end_ns = tracing.then(|| epoch.elapsed().as_nanos() as u64);
                 let mut st = state.lock().unwrap();
                 match result {
                     Ok(()) => {
                         st.completed += 1;
+                        let newly_ready_from = st.ready.len();
                         for &d in &self.dependents[t] {
                             st.indeg[d] -= 1;
                             if st.indeg[d] == 0 {
@@ -274,6 +377,16 @@ impl TaskGraph {
                             }
                         }
                         st.peak_ready = st.peak_ready.max(st.ready.len());
+                        let st_mut = &mut *st;
+                        if let Some(sched) = st_mut.sched.as_mut() {
+                            sched.start_ns[t] = start_ns.unwrap_or(0);
+                            sched.end_ns[t] = end_ns.unwrap_or(0);
+                            sched.worker[t] = exastro_telemetry::trace::thread_trace_id();
+                            let now = sched.end_ns[t];
+                            for &d in &st_mut.ready[newly_ready_from..] {
+                                sched.ready_ns[d] = now;
+                            }
+                        }
                     }
                     Err(p) => {
                         // Keep the first payload; abort the schedule so no
@@ -294,10 +407,36 @@ impl TaskGraph {
             resume_unwind(p);
         }
         debug_assert_eq!(st.completed, n);
-        Ok(GraphRunStats {
+        let stats = GraphRunStats {
             peak_ready: st.peak_ready,
             ..stats
-        })
+        };
+        if Telemetry::is_enabled() {
+            counter_add("graph.runs", 1);
+            counter_add("graph.tasks", stats.tasks as u64);
+            counter_add("graph.edges", stats.edges as u64);
+            counter_add("graph.peak_ready", stats.peak_ready as u64);
+        }
+        if let Some(sched) = st.sched.take() {
+            let tasks: Vec<TaskRecord> = (0..n)
+                .map(|t| TaskRecord {
+                    task: t,
+                    name: labels[t].name.clone(),
+                    class: labels[t].class,
+                    ready_ns: sched.ready_ns[t],
+                    start_ns: sched.start_ns[t],
+                    end_ns: sched.end_ns[t],
+                    worker: sched.worker[t],
+                })
+                .collect();
+            graphtrace::record(GraphTrace {
+                label: label.to_string(),
+                wall_ns: epoch.elapsed().as_nanos() as u64,
+                tasks,
+                deps: self.deps.clone(),
+            });
+        }
+        Ok(stats)
     }
 }
 
@@ -429,6 +568,91 @@ mod tests {
         let g = diamond();
         let stamps = stamps_of_run(&g, &pool, 0);
         assert_respects_deps(&g, &stamps);
+    }
+
+    /// Serializes tests that flip the process-wide telemetry flags.
+    static TELEMETRY_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn labeled_run_records_a_graph_trace_with_consistent_schedule() {
+        let _guard = TELEMETRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let pool = WorkerPool::new(3);
+        Telemetry::enable_graph_trace();
+        let mut g = TaskGraph::new();
+        // Two fan-ins: {0,1} -> 2, {0,1,2} -> 3.
+        let a = g.add_task();
+        let b = g.add_task();
+        let c = g.add_task_after(&[a, b]);
+        g.add_task_after(&[a, b, c]);
+        g.run_labeled(
+            &pool,
+            usize::MAX,
+            "test.trace.graph",
+            |t| {
+                let class = if t < 2 {
+                    TaskClass::Comm
+                } else {
+                    TaskClass::Compute
+                };
+                TaskLabel::new(format!("t{t}"), class)
+            },
+            |_| {
+                std::thread::yield_now();
+            },
+        )
+        .unwrap();
+        Telemetry::disable_graph_trace();
+        Telemetry::disable();
+        let trace = graphtrace::take()
+            .into_iter()
+            .find(|tr| tr.label == "test.trace.graph")
+            .expect("labeled run must record a trace");
+        assert_eq!(trace.tasks.len(), 4);
+        assert_eq!(trace.deps.iter().map(Vec::len).sum::<usize>(), 5);
+        for r in &trace.tasks {
+            assert!(
+                r.ready_ns <= r.start_ns,
+                "task {} ready after start",
+                r.task
+            );
+            assert!(r.start_ns <= r.end_ns, "task {} ends before start", r.task);
+            assert!(r.worker > 0, "task {} missing worker id", r.task);
+        }
+        // Dependencies are reflected in the observed schedule: a dep's end
+        // is never after its dependent's start.
+        for (t, deps) in trace.deps.iter().enumerate() {
+            for &d in deps {
+                assert!(
+                    trace.tasks[d].end_ns <= trace.tasks[t].start_ns,
+                    "dep {d} of task {t} finished after the task started"
+                );
+            }
+        }
+        // The analyzer agrees: comm tasks 0 and 1 populate the ledger.
+        let summary = graphtrace::summarize(&trace);
+        assert_eq!(summary.tasks, 4);
+        assert!(summary.comm_us >= 0.0);
+        assert!(summary.critical_path_us > 0.0);
+        assert!(!summary.critical_path.is_empty());
+    }
+
+    #[test]
+    fn enabled_telemetry_wires_graph_stats_into_counters() {
+        use exastro_telemetry::counter_get;
+        let _guard = TELEMETRY_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let pool = WorkerPool::new(2);
+        Telemetry::enable();
+        let before_runs = counter_get("graph.runs");
+        let before_tasks = counter_get("graph.tasks");
+        let g = diamond();
+        g.run(&pool, usize::MAX, |_| {}).unwrap();
+        assert_eq!(counter_get("graph.runs"), before_runs + 1);
+        assert_eq!(counter_get("graph.tasks"), before_tasks + 4);
+        Telemetry::disable();
+        // Disabled telemetry stays zero-cost: counters do not move.
+        let frozen = counter_get("graph.runs");
+        g.run(&pool, usize::MAX, |_| {}).unwrap();
+        assert_eq!(counter_get("graph.runs"), frozen);
     }
 
     #[test]

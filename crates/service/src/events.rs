@@ -1,0 +1,353 @@
+//! The cluster event log: one structured, sim-clock-timestamped record
+//! per scheduling decision, streamed through an [`EventSink`] (the same
+//! sink pattern [`exastro_telemetry::MetricsSink`] uses for step metrics).
+//!
+//! The counters and histograms the service already keeps answer *how
+//! many* — failures, recoveries, preemptions — but not *what happened to
+//! job 3*. The event log answers that: every admit, lease, start,
+//! preempt, checkpoint, node failure, lease revocation, recovery,
+//! migration, quarantine, and completion lands here with the simulated
+//! timestamp and scheduler tick it happened at, so a post-mortem can
+//! replay any job's timeline — and the SLO metrics in
+//! [`crate::ServiceReport`] (deadline hit rate, queue latency, MTTR
+//! series) can be *re-derived from the log alone*, which the integration
+//! tests verify exactly.
+//!
+//! Each event serializes to one self-describing JSONL line under the
+//! `exastro.event.v1` schema (hand-rolled JSON — the workspace is
+//! registry-free). Optional fields are omitted, not nulled, so consumers
+//! can `jq 'select(.kind == "revoke")'` without null-guards.
+
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use crate::spec::{JobId, PriorityClass};
+
+/// What happened. Stable lowercase names (the JSONL `kind` key) are the
+/// schema CI checks against.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A spec passed validation and entered the admission queue.
+    Admit,
+    /// A submission was refused (backpressure or invalid spec).
+    Reject,
+    /// A gang lease was granted (the `ranks` field lists the members).
+    Lease,
+    /// The job began (or resumed) advancing on its lease.
+    Start,
+    /// The job was checkpointed off the machine for a higher class.
+    Preempt,
+    /// A checkpoint was written (cadence, initial, or migration).
+    Checkpoint,
+    /// The fault model killed a node under the service.
+    NodeFail,
+    /// A dead node returned to service.
+    NodeRepair,
+    /// A lease was surrendered because ranks under it died; the `ranks`
+    /// field lists the dead members, `lost_steps` the work rolled back.
+    Revoke,
+    /// A previously-failed job got back onto the machine (`mttr_s` is the
+    /// simulated time from rank death to renewed placement).
+    Recover,
+    /// The job was checkpoint-migrated off a straggling node.
+    Migrate,
+    /// The job was circuit-broken into quarantine.
+    Quarantine,
+    /// The job ran all requested steps (`latency_s`, and `deadline_s`
+    /// when the spec set one, price the SLO).
+    Complete,
+    /// The job died on an unrecoverable driver error.
+    Fail,
+}
+
+impl EventKind {
+    /// Stable lowercase name used in the JSONL `kind` field.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Admit => "admit",
+            EventKind::Reject => "reject",
+            EventKind::Lease => "lease",
+            EventKind::Start => "start",
+            EventKind::Preempt => "preempt",
+            EventKind::Checkpoint => "checkpoint",
+            EventKind::NodeFail => "node_fail",
+            EventKind::NodeRepair => "node_repair",
+            EventKind::Revoke => "revoke",
+            EventKind::Recover => "recover",
+            EventKind::Migrate => "migrate",
+            EventKind::Quarantine => "quarantine",
+            EventKind::Complete => "complete",
+            EventKind::Fail => "fail",
+        }
+    }
+}
+
+/// One cluster event. `sim_us`/`tick` are always present; everything else
+/// is per-kind (see [`EventKind`]) and omitted from the JSONL line when
+/// absent.
+#[derive(Clone, Debug)]
+pub struct Event {
+    /// Simulated-clock timestamp, microseconds since service start.
+    pub sim_us: f64,
+    /// Scheduler tick the event happened in.
+    pub tick: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// The job involved, if any.
+    pub job: Option<JobId>,
+    /// The job's priority class, if any.
+    pub class: Option<PriorityClass>,
+    /// The node involved (node-fail / node-repair).
+    pub node: Option<usize>,
+    /// The job's step count at the event.
+    pub step: Option<u64>,
+    /// Ranks involved (lease members, or the dead ranks of a revoke).
+    pub ranks: Vec<usize>,
+    /// Human-readable context (reject reasons, quarantine causes, ...).
+    pub detail: String,
+    /// Submit → terminal wall seconds (complete/fail/quarantine).
+    pub latency_s: Option<f64>,
+    /// The spec's soft deadline, seconds (complete, when one was set).
+    pub deadline_s: Option<f64>,
+    /// Simulated seconds from rank death to renewed placement (recover).
+    pub mttr_s: Option<f64>,
+    /// Steps rolled back to the last checkpoint (revoke).
+    pub lost_steps: Option<u64>,
+    /// Wall seconds the job waited in the queue before this start.
+    pub queue_wait_s: Option<f64>,
+}
+
+impl Event {
+    /// A bare event with every optional field empty; call sites fill in
+    /// the per-kind fields with struct-update syntax.
+    pub fn new(sim_us: f64, tick: u64, kind: EventKind) -> Event {
+        Event {
+            sim_us,
+            tick,
+            kind,
+            job: None,
+            class: None,
+            node: None,
+            step: None,
+            ranks: Vec::new(),
+            detail: String::new(),
+            latency_s: None,
+            deadline_s: None,
+            mttr_s: None,
+            lost_steps: None,
+            queue_wait_s: None,
+        }
+    }
+
+    /// One self-describing JSONL line (no trailing newline). Optional
+    /// fields absent from the event are absent from the line.
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"schema\": \"exastro.event.v1\", \"sim_us\": {}, \"tick\": {}, \"kind\": \"{}\"",
+            self.sim_us,
+            self.tick,
+            self.kind.name()
+        );
+        if let Some(j) = self.job {
+            s += &format!(", \"job\": \"{j}\"");
+        }
+        if let Some(c) = self.class {
+            s += &format!(", \"class\": \"{}\"", c.name());
+        }
+        if let Some(n) = self.node {
+            s += &format!(", \"node\": {n}");
+        }
+        if let Some(st) = self.step {
+            s += &format!(", \"step\": {st}");
+        }
+        if !self.ranks.is_empty() {
+            let list: Vec<String> = self.ranks.iter().map(|r| r.to_string()).collect();
+            s += &format!(", \"ranks\": [{}]", list.join(", "));
+        }
+        if let Some(v) = self.latency_s {
+            s += &format!(", \"latency_s\": {v}");
+        }
+        if let Some(v) = self.deadline_s {
+            s += &format!(", \"deadline_s\": {v}");
+        }
+        if let Some(v) = self.mttr_s {
+            s += &format!(", \"mttr_s\": {v}");
+        }
+        if let Some(v) = self.lost_steps {
+            s += &format!(", \"lost_steps\": {v}");
+        }
+        if let Some(v) = self.queue_wait_s {
+            s += &format!(", \"queue_wait_s\": {v}");
+        }
+        if !self.detail.is_empty() {
+            s += &format!(", \"detail\": \"{}\"", json_escape(&self.detail));
+        }
+        s += "}";
+        s
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            '\n' => vec!['\\', 'n'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Where events go. Mirrors [`exastro_telemetry::MetricsSink`]: `record`
+/// must not panic on IO trouble (the scheduler keeps running through a
+/// full disk); errors are surfaced at [`EventSink::flush`].
+pub trait EventSink: Send + Sync {
+    /// Append one event.
+    fn record(&self, ev: &Event);
+    /// Surface any deferred IO error. Default: nothing to flush.
+    fn flush(&self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Keeps every event in memory (tests, report reconciliation).
+#[derive(Default)]
+pub struct MemoryEventSink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemoryEventSink {
+    /// An empty in-memory log.
+    pub fn new() -> MemoryEventSink {
+        MemoryEventSink::default()
+    }
+
+    /// Copy of everything recorded so far, in order.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.events.lock().unwrap().clone()
+    }
+}
+
+impl EventSink for MemoryEventSink {
+    fn record(&self, ev: &Event) {
+        self.events.lock().unwrap().push(ev.clone());
+    }
+}
+
+/// Appends one JSON line per event to a file, flushing each line (a
+/// crash loses at most the event being written). IO errors after a
+/// successful open are sticky and surface at [`EventSink::flush`], the
+/// same contract as [`exastro_telemetry::JsonlSink`].
+pub struct JsonlEventSink {
+    file: Mutex<File>,
+    path: PathBuf,
+    error: Mutex<Option<String>>,
+}
+
+impl JsonlEventSink {
+    /// Create (truncate) the event log at `path`.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<JsonlEventSink> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::create(&path)?;
+        Ok(JsonlEventSink {
+            file: Mutex::new(file),
+            path,
+            error: Mutex::new(None),
+        })
+    }
+
+    /// Where the log lives.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl EventSink for JsonlEventSink {
+    fn record(&self, ev: &Event) {
+        let mut f = self.file.lock().unwrap();
+        let line = ev.to_json();
+        if let Err(e) = writeln!(f, "{line}").and_then(|()| f.flush()) {
+            let mut slot = self.error.lock().unwrap();
+            if slot.is_none() {
+                *slot = Some(format!("{}: {e}", self.path.display()));
+            }
+        }
+    }
+
+    fn flush(&self) -> std::io::Result<()> {
+        match self.error.lock().unwrap().clone() {
+            Some(msg) => Err(std::io::Error::other(msg)),
+            None => Ok(()),
+        }
+    }
+}
+
+/// Discards everything (the default when no sink is configured).
+#[derive(Default)]
+pub struct NullEventSink;
+
+impl EventSink for NullEventSink {
+    fn record(&self, _ev: &Event) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_serialize_with_only_their_fields() {
+        let bare = Event::new(1.5e6, 3, EventKind::NodeFail);
+        let line = bare.to_json();
+        assert!(line.contains("\"schema\": \"exastro.event.v1\""));
+        assert!(line.contains("\"kind\": \"node_fail\""));
+        assert!(
+            !line.contains("latency_s"),
+            "absent fields stay absent: {line}"
+        );
+
+        let full = Event {
+            job: Some(JobId(7)),
+            class: Some(PriorityClass::High),
+            ranks: vec![0, 1],
+            latency_s: Some(2.25),
+            deadline_s: Some(3.0),
+            detail: "say \"why\"".into(),
+            ..Event::new(2e6, 4, EventKind::Complete)
+        };
+        let line = full.to_json();
+        for key in [
+            "\"job\": \"job-0007\"",
+            "\"class\": \"high\"",
+            "\"ranks\": [0, 1]",
+            "\"latency_s\": 2.25",
+            "\"deadline_s\": 3",
+            "\\\"why\\\"",
+        ] {
+            assert!(line.contains(key), "missing {key} in {line}");
+        }
+        assert_eq!(line.matches('{').count(), line.matches('}').count());
+    }
+
+    #[test]
+    fn jsonl_event_sink_appends_one_line_per_event() {
+        let dir = std::env::temp_dir().join(format!("exastro-events-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        let sink = JsonlEventSink::create(&path).unwrap();
+        sink.record(&Event::new(0.0, 1, EventKind::Admit));
+        sink.record(&Event {
+            job: Some(JobId(1)),
+            ..Event::new(1.0, 2, EventKind::Start)
+        });
+        sink.flush().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"kind\": \"admit\""));
+        assert!(lines[1].contains("\"kind\": \"start\""));
+    }
+}

@@ -120,6 +120,9 @@ pub(crate) struct Job {
     pub submit_seq: u64,
     /// Wall-clock submit instant (job latency measurement).
     pub submitted_at: std::time::Instant,
+    /// Wall-clock instant of the latest queue entry (admission or any
+    /// requeue) — per-class queue-latency measurement.
+    pub queued_at: std::time::Instant,
     /// Scheduling rounds the job has been overtaken while queued.
     pub bypassed: u32,
     /// Scheduling rounds the job's gang has exceeded in-service capacity.
@@ -321,6 +324,7 @@ impl Job {
             migrations: 0,
             submit_seq,
             submitted_at: std::time::Instant::now(),
+            queued_at: std::time::Instant::now(),
             bypassed: 0,
             capacity_waits: 0,
             eligible_at_tick: 0,
@@ -484,9 +488,11 @@ impl Job {
         self.evicted
     }
 
-    /// Flush the job's telemetry stream.
+    /// Flush the job's telemetry stream. Best-effort: a full disk must
+    /// not fail job retirement, so any deferred IO error is dropped here
+    /// (the per-job JSONL sink keeps it sticky for callers that ask).
     pub(crate) fn flush_telemetry(&self) {
-        self.recorder.flush();
+        self.recorder.flush().ok();
     }
 }
 

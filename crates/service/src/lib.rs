@@ -53,12 +53,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod events;
 mod job;
 pub mod report;
 pub mod scheduler;
 pub mod spec;
 
+pub use events::{Event, EventKind, EventSink, JsonlEventSink, MemoryEventSink, NullEventSink};
 pub use job::JobError;
-pub use report::{JobOutcome, JobRecord, ServiceReport};
+pub use report::{ClassQueueWait, JobOutcome, JobRecord, ServiceReport};
 pub use scheduler::{Service, ServiceConfig};
 pub use spec::{JobId, JobSpec, NetChoice, PriorityClass, Scenario, SubmitError};

@@ -2,6 +2,11 @@
 
 use crate::spec::{JobId, NetChoice, PriorityClass, Scenario};
 
+/// Render an `Option<f64>` as a JSON number or `null`.
+fn json_opt(v: Option<f64>) -> String {
+    v.map(|x| x.to_string()).unwrap_or_else(|| "null".into())
+}
+
 /// How a job ended.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum JobOutcome {
@@ -60,6 +65,20 @@ pub struct JobRecord {
     pub step_records: u64,
 }
 
+/// Per-class queue-latency SLO: wall seconds from queue entry (admission
+/// or requeue) to placement, nearest-rank percentiles.
+#[derive(Clone, Debug)]
+pub struct ClassQueueWait {
+    /// The priority class the samples belong to.
+    pub class: PriorityClass,
+    /// Placements measured.
+    pub samples: usize,
+    /// Median queue wait, seconds.
+    pub p50_s: f64,
+    /// 99th-percentile queue wait, seconds.
+    pub p99_s: f64,
+}
+
 /// Point-in-time service summary (see [`crate::Service::report`]).
 #[derive(Clone, Debug)]
 pub struct ServiceReport {
@@ -105,6 +124,15 @@ pub struct ServiceReport {
     pub latency_p50_s: f64,
     /// 99th-percentile completed-job latency, seconds.
     pub latency_p99_s: f64,
+    /// Fraction of deadlined jobs that met their deadline (`None` when no
+    /// terminal job carried one) — the headline SLO.
+    pub deadline_hit_rate: Option<f64>,
+    /// Queue-latency percentiles per priority class (classes with no
+    /// placements are omitted).
+    pub queue_wait_by_class: Vec<ClassQueueWait>,
+    /// Time-to-recovery series: simulated seconds from each rank death to
+    /// the job's renewed placement, in occurrence order.
+    pub mttr_s: Vec<f64>,
     /// Terminal records, in completion order.
     pub jobs: Vec<JobRecord>,
 }
@@ -147,6 +175,28 @@ impl ServiceReport {
         s += &format!("  \"jobs_per_hour\": {},\n", r.jobs_per_hour);
         s += &format!("  \"latency_p50_s\": {},\n", r.latency_p50_s);
         s += &format!("  \"latency_p99_s\": {},\n", r.latency_p99_s);
+        s += &format!(
+            "  \"deadline_hit_rate\": {},\n",
+            json_opt(r.deadline_hit_rate)
+        );
+        s += "  \"queue_wait_by_class\": [\n";
+        for (i, q) in r.queue_wait_by_class.iter().enumerate() {
+            s += &format!(
+                "    {{\"class\": \"{}\", \"samples\": {}, \"p50_s\": {}, \"p99_s\": {}}}{}\n",
+                q.class.name(),
+                q.samples,
+                q.p50_s,
+                q.p99_s,
+                if i + 1 < r.queue_wait_by_class.len() {
+                    ","
+                } else {
+                    ""
+                }
+            );
+        }
+        s += "  ],\n";
+        let mttr: Vec<String> = r.mttr_s.iter().map(|v| v.to_string()).collect();
+        s += &format!("  \"mttr_s\": [{}],\n", mttr.join(", "));
         s += "  \"jobs\": [\n";
         for (i, j) in r.jobs.iter().enumerate() {
             s += "    {";
@@ -239,6 +289,19 @@ impl std::fmt::Display for ServiceReport {
             "throughput: {:.1} jobs/hour | latency p50 {:.3}s p99 {:.3}s",
             self.jobs_per_hour, self.latency_p50_s, self.latency_p99_s
         )?;
+        if let Some(rate) = self.deadline_hit_rate {
+            writeln!(f, "slo: deadline hit rate {:.1}%", 100.0 * rate)?;
+        }
+        for q in &self.queue_wait_by_class {
+            writeln!(
+                f,
+                "slo: queue wait [{}] p50 {:.3}s p99 {:.3}s over {} placement(s)",
+                q.class.name(),
+                q.p50_s,
+                q.p99_s,
+                q.samples
+            )?;
+        }
         writeln!(
             f,
             "{:>9} {:>16} {:>12} {:>7} {:>6} {:>6} {:>6} {:>5} {:>7} {:>9} {:>11}",

@@ -40,6 +40,7 @@
 
 use std::collections::VecDeque;
 use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Instant;
 
 use exastro_machine::{
@@ -49,9 +50,10 @@ use exastro_parallel::par_each_mut;
 use exastro_resilience::interval::{suggest_cadence_steps, JobProfile};
 use exastro_telemetry::{counter_add, Telemetry};
 
+use crate::events::{Event, EventKind, EventSink, NullEventSink};
 use crate::job::{Job, SliceStatus};
-use crate::report::{JobOutcome, JobRecord, ServiceReport};
-use crate::spec::{JobId, JobSpec, SubmitError};
+use crate::report::{ClassQueueWait, JobOutcome, JobRecord, ServiceReport};
+use crate::spec::{JobId, JobSpec, PriorityClass, SubmitError};
 
 /// Service knobs. Defaults give a one-node pool with a small queue and
 /// *no* fault injection — the shape the examples and tests use;
@@ -101,6 +103,11 @@ pub struct ServiceConfig {
     /// Simulated time an idle tick (nothing running) advances, µs —
     /// keeps the fault model's clock moving while the queue backs off.
     pub idle_tick_sim_us: f64,
+    /// Where the cluster event log goes (`None` = discard). Arm with a
+    /// [`crate::events::MemoryEventSink`] to reconcile the log against
+    /// the report, or a [`crate::events::JsonlEventSink`] to stream
+    /// `exastro.event.v1` JSONL for post-mortems.
+    pub events: Option<Arc<dyn EventSink>>,
 }
 
 impl Default for ServiceConfig {
@@ -123,6 +130,7 @@ impl Default for ServiceConfig {
             quarantine_limit: 3,
             capacity_patience: 200,
             idle_tick_sim_us: 1e6,
+            events: None,
         }
     }
 }
@@ -167,6 +175,11 @@ pub struct Service {
     recoveries: u64,
     straggler_migrations: u64,
     quarantined: usize,
+    events: Arc<dyn EventSink>,
+    /// (class, wall seconds queued) per placement — SLO queue latency.
+    queue_waits: Vec<(PriorityClass, f64)>,
+    /// Simulated seconds from rank death to renewed placement, in order.
+    mttr_series: Vec<f64>,
 }
 
 impl Service {
@@ -178,9 +191,14 @@ impl Service {
             .clone()
             .map(|f| NodeFaultModel::new(f, cfg.nodes));
         let now = Instant::now();
+        let events = cfg
+            .events
+            .clone()
+            .unwrap_or_else(|| Arc::new(NullEventSink));
         Service {
             pool,
             fault_model,
+            events,
             cfg,
             queue: VecDeque::new(),
             running: Vec::new(),
@@ -201,7 +219,14 @@ impl Service {
             recoveries: 0,
             straggler_migrations: 0,
             quarantined: 0,
+            queue_waits: Vec::new(),
+            mttr_series: Vec::new(),
         }
+    }
+
+    /// A bare event stamped with the current sim clock and tick.
+    fn event(&self, kind: EventKind) -> Event {
+        Event::new(self.sim_clock_us, self.tick_no, kind)
     }
 
     /// Total ranks in the pool.
@@ -239,20 +264,36 @@ impl Service {
         if let Err(why) = spec.validate() {
             self.rejected += 1;
             counter_add("service.rejected", 1);
+            self.events.record(&Event {
+                class: Some(spec.priority),
+                detail: why.clone(),
+                ..self.event(EventKind::Reject)
+            });
             return Err(SubmitError::InvalidSpec(why));
         }
         let ranks_needed = spec.nodes * self.pool.gpus_per_node();
         if ranks_needed > self.pool.total() {
             self.rejected += 1;
             counter_add("service.rejected", 1);
-            return Err(SubmitError::InvalidSpec(format!(
+            let why = format!(
                 "job wants {ranks_needed} ranks but the pool has {}",
                 self.pool.total()
-            )));
+            );
+            self.events.record(&Event {
+                class: Some(spec.priority),
+                detail: why.clone(),
+                ..self.event(EventKind::Reject)
+            });
+            return Err(SubmitError::InvalidSpec(why));
         }
         if self.queue.len() >= self.cfg.queue_bound {
             self.rejected += 1;
             counter_add("service.rejected", 1);
+            self.events.record(&Event {
+                class: Some(spec.priority),
+                detail: format!("queue full (bound {})", self.cfg.queue_bound),
+                ..self.event(EventKind::Reject)
+            });
             return Err(SubmitError::QueueFull {
                 bound: self.cfg.queue_bound,
             });
@@ -308,6 +349,19 @@ impl Service {
             }
         };
         counter_add("service.admitted", 1);
+        self.events.record(&Event {
+            job: Some(id),
+            class: Some(job.spec.priority),
+            detail: format!(
+                "{} x {} @ {}^3 on {} node(s), {} step(s)",
+                job.spec.scenario.name(),
+                job.spec.network.name(),
+                job.spec.resolution,
+                job.spec.nodes,
+                job.spec.steps
+            ),
+            ..self.event(EventKind::Admit)
+        });
         self.queue.push_back(job);
         self.queue_peak = self.queue_peak.max(self.queue.len());
         Ok(id)
@@ -502,7 +556,15 @@ impl Service {
                     Ok(()) => {
                         self.preemptions += 1;
                         counter_add("service.preempted", 1);
+                        self.events.record(&Event {
+                            job: Some(r.job.id),
+                            class: Some(r.job.spec.priority),
+                            step: Some(r.job.clock.step),
+                            detail: format!("checkpointed off for class {class:?}"),
+                            ..self.event(EventKind::Preempt)
+                        });
                         self.pool.release(r.lease);
+                        r.job.queued_at = Instant::now();
                         self.queue.push_back(r.job);
                         self.queue_peak = self.queue_peak.max(self.queue.len());
                     }
@@ -523,6 +585,12 @@ impl Service {
     }
 
     fn start(&mut self, mut job: Job, lease: RankLease) {
+        self.events.record(&Event {
+            job: Some(job.id),
+            class: Some(job.spec.priority),
+            ranks: lease.ranks().to_vec(),
+            ..self.event(EventKind::Lease)
+        });
         if job.is_evicted() {
             if let Err(why) = job.resume() {
                 self.pool.release(lease);
@@ -542,17 +610,39 @@ impl Service {
                 );
                 return;
             }
+            self.events.record(&Event {
+                job: Some(job.id),
+                step: Some(job.last_ckpt_step),
+                detail: "initial (pre-step resumability guarantee)".into(),
+                ..self.event(EventKind::Checkpoint)
+            });
         }
         if let Some(died_at) = job.failed_at_sim_us.take() {
             // Back on the machine after a node failure: MTTR is the sim
             // time from rank death to renewed placement.
             self.recoveries += 1;
             counter_add("service.recoveries", 1);
-            Telemetry::record_hist(
-                "service/mttr_sim_s",
-                (self.sim_clock_us - died_at).max(0.0) * 1e-6,
-            );
+            let mttr_s = (self.sim_clock_us - died_at).max(0.0) * 1e-6;
+            Telemetry::record_hist("service/mttr_sim_s", mttr_s);
+            self.mttr_series.push(mttr_s);
+            self.events.record(&Event {
+                job: Some(job.id),
+                class: Some(job.spec.priority),
+                step: Some(job.clock.step),
+                mttr_s: Some(mttr_s),
+                ..self.event(EventKind::Recover)
+            });
         }
+        let queue_wait_s = job.queued_at.elapsed().as_secs_f64();
+        self.queue_waits.push((job.spec.priority, queue_wait_s));
+        Telemetry::record_hist("service/queue_wait_s", queue_wait_s);
+        self.events.record(&Event {
+            job: Some(job.id),
+            class: Some(job.spec.priority),
+            step: Some(job.clock.step),
+            queue_wait_s: Some(queue_wait_s),
+            ..self.event(EventKind::Start)
+        });
         job.bypassed = 0;
         job.capacity_waits = 0;
         self.running.push(Running {
@@ -589,11 +679,22 @@ impl Service {
             }
         }
         // Concurrent slices on the worker pool: one task per running job.
+        let prev_ckpt: Vec<u64> = self.running.iter().map(|r| r.job.last_ckpt_step).collect();
         par_each_mut(&mut self.running, |_, r| {
             let before = r.job.clock.step;
             r.status = r.job.run_slice(quantum);
             r.steps_ran = r.job.clock.step - before;
         });
+        for (r, &prev) in self.running.iter().zip(&prev_ckpt) {
+            if r.job.last_ckpt_step > prev {
+                self.events.record(&Event {
+                    job: Some(r.job.id),
+                    step: Some(r.job.last_ckpt_step),
+                    detail: format!("cadence (every {} step(s))", r.job.ckpt_every),
+                    ..Event::new(self.sim_clock_us, self.tick_no, EventKind::Checkpoint)
+                });
+            }
+        }
         // Fair-share accounting (serial: needs &mut self bookkeeping),
         // and the tick's simulated-time advance: the slices above ran
         // concurrently, so the slowest gang's observed cost is the wall.
@@ -630,6 +731,11 @@ impl Service {
                     // Health monitor: the kill surfaces at the end of the
                     // scheduling window in which it happened.
                     Telemetry::record_hist("service/detect_latency_sim_s", (now_s - at_s).max(0.0));
+                    self.events.record(&Event {
+                        node: Some(node),
+                        detail: format!("killed at sim t={at_s:.3}s, detected this tick"),
+                        ..Event::new(self.sim_clock_us, self.tick_no, EventKind::NodeFail)
+                    });
                     for r in &mut self.running {
                         if r.lease.ranks().iter().any(|&rank| rank / g == node) {
                             r.doomed = true;
@@ -638,6 +744,10 @@ impl Service {
                 }
                 FaultEvent::NodeRepaired { node, .. } => {
                     self.pool.repair_node(node);
+                    self.events.record(&Event {
+                        node: Some(node),
+                        ..Event::new(self.sim_clock_us, self.tick_no, EventKind::NodeRepair)
+                    });
                 }
                 // Stragglers and network degradation change *speed*, not
                 // membership; run_slices queries the model each tick.
@@ -667,6 +777,14 @@ impl Service {
             counter_add("service.lease_revocations", 1);
             let lost = r.job.clock.step.saturating_sub(r.job.last_ckpt_step);
             Telemetry::record_hist("service/lost_steps", lost as f64);
+            self.events.record(&Event {
+                job: Some(r.job.id),
+                class: Some(r.job.spec.priority),
+                step: Some(r.job.clock.step),
+                ranks: dead.clone(),
+                lost_steps: Some(lost),
+                ..self.event(EventKind::Revoke)
+            });
             r.job.fail_over();
             if r.job.recoveries >= self.cfg.quarantine_limit {
                 let why = format!(
@@ -686,6 +804,7 @@ impl Service {
                 .min(self.cfg.recovery_backoff_max);
             r.job.eligible_at_tick = self.tick_no + backoff;
             r.job.failed_at_sim_us = Some(self.sim_clock_us);
+            r.job.queued_at = Instant::now();
             self.queue.push_back(r.job);
             self.queue_peak = self.queue_peak.max(self.queue.len());
         }
@@ -720,7 +839,15 @@ impl Service {
                 Ok(()) => {
                     self.straggler_migrations += 1;
                     counter_add("service.straggler_migrations", 1);
+                    self.events.record(&Event {
+                        job: Some(r.job.id),
+                        class: Some(r.job.spec.priority),
+                        step: Some(r.job.clock.step),
+                        detail: format!("observed {:.1}x modeled step cost", r.slow),
+                        ..self.event(EventKind::Migrate)
+                    });
                     self.pool.release(r.lease);
+                    r.job.queued_at = Instant::now();
                     self.queue.push_back(r.job);
                     self.queue_peak = self.queue_peak.max(self.queue.len());
                 }
@@ -764,6 +891,20 @@ impl Service {
         job.flush_telemetry();
         let latency_s = job.submitted_at.elapsed().as_secs_f64();
         let deadline_met = job.spec.deadline_s.map(|d| latency_s <= d);
+        let (kind, detail) = match &outcome {
+            JobOutcome::Completed => (EventKind::Complete, String::new()),
+            JobOutcome::Failed(why) => (EventKind::Fail, why.clone()),
+            JobOutcome::Quarantined(why) => (EventKind::Quarantine, why.clone()),
+        };
+        self.events.record(&Event {
+            job: Some(job.id),
+            class: Some(job.spec.priority),
+            step: Some(job.clock.step),
+            latency_s: Some(latency_s),
+            deadline_s: job.spec.deadline_s,
+            detail,
+            ..self.event(kind)
+        });
         let steps = job.memory.snapshot();
         self.records.push(JobRecord {
             id: job.id,
@@ -811,6 +952,34 @@ impl Service {
         } else {
             0.0
         };
+        let deadlined: Vec<bool> = self.records.iter().filter_map(|r| r.deadline_met).collect();
+        let deadline_hit_rate = (!deadlined.is_empty())
+            .then(|| deadlined.iter().filter(|&&m| m).count() as f64 / deadlined.len() as f64);
+        let queue_wait_by_class = [
+            PriorityClass::Batch,
+            PriorityClass::Normal,
+            PriorityClass::High,
+        ]
+        .iter()
+        .filter_map(|&class| {
+            let mut waits: Vec<f64> = self
+                .queue_waits
+                .iter()
+                .filter(|(c, _)| *c == class)
+                .map(|&(_, w)| w)
+                .collect();
+            if waits.is_empty() {
+                return None;
+            }
+            sort_total(&mut waits);
+            Some(ClassQueueWait {
+                class,
+                samples: waits.len(),
+                p50_s: percentile(&waits, 0.50),
+                p99_s: percentile(&waits, 0.99),
+            })
+        })
+        .collect();
         ServiceReport {
             wall_s,
             submitted: self.submitted,
@@ -837,8 +1006,17 @@ impl Service {
             },
             latency_p50_s: percentile(&latencies, 0.50),
             latency_p99_s: percentile(&latencies, 0.99),
+            deadline_hit_rate,
+            queue_wait_by_class,
+            mttr_s: self.mttr_series.clone(),
             jobs: self.records.clone(),
         }
+    }
+
+    /// Surface any deferred event-sink IO error (e.g. the JSONL stream
+    /// hit a full disk mid-run).
+    pub fn flush_events(&self) -> std::io::Result<()> {
+        self.events.flush()
     }
 }
 

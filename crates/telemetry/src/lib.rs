@@ -31,11 +31,13 @@
 #![warn(missing_docs)]
 
 pub mod counters;
+pub mod graphtrace;
 pub mod histogram;
 pub mod metrics;
 pub mod trace;
 
 pub use counters::{counter_add, counter_get, counters_snapshot};
+pub use graphtrace::{GraphSummary, GraphTrace, TaskClass, TaskLabel, TaskRecord, TaskStat};
 pub use histogram::{histogram, histogram_names, Histogram};
 pub use metrics::{
     JsonlSink, MemorySink, MetricsSink, MultiSink, NullSink, StepMetrics, StepRecorder,
@@ -104,10 +106,64 @@ impl Telemetry {
         }
     }
 
-    /// Clear all recorded telemetry (trace events, histograms, counters)
-    /// without changing the enabled flag.
+    /// Record a dependency-arrow tail (`ph: "s"`) bound to `flow_id` on
+    /// this thread. Must be emitted inside an open span. No-op when
+    /// telemetry is disabled.
+    #[inline]
+    pub fn trace_flow_start(name: &str, flow_id: u64) {
+        if Self::is_enabled() {
+            trace::global().flow_start(name, flow_id);
+        }
+    }
+
+    /// Record a dependency-arrow head (`ph: "f"`) bound to `flow_id` on
+    /// this thread. Must be emitted inside an open span, after its
+    /// matching [`Telemetry::trace_flow_start`]. No-op when telemetry is
+    /// disabled.
+    #[inline]
+    pub fn trace_flow_finish(name: &str, flow_id: u64) {
+        if Self::is_enabled() {
+            trace::global().flow_finish(name, flow_id);
+        }
+    }
+
+    /// Turn per-task graph recording on (implies [`Telemetry::enable`],
+    /// since graph spans and flow arrows ride the same trace buffer).
+    pub fn enable_graph_trace() {
+        Self::enable();
+        graphtrace::enable();
+    }
+
+    /// Turn per-task graph recording off (plain span tracing, if enabled,
+    /// stays on). Idempotent.
+    pub fn disable_graph_trace() {
+        graphtrace::disable();
+    }
+
+    /// The branch `TaskGraph::run` checks before paying for per-task
+    /// timestamps.
+    #[inline]
+    pub fn graph_trace_enabled() -> bool {
+        graphtrace::enabled()
+    }
+
+    /// Summarize every graph trace recorded so far (critical path, slack,
+    /// queue-wait breakdown, measured overlap efficiency) and write the
+    /// `exastro.graphtrace.v1` JSON artifact at `path`. Drains the stored
+    /// traces.
+    pub fn write_graph_summary(path: impl AsRef<Path>) -> std::io::Result<PathBuf> {
+        let summaries: Vec<GraphSummary> = graphtrace::take()
+            .iter()
+            .map(graphtrace::summarize)
+            .collect();
+        graphtrace::write_summaries(path, &summaries)
+    }
+
+    /// Clear all recorded telemetry (trace events, graph traces,
+    /// histograms, counters) without changing the enabled flags.
     pub fn reset() {
         trace::global().clear();
+        graphtrace::clear();
         histogram::reset();
         counters::reset();
     }

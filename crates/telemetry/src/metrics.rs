@@ -98,10 +98,15 @@ impl StepMetrics {
 /// Destination for per-step records. Implementations must be safe to call
 /// from the driver thread each step (`&self`, internally synchronized).
 pub trait MetricsSink: Send + Sync {
-    /// Append one step record.
+    /// Append one step record. Recording must never fail a run, so errors
+    /// are deferred: file-backed sinks remember the first I/O error and
+    /// surface it from [`MetricsSink::flush`].
     fn record(&self, m: &StepMetrics);
-    /// Flush any buffering to the underlying medium.
-    fn flush(&self) {}
+    /// Flush any buffering to the underlying medium, reporting any I/O
+    /// error recorded since the last flush.
+    fn flush(&self) -> std::io::Result<()> {
+        Ok(())
+    }
 }
 
 /// Keeps every record in memory; the test and reconciliation sink.
@@ -135,8 +140,13 @@ impl MetricsSink for MemorySink {
 
 /// Appends records as JSON Lines to a file (one object per line, flushed
 /// per record so a killed run leaves whole lines).
+///
+/// I/O errors never interrupt the run: `record` remembers the *first*
+/// error (sticky) and keeps accepting records; the error surfaces from
+/// [`MetricsSink::flush`] or [`JsonlSink::take_error`].
 pub struct JsonlSink {
     file: Mutex<std::io::BufWriter<std::fs::File>>,
+    error: Mutex<Option<String>>,
 }
 
 impl JsonlSink {
@@ -144,20 +154,42 @@ impl JsonlSink {
     pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
         Ok(JsonlSink {
             file: Mutex::new(std::io::BufWriter::new(std::fs::File::create(path)?)),
+            error: Mutex::new(None),
         })
+    }
+
+    fn remember(&self, e: std::io::Error) {
+        let mut slot = self.error.lock().unwrap();
+        if slot.is_none() {
+            *slot = Some(e.to_string());
+        }
+    }
+
+    /// Take (and clear) the first I/O error seen since the last call.
+    pub fn take_error(&self) -> Option<String> {
+        self.error.lock().unwrap().take()
     }
 }
 
 impl MetricsSink for JsonlSink {
     fn record(&self, m: &StepMetrics) {
         let mut f = self.file.lock().unwrap();
-        // I/O errors are swallowed: losing telemetry must never fail a run.
-        let _ = writeln!(f, "{}", m.to_json());
-        let _ = f.flush();
+        let r = writeln!(f, "{}", m.to_json()).and_then(|()| f.flush());
+        drop(f);
+        if let Err(e) = r {
+            self.remember(e);
+        }
     }
 
-    fn flush(&self) {
-        let _ = self.file.lock().unwrap().flush();
+    fn flush(&self) -> std::io::Result<()> {
+        let r = self.file.lock().unwrap().flush();
+        if let Err(e) = r {
+            self.remember(e);
+        }
+        match self.error.lock().unwrap().clone() {
+            Some(msg) => Err(std::io::Error::other(msg)),
+            None => Ok(()),
+        }
     }
 }
 
@@ -183,9 +215,19 @@ impl MetricsSink for MultiSink {
         }
     }
 
-    fn flush(&self) {
-        for s in &self.sinks {
-            s.flush();
+    fn flush(&self) -> std::io::Result<()> {
+        // Flush every member even when an early one fails, then report the
+        // aggregate instead of silently swallowing per-sink errors.
+        let errors: Vec<String> = self
+            .sinks
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.flush().err().map(|e| format!("sink {i}: {e}")))
+            .collect();
+        if errors.is_empty() {
+            Ok(())
+        } else {
+            Err(std::io::Error::other(errors.join("; ")))
         }
     }
 }
@@ -262,10 +304,11 @@ impl StepRecorder {
         sink.record(&m);
     }
 
-    /// Flush the attached sink, if any.
-    pub fn flush(&self) {
-        if let Some(sink) = &self.sink {
-            sink.flush();
+    /// Flush the attached sink, if any, surfacing deferred I/O errors.
+    pub fn flush(&self) -> std::io::Result<()> {
+        match &self.sink {
+            Some(sink) => sink.flush(),
+            None => Ok(()),
         }
     }
 }
@@ -369,6 +412,76 @@ mod tests {
     }
 
     #[test]
+    fn jsonl_create_fails_on_unwritable_path() {
+        let dir = std::env::temp_dir().join(format!("exastro-ro-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut perms = std::fs::metadata(&dir).unwrap().permissions();
+        use std::os::unix::fs::PermissionsExt;
+        perms.set_mode(0o555); // read + execute, no write
+        std::fs::set_permissions(&dir, perms.clone()).unwrap();
+        let result = JsonlSink::create(dir.join("steps.jsonl"));
+        // Root bypasses mode bits on some filesystems; only assert when
+        // the OS actually enforced the read-only directory.
+        if std::fs::File::create(dir.join("probe")).is_err() {
+            assert!(result.is_err(), "create in a read-only dir must fail");
+        }
+        perms.set_mode(0o755);
+        std::fs::set_permissions(&dir, perms).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn jsonl_write_errors_are_sticky_and_surface_at_flush() {
+        // /dev/full accepts the open but fails every write with ENOSPC.
+        if !Path::new("/dev/full").exists() {
+            return;
+        }
+        let sink = JsonlSink::create("/dev/full").unwrap();
+        sink.record(&StepMetrics::default());
+        sink.record(&StepMetrics::default());
+        let err = sink.flush().expect_err("writes to /dev/full must fail");
+        assert!(!err.to_string().is_empty());
+        // The error was taken by flush's report but stays until taken.
+        assert!(sink.take_error().is_some());
+        assert!(sink.take_error().is_none(), "take_error drains the slot");
+        // After draining, flush succeeds again (BufWriter has given up
+        // its buffered line to the failed flush attempts).
+        let _ = sink.flush();
+    }
+
+    #[test]
+    fn multi_sink_propagates_member_flush_errors() {
+        if !Path::new("/dev/full").exists() {
+            return;
+        }
+        let good = Arc::new(MemorySink::new());
+        let bad = Arc::new(JsonlSink::create("/dev/full").unwrap());
+        let multi = MultiSink::new(vec![good.clone(), bad]);
+        multi.record(&StepMetrics::default());
+        let err = multi.flush().expect_err("one failing member must surface");
+        assert!(err.to_string().contains("sink 1"));
+        // The healthy member still received the record.
+        assert_eq!(good.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn dropped_sink_has_already_persisted_lines() {
+        let dir = std::env::temp_dir().join(format!("exastro-drop-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("steps.jsonl");
+        {
+            let sink = JsonlSink::create(&path).unwrap();
+            sink.record(&StepMetrics::default());
+            // Dropped without an explicit flush: record() flushes per line,
+            // so a killed run still leaves whole, parseable lines.
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn jsonl_file_sink_writes_one_line_per_record() {
         let dir = std::env::temp_dir().join(format!("exastro-metrics-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -376,7 +489,7 @@ mod tests {
         let sink = JsonlSink::create(&path).unwrap();
         sink.record(&StepMetrics::default());
         sink.record(&StepMetrics::default());
-        sink.flush();
+        sink.flush().unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         assert_eq!(text.lines().count(), 2);
         for line in text.lines() {

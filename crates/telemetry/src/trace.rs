@@ -33,13 +33,19 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
-/// Begin or end of a span (Chrome trace-event `ph` values).
+/// Span or flow phase (Chrome trace-event `ph` values).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Phase {
     /// Span begin (`"B"`).
     Begin,
     /// Span end (`"E"`).
     End,
+    /// Flow start (`"s"`) — the tail of a dependency arrow, emitted inside
+    /// the predecessor's span.
+    FlowStart,
+    /// Flow finish (`"f"`) — the head of a dependency arrow, emitted inside
+    /// the successor's span.
+    FlowFinish,
 }
 
 impl Phase {
@@ -48,7 +54,14 @@ impl Phase {
         match self {
             Phase::Begin => "B",
             Phase::End => "E",
+            Phase::FlowStart => "s",
+            Phase::FlowFinish => "f",
         }
+    }
+
+    /// True for the flow phases (`"s"` / `"f"`).
+    pub fn is_flow(&self) -> bool {
+        matches!(self, Phase::FlowStart | Phase::FlowFinish)
     }
 }
 
@@ -61,10 +74,13 @@ pub struct TraceEvent {
     pub tid: u64,
     /// Nanoseconds since the buffer's monotonic epoch.
     pub ts_ns: u64,
-    /// Begin or end.
+    /// Begin, end, or a flow endpoint.
     pub phase: Phase,
     /// Global recording sequence number (total order tiebreak).
     pub seq: u64,
+    /// Flow binding id — pairs a [`Phase::FlowStart`] with its
+    /// [`Phase::FlowFinish`]. Zero (and ignored) for span events.
+    pub flow_id: u64,
 }
 
 const NSHARDS: usize = 16;
@@ -106,7 +122,7 @@ impl TraceBuffer {
         }
     }
 
-    fn push(&self, name: &str, phase: Phase) {
+    fn push(&self, name: &str, phase: Phase, flow_id: u64) {
         let tid = thread_trace_id();
         let ev = TraceEvent {
             name: name.to_string(),
@@ -114,6 +130,7 @@ impl TraceBuffer {
             ts_ns: self.epoch.elapsed().as_nanos() as u64,
             phase,
             seq: self.seq.fetch_add(1, Ordering::Relaxed),
+            flow_id,
         };
         let mut shard = self.shards[(tid as usize) % NSHARDS].lock().unwrap();
         if shard.len() >= self.capacity_per_shard {
@@ -125,12 +142,26 @@ impl TraceBuffer {
 
     /// Record a span begin on the calling thread.
     pub fn begin(&self, name: &str) {
-        self.push(name, Phase::Begin);
+        self.push(name, Phase::Begin, 0);
     }
 
     /// Record a span end on the calling thread.
     pub fn end(&self, name: &str) {
-        self.push(name, Phase::End);
+        self.push(name, Phase::End, 0);
+    }
+
+    /// Record a flow start (dependency-arrow tail) on the calling thread.
+    /// Must be emitted inside an open span; flow events recorded outside a
+    /// span are dropped by the export-time repair.
+    pub fn flow_start(&self, name: &str, flow_id: u64) {
+        self.push(name, Phase::FlowStart, flow_id);
+    }
+
+    /// Record a flow finish (dependency-arrow head) on the calling thread.
+    /// Must be emitted inside an open span, after its matching
+    /// [`TraceBuffer::flow_start`].
+    pub fn flow_finish(&self, name: &str, flow_id: u64) {
+        self.push(name, Phase::FlowFinish, flow_id);
     }
 
     /// Events evicted by ring overflow since the last [`TraceBuffer::clear`].
@@ -148,7 +179,10 @@ impl TraceBuffer {
     }
 
     /// All events after the export-time repair (see module docs): balanced
-    /// B/E per thread, LIFO-nested, sorted by `(ts_ns, seq)`.
+    /// B/E per thread, LIFO-nested, sorted by `(ts_ns, seq)`. Flow events
+    /// survive only when they were recorded inside an open span *and* both
+    /// endpoints of the flow id survive with the start ordered before the
+    /// finish — dangling dependency arrows are dropped, never half-drawn.
     pub fn events_sorted(&self) -> Vec<TraceEvent> {
         let mut all: Vec<TraceEvent> = Vec::new();
         for s in &self.shards {
@@ -182,6 +216,14 @@ impl TraceBuffer {
                         _ => {}
                     }
                 }
+                Phase::FlowStart | Phase::FlowFinish => {
+                    // A flow endpoint binds to the enclosing span; one that
+                    // lost its span to eviction has nothing to attach to.
+                    let enclosed = stacks.get(&ev.tid).is_some_and(|s| !s.is_empty());
+                    if enclosed {
+                        out.push(ev);
+                    }
+                }
             }
         }
         for (tid, stack) in stacks {
@@ -192,10 +234,35 @@ impl TraceBuffer {
                     ts_ns: max_ts,
                     phase: Phase::End,
                     seq: max_seq,
+                    flow_id: 0,
                 });
                 max_seq += 1;
             }
         }
+        // Pair-filter flows: an id must keep exactly one start and one
+        // finish, with the start recorded no later than the finish.
+        let mut starts: HashMap<u64, (u64, u64)> = HashMap::new();
+        let mut finishes: HashMap<u64, (u64, u64)> = HashMap::new();
+        for ev in &out {
+            let slot = match ev.phase {
+                Phase::FlowStart => &mut starts,
+                Phase::FlowFinish => &mut finishes,
+                _ => continue,
+            };
+            slot.entry(ev.flow_id).or_insert((ev.ts_ns, ev.seq));
+        }
+        out.retain(|ev| {
+            if !ev.phase.is_flow() {
+                return true;
+            }
+            match (starts.get(&ev.flow_id), finishes.get(&ev.flow_id)) {
+                (Some(&s), Some(&f)) => {
+                    // Keep only the first occurrence of each endpoint.
+                    s <= f && (ev.ts_ns, ev.seq) == if ev.phase == Phase::FlowStart { s } else { f }
+                }
+                _ => false,
+            }
+        });
         out.sort_by_key(|e| (e.ts_ns, e.seq));
         out
     }
@@ -214,9 +281,16 @@ impl TraceBuffer {
         writeln!(f, "  \"traceEvents\": [")?;
         for (i, ev) in events.iter().enumerate() {
             let sep = if i + 1 == events.len() { "" } else { "," };
+            // Flow endpoints carry the binding id; "bp": "e" attaches the
+            // arrow head to the enclosing slice (Perfetto convention).
+            let flow = match ev.phase {
+                Phase::FlowStart => format!(", \"id\": {}", ev.flow_id),
+                Phase::FlowFinish => format!(", \"id\": {}, \"bp\": \"e\"", ev.flow_id),
+                _ => String::new(),
+            };
             writeln!(
                 f,
-                "    {{\"name\": \"{}\", \"cat\": \"exastro\", \"ph\": \"{}\", \"ts\": {}.{:03}, \"pid\": 1, \"tid\": {}}}{sep}",
+                "    {{\"name\": \"{}\", \"cat\": \"exastro\", \"ph\": \"{}\", \"ts\": {}.{:03}, \"pid\": 1, \"tid\": {}{flow}}}{sep}",
                 json_escape(&ev.name),
                 ev.phase.ph(),
                 ev.ts_ns / 1_000,
@@ -237,7 +311,7 @@ impl Default for TraceBuffer {
     }
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -263,6 +337,8 @@ mod tests {
     fn assert_well_formed(events: &[TraceEvent]) {
         let mut stacks: HashMap<u64, Vec<&str>> = HashMap::new();
         let mut last_ts: HashMap<u64, u64> = HashMap::new();
+        let mut flow_starts: HashMap<u64, usize> = HashMap::new();
+        let mut flow_finishes: HashMap<u64, usize> = HashMap::new();
         for ev in events {
             let prev = last_ts.entry(ev.tid).or_insert(0);
             assert!(ev.ts_ns >= *prev, "timestamps regress on tid {}", ev.tid);
@@ -274,10 +350,33 @@ mod tests {
                     let top = stack.pop().expect("E with empty stack");
                     assert_eq!(top, ev.name, "E does not match innermost B");
                 }
+                Phase::FlowStart | Phase::FlowFinish => {
+                    assert!(
+                        !stack.is_empty(),
+                        "flow event outside any span on tid {}",
+                        ev.tid
+                    );
+                    let slot = if ev.phase == Phase::FlowStart {
+                        &mut flow_starts
+                    } else {
+                        &mut flow_finishes
+                    };
+                    *slot.entry(ev.flow_id).or_insert(0) += 1;
+                }
             }
         }
         for (tid, stack) in stacks {
             assert!(stack.is_empty(), "unbalanced spans on tid {tid}: {stack:?}");
+        }
+        assert_eq!(
+            flow_starts.keys().collect::<std::collections::HashSet<_>>(),
+            flow_finishes
+                .keys()
+                .collect::<std::collections::HashSet<_>>(),
+            "every flow id must keep both endpoints"
+        );
+        for (id, n) in flow_starts.iter().chain(flow_finishes.iter()) {
+            assert_eq!(*n, 1, "flow id {id} has a duplicated endpoint");
         }
     }
 
@@ -339,6 +438,47 @@ mod tests {
         assert_well_formed(&events);
         let tids: std::collections::HashSet<u64> = events.iter().map(|e| e.tid).collect();
         assert_eq!(tids.len(), 4, "each thread gets its own tid");
+    }
+
+    #[test]
+    fn flow_events_pair_up_and_orphans_are_dropped() {
+        let buf = TraceBuffer::new(1024);
+        buf.begin("pack");
+        buf.flow_start("dep", 7);
+        buf.end("pack");
+        buf.begin("unpack");
+        buf.flow_finish("dep", 7);
+        // Flow 9 has a finish but no start: must be dropped.
+        buf.flow_finish("dep", 9);
+        buf.end("unpack");
+        // Flow 11 is emitted outside any span: must be dropped.
+        buf.flow_start("dep", 11);
+        let events = buf.events_sorted();
+        assert_well_formed(&events);
+        let flows: Vec<_> = events.iter().filter(|e| e.phase.is_flow()).collect();
+        assert_eq!(flows.len(), 2);
+        assert!(flows.iter().all(|e| e.flow_id == 7));
+        assert_eq!(flows[0].phase, Phase::FlowStart);
+        assert_eq!(flows[1].phase, Phase::FlowFinish);
+    }
+
+    #[test]
+    fn flow_export_carries_id_and_binding_point() {
+        let buf = TraceBuffer::new(1024);
+        buf.begin("a");
+        buf.flow_start("dep", 42);
+        buf.end("a");
+        buf.begin("b");
+        buf.flow_finish("dep", 42);
+        buf.end("b");
+        let dir = std::env::temp_dir().join(format!("exastro-flow-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = buf.write_chrome_trace(dir.join("f.json")).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"ph\": \"s\", \"ts\""));
+        assert!(text.contains("\"id\": 42"));
+        assert!(text.contains("\"bp\": \"e\""));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,16 +1,22 @@
 //! Property tests: every exported trace is well-formed, no matter how
 //! adversarial the recorded span stream was (unbalanced, interleaved
-//! across threads, evicted by a tiny ring).
+//! across threads, evicted by a tiny ring, flow arrows with missing
+//! endpoints).
 
 use exastro_telemetry::{Phase, TraceBuffer, TraceEvent};
 use proptest::prelude::*;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// The invariants the CI schema check enforces on Chrome trace output:
-/// per-thread monotonic timestamps, LIFO nesting, balanced B/E.
+/// per-thread monotonic timestamps, LIFO nesting, balanced B/E, and flow
+/// endpoints that land inside spans and pair up exactly (one `s` then one
+/// `f` per id, start ordered no later than the finish).
 fn check_well_formed(events: &[TraceEvent]) -> Result<(), String> {
     let mut stacks: HashMap<u64, Vec<String>> = HashMap::new();
     let mut last_ts: HashMap<u64, u64> = HashMap::new();
+    let mut flow_starts: HashMap<u64, usize> = HashMap::new();
+    let mut flow_finishes: HashMap<u64, usize> = HashMap::new();
+    let mut started: HashSet<u64> = HashSet::new();
     for ev in events {
         let prev = last_ts.entry(ev.tid).or_insert(0);
         if ev.ts_ns < *prev {
@@ -25,6 +31,22 @@ fn check_well_formed(events: &[TraceEvent]) -> Result<(), String> {
                 Some(top) => return Err(format!("E {} closes B {top}", ev.name)),
                 None => return Err(format!("E {} with empty stack", ev.name)),
             },
+            Phase::FlowStart => {
+                if stack.is_empty() {
+                    return Err(format!("flow start {} outside any span", ev.flow_id));
+                }
+                *flow_starts.entry(ev.flow_id).or_insert(0) += 1;
+                started.insert(ev.flow_id);
+            }
+            Phase::FlowFinish => {
+                if stack.is_empty() {
+                    return Err(format!("flow finish {} outside any span", ev.flow_id));
+                }
+                if !started.contains(&ev.flow_id) {
+                    return Err(format!("flow finish {} precedes its start", ev.flow_id));
+                }
+                *flow_finishes.entry(ev.flow_id).or_insert(0) += 1;
+            }
         }
     }
     for (tid, stack) in stacks {
@@ -32,25 +54,45 @@ fn check_well_formed(events: &[TraceEvent]) -> Result<(), String> {
             return Err(format!("unclosed spans on tid {tid}: {stack:?}"));
         }
     }
+    for (id, n) in &flow_starts {
+        if *n != 1 || flow_finishes.get(id) != Some(&1) {
+            return Err(format!("flow id {id} does not pair exactly once"));
+        }
+    }
+    for id in flow_finishes.keys() {
+        if !flow_starts.contains_key(id) {
+            return Err(format!("flow finish {id} kept without its start"));
+        }
+    }
     Ok(())
 }
 
-/// Replay an op stream on one thread: op % 3 == 0 or 1 biases toward
-/// begin/end pairs, 2 emits a stray end (adversarial unbalance).
-fn replay(buf: &TraceBuffer, ops: &[u8]) {
+/// Replay an op stream on one thread: ops bias toward begin/end pairs,
+/// with stray ends and dangling flow endpoints mixed in (adversarial
+/// unbalance). `flow_base` keeps ids distinct across threads.
+fn replay(buf: &TraceBuffer, ops: &[u8], flow_base: u64) {
     let mut depth = 0u32;
     for (i, &op) in ops.iter().enumerate() {
-        match op % 4 {
-            0 | 1 => {
+        match op % 8 {
+            0 | 1 | 4 => {
                 buf.begin(&format!("span{}", i % 7));
                 depth += 1;
             }
-            2 if depth > 0 => {
+            2 | 5 if depth > 0 => {
                 // Close the innermost span by emitting a matching name:
                 // we don't track names here, so emit a mismatched one
                 // sometimes — the exporter must cope either way.
                 buf.end(&format!("span{}", i % 7));
                 depth -= 1;
+            }
+            6 => {
+                // A flow start, possibly dangling (no finish ever) and
+                // possibly outside any span.
+                buf.flow_start("dep", flow_base + i as u64);
+            }
+            7 => {
+                // A flow finish whose start may or may not exist.
+                buf.flow_finish("dep", flow_base + (i as u64) / 2);
             }
             _ => {
                 // Stray end with no open span.
@@ -69,7 +111,7 @@ proptest! {
         capacity in 64usize..2048,
     ) {
         let buf = TraceBuffer::new(capacity);
-        replay(&buf, &ops);
+        replay(&buf, &ops, 10_000);
         let events = buf.events_sorted();
         if let Err(e) = check_well_formed(&events) {
             prop_assert!(false, "ill-formed export: {}", e);
@@ -128,7 +170,7 @@ proptest! {
         for t in 0..nthreads {
             let b = buf.clone();
             let my_ops: Vec<u8> = ops.iter().map(|&o| o.wrapping_add(t as u8)).collect();
-            handles.push(std::thread::spawn(move || replay(&b, &my_ops)));
+            handles.push(std::thread::spawn(move || replay(&b, &my_ops, 10_000 * (t as u64 + 1))));
         }
         for h in handles {
             h.join().unwrap();
@@ -140,11 +182,64 @@ proptest! {
     }
 
     #[test]
+    fn concurrent_graph_flows_pair_and_stay_inside_spans(
+        nthreads in 2usize..5,
+        tasks_per_thread in 1usize..12,
+        capacity in 256usize..4096,
+    ) {
+        // Simulates concurrent TaskGraph runs: wave one emits task spans
+        // carrying flow *starts* (outgoing dependency arrows), wave two —
+        // strictly after — emits successor spans carrying the matching
+        // flow *finishes*. Every surviving arrow must reference spans that
+        // exist and pair exactly once, even under eviction.
+        let buf = std::sync::Arc::new(TraceBuffer::new(capacity));
+        let mut handles = Vec::new();
+        for t in 0..nthreads {
+            let b = buf.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..tasks_per_thread {
+                    let id = (t * 1000 + i) as u64;
+                    b.begin(&format!("task.{t}.{i}"));
+                    b.flow_start("dep", id);
+                    b.end(&format!("task.{t}.{i}"));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut handles = Vec::new();
+        for t in 0..nthreads {
+            let b = buf.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..tasks_per_thread {
+                    let id = (t * 1000 + i) as u64;
+                    b.begin(&format!("succ.{t}.{i}"));
+                    b.flow_finish("dep", id);
+                    b.end(&format!("succ.{t}.{i}"));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let events = buf.events_sorted();
+        if let Err(e) = check_well_formed(&events) {
+            prop_assert!(false, "ill-formed export: {}", e);
+        }
+        // Without eviction, every arrow survives end-to-end.
+        if buf.dropped() == 0 {
+            let nflows = events.iter().filter(|e| e.phase == Phase::FlowStart).count();
+            prop_assert_eq!(nflows, nthreads * tasks_per_thread);
+        }
+    }
+
+    #[test]
     fn exported_json_is_structurally_valid(
         ops in prop::collection::vec(0u8..=255, 0..150),
     ) {
         let buf = TraceBuffer::new(1024);
-        replay(&buf, &ops);
+        replay(&buf, &ops, 10_000);
         let dir = std::env::temp_dir()
             .join(format!("exastro-ptrace-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();

@@ -13,27 +13,44 @@
 //! cargo run --release --example chaos
 //! # machine-readable report (CI schema-checks it):
 //! cargo run --release --example chaos -- --report /tmp/chaos_report.json
+//! # plus the cluster event log (exastro.event.v1 JSONL, one line per
+//! # admit/lease/start/preempt/checkpoint/node-fail/revoke/recover/...):
+//! cargo run --release --example chaos -- --events /tmp/chaos_events.jsonl
 //! ```
+
+use std::sync::Arc;
 
 use exastro::machine::NodeFaultConfig;
 use exastro::service::{
-    JobOutcome, JobSpec, NetChoice, PriorityClass, Scenario, Service, ServiceConfig,
+    JobOutcome, JobSpec, JsonlEventSink, NetChoice, PriorityClass, Scenario, Service, ServiceConfig,
 };
 
-/// `--report <path>` (optional).
-fn parse_report_path() -> Option<String> {
+/// `--report <path> --events <path>` (both optional, any order).
+struct Cli {
+    report: Option<String>,
+    events: Option<String>,
+}
+
+fn parse_cli() -> Cli {
     let mut args = std::env::args().skip(1);
-    let mut report = None;
+    let mut cli = Cli {
+        report: None,
+        events: None,
+    };
     while let Some(a) = args.next() {
         match a.as_str() {
-            "--report" => report = Some(args.next().expect("--report needs a path")),
+            "--report" => cli.report = Some(args.next().expect("--report needs a path")),
+            "--events" => cli.events = Some(args.next().expect("--events needs a path")),
             other => {
-                eprintln!("unknown argument {other}; usage: chaos [--report out.json]");
+                eprintln!(
+                    "unknown argument {other}; usage: chaos [--report out.json] \
+                     [--events events.jsonl]"
+                );
                 std::process::exit(2);
             }
         }
     }
-    report
+    cli
 }
 
 fn base_cfg(tag: &str, nodes: usize) -> ServiceConfig {
@@ -57,7 +74,7 @@ fn solo_digest(tag: &str, spec: JobSpec) -> u32 {
 }
 
 fn main() {
-    let report_path = parse_report_path();
+    let cli = parse_cli();
 
     let tenants = [
         JobSpec {
@@ -126,6 +143,13 @@ fn main() {
         straggler_duration_s: 0.050,
         ..Default::default()
     });
+    if let Some(path) = &cli.events {
+        // Structured event log: every admit/lease/start/checkpoint/
+        // node-fail/revoke/recover/migrate/terminal lands as one
+        // sim-clock-stamped JSONL line (schema `exastro.event.v1`).
+        let sink = JsonlEventSink::create(path).expect("create event log");
+        cfg.events = Some(Arc::new(sink));
+    }
     println!(
         "service up: 5 nodes (30 ranks), node MTBF {:.0} ms with repair, straggler wave armed",
         0.025 * 1e3
@@ -137,11 +161,16 @@ fn main() {
         .collect();
     assert!(svc.run_until_idle(100_000), "chaos run must drain");
 
+    svc.flush_events().expect("event log IO must be clean");
+
     let report = svc.report();
     print!("{report}");
-    if let Some(path) = &report_path {
+    if let Some(path) = &cli.report {
         std::fs::write(path, report.to_json()).expect("write report");
         println!("wrote {path}");
+    }
+    if let Some(path) = &cli.events {
+        println!("event log written to {path} (JSON Lines, exastro.event.v1)");
     }
 
     // The drill's acceptance: failures actually happened, the service
